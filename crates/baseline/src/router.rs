@@ -1,0 +1,245 @@
+//! Grid maze router (Lee algorithm with congestion marking).
+//!
+//! Columba 2.0 routes channels around modules with detours; this router
+//! reproduces that behaviour: nets are routed one after another on a coarse
+//! grid, around module footprints and around everything routed before them
+//! on the same layer.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use columba_geom::{Point, Rect, Um};
+
+/// Grid cell pitch: `2d` (one channel track per cell).
+pub const CELL: Um = Um(200);
+
+/// Routing error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RouteError {
+    /// Source or target lies outside the grid.
+    OutOfGrid(Point),
+    /// No path exists between the terminals.
+    NoPath {
+        /// Source terminal.
+        from: Point,
+        /// Target terminal.
+        to: Point,
+    },
+}
+
+impl fmt::Display for RouteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RouteError::OutOfGrid(p) => write!(f, "terminal {p} outside the routing grid"),
+            RouteError::NoPath { from, to } => write!(f, "no route from {from} to {to}"),
+        }
+    }
+}
+
+impl std::error::Error for RouteError {}
+
+/// A routing grid over a chip area.
+#[derive(Debug, Clone)]
+pub struct Grid {
+    origin: Point,
+    cols: usize,
+    rows: usize,
+    blocked: Vec<bool>,
+}
+
+impl Grid {
+    /// Creates an all-free grid covering `area`.
+    #[must_use]
+    pub fn new(area: Rect) -> Grid {
+        let cols = (area.width().raw() / CELL.raw()).max(1) as usize + 1;
+        let rows = (area.height().raw() / CELL.raw()).max(1) as usize + 1;
+        Grid { origin: area.origin(), cols, rows, blocked: vec![false; cols * rows] }
+    }
+
+    /// Number of cells.
+    #[must_use]
+    pub fn size(&self) -> (usize, usize) {
+        (self.cols, self.rows)
+    }
+
+    fn cell_of(&self, p: Point) -> Option<usize> {
+        let dx = (p.x - self.origin.x).raw();
+        let dy = (p.y - self.origin.y).raw();
+        if dx < 0 || dy < 0 {
+            return None;
+        }
+        let (c, r) = ((dx / CELL.raw()) as usize, (dy / CELL.raw()) as usize);
+        (c < self.cols && r < self.rows).then_some(r * self.cols + c)
+    }
+
+    fn center(&self, idx: usize) -> Point {
+        let (r, c) = (idx / self.cols, idx % self.cols);
+        Point::new(
+            self.origin.x + CELL * c as i64 + CELL / 2,
+            self.origin.y + CELL * r as i64 + CELL / 2,
+        )
+    }
+
+    /// Marks every cell overlapping `rect` as an obstacle.
+    pub fn block_rect(&mut self, rect: &Rect) {
+        let lo_c = (((rect.x_l() - self.origin.x).raw()) / CELL.raw()).max(0) as usize;
+        let hi_c = (((rect.x_r() - self.origin.x).raw()) / CELL.raw()).max(0) as usize;
+        let lo_r = (((rect.y_b() - self.origin.y).raw()) / CELL.raw()).max(0) as usize;
+        let hi_r = (((rect.y_t() - self.origin.y).raw()) / CELL.raw()).max(0) as usize;
+        for r in lo_r..=hi_r.min(self.rows - 1) {
+            for c in lo_c..=hi_c.min(self.cols - 1) {
+                self.blocked[r * self.cols + c] = true;
+            }
+        }
+    }
+
+    /// Unblocks the cell containing `p` (terminals must be enterable).
+    pub fn free_cell(&mut self, p: Point) {
+        if let Some(i) = self.cell_of(p) {
+            self.blocked[i] = false;
+        }
+    }
+
+    /// Fraction of blocked cells (congestion measure).
+    #[must_use]
+    pub fn congestion(&self) -> f64 {
+        self.blocked.iter().filter(|&&b| b).count() as f64 / self.blocked.len() as f64
+    }
+}
+
+/// Routes a net from `from` to `to` with BFS (shortest rectilinear path
+/// around obstacles), marks the path as blocked for subsequent nets, and
+/// returns the path's length plus its bend count.
+///
+/// # Errors
+///
+/// Returns [`RouteError`] when a terminal is off-grid or fully walled in.
+pub fn route(grid: &mut Grid, from: Point, to: Point) -> Result<(Um, usize), RouteError> {
+    let s = grid.cell_of(from).ok_or(RouteError::OutOfGrid(from))?;
+    let t = grid.cell_of(to).ok_or(RouteError::OutOfGrid(to))?;
+    // terminals may sit on module boundaries that were blocked
+    grid.blocked[s] = false;
+    grid.blocked[t] = false;
+    if s == t {
+        return Ok((Um::ZERO, 0));
+    }
+
+    let mut prev = vec![usize::MAX; grid.blocked.len()];
+    let mut queue = VecDeque::new();
+    prev[s] = s;
+    queue.push_back(s);
+    let (cols, rows) = (grid.cols, grid.rows);
+    'search: while let Some(v) = queue.pop_front() {
+        let (r, c) = (v / cols, v % cols);
+        let neighbours = [
+            (c > 0).then(|| v - 1),
+            (c + 1 < cols).then(|| v + 1),
+            (r > 0).then(|| v - cols),
+            (r + 1 < rows).then(|| v + cols),
+        ];
+        for w in neighbours.into_iter().flatten() {
+            if prev[w] != usize::MAX || grid.blocked[w] {
+                continue;
+            }
+            prev[w] = v;
+            if w == t {
+                break 'search;
+            }
+            queue.push_back(w);
+        }
+    }
+    if prev[t] == usize::MAX {
+        return Err(RouteError::NoPath { from, to });
+    }
+
+    // walk back, marking cells used and counting bends
+    let mut length = Um::ZERO;
+    let mut bends = 0usize;
+    let mut cur = t;
+    let mut last_dir: Option<i64> = None;
+    while cur != s {
+        grid.blocked[cur] = true;
+        let p = prev[cur];
+        let dir = cur as i64 - p as i64;
+        if let Some(d) = last_dir {
+            if d != dir {
+                bends += 1;
+            }
+        }
+        last_dir = Some(dir);
+        length += grid.center(cur).manhattan_distance(grid.center(p));
+        cur = p;
+    }
+    grid.blocked[s] = true;
+    Ok((length, bends))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn area() -> Rect {
+        Rect::new(Um(0), Um(10_000), Um(0), Um(10_000))
+    }
+
+    #[test]
+    fn straight_route_has_no_bends() {
+        let mut g = Grid::new(area());
+        let (len, bends) = route(&mut g, Point::new(Um(100), Um(100)), Point::new(Um(5_000), Um(100))).unwrap();
+        assert_eq!(bends, 0);
+        assert!(len >= Um(4_600), "roughly the manhattan distance, got {len}");
+    }
+
+    #[test]
+    fn obstacle_forces_detour() {
+        let a = Point::new(Um(100), Um(2_100));
+        let b = Point::new(Um(9_900), Um(2_100));
+        let mut free = Grid::new(area());
+        let (direct, _) = route(&mut free, a, b).unwrap();
+
+        let mut g = Grid::new(area());
+        // a wall crossing the direct path
+        g.block_rect(&Rect::new(Um(4_000), Um(4_400), Um(0), Um(8_000)));
+        let (detour, bends) = route(&mut g, a, b).unwrap();
+        assert!(detour > direct, "detour {detour} must exceed direct {direct}");
+        assert!(bends >= 2, "the wall forces at least two bends");
+    }
+
+    #[test]
+    fn routed_nets_block_each_other() {
+        let mut g = Grid::new(area());
+        let (first, _) =
+            route(&mut g, Point::new(Um(100), Um(5_000)), Point::new(Um(9_900), Um(5_000))).unwrap();
+        // second net crossing the first must deviate
+        let (second, bends) =
+            route(&mut g, Point::new(Um(5_000), Um(100)), Point::new(Um(5_000), Um(9_900))).unwrap();
+        let _ = first;
+        assert!(bends >= 2, "crossing net must weave around the first");
+        assert!(second > Um(9_600));
+    }
+
+    #[test]
+    fn walled_in_terminal_reports_no_path() {
+        let mut g = Grid::new(area());
+        g.block_rect(&Rect::new(Um(0), Um(10_000), Um(4_000), Um(6_000)));
+        let e = route(&mut g, Point::new(Um(100), Um(100)), Point::new(Um(100), Um(9_900)))
+            .unwrap_err();
+        assert!(matches!(e, RouteError::NoPath { .. }));
+    }
+
+    #[test]
+    fn off_grid_terminal_rejected() {
+        let mut g = Grid::new(area());
+        let e = route(&mut g, Point::new(Um(-5_000), Um(0)), Point::new(Um(100), Um(100)))
+            .unwrap_err();
+        assert!(matches!(e, RouteError::OutOfGrid(_)));
+    }
+
+    #[test]
+    fn congestion_grows_with_blocking() {
+        let mut g = Grid::new(area());
+        assert_eq!(g.congestion(), 0.0);
+        g.block_rect(&Rect::new(Um(0), Um(5_000), Um(0), Um(5_000)));
+        assert!(g.congestion() > 0.2);
+    }
+}

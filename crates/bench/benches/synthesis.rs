@@ -1,0 +1,101 @@
+//! Criterion micro-benchmarks of the Columba S synthesis stages.
+//!
+//! These complement the `table1` harness (which measures the end-to-end
+//! runs the paper reports): they isolate where the time goes — parsing,
+//! planarization, the layout-generation MILP in heuristic mode, the
+//! multiplexer synthesis, and the behavioural simulator.
+
+use std::time::Duration;
+
+use columba_s::layout::{self, LayoutOptions};
+use columba_s::netlist::{generators, MuxCount, Netlist};
+use columba_s::planar::planarize;
+use columba_s::sim::Simulator;
+use columba_s::{Columba, SynthesisOptions};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_parse(c: &mut Criterion) {
+    let text = generators::chip_ip(16, MuxCount::One).to_text();
+    c.bench_function("netlist/parse_chip16", |b| {
+        b.iter(|| Netlist::parse(std::hint::black_box(&text)).expect("parses"))
+    });
+}
+
+fn bench_planarize(c: &mut Criterion) {
+    let mut g = c.benchmark_group("planarize");
+    for lanes in [4usize, 64] {
+        let n = generators::chip_ip(lanes, MuxCount::One);
+        g.bench_with_input(BenchmarkId::from_parameter(lanes), &n, |b, n| {
+            b.iter(|| planarize(std::hint::black_box(n)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_layout_heuristic(c: &mut Criterion) {
+    let mut g = c.benchmark_group("layout_heuristic");
+    g.sample_size(10);
+    for lanes in [4usize, 16, 64] {
+        let (n, _) = planarize(&generators::chip_ip(lanes, MuxCount::One));
+        let options = LayoutOptions::heuristic_only();
+        g.bench_with_input(BenchmarkId::from_parameter(lanes), &n, |b, n| {
+            b.iter(|| layout::synthesize(std::hint::black_box(n), &options).expect("synthesizes"))
+        });
+    }
+    g.finish();
+}
+
+fn bench_full_flow_scaling(c: &mut Criterion) {
+    // the paper's scalability claim: end-to-end synthesis time for the
+    // ChIP family (Table 1 rows 2, 5, 6 correspond to lanes 4, 64, 128)
+    let mut g = c.benchmark_group("full_flow");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(10));
+    let flow = Columba::with_options(SynthesisOptions {
+        layout: LayoutOptions::heuristic_only(),
+        ..SynthesisOptions::default()
+    });
+    for lanes in [4usize, 64, 128] {
+        let n = generators::chip_ip(lanes, MuxCount::One);
+        g.bench_with_input(BenchmarkId::from_parameter(lanes), &n, |b, n| {
+            b.iter(|| flow.synthesize(std::hint::black_box(n)).expect("synthesizes"))
+        });
+    }
+    g.finish();
+}
+
+fn bench_mux_selection(c: &mut Criterion) {
+    let flow = Columba::with_options(SynthesisOptions {
+        layout: LayoutOptions::heuristic_only(),
+        ..SynthesisOptions::default()
+    });
+    let out = flow
+        .synthesize(&generators::chip_ip(16, MuxCount::One))
+        .expect("synthesizes");
+    let mux = out.design.muxes[0].clone();
+    c.bench_function("mux/selection_walk", |b| {
+        b.iter(|| {
+            for a in 0..mux.controlled.len() {
+                std::hint::black_box(columba_s::mux::selection(&mux, a));
+            }
+        })
+    });
+    c.bench_function("sim/actuate_all_lines", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new(&out.design).expect("simulates");
+            for li in 0..sim.line_count() {
+                sim.actuate(li, true).expect("actuates");
+            }
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_parse,
+    bench_planarize,
+    bench_layout_heuristic,
+    bench_full_flow_scaling,
+    bench_mux_selection
+);
+criterion_main!(benches);

@@ -1,0 +1,99 @@
+//! Ablation study of the three scalability devices `DESIGN.md` calls out:
+//!
+//! 1. **chain-order pruning** — dropping non-overlap disjunctions between
+//!    entity pairs whose left-to-right order is implied by the connection
+//!    chains;
+//! 2. **warm starting** — seeding branch & bound with the constructive
+//!    placement (the basis of the scalable heuristic mode);
+//! 3. **parallel-unit merging** — the paper's §3.2.1 model reduction that
+//!    collapses each parallel-execution group into one rectangle.
+//!
+//! Each device is disabled in isolation and the MILP size, solve status,
+//! objective and wall-clock time are compared under a fixed budget.
+//!
+//! ```sh
+//! cargo run -p columba-bench --release --bin ablation
+//! ```
+
+use std::time::Duration;
+
+use columba_s::layout::{self, LayoutOptions};
+use columba_s::netlist::{generators, MuxCount, Netlist};
+use columba_s::planar::planarize;
+
+fn run(label: &str, netlist: &Netlist, options: &LayoutOptions) {
+    match layout::synthesize(netlist, options) {
+        Ok(result) => {
+            let r = &result.laygen;
+            let s = result.design.stats();
+            println!(
+                "{label:<26}{:<42}{:>6}{:>7}  {:>10}  {:>9.2}  {:>9}",
+                r.model_stats.to_string(),
+                r.disjunctions,
+                r.pruned_pairs,
+                r.status.to_string(),
+                r.objective.unwrap_or(f64::NAN),
+                format!("{:.2?}", result.elapsed + r.elapsed),
+            );
+            let _ = s;
+        }
+        Err(e) => println!("{label:<26}failed: {e}"),
+    }
+}
+
+/// The same units and connections, but with the parallel-execution groups
+/// stripped — every lane becomes an independent block in the MILP.
+fn without_parallel_groups(netlist: &Netlist) -> Netlist {
+    let mut out = Netlist::new(format!("{}_nogroups", netlist.name));
+    out.mux_count = netlist.mux_count;
+    for c in netlist.components() {
+        out.add_component(c.name.clone(), c.kind).expect("names stay unique");
+    }
+    for p in netlist.ports() {
+        out.add_port(p.clone()).expect("names stay unique");
+    }
+    for c in netlist.connections() {
+        out.connect(c.from, c.to).expect("connections stay valid");
+    }
+    out
+}
+
+fn main() {
+    let budget = Duration::from_secs(8);
+    let base = LayoutOptions { time_limit: budget, ..LayoutOptions::default() };
+    println!(
+        "{:<26}{:<42}{:>6}{:>7}  {:>10}  {:>9}  {:>9}",
+        "configuration", "model", "disj", "pruned", "status", "objective", "time"
+    );
+
+    println!("\n== chain-order pruning & warm start (ChIP 4-IP, {budget:?} budget) ==");
+    let (chip4, _) = planarize(&generators::chip_ip(4, MuxCount::One));
+    run("full (defaults)", &chip4, &base);
+    run(
+        "no pruning",
+        &chip4,
+        &LayoutOptions { prune_ordered_pairs: false, ..base.clone() },
+    );
+    run("no warm start", &chip4, &LayoutOptions { warm_start: false, ..base.clone() });
+    run(
+        "no pruning, no warm start",
+        &chip4,
+        &LayoutOptions { prune_ordered_pairs: false, warm_start: false, ..base.clone() },
+    );
+
+    println!("\n== parallel-unit merging (ChIP 16-IP, heuristic mode) ==");
+    let heuristic = LayoutOptions { node_limit: 0, ..base.clone() };
+    let grouped = generators::chip_ip(16, MuxCount::One);
+    let ungrouped = without_parallel_groups(&grouped);
+    let (grouped, _) = planarize(&grouped);
+    let (ungrouped, _) = planarize(&ungrouped);
+    run("with merging (paper)", &grouped, &heuristic);
+    run("without merging", &ungrouped, &heuristic);
+
+    println!("\nreading the table:");
+    println!(" - pruning removes disjunctions outright: fewer binaries, smaller LPs;");
+    println!(" - without the warm start the search has no incumbent to prune with and");
+    println!("   typically times out without proving anything near-optimal;");
+    println!(" - merging collapses every 2-lane group into one rectangle, shrinking the");
+    println!("   model the same way the paper's Fig 6(a) reduction does.");
+}

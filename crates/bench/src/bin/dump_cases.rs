@@ -1,0 +1,22 @@
+//! Serialises the six Table 1 netlists (plus the Fig 1 kinase case) into
+//! `cases/` as plain-text netlist files, so the reconstructions are
+//! inspectable and editable without touching the generators.
+//!
+//! ```sh
+//! cargo run -p columba-bench --release --bin dump_cases
+//! ```
+
+use columba_s::netlist::{generators, MuxCount};
+
+fn main() -> std::io::Result<()> {
+    let dir = std::path::Path::new("cases");
+    std::fs::create_dir_all(dir)?;
+    let mut cases = generators::table1_cases(MuxCount::One);
+    cases.push(("kinase (Fig 1)", generators::kinase_activity(MuxCount::One)));
+    for (label, netlist) in cases {
+        let file = dir.join(format!("{}.netlist", netlist.name));
+        std::fs::write(&file, netlist.to_text())?;
+        println!("{label:<16} -> {}", file.display());
+    }
+    Ok(())
+}

@@ -1,0 +1,114 @@
+//! Regenerates the paper's Fig 3: the Columba S module model library —
+//! the rotary mixer in its three control-access configurations (b/c/d,
+//! including sieve valves and cell traps), and the y-extensible switch with
+//! bottom/top valve access (e/f). Prints the pin plans and writes one SVG
+//! per module.
+//!
+//! ```sh
+//! cargo run -p columba-bench --release --bin fig3
+//! ```
+
+use columba_s::design::{Design, PlacedModule};
+use columba_s::geom::{Rect, Side, Um};
+use columba_s::modules::{instantiate, ModuleModel, SwitchPlan};
+use columba_s::netlist::{ChamberSpec, ComponentKind, ControlAccess, MixerSpec, SwitchSpec};
+
+fn show(tag: &str, kind: &ComponentKind, plan: Option<&SwitchPlan>) {
+    let model = ModuleModel::for_component(kind);
+    let mut design = Design::new(tag, Rect::new(Um(0), Um(50_000), Um(0), Um(50_000)));
+    let rect = match plan {
+        Some(p) => {
+            let ys: Vec<Um> = p.junctions.iter().map(|&(_, y)| y).collect();
+            let lo = ys.iter().copied().fold(ys[0], Um::min) - Um(400);
+            let hi = ys.iter().copied().fold(ys[0], Um::max) + Um(400);
+            Rect::new(Um(10_000), Um(10_000) + model.width, lo, hi)
+        }
+        None => Rect::new(
+            Um(10_000),
+            Um(10_000) + model.width,
+            Um(10_000),
+            Um(10_000) + model.length.expect("fixed-length module"),
+        ),
+    };
+    design.modules.push(PlacedModule {
+        component: columba_s::netlist::ComponentId(0),
+        name: tag.into(),
+        rect,
+    });
+    let inst = instantiate(&mut design, columba_s::design::ModuleId(0), kind, rect, plan, None)
+        .expect("library module instantiates");
+
+    println!("-- {tag} --");
+    println!(
+        "  footprint {:.2}x{:?}mm, {} flow pins, {} control lines, {} valves",
+        model.width.to_mm(),
+        model.length.map(|l| l.to_mm()),
+        inst.flow_pins.len(),
+        inst.control_pins.len(),
+        design.valves.len(),
+    );
+    for p in &inst.control_pins {
+        println!("    line {:<22} {} boundary x={:.2}mm", p.name, p.side, p.position.x.to_mm());
+    }
+    let report = columba_s::design::drc::check(&design);
+    assert!(report.is_clean(), "library geometry is DRC clean: {report}");
+    let path = std::env::temp_dir().join(format!("fig3_{tag}.svg"));
+    let mut svg = Vec::new();
+    columba_s::cad::write_svg(&design, &mut svg).expect("svg renders");
+    std::fs::write(&path, svg).expect("svg written");
+    println!("  svg: {}", path.display());
+}
+
+fn main() {
+    println!("Fig 3 — the Columba S module model library\n");
+    show(
+        "mixer_b_top",
+        &ComponentKind::Mixer(MixerSpec { access: ControlAccess::Top, ..MixerSpec::default() }),
+        None,
+    );
+    show(
+        "mixer_c_sieve",
+        &ComponentKind::Mixer(MixerSpec {
+            access: ControlAccess::Bottom,
+            sieve_valves: true,
+            ..MixerSpec::default()
+        }),
+        None,
+    );
+    show(
+        "mixer_d_traps",
+        &ComponentKind::Mixer(MixerSpec {
+            access: ControlAccess::Both,
+            cell_traps: true,
+            ..MixerSpec::default()
+        }),
+        None,
+    );
+    show("chamber", &ComponentKind::Chamber(ChamberSpec::default()), None);
+    show(
+        "switch_e_bottom",
+        &ComponentKind::Switch(SwitchSpec { junctions: 3 }),
+        Some(&SwitchPlan {
+            junctions: vec![
+                (Side::Left, Um(10_600)),
+                (Side::Right, Um(11_400)),
+                (Side::Left, Um(12_300)),
+            ],
+            control_side: Side::Bottom,
+        }),
+    );
+    show(
+        "switch_f_top",
+        &ComponentKind::Switch(SwitchSpec { junctions: 4 }),
+        Some(&SwitchPlan {
+            junctions: vec![
+                (Side::Left, Um(10_600)),
+                (Side::Right, Um(11_400)),
+                (Side::Right, Um(12_200)),
+                (Side::Left, Um(13_000)),
+            ],
+            control_side: Side::Top,
+        }),
+    );
+    println!("\nall module geometries instantiated and DRC-verified.");
+}

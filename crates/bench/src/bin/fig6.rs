@@ -1,0 +1,115 @@
+//! Regenerates the paper's Fig 6(b): the layout-generation phase output for
+//! the Fig 1(b) (kinase activity) design — the merged rectangle plan before
+//! validation restores the full geometry. Prints every entity rectangle and
+//! writes an SVG of the plan.
+//!
+//! ```sh
+//! cargo run -p columba-bench --release --bin fig6
+//! ```
+
+use std::io::Write as _;
+use std::time::Duration;
+
+use columba_s::layout::{generate_only, BlockId, FlowKind, LayoutOptions};
+use columba_s::netlist::{generators, MuxCount};
+use columba_s::planar::planarize;
+
+fn main() {
+    let (netlist, _) = planarize(&generators::kinase_activity(MuxCount::One));
+    let options = LayoutOptions {
+        time_limit: Duration::from_secs(10),
+        ..LayoutOptions::default()
+    };
+    let (plan, layout) = generate_only(&netlist, &options).expect("layout generation succeeds");
+
+    println!(
+        "Fig 6(b) — layout generation for the kinase design ({} blocks, {} flow entities, {} control entities)",
+        plan.blocks.len(),
+        plan.flows.len(),
+        plan.controls.len()
+    );
+    println!(
+        "MILP: {}; {} disjunctions kept, {} pruned by chain order; status {}\n",
+        layout.report.model_stats,
+        layout.report.disjunctions,
+        layout.report.pruned_pairs,
+        layout.report.status
+    );
+
+    println!("blocks (merged module rectangles, Fig 6(a) style):");
+    for (b, r) in plan.blocks.iter().zip(&layout.block_rects) {
+        println!(
+            "  {:<18}{:>7.2}x{:<7.2} at ({:.2}, {:.2}) mm{}",
+            b.label,
+            r.width().to_mm(),
+            r.height().to_mm(),
+            r.x_l().to_mm(),
+            r.y_b().to_mm(),
+            if b.is_switch() { "  [y-extensible switch]" } else { "" }
+        );
+    }
+    println!("\nmerged flow-channel rectangles (blue in the paper):");
+    for (f, r) in plan.flows.iter().zip(&layout.flow_rects) {
+        let kind = match f.kind {
+            FlowKind::Thin => "thin".to_string(),
+            FlowKind::FullHeight(BlockId(b)) => format!("full-height of {}", plan.blocks[b].label),
+            FlowKind::InletBundle(n) => format!("inlet bundle x{n}"),
+        };
+        println!(
+            "  n={:<3}{:<26}[{:.2}..{:.2}]x[{:.2}..{:.2}] mm",
+            f.count,
+            kind,
+            r.x_l().to_mm(),
+            r.x_r().to_mm(),
+            r.y_b().to_mm(),
+            r.y_t().to_mm()
+        );
+    }
+    println!("\nmerged control-channel rectangles (green in the paper):");
+    for (c, r) in plan.controls.iter().zip(&layout.control_rects) {
+        println!(
+            "  n={:<3}{:<26}[{:.2}..{:.2}]x[{:.2}..{:.2}] mm",
+            c.count,
+            format!("{:?} of {}", c.dir, plan.blocks[c.block.0].label),
+            r.x_l().to_mm(),
+            r.x_r().to_mm(),
+            r.y_b().to_mm(),
+            r.y_t().to_mm()
+        );
+    }
+
+    // a minimal SVG of the rectangle plan
+    let (xm, ym) = (layout.extent.0.to_mm(), layout.extent.1.to_mm());
+    let mut svg = Vec::new();
+    writeln!(
+        svg,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" viewBox="0 0 {xm:.2} {ym:.2}" width="{:.0}" height="{:.0}">"#,
+        xm * 10.0,
+        ym * 10.0
+    )
+    .unwrap();
+    let mut rect = |r: &columba_s::geom::Rect, style: &str| {
+        writeln!(
+            svg,
+            r#"<rect x="{:.3}" y="{:.3}" width="{:.3}" height="{:.3}" {style}/>"#,
+            r.x_l().to_mm(),
+            ym - r.y_t().to_mm(),
+            r.width().to_mm(),
+            r.height().to_mm()
+        )
+        .unwrap();
+    };
+    for r in &layout.control_rects {
+        rect(r, r##"fill="#2f9e44" fill-opacity="0.5""##);
+    }
+    for r in &layout.flow_rects {
+        rect(r, r##"fill="#3b6fd4" fill-opacity="0.6""##);
+    }
+    for r in &layout.block_rects {
+        rect(r, r##"fill="none" stroke="#333" stroke-width="0.08""##);
+    }
+    writeln!(svg, "</svg>").unwrap();
+    let path = std::env::temp_dir().join("fig6_rect_plan.svg");
+    std::fs::write(&path, svg).expect("svg written");
+    println!("\nrectangle plan rendered to {}", path.display());
+}

@@ -1,0 +1,67 @@
+//! Regenerates the paper's Fig 7: the complete production flow for a
+//! ChIP 4-IP application — (a) the plain-text netlist, (b) the synthesized
+//! design — plus (d) the 2-MUX ChIP64 design partitioned into eight
+//! parallel-execution groups. The fabricated chip of Fig 7(c) is
+//! substituted by DRC + simulation (see `DESIGN.md`).
+//!
+//! ```sh
+//! cargo run -p columba-bench --release --bin fig7
+//! ```
+
+use std::time::Duration;
+
+use columba_bench::{harness_flow, secs};
+use columba_s::netlist::{generators, MuxCount};
+use columba_s::sim::Simulator;
+
+fn main() {
+    // (a) the netlist description
+    let netlist = generators::chip_ip(4, MuxCount::One);
+    println!("Fig 7(a) — plain-text netlist description (ChIP 4-IP):\n");
+    println!("{}", netlist.to_text());
+
+    // (b) the synthesized design
+    let flow = harness_flow(Duration::from_secs(10));
+    let out = flow.synthesize(&netlist).expect("ChIP 4-IP synthesizes");
+    let s = out.stats();
+    println!("Fig 7(b) — synthesized design: {s}");
+    println!("          synthesis time {}; DRC {}", secs(out.elapsed), out.drc);
+    let path = std::env::temp_dir().join("fig7b_chip4.svg");
+    std::fs::write(&path, out.to_svg().expect("svg renders")).expect("svg written");
+    println!("          rendered to {}", path.display());
+
+    // (c) fabrication feasibility, substituted by behavioural simulation
+    let mut sim = Simulator::new(&out.design).expect("design simulates");
+    let line = sim.line_by_name("pre.pump0").expect("pre-mixer pump line exists");
+    let ev = sim.actuate(line, true).expect("line actuates");
+    println!(
+        "Fig 7(c) [simulated] — actuated `{}` via MUX address {:#b}; design is operable",
+        sim.line_name(line),
+        ev.address
+    );
+
+    // (d) the 2-MUX ChIP64 design with 8 parallel-execution groups
+    let big = generators::chip_ip(64, MuxCount::Two);
+    println!(
+        "\nFig 7(d) — ChIP64, 2-MUX: {} functional units in {} parallel-execution groups",
+        big.functional_unit_count(),
+        big.parallel_groups().len()
+    );
+    let out = flow.synthesize(&big).expect("ChIP64 synthesizes");
+    let s = out.stats();
+    println!("          {s}");
+    println!(
+        "          synthesis time {}; {} shared control lines drive {} valves",
+        secs(out.elapsed),
+        out.design.control_lines.len(),
+        out.design
+            .control_lines
+            .iter()
+            .map(|l| l.valves.len())
+            .sum::<usize>()
+    );
+    assert!(out.drc.is_clean(), "{}", out.drc);
+    let path = std::env::temp_dir().join("fig7d_chip64_2mux.svg");
+    std::fs::write(&path, out.to_svg().expect("svg renders")).expect("svg written");
+    println!("          rendered to {}", path.display());
+}

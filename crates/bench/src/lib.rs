@@ -1,0 +1,137 @@
+//! Benchmark harness support: the paper's reference numbers and shared
+//! helpers for the `table1` / `fig*` binaries.
+//!
+//! Every table and figure of the paper's evaluation section has a binary in
+//! `src/bin/` that regenerates it:
+//!
+//! | binary | reproduces |
+//! |--------|------------|
+//! | `table1` | Table 1 (all six cases, Columba 2.0 baseline vs S 1-/2-MUX) |
+//! | `fig1` | Fig 1 comparison on the kinase-activity application |
+//! | `fig3` | Fig 3 module model library geometries |
+//! | `fig4` | Fig 4 fifteen-channel multiplexer, address 1001 |
+//! | `fig6` | Fig 6(b) layout-generation rectangle plan |
+//! | `fig7` | Fig 7 netlist → design flow and the ChIP64 partition |
+//! | `fig8` | Fig 8 multiplexing function demonstration |
+//!
+//! Criterion micro-benchmarks of the synthesis stages live in
+//! `benches/synthesis.rs`.
+
+use std::time::Duration;
+
+use columba_s::netlist::{generators, MuxCount, Netlist};
+use columba_s::{Columba, LayoutOptions, SynthesisOptions};
+
+/// Paper reference values for one Table 1 row (`None` where the paper
+/// prints `\` — Columba 2.0 could not solve the case).
+#[derive(Debug, Clone, Copy)]
+pub struct PaperRow {
+    /// Row label as printed in the paper.
+    pub label: &'static str,
+    /// Functional units `#u`.
+    pub units: usize,
+    /// Columba 2.0: (w mm, h mm, L_f mm, #c_in, runtime s).
+    pub columba20: Option<(f64, f64, f64, usize, f64)>,
+    /// Columba S 1-MUX: (w, h, L_f, #c_in, runtime).
+    pub s1: (f64, f64, f64, usize, f64),
+    /// Columba S 2-MUX: (w, h, L_f, #c_in, runtime).
+    pub s2: (f64, f64, f64, usize, f64),
+}
+
+/// The six rows of the paper's Table 1.
+pub const PAPER_TABLE1: [PaperRow; 6] = [
+    PaperRow {
+        label: "[8] 6u",
+        units: 6,
+        columba20: Some((19.40, 23.15, 135.1, 17, 309.1)),
+        s1: (19.80, 27.45, 77.05, 13, 0.8),
+        s2: (19.80, 34.20, 78.45, 20, 0.6),
+    },
+    PaperRow {
+        label: "[3] 9u",
+        units: 9,
+        columba20: Some((14.20, 41.50, 152.2, 26, 299.2)),
+        s1: (28.00, 30.75, 114.2, 13, 0.7),
+        s2: (28.00, 39.00, 113.1, 22, 0.9),
+    },
+    PaperRow {
+        label: "[7] 8u",
+        units: 8,
+        columba20: Some((28.55, 23.95, 219.5, 23, 705.1)),
+        s1: (22.20, 29.65, 146.85, 13, 0.7),
+        s2: (22.20, 37.90, 147.25, 22, 0.9),
+    },
+    PaperRow {
+        label: "[12] 21u",
+        units: 21,
+        columba20: Some((27.10, 57.70, 315.1, 31, 749.8)),
+        s1: (29.60, 57.25, 172.25, 13, 1.5),
+        s2: (29.60, 64.00, 172.25, 20, 1.5),
+    },
+    PaperRow {
+        label: "ChIP64 129u",
+        units: 129,
+        columba20: None,
+        s1: (132.60, 174.95, 3916.6, 17, 71.9),
+        s2: (79.80, 184.70, 2096.0, 28, 72.7),
+    },
+    PaperRow {
+        label: "ChIP128 257u",
+        units: 257,
+        columba20: None,
+        s1: (145.40, 322.15, 8338.65, 17, 156.2),
+        s2: (92.60, 333.40, 4827.4, 30, 157.7),
+    },
+];
+
+/// The netlists behind the Table 1 rows, in row order.
+#[must_use]
+pub fn table1_netlists(mux: MuxCount) -> Vec<Netlist> {
+    generators::table1_cases(mux).into_iter().map(|(_, n)| n).collect()
+}
+
+/// A Columba S flow tuned for harness runs: `search_budget` bounds the
+/// branch & bound on small cases; large cases auto-scale to the heuristic.
+#[must_use]
+pub fn harness_flow(search_budget: Duration) -> Columba {
+    Columba::with_options(SynthesisOptions {
+        layout: LayoutOptions { time_limit: search_budget, ..LayoutOptions::default() },
+        ..SynthesisOptions::default()
+    })
+}
+
+/// `"12.3x45.6"` dimension formatting.
+#[must_use]
+pub fn dim(w_mm: f64, h_mm: f64) -> String {
+    format!("{w_mm:.1}x{h_mm:.1}")
+}
+
+/// Seconds with sub-second resolution.
+#[must_use]
+pub fn secs(d: Duration) -> String {
+    if d.as_secs_f64() < 1.0 {
+        format!("{:.0}ms", d.as_secs_f64() * 1e3)
+    } else {
+        format!("{:.1}s", d.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_rows_match_generated_unit_counts() {
+        let netlists = table1_netlists(MuxCount::One);
+        for (row, n) in PAPER_TABLE1.iter().zip(&netlists) {
+            assert_eq!(row.units, n.functional_unit_count(), "{}", row.label);
+        }
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(dim(19.8, 27.4), "19.8x27.4");
+        assert_eq!(secs(Duration::from_millis(800)), "800ms");
+        assert_eq!(secs(Duration::from_secs_f64(71.9)), "71.9s");
+    }
+}

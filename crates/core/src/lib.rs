@@ -1,0 +1,282 @@
+//! Columba S: a scalable co-layout design automation tool for microfluidic
+//! large-scale integration — a from-scratch Rust reproduction of the DAC
+//! 2018 paper.
+//!
+//! Columba S turns a plain-text netlist of microfluidic functional units
+//! into a manufacturing-ready two-layer chip design: placed module models,
+//! straight flow/control channels, fluid inlets along the flow boundaries
+//! and binary multiplexers that drive `n` independent valves from
+//! `2·ceil(log2 n) + 1` pressure inlets. The full flow (paper Fig 5) is:
+//!
+//! ```text
+//! netlist description ──► planarization ──► layout generation (MILP)
+//!        ──► layout validation ──► MUX synthesis ──► DRC ──► CAD export
+//! ```
+//!
+//! # Quick start
+//!
+//! ```
+//! use columba_s::{Columba, Netlist};
+//!
+//! let netlist = Netlist::parse(
+//!     "chip demo\nmux 1\nmixer m1\nchamber c1\nport feed\nport out\n\
+//!      connect feed -> m1.left\nconnect m1.right -> c1.left\nconnect c1.right -> out\n",
+//! )?;
+//! let outcome = Columba::new().synthesize(&netlist)?;
+//! assert!(outcome.drc.is_clean());
+//! println!("{}", outcome.design.stats());
+//! # Ok::<(), columba_s::SynthesisError>(())
+//! ```
+//!
+//! The sub-crates are re-exported: [`netlist`], [`planar`], [`layout`],
+//! [`design`], [`modules`], [`mux`], [`sim`], [`cad`], [`milp`],
+//! [`baseline`], [`geom`].
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use columba_baseline as baseline;
+pub use columba_cad as cad;
+pub use columba_design as design;
+pub use columba_geom as geom;
+pub use columba_layout as layout;
+pub use columba_milp as milp;
+pub use columba_modules as modules;
+pub use columba_mux as mux;
+pub use columba_netlist as netlist;
+pub use columba_planar as planar;
+pub use columba_sim as sim;
+
+pub use columba_design::{drc::DrcReport, Design, DesignStats};
+pub use columba_layout::{LayoutError, LayoutOptions};
+pub use columba_netlist::{Netlist, NetlistError};
+pub use columba_planar::PlanarizeReport;
+
+/// Error raised by [`Columba::synthesize`].
+#[derive(Debug)]
+pub enum SynthesisError {
+    /// The input netlist is malformed.
+    Netlist(NetlistError),
+    /// Physical synthesis failed.
+    Layout(LayoutError),
+}
+
+impl fmt::Display for SynthesisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SynthesisError::Netlist(e) => write!(f, "netlist error: {e}"),
+            SynthesisError::Layout(e) => write!(f, "layout error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SynthesisError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SynthesisError::Netlist(e) => Some(e),
+            SynthesisError::Layout(e) => Some(e),
+        }
+    }
+}
+
+impl From<NetlistError> for SynthesisError {
+    fn from(e: NetlistError) -> SynthesisError {
+        SynthesisError::Netlist(e)
+    }
+}
+
+impl From<LayoutError> for SynthesisError {
+    fn from(e: LayoutError) -> SynthesisError {
+        SynthesisError::Layout(e)
+    }
+}
+
+/// Synthesis configuration.
+#[derive(Debug, Clone)]
+pub struct SynthesisOptions {
+    /// Physical-synthesis options (objective weights, solver budgets).
+    pub layout: LayoutOptions,
+    /// When `true`, designs above [`SynthesisOptions::scale_threshold`]
+    /// functional units use the scalable heuristic mode (constructive
+    /// placement + LP polish, no branching) automatically — this is what
+    /// keeps 200+-unit designs within the paper's three-minute envelope.
+    pub auto_scale: bool,
+    /// Unit count at which auto-scaling kicks in.
+    pub scale_threshold: usize,
+}
+
+impl Default for SynthesisOptions {
+    fn default() -> SynthesisOptions {
+        SynthesisOptions { layout: LayoutOptions::default(), auto_scale: true, scale_threshold: 24 }
+    }
+}
+
+/// Everything a synthesis run produces.
+#[derive(Debug, Clone)]
+pub struct SynthesisOutcome {
+    /// The manufacturing-ready design.
+    pub design: Design,
+    /// What planarization inserted.
+    pub planarize: PlanarizeReport,
+    /// Layout-generation diagnostics (MILP size, status, pruning, ...).
+    pub layout: columba_layout::LaygenReport,
+    /// Design-rule check over the final geometry.
+    pub drc: DrcReport,
+    /// End-to-end wall-clock time.
+    pub elapsed: Duration,
+}
+
+impl SynthesisOutcome {
+    /// The Table 1 feature values of the design.
+    #[must_use]
+    pub fn stats(&self) -> DesignStats {
+        self.design.stats()
+    }
+
+    /// Renders the design as an AutoCAD `.scr` script (paper §3.3).
+    ///
+    /// # Errors
+    ///
+    /// Never fails on the in-memory writer; kept for API symmetry.
+    pub fn to_autocad_script(&self) -> std::io::Result<String> {
+        let mut out = Vec::new();
+        columba_cad::write_scr(&self.design, &mut out)?;
+        Ok(String::from_utf8(out).expect("writer emits UTF-8"))
+    }
+
+    /// Renders the design as an SVG.
+    ///
+    /// # Errors
+    ///
+    /// Never fails on the in-memory writer; kept for API symmetry.
+    pub fn to_svg(&self) -> std::io::Result<String> {
+        let mut out = Vec::new();
+        columba_cad::write_svg(&self.design, &mut out)?;
+        Ok(String::from_utf8(out).expect("writer emits UTF-8"))
+    }
+}
+
+/// The Columba S design flow.
+///
+/// Construct with [`Columba::new`] (default options) or
+/// [`Columba::with_options`], then call [`Columba::synthesize`].
+#[derive(Debug, Clone, Default)]
+pub struct Columba {
+    options: SynthesisOptions,
+}
+
+impl Columba {
+    /// A flow with default options.
+    #[must_use]
+    pub fn new() -> Columba {
+        Columba::default()
+    }
+
+    /// A flow with explicit options.
+    #[must_use]
+    pub fn with_options(options: SynthesisOptions) -> Columba {
+        Columba { options }
+    }
+
+    /// The active options.
+    #[must_use]
+    pub fn options(&self) -> &SynthesisOptions {
+        &self.options
+    }
+
+    /// Runs the full design flow on a raw netlist: validation,
+    /// planarization, layout generation, layout validation, MUX synthesis
+    /// and DRC.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SynthesisError`] when the netlist is invalid or physical
+    /// synthesis fails. A DRC violation is *not* an error — inspect
+    /// [`SynthesisOutcome::drc`].
+    pub fn synthesize(&self, input: &Netlist) -> Result<SynthesisOutcome, SynthesisError> {
+        let start = Instant::now();
+        input.validate()?;
+        let (planarized, planarize) = columba_planar::planarize(input);
+        let mut layout_options = self.options.layout.clone();
+        if self.options.auto_scale
+            && planarized.functional_unit_count() > self.options.scale_threshold
+        {
+            layout_options.node_limit = 0;
+        }
+        let result = columba_layout::synthesize(&planarized, &layout_options)?;
+        Ok(SynthesisOutcome {
+            design: result.design,
+            planarize,
+            layout: result.laygen,
+            drc: result.drc,
+            elapsed: start.elapsed(),
+        })
+    }
+
+    /// Parses the plain-text netlist format and synthesizes it.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Columba::synthesize`], plus parse errors.
+    pub fn synthesize_text(&self, text: &str) -> Result<SynthesisOutcome, SynthesisError> {
+        let netlist = Netlist::parse(text)?;
+        self.synthesize(&netlist)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use columba_netlist::{generators, MuxCount};
+
+    #[test]
+    fn quickstart_flow() {
+        let n = generators::kinase_activity(MuxCount::One);
+        let flow = Columba::with_options(SynthesisOptions {
+            layout: LayoutOptions {
+                time_limit: std::time::Duration::from_secs(5),
+                ..LayoutOptions::default()
+            },
+            ..SynthesisOptions::default()
+        });
+        let out = flow.synthesize(&n).expect("synthesis succeeds");
+        assert!(out.drc.is_clean(), "{}", out.drc);
+        assert_eq!(out.design.muxes.len(), 1);
+        assert!(out.planarize.switches_added >= 1, "shared kinase inlet needs a switch");
+        let scr = out.to_autocad_script().unwrap();
+        assert!(scr.contains("RECTANG"));
+        let svg = out.to_svg().unwrap();
+        assert!(svg.contains("<svg"));
+    }
+
+    #[test]
+    fn auto_scale_switches_to_heuristic() {
+        let n = generators::chip_ip(16, MuxCount::One);
+        let flow = Columba::with_options(SynthesisOptions {
+            scale_threshold: 10,
+            ..SynthesisOptions::default()
+        });
+        let out = flow.synthesize(&n).unwrap();
+        // heuristic mode reports Feasible (hint-polish), not Optimal
+        assert_eq!(out.layout.status, columba_milp::SolveStatus::Feasible);
+        assert!(out.drc.is_clean(), "{}", out.drc);
+    }
+
+    #[test]
+    fn invalid_netlist_rejected() {
+        let empty = Netlist::new("empty");
+        assert!(matches!(
+            Columba::new().synthesize(&empty),
+            Err(SynthesisError::Netlist(_))
+        ));
+    }
+
+    #[test]
+    fn text_round_trip() {
+        let text = "chip t\nmixer m1\nport in1\nport out1\n\
+                    connect in1 -> m1.left\nconnect m1.right -> out1\n";
+        let out = Columba::new().synthesize_text(text).unwrap();
+        assert_eq!(out.design.modules.len(), 1);
+        assert!(out.drc.is_clean());
+    }
+}

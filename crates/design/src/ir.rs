@@ -1,0 +1,417 @@
+//! Design IR types.
+//!
+//! These are passive data structures in the C spirit: synthesis fills them
+//! in, downstream passes (DRC, simulation, CAD export) read them. Fields are
+//! public by design.
+
+use columba_geom::{Layer, Orientation, Point, Rect, Segment, Side, Um};
+use columba_netlist::ComponentId;
+
+/// Index of a module within [`Design::modules`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ModuleId(pub usize);
+
+/// Index of a channel within [`Design::channels`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ChannelId(pub usize);
+
+/// Index of a valve within [`Design::valves`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ValveId(pub usize);
+
+/// Index of an inlet within [`Design::inlets`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct InletId(pub usize);
+
+/// What a channel is for; determines which layer it lives on, its canonical
+/// orientation under the straight-routing discipline, and whether it counts
+/// towards `L_f`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ChannelRole {
+    /// Horizontal fluid-transport channel in the functional region. Counts
+    /// towards `L_f`.
+    FlowTransport,
+    /// Vertical control channel carrying pressure from a MUX boundary to
+    /// valves.
+    Control,
+    /// Pressurised flow-layer channel inside a multiplexer (used for
+    /// multiplexing, not fluid manipulation; excluded from `L_f`).
+    MuxFlow,
+    /// Flow-layer channel inside a module (mixer ring, switch spine, ...);
+    /// may bend, excluded from `L_f`.
+    InternalFlow,
+    /// Control-layer stub inside a module.
+    InternalControl,
+    /// Control-layer supply bus inside a multiplexer (joins every control
+    /// channel to the common pressure inlet).
+    MuxControl,
+}
+
+impl ChannelRole {
+    /// The physical layer this role occupies.
+    #[must_use]
+    pub fn layer(self) -> Layer {
+        match self {
+            ChannelRole::FlowTransport | ChannelRole::MuxFlow | ChannelRole::InternalFlow => {
+                Layer::Flow
+            }
+            ChannelRole::Control | ChannelRole::InternalControl | ChannelRole::MuxControl => {
+                Layer::Control
+            }
+        }
+    }
+
+    /// The orientation the straight-routing discipline demands, or `None`
+    /// when the role is exempt (module-internal geometry may bend).
+    #[must_use]
+    pub fn required_orientation(self) -> Option<Orientation> {
+        match self {
+            ChannelRole::FlowTransport => Some(Orientation::Horizontal),
+            ChannelRole::Control => Some(Orientation::Vertical),
+            _ => None,
+        }
+    }
+
+    /// `true` when the channel length counts towards `L_f`.
+    #[must_use]
+    pub fn counts_toward_flow_length(self) -> bool {
+        matches!(self, ChannelRole::FlowTransport)
+    }
+}
+
+/// A routed channel: one or more connected axis-aligned segments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Channel {
+    /// Purpose (fixes the layer).
+    pub role: ChannelRole,
+    /// The centreline path. Straight channels have exactly one segment.
+    pub path: Vec<Segment>,
+    /// The module this channel belongs to, for internal channels; `None`
+    /// for transport/control/MUX channels owned by the chip.
+    pub owner: Option<ModuleId>,
+}
+
+impl Channel {
+    /// A single-segment channel.
+    #[must_use]
+    pub fn straight(role: ChannelRole, segment: Segment, owner: Option<ModuleId>) -> Channel {
+        Channel { role, path: vec![segment], owner }
+    }
+
+    /// Total centreline length.
+    #[must_use]
+    pub fn length(&self) -> Um {
+        self.path.iter().map(Segment::length).sum()
+    }
+
+    /// The physical layer.
+    #[must_use]
+    pub fn layer(&self) -> Layer {
+        self.role.layer()
+    }
+
+    /// Bounding rectangle of the whole path (inflated by channel widths).
+    ///
+    /// Returns `None` for an empty path.
+    #[must_use]
+    pub fn bounding_rect(&self) -> Option<Rect> {
+        let rects: Vec<Rect> = self.path.iter().map(Segment::to_rect).collect();
+        Rect::bounding(rects.iter())
+    }
+}
+
+/// Kinds of valves in the module model library and the multiplexers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ValveKind {
+    /// Peristaltic pumping valve of a rotary mixer.
+    Pumping,
+    /// Sieve valve (washing support, Fig 3(c)).
+    Sieve,
+    /// Separation valve / cell trap (Fig 3(d)).
+    Separation,
+    /// Fluid-guidance valve at a switch junction.
+    Switch,
+    /// Multiplexer valve: a MUX-flow channel inflating over a control
+    /// channel.
+    Mux,
+    /// Plain isolation valve on a transport channel.
+    Isolation,
+}
+
+/// A valve: the membrane pad where a control segment crosses a flow segment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Valve {
+    /// Valve type.
+    pub kind: ValveKind,
+    /// The membrane pad area.
+    pub rect: Rect,
+    /// The control channel that actuates this valve (`None` for MUX valves,
+    /// which are actuated by their MUX-flow channel instead).
+    pub control: Option<ChannelId>,
+    /// The flow channel this valve blocks when inflated (for
+    /// [`ValveKind::Mux`], the *control* channel being blocked is stored
+    /// here — MUX valves invert the roles).
+    pub blocks: Option<ChannelId>,
+    /// Owning module, if any.
+    pub owner: Option<ModuleId>,
+}
+
+/// Whether an inlet carries fluid or pressure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InletKind {
+    /// Fluid inlet/outlet on a flow boundary.
+    Fluid,
+    /// Pressure inlet feeding a control channel or a MUX.
+    Pressure,
+}
+
+/// A chip-boundary inlet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Inlet {
+    /// Human-readable name (port name or MUX role).
+    pub name: String,
+    /// Punch position.
+    pub position: Point,
+    /// Fluid or pressure.
+    pub kind: InletKind,
+    /// Which chip boundary it sits on.
+    pub side: Side,
+}
+
+/// A placed module: the physical footprint of one netlist component.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlacedModule {
+    /// The netlist component this realises.
+    pub component: ComponentId,
+    /// Component name (copied for convenience).
+    pub name: String,
+    /// Placed footprint.
+    pub rect: Rect,
+}
+
+/// One multiplexer valve assignment: which MUX-flow line holds a valve over
+/// which control channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MuxValve {
+    /// Address bit index (0 = least significant).
+    pub bit: usize,
+    /// `true` when this valve sits on the *complement* line of the bit pair
+    /// (the line inflated when the bit is 0).
+    pub on_complement_line: bool,
+    /// Index into [`MuxUnit::controlled`].
+    pub channel: usize,
+    /// The valve in [`Design::valves`].
+    pub valve: ValveId,
+}
+
+/// A synthesized binary multiplexer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MuxUnit {
+    /// Which chip boundary the MUX occupies ([`Side::Bottom`] or
+    /// [`Side::Top`]).
+    pub side: Side,
+    /// The control channels this MUX drives, in index order (channel `i`
+    /// has binary address `i`).
+    pub controlled: Vec<ChannelId>,
+    /// Region occupied by the MUX.
+    pub region: Rect,
+    /// The pressure-supply inlet.
+    pub supply: InletId,
+    /// One `(line, complement-line)` pressure inlet pair per address bit.
+    pub bit_inlets: Vec<(InletId, InletId)>,
+    /// The MUX-flow channels, one pair per bit, `(line, complement)`.
+    pub bit_lines: Vec<(ChannelId, ChannelId)>,
+    /// All MUX valves.
+    pub valves: Vec<MuxValve>,
+}
+
+impl MuxUnit {
+    /// Number of address bits (`ceil(log2(n))`).
+    #[must_use]
+    pub fn bits(&self) -> usize {
+        self.bit_lines.len()
+    }
+
+    /// Pressure inlets used by this MUX: `2·bits + 1`.
+    #[must_use]
+    pub fn inlet_count(&self) -> usize {
+        2 * self.bits() + 1
+    }
+}
+
+/// One independent control line: a vertical control channel reaching a MUX
+/// boundary, together with every valve it actuates (several, when parallel
+/// units share the line or a valve group is ganged).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ControlLine {
+    /// Line name (module + pin role).
+    pub name: String,
+    /// The external [`ChannelRole::Control`] channel.
+    pub channel: ChannelId,
+    /// Valves actuated when this line is pressurised.
+    pub valves: Vec<ValveId>,
+}
+
+/// A complete physical design.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Design {
+    /// Chip name (from the netlist).
+    pub name: String,
+    /// Chip outline including flow boundaries and MUX regions.
+    pub chip: Rect,
+    /// The functional region (all fluid manipulation happens here).
+    pub functional_region: Rect,
+    /// Placed modules.
+    pub modules: Vec<PlacedModule>,
+    /// All channels on both layers.
+    pub channels: Vec<Channel>,
+    /// All valves.
+    pub valves: Vec<Valve>,
+    /// All chip-boundary inlets.
+    pub inlets: Vec<Inlet>,
+    /// Synthesized multiplexers (0, 1 or 2).
+    pub muxes: Vec<MuxUnit>,
+    /// Independent control lines (channel → valves actuated).
+    pub control_lines: Vec<ControlLine>,
+}
+
+impl Design {
+    /// An empty design whose functional region equals the chip outline.
+    #[must_use]
+    pub fn new(name: impl Into<String>, chip: Rect) -> Design {
+        Design {
+            name: name.into(),
+            chip,
+            functional_region: chip,
+            modules: Vec::new(),
+            channels: Vec::new(),
+            valves: Vec::new(),
+            inlets: Vec::new(),
+            muxes: Vec::new(),
+            control_lines: Vec::new(),
+        }
+    }
+
+    /// Adds a channel and returns its id.
+    pub fn add_channel(&mut self, channel: Channel) -> ChannelId {
+        self.channels.push(channel);
+        ChannelId(self.channels.len() - 1)
+    }
+
+    /// Adds a valve and returns its id.
+    pub fn add_valve(&mut self, valve: Valve) -> ValveId {
+        self.valves.push(valve);
+        ValveId(self.valves.len() - 1)
+    }
+
+    /// Adds an inlet and returns its id.
+    pub fn add_inlet(&mut self, inlet: Inlet) -> InletId {
+        self.inlets.push(inlet);
+        InletId(self.inlets.len() - 1)
+    }
+
+    /// The channel behind `id`.
+    #[must_use]
+    pub fn channel(&self, id: ChannelId) -> &Channel {
+        &self.channels[id.0]
+    }
+
+    /// The valve behind `id`.
+    #[must_use]
+    pub fn valve(&self, id: ValveId) -> &Valve {
+        &self.valves[id.0]
+    }
+
+    /// The inlet behind `id`.
+    #[must_use]
+    pub fn inlet(&self, id: InletId) -> &Inlet {
+        &self.inlets[id.0]
+    }
+
+    /// Channels with a given role.
+    pub fn channels_with_role(&self, role: ChannelRole) -> impl Iterator<Item = (ChannelId, &Channel)> {
+        self.channels
+            .iter()
+            .enumerate()
+            .filter(move |(_, c)| c.role == role)
+            .map(|(i, c)| (ChannelId(i), c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg_h() -> Segment {
+        Segment::horizontal(Um(500), Um(0), Um(2_000), Um(100))
+    }
+
+    #[test]
+    fn role_layer_and_orientation() {
+        assert_eq!(ChannelRole::FlowTransport.layer(), Layer::Flow);
+        assert_eq!(ChannelRole::Control.layer(), Layer::Control);
+        assert_eq!(ChannelRole::MuxFlow.layer(), Layer::Flow);
+        assert_eq!(
+            ChannelRole::FlowTransport.required_orientation(),
+            Some(Orientation::Horizontal)
+        );
+        assert_eq!(ChannelRole::Control.required_orientation(), Some(Orientation::Vertical));
+        assert_eq!(ChannelRole::InternalFlow.required_orientation(), None);
+        assert!(ChannelRole::FlowTransport.counts_toward_flow_length());
+        assert!(!ChannelRole::MuxFlow.counts_toward_flow_length());
+    }
+
+    #[test]
+    fn channel_length_sums_path() {
+        let c = Channel {
+            role: ChannelRole::InternalFlow,
+            path: vec![
+                Segment::horizontal(Um(0), Um(0), Um(300), Um(100)),
+                Segment::vertical(Um(300), Um(0), Um(200), Um(100)),
+            ],
+            owner: Some(ModuleId(0)),
+        };
+        assert_eq!(c.length(), Um(500));
+        let bb = c.bounding_rect().unwrap();
+        assert_eq!(bb, Rect::new(Um(0), Um(350), Um(-50), Um(200)));
+    }
+
+    #[test]
+    fn design_id_accessors() {
+        let mut d = Design::new("t", Rect::new(Um(0), Um(5_000), Um(0), Um(5_000)));
+        let ch = d.add_channel(Channel::straight(ChannelRole::FlowTransport, seg_h(), None));
+        let v = d.add_valve(Valve {
+            kind: ValveKind::Isolation,
+            rect: Rect::new(Um(900), Um(1_100), Um(400), Um(600)),
+            control: None,
+            blocks: Some(ch),
+            owner: None,
+        });
+        let inl = d.add_inlet(Inlet {
+            name: "in".into(),
+            position: Point::new(Um(0), Um(500)),
+            kind: InletKind::Fluid,
+            side: Side::Left,
+        });
+        assert_eq!(d.channel(ch).role, ChannelRole::FlowTransport);
+        assert_eq!(d.valve(v).blocks, Some(ch));
+        assert_eq!(d.inlet(inl).kind, InletKind::Fluid);
+        assert_eq!(d.channels_with_role(ChannelRole::FlowTransport).count(), 1);
+        assert_eq!(d.channels_with_role(ChannelRole::Control).count(), 0);
+    }
+
+    #[test]
+    fn mux_inlet_arithmetic() {
+        let m = MuxUnit {
+            side: Side::Bottom,
+            controlled: (0..15).map(ChannelId).collect(),
+            region: Rect::new(Um(0), Um(1_000), Um(0), Um(1_000)),
+            supply: InletId(0),
+            bit_inlets: (0..4).map(|i| (InletId(2 * i + 1), InletId(2 * i + 2))).collect(),
+            bit_lines: (0..4).map(|i| (ChannelId(100 + 2 * i), ChannelId(101 + 2 * i))).collect(),
+            valves: Vec::new(),
+        };
+        assert_eq!(m.bits(), 4);
+        assert_eq!(m.inlet_count(), 9, "2*ceil(log2(15)) + 1 = 9");
+    }
+}

@@ -1,0 +1,43 @@
+//! Physical design intermediate representation, statistics and DRC.
+//!
+//! A [`Design`] is the output of physical synthesis: placed modules, routed
+//! channels on both layers, valves, fluid/pressure inlets and multiplexer
+//! units, all in exact micrometre geometry. It is consumed by the CAD
+//! writers, the behavioural simulator and the design-rule checker, and it
+//! exposes the metrics reported in the paper's Table 1 via
+//! [`Design::stats`]:
+//!
+//! * chip dimension (`v_x_max × v_y_max`),
+//! * functional-region flow-channel length `L_f` (MUX-internal flow
+//!   channels excluded, as in the paper),
+//! * number of control inlets `#c_in` and fluid inlets.
+//!
+//! [`drc::check`] verifies the design rules: same-layer clearance, the
+//! straight-routing discipline, chip containment, inlet pitch `d'` and valve
+//! positioning.
+//!
+//! # Examples
+//!
+//! ```
+//! use columba_design::{Channel, ChannelRole, Design};
+//! use columba_geom::{Layer, Rect, Segment, Um};
+//!
+//! let mut d = Design::new("demo", Rect::new(Um(0), Um(10_000), Um(0), Um(8_000)));
+//! d.channels.push(Channel::straight(
+//!     ChannelRole::FlowTransport,
+//!     Segment::horizontal(Um(4_000), Um(0), Um(10_000), Um(100)),
+//!     None,
+//! ));
+//! assert_eq!(d.stats().flow_channel_length, Um(10_000));
+//! assert!(columba_design::drc::check(&d).is_clean());
+//! ```
+
+pub mod drc;
+mod ir;
+mod stats;
+
+pub use ir::{
+    Channel, ChannelId, ChannelRole, ControlLine, Design, Inlet, InletId, InletKind, ModuleId,
+    MuxUnit, MuxValve, PlacedModule, Valve, ValveId, ValveKind,
+};
+pub use stats::DesignStats;

@@ -1,0 +1,127 @@
+//! Table 1 metrics extracted from a design.
+
+use std::fmt;
+
+use columba_geom::Um;
+
+use crate::ir::{ChannelRole, Design, InletKind};
+
+/// The design features reported in the paper's Table 1, plus a few extras.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DesignStats {
+    /// Chip x dimension (`v_x_max`).
+    pub width: Um,
+    /// Chip y dimension (`v_y_max`).
+    pub height: Um,
+    /// Total flow channel length `L_f` in the functional region
+    /// (MUX-internal and module-internal channels excluded).
+    pub flow_channel_length: Um,
+    /// Number of control (pressure) inlets `#c_in`.
+    pub control_inlets: usize,
+    /// Number of fluid inlets.
+    pub fluid_inlets: usize,
+    /// Number of valves, all kinds.
+    pub valves: usize,
+    /// Number of placed modules.
+    pub modules: usize,
+    /// Number of control channels entering the MUX boundaries.
+    pub control_channels: usize,
+}
+
+impl DesignStats {
+    /// Chip area in mm².
+    #[must_use]
+    pub fn area_mm2(&self) -> f64 {
+        self.width.to_mm() * self.height.to_mm()
+    }
+}
+
+impl fmt::Display for DesignStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.2}x{:.2}mm, L_f={:.2}mm, #c_in={}, fluid inlets={}, {} valves, {} modules",
+            self.width.to_mm(),
+            self.height.to_mm(),
+            self.flow_channel_length.to_mm(),
+            self.control_inlets,
+            self.fluid_inlets,
+            self.valves,
+            self.modules
+        )
+    }
+}
+
+impl Design {
+    /// Computes the Table 1 feature values for this design.
+    #[must_use]
+    pub fn stats(&self) -> DesignStats {
+        let flow_channel_length = self
+            .channels
+            .iter()
+            .filter(|c| c.role.counts_toward_flow_length())
+            .map(super::Channel::length)
+            .sum();
+        DesignStats {
+            width: self.chip.width(),
+            height: self.chip.height(),
+            flow_channel_length,
+            control_inlets: self
+                .inlets
+                .iter()
+                .filter(|i| i.kind == InletKind::Pressure)
+                .count(),
+            fluid_inlets: self.inlets.iter().filter(|i| i.kind == InletKind::Fluid).count(),
+            valves: self.valves.len(),
+            modules: self.modules.len(),
+            control_channels: self.channels_with_role(ChannelRole::Control).count(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{Channel, Inlet};
+    use columba_geom::{Point, Rect, Segment, Side};
+
+    #[test]
+    fn stats_respect_role_filters() {
+        let mut d = Design::new("t", Rect::new(Um(0), Um(20_000), Um(0), Um(10_000)));
+        d.channels.push(Channel::straight(
+            ChannelRole::FlowTransport,
+            Segment::horizontal(Um(1_000), Um(0), Um(5_000), Um(100)),
+            None,
+        ));
+        d.channels.push(Channel::straight(
+            ChannelRole::MuxFlow,
+            Segment::horizontal(Um(2_000), Um(0), Um(9_000), Um(100)),
+            None,
+        ));
+        d.channels.push(Channel::straight(
+            ChannelRole::Control,
+            Segment::vertical(Um(500), Um(0), Um(7_000), Um(100)),
+            None,
+        ));
+        d.inlets.push(Inlet {
+            name: "p1".into(),
+            position: Point::ORIGIN,
+            kind: InletKind::Pressure,
+            side: Side::Bottom,
+        });
+        d.inlets.push(Inlet {
+            name: "f1".into(),
+            position: Point::new(Um(0), Um(1_000)),
+            kind: InletKind::Fluid,
+            side: Side::Left,
+        });
+        let s = d.stats();
+        assert_eq!(s.flow_channel_length, Um(5_000), "MUX flow excluded from L_f");
+        assert_eq!(s.control_inlets, 1);
+        assert_eq!(s.fluid_inlets, 1);
+        assert_eq!(s.control_channels, 1);
+        assert_eq!(s.width, Um(20_000));
+        assert!((s.area_mm2() - 200.0).abs() < 1e-9);
+        assert!(s.to_string().contains("L_f=5.00mm"));
+    }
+}

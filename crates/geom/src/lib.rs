@@ -1,0 +1,215 @@
+//! Geometry and design-rule substrate for the Columba S reproduction.
+//!
+//! Every physical quantity in the tool is an integer number of micrometres
+//! ([`Um`]); coordinates are points on the chip plane, and every placed
+//! object — module footprints, channel segments, valves, inlets — is an
+//! axis-aligned rectangle ([`Rect`]) or segment ([`Segment`]).
+//!
+//! The design rules of the paper are exposed as constants:
+//! [`MIN_CHANNEL_SPACING`] (`d` = 100 µm) and [`INLET_PITCH`]
+//! (`d'` = 750 µm).
+//!
+//! # Examples
+//!
+//! ```
+//! use columba_geom::{Rect, Um};
+//!
+//! let module = Rect::new(Um(0), Um(3_000), Um(0), Um(1_500));
+//! assert_eq!(module.width(), Um(3_000));
+//! assert_eq!(module.area_um2(), 4_500_000);
+//! ```
+
+mod point;
+mod rect;
+mod segment;
+mod units;
+
+pub use point::Point;
+pub use rect::Rect;
+pub use segment::{DiagonalSegmentError, Segment};
+pub use units::Um;
+
+/// Minimum spacing distance between channels (`d` in the paper): 100 µm.
+pub const MIN_CHANNEL_SPACING: Um = Um(100);
+
+/// Pitch that prevents fluid inlets in the flow boundaries from overlapping
+/// (`d'` in the paper): 750 µm.
+pub const INLET_PITCH: Um = Um(750);
+
+/// Width of a control channel rectangle in the layout models: `2d`.
+pub const CONTROL_CHANNEL_WIDTH: Um = Um(2 * MIN_CHANNEL_SPACING.0);
+
+/// Height of a flow channel rectangle in the layout models: `2d`.
+pub const FLOW_CHANNEL_HEIGHT: Um = Um(2 * MIN_CHANNEL_SPACING.0);
+
+/// The two physical layers of an mLSI chip.
+///
+/// Channel rectangles on different layers are allowed to overlap (a valve
+/// forms wherever a control segment crosses a flow segment and is so
+/// designated); rectangles on the same layer must keep clear of each other.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Layer {
+    /// The flow layer transports fluids.
+    Flow,
+    /// The control layer transports pressure.
+    Control,
+}
+
+impl Layer {
+    /// The opposite layer.
+    #[must_use]
+    pub fn other(self) -> Layer {
+        match self {
+            Layer::Flow => Layer::Control,
+            Layer::Control => Layer::Flow,
+        }
+    }
+}
+
+impl std::fmt::Display for Layer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Layer::Flow => f.write_str("flow"),
+            Layer::Control => f.write_str("control"),
+        }
+    }
+}
+
+/// Routing direction of a straight channel.
+///
+/// Under the Columba S routing discipline all flow channels are
+/// [`Orientation::Horizontal`] and all control channels are
+/// [`Orientation::Vertical`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Orientation {
+    /// Extends in the x direction.
+    Horizontal,
+    /// Extends in the y direction.
+    Vertical,
+}
+
+impl Orientation {
+    /// The perpendicular orientation.
+    #[must_use]
+    pub fn perpendicular(self) -> Orientation {
+        match self {
+            Orientation::Horizontal => Orientation::Vertical,
+            Orientation::Vertical => Orientation::Horizontal,
+        }
+    }
+
+    /// The canonical orientation of channels on `layer` under the Columba S
+    /// straight-routing discipline.
+    #[must_use]
+    pub fn for_layer(layer: Layer) -> Orientation {
+        match layer {
+            Layer::Flow => Orientation::Horizontal,
+            Layer::Control => Orientation::Vertical,
+        }
+    }
+}
+
+impl std::fmt::Display for Orientation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Orientation::Horizontal => f.write_str("horizontal"),
+            Orientation::Vertical => f.write_str("vertical"),
+        }
+    }
+}
+
+/// One of the four sides of a rectangle or of the chip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Side {
+    /// Low x.
+    Left,
+    /// High x.
+    Right,
+    /// Low y.
+    Bottom,
+    /// High y.
+    Top,
+}
+
+impl Side {
+    /// The opposite side.
+    #[must_use]
+    pub fn opposite(self) -> Side {
+        match self {
+            Side::Left => Side::Right,
+            Side::Right => Side::Left,
+            Side::Bottom => Side::Top,
+            Side::Top => Side::Bottom,
+        }
+    }
+
+    /// `true` for [`Side::Left`] and [`Side::Right`].
+    #[must_use]
+    pub fn is_horizontal(self) -> bool {
+        matches!(self, Side::Left | Side::Right)
+    }
+
+    /// All four sides in a fixed order.
+    #[must_use]
+    pub fn all() -> [Side; 4] {
+        [Side::Left, Side::Right, Side::Bottom, Side::Top]
+    }
+}
+
+impl std::fmt::Display for Side {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Side::Left => f.write_str("left"),
+            Side::Right => f.write_str("right"),
+            Side::Bottom => f.write_str("bottom"),
+            Side::Top => f.write_str("top"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layer_other_round_trips() {
+        assert_eq!(Layer::Flow.other(), Layer::Control);
+        assert_eq!(Layer::Control.other().other(), Layer::Control);
+    }
+
+    #[test]
+    fn orientation_for_layer_follows_discipline() {
+        assert_eq!(Orientation::for_layer(Layer::Flow), Orientation::Horizontal);
+        assert_eq!(Orientation::for_layer(Layer::Control), Orientation::Vertical);
+    }
+
+    #[test]
+    fn orientation_perpendicular_is_involution() {
+        for o in [Orientation::Horizontal, Orientation::Vertical] {
+            assert_eq!(o.perpendicular().perpendicular(), o);
+        }
+    }
+
+    #[test]
+    fn side_opposite_is_involution() {
+        for s in Side::all() {
+            assert_eq!(s.opposite().opposite(), s);
+            assert_ne!(s.opposite(), s);
+        }
+    }
+
+    #[test]
+    fn design_rule_constants_match_paper() {
+        assert_eq!(MIN_CHANNEL_SPACING, Um(100));
+        assert_eq!(INLET_PITCH, Um(750));
+        assert_eq!(CONTROL_CHANNEL_WIDTH, Um(200));
+        assert_eq!(FLOW_CHANNEL_HEIGHT, Um(200));
+    }
+
+    #[test]
+    fn displays_are_nonempty() {
+        assert_eq!(Layer::Flow.to_string(), "flow");
+        assert_eq!(Orientation::Vertical.to_string(), "vertical");
+        assert_eq!(Side::Top.to_string(), "top");
+    }
+}

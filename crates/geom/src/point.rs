@@ -1,0 +1,94 @@
+//! Points on the chip plane.
+
+use std::fmt;
+use std::ops::{Add, Sub};
+
+use crate::Um;
+
+/// A point on the chip plane, in micrometres.
+///
+/// # Examples
+///
+/// ```
+/// use columba_geom::{Point, Um};
+///
+/// let p = Point::new(Um(100), Um(200));
+/// let q = p.translated(Um(50), Um(-200));
+/// assert_eq!(q, Point::new(Um(150), Um(0)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Point {
+    /// x coordinate.
+    pub x: Um,
+    /// y coordinate.
+    pub y: Um,
+}
+
+impl Point {
+    /// The origin.
+    pub const ORIGIN: Point = Point { x: Um(0), y: Um(0) };
+
+    /// Creates a point.
+    #[must_use]
+    pub fn new(x: Um, y: Um) -> Point {
+        Point { x, y }
+    }
+
+    /// This point moved by `(dx, dy)`.
+    #[must_use]
+    pub fn translated(self, dx: Um, dy: Um) -> Point {
+        Point::new(self.x + dx, self.y + dy)
+    }
+
+    /// Manhattan (L1) distance to `other`.
+    #[must_use]
+    pub fn manhattan_distance(self, other: Point) -> Um {
+        (self.x - other.x).abs() + (self.y - other.y).abs()
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+impl Add for Point {
+    type Output = Point;
+    fn add(self, rhs: Point) -> Point {
+        Point::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl Sub for Point {
+    type Output = Point;
+    fn sub(self, rhs: Point) -> Point {
+        Point::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn translation_and_arithmetic() {
+        let p = Point::new(Um(10), Um(20));
+        assert_eq!(p.translated(Um(-10), Um(5)), Point::new(Um(0), Um(25)));
+        assert_eq!(p + Point::new(Um(1), Um(2)), Point::new(Um(11), Um(22)));
+        assert_eq!(p - p, Point::ORIGIN);
+    }
+
+    #[test]
+    fn manhattan_distance_is_symmetric() {
+        let a = Point::new(Um(0), Um(0));
+        let b = Point::new(Um(3), Um(-4));
+        assert_eq!(a.manhattan_distance(b), Um(7));
+        assert_eq!(b.manhattan_distance(a), Um(7));
+    }
+
+    #[test]
+    fn display_shows_both_coordinates() {
+        assert_eq!(Point::new(Um(1), Um(2)).to_string(), "(1um, 2um)");
+    }
+}

@@ -1,0 +1,284 @@
+//! Axis-aligned rectangles.
+
+use std::fmt;
+
+use crate::{Point, Um};
+
+/// An axis-aligned rectangle `[x_l, x_r] × [y_b, y_t]` in micrometres.
+///
+/// Rectangles model module footprints, merged channel boxes, valve pads and
+/// the chip outline itself, mirroring the rectangle variables
+/// `v_{r,x_l}, v_{r,x_r}, v_{r,y_t}, v_{r,y_b}` of the paper's MILP models.
+///
+/// A rectangle may be degenerate (zero width or height); such rectangles are
+/// used for pins and boundary markers.
+///
+/// # Examples
+///
+/// ```
+/// use columba_geom::{Rect, Um};
+///
+/// let a = Rect::new(Um(0), Um(10), Um(0), Um(10));
+/// let b = Rect::new(Um(10), Um(20), Um(0), Um(10));
+/// assert!(!a.overlaps(&b)); // touching edges are allowed
+/// assert!(a.touches(&b));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Rect {
+    x_l: Um,
+    x_r: Um,
+    y_b: Um,
+    y_t: Um,
+}
+
+impl Rect {
+    /// Creates a rectangle from its four boundary coordinates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x_l > x_r` or `y_b > y_t`.
+    #[must_use]
+    pub fn new(x_l: Um, x_r: Um, y_b: Um, y_t: Um) -> Rect {
+        assert!(x_l <= x_r, "rectangle has x_l {x_l} > x_r {x_r}");
+        assert!(y_b <= y_t, "rectangle has y_b {y_b} > y_t {y_t}");
+        Rect { x_l, x_r, y_b, y_t }
+    }
+
+    /// Creates a rectangle from its bottom-left corner and size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` or `height` is negative.
+    #[must_use]
+    pub fn from_origin_size(origin: Point, width: Um, height: Um) -> Rect {
+        Rect::new(origin.x, origin.x + width, origin.y, origin.y + height)
+    }
+
+    /// Left boundary x coordinate.
+    #[must_use]
+    pub fn x_l(&self) -> Um {
+        self.x_l
+    }
+
+    /// Right boundary x coordinate.
+    #[must_use]
+    pub fn x_r(&self) -> Um {
+        self.x_r
+    }
+
+    /// Bottom boundary y coordinate.
+    #[must_use]
+    pub fn y_b(&self) -> Um {
+        self.y_b
+    }
+
+    /// Top boundary y coordinate.
+    #[must_use]
+    pub fn y_t(&self) -> Um {
+        self.y_t
+    }
+
+    /// Width (`x_r - x_l`).
+    #[must_use]
+    pub fn width(&self) -> Um {
+        self.x_r - self.x_l
+    }
+
+    /// Height (`y_t - y_b`).
+    #[must_use]
+    pub fn height(&self) -> Um {
+        self.y_t - self.y_b
+    }
+
+    /// Area in square micrometres.
+    #[must_use]
+    pub fn area_um2(&self) -> i128 {
+        i128::from(self.width().raw()) * i128::from(self.height().raw())
+    }
+
+    /// Area in square millimetres.
+    #[must_use]
+    pub fn area_mm2(&self) -> f64 {
+        self.area_um2() as f64 / 1e6
+    }
+
+    /// Centre point (rounded down to the micrometre grid).
+    #[must_use]
+    pub fn center(&self) -> Point {
+        Point::new((self.x_l + self.x_r) / 2, (self.y_b + self.y_t) / 2)
+    }
+
+    /// Bottom-left corner.
+    #[must_use]
+    pub fn origin(&self) -> Point {
+        Point::new(self.x_l, self.y_b)
+    }
+
+    /// `true` when the *open* interiors intersect.
+    ///
+    /// Touching boundaries do not count as overlap: the paper's rectangles
+    /// already include the minimum spacing `d`, so two rectangles may be
+    /// placed flush against each other.
+    #[must_use]
+    pub fn overlaps(&self, other: &Rect) -> bool {
+        self.x_l < other.x_r && other.x_l < self.x_r && self.y_b < other.y_t && other.y_b < self.y_t
+    }
+
+    /// `true` when the closed rectangles intersect (shared edges count).
+    #[must_use]
+    pub fn touches(&self, other: &Rect) -> bool {
+        self.x_l <= other.x_r
+            && other.x_l <= self.x_r
+            && self.y_b <= other.y_t
+            && other.y_b <= self.y_t
+    }
+
+    /// `true` when `other` lies entirely inside `self` (boundaries allowed).
+    #[must_use]
+    pub fn contains_rect(&self, other: &Rect) -> bool {
+        self.x_l <= other.x_l && other.x_r <= self.x_r && self.y_b <= other.y_b && other.y_t <= self.y_t
+    }
+
+    /// `true` when `p` lies inside or on the boundary.
+    #[must_use]
+    pub fn contains_point(&self, p: Point) -> bool {
+        self.x_l <= p.x && p.x <= self.x_r && self.y_b <= p.y && p.y <= self.y_t
+    }
+
+    /// The intersection rectangle, or `None` when the closed rectangles are
+    /// disjoint.
+    #[must_use]
+    pub fn intersection(&self, other: &Rect) -> Option<Rect> {
+        if !self.touches(other) {
+            return None;
+        }
+        Some(Rect::new(
+            self.x_l.max(other.x_l),
+            self.x_r.min(other.x_r),
+            self.y_b.max(other.y_b),
+            self.y_t.min(other.y_t),
+        ))
+    }
+
+    /// The smallest rectangle covering both.
+    #[must_use]
+    pub fn union(&self, other: &Rect) -> Rect {
+        Rect::new(
+            self.x_l.min(other.x_l),
+            self.x_r.max(other.x_r),
+            self.y_b.min(other.y_b),
+            self.y_t.max(other.y_t),
+        )
+    }
+
+    /// This rectangle moved by `(dx, dy)`.
+    #[must_use]
+    pub fn translated(&self, dx: Um, dy: Um) -> Rect {
+        Rect::new(self.x_l + dx, self.x_r + dx, self.y_b + dy, self.y_t + dy)
+    }
+
+    /// This rectangle grown by `margin` on every side.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a negative margin would invert the rectangle.
+    #[must_use]
+    pub fn expanded(&self, margin: Um) -> Rect {
+        Rect::new(self.x_l - margin, self.x_r + margin, self.y_b - margin, self.y_t + margin)
+    }
+
+    /// The smallest rectangle covering every rectangle in `rects`, or `None`
+    /// for an empty iterator.
+    #[must_use]
+    pub fn bounding<'a, I: IntoIterator<Item = &'a Rect>>(rects: I) -> Option<Rect> {
+        let mut it = rects.into_iter();
+        let first = *it.next()?;
+        Some(it.fold(first, |acc, r| acc.union(r)))
+    }
+}
+
+impl fmt::Display for Rect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}..{}]x[{}..{}]", self.x_l, self.x_r, self.y_b, self.y_t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(a: i64, b: i64, c: i64, d: i64) -> Rect {
+        Rect::new(Um(a), Um(b), Um(c), Um(d))
+    }
+
+    #[test]
+    fn dimensions_and_area() {
+        let x = r(1, 4, 2, 7);
+        assert_eq!(x.width(), Um(3));
+        assert_eq!(x.height(), Um(5));
+        assert_eq!(x.area_um2(), 15);
+        assert_eq!(x.center(), Point::new(Um(2), Um(4)));
+    }
+
+    #[test]
+    #[should_panic(expected = "x_l")]
+    fn inverted_rect_panics() {
+        let _ = r(5, 4, 0, 1);
+    }
+
+    #[test]
+    fn overlap_is_open_touch_is_closed() {
+        let a = r(0, 10, 0, 10);
+        let flush = r(10, 20, 0, 10);
+        let apart = r(11, 20, 0, 10);
+        let inner = r(2, 3, 2, 3);
+        assert!(!a.overlaps(&flush));
+        assert!(a.touches(&flush));
+        assert!(!a.overlaps(&apart));
+        assert!(!a.touches(&apart));
+        assert!(a.overlaps(&inner));
+        assert!(a.contains_rect(&inner));
+        assert!(!inner.contains_rect(&a));
+    }
+
+    #[test]
+    fn degenerate_rectangles_behave() {
+        let pin = r(5, 5, 0, 10); // zero-width pin line
+        let body = r(0, 5, 0, 10);
+        assert!(!pin.overlaps(&body)); // open interior is empty
+        assert!(pin.touches(&body));
+        assert!(body.contains_point(Point::new(Um(5), Um(5))));
+    }
+
+    #[test]
+    fn intersection_and_union() {
+        let a = r(0, 10, 0, 10);
+        let b = r(5, 15, 5, 15);
+        assert_eq!(a.intersection(&b), Some(r(5, 10, 5, 10)));
+        assert_eq!(a.union(&b), r(0, 15, 0, 15));
+        assert_eq!(a.intersection(&r(20, 30, 0, 10)), None);
+    }
+
+    #[test]
+    fn translate_expand_bound() {
+        let a = r(0, 10, 0, 10);
+        assert_eq!(a.translated(Um(5), Um(-5)), r(5, 15, -5, 5));
+        assert_eq!(a.expanded(Um(2)), r(-2, 12, -2, 12));
+        let all = [r(0, 1, 0, 1), r(5, 6, -3, 0)];
+        assert_eq!(Rect::bounding(all.iter()), Some(r(0, 6, -3, 1)));
+        assert_eq!(Rect::bounding(std::iter::empty()), None);
+    }
+
+    #[test]
+    fn from_origin_size_matches_new() {
+        let a = Rect::from_origin_size(Point::new(Um(1), Um(2)), Um(3), Um(4));
+        assert_eq!(a, r(1, 4, 2, 6));
+        assert_eq!(a.origin(), Point::new(Um(1), Um(2)));
+    }
+
+    #[test]
+    fn area_mm2_scales() {
+        let a = Rect::new(Um(0), Um::from_mm(2.0), Um(0), Um::from_mm(3.0));
+        assert!((a.area_mm2() - 6.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,221 @@
+//! Axis-aligned channel segments.
+
+use std::fmt;
+
+use crate::{Orientation, Point, Rect, Um};
+
+/// An axis-aligned channel centreline segment.
+///
+/// Channels in a Columba S design are straight: flow channels extend
+/// horizontally, control channels vertically. A segment stores the two
+/// endpoints in canonical order (ascending along the running axis) plus the
+/// channel width, so it can be inflated back into the rectangle it occupies.
+///
+/// # Examples
+///
+/// ```
+/// use columba_geom::{Orientation, Point, Segment, Um};
+///
+/// let s = Segment::new(Point::new(Um(0), Um(50)), Point::new(Um(400), Um(50)), Um(100))?;
+/// assert_eq!(s.orientation(), Orientation::Horizontal);
+/// assert_eq!(s.length(), Um(400));
+/// # Ok::<(), columba_geom::DiagonalSegmentError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Segment {
+    a: Point,
+    b: Point,
+    width: Um,
+}
+
+/// Error returned when a segment's endpoints are not axis-aligned.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DiagonalSegmentError {
+    /// First endpoint.
+    pub a: Point,
+    /// Second endpoint.
+    pub b: Point,
+}
+
+impl fmt::Display for DiagonalSegmentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "segment endpoints {} and {} are not axis-aligned", self.a, self.b)
+    }
+}
+
+impl std::error::Error for DiagonalSegmentError {}
+
+impl Segment {
+    /// Creates a segment between two axis-aligned points.
+    ///
+    /// Endpoints are stored in canonical order, so `new(a, b, w)` and
+    /// `new(b, a, w)` compare equal.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DiagonalSegmentError`] when the endpoints share neither an x
+    /// nor a y coordinate. A zero-length segment (both shared) is treated as
+    /// horizontal.
+    pub fn new(a: Point, b: Point, width: Um) -> Result<Segment, DiagonalSegmentError> {
+        if a.x != b.x && a.y != b.y {
+            return Err(DiagonalSegmentError { a, b });
+        }
+        let (a, b) = if (b.x, b.y) < (a.x, a.y) { (b, a) } else { (a, b) };
+        Ok(Segment { a, b, width })
+    }
+
+    /// Creates a horizontal segment at height `y` spanning `[x1, x2]`.
+    #[must_use]
+    pub fn horizontal(y: Um, x1: Um, x2: Um, width: Um) -> Segment {
+        let (x1, x2) = (x1.min(x2), x1.max(x2));
+        Segment { a: Point::new(x1, y), b: Point::new(x2, y), width }
+    }
+
+    /// Creates a vertical segment at `x` spanning `[y1, y2]`.
+    #[must_use]
+    pub fn vertical(x: Um, y1: Um, y2: Um, width: Um) -> Segment {
+        let (y1, y2) = (y1.min(y2), y1.max(y2));
+        Segment { a: Point::new(x, y1), b: Point::new(x, y2), width }
+    }
+
+    /// First endpoint (canonical order).
+    #[must_use]
+    pub fn start(&self) -> Point {
+        self.a
+    }
+
+    /// Second endpoint (canonical order).
+    #[must_use]
+    pub fn end(&self) -> Point {
+        self.b
+    }
+
+    /// Channel width.
+    #[must_use]
+    pub fn width(&self) -> Um {
+        self.width
+    }
+
+    /// Running direction. Zero-length segments report
+    /// [`Orientation::Horizontal`].
+    #[must_use]
+    pub fn orientation(&self) -> Orientation {
+        if self.a.x == self.b.x && self.a.y != self.b.y {
+            Orientation::Vertical
+        } else {
+            Orientation::Horizontal
+        }
+    }
+
+    /// Centreline length.
+    #[must_use]
+    pub fn length(&self) -> Um {
+        self.a.manhattan_distance(self.b)
+    }
+
+    /// The rectangle occupied by the channel: the centreline inflated by
+    /// half the width on each side.
+    #[must_use]
+    pub fn to_rect(&self) -> Rect {
+        let h = self.width / 2;
+        match self.orientation() {
+            Orientation::Horizontal => Rect::new(self.a.x, self.b.x, self.a.y - h, self.a.y + h),
+            Orientation::Vertical => Rect::new(self.a.x - h, self.a.x + h, self.a.y, self.b.y),
+        }
+    }
+
+    /// The crossing point of two perpendicular segments' centrelines, if the
+    /// centrelines intersect.
+    #[must_use]
+    pub fn crossing(&self, other: &Segment) -> Option<Point> {
+        let (h, v) = match (self.orientation(), other.orientation()) {
+            (Orientation::Horizontal, Orientation::Vertical) => (self, other),
+            (Orientation::Vertical, Orientation::Horizontal) => (other, self),
+            _ => return None,
+        };
+        let x = v.a.x;
+        let y = h.a.y;
+        if h.a.x <= x && x <= h.b.x && v.a.y <= y && y <= v.b.y {
+            Some(Point::new(x, y))
+        } else {
+            None
+        }
+    }
+
+    /// This segment moved by `(dx, dy)`.
+    #[must_use]
+    pub fn translated(&self, dx: Um, dy: Um) -> Segment {
+        Segment {
+            a: self.a.translated(dx, dy),
+            b: self.b.translated(dx, dy),
+            width: self.width,
+        }
+    }
+}
+
+impl fmt::Display for Segment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}--{} w={}", self.a, self.b, self.width)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_ordering() {
+        let p = Point::new(Um(10), Um(0));
+        let q = Point::new(Um(0), Um(0));
+        let s1 = Segment::new(p, q, Um(100)).unwrap();
+        let s2 = Segment::new(q, p, Um(100)).unwrap();
+        assert_eq!(s1, s2);
+        assert_eq!(s1.start(), q);
+    }
+
+    #[test]
+    fn diagonal_rejected() {
+        let e = Segment::new(Point::new(Um(0), Um(0)), Point::new(Um(1), Um(1)), Um(10));
+        assert!(e.is_err());
+        let msg = e.unwrap_err().to_string();
+        assert!(msg.contains("not axis-aligned"));
+    }
+
+    #[test]
+    fn orientation_and_length() {
+        let h = Segment::horizontal(Um(50), Um(200), Um(0), Um(100));
+        assert_eq!(h.orientation(), Orientation::Horizontal);
+        assert_eq!(h.length(), Um(200));
+        let v = Segment::vertical(Um(0), Um(0), Um(300), Um(100));
+        assert_eq!(v.orientation(), Orientation::Vertical);
+        assert_eq!(v.length(), Um(300));
+    }
+
+    #[test]
+    fn rect_inflation() {
+        let h = Segment::horizontal(Um(100), Um(0), Um(400), Um(100));
+        assert_eq!(h.to_rect(), Rect::new(Um(0), Um(400), Um(50), Um(150)));
+        let v = Segment::vertical(Um(100), Um(0), Um(400), Um(60));
+        assert_eq!(v.to_rect(), Rect::new(Um(70), Um(130), Um(0), Um(400)));
+    }
+
+    #[test]
+    fn crossing_detection() {
+        let h = Segment::horizontal(Um(100), Um(0), Um(400), Um(100));
+        let v = Segment::vertical(Um(200), Um(0), Um(300), Um(100));
+        assert_eq!(h.crossing(&v), Some(Point::new(Um(200), Um(100))));
+        assert_eq!(v.crossing(&h), Some(Point::new(Um(200), Um(100))));
+        let v_miss = Segment::vertical(Um(500), Um(0), Um(300), Um(100));
+        assert_eq!(h.crossing(&v_miss), None);
+        let h2 = Segment::horizontal(Um(200), Um(0), Um(400), Um(100));
+        assert_eq!(h.crossing(&h2), None, "parallel segments never cross");
+    }
+
+    #[test]
+    fn translation_moves_both_ends() {
+        let s = Segment::horizontal(Um(0), Um(0), Um(10), Um(2));
+        let t = s.translated(Um(5), Um(7));
+        assert_eq!(t.start(), Point::new(Um(5), Um(7)));
+        assert_eq!(t.end(), Point::new(Um(15), Um(7)));
+    }
+}

@@ -1,0 +1,193 @@
+//! The micrometre fixed-point length unit.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Rem, Sub, SubAssign};
+
+/// A length in integer micrometres.
+///
+/// All geometry in the tool is carried in `Um` so that design-rule checks are
+/// exact; millimetre conversions are only used at reporting boundaries.
+///
+/// # Examples
+///
+/// ```
+/// use columba_geom::Um;
+///
+/// let d = Um(100);
+/// assert_eq!(d * 4 + Um(50), Um(450));
+/// assert_eq!(Um::from_mm(1.5), Um(1_500));
+/// assert!((Um(39_850).to_mm() - 39.85).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Um(pub i64);
+
+impl Um {
+    /// Zero length.
+    pub const ZERO: Um = Um(0);
+
+    /// Converts a millimetre quantity, rounding to the nearest micrometre.
+    #[must_use]
+    pub fn from_mm(mm: f64) -> Um {
+        Um((mm * 1_000.0).round() as i64)
+    }
+
+    /// The value in millimetres.
+    #[must_use]
+    pub fn to_mm(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// The raw micrometre count.
+    #[must_use]
+    pub fn raw(self) -> i64 {
+        self.0
+    }
+
+    /// Absolute value.
+    #[must_use]
+    pub fn abs(self) -> Um {
+        Um(self.0.abs())
+    }
+
+    /// The larger of two lengths.
+    #[must_use]
+    pub fn max(self, other: Um) -> Um {
+        Um(self.0.max(other.0))
+    }
+
+    /// The smaller of two lengths.
+    #[must_use]
+    pub fn min(self, other: Um) -> Um {
+        Um(self.0.min(other.0))
+    }
+
+    /// `true` when the length is negative.
+    #[must_use]
+    pub fn is_negative(self) -> bool {
+        self.0 < 0
+    }
+}
+
+impl fmt::Display for Um {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}um", self.0)
+    }
+}
+
+impl Add for Um {
+    type Output = Um;
+    fn add(self, rhs: Um) -> Um {
+        Um(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Um {
+    fn add_assign(&mut self, rhs: Um) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Um {
+    type Output = Um;
+    fn sub(self, rhs: Um) -> Um {
+        Um(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Um {
+    fn sub_assign(&mut self, rhs: Um) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Neg for Um {
+    type Output = Um;
+    fn neg(self) -> Um {
+        Um(-self.0)
+    }
+}
+
+impl Mul<i64> for Um {
+    type Output = Um;
+    fn mul(self, rhs: i64) -> Um {
+        Um(self.0 * rhs)
+    }
+}
+
+impl Mul<Um> for i64 {
+    type Output = Um;
+    fn mul(self, rhs: Um) -> Um {
+        Um(self * rhs.0)
+    }
+}
+
+impl Div<i64> for Um {
+    type Output = Um;
+    fn div(self, rhs: i64) -> Um {
+        Um(self.0 / rhs)
+    }
+}
+
+impl Rem<i64> for Um {
+    type Output = Um;
+    fn rem(self, rhs: i64) -> Um {
+        Um(self.0 % rhs)
+    }
+}
+
+impl Sum for Um {
+    fn sum<I: Iterator<Item = Um>>(iter: I) -> Um {
+        iter.fold(Um::ZERO, Add::add)
+    }
+}
+
+impl From<i64> for Um {
+    fn from(v: i64) -> Um {
+        Um(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_behaves_like_i64() {
+        assert_eq!(Um(3) + Um(4), Um(7));
+        assert_eq!(Um(3) - Um(4), Um(-1));
+        assert_eq!(-Um(3), Um(-3));
+        assert_eq!(Um(3) * 4, Um(12));
+        assert_eq!(4 * Um(3), Um(12));
+        assert_eq!(Um(13) / 4, Um(3));
+        assert_eq!(Um(13) % 4, Um(1));
+    }
+
+    #[test]
+    fn mm_round_trip() {
+        assert_eq!(Um::from_mm(39.85), Um(39_850));
+        assert_eq!(Um::from_mm(0.0001), Um(0)); // below resolution rounds away
+        let x = Um(58_900);
+        assert!((x.to_mm() - 58.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_max_abs() {
+        assert_eq!(Um(-5).abs(), Um(5));
+        assert_eq!(Um(2).max(Um(9)), Um(9));
+        assert_eq!(Um(2).min(Um(9)), Um(2));
+        assert!(Um(-1).is_negative());
+        assert!(!Um(0).is_negative());
+    }
+
+    #[test]
+    fn sum_of_lengths() {
+        let total: Um = [Um(1), Um(2), Um(3)].into_iter().sum();
+        assert_eq!(total, Um(6));
+    }
+
+    #[test]
+    fn display_includes_unit() {
+        assert_eq!(Um(250).to_string(), "250um");
+    }
+}

@@ -1,0 +1,69 @@
+//! Layout errors.
+
+use std::fmt;
+
+use columba_milp::SolveError;
+use columba_netlist::NetlistError;
+
+/// Error raised during physical synthesis.
+#[derive(Debug)]
+pub enum LayoutError {
+    /// The input netlist is not planarized (run `columba_planar::planarize`
+    /// first) or otherwise invalid.
+    Netlist(NetlistError),
+    /// A connection cannot be realised under the straight routing
+    /// discipline (e.g. it joins two right-facing pins).
+    Unroutable(String),
+    /// The layout-generation MILP failed (numerically, or no feasible
+    /// placement exists within the budgets).
+    Milp(String),
+    /// Internal inconsistency while restoring the layout.
+    Restore(String),
+}
+
+impl fmt::Display for LayoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LayoutError::Netlist(e) => write!(f, "netlist not ready for synthesis: {e}"),
+            LayoutError::Unroutable(m) => write!(f, "unroutable connection: {m}"),
+            LayoutError::Milp(m) => write!(f, "layout generation failed: {m}"),
+            LayoutError::Restore(m) => write!(f, "layout validation failed: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for LayoutError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LayoutError::Netlist(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NetlistError> for LayoutError {
+    fn from(e: NetlistError) -> LayoutError {
+        LayoutError::Netlist(e)
+    }
+}
+
+impl From<SolveError> for LayoutError {
+    fn from(e: SolveError) -> LayoutError {
+        LayoutError::Milp(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error as _;
+        let e = LayoutError::from(NetlistError::Invalid("x".into()));
+        assert!(e.to_string().contains("not ready"));
+        assert!(e.source().is_some());
+        assert!(LayoutError::Unroutable("a->b".into()).to_string().contains("a->b"));
+        assert!(LayoutError::Milp("m".into()).source().is_none());
+    }
+}

@@ -1,0 +1,398 @@
+//! The MILP model builder.
+
+use std::fmt;
+
+use crate::expr::Expr;
+use crate::solution::MipResult;
+use crate::solver::{self, SolveError, SolveParams};
+
+/// Handle to a model variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VarId(pub(crate) u32);
+
+impl VarId {
+    /// The dense index of this variable in the model.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// Variable integrality class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VarKind {
+    /// Real-valued.
+    Continuous,
+    /// Integer-valued.
+    Integer,
+    /// Integer restricted to `{0, 1}`.
+    Binary,
+}
+
+/// Constraint comparison sense.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Sense {
+    /// `expr ≤ rhs`.
+    Le,
+    /// `expr = rhs`.
+    Eq,
+    /// `expr ≥ rhs`.
+    Ge,
+}
+
+impl fmt::Display for Sense {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Sense::Le => f.write_str("<="),
+            Sense::Eq => f.write_str("="),
+            Sense::Ge => f.write_str(">="),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct Var {
+    pub(crate) name: String,
+    pub(crate) kind: VarKind,
+    pub(crate) lb: f64,
+    pub(crate) ub: f64,
+}
+
+/// A compiled linear constraint `Σ cᵢ xᵢ (≤ | = | ≥) rhs`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Constraint {
+    /// Merged, sorted coefficient terms.
+    pub terms: Vec<(VarId, f64)>,
+    /// Comparison sense.
+    pub sense: Sense,
+    /// Right-hand side (the expression's constant already folded in).
+    pub rhs: f64,
+}
+
+/// Summary counts for a model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ModelStats {
+    /// Total number of variables.
+    pub vars: usize,
+    /// Number of binary variables.
+    pub binaries: usize,
+    /// Number of (non-binary) integer variables.
+    pub integers: usize,
+    /// Number of constraints.
+    pub constraints: usize,
+    /// Number of nonzero coefficients.
+    pub nonzeros: usize,
+}
+
+impl fmt::Display for ModelStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} vars ({} bin, {} int), {} constraints, {} nonzeros",
+            self.vars, self.binaries, self.integers, self.constraints, self.nonzeros
+        )
+    }
+}
+
+/// A mixed-integer linear program under construction.
+///
+/// The objective defaults to minimising zero; call [`Model::minimize`] or
+/// [`Model::maximize`] to set it. Internally the solver always minimises, so
+/// a maximisation objective is negated on entry and the reported objective is
+/// negated back.
+///
+/// # Examples
+///
+/// ```
+/// use columba_milp::{Model, Sense, SolveParams};
+///
+/// let mut m = Model::new();
+/// let x = m.num_var("x", 0.0, 4.0);
+/// let b = m.bin_var("b");
+/// // x <= 4b  (x can only be positive when b is chosen)
+/// m.constraint(Model::expr().term(1.0, x).term(-4.0, b), Sense::Le, 0.0);
+/// m.maximize(Model::expr().term(1.0, x).term(-0.5, b));
+/// let r = m.solve(&SolveParams::default())?;
+/// assert!((r.solution().expect("feasible").objective() - 3.5).abs() < 1e-6);
+/// # Ok::<(), columba_milp::SolveError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Model {
+    pub(crate) vars: Vec<Var>,
+    pub(crate) constraints: Vec<Constraint>,
+    /// Minimisation objective coefficients, dense by variable index.
+    pub(crate) objective: Vec<f64>,
+    /// Constant added to the (minimisation) objective.
+    pub(crate) obj_constant: f64,
+    /// `true` when the user asked to maximise (results are sign-flipped).
+    pub(crate) maximize: bool,
+}
+
+impl Model {
+    /// Creates an empty model.
+    #[must_use]
+    pub fn new() -> Model {
+        Model::default()
+    }
+
+    /// Starts a fresh [`Expr`]. Purely a readability helper.
+    #[must_use]
+    pub fn expr() -> Expr {
+        Expr::new()
+    }
+
+    /// Adds a continuous variable with bounds `[lb, ub]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lb > ub`, `lb` is not finite (free variables are not
+    /// supported; shift your model), or `lb`/`ub` is NaN.
+    pub fn num_var(&mut self, name: impl Into<String>, lb: f64, ub: f64) -> VarId {
+        self.add_var(name.into(), VarKind::Continuous, lb, ub)
+    }
+
+    /// Adds an integer variable with bounds `[lb, ub]`.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Model::num_var`].
+    pub fn int_var(&mut self, name: impl Into<String>, lb: f64, ub: f64) -> VarId {
+        self.add_var(name.into(), VarKind::Integer, lb, ub)
+    }
+
+    /// Adds a binary variable.
+    pub fn bin_var(&mut self, name: impl Into<String>) -> VarId {
+        self.add_var(name.into(), VarKind::Binary, 0.0, 1.0)
+    }
+
+    fn add_var(&mut self, name: String, kind: VarKind, lb: f64, ub: f64) -> VarId {
+        assert!(!lb.is_nan() && !ub.is_nan(), "variable {name} has NaN bound");
+        assert!(lb <= ub, "variable {name} has lb {lb} > ub {ub}");
+        assert!(
+            lb.is_finite(),
+            "variable {name} has infinite lower bound; shift the model so lb is finite"
+        );
+        let id = VarId(u32::try_from(self.vars.len()).expect("too many variables"));
+        self.vars.push(Var { name, kind, lb, ub });
+        self.objective.push(0.0);
+        id
+    }
+
+    /// Adds the constraint `expr (≤ | = | ≥) rhs`.
+    ///
+    /// Any constant inside `expr` is moved to the right-hand side.
+    pub fn constraint(&mut self, expr: Expr, sense: Sense, rhs: f64) {
+        let terms = expr.compiled();
+        self.constraints.push(Constraint { terms, sense, rhs: rhs - expr.constant() });
+    }
+
+    /// Fixes `var` to `value` by tightening both bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` lies outside the variable's current bounds by more
+    /// than `1e-9`.
+    pub fn fix_var(&mut self, var: VarId, value: f64) {
+        let v = &mut self.vars[var.index()];
+        assert!(
+            value >= v.lb - 1e-9 && value <= v.ub + 1e-9,
+            "cannot fix {} to {value}: bounds [{}, {}]",
+            v.name,
+            v.lb,
+            v.ub
+        );
+        v.lb = value;
+        v.ub = value;
+    }
+
+    /// Tightens the bounds of `var` to the intersection with `[lb, ub]`.
+    pub fn tighten_bounds(&mut self, var: VarId, lb: f64, ub: f64) {
+        let v = &mut self.vars[var.index()];
+        v.lb = v.lb.max(lb);
+        v.ub = v.ub.min(ub);
+    }
+
+    /// Sets a minimisation objective.
+    pub fn minimize(&mut self, expr: Expr) {
+        self.set_objective(expr, false);
+    }
+
+    /// Sets a maximisation objective.
+    pub fn maximize(&mut self, expr: Expr) {
+        self.set_objective(expr, true);
+    }
+
+    fn set_objective(&mut self, expr: Expr, maximize: bool) {
+        self.maximize = maximize;
+        let sign = if maximize { -1.0 } else { 1.0 };
+        self.objective.iter_mut().for_each(|c| *c = 0.0);
+        for (v, c) in expr.compiled() {
+            self.objective[v.index()] = sign * c;
+        }
+        self.obj_constant = sign * expr.constant();
+    }
+
+    /// Number of variables.
+    #[must_use]
+    pub fn num_vars(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Number of constraints.
+    #[must_use]
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// The name given to `var`.
+    #[must_use]
+    pub fn var_name(&self, var: VarId) -> &str {
+        &self.vars[var.index()].name
+    }
+
+    /// The integrality class of `var`.
+    #[must_use]
+    pub fn var_kind(&self, var: VarId) -> VarKind {
+        self.vars[var.index()].kind
+    }
+
+    /// The current bounds of `var`.
+    #[must_use]
+    pub fn var_bounds(&self, var: VarId) -> (f64, f64) {
+        let v = &self.vars[var.index()];
+        (v.lb, v.ub)
+    }
+
+    /// Ids of all integer and binary variables.
+    #[must_use]
+    pub fn integer_vars(&self) -> Vec<VarId> {
+        (0..self.vars.len())
+            .filter(|&i| self.vars[i].kind != VarKind::Continuous)
+            .map(|i| VarId(i as u32))
+            .collect()
+    }
+
+    /// Summary counts.
+    #[must_use]
+    pub fn stats(&self) -> ModelStats {
+        ModelStats {
+            vars: self.vars.len(),
+            binaries: self.vars.iter().filter(|v| v.kind == VarKind::Binary).count(),
+            integers: self.vars.iter().filter(|v| v.kind == VarKind::Integer).count(),
+            constraints: self.constraints.len(),
+            nonzeros: self.constraints.iter().map(|c| c.terms.len()).sum(),
+        }
+    }
+
+    /// Solves the model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError`] when the model is malformed (for example, a
+    /// constraint references no variables but is unsatisfiable) or when the
+    /// simplex detects numerical breakdown.
+    pub fn solve(&self, params: &SolveParams) -> Result<MipResult, SolveError> {
+        solver::solve(self, params, None)
+    }
+
+    /// Solves the model, seeding branch & bound with a hint that assigns a
+    /// value to every integer variable.
+    ///
+    /// The hint is checked by fixing the integers and solving the remaining
+    /// LP; when feasible it becomes the initial incumbent, which lets the
+    /// search prune aggressively (and lets callers with a good constructive
+    /// heuristic obtain a polished solution even under a zero node budget).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Model::solve`]. An infeasible hint is not an error; it is
+    /// simply ignored.
+    pub fn solve_with_hint(
+        &self,
+        params: &SolveParams,
+        hint: &[(VarId, f64)],
+    ) -> Result<MipResult, SolveError> {
+        solver::solve(self, params, Some(hint))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn var_accessors() {
+        let mut m = Model::new();
+        let x = m.num_var("x", -1.0, 2.0);
+        let b = m.bin_var("flag");
+        let k = m.int_var("k", 0.0, 9.0);
+        assert_eq!(m.num_vars(), 3);
+        assert_eq!(m.var_name(x), "x");
+        assert_eq!(m.var_kind(b), VarKind::Binary);
+        assert_eq!(m.var_bounds(k), (0.0, 9.0));
+        assert_eq!(m.integer_vars(), vec![b, k]);
+    }
+
+    #[test]
+    #[should_panic(expected = "lb")]
+    fn inverted_bounds_panic() {
+        let mut m = Model::new();
+        let _ = m.num_var("x", 1.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "infinite lower bound")]
+    fn free_variable_rejected() {
+        let mut m = Model::new();
+        let _ = m.num_var("x", f64::NEG_INFINITY, 0.0);
+    }
+
+    #[test]
+    fn constraint_folds_constant() {
+        let mut m = Model::new();
+        let x = m.num_var("x", 0.0, 10.0);
+        m.constraint(Model::expr().term(1.0, x).plus(3.0), Sense::Le, 5.0);
+        assert_eq!(m.constraints[0].rhs, 2.0);
+        assert_eq!(m.constraints[0].sense, Sense::Le);
+    }
+
+    #[test]
+    fn maximize_flips_signs_internally() {
+        let mut m = Model::new();
+        let x = m.num_var("x", 0.0, 10.0);
+        m.maximize(Model::expr().term(2.0, x).plus(1.0));
+        assert_eq!(m.objective[x.index()], -2.0);
+        assert_eq!(m.obj_constant, -1.0);
+        assert!(m.maximize);
+    }
+
+    #[test]
+    fn fix_and_tighten() {
+        let mut m = Model::new();
+        let x = m.num_var("x", 0.0, 10.0);
+        m.tighten_bounds(x, 2.0, 20.0);
+        assert_eq!(m.var_bounds(x), (2.0, 10.0));
+        m.fix_var(x, 4.0);
+        assert_eq!(m.var_bounds(x), (4.0, 4.0));
+    }
+
+    #[test]
+    fn stats_count_everything() {
+        let mut m = Model::new();
+        let x = m.num_var("x", 0.0, 1.0);
+        let b = m.bin_var("b");
+        m.constraint(Model::expr().term(1.0, x).term(1.0, b), Sense::Le, 1.0);
+        let s = m.stats();
+        assert_eq!(s.vars, 2);
+        assert_eq!(s.binaries, 1);
+        assert_eq!(s.constraints, 1);
+        assert_eq!(s.nonzeros, 2);
+        assert!(s.to_string().contains("2 vars"));
+    }
+}

@@ -1,0 +1,743 @@
+//! Branch & bound over the simplex relaxation.
+
+use std::collections::BinaryHeap;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+use crate::model::{Model, VarId, VarKind};
+use crate::simplex::{self, Lp, LpOutcome, Row};
+use crate::solution::{MipResult, SolveStatus, Solution};
+
+/// Integer feasibility tolerance.
+const INT_TOL: f64 = 1e-6;
+
+/// Error raised by [`Model::solve`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SolveError {
+    /// The simplex hit its cycling guard or produced out-of-tolerance
+    /// residuals; the message carries the diagnostic.
+    Numerical(String),
+    /// The model has no constraints and no bounded objective direction.
+    Malformed(String),
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::Numerical(m) => write!(f, "numerical failure in simplex: {m}"),
+            SolveError::Malformed(m) => write!(f, "malformed model: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+/// Search limits and options for branch & bound.
+#[derive(Debug, Clone)]
+pub struct SolveParams {
+    /// Wall-clock budget. The best incumbent found so far is returned when
+    /// the budget expires.
+    pub time_limit: Duration,
+    /// Maximum number of branch & bound nodes to process (`0` processes only
+    /// the root relaxation and any hint).
+    pub node_limit: usize,
+    /// Stop when the relative optimality gap falls below this value.
+    pub rel_gap: f64,
+    /// Stop when the absolute optimality gap falls below this value.
+    pub abs_gap: f64,
+    /// Try rounding the root LP solution into an incumbent.
+    pub rounding_heuristic: bool,
+}
+
+impl Default for SolveParams {
+    fn default() -> SolveParams {
+        SolveParams {
+            time_limit: Duration::from_secs(600),
+            node_limit: 2_000_000,
+            rel_gap: 1e-6,
+            abs_gap: 1e-9,
+            rounding_heuristic: true,
+        }
+    }
+}
+
+impl SolveParams {
+    /// A parameter set with the given time budget and otherwise defaults.
+    #[must_use]
+    pub fn with_time_limit(limit: Duration) -> SolveParams {
+        SolveParams { time_limit: limit, ..SolveParams::default() }
+    }
+}
+
+/// A branch decision: tighten one variable's bound.
+#[derive(Debug, Clone, Copy)]
+struct BranchBound {
+    var: usize,
+    lb: f64,
+    ub: f64,
+}
+
+struct Node {
+    /// Index of the parent in the arena, `usize::MAX` for the root.
+    parent: usize,
+    bound_change: Option<BranchBound>,
+    depth: usize,
+}
+
+/// Heap entry ordered so the *lowest* LP bound pops first (best-bound
+/// search), with deeper nodes preferred on ties (plunging).
+struct OpenNode {
+    arena_index: usize,
+    lp_bound: f64,
+    depth: usize,
+}
+
+impl PartialEq for OpenNode {
+    fn eq(&self, other: &Self) -> bool {
+        self.lp_bound == other.lp_bound && self.depth == other.depth
+    }
+}
+impl Eq for OpenNode {}
+impl PartialOrd for OpenNode {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for OpenNode {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // BinaryHeap is a max-heap: invert the bound comparison.
+        other
+            .lp_bound
+            .partial_cmp(&self.lp_bound)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(self.depth.cmp(&other.depth))
+    }
+}
+
+pub(crate) fn solve(
+    model: &Model,
+    params: &SolveParams,
+    hint: Option<&[(VarId, f64)]>,
+) -> Result<MipResult, SolveError> {
+    let start = Instant::now();
+    let sign = if model.maximize { -1.0 } else { 1.0 };
+
+    let base_rows: Vec<Row> = model
+        .constraints
+        .iter()
+        .map(|c| Row {
+            terms: c.terms.iter().map(|&(v, coef)| (v.index(), coef)).collect(),
+            sense: c.sense,
+            rhs: c.rhs,
+        })
+        .collect();
+    // Constant-only constraints that are unsatisfiable make the model
+    // trivially infeasible; satisfied ones are dropped by the presolve.
+    for r in &base_rows {
+        if r.terms.is_empty() {
+            let ok = match r.sense {
+                crate::model::Sense::Le => 0.0 <= r.rhs + 1e-9,
+                crate::model::Sense::Ge => 0.0 >= r.rhs - 1e-9,
+                crate::model::Sense::Eq => r.rhs.abs() <= 1e-9,
+            };
+            if !ok {
+                return Ok(finish(
+                    SolveStatus::Infeasible,
+                    None,
+                    f64::NEG_INFINITY,
+                    0,
+                    0,
+                    start,
+                    sign,
+                ));
+            }
+        }
+    }
+
+    let base_lb: Vec<f64> = model.vars.iter().map(|v| v.lb).collect();
+    let base_ub: Vec<f64> = model.vars.iter().map(|v| v.ub).collect();
+    let cost: Vec<f64> = model.objective.clone();
+    let int_vars: Vec<usize> = model
+        .vars
+        .iter()
+        .enumerate()
+        .filter(|(_, v)| v.kind != VarKind::Continuous)
+        .map(|(i, _)| i)
+        .collect();
+
+    let mut simplex_iterations = 0usize;
+    let mut nodes_processed = 0usize;
+
+    let deadline = start + params.time_limit;
+    let solve_lp_with =
+        |lb: &[f64], ub: &[f64], iters: &mut usize| -> Result<LpOutcome, SolveError> {
+            let (outcome, it) = presolved_lp(&base_rows, &cost, lb, ub, Some(deadline));
+            *iters += it;
+            if let LpOutcome::Numerical(msg) = &outcome {
+                return Err(SolveError::Numerical(msg.clone()));
+            }
+            Ok(outcome)
+        };
+
+    let mut incumbent: Option<(Vec<f64>, f64)> = None; // (values, min-sense obj)
+
+    // -- hint: fix integers, solve the remaining LP --
+    if let Some(hint) = hint {
+        let mut lb = base_lb.clone();
+        let mut ub = base_ub.clone();
+        let mut valid = true;
+        for &(v, val) in hint {
+            let i = v.index();
+            let r = val.round();
+            if r < base_lb[i] - 1e-9 || r > base_ub[i] + 1e-9 {
+                valid = false;
+                break;
+            }
+            lb[i] = r;
+            ub[i] = r;
+        }
+        if valid {
+            if let LpOutcome::Optimal { x, obj } = solve_lp_with(&lb, &ub, &mut simplex_iterations)?
+            {
+                incumbent = Some((x, obj + model.obj_constant));
+            }
+        }
+    }
+
+    // zero node budget + a hint-based incumbent: skip the root relaxation
+    // entirely (scalable heuristic mode — the LP polish *is* the answer)
+    if params.node_limit == 0 && incumbent.is_some() {
+        return Ok(finish(
+            SolveStatus::Feasible,
+            incumbent,
+            f64::NEG_INFINITY,
+            nodes_processed,
+            simplex_iterations,
+            start,
+            sign,
+        ));
+    }
+
+    // -- root relaxation --
+    let root_outcome = solve_lp_with(&base_lb, &base_ub, &mut simplex_iterations)?;
+    let (root_x, root_bound) = match root_outcome {
+        LpOutcome::TimedOut => {
+            return Ok(finish(
+                if incumbent.is_some() {
+                    SolveStatus::Feasible
+                } else {
+                    SolveStatus::LimitReached
+                },
+                incumbent,
+                f64::NEG_INFINITY,
+                nodes_processed,
+                simplex_iterations,
+                start,
+                sign,
+            ));
+        }
+        LpOutcome::Optimal { x, obj } => (x, obj + model.obj_constant),
+        LpOutcome::Infeasible => {
+            return Ok(finish(
+                if incumbent.is_some() { SolveStatus::Feasible } else { SolveStatus::Infeasible },
+                incumbent,
+                f64::NEG_INFINITY,
+                nodes_processed,
+                simplex_iterations,
+                start,
+                sign,
+            ));
+        }
+        LpOutcome::Unbounded => {
+            // With an incumbent the model cannot be truly unbounded in the
+            // integer sense we care about; report what we know.
+            return Ok(finish(
+                if incumbent.is_some() { SolveStatus::Feasible } else { SolveStatus::Unbounded },
+                incumbent,
+                f64::NEG_INFINITY,
+                nodes_processed,
+                simplex_iterations,
+                start,
+                sign,
+            ));
+        }
+        LpOutcome::Numerical(_) => unreachable!("mapped to Err above"),
+    };
+
+    // integral root?
+    if all_integral(&root_x, &int_vars) {
+        let obj = root_bound;
+        if incumbent.as_ref().is_none_or(|(_, inc)| obj < *inc) {
+            incumbent = Some((round_ints(root_x, &int_vars), obj));
+        }
+        return Ok(finish(
+            SolveStatus::Optimal,
+            incumbent,
+            root_bound,
+            nodes_processed,
+            simplex_iterations,
+            start,
+            sign,
+        ));
+    }
+
+    // -- rounding heuristic --
+    if params.rounding_heuristic && incumbent.is_none() {
+        let mut lb = base_lb.clone();
+        let mut ub = base_ub.clone();
+        for &i in &int_vars {
+            let r = root_x[i].round().clamp(base_lb[i], base_ub[i]);
+            lb[i] = r;
+            ub[i] = r;
+        }
+        if let LpOutcome::Optimal { x, obj } = solve_lp_with(&lb, &ub, &mut simplex_iterations)? {
+            incumbent = Some((x, obj + model.obj_constant));
+        }
+    }
+
+    // -- branch & bound --
+    let mut arena: Vec<Node> =
+        vec![Node { parent: usize::MAX, bound_change: None, depth: 0 }];
+    let mut heap = BinaryHeap::new();
+    heap.push(OpenNode { arena_index: 0, lp_bound: root_bound, depth: 0 });
+
+    let mut best_open_bound = root_bound;
+    let mut hit_limit = false;
+
+    while let Some(open) = heap.pop() {
+        best_open_bound = open.lp_bound;
+        if let Some((_, inc)) = &incumbent {
+            if open.lp_bound >= *inc - params.abs_gap
+                || (inc - open.lp_bound).abs() <= params.rel_gap * inc.abs().max(1.0)
+            {
+                // everything remaining is dominated: proven optimal
+                best_open_bound = *inc;
+                break;
+            }
+        }
+        if start.elapsed() >= params.time_limit || nodes_processed >= params.node_limit {
+            hit_limit = true;
+            break;
+        }
+        nodes_processed += 1;
+
+        // reconstruct bounds along the parent chain
+        let mut lb = base_lb.clone();
+        let mut ub = base_ub.clone();
+        let mut cursor = open.arena_index;
+        while cursor != usize::MAX {
+            if let Some(bc) = arena[cursor].bound_change {
+                lb[bc.var] = lb[bc.var].max(bc.lb);
+                ub[bc.var] = ub[bc.var].min(bc.ub);
+            }
+            cursor = arena[cursor].parent;
+        }
+        if lb.iter().zip(&ub).any(|(l, u)| l > u) {
+            continue; // conflicting branches
+        }
+
+        let outcome = solve_lp_with(&lb, &ub, &mut simplex_iterations)?;
+        let (x, obj) = match outcome {
+            LpOutcome::TimedOut => {
+                hit_limit = true;
+                break;
+            }
+            LpOutcome::Optimal { x, obj } => (x, obj + model.obj_constant),
+            LpOutcome::Infeasible => continue,
+            LpOutcome::Unbounded => {
+                // A child cannot be less bounded than the root in a sound
+                // model; treat as numerically suspect and skip.
+                continue;
+            }
+            LpOutcome::Numerical(_) => unreachable!("mapped to Err above"),
+        };
+        if let Some((_, inc)) = &incumbent {
+            if obj >= *inc - params.abs_gap {
+                continue; // dominated
+            }
+        }
+        match most_fractional(&x, &int_vars) {
+            None => {
+                // integral: new incumbent
+                if incumbent.as_ref().is_none_or(|(_, inc)| obj < *inc) {
+                    incumbent = Some((round_ints(x, &int_vars), obj));
+                }
+            }
+            Some(branch_var) => {
+                let v = x[branch_var];
+                let depth = arena[open.arena_index].depth + 1;
+                let down = Node {
+                    parent: open.arena_index,
+                    bound_change: Some(BranchBound {
+                        var: branch_var,
+                        lb: f64::NEG_INFINITY,
+                        ub: v.floor(),
+                    }),
+                    depth,
+                };
+                let up = Node {
+                    parent: open.arena_index,
+                    bound_change: Some(BranchBound {
+                        var: branch_var,
+                        lb: v.ceil(),
+                        ub: f64::INFINITY,
+                    }),
+                    depth,
+                };
+                arena.push(down);
+                heap.push(OpenNode { arena_index: arena.len() - 1, lp_bound: obj, depth });
+                arena.push(up);
+                heap.push(OpenNode { arena_index: arena.len() - 1, lp_bound: obj, depth });
+            }
+        }
+    }
+
+    let status = match (&incumbent, hit_limit, heap.is_empty()) {
+        (Some(_), false, _) => SolveStatus::Optimal,
+        (Some(_), true, _) => SolveStatus::Feasible,
+        (None, true, _) => SolveStatus::LimitReached,
+        (None, false, _) => SolveStatus::Infeasible,
+    };
+    let bound = if heap.is_empty() && !hit_limit {
+        incumbent.as_ref().map_or(best_open_bound, |(_, inc)| *inc)
+    } else {
+        best_open_bound
+    };
+    Ok(finish(status, incumbent, bound, nodes_processed, simplex_iterations, start, sign))
+}
+
+fn finish(
+    status: SolveStatus,
+    incumbent: Option<(Vec<f64>, f64)>,
+    bound: f64,
+    nodes: usize,
+    simplex_iterations: usize,
+    start: Instant,
+    sign: f64,
+) -> MipResult {
+    MipResult {
+        status,
+        solution: incumbent
+            .map(|(values, obj)| Solution { values, objective: sign * obj }),
+        best_bound: sign * bound,
+        nodes,
+        simplex_iterations,
+        elapsed: start.elapsed(),
+    }
+}
+
+/// Builds and solves the LP for one node's bounds, with a presolve that:
+///
+/// 1. substitutes fixed variables (`lb == ub`) into every row,
+/// 2. drops rows made redundant by the variable bounds — in particular the
+///    big-M disjunction rows whose indicator has been fixed to 1, which is
+///    what makes warm-started and deep-node LPs small,
+/// 3. detects bound-infeasible rows without calling the simplex,
+/// 4. compresses away columns that no remaining row or objective term uses.
+///
+/// Returns the outcome in the *full* variable space.
+fn presolved_lp(
+    base_rows: &[Row],
+    cost: &[f64],
+    lb: &[f64],
+    ub: &[f64],
+    deadline: Option<std::time::Instant>,
+) -> (LpOutcome, usize) {
+    let n = lb.len();
+    let fixed = |j: usize| ub[j] - lb[j] <= 0.0;
+    let mut kept_rows: Vec<Row> = Vec::with_capacity(base_rows.len());
+    let mut used = vec![false; n];
+
+    for row in base_rows {
+        let mut terms: Vec<(usize, f64)> = Vec::with_capacity(row.terms.len());
+        let mut rhs = row.rhs;
+        for &(j, c) in &row.terms {
+            if fixed(j) {
+                rhs -= c * lb[j];
+            } else {
+                terms.push((j, c));
+            }
+        }
+        // activity bounds over the remaining terms
+        let (mut min_act, mut max_act) = (0.0f64, 0.0f64);
+        for &(j, c) in &terms {
+            if c > 0.0 {
+                min_act += c * lb[j];
+                max_act += c * ub[j];
+            } else {
+                min_act += c * ub[j];
+                max_act += c * lb[j];
+            }
+        }
+        let tol = 1e-7 * (1.0 + rhs.abs());
+        let (redundant, infeasible) = match row.sense {
+            crate::model::Sense::Le => (max_act <= rhs + tol, min_act > rhs + tol),
+            crate::model::Sense::Ge => (min_act >= rhs - tol, max_act < rhs - tol),
+            crate::model::Sense::Eq => (
+                (max_act - rhs).abs() <= tol && (min_act - rhs).abs() <= tol,
+                min_act > rhs + tol || max_act < rhs - tol,
+            ),
+        };
+        if infeasible {
+            return (LpOutcome::Infeasible, 0);
+        }
+        if redundant {
+            continue;
+        }
+        for &(j, _) in &terms {
+            used[j] = true;
+        }
+        kept_rows.push(Row { terms, sense: row.sense, rhs });
+    }
+    // objective terms over unfixed variables must survive compression
+    for (j, &c) in cost.iter().enumerate() {
+        if c != 0.0 && !fixed(j) {
+            used[j] = true;
+        }
+    }
+
+    // column compression
+    let keep: Vec<usize> = (0..n).filter(|&j| used[j]).collect();
+    let mut pos = vec![usize::MAX; n];
+    for (new, &old) in keep.iter().enumerate() {
+        pos[old] = new;
+    }
+    let small = Lp {
+        lb: keep.iter().map(|&j| lb[j]).collect(),
+        ub: keep.iter().map(|&j| ub[j]).collect(),
+        cost: keep.iter().map(|&j| cost[j]).collect(),
+        rows: kept_rows
+            .into_iter()
+            .map(|r| Row {
+                terms: r.terms.into_iter().map(|(j, c)| (pos[j], c)).collect(),
+                sense: r.sense,
+                rhs: r.rhs,
+            })
+            .collect(),
+    };
+    let fixed_cost: f64 = (0..n).filter(|&j| fixed(j)).map(|j| cost[j] * lb[j]).sum();
+
+    let (outcome, iters) = simplex::solve_lp(&small, deadline);
+    let outcome = match outcome {
+        LpOutcome::Optimal { x, obj } => {
+            // expand to the full space: fixed -> value, unused -> lb
+            let mut full = vec![0.0; n];
+            for j in 0..n {
+                full[j] = if fixed(j) {
+                    lb[j]
+                } else if pos[j] != usize::MAX {
+                    x[pos[j]]
+                } else {
+                    lb[j]
+                };
+            }
+            LpOutcome::Optimal { x: full, obj: obj + fixed_cost }
+        }
+        other => other,
+    };
+    (outcome, iters)
+}
+
+fn all_integral(x: &[f64], int_vars: &[usize]) -> bool {
+    int_vars.iter().all(|&i| (x[i] - x[i].round()).abs() <= INT_TOL)
+}
+
+fn round_ints(mut x: Vec<f64>, int_vars: &[usize]) -> Vec<f64> {
+    for &i in int_vars {
+        x[i] = x[i].round();
+    }
+    x
+}
+
+/// The integer variable whose LP value is farthest from integral, if any.
+fn most_fractional(x: &[f64], int_vars: &[usize]) -> Option<usize> {
+    let mut best: Option<(usize, f64)> = None;
+    for &i in int_vars {
+        let frac = (x[i] - x[i].round()).abs();
+        if frac > INT_TOL {
+            let score = 0.5 - (x[i] - x[i].floor() - 0.5).abs();
+            if best.is_none_or(|(_, s)| score > s) {
+                best = Some((i, score));
+            }
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Sense;
+    use crate::Model;
+
+    fn p() -> SolveParams {
+        SolveParams::default()
+    }
+
+    #[test]
+    fn pure_lp_optimal() {
+        let mut m = Model::new();
+        let x = m.num_var("x", 0.0, 10.0);
+        let y = m.num_var("y", 0.0, 10.0);
+        m.constraint(Model::expr().term(1.0, x).term(1.0, y), Sense::Le, 6.0);
+        m.maximize(Model::expr().term(3.0, x).term(5.0, y));
+        let r = m.solve(&p()).unwrap();
+        assert_eq!(r.status(), SolveStatus::Optimal);
+        assert!((r.solution().unwrap().objective() - 30.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn knapsack_small() {
+        // max 10a + 13b + 7c, 3a + 4b + 2c <= 6, binary
+        let mut m = Model::new();
+        let a = m.bin_var("a");
+        let b = m.bin_var("b");
+        let c = m.bin_var("c");
+        m.constraint(
+            Model::expr().term(3.0, a).term(4.0, b).term(2.0, c),
+            Sense::Le,
+            6.0,
+        );
+        m.maximize(Model::expr().term(10.0, a).term(13.0, b).term(7.0, c));
+        let r = m.solve(&p()).unwrap();
+        assert_eq!(r.status(), SolveStatus::Optimal);
+        let sol = r.solution().unwrap();
+        // best is b + c = 20
+        assert!((sol.objective() - 20.0).abs() < 1e-6, "{}", sol.objective());
+        assert!(sol.value(b) > 0.5 && sol.value(c) > 0.5 && sol.value(a) < 0.5);
+    }
+
+    #[test]
+    fn integer_rounding_not_enough() {
+        // LP optimum fractional; IP optimum differs from naive rounding
+        // max x + y s.t. 2x + 2y <= 5, x,y int -> LP gives 2.5 total, IP 2
+        let mut m = Model::new();
+        let x = m.int_var("x", 0.0, 10.0);
+        let y = m.int_var("y", 0.0, 10.0);
+        m.constraint(Model::expr().term(2.0, x).term(2.0, y), Sense::Le, 5.0);
+        m.maximize(Model::expr().term(1.0, x).term(1.0, y));
+        let r = m.solve(&p()).unwrap();
+        assert_eq!(r.status(), SolveStatus::Optimal);
+        assert!((r.solution().unwrap().objective() - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn infeasible_binary_model() {
+        let mut m = Model::new();
+        let a = m.bin_var("a");
+        let b = m.bin_var("b");
+        m.constraint(Model::expr().term(1.0, a).term(1.0, b), Sense::Ge, 3.0);
+        m.minimize(Model::expr().term(1.0, a));
+        let r = m.solve(&p()).unwrap();
+        assert_eq!(r.status(), SolveStatus::Infeasible);
+        assert!(r.solution().is_none());
+    }
+
+    #[test]
+    fn equality_with_integers() {
+        // x + y = 7, x - y = 1 over integers
+        let mut m = Model::new();
+        let x = m.int_var("x", 0.0, 100.0);
+        let y = m.int_var("y", 0.0, 100.0);
+        m.constraint(Model::expr().term(1.0, x).term(1.0, y), Sense::Eq, 7.0);
+        m.constraint(Model::expr().term(1.0, x).term(-1.0, y), Sense::Eq, 1.0);
+        m.minimize(Model::expr().term(1.0, x));
+        let r = m.solve(&p()).unwrap();
+        let sol = r.solution().unwrap();
+        assert!((sol.value(x) - 4.0).abs() < 1e-6);
+        assert!((sol.value(y) - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn hint_seeds_incumbent_under_zero_node_budget() {
+        // fractional root LP (b=1, a=0.5) so the zero node budget matters
+        let mut m = Model::new();
+        let a = m.bin_var("a");
+        let b = m.bin_var("b");
+        m.constraint(Model::expr().term(2.0, a).term(2.0, b), Sense::Le, 3.0);
+        m.maximize(Model::expr().term(2.0, a).term(3.0, b));
+        let params = SolveParams { node_limit: 0, rounding_heuristic: false, ..p() };
+        let r = m.solve_with_hint(&params, &[(a, 1.0), (b, 0.0)]).unwrap();
+        // hint gives objective 2 even though the optimum is 3
+        assert!(r.status().has_solution());
+        assert!((r.solution().unwrap().objective() - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn infeasible_hint_is_ignored() {
+        let mut m = Model::new();
+        let a = m.bin_var("a");
+        m.constraint(Model::expr().term(1.0, a), Sense::Eq, 1.0);
+        m.minimize(Model::expr().term(1.0, a));
+        let r = m.solve_with_hint(&p(), &[(a, 0.0)]).unwrap();
+        assert_eq!(r.status(), SolveStatus::Optimal);
+        assert!((r.solution().unwrap().value(a) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn big_m_disjunction() {
+        // two unit squares must not overlap in 1D: |x1 - x2| >= 1
+        // min x1 + x2 with x2 >= 0.2 forced ordering via binaries
+        let mut m = Model::new();
+        let x1 = m.num_var("x1", 0.0, 10.0);
+        let x2 = m.num_var("x2", 0.0, 10.0);
+        let q1 = m.bin_var("q1");
+        let q2 = m.bin_var("q2");
+        let big = 100.0;
+        // x1 + 1 <= x2 + q1*M ; x2 + 1 <= x1 + q2*M ; q1 + q2 = 1
+        m.constraint(
+            Model::expr().term(1.0, x1).term(-1.0, x2).term(-big, q1),
+            Sense::Le,
+            -1.0,
+        );
+        m.constraint(
+            Model::expr().term(1.0, x2).term(-1.0, x1).term(-big, q2),
+            Sense::Le,
+            -1.0,
+        );
+        m.constraint(Model::expr().term(1.0, q1).term(1.0, q2), Sense::Eq, 1.0);
+        m.minimize(Model::expr().term(1.0, x1).term(2.0, x2));
+        let r = m.solve(&p()).unwrap();
+        let sol = r.solution().unwrap();
+        let (v1, v2) = (sol.value(x1), sol.value(x2));
+        assert!((v1 - v2).abs() >= 1.0 - 1e-6, "x1={v1} x2={v2}");
+        // optimal keeps x2 at 0 and pushes x1 to 1: objective 1
+        assert!((sol.objective() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn node_limit_reports_feasible_or_limit() {
+        let mut m = Model::new();
+        let vars: Vec<_> = (0..12).map(|i| m.bin_var(format!("b{i}"))).collect();
+        let mut e = Model::expr();
+        for (i, &v) in vars.iter().enumerate() {
+            e = e.term(1.0 + (i as f64) * 0.37, v);
+        }
+        m.constraint(e.clone(), Sense::Le, 11.0);
+        m.maximize(e);
+        let params = SolveParams { node_limit: 1, ..p() };
+        let r = m.solve(&params).unwrap();
+        assert!(matches!(
+            r.status(),
+            SolveStatus::Optimal | SolveStatus::Feasible | SolveStatus::LimitReached
+        ));
+    }
+
+    #[test]
+    fn unsatisfiable_constant_constraint_is_infeasible() {
+        let mut m = Model::new();
+        let _x = m.num_var("x", 0.0, 1.0);
+        m.constraint(Model::expr().plus(1.0), Sense::Le, 0.0);
+        let r = m.solve(&p()).unwrap();
+        assert_eq!(r.status(), SolveStatus::Infeasible);
+    }
+
+    #[test]
+    fn maximize_unbounded() {
+        let mut m = Model::new();
+        let x = m.num_var("x", 0.0, f64::INFINITY);
+        m.maximize(Model::expr().term(1.0, x));
+        let r = m.solve(&p()).unwrap();
+        assert_eq!(r.status(), SolveStatus::Unbounded);
+    }
+}

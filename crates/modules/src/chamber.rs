@@ -1,0 +1,177 @@
+//! Reaction chamber module model.
+//!
+//! A chamber is a wide flow channel between two isolation valves; fluids are
+//! held for incubation/readout while both valves are closed. Control access
+//! defaults to the top boundary; the layout pass flips it to the bottom for
+//! 1-MUX designs. As everywhere in the library, each valve sits directly
+//! under its control pin, so internal control stubs are straight vertical
+//! drops.
+
+use columba_design::{Channel, ChannelRole, Design, ModuleId, ValveKind};
+use columba_geom::{Orientation, Point, Rect, Segment, Side, Um};
+use columba_netlist::{ChamberSpec, ControlAccess};
+
+use crate::mixer::emit_line;
+use crate::model::{FlowPin, ModuleInstance, ModuleModel, CHANNEL_W, D};
+
+const MIN_W: Um = Um(10 * 100);
+const MIN_L: Um = Um(8 * 100);
+
+pub(crate) fn model(spec: &ChamberSpec) -> ModuleModel {
+    ModuleModel {
+        width: spec.width.max(MIN_W),
+        length: Some(spec.length.max(MIN_L)),
+        min_length: spec.length.max(MIN_L),
+        control_pin_count: 2,
+        flow_pin_count: 2,
+        control_access: ControlAccess::Top,
+        both_split_top: 2,
+    }
+}
+
+pub(crate) fn instantiate(
+    design: &mut Design,
+    module: ModuleId,
+    _spec: &ChamberSpec,
+    rect: Rect,
+    access: ControlAccess,
+) -> ModuleInstance {
+    // chambers put both lines on one boundary: `both` behaves as `top`
+    let side = if access == ControlAccess::Bottom { Side::Bottom } else { Side::Top };
+    let (x_l, x_r, y_b, y_t) = (rect.x_l(), rect.x_r(), rect.y_b(), rect.y_t());
+    let y_mid = (y_b + y_t) / 2;
+    // the chamber proper: a wide channel across the module
+    let chamber_w = (rect.height() / 2).min(D * 4);
+    design.add_channel(Channel::straight(
+        ChannelRole::InternalFlow,
+        Segment::horizontal(y_mid, x_l + D * 3, x_r - D * 3, chamber_w),
+        Some(module),
+    ));
+    // narrow necks to the flow pins; the isolation valves sit on them
+    let neck_l = design.add_channel(Channel::straight(
+        ChannelRole::InternalFlow,
+        Segment::horizontal(y_mid, x_l, x_l + D * 3, CHANNEL_W),
+        Some(module),
+    ));
+    let neck_r = design.add_channel(Channel::straight(
+        ChannelRole::InternalFlow,
+        Segment::horizontal(y_mid, x_r - D * 3, x_r, CHANNEL_W),
+        Some(module),
+    ));
+
+    let name = design.modules[module.0].name.clone();
+    let iso_in = emit_line(
+        design,
+        module,
+        rect,
+        format!("{name}.iso_in"),
+        x_l + D * 2,
+        side,
+        y_mid,
+        ValveKind::Isolation,
+        Orientation::Horizontal,
+        CHANNEL_W,
+        neck_l,
+    );
+    let iso_out = emit_line(
+        design,
+        module,
+        rect,
+        format!("{name}.iso_out"),
+        x_r - D * 2,
+        side,
+        y_mid,
+        ValveKind::Isolation,
+        Orientation::Horizontal,
+        CHANNEL_W,
+        neck_r,
+    );
+
+    ModuleInstance {
+        module,
+        flow_pins: vec![
+            FlowPin { side: Side::Left, position: Point::new(x_l, y_mid) },
+            FlowPin { side: Side::Right, position: Point::new(x_r, y_mid) },
+        ],
+        control_pins: vec![iso_in, iso_out],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use columba_design::drc;
+    use columba_netlist::ComponentId;
+
+    fn place(spec: &ChamberSpec) -> (Design, ModuleInstance, Rect) {
+        place_with(spec, ControlAccess::Top)
+    }
+
+    fn place_with(spec: &ChamberSpec, access: ControlAccess) -> (Design, ModuleInstance, Rect) {
+        let mut d = Design::new("t", Rect::new(Um(0), Um(60_000), Um(0), Um(60_000)));
+        let m = model(spec);
+        let rect = Rect::from_origin_size(
+            Point::new(Um(5_000), Um(5_000)),
+            m.width,
+            m.length.unwrap(),
+        );
+        d.modules.push(columba_design::PlacedModule {
+            component: ComponentId(0),
+            name: "rc".into(),
+            rect,
+        });
+        let inst = instantiate(&mut d, ModuleId(0), spec, rect, access);
+        (d, inst, rect)
+    }
+
+    #[test]
+    fn chamber_has_two_lines_and_two_valves() {
+        let (d, inst, _) = place(&ChamberSpec::default());
+        assert_eq!(inst.control_pins.len(), 2);
+        assert_eq!(d.valves.len(), 2);
+        assert!(inst.control_pins.iter().all(|p| p.valves.len() == 1));
+    }
+
+    #[test]
+    fn valves_under_their_pins() {
+        let (d, inst, _) = place(&ChamberSpec::default());
+        for pin in &inst.control_pins {
+            let pad = &d.valve(pin.valves[0]).rect;
+            assert_eq!((pad.x_l() + pad.x_r()) / 2, pin.position.x);
+        }
+    }
+
+    #[test]
+    fn geometry_contained_and_clean() {
+        let (d, _, rect) = place(&ChamberSpec::default());
+        for c in &d.channels {
+            assert!(rect.contains_rect(&c.bounding_rect().unwrap()));
+        }
+        for v in &d.valves {
+            assert!(rect.contains_rect(&v.rect));
+        }
+        let r = drc::check(&d);
+        assert!(r.is_clean(), "{r}");
+    }
+
+    #[test]
+    fn pins_at_mid_height() {
+        let (_, inst, rect) = place(&ChamberSpec::default());
+        let y_mid = (rect.y_b() + rect.y_t()) / 2;
+        assert!(inst.flow_pins.iter().all(|p| p.position.y == y_mid));
+    }
+
+    #[test]
+    fn bottom_access_override() {
+        let (_, inst, rect) = place_with(&ChamberSpec::default(), ControlAccess::Bottom);
+        assert!(inst.control_pins.iter().all(|p| p.side == Side::Bottom));
+        assert!(inst.control_pins.iter().all(|p| p.position.y == rect.y_b()));
+    }
+
+    #[test]
+    fn tiny_chamber_clamped() {
+        let m = model(&ChamberSpec { width: Um(1), length: Um(1) });
+        assert_eq!(m.width, MIN_W);
+        assert_eq!(m.length, Some(MIN_L));
+    }
+}

@@ -1,0 +1,371 @@
+//! Rotary mixer module model (paper Fig 3(a)–(d)).
+//!
+//! The mixer is a rectangular ring channel with three peristaltic pumping
+//! valves on its top run (with enlarged `4d` spacing, the manufacturing fix
+//! described in §2.1), guarded by an isolation valve at each of the two
+//! horizontal flow pins. The Fig 3(c) configuration adds four sieve valves
+//! on the bottom run for washing; Fig 3(d) adds four separation valves
+//! (cell traps) further along the bottom run.
+//!
+//! Every valve sits **directly under its control pin**: the internal
+//! control stub is a straight vertical drop from the boundary pin to the
+//! valve pad. This keeps the control layer crossing-free even when a
+//! parallel group's shared control channels pass vertically through the
+//! module (they are collinear with the stubs they feed).
+
+use columba_design::{
+    Channel, ChannelId, ChannelRole, Design, ModuleId, Valve, ValveKind,
+};
+use columba_geom::{Orientation, Point, Rect, Segment, Side, Um};
+use columba_netlist::{ControlAccess, MixerSpec};
+
+use crate::model::{ControlPin, FlowPin, ModuleInstance, ModuleModel, CHANNEL_W, D};
+
+/// Base mixer: ring + 3 pumps + 2 isolation valves needs 18 columns.
+const MIN_W_BASE: Um = Um(18 * 100);
+/// Sieve valves extend the bottom run to column `13d`.
+const MIN_W_SIEVE: Um = Um(18 * 100);
+/// Cell traps occupy columns `14d..20d`.
+const MIN_W_TRAPS: Um = Um(24 * 100);
+const MIN_L: Um = Um(12 * 100);
+
+pub(crate) fn model(spec: &MixerSpec) -> ModuleModel {
+    let mut min_w = MIN_W_BASE;
+    if spec.sieve_valves {
+        min_w = min_w.max(MIN_W_SIEVE);
+    }
+    if spec.cell_traps {
+        min_w = min_w.max(MIN_W_TRAPS);
+    }
+    let width = spec.width.max(min_w);
+    let length = spec.length.max(MIN_L);
+    let n = control_line_count(spec);
+    ModuleModel {
+        width,
+        length: Some(length),
+        min_length: length,
+        control_pin_count: n,
+        flow_pin_count: 2,
+        control_access: spec.access,
+        // with `both` access the three pumping lines go up, everything else
+        // down (pumps actuate constantly while mixing, so the paper's
+        // Fig 3(b)/(d) route them through the opposite boundary)
+        both_split_top: 3,
+    }
+}
+
+/// Independent control lines: 3 pumps + 2 isolation, plus one line per
+/// sieve valve and per cell trap (each valve sits on its own column).
+pub(crate) fn control_line_count(spec: &MixerSpec) -> usize {
+    3 + 2 + if spec.sieve_valves { 4 } else { 0 } + if spec.cell_traps { 4 } else { 0 }
+}
+
+/// A valve pad covering a channel of width `cw` running in `or`.
+pub(crate) fn valve_pad(center: Point, or: Orientation, cw: Um) -> Rect {
+    let along = D; // half-extent along the channel
+    let across = cw / 2 + D / 2; // half-extent across it
+    match or {
+        Orientation::Horizontal => {
+            Rect::new(center.x - along, center.x + along, center.y - across, center.y + across)
+        }
+        Orientation::Vertical => {
+            Rect::new(center.x - across, center.x + across, center.y - along, center.y + along)
+        }
+    }
+}
+
+/// Emits one control line: a straight vertical stub from the boundary pin
+/// at `pin_x` to the valve pad centred at `(pin_x, valve_y)`, then the
+/// valve itself on the flow feature `blocks`.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn emit_line(
+    design: &mut Design,
+    module: ModuleId,
+    rect: Rect,
+    name: String,
+    pin_x: Um,
+    side: Side,
+    valve_y: Um,
+    kind: ValveKind,
+    feature_or: Orientation,
+    feature_w: Um,
+    blocks: ChannelId,
+) -> ControlPin {
+    let boundary_y = if side == Side::Top { rect.y_t() } else { rect.y_b() };
+    let stub = design.add_channel(Channel::straight(
+        ChannelRole::InternalControl,
+        Segment::vertical(pin_x, boundary_y, valve_y, CHANNEL_W),
+        Some(module),
+    ));
+    let valve = design.add_valve(Valve {
+        kind,
+        rect: valve_pad(Point::new(pin_x, valve_y), feature_or, feature_w),
+        control: Some(stub),
+        blocks: Some(blocks),
+        owner: Some(module),
+    });
+    ControlPin { name, side, position: Point::new(pin_x, boundary_y), valves: vec![valve] }
+}
+
+pub(crate) fn instantiate(
+    design: &mut Design,
+    module: ModuleId,
+    spec: &MixerSpec,
+    rect: Rect,
+) -> ModuleInstance {
+    let (x_l, x_r, y_b, y_t) = (rect.x_l(), rect.x_r(), rect.y_b(), rect.y_t());
+    let y_mid = (y_b + y_t) / 2;
+    let inset = D * 4;
+    let (ring_l, ring_r) = (x_l + inset, x_r - inset);
+    let (ring_b, ring_t) = (y_b + inset, y_t - inset);
+
+    // the ring (one channel, four runs)
+    let ring = design.add_channel(Channel {
+        role: ChannelRole::InternalFlow,
+        path: vec![
+            Segment::horizontal(ring_t, ring_l, ring_r, CHANNEL_W),
+            Segment::horizontal(ring_b, ring_l, ring_r, CHANNEL_W),
+            Segment::vertical(ring_l, ring_b, ring_t, CHANNEL_W),
+            Segment::vertical(ring_r, ring_b, ring_t, CHANNEL_W),
+        ],
+        owner: Some(module),
+    });
+    // bus stubs from the flow pins to the ring
+    let left_stub = design.add_channel(Channel::straight(
+        ChannelRole::InternalFlow,
+        Segment::horizontal(y_mid, x_l, ring_l, CHANNEL_W),
+        Some(module),
+    ));
+    let right_stub = design.add_channel(Channel::straight(
+        ChannelRole::InternalFlow,
+        Segment::horizontal(y_mid, ring_r, x_r, CHANNEL_W),
+        Some(module),
+    ));
+
+    // valve sites: (group, column x, valve y, kind, feature orientation, blocks)
+    struct Site {
+        group: &'static str,
+        x: Um,
+        y: Um,
+        kind: ValveKind,
+        or: Orientation,
+        blocks: ChannelId,
+        prefer_top: bool,
+    }
+    let col = |k: i64| x_l + D * k;
+    let mut sites = vec![
+        // pumping valves on the top ring run, columns 5d/9d/13d (4d pitch)
+        Site { group: "pump0", x: col(5), y: ring_t, kind: ValveKind::Pumping, or: Orientation::Horizontal, blocks: ring, prefer_top: true },
+        Site { group: "pump1", x: col(9), y: ring_t, kind: ValveKind::Pumping, or: Orientation::Horizontal, blocks: ring, prefer_top: true },
+        Site { group: "pump2", x: col(13), y: ring_t, kind: ValveKind::Pumping, or: Orientation::Horizontal, blocks: ring, prefer_top: true },
+        // isolation valves on the pin stubs
+        Site { group: "iso_in", x: col(3), y: y_mid, kind: ValveKind::Isolation, or: Orientation::Horizontal, blocks: left_stub, prefer_top: false },
+        Site { group: "iso_out", x: x_r - D * 3, y: y_mid, kind: ValveKind::Isolation, or: Orientation::Horizontal, blocks: right_stub, prefer_top: false },
+    ];
+    if spec.sieve_valves {
+        for (i, k) in [6i64, 8, 10, 12].into_iter().enumerate() {
+            sites.push(Site {
+                group: ["sieve0", "sieve1", "sieve2", "sieve3"][i],
+                x: col(k),
+                y: ring_b,
+                kind: ValveKind::Sieve,
+                or: Orientation::Horizontal,
+                blocks: ring,
+                prefer_top: false,
+            });
+        }
+    }
+    if spec.cell_traps {
+        for (i, k) in [14i64, 16, 18, 20].into_iter().enumerate() {
+            sites.push(Site {
+                group: ["trap0", "trap1", "trap2", "trap3"][i],
+                x: col(k),
+                y: ring_b,
+                kind: ValveKind::Separation,
+                or: Orientation::Horizontal,
+                blocks: ring,
+                prefer_top: false,
+            });
+        }
+    }
+
+    let mod_name = design.modules[module.0].name.clone();
+    let mut control_pins = Vec::with_capacity(sites.len());
+    for s in sites {
+        let side = match spec.access {
+            ControlAccess::Top => Side::Top,
+            ControlAccess::Bottom => Side::Bottom,
+            ControlAccess::Both => {
+                if s.prefer_top {
+                    Side::Top
+                } else {
+                    Side::Bottom
+                }
+            }
+        };
+        control_pins.push(emit_line(
+            design,
+            module,
+            rect,
+            format!("{mod_name}.{}", s.group),
+            s.x,
+            side,
+            s.y,
+            s.kind,
+            s.or,
+            CHANNEL_W,
+            s.blocks,
+        ));
+    }
+    // keep pin ordering stable: top pins first, matching `both_split_top`
+    control_pins.sort_by_key(|p| (p.side != Side::Top, p.position.x));
+
+    ModuleInstance {
+        module,
+        flow_pins: vec![
+            FlowPin { side: Side::Left, position: Point::new(x_l, y_mid) },
+            FlowPin { side: Side::Right, position: Point::new(x_r, y_mid) },
+        ],
+        control_pins,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use columba_design::drc;
+    use columba_netlist::ComponentId;
+
+    fn place(spec: &MixerSpec) -> (Design, ModuleInstance, Rect) {
+        let mut d = Design::new("t", Rect::new(Um(0), Um(60_000), Um(0), Um(60_000)));
+        let m = model(spec);
+        let rect = Rect::from_origin_size(
+            Point::new(Um(10_000), Um(10_000)),
+            m.width,
+            m.length.unwrap(),
+        );
+        d.modules.push(columba_design::PlacedModule {
+            component: ComponentId(0),
+            name: "mix".into(),
+            rect,
+        });
+        let inst = instantiate(&mut d, ModuleId(0), spec, rect);
+        (d, inst, rect)
+    }
+
+    #[test]
+    fn base_mixer_counts() {
+        let (d, inst, rect) = place(&MixerSpec::default());
+        assert_eq!(inst.control_pins.len(), 5);
+        assert_eq!(d.valves.len(), 5, "3 pumps + 2 isolation");
+        assert_eq!(inst.flow_pins.len(), 2);
+        let left = inst.flow_pin_on(Side::Left).unwrap();
+        assert_eq!(left.position.x, rect.x_l());
+        assert_eq!(left.position.y, (rect.y_b() + rect.y_t()) / 2);
+    }
+
+    #[test]
+    fn sieve_and_traps_add_individual_lines() {
+        let spec = MixerSpec { sieve_valves: true, cell_traps: true, ..MixerSpec::default() };
+        let (d, inst, _) = place(&spec);
+        assert_eq!(inst.control_pins.len(), 13, "5 + 4 sieve + 4 trap lines");
+        assert_eq!(d.valves.len(), 13);
+        assert!(d.valves.iter().any(|v| v.kind == ValveKind::Sieve));
+        assert!(d.valves.iter().any(|v| v.kind == ValveKind::Separation));
+    }
+
+    #[test]
+    fn valves_sit_on_their_columns() {
+        let spec = MixerSpec { sieve_valves: true, cell_traps: true, ..MixerSpec::default() };
+        let (d, inst, _) = place(&spec);
+        for pin in &inst.control_pins {
+            for &v in &pin.valves {
+                let pad = &d.valve(v).rect;
+                let cx = (pad.x_l() + pad.x_r()) / 2;
+                assert_eq!(cx, pin.position.x, "valve centred under its pin");
+            }
+        }
+    }
+
+    #[test]
+    fn internal_control_is_straight_vertical() {
+        let spec = MixerSpec { sieve_valves: true, ..MixerSpec::default() };
+        let (d, _, _) = place(&spec);
+        for c in &d.channels {
+            if c.role == ChannelRole::InternalControl {
+                assert_eq!(c.path.len(), 1);
+                assert_eq!(c.path[0].orientation(), Orientation::Vertical);
+            }
+        }
+    }
+
+    #[test]
+    fn pin_columns_are_unique() {
+        let spec = MixerSpec { sieve_valves: true, cell_traps: true, ..MixerSpec::default() };
+        let (_, inst, _) = place(&spec);
+        let mut xs: Vec<Um> = inst.control_pins.iter().map(|p| p.position.x).collect();
+        xs.sort();
+        xs.dedup();
+        assert_eq!(xs.len(), inst.control_pins.len(), "one column per line");
+    }
+
+    #[test]
+    fn both_access_splits_pumps_to_top() {
+        let (_, inst, _) = place(&MixerSpec::default()); // access = Both
+        let top: Vec<_> = inst.control_pins.iter().filter(|p| p.side == Side::Top).collect();
+        let bottom: Vec<_> =
+            inst.control_pins.iter().filter(|p| p.side == Side::Bottom).collect();
+        assert_eq!(top.len(), 3);
+        assert_eq!(bottom.len(), 2);
+        assert!(top.iter().all(|p| p.name.contains("pump")));
+        // instance ordering puts top pins first (matches both_split_top)
+        assert!(inst.control_pins[..3].iter().all(|p| p.side == Side::Top));
+    }
+
+    #[test]
+    fn bottom_access_puts_all_pins_down() {
+        let spec = MixerSpec { access: ControlAccess::Bottom, ..MixerSpec::default() };
+        let (_, inst, rect) = place(&spec);
+        assert!(inst.control_pins.iter().all(|p| p.side == Side::Bottom));
+        assert!(inst.control_pins.iter().all(|p| p.position.y == rect.y_b()));
+    }
+
+    #[test]
+    fn geometry_is_drc_clean_and_contained() {
+        let spec = MixerSpec { sieve_valves: true, cell_traps: true, ..MixerSpec::default() };
+        let (d, _, rect) = place(&spec);
+        for c in &d.channels {
+            let bb = c.bounding_rect().unwrap();
+            assert!(rect.contains_rect(&bb), "channel {bb} outside module {rect}");
+        }
+        for v in &d.valves {
+            assert!(rect.contains_rect(&v.rect), "valve {} outside module", v.rect);
+        }
+        let report = drc::check(&d);
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn pumping_valves_have_enlarged_spacing() {
+        let (d, _, _) = place(&MixerSpec::default());
+        let mut pump_xs: Vec<Um> = d
+            .valves
+            .iter()
+            .filter(|v| v.kind == ValveKind::Pumping)
+            .map(|v| (v.rect.x_l() + v.rect.x_r()) / 2)
+            .collect();
+        pump_xs.sort();
+        assert_eq!(pump_xs[1] - pump_xs[0], D * 4, "enlarged 4d pitch (§2.1)");
+        assert_eq!(pump_xs[2] - pump_xs[1], D * 4);
+    }
+
+    #[test]
+    fn tiny_spec_clamped_to_workable_footprint() {
+        let spec = MixerSpec { width: Um(200), length: Um(100), ..MixerSpec::default() };
+        let m = model(&spec);
+        assert_eq!(m.width, MIN_W_BASE);
+        assert_eq!(m.length, Some(MIN_L));
+        let traps = MixerSpec { width: Um(200), cell_traps: true, ..MixerSpec::default() };
+        assert_eq!(model(&traps).width, MIN_W_TRAPS);
+    }
+}

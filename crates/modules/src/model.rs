@@ -1,0 +1,328 @@
+//! Module footprints, pin plans and instantiation.
+
+use std::fmt;
+
+use columba_design::{Design, ModuleId, ValveId};
+use columba_geom::{Point, Rect, Side, Um, MIN_CHANNEL_SPACING};
+use columba_netlist::{ComponentKind, ControlAccess};
+
+use crate::{chamber, mixer, switch};
+
+/// Minimum spacing unit `d`, re-exported locally for the geometry code.
+pub(crate) const D: Um = MIN_CHANNEL_SPACING;
+
+/// Drawn (physical) channel width used inside modules: `d`.
+pub(crate) const CHANNEL_W: Um = MIN_CHANNEL_SPACING;
+
+/// The footprint and pin plan of a module, before placement.
+///
+/// Computed by [`ModuleModel::for_component`]; the layout-generation phase
+/// uses the sizes, and [`instantiate`] later emits the inner geometry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModuleModel {
+    /// Module width (x extent). For switches: `4d + 2d·c`.
+    pub width: Um,
+    /// Module length (y extent), or `None` for switches, which extend in y
+    /// to cover their attached channels.
+    pub length: Option<Um>,
+    /// Minimum y extent (used to seed the extensible switch length).
+    pub min_length: Um,
+    /// Number of independent control lines the module needs (= vertical
+    /// control channels = control pins).
+    pub control_pin_count: usize,
+    /// Number of flow pins. Mixers and chambers have two (left + right);
+    /// a switch has one per junction.
+    pub flow_pin_count: usize,
+    /// Which boundary the control pins use, or both.
+    pub control_access: ControlAccess,
+    /// Under [`ControlAccess::Both`]: how many pins go to the top boundary
+    /// (the per-kind generators decide which groups those are — for mixers,
+    /// the three pumping lines).
+    pub both_split_top: usize,
+}
+
+impl ModuleModel {
+    /// Builds the model for a netlist component under the Columba S library
+    /// rules.
+    #[must_use]
+    pub fn for_component(kind: &ComponentKind) -> ModuleModel {
+        match kind {
+            ComponentKind::Mixer(m) => mixer::model(m),
+            ComponentKind::Chamber(c) => chamber::model(c),
+            ComponentKind::Switch(s) => switch::model(s),
+        }
+    }
+
+    /// Control pins on the top boundary (the rest are on the bottom).
+    #[must_use]
+    pub fn top_control_pins(&self) -> usize {
+        match self.control_access {
+            ControlAccess::Top => self.control_pin_count,
+            ControlAccess::Bottom => 0,
+            ControlAccess::Both => self.both_split_top,
+        }
+    }
+}
+
+/// A placed flow pin: where a horizontal flow channel may attach.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlowPin {
+    /// Boundary the pin sits on ([`Side::Left`] or [`Side::Right`]).
+    pub side: Side,
+    /// Absolute pin position (on the module boundary).
+    pub position: Point,
+}
+
+/// A placed control pin: where a vertical control channel must attach, and
+/// which valves it actuates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ControlPin {
+    /// Line name (`<module>.<role>`).
+    pub name: String,
+    /// Boundary the pin sits on ([`Side::Top`] or [`Side::Bottom`]).
+    pub side: Side,
+    /// Absolute pin position.
+    pub position: Point,
+    /// Valves actuated by this line.
+    pub valves: Vec<ValveId>,
+}
+
+/// Placement directives for a switch: one `(side, y)` entry per junction
+/// plus the boundary for valve-control access (Fig 3(e) bottom / 3(f) top).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SwitchPlan {
+    /// For each junction: which boundary the attached flow channel comes
+    /// from and the absolute y of its centreline.
+    pub junctions: Vec<(Side, Um)>,
+    /// [`Side::Top`] or [`Side::Bottom`]: where the control pins go.
+    pub control_side: Side,
+}
+
+/// The inner geometry emitted for one placed module.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModuleInstance {
+    /// The module index in the design.
+    pub module: ModuleId,
+    /// Flow pins in boundary order.
+    pub flow_pins: Vec<FlowPin>,
+    /// Control pins with their valve groups.
+    pub control_pins: Vec<ControlPin>,
+}
+
+impl ModuleInstance {
+    /// The flow pin on `side`, if any (mixers/chambers have exactly one per
+    /// side).
+    #[must_use]
+    pub fn flow_pin_on(&self, side: Side) -> Option<&FlowPin> {
+        self.flow_pins.iter().find(|p| p.side == side)
+    }
+}
+
+/// Error raised by [`instantiate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InstantiateError {
+    /// The placed rectangle does not match the model footprint.
+    RectMismatch {
+        /// What the model requires.
+        expected: (Um, Option<Um>),
+        /// What was passed.
+        got: (Um, Um),
+    },
+    /// A switch was instantiated without a [`SwitchPlan`].
+    MissingSwitchPlan,
+    /// The plan's junction count differs from the netlist spec.
+    PlanMismatch {
+        /// Junctions in the netlist spec.
+        expected: usize,
+        /// Junctions in the plan.
+        got: usize,
+    },
+    /// A junction y lies outside the placed rectangle (minus clearance).
+    JunctionOutsideRect {
+        /// The offending junction y.
+        y: Um,
+        /// The placed rectangle.
+        rect: Rect,
+    },
+}
+
+impl fmt::Display for InstantiateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InstantiateError::RectMismatch { expected, got } => write!(
+                f,
+                "placed rect {}x{} does not match model footprint {}x{:?}",
+                got.0, got.1, expected.0, expected.1
+            ),
+            InstantiateError::MissingSwitchPlan => {
+                f.write_str("switch instantiation requires a SwitchPlan")
+            }
+            InstantiateError::PlanMismatch { expected, got } => {
+                write!(f, "switch plan has {got} junctions, netlist spec has {expected}")
+            }
+            InstantiateError::JunctionOutsideRect { y, rect } => {
+                write!(f, "junction y {y} outside placed rect {rect}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for InstantiateError {}
+
+/// Emits the inner geometry of a placed module into `design`: internal
+/// channels, valves and the pin positions external routing must honour.
+///
+/// `module` must already exist in `design.modules` with footprint `rect`.
+/// Switches additionally need a [`SwitchPlan`]. `access_override` replaces
+/// the component's control-access direction — 1-MUX designs must route
+/// every control channel to the bottom boundary, so the layout pass forces
+/// [`ControlAccess::Bottom`] there.
+///
+/// # Errors
+///
+/// Returns [`InstantiateError`] when the rectangle does not match the model
+/// footprint or the switch plan is missing/inconsistent.
+pub fn instantiate(
+    design: &mut Design,
+    module: ModuleId,
+    kind: &ComponentKind,
+    rect: Rect,
+    plan: Option<&SwitchPlan>,
+    access_override: Option<ControlAccess>,
+) -> Result<ModuleInstance, InstantiateError> {
+    let model = ModuleModel::for_component(kind);
+    match kind {
+        ComponentKind::Mixer(m) => {
+            check_rect(&model, rect)?;
+            let spec = columba_netlist::MixerSpec {
+                access: access_override.unwrap_or(m.access),
+                ..*m
+            };
+            Ok(mixer::instantiate(design, module, &spec, rect))
+        }
+        ComponentKind::Chamber(c) => {
+            check_rect(&model, rect)?;
+            let access = access_override.unwrap_or(ControlAccess::Top);
+            Ok(chamber::instantiate(design, module, c, rect, access))
+        }
+        ComponentKind::Switch(s) => {
+            let plan = plan.ok_or(InstantiateError::MissingSwitchPlan)?;
+            if plan.junctions.len() != s.junctions {
+                return Err(InstantiateError::PlanMismatch {
+                    expected: s.junctions,
+                    got: plan.junctions.len(),
+                });
+            }
+            if rect.width() != model.width {
+                return Err(InstantiateError::RectMismatch {
+                    expected: (model.width, None),
+                    got: (rect.width(), rect.height()),
+                });
+            }
+            for &(_, y) in &plan.junctions {
+                if y < rect.y_b() + D * 2 || y > rect.y_t() - D * 2 {
+                    return Err(InstantiateError::JunctionOutsideRect { y, rect });
+                }
+            }
+            Ok(switch::instantiate(design, module, rect, plan))
+        }
+    }
+}
+
+fn check_rect(model: &ModuleModel, rect: Rect) -> Result<(), InstantiateError> {
+    let ok = rect.width() == model.width
+        && model.length.map_or(rect.height() >= model.min_length, |l| rect.height() == l);
+    if ok {
+        Ok(())
+    } else {
+        Err(InstantiateError::RectMismatch {
+            expected: (model.width, model.length),
+            got: (rect.width(), rect.height()),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use columba_netlist::{ChamberSpec, MixerSpec, SwitchSpec};
+
+    #[test]
+    fn model_dispatch() {
+        let m = ModuleModel::for_component(&ComponentKind::Mixer(MixerSpec::default()));
+        assert_eq!(m.width, Um::from_mm(3.0));
+        assert_eq!(m.length, Some(Um::from_mm(1.5)));
+        assert_eq!(m.flow_pin_count, 2);
+
+        let c = ModuleModel::for_component(&ComponentKind::Chamber(ChamberSpec::default()));
+        assert_eq!(c.control_pin_count, 2);
+
+        let s = ModuleModel::for_component(&ComponentKind::Switch(SwitchSpec { junctions: 5 }));
+        assert_eq!(s.width, D * 4 + D * 2 * 5);
+        assert!(s.length.is_none());
+        assert_eq!(s.flow_pin_count, 5);
+        assert_eq!(s.control_pin_count, 5);
+    }
+
+    #[test]
+    fn top_pin_split() {
+        let mut m = ModuleModel::for_component(&ComponentKind::Mixer(MixerSpec::default()));
+        m.control_access = ControlAccess::Top;
+        assert_eq!(m.top_control_pins(), m.control_pin_count);
+        m.control_access = ControlAccess::Bottom;
+        assert_eq!(m.top_control_pins(), 0);
+        m.control_access = ControlAccess::Both;
+        assert_eq!(m.top_control_pins(), 3, "pumping lines go up");
+    }
+
+    #[test]
+    fn rect_mismatch_detected() {
+        let mut d = Design::new("t", Rect::new(Um(0), Um(50_000), Um(0), Um(50_000)));
+        d.modules.push(columba_design::PlacedModule {
+            component: columba_netlist::ComponentId(0),
+            name: "m".into(),
+            rect: Rect::new(Um(0), Um(1_000), Um(0), Um(1_000)),
+        });
+        let e = instantiate(
+            &mut d,
+            ModuleId(0),
+            &ComponentKind::Mixer(MixerSpec::default()),
+            Rect::new(Um(0), Um(1_000), Um(0), Um(1_000)),
+            None,
+            None,
+        )
+        .unwrap_err();
+        assert!(matches!(e, InstantiateError::RectMismatch { .. }));
+        assert!(e.to_string().contains("does not match"));
+    }
+
+    #[test]
+    fn switch_needs_plan() {
+        let mut d = Design::new("t", Rect::new(Um(0), Um(50_000), Um(0), Um(50_000)));
+        let kind = ComponentKind::Switch(SwitchSpec { junctions: 2 });
+        let rect = Rect::new(Um(0), Um(800), Um(0), Um(2_000));
+        let e = instantiate(&mut d, ModuleId(0), &kind, rect, None, None).unwrap_err();
+        assert_eq!(e, InstantiateError::MissingSwitchPlan);
+
+        let bad_plan = SwitchPlan {
+            junctions: vec![(Side::Left, Um(500))],
+            control_side: Side::Bottom,
+        };
+        let e = instantiate(&mut d, ModuleId(0), &kind, rect, Some(&bad_plan), None).unwrap_err();
+        assert!(matches!(e, InstantiateError::PlanMismatch { expected: 2, got: 1 }));
+
+        let out_plan = SwitchPlan {
+            junctions: vec![(Side::Left, Um(50)), (Side::Right, Um(1_000))],
+            control_side: Side::Bottom,
+        };
+        let e = instantiate(&mut d, ModuleId(0), &kind, rect, Some(&out_plan), None).unwrap_err();
+        assert!(matches!(e, InstantiateError::JunctionOutsideRect { .. }));
+    }
+
+    #[test]
+    fn sieve_mixer_line_count() {
+        let spec = MixerSpec { sieve_valves: true, ..MixerSpec::default() };
+        let m = ModuleModel::for_component(&ComponentKind::Mixer(spec));
+        assert_eq!(m.control_pin_count, 9, "each sieve valve has its own line");
+    }
+}

@@ -1,0 +1,242 @@
+//! Switch module model (paper Fig 3(e)–(f)).
+//!
+//! A switch is a managed flow-channel crossing: a vertical flow-channel
+//! *spine* with one valve-guarded *junction* per attached flow channel.
+//! Unlike the fixed-pitch Columba 2.0 switch, the Columba S spine extends in
+//! the y direction so junctions can sit exactly at the heights of the
+//! channels that reach the switch — no detour routing. Valve access moved to
+//! the top and bottom module boundaries to honour the vertical control
+//! discipline.
+//!
+//! The module is `4d + 2d·c` wide (eq. of §3.2): one control column per
+//! junction. Left-side junctions take the left columns and right-side
+//! junctions the right columns, and the spine slides between the two
+//! groups, so every junction valve sits on its own stub directly under its
+//! control pin.
+
+use columba_design::{Channel, ChannelRole, Design, ModuleId, ValveKind};
+use columba_geom::{Orientation, Rect, Segment, Side, Um};
+use columba_netlist::{ControlAccess, SwitchSpec};
+
+use crate::mixer::emit_line;
+use crate::model::{FlowPin, ModuleInstance, ModuleModel, SwitchPlan, CHANNEL_W, D};
+
+/// The switch width formula of §3.2: `w = 4d + 2d·c` for `c` junctions.
+#[must_use]
+pub fn switch_width(junctions: usize) -> Um {
+    D * 4 + D * 2 * junctions as i64
+}
+
+pub(crate) fn model(spec: &SwitchSpec) -> ModuleModel {
+    ModuleModel {
+        width: switch_width(spec.junctions),
+        length: None,
+        min_length: D * 2 * (spec.junctions as i64 + 2),
+        control_pin_count: spec.junctions,
+        flow_pin_count: spec.junctions,
+        control_access: ControlAccess::Bottom,
+        both_split_top: 0,
+    }
+}
+
+pub(crate) fn instantiate(
+    design: &mut Design,
+    module: ModuleId,
+    rect: Rect,
+    plan: &SwitchPlan,
+) -> ModuleInstance {
+    let c = plan.junctions.len();
+    // columns: x_l + 2d, +4d, ..., one per junction; left junctions use the
+    // low columns in plan order, right junctions the high ones, the spine
+    // sits between the groups
+    let n_left = plan.junctions.iter().filter(|&&(s, _)| s == Side::Left).count();
+    let col = |k: usize| rect.x_l() + D * 2 + D * 2 * k as i64;
+    let spine_x = rect.x_l() + D * 2 + D * 2 * n_left as i64 - D;
+
+    let ys: Vec<Um> = plan.junctions.iter().map(|&(_, y)| y).collect();
+    let y_lo = ys.iter().copied().fold(ys[0], Um::min) - D * 2;
+    let y_hi = ys.iter().copied().fold(ys[0], Um::max) + D * 2;
+
+    design.add_channel(Channel::straight(
+        ChannelRole::InternalFlow,
+        Segment::vertical(spine_x, y_lo, y_hi, CHANNEL_W),
+        Some(module),
+    ));
+
+    let name = design.modules[module.0].name.clone();
+    let (mut next_left, mut next_right) = (0usize, n_left);
+    let mut flow_pins = Vec::with_capacity(c);
+    let mut control_pins = Vec::with_capacity(c);
+    for (j, &(side, y)) in plan.junctions.iter().enumerate() {
+        let (pin_x_boundary, col_x) = match side {
+            Side::Left => {
+                let k = next_left;
+                next_left += 1;
+                (rect.x_l(), col(k))
+            }
+            Side::Right => {
+                let k = next_right;
+                next_right += 1;
+                (rect.x_r(), col(k))
+            }
+            other => unreachable!("switch junctions attach left or right, got {other}"),
+        };
+        let stub = design.add_channel(Channel::straight(
+            ChannelRole::InternalFlow,
+            Segment::horizontal(y, pin_x_boundary.min(spine_x), pin_x_boundary.max(spine_x), CHANNEL_W),
+            Some(module),
+        ));
+        flow_pins.push(FlowPin {
+            side,
+            position: columba_geom::Point::new(pin_x_boundary, y),
+        });
+        control_pins.push(emit_line(
+            design,
+            module,
+            rect,
+            format!("{name}.j{j}"),
+            col_x,
+            plan.control_side,
+            y,
+            ValveKind::Switch,
+            Orientation::Horizontal,
+            CHANNEL_W,
+            stub,
+        ));
+    }
+
+    ModuleInstance { module, flow_pins, control_pins }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use columba_design::drc;
+    use columba_netlist::ComponentId;
+
+    fn plan3() -> SwitchPlan {
+        SwitchPlan {
+            junctions: vec![
+                (Side::Left, Um(10_500)),
+                (Side::Right, Um(11_500)),
+                (Side::Left, Um(12_500)),
+            ],
+            control_side: Side::Bottom,
+        }
+    }
+
+    fn place(plan: &SwitchPlan) -> (Design, ModuleInstance, Rect) {
+        let mut d = Design::new("t", Rect::new(Um(0), Um(60_000), Um(0), Um(60_000)));
+        let w = switch_width(plan.junctions.len());
+        let rect = Rect::new(Um(20_000), Um(20_000) + w, Um(10_000), Um(13_000));
+        d.modules.push(columba_design::PlacedModule {
+            component: ComponentId(0),
+            name: "sw".into(),
+            rect,
+        });
+        let inst = instantiate(&mut d, ModuleId(0), rect, plan);
+        (d, inst, rect)
+    }
+
+    #[test]
+    fn width_formula_matches_paper() {
+        assert_eq!(switch_width(1), Um(600));
+        assert_eq!(switch_width(5), Um(1_400));
+    }
+
+    #[test]
+    fn one_valve_per_junction() {
+        let (d, inst, _) = place(&plan3());
+        assert_eq!(inst.flow_pins.len(), 3);
+        assert_eq!(inst.control_pins.len(), 3);
+        assert_eq!(d.valves.len(), 3);
+        assert!(d.valves.iter().all(|v| v.kind == ValveKind::Switch));
+    }
+
+    #[test]
+    fn junction_pins_at_requested_heights() {
+        let plan = plan3();
+        let (_, inst, rect) = place(&plan);
+        for (pin, &(side, y)) in inst.flow_pins.iter().zip(&plan.junctions) {
+            assert_eq!(pin.side, side);
+            assert_eq!(pin.position.y, y);
+            let expected_x = if side == Side::Left { rect.x_l() } else { rect.x_r() };
+            assert_eq!(pin.position.x, expected_x);
+        }
+    }
+
+    #[test]
+    fn valves_between_their_boundary_and_the_spine() {
+        let plan = plan3();
+        let (d, inst, rect) = place(&plan);
+        let n_left = 2;
+        let spine_x = rect.x_l() + D * 2 + D * 2 * n_left - D;
+        for (pin, &(side, _)) in inst.control_pins.iter().zip(&plan.junctions) {
+            let pad = &d.valve(pin.valves[0]).rect;
+            let cx = (pad.x_l() + pad.x_r()) / 2;
+            assert_eq!(cx, pin.position.x, "valve under its pin");
+            match side {
+                Side::Left => assert!(cx < spine_x, "left valve left of spine"),
+                Side::Right => assert!(cx > spine_x, "right valve right of spine"),
+                _ => unreachable!(),
+            }
+        }
+    }
+
+    #[test]
+    fn control_side_honoured() {
+        let mut plan = plan3();
+        plan.control_side = Side::Top;
+        let (_, inst, rect) = place(&plan);
+        assert!(inst.control_pins.iter().all(|p| p.side == Side::Top));
+        assert!(inst.control_pins.iter().all(|p| p.position.y == rect.y_t()));
+    }
+
+    #[test]
+    fn all_junctions_on_one_side_fit() {
+        let plan = SwitchPlan {
+            junctions: vec![
+                (Side::Right, Um(10_400)),
+                (Side::Right, Um(11_200)),
+                (Side::Right, Um(12_000)),
+                (Side::Right, Um(12_600)),
+            ],
+            control_side: Side::Bottom,
+        };
+        let (d, inst, rect) = place(&plan);
+        // spine hugs the left edge; every stub and valve stays inside
+        for c in &d.channels {
+            assert!(rect.contains_rect(&c.bounding_rect().unwrap()));
+        }
+        for v in &d.valves {
+            assert!(rect.contains_rect(&v.rect));
+        }
+        assert_eq!(inst.flow_pins.len(), 4);
+        let r = drc::check(&d);
+        assert!(r.is_clean(), "{r}");
+    }
+
+    #[test]
+    fn geometry_contained_and_clean() {
+        let (d, _, rect) = place(&plan3());
+        for c in &d.channels {
+            assert!(
+                rect.contains_rect(&c.bounding_rect().unwrap()),
+                "{}",
+                c.bounding_rect().unwrap()
+            );
+        }
+        for v in &d.valves {
+            assert!(rect.contains_rect(&v.rect));
+        }
+        let r = drc::check(&d);
+        assert!(r.is_clean(), "{r}");
+    }
+
+    #[test]
+    fn min_length_covers_junction_spread() {
+        let m = model(&SwitchSpec { junctions: 4 });
+        assert_eq!(m.min_length, D * 12);
+        assert!(m.length.is_none());
+    }
+}

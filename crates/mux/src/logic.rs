@@ -1,0 +1,120 @@
+//! Multiplexer addressing logic.
+
+use columba_design::MuxUnit;
+
+/// Number of address bits for `n` control channels: `ceil(log2 n)`.
+///
+/// # Panics
+///
+/// Panics if `n == 0` — a MUX for zero channels is meaningless.
+#[must_use]
+pub fn address_bits(n: usize) -> usize {
+    assert!(n > 0, "a multiplexer needs at least one channel");
+    (usize::BITS - (n - 1).leading_zeros()) as usize
+}
+
+/// Pressure inlets needed for `n` channels: `2·ceil(log2 n) + 1` (the `+1`
+/// is the common supply).
+#[must_use]
+pub fn required_inlets(n: usize) -> usize {
+    2 * address_bits(n) + 1
+}
+
+/// How many independent valves Columba S can hold actuated at once: one per
+/// multiplexer (§2.2 — the trade-off against Columba 2.0's unrestricted
+/// simultaneous control).
+#[must_use]
+pub fn simultaneous_limit(mux_count: usize) -> usize {
+    mux_count
+}
+
+/// The result of applying an address to a synthesized MUX.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MuxSelection {
+    /// For each controlled channel: `true` when the channel remains open
+    /// (connected to the supply).
+    pub open: Vec<bool>,
+    /// The lines inflated for this address: `(bit, complement?)`.
+    pub inflated_lines: Vec<(usize, bool)>,
+}
+
+impl MuxSelection {
+    /// Indices of the open channels.
+    #[must_use]
+    pub fn open_channels(&self) -> Vec<usize> {
+        self.open
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &o)| o.then_some(i))
+            .collect()
+    }
+}
+
+/// Evaluates the MUX hardware for a target `address`: inflates, for every
+/// bit, the line whose valves contradict the address, then derives which
+/// channels stay open *from the synthesized valve matrix* ([`MuxUnit::valves`]).
+///
+/// Channels whose index exceeds the address range are never selectable;
+/// addresses ≥ the channel count simply open nothing.
+#[must_use]
+pub fn selection(mux: &MuxUnit, address: usize) -> MuxSelection {
+    let bits = mux.bits();
+    // line inflated for bit b: the true line if address bit is 1 blocks
+    // bit-0 channels? No — convention: valves sit on the true line for
+    // bit=0 channels, on the complement line for bit=1 channels. To keep
+    // channels *matching* the address open, inflate the line whose valves
+    // sit on non-matching channels:
+    //   address bit = 1  -> inflate true line      (blocks bit-0 channels)
+    //   address bit = 0  -> inflate complement line (blocks bit-1 channels)
+    let inflated_lines: Vec<(usize, bool)> =
+        (0..bits).map(|b| (b, (address >> b) & 1 == 0)).collect();
+    let mut open = vec![true; mux.controlled.len()];
+    for v in &mux.valves {
+        let inflated = inflated_lines
+            .iter()
+            .any(|&(b, compl)| b == v.bit && compl == v.on_complement_line);
+        if inflated {
+            open[v.channel] = false;
+        }
+    }
+    MuxSelection { open, inflated_lines }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_formula() {
+        assert_eq!(address_bits(1), 0);
+        assert_eq!(address_bits(2), 1);
+        assert_eq!(address_bits(3), 2);
+        assert_eq!(address_bits(4), 2);
+        assert_eq!(address_bits(5), 3);
+        assert_eq!(address_bits(15), 4);
+        assert_eq!(address_bits(16), 4);
+        assert_eq!(address_bits(17), 5);
+        assert_eq!(address_bits(256), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one channel")]
+    fn zero_channels_panics() {
+        let _ = address_bits(0);
+    }
+
+    #[test]
+    fn inlet_formula_matches_paper() {
+        // §2.2: n independent valves with 2*ceil(log2 n) + 1 inlets
+        assert_eq!(required_inlets(15), 9);
+        assert_eq!(required_inlets(1), 1);
+        assert_eq!(required_inlets(64), 13);
+        assert_eq!(required_inlets(200), 17);
+    }
+
+    #[test]
+    fn simultaneous_control_tradeoff() {
+        assert_eq!(simultaneous_limit(1), 1);
+        assert_eq!(simultaneous_limit(2), 2, "2-MUX designs control two valves at once");
+    }
+}

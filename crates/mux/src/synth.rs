@@ -1,0 +1,401 @@
+//! Multiplexer geometry synthesis.
+
+use std::fmt;
+
+use columba_design::{
+    Channel, ChannelId, ChannelRole, Design, Inlet, InletKind, MuxUnit, MuxValve, Valve, ValveKind,
+};
+use columba_geom::{Orientation, Point, Rect, Segment, Side, Um, MIN_CHANNEL_SPACING};
+
+use crate::logic::address_bits;
+
+const D: Um = MIN_CHANNEL_SPACING;
+const CHANNEL_W: Um = MIN_CHANNEL_SPACING;
+
+/// Error raised by [`synthesize`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MuxError {
+    /// No channels to control.
+    NoChannels,
+    /// A channel is not a single-segment vertical [`ChannelRole::Control`]
+    /// channel.
+    NotAControlChannel(ChannelId),
+    /// Two control channels share an x position; their MUX valves would
+    /// stack.
+    DuplicateChannelX(Um),
+    /// The reserved region is too small; carries the required height.
+    RegionTooSmall {
+        /// Height needed for this channel count.
+        required: Um,
+        /// Height available.
+        available: Um,
+    },
+    /// A control channel lies outside the region's x range.
+    ChannelOutsideRegion(ChannelId),
+}
+
+impl fmt::Display for MuxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MuxError::NoChannels => f.write_str("multiplexer needs at least one control channel"),
+            MuxError::NotAControlChannel(id) => {
+                write!(f, "channel #{} is not a straight vertical control channel", id.0)
+            }
+            MuxError::DuplicateChannelX(x) => {
+                write!(f, "two control channels share x = {x}")
+            }
+            MuxError::RegionTooSmall { required, available } => {
+                write!(f, "MUX region height {available} < required {required}")
+            }
+            MuxError::ChannelOutsideRegion(id) => {
+                write!(f, "control channel #{} lies outside the MUX region", id.0)
+            }
+        }
+    }
+}
+
+impl std::error::Error for MuxError {}
+
+/// The region height a MUX for `n` channels needs: one `2d` row per
+/// MUX-flow line (`2·bits`), one for the supply bus, plus `2d` margins.
+#[must_use]
+pub fn required_height(n: usize) -> Um {
+    let bits = address_bits(n) as i64;
+    D * 2 * (2 * bits + 1) + D * 4
+}
+
+/// Synthesizes a multiplexer over `channels` inside `region` on `side`
+/// ([`Side::Bottom`] or [`Side::Top`]) of the functional region:
+///
+/// 1. extends every control channel through the region to the supply bus,
+/// 2. lays one pair of horizontal MUX-flow lines per address bit,
+/// 3. places a [`ValveKind::Mux`] valve for every (channel, bit) pair on
+///    the line matching the channel's bit value,
+/// 4. punches the supply inlet and one inlet pair per bit,
+/// 5. registers the [`MuxUnit`] on the design and returns its index.
+///
+/// Channel `i` in `channels` receives binary address `i`.
+///
+/// # Errors
+///
+/// Returns [`MuxError`] when the channels are malformed or the region
+/// cannot fit the MUX (use [`required_height`] to reserve space).
+///
+/// # Panics
+///
+/// Panics if `side` is [`Side::Left`] or [`Side::Right`] — MUXs occupy the
+/// bottom/top boundaries under the Columba S framework.
+pub fn synthesize(
+    design: &mut Design,
+    channels: Vec<ChannelId>,
+    side: Side,
+    region: Rect,
+) -> Result<usize, MuxError> {
+    assert!(
+        matches!(side, Side::Bottom | Side::Top),
+        "MUX boundaries are bottom/top, got {side}"
+    );
+    if channels.is_empty() {
+        return Err(MuxError::NoChannels);
+    }
+    let n = channels.len();
+    let bits = address_bits(n);
+    let required = required_height(n);
+    if region.height() < required {
+        return Err(MuxError::RegionTooSmall { required, available: region.height() });
+    }
+
+    // validate channels and collect their x positions
+    let mut xs = Vec::with_capacity(n);
+    for &id in &channels {
+        let c = design.channel(id);
+        // a zero-length channel (pin directly on the MUX boundary) is fine:
+        // the MUX extends it into its region
+        let ok = c.role == ChannelRole::Control
+            && c.path.len() == 1
+            && (c.path[0].orientation() == Orientation::Vertical
+                || c.path[0].length() == Um(0));
+        if !ok {
+            return Err(MuxError::NotAControlChannel(id));
+        }
+        let x = c.path[0].start().x;
+        if x < region.x_l() + D * 2 || x > region.x_r() - D * 2 {
+            return Err(MuxError::ChannelOutsideRegion(id));
+        }
+        xs.push(x);
+    }
+    let mut sorted = xs.clone();
+    sorted.sort_unstable();
+    for w in sorted.windows(2) {
+        if w[0] == w[1] {
+            return Err(MuxError::DuplicateChannelX(w[0]));
+        }
+    }
+
+    // row ys: closest to the functional region first
+    let row_y = |k: i64| -> Um {
+        match side {
+            Side::Bottom => region.y_t() - D * 2 - D * 2 * k,
+            Side::Top => region.y_b() + D * 2 + D * 2 * k,
+            _ => unreachable!(),
+        }
+    };
+    let bus_y = row_y(2 * bits as i64);
+    let x_min = xs.iter().copied().fold(xs[0], Um::min);
+    let x_max = xs.iter().copied().fold(xs[0], Um::max);
+    let line_l = (x_min - D * 4).max(region.x_l());
+    let line_r = (x_max + D * 4).min(region.x_r());
+
+    // 1. extend the control channels to the bus
+    for (&id, &x) in channels.iter().zip(&xs) {
+        let seg = design.channels[id.0].path[0];
+        let (y1, y2) = (seg.start().y, seg.end().y);
+        let (lo, hi) = match side {
+            Side::Bottom => (bus_y, y1.max(y2)),
+            Side::Top => (y1.min(y2), bus_y),
+            _ => unreachable!(),
+        };
+        design.channels[id.0].path[0] = Segment::vertical(x, lo, hi, seg.width());
+    }
+
+    // 2. MUX-flow line pairs + 4. their inlets
+    let mut bit_lines = Vec::with_capacity(bits);
+    let mut bit_inlets = Vec::with_capacity(bits);
+    for b in 0..bits {
+        let true_y = row_y(2 * b as i64);
+        let compl_y = row_y(2 * b as i64 + 1);
+        let true_line = design.add_channel(Channel::straight(
+            ChannelRole::MuxFlow,
+            Segment::horizontal(true_y, line_l, line_r, CHANNEL_W),
+            None,
+        ));
+        let compl_line = design.add_channel(Channel::straight(
+            ChannelRole::MuxFlow,
+            Segment::horizontal(compl_y, line_l, line_r, CHANNEL_W),
+            None,
+        ));
+        bit_lines.push((true_line, compl_line));
+        let ti = design.add_inlet(Inlet {
+            name: format!("mux_{side}_bit{b}"),
+            position: Point::new(line_l, true_y),
+            kind: InletKind::Pressure,
+            side,
+        });
+        let ci = design.add_inlet(Inlet {
+            name: format!("mux_{side}_bit{b}c"),
+            position: Point::new(line_l, compl_y),
+            kind: InletKind::Pressure,
+            side,
+        });
+        bit_inlets.push((ti, ci));
+    }
+
+    // supply bus + inlet
+    design.add_channel(Channel::straight(
+        ChannelRole::MuxControl,
+        Segment::horizontal(bus_y, line_l, line_r, CHANNEL_W),
+        None,
+    ));
+    let supply = design.add_inlet(Inlet {
+        name: format!("mux_{side}_supply"),
+        position: Point::new(line_l, bus_y),
+        kind: InletKind::Pressure,
+        side,
+    });
+
+    // 3. the valve matrix: channel i, bit b -> valve on the line matching
+    // the channel's bit value (true line for 0, complement line for 1)
+    let mut mux_valves = Vec::with_capacity(n * bits);
+    for (i, (&ch, &x)) in channels.iter().zip(&xs).enumerate() {
+        for b in 0..bits {
+            let on_complement_line = (i >> b) & 1 == 1;
+            let y = row_y(2 * b as i64 + i64::from(on_complement_line));
+            let pad = Rect::new(x - D, x + D, y - D, y + D);
+            let valve = design.add_valve(Valve {
+                kind: ValveKind::Mux,
+                rect: pad,
+                control: None,
+                blocks: Some(ch),
+                owner: None,
+            });
+            mux_valves.push(MuxValve { bit: b, on_complement_line, channel: i, valve });
+        }
+    }
+
+    design.muxes.push(MuxUnit {
+        side,
+        controlled: channels,
+        region,
+        supply,
+        bit_inlets,
+        bit_lines,
+        valves: mux_valves,
+    });
+    Ok(design.muxes.len() - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::logic::{required_inlets, selection};
+    use columba_design::drc;
+
+    /// A design with `n` vertical control channels above a bottom MUX region.
+    fn scaffold(n: usize) -> (Design, Vec<ChannelId>, Rect) {
+        let mux_h = required_height(n);
+        let chip = Rect::new(Um(0), Um(4_000 + 400 * n as i64), Um(0), Um(20_000) );
+        let mut d = Design::new("t", chip);
+        let region = Rect::new(chip.x_l(), chip.x_r(), Um(0), mux_h);
+        d.functional_region = Rect::new(chip.x_l(), chip.x_r(), mux_h, chip.y_t());
+        let ids: Vec<ChannelId> = (0..n)
+            .map(|i| {
+                let x = Um(1_000 + 400 * i as i64);
+                d.add_channel(Channel::straight(
+                    ChannelRole::Control,
+                    Segment::vertical(x, mux_h, Um(15_000), CHANNEL_W),
+                    None,
+                ))
+            })
+            .collect();
+        (d, ids, region)
+    }
+
+    #[test]
+    fn fig4_fifteen_channels() {
+        let (mut d, ids, region) = scaffold(15);
+        let mi = synthesize(&mut d, ids.clone(), Side::Bottom, region).unwrap();
+        let mux = &d.muxes[mi];
+        assert_eq!(mux.bits(), 4);
+        assert_eq!(mux.inlet_count(), 9);
+        assert_eq!(d.inlets.len(), required_inlets(15));
+        // one valve per (channel, bit)
+        assert_eq!(mux.valves.len(), 15 * 4);
+        assert_eq!(d.valves.len(), 60);
+        // Fig 4 example: address 1001b = 9 opens exactly channel 9
+        let sel = selection(mux, 9);
+        assert_eq!(sel.open_channels(), vec![9]);
+        // and the paper's line configuration: XO OX OX XO from MSB..LSB
+        // means bit3 true inflated, bit2/bit1 complement, bit0 true
+        assert!(sel.inflated_lines.contains(&(3, false)));
+        assert!(sel.inflated_lines.contains(&(2, true)));
+        assert!(sel.inflated_lines.contains(&(1, true)));
+        assert!(sel.inflated_lines.contains(&(0, false)));
+    }
+
+    #[test]
+    fn every_address_selects_its_channel() {
+        let (mut d, ids, region) = scaffold(11);
+        let mi = synthesize(&mut d, ids, Side::Bottom, region).unwrap();
+        let mux = &d.muxes[mi];
+        for a in 0..11 {
+            let sel = selection(mux, a);
+            assert_eq!(sel.open_channels(), vec![a], "address {a}");
+        }
+        // out-of-range addresses open nothing (for a full power of two the
+        // range is exactly the channel count; 11 < 16 leaves spares)
+        for a in 11..16 {
+            assert!(selection(mux, a).open_channels().is_empty(), "address {a}");
+        }
+    }
+
+    #[test]
+    fn single_channel_mux_needs_no_bits() {
+        let (mut d, ids, region) = scaffold(1);
+        let mi = synthesize(&mut d, ids, Side::Bottom, region).unwrap();
+        let mux = &d.muxes[mi];
+        assert_eq!(mux.bits(), 0);
+        assert_eq!(mux.inlet_count(), 1);
+        assert!(mux.valves.is_empty());
+        assert_eq!(selection(mux, 0).open_channels(), vec![0]);
+    }
+
+    #[test]
+    fn control_channels_reach_the_bus() {
+        let (mut d, ids, region) = scaffold(5);
+        synthesize(&mut d, ids.clone(), Side::Bottom, region).unwrap();
+        for id in ids {
+            let seg = d.channel(id).path[0];
+            assert!(seg.start().y < region.y_t(), "channel extended into the MUX region");
+        }
+    }
+
+    #[test]
+    fn geometry_is_drc_clean() {
+        let (mut d, ids, region) = scaffold(15);
+        synthesize(&mut d, ids, Side::Bottom, region).unwrap();
+        let r = drc::check(&d);
+        assert!(r.is_clean(), "{r}");
+    }
+
+    #[test]
+    fn top_side_mux_mirrors() {
+        let n = 6;
+        let mux_h = required_height(n);
+        let chip = Rect::new(Um(0), Um(8_000), Um(0), Um(20_000));
+        let mut d = Design::new("t", chip);
+        let region = Rect::new(chip.x_l(), chip.x_r(), chip.y_t() - mux_h, chip.y_t());
+        let ids: Vec<ChannelId> = (0..n)
+            .map(|i| {
+                let x = Um(1_000 + 400 * i as i64);
+                d.add_channel(Channel::straight(
+                    ChannelRole::Control,
+                    Segment::vertical(x, Um(5_000), region.y_b(), CHANNEL_W),
+                    None,
+                ))
+            })
+            .collect();
+        let mi = synthesize(&mut d, ids, Side::Top, region).unwrap();
+        let mux = &d.muxes[mi];
+        for a in 0..n {
+            assert_eq!(selection(mux, a).open_channels(), vec![a]);
+        }
+        let r = drc::check(&d);
+        assert!(r.is_clean(), "{r}");
+    }
+
+    #[test]
+    fn errors_reported() {
+        let (mut d, ids, region) = scaffold(4);
+        assert_eq!(
+            synthesize(&mut d, Vec::new(), Side::Bottom, region).unwrap_err(),
+            MuxError::NoChannels
+        );
+        let tiny = Rect::new(region.x_l(), region.x_r(), Um(0), Um(100));
+        assert!(matches!(
+            synthesize(&mut d, ids.clone(), Side::Bottom, tiny).unwrap_err(),
+            MuxError::RegionTooSmall { .. }
+        ));
+        // a flow channel is not controllable
+        let bogus = d.add_channel(Channel::straight(
+            ChannelRole::FlowTransport,
+            Segment::horizontal(Um(9_000), Um(0), Um(2_000), CHANNEL_W),
+            None,
+        ));
+        assert!(matches!(
+            synthesize(&mut d, vec![bogus], Side::Bottom, region).unwrap_err(),
+            MuxError::NotAControlChannel(_)
+        ));
+        // duplicate x
+        let dup1 = d.add_channel(Channel::straight(
+            ChannelRole::Control,
+            Segment::vertical(Um(2_000), region.y_t(), Um(15_000), CHANNEL_W),
+            None,
+        ));
+        let dup2 = d.add_channel(Channel::straight(
+            ChannelRole::Control,
+            Segment::vertical(Um(2_000), region.y_t(), Um(15_000), CHANNEL_W),
+            None,
+        ));
+        assert!(matches!(
+            synthesize(&mut d, vec![dup1, dup2], Side::Bottom, region).unwrap_err(),
+            MuxError::DuplicateChannelX(_)
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "bottom/top")]
+    fn left_side_panics() {
+        let (mut d, ids, region) = scaffold(2);
+        let _ = synthesize(&mut d, ids, Side::Left, region);
+    }
+}

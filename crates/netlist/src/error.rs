@@ -1,0 +1,52 @@
+//! Netlist errors.
+
+use std::fmt;
+
+/// Error raised while parsing or validating a netlist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetlistError {
+    /// A line could not be parsed; carries the 1-based line number and a
+    /// diagnostic.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// A component or port name is declared twice.
+    DuplicateName(String),
+    /// A connection references a name that was never declared.
+    UnknownName(String),
+    /// The netlist violates a structural rule (empty, bad parallel group,
+    /// self-connection, ...).
+    Invalid(String),
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::Parse { line, message } => {
+                write!(f, "parse error on line {line}: {message}")
+            }
+            NetlistError::DuplicateName(n) => write!(f, "duplicate name `{n}`"),
+            NetlistError::UnknownName(n) => write!(f, "unknown name `{n}`"),
+            NetlistError::Invalid(m) => write!(f, "invalid netlist: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for NetlistError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = NetlistError::Parse { line: 3, message: "bad token".into() };
+        assert_eq!(e.to_string(), "parse error on line 3: bad token");
+        assert!(NetlistError::DuplicateName("m1".into()).to_string().contains("m1"));
+        assert!(NetlistError::UnknownName("x".into()).to_string().contains('x'));
+        assert!(NetlistError::Invalid("empty".into()).to_string().contains("empty"));
+    }
+}

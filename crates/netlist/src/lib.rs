@@ -1,0 +1,59 @@
+//! Plain-text mLSI netlist format, parser and synthetic generators.
+//!
+//! A *netlist description* is the input of Columba S (paper §3.1, Fig 7(a)):
+//! a plain-text file specifying the number, type and logic connection of the
+//! required functional units, plus the fluid ports and the number of
+//! multiplexers. This crate provides:
+//!
+//! * the in-memory [`Netlist`] data model with builder methods and
+//!   validation;
+//! * a line-based parser ([`Netlist::parse`]) and serializer
+//!   ([`Netlist::to_text`]) that round-trip;
+//! * generators for the paper's six test cases and for random netlists
+//!   (property testing), in [`generators`].
+//!
+//! # Format
+//!
+//! ```text
+//! # ChIP 4-IP application
+//! chip chip4ip
+//! mux 1
+//! mixer pre width=3.0 length=1.5 access=both sieve
+//! mixer m1
+//! chamber c1 width=1.0 length=1.0
+//! port lysate
+//! connect lysate -> pre.left
+//! connect pre.right -> m1.left
+//! connect m1.right -> c1.left
+//! parallel m1 c1
+//! ```
+//!
+//! Sizes are millimetres in the text format and are stored as [`Um`]
+//! internally.
+//!
+//! # Examples
+//!
+//! ```
+//! use columba_netlist::Netlist;
+//!
+//! let text = "chip demo\nmux 1\nmixer m1\nchamber c1\nport in1\n\
+//!             connect in1 -> m1.left\nconnect m1.right -> c1.left\n";
+//! let n = Netlist::parse(text)?;
+//! assert_eq!(n.functional_unit_count(), 2);
+//! let round_trip = Netlist::parse(&n.to_text())?;
+//! assert_eq!(n, round_trip);
+//! # Ok::<(), columba_netlist::NetlistError>(())
+//! ```
+//!
+//! [`Um`]: columba_geom::Um
+
+mod error;
+pub mod generators;
+mod model;
+mod parse;
+
+pub use error::NetlistError;
+pub use model::{
+    ChamberSpec, Component, ComponentId, ComponentKind, Connection, ControlAccess, Endpoint,
+    MixerSpec, MuxCount, Netlist, PortId, SwitchSpec, UnitSide,
+};

@@ -1,0 +1,45 @@
+//! Property tests: planarization always produces a synthesis-ready netlist.
+
+use columba_netlist::generators::random_netlist;
+use columba_planar::planarize;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn planarize_resolves_every_random_netlist(seed in any::<u64>(), units in 1usize..40) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let raw = random_netlist(&mut rng, units);
+        let (planar, report) = planarize(&raw);
+
+        planar.validate_planarized().expect("planarized netlist is synthesis-ready");
+        prop_assert_eq!(planar.functional_unit_count(), raw.functional_unit_count());
+        prop_assert_eq!(planar.switch_count(), raw.switch_count() + report.switches_added);
+        // each inserted switch adds exactly one connection
+        prop_assert_eq!(
+            planar.connections().len(),
+            raw.connections().len() + report.switches_added
+        );
+        // ports and parallel structure survive untouched
+        prop_assert_eq!(planar.ports(), raw.ports());
+        prop_assert_eq!(planar.parallel_groups(), raw.parallel_groups());
+
+        // idempotence
+        let (again, second) = planarize(&planar);
+        prop_assert_eq!(&again, &planar);
+        prop_assert_eq!(second.switches_added, 0);
+    }
+
+    #[test]
+    fn planarized_netlists_round_trip_via_text(seed in any::<u64>(), units in 1usize..20) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let raw = random_netlist(&mut rng, units);
+        let (planar, _) = planarize(&raw);
+        let parsed = columba_netlist::Netlist::parse(&planar.to_text())
+            .expect("planarized netlist serialises to parseable text");
+        prop_assert_eq!(parsed, planar);
+    }
+}

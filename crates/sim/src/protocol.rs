@@ -1,0 +1,105 @@
+//! Scheduling protocols: sequences of valve actuations with timing.
+
+use std::fmt;
+
+use crate::simulator::{SimError, Simulator};
+
+/// One protocol step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Step {
+    /// Actuate one line (`pressurize = true` closes its valves).
+    Single {
+        /// Control line index.
+        line: usize,
+        /// Push pressure or vent.
+        pressurize: bool,
+    },
+    /// Actuate two lines in the same slot — requires a 2-MUX design with
+    /// the lines on different multiplexers.
+    Pair {
+        /// First actuation `(line, pressurize)`.
+        a: (usize, bool),
+        /// Second actuation `(line, pressurize)`.
+        b: (usize, bool),
+    },
+}
+
+/// A valve actuation schedule. Because Columba S controls valves through
+/// multiplexers, the same physical design runs *any* protocol — this is the
+/// reconfigurability claim of §1 (second bullet).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Protocol {
+    /// Steps in execution order.
+    pub steps: Vec<Step>,
+}
+
+impl Protocol {
+    /// An empty protocol.
+    #[must_use]
+    pub fn new() -> Protocol {
+        Protocol::default()
+    }
+
+    /// Appends a single actuation.
+    pub fn single(&mut self, line: usize, pressurize: bool) -> &mut Protocol {
+        self.steps.push(Step::Single { line, pressurize });
+        self
+    }
+
+    /// Appends a simultaneous pair.
+    pub fn pair(&mut self, a: (usize, bool), b: (usize, bool)) -> &mut Protocol {
+        self.steps.push(Step::Pair { a, b });
+        self
+    }
+}
+
+/// Outcome of running a protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtocolReport {
+    /// Total simulated execution time in milliseconds.
+    pub total_ms: u64,
+    /// Number of actuation slots used.
+    pub slots: usize,
+    /// Number of individual line actuations.
+    pub actuations: usize,
+}
+
+impl fmt::Display for ProtocolReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} actuations in {} slots, {} ms",
+            self.actuations, self.slots, self.total_ms
+        )
+    }
+}
+
+impl Simulator<'_> {
+    /// Runs `protocol` to completion.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError`] from the individual actuations; the simulator
+    /// keeps the state reached so far.
+    pub fn run_protocol(&mut self, protocol: &Protocol) -> Result<ProtocolReport, SimError> {
+        let start = self.elapsed_ms();
+        let mut actuations = 0usize;
+        for step in &protocol.steps {
+            match *step {
+                Step::Single { line, pressurize } => {
+                    self.actuate(line, pressurize)?;
+                    actuations += 1;
+                }
+                Step::Pair { a, b } => {
+                    self.actuate_pair(a, b)?;
+                    actuations += 2;
+                }
+            }
+        }
+        Ok(ProtocolReport {
+            total_ms: self.elapsed_ms() - start,
+            slots: protocol.steps.len(),
+            actuations,
+        })
+    }
+}

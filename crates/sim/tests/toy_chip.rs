@@ -1,0 +1,150 @@
+//! Simulator tests on a hand-built toy chip: one flow channel crossing
+//! three valve-controlled segments, driven by a 3-channel bottom MUX.
+
+use columba_design::{
+    Channel, ChannelRole, ControlLine, Design, Inlet, InletId, InletKind, Valve, ValveKind,
+};
+use columba_geom::{Point, Rect, Segment, Side, Um};
+use columba_mux::{required_height, synthesize};
+use columba_sim::{Protocol, SimError, Simulator, VALVE_ACTUATION_MS};
+
+/// Builds a design with `n` flow segments in a row (chained), each blocked
+/// by one valve, each valve on its own control line, one bottom MUX.
+fn toy(n: usize) -> Design {
+    let mux_h = required_height(n);
+    let chip = Rect::new(Um(0), Um(2_000 + 2_000 * n as i64), Um(0), Um(30_000));
+    let mut d = Design::new("toy", chip);
+    d.functional_region = Rect::new(chip.x_l(), chip.x_r(), mux_h, chip.y_t());
+    let y = mux_h + Um(5_000);
+
+    let mut control_ids = Vec::new();
+    for i in 0..n {
+        let x0 = Um(1_000 + 2_000 * i as i64);
+        let x1 = x0 + Um(2_000);
+        let seg = d.add_channel(Channel::straight(
+            ChannelRole::FlowTransport,
+            Segment::horizontal(y, x0, x1, Um(100)),
+            None,
+        ));
+        let cx = (x0 + x1) / 2;
+        let ctrl = d.add_channel(Channel::straight(
+            ChannelRole::Control,
+            Segment::vertical(cx, mux_h, y, Um(100)),
+            None,
+        ));
+        let valve = d.add_valve(Valve {
+            kind: ValveKind::Isolation,
+            rect: Rect::new(cx - Um(100), cx + Um(100), y - Um(100), y + Um(100)),
+            control: Some(ctrl),
+            blocks: Some(seg),
+            owner: None,
+        });
+        d.control_lines.push(ControlLine {
+            name: format!("line{i}"),
+            channel: ctrl,
+            valves: vec![valve],
+        });
+        control_ids.push(ctrl);
+    }
+    // inlets at both ends of the chain
+    d.add_inlet(Inlet {
+        name: "in".into(),
+        position: Point::new(Um(1_000), y),
+        kind: InletKind::Fluid,
+        side: Side::Left,
+    });
+    d.add_inlet(Inlet {
+        name: "out".into(),
+        position: Point::new(Um(1_000 + 2_000 * n as i64), y),
+        kind: InletKind::Fluid,
+        side: Side::Right,
+    });
+    let region = Rect::new(chip.x_l(), chip.x_r(), Um(0), mux_h);
+    synthesize(&mut d, control_ids, Side::Bottom, region).expect("toy mux builds");
+    d
+}
+
+#[test]
+fn open_chip_lets_fluid_through() {
+    let d = toy(3);
+    let sim = Simulator::new(&d).expect("simulator builds");
+    assert_eq!(sim.line_count(), 3);
+    assert!(sim.fluid_path_exists(InletId(0), InletId(1)).unwrap());
+}
+
+#[test]
+fn closing_any_valve_blocks_the_path_and_latching_holds() {
+    let d = toy(3);
+    let mut sim = Simulator::new(&d).unwrap();
+    let ev = sim.actuate(1, true).unwrap();
+    assert_eq!(ev.address, 1);
+    assert_eq!(ev.mux_side, Side::Bottom);
+    assert!(!sim.fluid_path_exists(InletId(0), InletId(1)).unwrap());
+    // the MUX moves on to another line; line 1 stays latched
+    sim.actuate(2, true).unwrap();
+    assert!(sim.line_pressurized(1), "PDMS latching holds pressure");
+    // vent both: path restored
+    sim.actuate(1, false).unwrap();
+    sim.actuate(2, false).unwrap();
+    assert!(sim.fluid_path_exists(InletId(0), InletId(1)).unwrap());
+}
+
+#[test]
+fn actuation_timing_accumulates() {
+    let d = toy(4);
+    let mut sim = Simulator::new(&d).unwrap();
+    let mut p = Protocol::new();
+    p.single(0, true).single(1, true).single(0, false);
+    let report = sim.run_protocol(&p).unwrap();
+    assert_eq!(report.actuations, 3);
+    assert_eq!(report.slots, 3);
+    assert_eq!(report.total_ms, 3 * VALVE_ACTUATION_MS);
+    assert_eq!(sim.elapsed_ms(), 3 * VALVE_ACTUATION_MS);
+}
+
+#[test]
+fn one_mux_rejects_simultaneous_pairs() {
+    let d = toy(3);
+    let mut sim = Simulator::new(&d).unwrap();
+    assert_eq!(sim.actuate_pair((0, true), (1, true)).unwrap_err(), SimError::SameMuxSimultaneous);
+}
+
+#[test]
+fn line_lookup_by_name() {
+    let d = toy(2);
+    let sim = Simulator::new(&d).unwrap();
+    assert_eq!(sim.line_by_name("line1").unwrap(), 1);
+    assert!(matches!(sim.line_by_name("nope"), Err(SimError::UnknownLine(_))));
+    assert_eq!(sim.line_name(0), "line0");
+}
+
+#[test]
+fn valve_closed_tracks_lines() {
+    let d = toy(2);
+    let mut sim = Simulator::new(&d).unwrap();
+    let v0 = d.control_lines[0].valves[0];
+    assert!(!sim.valve_closed(v0));
+    sim.actuate(0, true).unwrap();
+    assert!(sim.valve_closed(v0));
+}
+
+#[test]
+fn unmuxed_line_rejected_at_construction() {
+    let mut d = toy(2);
+    // add a control line whose channel no MUX drives
+    let orphan = d.add_channel(Channel::straight(
+        ChannelRole::Control,
+        Segment::vertical(Um(500), Um(10_000), Um(12_000), Um(100)),
+        None,
+    ));
+    d.control_lines.push(ControlLine { name: "orphan".into(), channel: orphan, valves: vec![] });
+    assert!(matches!(Simulator::new(&d), Err(SimError::LineNotMuxed(_))));
+}
+
+#[test]
+fn out_of_range_inputs_error() {
+    let d = toy(2);
+    let mut sim = Simulator::new(&d).unwrap();
+    assert!(matches!(sim.actuate(99, true), Err(SimError::LineOutOfRange(99))));
+    assert!(matches!(sim.reachable_channels(InletId(99)), Err(SimError::UnknownInlet(99))));
+}

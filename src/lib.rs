@@ -1,0 +1,2 @@
+//! Umbrella crate: re-exports [`columba_s`] for the integration tests and examples.
+pub use columba_s as columba;

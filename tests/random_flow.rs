@@ -1,0 +1,41 @@
+//! Property test across the whole pipeline: random netlists synthesize to
+//! DRC-clean designs whose simulator agrees with the multiplexer logic.
+
+use columba_s::netlist::generators::random_netlist;
+use columba_s::sim::Simulator;
+use columba_s::{Columba, LayoutOptions, SynthesisOptions};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn random_netlists_full_flow(seed in 0u64..5_000, units in 1usize..14) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let netlist = random_netlist(&mut rng, units);
+        let flow = Columba::with_options(SynthesisOptions {
+            layout: LayoutOptions {
+                time_limit: std::time::Duration::from_secs(2),
+                node_limit: 200,
+                ..LayoutOptions::default()
+            },
+            ..SynthesisOptions::default()
+        });
+        let out = flow.synthesize(&netlist).expect("random netlist synthesizes");
+        prop_assert!(out.drc.is_clean(), "{}", out.drc);
+        prop_assert_eq!(
+            out.design.modules.len(),
+            netlist.functional_unit_count() + out.planarize.switches_added
+        );
+        // when any control lines exist, the simulator must accept the design
+        if !out.design.control_lines.is_empty() {
+            let mut sim = Simulator::new(&out.design).expect("lines muxed");
+            // spot-check the first and last line
+            sim.actuate(0, true).expect("first line actuates");
+            let last = sim.line_count() - 1;
+            sim.actuate(last, true).expect("last line actuates");
+        }
+    }
+}
