@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# The one gate every change must pass, locally and in CI.
+#
+# The build is hermetic: the workspace has no registry dependencies (the
+# internal `columba-prng` crate replaces `rand`, deterministic loops replace
+# `proptest`, and the `microbench` binary replaces `criterion`), so every
+# cargo invocation runs with `--offline`. If this script fails on a network
+# error, a registry dependency has crept back in — remove it.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (warnings are errors)"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "==> cargo build --release --offline"
+cargo build --workspace --release --offline
+
+echo "==> cargo test --offline"
+cargo test --workspace -q --offline
+
+echo "All checks passed."

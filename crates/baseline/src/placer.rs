@@ -23,7 +23,10 @@ pub struct BaselineOptions {
 
 impl Default for BaselineOptions {
     fn default() -> BaselineOptions {
-        BaselineOptions { time_limit: Duration::from_secs(60), node_limit: 500_000 }
+        BaselineOptions {
+            time_limit: Duration::from_secs(60),
+            node_limit: 500_000,
+        }
     }
 }
 
@@ -137,12 +140,18 @@ pub fn synthesize_baseline(
         // confinement with rotation: xl + w + (h-w)rot <= W
         let (w, h) = (u.w.to_mm(), u.h.to_mm());
         model.constraint(
-            Model::expr().term(1.0, xl).term(h - w, rot).term(-1.0, w_max),
+            Model::expr()
+                .term(1.0, xl)
+                .term(h - w, rot)
+                .term(-1.0, w_max),
             Sense::Le,
             -w,
         );
         model.constraint(
-            Model::expr().term(1.0, yb).term(w - h, rot).term(-1.0, h_max),
+            Model::expr()
+                .term(1.0, yb)
+                .term(w - h, rot)
+                .term(-1.0, h_max),
             Sense::Le,
             -h,
         );
@@ -217,9 +226,10 @@ pub fn synthesize_baseline(
         else {
             continue; // port nets priced at routing time
         };
-        for (axis, (pa, pb)) in
-            [(0, (center_x(a.0), center_x(b.0))), (1, (center_y(a.0), center_y(b.0)))]
-        {
+        for (axis, (pa, pb)) in [
+            (0, (center_x(a.0), center_x(b.0))),
+            (1, (center_y(a.0), center_y(b.0))),
+        ] {
             let d = model.num_var(format!("d{axis}_{ci}"), 0.0, bound_mm);
             let (va, ra, ca, sa) = pa;
             let (vb, rb, cb, sb) = pb;
@@ -412,7 +422,10 @@ mod tests {
     use columba_planar::planarize;
 
     fn opts(secs: u64) -> BaselineOptions {
-        BaselineOptions { time_limit: Duration::from_secs(secs), node_limit: 50_000 }
+        BaselineOptions {
+            time_limit: Duration::from_secs(secs),
+            node_limit: 50_000,
+        }
     }
 
     #[test]

@@ -53,7 +53,12 @@ impl Grid {
     pub fn new(area: Rect) -> Grid {
         let cols = (area.width().raw() / CELL.raw()).max(1) as usize + 1;
         let rows = (area.height().raw() / CELL.raw()).max(1) as usize + 1;
-        Grid { origin: area.origin(), cols, rows, blocked: vec![false; cols * rows] }
+        Grid {
+            origin: area.origin(),
+            cols,
+            rows,
+            blocked: vec![false; cols * rows],
+        }
     }
 
     /// Number of cells.
@@ -185,9 +190,17 @@ mod tests {
     #[test]
     fn straight_route_has_no_bends() {
         let mut g = Grid::new(area());
-        let (len, bends) = route(&mut g, Point::new(Um(100), Um(100)), Point::new(Um(5_000), Um(100))).unwrap();
+        let (len, bends) = route(
+            &mut g,
+            Point::new(Um(100), Um(100)),
+            Point::new(Um(5_000), Um(100)),
+        )
+        .unwrap();
         assert_eq!(bends, 0);
-        assert!(len >= Um(4_600), "roughly the manhattan distance, got {len}");
+        assert!(
+            len >= Um(4_600),
+            "roughly the manhattan distance, got {len}"
+        );
     }
 
     #[test]
@@ -201,18 +214,29 @@ mod tests {
         // a wall crossing the direct path
         g.block_rect(&Rect::new(Um(4_000), Um(4_400), Um(0), Um(8_000)));
         let (detour, bends) = route(&mut g, a, b).unwrap();
-        assert!(detour > direct, "detour {detour} must exceed direct {direct}");
+        assert!(
+            detour > direct,
+            "detour {detour} must exceed direct {direct}"
+        );
         assert!(bends >= 2, "the wall forces at least two bends");
     }
 
     #[test]
     fn routed_nets_block_each_other() {
         let mut g = Grid::new(area());
-        let (first, _) =
-            route(&mut g, Point::new(Um(100), Um(5_000)), Point::new(Um(9_900), Um(5_000))).unwrap();
+        let (first, _) = route(
+            &mut g,
+            Point::new(Um(100), Um(5_000)),
+            Point::new(Um(9_900), Um(5_000)),
+        )
+        .unwrap();
         // second net crossing the first must deviate
-        let (second, bends) =
-            route(&mut g, Point::new(Um(5_000), Um(100)), Point::new(Um(5_000), Um(9_900))).unwrap();
+        let (second, bends) = route(
+            &mut g,
+            Point::new(Um(5_000), Um(100)),
+            Point::new(Um(5_000), Um(9_900)),
+        )
+        .unwrap();
         let _ = first;
         assert!(bends >= 2, "crossing net must weave around the first");
         assert!(second > Um(9_600));
@@ -222,16 +246,24 @@ mod tests {
     fn walled_in_terminal_reports_no_path() {
         let mut g = Grid::new(area());
         g.block_rect(&Rect::new(Um(0), Um(10_000), Um(4_000), Um(6_000)));
-        let e = route(&mut g, Point::new(Um(100), Um(100)), Point::new(Um(100), Um(9_900)))
-            .unwrap_err();
+        let e = route(
+            &mut g,
+            Point::new(Um(100), Um(100)),
+            Point::new(Um(100), Um(9_900)),
+        )
+        .unwrap_err();
         assert!(matches!(e, RouteError::NoPath { .. }));
     }
 
     #[test]
     fn off_grid_terminal_rejected() {
         let mut g = Grid::new(area());
-        let e = route(&mut g, Point::new(Um(-5_000), Um(0)), Point::new(Um(100), Um(100)))
-            .unwrap_err();
+        let e = route(
+            &mut g,
+            Point::new(Um(-5_000), Um(0)),
+            Point::new(Um(100), Um(100)),
+        )
+        .unwrap_err();
         assert!(matches!(e, RouteError::OutOfGrid(_)));
     }
 

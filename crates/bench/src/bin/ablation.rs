@@ -47,7 +47,8 @@ fn without_parallel_groups(netlist: &Netlist) -> Netlist {
     let mut out = Netlist::new(format!("{}_nogroups", netlist.name));
     out.mux_count = netlist.mux_count;
     for c in netlist.components() {
-        out.add_component(c.name.clone(), c.kind).expect("names stay unique");
+        out.add_component(c.name.clone(), c.kind)
+            .expect("names stay unique");
     }
     for p in netlist.ports() {
         out.add_port(p.clone()).expect("names stay unique");
@@ -60,7 +61,10 @@ fn without_parallel_groups(netlist: &Netlist) -> Netlist {
 
 fn main() {
     let budget = Duration::from_secs(8);
-    let base = LayoutOptions { time_limit: budget, ..LayoutOptions::default() };
+    let base = LayoutOptions {
+        time_limit: budget,
+        ..LayoutOptions::default()
+    };
     println!(
         "{:<26}{:<42}{:>6}{:>7}  {:>10}  {:>9}  {:>9}",
         "configuration", "model", "disj", "pruned", "status", "objective", "time"
@@ -72,17 +76,34 @@ fn main() {
     run(
         "no pruning",
         &chip4,
-        &LayoutOptions { prune_ordered_pairs: false, ..base.clone() },
+        &LayoutOptions {
+            prune_ordered_pairs: false,
+            ..base.clone()
+        },
     );
-    run("no warm start", &chip4, &LayoutOptions { warm_start: false, ..base.clone() });
+    run(
+        "no warm start",
+        &chip4,
+        &LayoutOptions {
+            warm_start: false,
+            ..base.clone()
+        },
+    );
     run(
         "no pruning, no warm start",
         &chip4,
-        &LayoutOptions { prune_ordered_pairs: false, warm_start: false, ..base.clone() },
+        &LayoutOptions {
+            prune_ordered_pairs: false,
+            warm_start: false,
+            ..base.clone()
+        },
     );
 
     println!("\n== parallel-unit merging (ChIP 16-IP, heuristic mode) ==");
-    let heuristic = LayoutOptions { node_limit: 0, ..base.clone() };
+    let heuristic = LayoutOptions {
+        node_limit: 0,
+        ..base.clone()
+    };
     let grouped = generators::chip_ip(16, MuxCount::One);
     let ungrouped = without_parallel_groups(&grouped);
     let (grouped, _) = planarize(&grouped);

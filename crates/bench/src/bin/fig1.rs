@@ -16,23 +16,36 @@ use columba_s::planar::planarize;
 
 fn main() {
     let netlist = generators::kinase_activity(MuxCount::One);
-    println!("Fig 1 — kinase activity application ({} units)\n", netlist.functional_unit_count());
+    println!(
+        "Fig 1 — kinase activity application ({} units)\n",
+        netlist.functional_unit_count()
+    );
 
     let flow = harness_flow(Duration::from_secs(10));
-    let s = flow.synthesize(&netlist).expect("Columba S synthesis succeeds");
+    let s = flow
+        .synthesize(&netlist)
+        .expect("Columba S synthesis succeeds");
     let ss = s.stats();
     let s_inlets = ss.control_inlets + ss.fluid_inlets;
 
     let (planar, _) = planarize(&netlist);
     let b = synthesize_baseline(
         &planar,
-        &BaselineOptions { time_limit: Duration::from_secs(45), node_limit: 500_000 },
+        &BaselineOptions {
+            time_limit: Duration::from_secs(45),
+            node_limit: 500_000,
+        },
     )
     .expect("baseline synthesis succeeds");
     let b_inlets = b.control_inlets + b.fluid_inlets;
 
     println!("{:<24}{:>16}{:>16}", "", "Columba 2.0", "Columba S");
-    println!("{:<24}{:>16}{:>16}", "run time", secs(b.elapsed), secs(s.elapsed));
+    println!(
+        "{:<24}{:>16}{:>16}",
+        "run time",
+        secs(b.elapsed),
+        secs(s.elapsed)
+    );
     println!("{:<24}{:>16}{:>16}", "run time (paper)", "56s", "0.9s");
     println!("{:<24}{:>16}{:>16}", "inlets", b_inlets, s_inlets);
     println!("{:<24}{:>16}{:>16}", "inlets (paper)", 22, 18);

@@ -35,8 +35,15 @@ fn show(tag: &str, kind: &ComponentKind, plan: Option<&SwitchPlan>) {
         name: tag.into(),
         rect,
     });
-    let inst = instantiate(&mut design, columba_s::design::ModuleId(0), kind, rect, plan, None)
-        .expect("library module instantiates");
+    let inst = instantiate(
+        &mut design,
+        columba_s::design::ModuleId(0),
+        kind,
+        rect,
+        plan,
+        None,
+    )
+    .expect("library module instantiates");
 
     println!("-- {tag} --");
     println!(
@@ -48,7 +55,12 @@ fn show(tag: &str, kind: &ComponentKind, plan: Option<&SwitchPlan>) {
         design.valves.len(),
     );
     for p in &inst.control_pins {
-        println!("    line {:<22} {} boundary x={:.2}mm", p.name, p.side, p.position.x.to_mm());
+        println!(
+            "    line {:<22} {} boundary x={:.2}mm",
+            p.name,
+            p.side,
+            p.position.x.to_mm()
+        );
     }
     let report = columba_s::design::drc::check(&design);
     assert!(report.is_clean(), "library geometry is DRC clean: {report}");
@@ -63,7 +75,10 @@ fn main() {
     println!("Fig 3 — the Columba S module model library\n");
     show(
         "mixer_b_top",
-        &ComponentKind::Mixer(MixerSpec { access: ControlAccess::Top, ..MixerSpec::default() }),
+        &ComponentKind::Mixer(MixerSpec {
+            access: ControlAccess::Top,
+            ..MixerSpec::default()
+        }),
         None,
     );
     show(
@@ -84,7 +99,11 @@ fn main() {
         }),
         None,
     );
-    show("chamber", &ComponentKind::Chamber(ChamberSpec::default()), None);
+    show(
+        "chamber",
+        &ComponentKind::Chamber(ChamberSpec::default()),
+        None,
+    );
     show(
         "switch_e_bottom",
         &ComponentKind::Switch(SwitchSpec { junctions: 3 }),

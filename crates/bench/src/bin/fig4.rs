@@ -30,7 +30,11 @@ fn main() {
     let mi = synthesize(&mut design, channels, Side::Bottom, region).expect("mux builds");
     let mux = &design.muxes[mi];
 
-    println!("Fig 4 — {N}-channel multiplexer: {} address bits, {} pressure inlets", mux.bits(), mux.inlet_count());
+    println!(
+        "Fig 4 — {N}-channel multiplexer: {} address bits, {} pressure inlets",
+        mux.bits(),
+        mux.inlet_count()
+    );
     assert_eq!(mux.inlet_count(), required_inlets(N));
 
     // valve matrix: one row per MUX-flow line, one column per channel
@@ -60,12 +64,20 @@ fn main() {
     println!("\naddress {address:#06b}: inflated lines (X = inflated, O = open):");
     for bit in (0..mux.bits()).rev() {
         let compl_inflated = sel.inflated_lines.contains(&(bit, true));
-        let (a, b) = if compl_inflated { ("O", "X") } else { ("X", "O") };
+        let (a, b) = if compl_inflated {
+            ("O", "X")
+        } else {
+            ("X", "O")
+        };
         println!("  bit{bit}: line={a} complement={b}");
     }
     let open = sel.open_channels();
     println!("open channels: {open:?}");
-    assert_eq!(open, vec![address], "exactly the addressed channel stays open");
+    assert_eq!(
+        open,
+        vec![address],
+        "exactly the addressed channel stays open"
+    );
 
     // exhaustive check across every address, as the paper's guarantee demands
     for a in 0..N {

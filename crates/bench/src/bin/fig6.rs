@@ -45,7 +45,11 @@ fn main() {
             r.height().to_mm(),
             r.x_l().to_mm(),
             r.y_b().to_mm(),
-            if b.is_switch() { "  [y-extensible switch]" } else { "" }
+            if b.is_switch() {
+                "  [y-extensible switch]"
+            } else {
+                ""
+            }
         );
     }
     println!("\nmerged flow-channel rectangles (blue in the paper):");

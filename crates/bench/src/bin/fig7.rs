@@ -25,14 +25,20 @@ fn main() {
     let out = flow.synthesize(&netlist).expect("ChIP 4-IP synthesizes");
     let s = out.stats();
     println!("Fig 7(b) — synthesized design: {s}");
-    println!("          synthesis time {}; DRC {}", secs(out.elapsed), out.drc);
+    println!(
+        "          synthesis time {}; DRC {}",
+        secs(out.elapsed),
+        out.drc
+    );
     let path = std::env::temp_dir().join("fig7b_chip4.svg");
     std::fs::write(&path, out.to_svg().expect("svg renders")).expect("svg written");
     println!("          rendered to {}", path.display());
 
     // (c) fabrication feasibility, substituted by behavioural simulation
     let mut sim = Simulator::new(&out.design).expect("design simulates");
-    let line = sim.line_by_name("pre.pump0").expect("pre-mixer pump line exists");
+    let line = sim
+        .line_by_name("pre.pump0")
+        .expect("pre-mixer pump line exists");
     let ev = sim.actuate(line, true).expect("line actuates");
     println!(
         "Fig 7(c) [simulated] — actuated `{}` via MUX address {:#b}; design is operable",

@@ -18,7 +18,11 @@ fn main() {
     let netlist = generators::mrna_isolation(MuxCount::One);
     let flow = harness_flow(Duration::from_secs(5));
     let out = flow.synthesize(&netlist).expect("mRNA design synthesizes");
-    println!("Fig 8(a) — overview: {} ({} synthesis)", out.stats(), secs(out.elapsed));
+    println!(
+        "Fig 8(a) — overview: {} ({} synthesis)",
+        out.stats(),
+        secs(out.elapsed)
+    );
     assert!(out.drc.is_clean(), "{}", out.drc);
 
     let design = &out.design;
@@ -26,7 +30,13 @@ fn main() {
 
     // the fluid path we watch: cells0 inlet -> cdna0 outlet on lane 0
     let inlet = |name: &str| {
-        InletId(design.inlets.iter().position(|i| i.name == name).expect("inlet exists"))
+        InletId(
+            design
+                .inlets
+                .iter()
+                .position(|i| i.name == name)
+                .expect("inlet exists"),
+        )
     };
     let (from, to) = (inlet("cells0"), inlet("cdna0"));
 
@@ -51,14 +61,21 @@ fn main() {
 
     // Fig 8(c)/(d): pressurising the selected valve blocks the fluid flow
     let line = sim.line_by_name("capture0.iso_in").expect("line exists");
-    println!("\nFig 8(c) — valve open:   cells0 -> cdna0 fluid path: {}",
-        sim.fluid_path_exists(from, to).expect("reachability computes"));
+    println!(
+        "\nFig 8(c) — valve open:   cells0 -> cdna0 fluid path: {}",
+        sim.fluid_path_exists(from, to)
+            .expect("reachability computes")
+    );
     let ev = sim.actuate(line, true).expect("actuates");
     println!(
         "Fig 8(d) — valve closed (address {:#b}): cells0 -> cdna0 fluid path: {}",
         ev.address,
-        sim.fluid_path_exists(from, to).expect("reachability computes")
+        sim.fluid_path_exists(from, to)
+            .expect("reachability computes")
     );
-    assert!(!sim.fluid_path_exists(from, to).unwrap(), "closed valve blocks the flow");
+    assert!(
+        !sim.fluid_path_exists(from, to).unwrap(),
+        "closed valve blocks the flow"
+    );
     println!("\ntotal simulated actuation time: {} ms", sim.elapsed_ms());
 }

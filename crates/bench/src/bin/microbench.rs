@@ -1,0 +1,143 @@
+//! Micro-benchmarks of the synthesis stages on a plain
+//! [`std::time::Instant`] harness (no external benchmarking crates, so the
+//! build stays offline). Each stage runs a fixed number of iterations and
+//! reports min / mean / max wall time; the layout stage also prints the
+//! solver telemetry ([`columba_s::milp::SolveStats`]) of its last run.
+//!
+//! ```sh
+//! cargo run -p columba-bench --release --bin microbench
+//! cargo run -p columba-bench --release --bin microbench -- --iters 10
+//! ```
+
+use std::time::{Duration, Instant};
+
+use columba_bench::secs;
+use columba_s::layout::{self, LayoutOptions};
+use columba_s::netlist::{generators, MuxCount};
+use columba_s::planar::planarize;
+use columba_s::{Columba, SynthesisOptions};
+
+/// Times `f` over `iters` runs and returns `(min, mean, max)`.
+fn measure<T>(iters: usize, mut f: impl FnMut() -> T) -> (Duration, Duration, Duration) {
+    let mut min = Duration::MAX;
+    let mut max = Duration::ZERO;
+    let mut total = Duration::ZERO;
+    for _ in 0..iters {
+        let t = Instant::now();
+        std::hint::black_box(f());
+        let d = t.elapsed();
+        min = min.min(d);
+        max = max.max(d);
+        total += d;
+    }
+    (min, total / iters as u32, max)
+}
+
+fn report(stage: &str, iters: usize, (min, mean, max): (Duration, Duration, Duration)) {
+    println!(
+        "{stage:<34}{:>10} {:>10} {:>10}   ({iters} iters)",
+        secs(min),
+        secs(mean),
+        secs(max)
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let iters = match args.iter().position(|a| a == "--iters") {
+        None => 5usize,
+        Some(i) => match args.get(i + 1).map(|v| v.parse()) {
+            Some(Ok(n)) if n > 0 => n,
+            _ => {
+                eprintln!("error: --iters requires a positive integer");
+                std::process::exit(2);
+            }
+        },
+    };
+
+    println!("synthesis-stage micro-benchmarks ({iters} iterations per stage)\n");
+    println!("{:<34}{:>10} {:>10} {:>10}", "stage", "min", "mean", "max");
+
+    let chip4 = generators::chip_ip(4, MuxCount::One);
+    let chip64 = generators::chip_ip(64, MuxCount::One);
+
+    report(
+        "netlist generation (64 units)",
+        iters,
+        measure(iters, || generators::chip_ip(64, MuxCount::One)),
+    );
+    report(
+        "planarize chip4",
+        iters,
+        measure(iters, || planarize(&chip4)),
+    );
+    report(
+        "planarize chip64",
+        iters,
+        measure(iters, || planarize(&chip64)),
+    );
+
+    let (planar4, _) = planarize(&chip4);
+    let heuristic = LayoutOptions::heuristic_only();
+    report(
+        "layout chip4 (heuristic)",
+        iters,
+        measure(iters, || {
+            layout::synthesize(&planar4, &heuristic).expect("chip4 synthesizes")
+        }),
+    );
+
+    let budget = LayoutOptions {
+        time_limit: Duration::from_secs(2),
+        node_limit: 50,
+        ..LayoutOptions::default()
+    };
+    report(
+        "layout chip4 (bounded search)",
+        iters,
+        measure(iters, || {
+            layout::synthesize(&planar4, &budget).expect("chip4 synthesizes")
+        }),
+    );
+
+    let (planar64, _) = planarize(&chip64);
+    report(
+        "layout chip64 (heuristic)",
+        iters,
+        measure(iters, || {
+            layout::synthesize(&planar64, &heuristic).expect("chip64 synthesizes")
+        }),
+    );
+
+    let flow = Columba::with_options(SynthesisOptions {
+        layout: LayoutOptions {
+            time_limit: Duration::from_secs(2),
+            ..LayoutOptions::default()
+        },
+        ..SynthesisOptions::default()
+    });
+    report(
+        "full flow chip4",
+        iters,
+        measure(iters, || {
+            flow.synthesize(&chip4).expect("chip4 synthesizes")
+        }),
+    );
+
+    // solver telemetry of one representative bounded search
+    let searched = layout::synthesize(&planar4, &budget).expect("chip4 synthesizes");
+    println!("\nsolver telemetry (chip4, bounded search):");
+    println!("  {}", searched.laygen.solve);
+    if let Some(u) = searched.laygen.solve.utilization() {
+        let workers = searched.laygen.solve.worker_busy.len();
+        println!(
+            "  {} worker{}, {:.0}% mean utilization",
+            workers,
+            if workers == 1 { "" } else { "s" },
+            u * 100.0
+        );
+    }
+    for (at, obj) in searched.laygen.solve.trajectory() {
+        println!("  incumbent {obj:.4} at {at:.3}s");
+    }
+}

@@ -51,12 +51,19 @@ fn main() {
                 let (planar, _) = planarize(&one[row_idx]);
                 match synthesize_baseline(
                     &planar,
-                    &BaselineOptions { time_limit: baseline_budget, node_limit: 500_000 },
+                    &BaselineOptions {
+                        time_limit: baseline_budget,
+                        node_limit: 500_000,
+                    },
                 ) {
                     Ok(b) => println!(
                         "{:<14}{:<26}{:<26}{:<26}",
                         "2.0",
-                        format!("{} ({})", dim(b.width.to_mm(), b.height.to_mm()), dim(pw, ph)),
+                        format!(
+                            "{} ({})",
+                            dim(b.width.to_mm(), b.height.to_mm()),
+                            dim(pw, ph)
+                        ),
                         format!("{:.1} ({plf:.1})", b.flow_channel_length.to_mm()),
                         format!(
                             "{} ({pcin}) / {} ({prt:.0}s) [{}]",
@@ -87,7 +94,11 @@ fn main() {
                     println!(
                         "{:<14}{:<26}{:<26}{:<26}",
                         tag,
-                        format!("{} ({})", dim(s.width.to_mm(), s.height.to_mm()), dim(pw, ph)),
+                        format!(
+                            "{} ({})",
+                            dim(s.width.to_mm(), s.height.to_mm()),
+                            dim(pw, ph)
+                        ),
                         format!("{:.1} ({plf:.1})", s.flow_channel_length.to_mm()),
                         format!(
                             "{} ({pcin}) / {} ({prt}s){drc}",
@@ -95,6 +106,7 @@ fn main() {
                             secs(out.elapsed)
                         ),
                     );
+                    println!("{:<14}solver: {}", "", out.layout.solve);
                 }
                 Err(e) => println!("{tag:<14}failed: {e}"),
             }

@@ -14,8 +14,10 @@
 //! | `fig7` | Fig 7 netlist → design flow and the ChIP64 partition |
 //! | `fig8` | Fig 8 multiplexing function demonstration |
 //!
-//! Criterion micro-benchmarks of the synthesis stages live in
-//! `benches/synthesis.rs`.
+//! Micro-benchmarks of the synthesis stages live in the `microbench`
+//! binary — a plain [`std::time::Instant`] harness (no external
+//! benchmarking crates), which also prints the solver telemetry
+//! ([`columba_s::milp::SolveStats`]) of a bounded search.
 
 use std::time::Duration;
 
@@ -87,7 +89,10 @@ pub const PAPER_TABLE1: [PaperRow; 6] = [
 /// The netlists behind the Table 1 rows, in row order.
 #[must_use]
 pub fn table1_netlists(mux: MuxCount) -> Vec<Netlist> {
-    generators::table1_cases(mux).into_iter().map(|(_, n)| n).collect()
+    generators::table1_cases(mux)
+        .into_iter()
+        .map(|(_, n)| n)
+        .collect()
 }
 
 /// A Columba S flow tuned for harness runs: `search_budget` bounds the
@@ -95,7 +100,10 @@ pub fn table1_netlists(mux: MuxCount) -> Vec<Netlist> {
 #[must_use]
 pub fn harness_flow(search_budget: Duration) -> Columba {
     Columba::with_options(SynthesisOptions {
-        layout: LayoutOptions { time_limit: search_budget, ..LayoutOptions::default() },
+        layout: LayoutOptions {
+            time_limit: search_budget,
+            ..LayoutOptions::default()
+        },
         ..SynthesisOptions::default()
     })
 }

@@ -57,9 +57,14 @@ pub fn write_scr<W: Write>(design: &Design, out: W) -> io::Result<()> {
     writeln!(w, "; Columba S synthesis result: {}", design.name)?;
     writeln!(w, "; units: millimetres")?;
     writeln!(w, "-OSNAP OFF")?;
-    for (name, color) in
-        [("OUTLINE", 7), ("MODULE", 8), ("FLOW", 5), ("CONTROL", 3), ("VALVE", 1), ("INLET", 2)]
-    {
+    for (name, color) in [
+        ("OUTLINE", 7),
+        ("MODULE", 8),
+        ("FLOW", 5),
+        ("CONTROL", 3),
+        ("VALVE", 1),
+        ("INLET", 2),
+    ] {
         writeln!(w, "-LAYER M {name} C {color} {name}\n")?;
     }
     let rect_cmd = |w: &mut io::BufWriter<W>, layer: &str, r: &Rect| -> io::Result<()> {
@@ -98,7 +103,12 @@ pub fn write_scr<W: Write>(design: &Design, out: W) -> io::Result<()> {
     }
     writeln!(w, "-LAYER S INLET\n")?;
     for i in &design.inlets {
-        writeln!(w, "CIRCLE {:.4},{:.4} 0.3", mm(i.position.x), mm(i.position.y))?;
+        writeln!(
+            w,
+            "CIRCLE {:.4},{:.4} 0.3",
+            mm(i.position.x),
+            mm(i.position.y)
+        )?;
     }
     writeln!(w, "ZOOM E")?;
     w.flush()
@@ -121,7 +131,12 @@ pub fn write_dxf<W: Write>(design: &Design, out: W) -> io::Result<()> {
             (r.x_r(), r.y_t()),
             (r.x_l(), r.y_t()),
         ] {
-            writeln!(w, "0\nVERTEX\n8\n{layer}\n10\n{:.4}\n20\n{:.4}", mm(x), mm(y))?;
+            writeln!(
+                w,
+                "0\nVERTEX\n8\n{layer}\n10\n{:.4}\n20\n{:.4}",
+                mm(x),
+                mm(y)
+            )?;
         }
         writeln!(w, "0\nSEQEND")
     };
@@ -184,7 +199,11 @@ pub fn write_svg<W: Write>(design: &Design, out: W) -> io::Result<()> {
         )
     };
     for m in &design.modules {
-        rect(&mut w, &m.rect, r##"fill="none" stroke="#999" stroke-width="0.05""##)?;
+        rect(
+            &mut w,
+            &m.rect,
+            r##"fill="none" stroke="#999" stroke-width="0.05""##,
+        )?;
     }
     let seg_style = |role: ChannelRole| match role.layer() {
         Layer::Flow => r##"fill="#3b6fd4""##,
@@ -285,8 +304,14 @@ mod tests {
     #[test]
     fn scr_contains_layers_and_shapes() {
         let (scr, _, _) = render_all(&sample()).unwrap();
-        for token in ["-LAYER M FLOW", "-LAYER M CONTROL", "RECTANG", "PLINE", "CIRCLE", "ZOOM E"]
-        {
+        for token in [
+            "-LAYER M FLOW",
+            "-LAYER M CONTROL",
+            "RECTANG",
+            "PLINE",
+            "CIRCLE",
+            "ZOOM E",
+        ] {
             assert!(scr.contains(token), "missing {token} in:\n{scr}");
         }
         // millimetre coordinates
@@ -298,7 +323,10 @@ mod tests {
         let (_, dxf, _) = render_all(&sample()).unwrap();
         assert!(dxf.starts_with("0\nSECTION"));
         assert!(dxf.trim_end().ends_with("EOF"));
-        assert!(dxf.matches("POLYLINE").count() >= 4, "outline + module + channels + valve");
+        assert!(
+            dxf.matches("POLYLINE").count() >= 4,
+            "outline + module + channels + valve"
+        );
         assert_eq!(dxf.matches("CIRCLE").count(), 2);
     }
 

@@ -107,7 +107,11 @@ pub struct SynthesisOptions {
 
 impl Default for SynthesisOptions {
     fn default() -> SynthesisOptions {
-        SynthesisOptions { layout: LayoutOptions::default(), auto_scale: true, scale_threshold: 24 }
+        SynthesisOptions {
+            layout: LayoutOptions::default(),
+            auto_scale: true,
+            scale_threshold: 24,
+        }
     }
 }
 
@@ -242,7 +246,10 @@ mod tests {
         let out = flow.synthesize(&n).expect("synthesis succeeds");
         assert!(out.drc.is_clean(), "{}", out.drc);
         assert_eq!(out.design.muxes.len(), 1);
-        assert!(out.planarize.switches_added >= 1, "shared kinase inlet needs a switch");
+        assert!(
+            out.planarize.switches_added >= 1,
+            "shared kinase inlet needs a switch"
+        );
         let scr = out.to_autocad_script().unwrap();
         assert!(scr.contains("RECTANG"));
         let svg = out.to_svg().unwrap();

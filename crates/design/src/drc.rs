@@ -124,7 +124,10 @@ fn check_containment(d: &Design, report: &mut DrcReport) {
             if !d.chip.contains_rect(&bb) {
                 report.violations.push(Violation {
                     rule: Rule::ChipContainment,
-                    message: format!("channel #{i} ({:?}) {bb} leaves the chip {}", c.role, d.chip),
+                    message: format!(
+                        "channel #{i} ({:?}) {bb} leaves the chip {}",
+                        c.role, d.chip
+                    ),
                 });
             }
         }
@@ -191,10 +194,7 @@ fn check_same_layer_clearance(d: &Design, report: &mut DrcReport) {
 /// overlap sits within one spacing unit `d` of a segment endpoint (a T- or
 /// L-junction between connected runs). Overlap in the *middle* of two
 /// unrelated runs is a genuine short and is reported.
-fn overlap_is_junction(
-    sa: &columba_geom::Segment,
-    sb: &columba_geom::Segment,
-) -> bool {
+fn overlap_is_junction(sa: &columba_geom::Segment, sb: &columba_geom::Segment) -> bool {
     use columba_geom::Orientation;
     // collinear same-centreline runs are the same physical channel
     if sa.orientation() == sb.orientation() {
@@ -208,7 +208,12 @@ fn overlap_is_junction(
     };
     let d = MIN_CHANNEL_SPACING;
     let near = |p: columba_geom::Point| -> bool {
-        let grown = Rect::new(overlap.x_l() - d, overlap.x_r() + d, overlap.y_b() - d, overlap.y_t() + d);
+        let grown = Rect::new(
+            overlap.x_l() - d,
+            overlap.x_r() + d,
+            overlap.y_b() - d,
+            overlap.y_t() + d,
+        );
         grown.contains_point(p)
     };
     near(sa.start()) || near(sa.end()) || near(sb.start()) || near(sb.end())
@@ -264,7 +269,11 @@ fn check_straight_discipline(d: &Design, report: &mut DrcReport) {
 }
 
 fn check_inlet_pitch(d: &Design, report: &mut DrcReport) {
-    let fluid: Vec<_> = d.inlets.iter().filter(|i| i.kind == InletKind::Fluid).collect();
+    let fluid: Vec<_> = d
+        .inlets
+        .iter()
+        .filter(|i| i.kind == InletKind::Fluid)
+        .collect();
     for (i, a) in fluid.iter().enumerate() {
         for b in &fluid[i + 1..] {
             if a.side != b.side {
@@ -282,7 +291,11 @@ fn check_inlet_pitch(d: &Design, report: &mut DrcReport) {
             }
         }
     }
-    let pressure: Vec<_> = d.inlets.iter().filter(|i| i.kind == InletKind::Pressure).collect();
+    let pressure: Vec<_> = d
+        .inlets
+        .iter()
+        .filter(|i| i.kind == InletKind::Pressure)
+        .collect();
     let min = MIN_CHANNEL_SPACING * 2;
     for (i, a) in pressure.iter().enumerate() {
         for b in &pressure[i + 1..] {
@@ -305,7 +318,10 @@ fn check_inlet_pitch(d: &Design, report: &mut DrcReport) {
 
 fn check_valve_placement(d: &Design, report: &mut DrcReport) {
     let touch = |valve_rect: &Rect, ch: crate::ir::ChannelId| -> bool {
-        d.channel(ch).path.iter().any(|s| s.to_rect().touches(valve_rect))
+        d.channel(ch)
+            .path
+            .iter()
+            .any(|s| s.to_rect().touches(valve_rect))
     };
     for (i, v) in d.valves.iter().enumerate() {
         if let Some(ctrl) = v.control {
@@ -353,13 +369,20 @@ mod tests {
     }
 
     fn module(name: &str, rect: Rect) -> PlacedModule {
-        PlacedModule { component: ComponentId(0), name: name.into(), rect }
+        PlacedModule {
+            component: ComponentId(0),
+            name: name.into(),
+            rect,
+        }
     }
 
     #[test]
     fn clean_design_is_clean() {
         let mut d = base();
-        d.modules.push(module("m1", Rect::new(Um(1_000), Um(4_000), Um(1_000), Um(2_500))));
+        d.modules.push(module(
+            "m1",
+            Rect::new(Um(1_000), Um(4_000), Um(1_000), Um(2_500)),
+        ));
         d.channels.push(Channel::straight(
             ChannelRole::FlowTransport,
             Segment::horizontal(Um(1_750), Um(4_000), Um(8_000), Um(100)),
@@ -377,7 +400,10 @@ mod tests {
     #[test]
     fn out_of_chip_flagged() {
         let mut d = base();
-        d.modules.push(module("m1", Rect::new(Um(29_000), Um(31_000), Um(0), Um(1_000))));
+        d.modules.push(module(
+            "m1",
+            Rect::new(Um(29_000), Um(31_000), Um(0), Um(1_000)),
+        ));
         let r = check(&d);
         assert_eq!(r.of_rule(Rule::ChipContainment).len(), 1);
     }
@@ -385,14 +411,22 @@ mod tests {
     #[test]
     fn module_overlap_flagged() {
         let mut d = base();
-        d.modules.push(module("a", Rect::new(Um(0), Um(2_000), Um(0), Um(2_000))));
-        d.modules.push(module("b", Rect::new(Um(1_000), Um(3_000), Um(0), Um(2_000))));
+        d.modules
+            .push(module("a", Rect::new(Um(0), Um(2_000), Um(0), Um(2_000))));
+        d.modules.push(module(
+            "b",
+            Rect::new(Um(1_000), Um(3_000), Um(0), Um(2_000)),
+        ));
         let r = check(&d);
         assert_eq!(r.of_rule(Rule::ModuleOverlap).len(), 1);
         // flush placement is fine
         let mut d2 = base();
-        d2.modules.push(module("a", Rect::new(Um(0), Um(2_000), Um(0), Um(2_000))));
-        d2.modules.push(module("b", Rect::new(Um(2_000), Um(4_000), Um(0), Um(2_000))));
+        d2.modules
+            .push(module("a", Rect::new(Um(0), Um(2_000), Um(0), Um(2_000))));
+        d2.modules.push(module(
+            "b",
+            Rect::new(Um(2_000), Um(4_000), Um(0), Um(2_000)),
+        ));
         assert!(check(&d2).is_clean());
     }
 
@@ -489,7 +523,10 @@ mod tests {
     #[test]
     fn transport_through_foreign_module_flagged() {
         let mut d = base();
-        d.modules.push(module("m1", Rect::new(Um(2_000), Um(5_000), Um(500), Um(2_000))));
+        d.modules.push(module(
+            "m1",
+            Rect::new(Um(2_000), Um(5_000), Um(500), Um(2_000)),
+        ));
         d.channels.push(Channel::straight(
             ChannelRole::FlowTransport,
             Segment::horizontal(Um(1_000), Um(0), Um(10_000), Um(100)),
@@ -595,7 +632,10 @@ mod tests {
     #[test]
     fn report_display() {
         let mut d = base();
-        d.modules.push(module("far", Rect::new(Um(40_000), Um(41_000), Um(0), Um(100))));
+        d.modules.push(module(
+            "far",
+            Rect::new(Um(40_000), Um(41_000), Um(0), Um(100)),
+        ));
         let r = check(&d);
         assert!(!r.is_clean());
         assert!(r.to_string().contains("chip-containment"));

@@ -95,7 +95,11 @@ impl Channel {
     /// A single-segment channel.
     #[must_use]
     pub fn straight(role: ChannelRole, segment: Segment, owner: Option<ModuleId>) -> Channel {
-        Channel { role, path: vec![segment], owner }
+        Channel {
+            role,
+            path: vec![segment],
+            owner,
+        }
     }
 
     /// Total centreline length.
@@ -329,7 +333,10 @@ impl Design {
     }
 
     /// Channels with a given role.
-    pub fn channels_with_role(&self, role: ChannelRole) -> impl Iterator<Item = (ChannelId, &Channel)> {
+    pub fn channels_with_role(
+        &self,
+        role: ChannelRole,
+    ) -> impl Iterator<Item = (ChannelId, &Channel)> {
         self.channels
             .iter()
             .enumerate()
@@ -355,7 +362,10 @@ mod tests {
             ChannelRole::FlowTransport.required_orientation(),
             Some(Orientation::Horizontal)
         );
-        assert_eq!(ChannelRole::Control.required_orientation(), Some(Orientation::Vertical));
+        assert_eq!(
+            ChannelRole::Control.required_orientation(),
+            Some(Orientation::Vertical)
+        );
         assert_eq!(ChannelRole::InternalFlow.required_orientation(), None);
         assert!(ChannelRole::FlowTransport.counts_toward_flow_length());
         assert!(!ChannelRole::MuxFlow.counts_toward_flow_length());
@@ -407,8 +417,12 @@ mod tests {
             controlled: (0..15).map(ChannelId).collect(),
             region: Rect::new(Um(0), Um(1_000), Um(0), Um(1_000)),
             supply: InletId(0),
-            bit_inlets: (0..4).map(|i| (InletId(2 * i + 1), InletId(2 * i + 2))).collect(),
-            bit_lines: (0..4).map(|i| (ChannelId(100 + 2 * i), ChannelId(101 + 2 * i))).collect(),
+            bit_inlets: (0..4)
+                .map(|i| (InletId(2 * i + 1), InletId(2 * i + 2)))
+                .collect(),
+            bit_lines: (0..4)
+                .map(|i| (ChannelId(100 + 2 * i), ChannelId(101 + 2 * i)))
+                .collect(),
             valves: Vec::new(),
         };
         assert_eq!(m.bits(), 4);

@@ -71,7 +71,11 @@ impl Design {
                 .iter()
                 .filter(|i| i.kind == InletKind::Pressure)
                 .count(),
-            fluid_inlets: self.inlets.iter().filter(|i| i.kind == InletKind::Fluid).count(),
+            fluid_inlets: self
+                .inlets
+                .iter()
+                .filter(|i| i.kind == InletKind::Fluid)
+                .count(),
             valves: self.valves.len(),
             modules: self.modules.len(),
             control_channels: self.channels_with_role(ChannelRole::Control).count(),
@@ -116,7 +120,11 @@ mod tests {
             side: Side::Left,
         });
         let s = d.stats();
-        assert_eq!(s.flow_channel_length, Um(5_000), "MUX flow excluded from L_f");
+        assert_eq!(
+            s.flow_channel_length,
+            Um(5_000),
+            "MUX flow excluded from L_f"
+        );
         assert_eq!(s.control_inlets, 1);
         assert_eq!(s.fluid_inlets, 1);
         assert_eq!(s.control_channels, 1);

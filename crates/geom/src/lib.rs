@@ -180,7 +180,10 @@ mod tests {
     #[test]
     fn orientation_for_layer_follows_discipline() {
         assert_eq!(Orientation::for_layer(Layer::Flow), Orientation::Horizontal);
-        assert_eq!(Orientation::for_layer(Layer::Control), Orientation::Vertical);
+        assert_eq!(
+            Orientation::for_layer(Layer::Control),
+            Orientation::Vertical
+        );
     }
 
     #[test]

@@ -136,7 +136,10 @@ impl Rect {
     /// `true` when `other` lies entirely inside `self` (boundaries allowed).
     #[must_use]
     pub fn contains_rect(&self, other: &Rect) -> bool {
-        self.x_l <= other.x_l && other.x_r <= self.x_r && self.y_b <= other.y_b && other.y_t <= self.y_t
+        self.x_l <= other.x_l
+            && other.x_r <= self.x_r
+            && self.y_b <= other.y_b
+            && other.y_t <= self.y_t
     }
 
     /// `true` when `p` lies inside or on the boundary.
@@ -184,7 +187,12 @@ impl Rect {
     /// Panics if a negative margin would invert the rectangle.
     #[must_use]
     pub fn expanded(&self, margin: Um) -> Rect {
-        Rect::new(self.x_l - margin, self.x_r + margin, self.y_b - margin, self.y_t + margin)
+        Rect::new(
+            self.x_l - margin,
+            self.x_r + margin,
+            self.y_b - margin,
+            self.y_t + margin,
+        )
     }
 
     /// The smallest rectangle covering every rectangle in `rects`, or `None`
@@ -199,7 +207,11 @@ impl Rect {
 
 impl fmt::Display for Rect {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "[{}..{}]x[{}..{}]", self.x_l, self.x_r, self.y_b, self.y_t)
+        write!(
+            f,
+            "[{}..{}]x[{}..{}]",
+            self.x_l, self.x_r, self.y_b, self.y_t
+        )
     }
 }
 

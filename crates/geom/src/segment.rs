@@ -39,7 +39,11 @@ pub struct DiagonalSegmentError {
 
 impl fmt::Display for DiagonalSegmentError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "segment endpoints {} and {} are not axis-aligned", self.a, self.b)
+        write!(
+            f,
+            "segment endpoints {} and {} are not axis-aligned",
+            self.a, self.b
+        )
     }
 }
 
@@ -60,7 +64,11 @@ impl Segment {
         if a.x != b.x && a.y != b.y {
             return Err(DiagonalSegmentError { a, b });
         }
-        let (a, b) = if (b.x, b.y) < (a.x, a.y) { (b, a) } else { (a, b) };
+        let (a, b) = if (b.x, b.y) < (a.x, a.y) {
+            (b, a)
+        } else {
+            (a, b)
+        };
         Ok(Segment { a, b, width })
     }
 
@@ -68,14 +76,22 @@ impl Segment {
     #[must_use]
     pub fn horizontal(y: Um, x1: Um, x2: Um, width: Um) -> Segment {
         let (x1, x2) = (x1.min(x2), x1.max(x2));
-        Segment { a: Point::new(x1, y), b: Point::new(x2, y), width }
+        Segment {
+            a: Point::new(x1, y),
+            b: Point::new(x2, y),
+            width,
+        }
     }
 
     /// Creates a vertical segment at `x` spanning `[y1, y2]`.
     #[must_use]
     pub fn vertical(x: Um, y1: Um, y2: Um, width: Um) -> Segment {
         let (y1, y2) = (y1.min(y2), y1.max(y2));
-        Segment { a: Point::new(x, y1), b: Point::new(x, y2), width }
+        Segment {
+            a: Point::new(x, y1),
+            b: Point::new(x, y2),
+            width,
+        }
     }
 
     /// First endpoint (canonical order).

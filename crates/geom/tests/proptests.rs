@@ -1,83 +1,129 @@
-//! Property tests for the geometry substrate.
+//! Randomized tests for the geometry substrate, driven by the internal
+//! PRNG (reproducible, no registry dependencies).
 
 use columba_geom::{Point, Rect, Segment, Um};
-use proptest::prelude::*;
+use columba_prng::Rng;
 
-fn rect_strategy() -> impl Strategy<Value = Rect> {
-    (0i64..10_000, 1i64..5_000, 0i64..10_000, 1i64..5_000)
-        .prop_map(|(x, w, y, h)| Rect::new(Um(x), Um(x + w), Um(y), Um(y + h)))
+const CASES: usize = 256;
+
+fn rect(rng: &mut Rng) -> Rect {
+    let x = rng.gen_range(0i64..10_000);
+    let w = rng.gen_range(1i64..5_000);
+    let y = rng.gen_range(0i64..10_000);
+    let h = rng.gen_range(1i64..5_000);
+    Rect::new(Um(x), Um(x + w), Um(y), Um(y + h))
 }
 
-proptest! {
-    #[test]
-    fn union_contains_both(a in rect_strategy(), b in rect_strategy()) {
+#[test]
+fn union_contains_both() {
+    let mut rng = Rng::seed_from_u64(101);
+    for _ in 0..CASES {
+        let (a, b) = (rect(&mut rng), rect(&mut rng));
         let u = a.union(&b);
-        prop_assert!(u.contains_rect(&a));
-        prop_assert!(u.contains_rect(&b));
+        assert!(u.contains_rect(&a), "{u} misses {a}");
+        assert!(u.contains_rect(&b), "{u} misses {b}");
     }
+}
 
-    #[test]
-    fn intersection_is_contained_and_symmetric(a in rect_strategy(), b in rect_strategy()) {
-        prop_assert_eq!(a.intersection(&b), b.intersection(&a));
+#[test]
+fn intersection_is_contained_and_symmetric() {
+    let mut rng = Rng::seed_from_u64(102);
+    for _ in 0..CASES {
+        let (a, b) = (rect(&mut rng), rect(&mut rng));
+        assert_eq!(a.intersection(&b), b.intersection(&a));
         if let Some(i) = a.intersection(&b) {
-            prop_assert!(a.contains_rect(&i));
-            prop_assert!(b.contains_rect(&i));
+            assert!(a.contains_rect(&i));
+            assert!(b.contains_rect(&i));
         } else {
-            prop_assert!(!a.touches(&b));
+            assert!(!a.touches(&b));
         }
     }
+}
 
-    #[test]
-    fn overlap_implies_touch_and_positive_intersection(a in rect_strategy(), b in rect_strategy()) {
+#[test]
+fn overlap_implies_touch_and_positive_intersection() {
+    let mut rng = Rng::seed_from_u64(103);
+    for _ in 0..CASES {
+        let (a, b) = (rect(&mut rng), rect(&mut rng));
         if a.overlaps(&b) {
-            prop_assert!(a.touches(&b));
+            assert!(a.touches(&b));
             let i = a.intersection(&b).expect("overlapping rects intersect");
-            prop_assert!(i.area_um2() > 0);
+            assert!(i.area_um2() > 0);
         }
     }
+}
 
-    #[test]
-    fn translation_preserves_shape(a in rect_strategy(), dx in -5_000i64..5_000, dy in -5_000i64..5_000) {
+#[test]
+fn translation_preserves_shape() {
+    let mut rng = Rng::seed_from_u64(104);
+    for _ in 0..CASES {
+        let a = rect(&mut rng);
+        let dx = rng.gen_range(-5_000i64..5_000);
+        let dy = rng.gen_range(-5_000i64..5_000);
         let t = a.translated(Um(dx), Um(dy));
-        prop_assert_eq!(t.width(), a.width());
-        prop_assert_eq!(t.height(), a.height());
-        prop_assert_eq!(t.area_um2(), a.area_um2());
-        prop_assert_eq!(t.translated(Um(-dx), Um(-dy)), a);
+        assert_eq!(t.width(), a.width());
+        assert_eq!(t.height(), a.height());
+        assert_eq!(t.area_um2(), a.area_um2());
+        assert_eq!(t.translated(Um(-dx), Um(-dy)), a);
     }
+}
 
-    #[test]
-    fn segment_rect_round_trip(y in 0i64..10_000, x1 in 0i64..10_000, x2 in 0i64..10_000, w in 1i64..10) {
+#[test]
+fn segment_rect_round_trip() {
+    let mut rng = Rng::seed_from_u64(105);
+    for _ in 0..CASES {
+        let y = rng.gen_range(0i64..10_000);
+        let x1 = rng.gen_range(0i64..10_000);
+        let x2 = rng.gen_range(0i64..10_000);
+        let w = rng.gen_range(1i64..10);
         let s = Segment::horizontal(Um(y), Um(x1), Um(x2), Um(2 * w));
         let r = s.to_rect();
-        prop_assert_eq!(r.height(), Um(2 * w));
-        prop_assert_eq!(r.width(), s.length());
-        prop_assert!(r.contains_point(s.start()));
-        prop_assert!(r.contains_point(s.end()));
+        assert_eq!(r.height(), Um(2 * w));
+        assert_eq!(r.width(), s.length());
+        assert!(r.contains_point(s.start()));
+        assert!(r.contains_point(s.end()));
     }
+}
 
-    #[test]
-    fn manhattan_distance_triangle(ax in 0i64..1_000, ay in 0i64..1_000,
-                                   bx in 0i64..1_000, by in 0i64..1_000,
-                                   cx in 0i64..1_000, cy in 0i64..1_000) {
-        let (a, b, c) = (
-            Point::new(Um(ax), Um(ay)),
-            Point::new(Um(bx), Um(by)),
-            Point::new(Um(cx), Um(cy)),
+#[test]
+fn manhattan_distance_triangle() {
+    let mut rng = Rng::seed_from_u64(106);
+    for _ in 0..CASES {
+        let mut p = || {
+            Point::new(
+                Um(rng.gen_range(0i64..1_000)),
+                Um(rng.gen_range(0i64..1_000)),
+            )
+        };
+        let (a, b, c) = (p(), p(), p());
+        assert!(a.manhattan_distance(c) <= a.manhattan_distance(b) + b.manhattan_distance(c));
+        assert_eq!(a.manhattan_distance(b), b.manhattan_distance(a));
+    }
+}
+
+#[test]
+fn crossing_point_lies_on_both() {
+    let mut rng = Rng::seed_from_u64(107);
+    for _ in 0..CASES {
+        let hy = rng.gen_range(0i64..1_000);
+        let h = Segment::horizontal(
+            Um(hy),
+            Um(rng.gen_range(0i64..1_000)),
+            Um(rng.gen_range(0i64..1_000)),
+            Um(100),
         );
-        prop_assert!(a.manhattan_distance(c) <= a.manhattan_distance(b) + b.manhattan_distance(c));
-        prop_assert_eq!(a.manhattan_distance(b), b.manhattan_distance(a));
-    }
-
-    #[test]
-    fn crossing_point_lies_on_both(hx1 in 0i64..1_000, hx2 in 0i64..1_000, hy in 0i64..1_000,
-                                   vx in 0i64..1_000, vy1 in 0i64..1_000, vy2 in 0i64..1_000) {
-        let h = Segment::horizontal(Um(hy), Um(hx1), Um(hx2), Um(100));
-        let v = Segment::vertical(Um(vx), Um(vy1), Um(vy2), Um(100));
+        let vx = rng.gen_range(0i64..1_000);
+        let v = Segment::vertical(
+            Um(vx),
+            Um(rng.gen_range(0i64..1_000)),
+            Um(rng.gen_range(0i64..1_000)),
+            Um(100),
+        );
         if let Some(p) = h.crossing(&v) {
-            prop_assert!(h.to_rect().contains_point(p));
-            prop_assert!(v.to_rect().contains_point(p));
-            prop_assert_eq!(p.x, Um(vx));
-            prop_assert_eq!(p.y, Um(hy));
+            assert!(h.to_rect().contains_point(p));
+            assert!(v.to_rect().contains_point(p));
+            assert_eq!(p.x, Um(vx));
+            assert_eq!(p.y, Um(hy));
         }
     }
 }

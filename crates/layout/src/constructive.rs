@@ -146,16 +146,38 @@ pub(crate) fn place(plan: &Plan) -> Result<Placement, LayoutError> {
         // lane pitch, which respects the d' inlet rule)
         let link: Option<(usize, usize, Um)> = match (f.left, f.right) {
             (
-                EndKind::Pin { block: ba, component: ca },
-                EndKind::Pin { block: bb, component: cb },
+                EndKind::Pin {
+                    block: ba,
+                    component: ca,
+                },
+                EndKind::Pin {
+                    block: bb,
+                    component: cb,
+                },
             ) => {
-                let off_a = plan.blocks[ba.0].pin_y_offset(ca).expect("member of its block");
-                let off_b = plan.blocks[bb.0].pin_y_offset(cb).expect("member of its block");
+                let off_a = plan.blocks[ba.0]
+                    .pin_y_offset(ca)
+                    .expect("member of its block");
+                let off_b = plan.blocks[bb.0]
+                    .pin_y_offset(cb)
+                    .expect("member of its block");
                 // y_b(bb) + off_b = y_b(ba) + off_a
                 Some((ba.0, bb.0, off_a - off_b))
             }
-            (EndKind::FullSide { block: g }, EndKind::Pin { block: bb, component: cb })
-            | (EndKind::Pin { block: bb, component: cb }, EndKind::FullSide { block: g }) => {
+            (
+                EndKind::FullSide { block: g },
+                EndKind::Pin {
+                    block: bb,
+                    component: cb,
+                },
+            )
+            | (
+                EndKind::Pin {
+                    block: bb,
+                    component: cb,
+                },
+                EndKind::FullSide { block: g },
+            ) => {
                 let lane = {
                     let slot = group_anchor_lane.entry(g.0).or_insert(0);
                     let lanes = plan.blocks[g.0]
@@ -175,7 +197,9 @@ pub(crate) fn place(plan: &Plan) -> Result<Placement, LayoutError> {
                     .find(|m| m.lane == lane)
                     .map(|m| (m.rel.y_b() + m.rel.y_t()) / 2)
                     .expect("group lane has a member");
-                let off_b = plan.blocks[bb.0].pin_y_offset(cb).expect("member of its block");
+                let off_b = plan.blocks[bb.0]
+                    .pin_y_offset(cb)
+                    .expect("member of its block");
                 Some((g.0, bb.0, anchor - off_b))
             }
             _ => None,
@@ -293,7 +317,11 @@ pub(crate) fn place(plan: &Plan) -> Result<Placement, LayoutError> {
                 o
             })
             .collect();
-        let min_rel = members.iter().zip(&rels).map(|(_, &r)| r).fold(rels[0], Um::min);
+        let min_rel = members
+            .iter()
+            .zip(&rels)
+            .map(|(_, &r)| r)
+            .fold(rels[0], Um::min);
         let mut band_top = band_cursor;
         for (&b, &r) in members.iter().zip(&rels) {
             let h = plan.blocks[b].height.unwrap_or(plan.blocks[b].min_height);
@@ -417,7 +445,10 @@ pub(crate) fn place(plan: &Plan) -> Result<Placement, LayoutError> {
         }
     }
 
-    Ok(Placement { feasible, ..placement })
+    Ok(Placement {
+        feasible,
+        ..placement
+    })
 }
 
 /// The y range of a y-rigid entity: full block height or pinned to a pin.
@@ -432,7 +463,9 @@ fn fixed_entity_y(
     }
     for e in [f.left, f.right] {
         if let EndKind::Pin { block, component } = e {
-            let off = plan.blocks[block.0].pin_y_offset(component).expect("member");
+            let off = plan.blocks[block.0]
+                .pin_y_offset(component)
+                .expect("member");
             let y = y_b[block.0] + off;
             return (y - D, y + D);
         }
@@ -451,9 +484,8 @@ pub(crate) fn self_check_verbose(plan: &Plan, p: &Placement) -> Result<(), Strin
         let (x, yb, yt) = p.block_pos[b];
         (x, x + plan.blocks[b].width, yb, yt)
     };
-    let overlap = |a: (Um, Um, Um, Um), b: (Um, Um, Um, Um)| {
-        a.0 < b.1 && b.0 < a.1 && a.2 < b.3 && b.2 < a.3
-    };
+    let overlap =
+        |a: (Um, Um, Um, Um), b: (Um, Um, Um, Um)| a.0 < b.1 && b.0 < a.1 && a.2 < b.3 && b.2 < a.3;
     let n = plan.blocks.len();
     // blocks pairwise (x-disjoint by construction, but verify)
     for i in 0..n {
@@ -554,8 +586,16 @@ mod tests {
     fn pin_alignment_holds() {
         let (plan, p) = placed(4);
         for f in &plan.flows {
-            let (EndKind::Pin { block: ba, component: ca }, EndKind::Pin { block: bb, component: cb }) =
-                (f.left, f.right)
+            let (
+                EndKind::Pin {
+                    block: ba,
+                    component: ca,
+                },
+                EndKind::Pin {
+                    block: bb,
+                    component: cb,
+                },
+            ) = (f.left, f.right)
             else {
                 continue;
             };
@@ -576,16 +616,17 @@ mod tests {
                 }
                 let (_, s_yb, s_yt) = p.block_pos[b.0];
                 let (_, _, f_yb, f_yt) = p.flow_rect[fi];
-                assert!(s_yb <= f_yb && f_yt <= s_yt, "switch spans its junction channels");
+                assert!(
+                    s_yb <= f_yb && f_yt <= s_yt,
+                    "switch spans its junction channels"
+                );
             }
         }
     }
 
     #[test]
     fn random_netlists_place_feasibly() {
-        use rand::rngs::StdRng;
-        use rand::SeedableRng;
-        let mut rng = StdRng::seed_from_u64(42);
+        let mut rng = columba_prng::Rng::seed_from_u64(42);
         for units in [3usize, 8, 15, 30] {
             let raw = generators::random_netlist(&mut rng, units);
             let (n, _) = planarize(&raw);

@@ -201,7 +201,11 @@ impl Plan {
     /// Total number of control channels reaching `dir`.
     #[must_use]
     pub fn control_channels(&self, dir: ControlDir) -> usize {
-        self.controls.iter().filter(|c| c.dir == dir).map(|c| c.count).sum()
+        self.controls
+            .iter()
+            .filter(|c| c.dir == dir)
+            .map(|c| c.count)
+            .sum()
     }
 }
 
@@ -272,8 +276,10 @@ pub fn build_plan(netlist: &Netlist) -> Result<Plan, LayoutError> {
         });
         comp_block[i] = Some(id);
     }
-    let comp_block: Vec<BlockId> =
-        comp_block.into_iter().map(|b| b.expect("every component got a block")).collect();
+    let comp_block: Vec<BlockId> = comp_block
+        .into_iter()
+        .map(|b| b.expect("every component got a block"))
+        .collect();
 
     // --- connections: intra vs inter ---
     let mut intra = Vec::new();
@@ -301,7 +307,13 @@ pub fn build_plan(netlist: &Netlist) -> Result<Plan, LayoutError> {
         }
         let kind = entity_kind(&blocks, left, right, 1);
         let fi = flows.len();
-        flows.push(FlowEntity { left, right, kind, count: 1, conns: vec![ci] });
+        flows.push(FlowEntity {
+            left,
+            right,
+            kind,
+            count: 1,
+            conns: vec![ci],
+        });
         if mergeable {
             merged.insert((lk, rk), fi);
         }
@@ -326,14 +338,29 @@ pub fn build_plan(netlist: &Netlist) -> Result<Plan, LayoutError> {
             up += u_pins;
         }
         if down > 0 {
-            controls.push(ControlEntity { block: BlockId(bi), dir: ControlDir::Down, count: down });
+            controls.push(ControlEntity {
+                block: BlockId(bi),
+                dir: ControlDir::Down,
+                count: down,
+            });
         }
         if up > 0 {
-            controls.push(ControlEntity { block: BlockId(bi), dir: ControlDir::Up, count: up });
+            controls.push(ControlEntity {
+                block: BlockId(bi),
+                dir: ControlDir::Up,
+                count: up,
+            });
         }
     }
 
-    Ok(Plan { blocks, flows, controls, intra, comp_block, mux_count: netlist.mux_count })
+    Ok(Plan {
+        blocks,
+        flows,
+        controls,
+        intra,
+        comp_block,
+        mux_count: netlist.mux_count,
+    })
 }
 
 enum Classified {
@@ -375,7 +402,10 @@ fn classify(
         } else if blocks[block.0].is_group() {
             EndKind::FullSide { block }
         } else {
-            EndKind::Pin { block, component: c }
+            EndKind::Pin {
+                block,
+                component: c,
+            }
         }
     };
 
@@ -491,8 +521,16 @@ fn build_group_block(
     let mut next: HashMap<ComponentId, ComponentId> = HashMap::new();
     let mut has_prev: HashSet<ComponentId> = HashSet::new();
     for conn in netlist.connections() {
-        let (Endpoint::Unit { component: a, side: sa }, Endpoint::Unit { component: b, side: sb }) =
-            (&conn.from, &conn.to)
+        let (
+            Endpoint::Unit {
+                component: a,
+                side: sa,
+            },
+            Endpoint::Unit {
+                component: b,
+                side: sb,
+            },
+        ) = (&conn.from, &conn.to)
         else {
             continue;
         };
@@ -561,7 +599,10 @@ fn build_group_block(
         })
         .collect();
     let block_w = lane_dims.iter().map(|&(w, _)| w).fold(Um::ZERO, Um::max);
-    let block_h = lane_dims.iter().map(|&(_, h)| h).fold(Um::ZERO, |a, b| a + b)
+    let block_h = lane_dims
+        .iter()
+        .map(|&(_, h)| h)
+        .fold(Um::ZERO, |a, b| a + b)
         + LANE_GAP_Y * (lanes.len() as i64 - 1);
 
     let mut placed = Vec::new();
@@ -583,10 +624,7 @@ fn build_group_block(
         y += lane_h + LANE_GAP_Y;
     }
 
-    let label = format!(
-        "group[{}..]",
-        netlist.component(group[0]).name
-    );
+    let label = format!("group[{}..]", netlist.component(group[0]).name);
     Ok(Block {
         label,
         kind: BlockKind::Group,
@@ -632,7 +670,11 @@ mod tests {
         assert_eq!(down + up, 42);
         assert!(up > 0 && down > 0);
         // chambers (2 lines each) go up; mixer `both` puts 3 of 5/6 up
-        assert_eq!(up, 3 + 4 * 3 + 4 * 2, "pre pumps + lane mixer pumps + chamber pairs");
+        assert_eq!(
+            up,
+            3 + 4 * 3 + 4 * 2,
+            "pre pumps + lane mixer pumps + chamber pairs"
+        );
     }
 
     #[test]
@@ -698,16 +740,24 @@ mod tests {
     fn switch_to_boundary_becomes_bundle() {
         // netlist: a switch fanning into two ports (shared source port)
         let mut n = Netlist::new("t");
-        let m = n.add_mixer("m", columba_netlist::MixerSpec::default()).unwrap();
+        let m = n
+            .add_mixer("m", columba_netlist::MixerSpec::default())
+            .unwrap();
         let p1 = n.add_port("w1").unwrap();
         let p2 = n.add_port("w2").unwrap();
         n.connect(
-            Endpoint::Unit { component: m, side: UnitSide::Right },
+            Endpoint::Unit {
+                component: m,
+                side: UnitSide::Right,
+            },
             Endpoint::Port(p1),
         )
         .unwrap();
         n.connect(
-            Endpoint::Unit { component: m, side: UnitSide::Right },
+            Endpoint::Unit {
+                component: m,
+                side: UnitSide::Right,
+            },
             Endpoint::Port(p2),
         )
         .unwrap();
@@ -731,7 +781,9 @@ mod tests {
     #[test]
     fn port_to_port_rejected() {
         let mut n = Netlist::new("t");
-        let _ = n.add_mixer("m", columba_netlist::MixerSpec::default()).unwrap();
+        let _ = n
+            .add_mixer("m", columba_netlist::MixerSpec::default())
+            .unwrap();
         let p1 = n.add_port("a").unwrap();
         let p2 = n.add_port("b").unwrap();
         n.connect(Endpoint::Port(p1), Endpoint::Port(p2)).unwrap();
@@ -742,11 +794,21 @@ mod tests {
     #[test]
     fn same_facing_pins_rejected() {
         let mut n = Netlist::new("t");
-        let a = n.add_mixer("a", columba_netlist::MixerSpec::default()).unwrap();
-        let b = n.add_mixer("b", columba_netlist::MixerSpec::default()).unwrap();
+        let a = n
+            .add_mixer("a", columba_netlist::MixerSpec::default())
+            .unwrap();
+        let b = n
+            .add_mixer("b", columba_netlist::MixerSpec::default())
+            .unwrap();
         n.connect(
-            Endpoint::Unit { component: a, side: UnitSide::Right },
-            Endpoint::Unit { component: b, side: UnitSide::Right },
+            Endpoint::Unit {
+                component: a,
+                side: UnitSide::Right,
+            },
+            Endpoint::Unit {
+                component: b,
+                side: UnitSide::Right,
+            },
         )
         .unwrap();
         let e = build_plan(&n).unwrap_err();

@@ -63,7 +63,9 @@ mod tests {
         let e = LayoutError::from(NetlistError::Invalid("x".into()));
         assert!(e.to_string().contains("not ready"));
         assert!(e.source().is_some());
-        assert!(LayoutError::Unroutable("a->b".into()).to_string().contains("a->b"));
+        assert!(LayoutError::Unroutable("a->b".into())
+            .to_string()
+            .contains("a->b"));
         assert!(LayoutError::Milp("m".into()).source().is_none());
     }
 }

@@ -16,7 +16,7 @@
 use std::time::Duration;
 
 use columba_geom::{Rect, Um, INLET_PITCH, MIN_CHANNEL_SPACING};
-use columba_milp::{Model, ModelStats, Sense, SolveParams, SolveStatus, VarId};
+use columba_milp::{Model, ModelStats, Sense, SolveParams, SolveStats, SolveStatus, VarId};
 
 use crate::constructive::{self, Placement};
 use crate::entities::{ControlDir, EndKind, FlowKind, Plan};
@@ -46,6 +46,9 @@ pub struct LaygenReport {
     /// Whether the returned rectangles come from the constructive
     /// placement because the MILP found no solution in budget.
     pub used_fallback: bool,
+    /// Solver telemetry: node/prune/iteration counters, phase times,
+    /// incumbent trajectory and worker utilization.
+    pub solve: SolveStats,
 }
 
 /// The §3.2.1 output: a rectangle plan for validation.
@@ -80,7 +83,10 @@ struct Ent {
     attached: [Option<usize>; 2],
 }
 
-pub(crate) fn generate(plan: &Plan, options: &LayoutOptions) -> Result<GeneratedLayout, LayoutError> {
+pub(crate) fn generate(
+    plan: &Plan,
+    options: &LayoutOptions,
+) -> Result<GeneratedLayout, LayoutError> {
     let placement = constructive::place(plan)?;
     let bound_mm = (placement.extent.0.max(placement.extent.1).to_mm() * 1.3 + 20.0).max(50.0);
     let big_m = bound_mm;
@@ -90,8 +96,16 @@ pub(crate) fn generate(plan: &Plan, options: &LayoutOptions) -> Result<Generated
     let x_max = model.num_var("x_max", 0.0, bound_mm);
     let y_max = model.num_var("y_max", 0.0, bound_mm);
     let xy_max = model.num_var("xy_max", 0.0, bound_mm);
-    model.constraint(Model::expr().term(1.0, xy_max).term(-1.0, x_max), Sense::Ge, 0.0);
-    model.constraint(Model::expr().term(1.0, xy_max).term(-1.0, y_max), Sense::Ge, 0.0);
+    model.constraint(
+        Model::expr().term(1.0, xy_max).term(-1.0, x_max),
+        Sense::Ge,
+        0.0,
+    );
+    model.constraint(
+        Model::expr().term(1.0, xy_max).term(-1.0, y_max),
+        Sense::Ge,
+        0.0,
+    );
 
     let mut ents: Vec<Ent> = Vec::new();
     let new_rect_vars = |model: &mut Model, tag: &str, i: usize| -> [VarId; 4] {
@@ -125,18 +139,44 @@ pub(crate) fn generate(plan: &Plan, options: &LayoutOptions) -> Result<Generated
             ),
         }
         // eq 2: confinement to the chip
-        model.constraint(Model::expr().term(1.0, v[1]).term(-1.0, x_max), Sense::Le, 0.0);
-        model.constraint(Model::expr().term(1.0, v[3]).term(-1.0, y_max), Sense::Le, 0.0);
-        ents.push(Ent { vars: v, layer: EntLayer::Both, start: Some(i), end: Some(i), attached: [None, None] });
+        model.constraint(
+            Model::expr().term(1.0, v[1]).term(-1.0, x_max),
+            Sense::Le,
+            0.0,
+        );
+        model.constraint(
+            Model::expr().term(1.0, v[3]).term(-1.0, y_max),
+            Sense::Le,
+            0.0,
+        );
+        ents.push(Ent {
+            vars: v,
+            layer: EntLayer::Both,
+            start: Some(i),
+            end: Some(i),
+            attached: [None, None],
+        });
     }
 
     // ---- flow entities ----
     let flow_base = ents.len();
     for (i, f) in plan.flows.iter().enumerate() {
         let v = new_rect_vars(&mut model, "f", i);
-        model.constraint(Model::expr().term(1.0, v[1]).term(-1.0, v[0]), Sense::Ge, 0.0);
-        model.constraint(Model::expr().term(1.0, v[1]).term(-1.0, x_max), Sense::Le, 0.0);
-        model.constraint(Model::expr().term(1.0, v[3]).term(-1.0, y_max), Sense::Le, 0.0);
+        model.constraint(
+            Model::expr().term(1.0, v[1]).term(-1.0, v[0]),
+            Sense::Ge,
+            0.0,
+        );
+        model.constraint(
+            Model::expr().term(1.0, v[1]).term(-1.0, x_max),
+            Sense::Le,
+            0.0,
+        );
+        model.constraint(
+            Model::expr().term(1.0, v[3]).term(-1.0, y_max),
+            Sense::Le,
+            0.0,
+        );
 
         // height class
         match f.kind {
@@ -173,11 +213,7 @@ pub(crate) fn generate(plan: &Plan, options: &LayoutOptions) -> Result<Generated
                 | EndKind::FullSide { block } => {
                     let bv = ents[block.0].vars;
                     let bx = if is_left { bv[1] } else { bv[0] };
-                    model.constraint(
-                        Model::expr().term(1.0, fx).term(-1.0, bx),
-                        Sense::Eq,
-                        0.0,
-                    );
+                    model.constraint(Model::expr().term(1.0, fx).term(-1.0, bx), Sense::Eq, 0.0);
                 }
             }
         }
@@ -260,8 +296,16 @@ pub(crate) fn generate(plan: &Plan, options: &LayoutOptions) -> Result<Generated
     for (i, c) in plan.controls.iter().enumerate() {
         let v = new_rect_vars(&mut model, "c", i);
         let bv = ents[c.block.0].vars;
-        model.constraint(Model::expr().term(1.0, v[0]).term(-1.0, bv[0]), Sense::Eq, 0.0);
-        model.constraint(Model::expr().term(1.0, v[1]).term(-1.0, bv[1]), Sense::Eq, 0.0);
+        model.constraint(
+            Model::expr().term(1.0, v[0]).term(-1.0, bv[0]),
+            Sense::Eq,
+            0.0,
+        );
+        model.constraint(
+            Model::expr().term(1.0, v[1]).term(-1.0, bv[1]),
+            Sense::Eq,
+            0.0,
+        );
         match c.dir {
             ControlDir::Down => {
                 model.constraint(Model::expr().term(1.0, v[2]), Sense::Eq, 0.0);
@@ -323,9 +367,7 @@ pub(crate) fn generate(plan: &Plan, options: &LayoutOptions) -> Result<Generated
             if attached {
                 continue;
             }
-            if options.prune_ordered_pairs
-                && (ordered(a.end, b.start) || ordered(b.end, a.start))
-            {
+            if options.prune_ordered_pairs && (ordered(a.end, b.start) || ordered(b.end, a.start)) {
                 pruned += 1;
                 continue;
             }
@@ -333,22 +375,34 @@ pub(crate) fn generate(plan: &Plan, options: &LayoutOptions) -> Result<Generated
             let (av, bv) = (a.vars, b.vars);
             // a left of b / b left of a / a below b / b below a
             model.constraint(
-                Model::expr().term(1.0, av[1]).term(-1.0, bv[0]).term(-big_m, q[0]),
+                Model::expr()
+                    .term(1.0, av[1])
+                    .term(-1.0, bv[0])
+                    .term(-big_m, q[0]),
                 Sense::Le,
                 0.0,
             );
             model.constraint(
-                Model::expr().term(1.0, bv[1]).term(-1.0, av[0]).term(-big_m, q[1]),
+                Model::expr()
+                    .term(1.0, bv[1])
+                    .term(-1.0, av[0])
+                    .term(-big_m, q[1]),
                 Sense::Le,
                 0.0,
             );
             model.constraint(
-                Model::expr().term(1.0, av[3]).term(-1.0, bv[2]).term(-big_m, q[2]),
+                Model::expr()
+                    .term(1.0, av[3])
+                    .term(-1.0, bv[2])
+                    .term(-big_m, q[2]),
                 Sense::Le,
                 0.0,
             );
             model.constraint(
-                Model::expr().term(1.0, bv[3]).term(-1.0, av[2]).term(-big_m, q[3]),
+                Model::expr()
+                    .term(1.0, bv[3])
+                    .term(-1.0, av[2])
+                    .term(-big_m, q[3]),
                 Sense::Le,
                 0.0,
             );
@@ -389,12 +443,18 @@ pub(crate) fn generate(plan: &Plan, options: &LayoutOptions) -> Result<Generated
                     model.bin_var(format!("p{i}_{j}_1")),
                 ];
                 model.constraint(
-                    Model::expr().term(1.0, vi[3]).term(-1.0, vj[2]).term(-big_m, q[0]),
+                    Model::expr()
+                        .term(1.0, vi[3])
+                        .term(-1.0, vj[2])
+                        .term(-big_m, q[0]),
                     Sense::Le,
                     -d_prime,
                 );
                 model.constraint(
-                    Model::expr().term(1.0, vj[3]).term(-1.0, vi[2]).term(-big_m, q[1]),
+                    Model::expr()
+                        .term(1.0, vj[3])
+                        .term(-1.0, vi[2])
+                        .term(-big_m, q[1]),
                     Sense::Le,
                     -d_prime,
                 );
@@ -434,6 +494,7 @@ pub(crate) fn generate(plan: &Plan, options: &LayoutOptions) -> Result<Generated
         time_limit: options.time_limit,
         node_limit: options.node_limit,
         rounding_heuristic: false,
+        threads: options.threads,
         ..SolveParams::default()
     };
     let result = match &hint {
@@ -450,6 +511,7 @@ pub(crate) fn generate(plan: &Plan, options: &LayoutOptions) -> Result<Generated
         pruned_pairs: pruned,
         hint_used: hint.is_some(),
         used_fallback: false,
+        solve: result.stats().clone(),
     };
 
     match result.solution() {
@@ -463,13 +525,18 @@ pub(crate) fn generate(plan: &Plan, options: &LayoutOptions) -> Result<Generated
                 .collect();
             realign_pins(plan, &mut block_rects);
             let extent = (to_um(x_max).max(Um(1)), to_um(y_max).max(Um(1)));
-            let flow_rects =
-                derive_flow_rects(plan, &block_rects, extent, |fi| {
-                    let v = ents[flow_base + fi].vars;
-                    (to_um(v[2]), to_um(v[3]))
-                });
+            let flow_rects = derive_flow_rects(plan, &block_rects, extent, |fi| {
+                let v = ents[flow_base + fi].vars;
+                (to_um(v[2]), to_um(v[3]))
+            });
             let control_rects = derive_control_rects(plan, &block_rects, extent);
-            Ok(GeneratedLayout { block_rects, flow_rects, control_rects, extent, report: report_base })
+            Ok(GeneratedLayout {
+                block_rects,
+                flow_rects,
+                control_rects,
+                extent,
+                report: report_base,
+            })
         }
         None if options.warm_start && placement.feasible => {
             // fall back to the constructive layout outright
@@ -490,7 +557,10 @@ pub(crate) fn generate(plan: &Plan, options: &LayoutOptions) -> Result<Generated
                 flow_rects,
                 control_rects,
                 extent,
-                report: LaygenReport { used_fallback: true, ..report_base },
+                report: LaygenReport {
+                    used_fallback: true,
+                    ..report_base
+                },
             })
         }
         None => Err(LayoutError::Milp(format!(
@@ -598,8 +668,14 @@ fn realign_pins(plan: &Plan, block_rects: &mut [Rect]) {
     let mut adj: Vec<(usize, usize, Um)> = Vec::new();
     for f in &plan.flows {
         if let (
-            EndKind::Pin { block: ba, component: ca },
-            EndKind::Pin { block: bb, component: cb },
+            EndKind::Pin {
+                block: ba,
+                component: ca,
+            },
+            EndKind::Pin {
+                block: bb,
+                component: cb,
+            },
         ) = (f.left, f.right)
         {
             let off_a = plan.blocks[ba.0].pin_y_offset(ca).expect("member");
@@ -785,7 +861,10 @@ mod tests {
         );
         assert!(full.report.disjunctions > pruned.report.disjunctions);
         assert_eq!(full.report.pruned_pairs, 0);
-        assert!(full.report.status.has_solution(), "model stays solvable, just bigger");
+        assert!(
+            full.report.status.has_solution(),
+            "model stays solvable, just bigger"
+        );
     }
 
     #[test]
@@ -812,7 +891,13 @@ mod tests {
             ..LayoutOptions::default()
         };
         let (_, slow) = gen(4, &options);
-        let (a, b) = (fast.report.objective.unwrap(), slow.report.objective.unwrap());
-        assert!(b <= a + 1e-6, "search objective {b} worse than heuristic {a}");
+        let (a, b) = (
+            fast.report.objective.unwrap(),
+            slow.report.objective.unwrap(),
+        );
+        assert!(
+            b <= a + 1e-6,
+            "search objective {b} worse than heuristic {a}"
+        );
     }
 }

@@ -52,8 +52,16 @@ pub(crate) fn validate(
     // ---- chip frame: functional region + boundary margins + MUX regions ----
     let n_down = plan.control_channels(ControlDir::Down);
     let n_up = plan.control_channels(ControlDir::Up);
-    let bottom_h = if n_down > 0 { mux::required_height(n_down) + D * 2 } else { D * 2 };
-    let top_h = if n_up > 0 { mux::required_height(n_up) + D * 2 } else { D * 2 };
+    let bottom_h = if n_down > 0 {
+        mux::required_height(n_down) + D * 2
+    } else {
+        D * 2
+    };
+    let top_h = if n_up > 0 {
+        mux::required_height(n_up) + D * 2
+    } else {
+        D * 2
+    };
     let margin_x = D * 4;
     let (fx, fy) = generated.extent;
     let chip = Rect::new(Um::ZERO, fx + margin_x * 2, Um::ZERO, fy + bottom_h + top_h);
@@ -89,9 +97,17 @@ pub(crate) fn validate(
     let mut switch_plans: HashMap<usize, (SwitchPlan, Vec<usize>)> = HashMap::new();
     for (fi, f) in plan.flows.iter().enumerate() {
         for (this_end, junction_side) in [(f.left, Side::Right), (f.right, Side::Left)] {
-            let EndKind::SwitchSide { block } = this_end else { continue };
+            let EndKind::SwitchSide { block } = this_end else {
+                continue;
+            };
             let entry = switch_plans.entry(block.0).or_insert_with(|| {
-                (SwitchPlan { junctions: Vec::new(), control_side: Side::Bottom }, Vec::new())
+                (
+                    SwitchPlan {
+                        junctions: Vec::new(),
+                        control_side: Side::Bottom,
+                    },
+                    Vec::new(),
+                )
             });
             for (k, &ci) in f.conns.iter().enumerate() {
                 let y = junction_y(netlist, plan, generated, f, fi, k, ci)? + dy;
@@ -144,7 +160,17 @@ pub(crate) fn validate(
     }
 
     // ---- flow transport channels and fluid inlets ----
-    route_flows(netlist, plan, generated, &mut design, &instances, &junction_pin, dx, dy, &chip)?;
+    route_flows(
+        netlist,
+        plan,
+        generated,
+        &mut design,
+        &instances,
+        &junction_pin,
+        dx,
+        dy,
+        &chip,
+    )?;
 
     // ---- control channels, shared lines ----
     let (down_ids, up_ids) = route_controls(plan, &mut design, &instances, &fr)?;
@@ -218,11 +244,19 @@ fn route_flows(
         boundary: Option<Side>,
     }
 
-    let resolve = |end: EndKind, is_left_end: bool, fi: usize, k: usize, ci: usize| -> Result<EndPos, LayoutError> {
+    let resolve = |end: EndKind,
+                   is_left_end: bool,
+                   fi: usize,
+                   k: usize,
+                   ci: usize|
+     -> Result<EndPos, LayoutError> {
         match end {
             EndKind::Boundary => {
-                let (x, side) =
-                    if is_left_end { (chip.x_l(), Side::Left) } else { (chip.x_r(), Side::Right) };
+                let (x, side) = if is_left_end {
+                    (chip.x_l(), Side::Left)
+                } else {
+                    (chip.x_r(), Side::Right)
+                };
                 // bundles carry their own inlet heights; other boundary ends
                 // inherit the opposite pin's height
                 let y = match plan.flows[fi].kind {
@@ -234,21 +268,30 @@ fn route_flows(
                     ),
                     _ => None,
                 };
-                Ok(EndPos { x, y, boundary: Some(side) })
+                Ok(EndPos {
+                    x,
+                    y,
+                    boundary: Some(side),
+                })
             }
             EndKind::SwitchSide { block } => {
                 let p = junction_pin.get(&(block.0, ci)).ok_or_else(|| {
                     LayoutError::Restore(format!("connection #{ci} missing its switch junction"))
                 })?;
-                Ok(EndPos { x: p.x, y: Some(p.y), boundary: None })
+                Ok(EndPos {
+                    x: p.x,
+                    y: Some(p.y),
+                    boundary: None,
+                })
             }
             EndKind::Pin { component, .. } => pin_pos(netlist, instances, ci, component),
             EndKind::FullSide { block } => {
-                let member = conn_component_in_block(netlist, ci, plan, block).ok_or_else(|| {
-                    LayoutError::Restore(format!(
-                        "connection #{ci} touches no member of its group block"
-                    ))
-                })?;
+                let member =
+                    conn_component_in_block(netlist, ci, plan, block).ok_or_else(|| {
+                        LayoutError::Restore(format!(
+                            "connection #{ci} touches no member of its group block"
+                        ))
+                    })?;
                 pin_pos(netlist, instances, ci, member)
             }
         }
@@ -269,7 +312,11 @@ fn route_flows(
         let pin = inst.flow_pin_on(side).ok_or_else(|| {
             LayoutError::Restore(format!("connection #{ci}: module lacks a {side} flow pin"))
         })?;
-        Ok(EndPos { x: pin.position.x, y: Some(pin.position.y), boundary: None })
+        Ok(EndPos {
+            x: pin.position.x,
+            y: Some(pin.position.y),
+            boundary: None,
+        })
     }
 
     // route intra-block connections (between members of a merged group)
@@ -278,7 +325,9 @@ fn route_flows(
         let (Endpoint::Unit { component: ca, .. }, Endpoint::Unit { component: cb, .. }) =
             (conn.from, conn.to)
         else {
-            return Err(LayoutError::Restore(format!("intra connection #{ci} touches a port")));
+            return Err(LayoutError::Restore(format!(
+                "intra connection #{ci} touches a port"
+            )));
         };
         let a = pin_pos(netlist, instances, ci, ca)?;
         let b = pin_pos(netlist, instances, ci, cb)?;
@@ -533,7 +582,11 @@ mod tests {
             if v.kind == columba_design::ValveKind::Mux {
                 continue;
             }
-            assert!(covered[vi], "valve #{vi} ({:?}) has no control line", v.kind);
+            assert!(
+                covered[vi],
+                "valve #{vi} ({:?}) has no control line",
+                v.kind
+            );
         }
     }
 

@@ -76,6 +76,10 @@ pub struct LayoutOptions {
     /// for ablation studies — without it the search starts from nothing
     /// and the scalable heuristic mode cannot work.
     pub warm_start: bool,
+    /// Worker threads for the branch & bound search. `0` uses the machine's
+    /// available parallelism; `1` forces the sequential search. Any count
+    /// yields the same objective when the solve runs to completion.
+    pub threads: usize,
 }
 
 impl Default for LayoutOptions {
@@ -89,6 +93,7 @@ impl Default for LayoutOptions {
             node_limit: 20_000,
             prune_ordered_pairs: true,
             warm_start: true,
+            threads: 0,
         }
     }
 }
@@ -98,7 +103,10 @@ impl LayoutOptions {
     /// branching. Used for the 129/257-unit test cases.
     #[must_use]
     pub fn heuristic_only() -> LayoutOptions {
-        LayoutOptions { node_limit: 0, ..LayoutOptions::default() }
+        LayoutOptions {
+            node_limit: 0,
+            ..LayoutOptions::default()
+        }
     }
 }
 

@@ -36,11 +36,13 @@ mod model;
 mod simplex;
 mod solution;
 mod solver;
+mod stats;
 
 pub use expr::Expr;
 pub use model::{Constraint, Model, ModelStats, Sense, VarId, VarKind};
-pub use solution::{MipResult, SolveStatus, Solution};
+pub use solution::{MipResult, Solution, SolveStatus};
 pub use solver::{SolveError, SolveParams};
+pub use stats::{IncumbentEvent, SolveStats};
 
 #[cfg(test)]
 mod tests {

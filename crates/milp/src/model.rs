@@ -172,7 +172,10 @@ impl Model {
     }
 
     fn add_var(&mut self, name: String, kind: VarKind, lb: f64, ub: f64) -> VarId {
-        assert!(!lb.is_nan() && !ub.is_nan(), "variable {name} has NaN bound");
+        assert!(
+            !lb.is_nan() && !ub.is_nan(),
+            "variable {name} has NaN bound"
+        );
         assert!(lb <= ub, "variable {name} has lb {lb} > ub {ub}");
         assert!(
             lb.is_finite(),
@@ -189,7 +192,11 @@ impl Model {
     /// Any constant inside `expr` is moved to the right-hand side.
     pub fn constraint(&mut self, expr: Expr, sense: Sense, rhs: f64) {
         let terms = expr.compiled();
-        self.constraints.push(Constraint { terms, sense, rhs: rhs - expr.constant() });
+        self.constraints.push(Constraint {
+            terms,
+            sense,
+            rhs: rhs - expr.constant(),
+        });
     }
 
     /// Fixes `var` to `value` by tightening both bounds.
@@ -283,8 +290,16 @@ impl Model {
     pub fn stats(&self) -> ModelStats {
         ModelStats {
             vars: self.vars.len(),
-            binaries: self.vars.iter().filter(|v| v.kind == VarKind::Binary).count(),
-            integers: self.vars.iter().filter(|v| v.kind == VarKind::Integer).count(),
+            binaries: self
+                .vars
+                .iter()
+                .filter(|v| v.kind == VarKind::Binary)
+                .count(),
+            integers: self
+                .vars
+                .iter()
+                .filter(|v| v.kind == VarKind::Integer)
+                .count(),
             constraints: self.constraints.len(),
             nonzeros: self.constraints.iter().map(|c| c.terms.len()).sum(),
         }

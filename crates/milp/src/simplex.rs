@@ -41,7 +41,10 @@ pub(crate) struct Lp {
 #[derive(Debug, Clone)]
 pub(crate) enum LpOutcome {
     /// Optimal with structural variable values and objective.
-    Optimal { x: Vec<f64>, obj: f64 },
+    Optimal {
+        x: Vec<f64>,
+        obj: f64,
+    },
     Infeasible,
     Unbounded,
     /// The caller's deadline expired mid-solve.
@@ -259,8 +262,9 @@ impl Tableau {
                 )
             }
         }
-        let phase1_obj: f64 =
-            ((self.n_struct + self.m)..self.ncols).map(|j| self.col_value(j)).sum();
+        let phase1_obj: f64 = ((self.n_struct + self.m)..self.ncols)
+            .map(|j| self.col_value(j))
+            .sum();
         if phase1_obj > 1e-6 {
             return (LpOutcome::Infeasible, self.iterations);
         }
@@ -295,8 +299,8 @@ impl Tableau {
         // verify against original rows (guards against tableau drift)
         for row in &lp.rows {
             let act: f64 = row.terms.iter().map(|&(j, c)| c * x[j]).sum();
-            let scale = 1.0 + row.terms.iter().map(|&(_, c)| c.abs()).fold(0.0, f64::max)
-                + row.rhs.abs();
+            let scale =
+                1.0 + row.terms.iter().map(|&(_, c)| c.abs()).fold(0.0, f64::max) + row.rhs.abs();
             let viol = match row.sense {
                 Sense::Le => act - row.rhs,
                 Sense::Ge => row.rhs - act,
@@ -382,7 +386,7 @@ impl Tableau {
             if self.iterations >= max_iters {
                 return PhaseEnd::IterLimit;
             }
-            if self.iterations % 256 == 0 {
+            if self.iterations.is_multiple_of(256) {
                 if let Some(deadline) = self.deadline {
                     if std::time::Instant::now() >= deadline {
                         return PhaseEnd::TimedOut;
@@ -392,7 +396,11 @@ impl Tableau {
             let bland = self.degenerate_streak >= DEGENERATE_STREAK;
             // entering column
             let mut best: Option<(usize, f64, bool)> = None; // (col, score, increasing)
-            let scan_end = if phase1 { self.ncols } else { self.n_struct + self.m };
+            let scan_end = if phase1 {
+                self.ncols
+            } else {
+                self.n_struct + self.m
+            };
             for j in 0..scan_end {
                 if self.in_basis[j] {
                     continue;
@@ -502,7 +510,11 @@ impl Tableau {
                         }
                     }
                     let entering_value = if increasing {
-                        (if self.at_upper[j] { self.ub[j] } else { self.lb[j] }) + t_max
+                        (if self.at_upper[j] {
+                            self.ub[j]
+                        } else {
+                            self.lb[j]
+                        }) + t_max
                     } else {
                         self.ub[j] - t_max
                     };
@@ -528,11 +540,20 @@ mod tests {
     use super::*;
 
     fn lp(lb: &[f64], ub: &[f64], cost: &[f64], rows: Vec<Row>) -> Lp {
-        Lp { lb: lb.to_vec(), ub: ub.to_vec(), cost: cost.to_vec(), rows }
+        Lp {
+            lb: lb.to_vec(),
+            ub: ub.to_vec(),
+            cost: cost.to_vec(),
+            rows,
+        }
     }
 
     fn row(terms: &[(usize, f64)], sense: Sense, rhs: f64) -> Row {
-        Row { terms: terms.to_vec(), sense, rhs }
+        Row {
+            terms: terms.to_vec(),
+            sense,
+            rhs,
+        }
     }
 
     fn optimal(lp: &Lp) -> (Vec<f64>, f64) {

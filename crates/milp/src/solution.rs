@@ -4,6 +4,7 @@ use std::fmt;
 use std::time::Duration;
 
 use crate::model::VarId;
+use crate::stats::SolveStats;
 
 /// Final status of a MILP solve.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -80,9 +81,7 @@ pub struct MipResult {
     pub(crate) status: SolveStatus,
     pub(crate) solution: Option<Solution>,
     pub(crate) best_bound: f64,
-    pub(crate) nodes: usize,
-    pub(crate) simplex_iterations: usize,
-    pub(crate) elapsed: Duration,
+    pub(crate) stats: SolveStats,
 }
 
 impl MipResult {
@@ -117,19 +116,26 @@ impl MipResult {
     /// Number of branch & bound nodes processed.
     #[must_use]
     pub fn nodes(&self) -> usize {
-        self.nodes
+        self.stats.nodes_processed
     }
 
     /// Total simplex iterations across all nodes.
     #[must_use]
     pub fn simplex_iterations(&self) -> usize {
-        self.simplex_iterations
+        self.stats.simplex_iterations
     }
 
     /// Wall-clock solve time.
     #[must_use]
     pub fn elapsed(&self) -> Duration {
-        self.elapsed
+        self.stats.total_time
+    }
+
+    /// Full solver telemetry: counters, phase times, incumbent trajectory
+    /// and worker utilization.
+    #[must_use]
+    pub fn stats(&self) -> &SolveStats {
+        &self.stats
     }
 }
 
@@ -139,9 +145,9 @@ impl fmt::Display for MipResult {
             f,
             "{} after {} nodes / {} simplex iterations in {:.3}s",
             self.status,
-            self.nodes,
-            self.simplex_iterations,
-            self.elapsed.as_secs_f64()
+            self.stats.nodes_processed,
+            self.stats.simplex_iterations,
+            self.stats.total_time.as_secs_f64()
         )?;
         if let Some(s) = &self.solution {
             write!(f, "; objective {:.6}", s.objective())?;
@@ -166,11 +172,18 @@ mod tests {
     fn gap_computation() {
         let r = MipResult {
             status: SolveStatus::Feasible,
-            solution: Some(Solution { values: vec![], objective: 10.0 }),
+            solution: Some(Solution {
+                values: vec![],
+                objective: 10.0,
+            }),
             best_bound: 9.0,
-            nodes: 1,
-            simplex_iterations: 1,
-            elapsed: Duration::from_millis(1),
+            stats: SolveStats {
+                threads: 1,
+                nodes_processed: 1,
+                simplex_iterations: 1,
+                total_time: Duration::from_millis(1),
+                ..SolveStats::default()
+            },
         };
         assert!((r.gap().unwrap() - 0.1).abs() < 1e-12);
         assert!(r.to_string().contains("feasible"));

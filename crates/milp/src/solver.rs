@@ -1,12 +1,23 @@
 //! Branch & bound over the simplex relaxation.
+//!
+//! The search runs on a shared pool of open nodes drained by
+//! [`std::thread::scope`] workers (no external crates). The incumbent lives
+//! behind a mutex, with the best objective mirrored into an [`AtomicU64`]
+//! (as `f64` bits) so workers can prune against it without taking the lock.
+//! Node identity breaks heap ties in a fixed order, so a single worker
+//! reproduces the classic sequential best-bound search exactly, and any
+//! worker count returns the same objective on a run to completion.
 
 use std::collections::BinaryHeap;
 use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use crate::model::{Model, VarId, VarKind};
 use crate::simplex::{self, Lp, LpOutcome, Row};
-use crate::solution::{MipResult, SolveStatus, Solution};
+use crate::solution::{MipResult, Solution, SolveStatus};
+use crate::stats::{IncumbentEvent, SolveStats};
 
 /// Integer feasibility tolerance.
 const INT_TOL: f64 = 1e-6;
@@ -47,6 +58,10 @@ pub struct SolveParams {
     pub abs_gap: f64,
     /// Try rounding the root LP solution into an incumbent.
     pub rounding_heuristic: bool,
+    /// Worker threads for the branch & bound search. `0` uses the machine's
+    /// available parallelism; `1` runs the classic sequential search. Any
+    /// count returns the same objective on a run to completion.
+    pub threads: usize,
 }
 
 impl Default for SolveParams {
@@ -57,6 +72,7 @@ impl Default for SolveParams {
             rel_gap: 1e-6,
             abs_gap: 1e-9,
             rounding_heuristic: true,
+            threads: 0,
         }
     }
 }
@@ -65,7 +81,21 @@ impl SolveParams {
     /// A parameter set with the given time budget and otherwise defaults.
     #[must_use]
     pub fn with_time_limit(limit: Duration) -> SolveParams {
-        SolveParams { time_limit: limit, ..SolveParams::default() }
+        SolveParams {
+            time_limit: limit,
+            ..SolveParams::default()
+        }
+    }
+
+    /// The worker count after resolving `0` to the machine's available
+    /// parallelism. Always at least 1.
+    #[must_use]
+    pub fn resolved_threads(&self) -> usize {
+        if self.threads == 0 {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        } else {
+            self.threads
+        }
     }
 }
 
@@ -77,24 +107,29 @@ struct BranchBound {
     ub: f64,
 }
 
-struct Node {
-    /// Index of the parent in the arena, `usize::MAX` for the root.
-    parent: usize,
-    bound_change: Option<BranchBound>,
-    depth: usize,
+/// One link in a node's chain of branch decisions back to the root.
+///
+/// Paths are persistent (shared via [`Arc`]) so sibling subtrees reuse their
+/// common prefix and workers reconstruct bounds without a shared arena.
+struct PathLink {
+    bc: BranchBound,
+    parent: Option<Arc<PathLink>>,
 }
 
 /// Heap entry ordered so the *lowest* LP bound pops first (best-bound
-/// search), with deeper nodes preferred on ties (plunging).
+/// search), with deeper nodes preferred on ties (plunging) and the oldest
+/// node id breaking exact ties — the fixed order that makes the search
+/// deterministic for a given worker count.
 struct OpenNode {
-    arena_index: usize,
+    id: u64,
     lp_bound: f64,
     depth: usize,
+    path: Option<Arc<PathLink>>,
 }
 
 impl PartialEq for OpenNode {
     fn eq(&self, other: &Self) -> bool {
-        self.lp_bound == other.lp_bound && self.depth == other.depth
+        self.id == other.id
     }
 }
 impl Eq for OpenNode {}
@@ -111,6 +146,240 @@ impl Ord for OpenNode {
             .partial_cmp(&self.lp_bound)
             .unwrap_or(std::cmp::Ordering::Equal)
             .then(self.depth.cmp(&other.depth))
+            .then(other.id.cmp(&self.id))
+    }
+}
+
+/// Immutable data shared by the root phase and every search worker.
+struct SearchCtx<'a> {
+    base_rows: Vec<Row>,
+    base_lb: Vec<f64>,
+    base_ub: Vec<f64>,
+    cost: Vec<f64>,
+    int_vars: Vec<usize>,
+    obj_constant: f64,
+    sign: f64,
+    params: &'a SolveParams,
+    start: Instant,
+    deadline: Instant,
+}
+
+impl SearchCtx<'_> {
+    /// Solves the LP for the given bounds, accumulating iterations into
+    /// `iters` and mapping numerical failures to [`SolveError`].
+    fn lp(&self, lb: &[f64], ub: &[f64], iters: &mut usize) -> Result<LpOutcome, SolveError> {
+        let (outcome, it) = presolved_lp(&self.base_rows, &self.cost, lb, ub, Some(self.deadline));
+        *iters += it;
+        if let LpOutcome::Numerical(msg) = &outcome {
+            return Err(SolveError::Numerical(msg.clone()));
+        }
+        Ok(outcome)
+    }
+}
+
+/// The incumbent and its improvement history, guarded by one mutex.
+struct IncState {
+    /// `(values, min-sense objective)` of the best feasible point so far.
+    best: Option<(Vec<f64>, f64)>,
+    events: Vec<IncumbentEvent>,
+}
+
+/// Mutable search state shared across workers.
+struct Search<'a> {
+    ctx: &'a SearchCtx<'a>,
+    heap: Mutex<BinaryHeap<OpenNode>>,
+    /// Workers currently processing a node. The search is over only when the
+    /// heap is empty *and* no worker might still push children.
+    active: AtomicUsize,
+    stop: AtomicBool,
+    hit_limit: AtomicBool,
+    error: Mutex<Option<SolveError>>,
+    incumbent: Mutex<IncState>,
+    /// `f64` bits of the incumbent objective (min sense), `INFINITY` when no
+    /// incumbent exists; read lock-free on the pruning fast path.
+    best_obj: AtomicU64,
+    nodes_processed: AtomicUsize,
+    nodes_pruned: AtomicUsize,
+    simplex_iterations: AtomicUsize,
+    next_id: AtomicU64,
+}
+
+impl Search<'_> {
+    fn best_objective(&self) -> f64 {
+        f64::from_bits(self.best_obj.load(Ordering::Relaxed))
+    }
+
+    /// The bound-vs-incumbent test that ends the search: within absolute or
+    /// relative gap of `inc`.
+    fn dominated(&self, bound: f64, inc: f64) -> bool {
+        let p = self.ctx.params;
+        inc.is_finite()
+            && (bound >= inc - p.abs_gap || (inc - bound).abs() <= p.rel_gap * inc.abs().max(1.0))
+    }
+
+    fn offer_incumbent(&self, values: Vec<f64>, obj: f64) {
+        let mut inc = self.incumbent.lock().expect("incumbent lock");
+        if inc.best.as_ref().is_none_or(|(_, b)| obj < *b) {
+            inc.best = Some((values, obj));
+            self.best_obj.store(obj.to_bits(), Ordering::Relaxed);
+            inc.events.push(IncumbentEvent {
+                at: self.ctx.start.elapsed(),
+                objective: self.ctx.sign * obj,
+            });
+        }
+    }
+
+    /// Requeue a node we popped but could not finish (a limit fired), so the
+    /// final dual bound still accounts for it, then stop the search.
+    fn stop_at_limit(&self, open: OpenNode) {
+        self.hit_limit.store(true, Ordering::Relaxed);
+        self.stop.store(true, Ordering::Relaxed);
+        self.heap.lock().expect("heap lock").push(open);
+    }
+
+    /// Worker loop: drain the pool until it is empty and no peer is active,
+    /// a limit fires, or an error stops the search. Returns busy time.
+    fn run_worker(&self) -> Duration {
+        let mut busy = Duration::ZERO;
+        loop {
+            if self.stop.load(Ordering::Relaxed) {
+                break;
+            }
+            let popped = {
+                let mut heap = self.heap.lock().expect("heap lock");
+                // The heap is ordered by bound, so a dominated top proves
+                // every remaining node dominated: optimality.
+                let best = self.best_objective();
+                if let Some(top) = heap.peek() {
+                    if self.dominated(top.lp_bound, best) {
+                        self.nodes_pruned.fetch_add(heap.len(), Ordering::Relaxed);
+                        heap.clear();
+                    }
+                }
+                if let Some(node) = heap.pop() {
+                    self.active.fetch_add(1, Ordering::SeqCst);
+                    Some(node)
+                } else if self.active.load(Ordering::SeqCst) == 0 {
+                    break;
+                } else {
+                    None
+                }
+            };
+            let Some(node) = popped else {
+                // peers are still expanding nodes that may yield children
+                std::thread::yield_now();
+                continue;
+            };
+            let t = Instant::now();
+            let outcome = self.process(node);
+            busy += t.elapsed();
+            self.active.fetch_sub(1, Ordering::SeqCst);
+            if let Err(e) = outcome {
+                let mut slot = self.error.lock().expect("error lock");
+                slot.get_or_insert(e);
+                drop(slot);
+                self.stop.store(true, Ordering::Relaxed);
+                break;
+            }
+        }
+        busy
+    }
+
+    /// Process one node: check limits, prune, solve its LP, then branch or
+    /// record an incumbent.
+    fn process(&self, open: OpenNode) -> Result<(), SolveError> {
+        let ctx = self.ctx;
+        let p = ctx.params;
+        if ctx.start.elapsed() >= p.time_limit
+            || self.nodes_processed.load(Ordering::Relaxed) >= p.node_limit
+        {
+            self.stop_at_limit(open);
+            return Ok(());
+        }
+        if self.dominated(open.lp_bound, self.best_objective()) {
+            self.nodes_pruned.fetch_add(1, Ordering::Relaxed);
+            return Ok(());
+        }
+        self.nodes_processed.fetch_add(1, Ordering::Relaxed);
+
+        // reconstruct bounds along the branch path
+        let mut lb = ctx.base_lb.clone();
+        let mut ub = ctx.base_ub.clone();
+        let mut link = open.path.as_deref();
+        while let Some(l) = link {
+            lb[l.bc.var] = lb[l.bc.var].max(l.bc.lb);
+            ub[l.bc.var] = ub[l.bc.var].min(l.bc.ub);
+            link = l.parent.as_deref();
+        }
+        if lb.iter().zip(&ub).any(|(l, u)| l > u) {
+            // conflicting branches
+            self.nodes_pruned.fetch_add(1, Ordering::Relaxed);
+            return Ok(());
+        }
+
+        let (outcome, iters) =
+            presolved_lp(&ctx.base_rows, &ctx.cost, &lb, &ub, Some(ctx.deadline));
+        self.simplex_iterations.fetch_add(iters, Ordering::Relaxed);
+        let (x, obj) = match outcome {
+            LpOutcome::Numerical(msg) => return Err(SolveError::Numerical(msg)),
+            LpOutcome::TimedOut => {
+                self.stop_at_limit(open);
+                return Ok(());
+            }
+            LpOutcome::Optimal { x, obj } => (x, obj + ctx.obj_constant),
+            // A child cannot be less bounded than the root in a sound model;
+            // treat Unbounded as numerically suspect and prune.
+            LpOutcome::Infeasible | LpOutcome::Unbounded => {
+                self.nodes_pruned.fetch_add(1, Ordering::Relaxed);
+                return Ok(());
+            }
+        };
+        let best = self.best_objective();
+        if best.is_finite() && obj >= best - p.abs_gap {
+            self.nodes_pruned.fetch_add(1, Ordering::Relaxed);
+            return Ok(());
+        }
+        match most_fractional(&x, &ctx.int_vars) {
+            None => {
+                // integral: candidate incumbent
+                self.offer_incumbent(round_ints(x, &ctx.int_vars), obj);
+            }
+            Some(branch_var) => {
+                let v = x[branch_var];
+                let depth = open.depth + 1;
+                let down = Arc::new(PathLink {
+                    bc: BranchBound {
+                        var: branch_var,
+                        lb: f64::NEG_INFINITY,
+                        ub: v.floor(),
+                    },
+                    parent: open.path.clone(),
+                });
+                let up = Arc::new(PathLink {
+                    bc: BranchBound {
+                        var: branch_var,
+                        lb: v.ceil(),
+                        ub: f64::INFINITY,
+                    },
+                    parent: open.path,
+                });
+                let base = self.next_id.fetch_add(2, Ordering::Relaxed);
+                let mut heap = self.heap.lock().expect("heap lock");
+                heap.push(OpenNode {
+                    id: base,
+                    lp_bound: obj,
+                    depth,
+                    path: Some(down),
+                });
+                heap.push(OpenNode {
+                    id: base + 1,
+                    lp_bound: obj,
+                    depth,
+                    path: Some(up),
+                });
+            }
+        }
+        Ok(())
     }
 }
 
@@ -121,6 +390,7 @@ pub(crate) fn solve(
 ) -> Result<MipResult, SolveError> {
     let start = Instant::now();
     let sign = if model.maximize { -1.0 } else { 1.0 };
+    let threads = params.resolved_threads();
 
     let base_rows: Vec<Row> = model
         .constraints
@@ -141,55 +411,60 @@ pub(crate) fn solve(
                 crate::model::Sense::Eq => r.rhs.abs() <= 1e-9,
             };
             if !ok {
+                let stats = root_stats(threads, 0, Vec::new(), start);
                 return Ok(finish(
                     SolveStatus::Infeasible,
                     None,
                     f64::NEG_INFINITY,
-                    0,
-                    0,
-                    start,
                     sign,
+                    stats,
                 ));
             }
         }
     }
 
-    let base_lb: Vec<f64> = model.vars.iter().map(|v| v.lb).collect();
-    let base_ub: Vec<f64> = model.vars.iter().map(|v| v.ub).collect();
-    let cost: Vec<f64> = model.objective.clone();
-    let int_vars: Vec<usize> = model
-        .vars
-        .iter()
-        .enumerate()
-        .filter(|(_, v)| v.kind != VarKind::Continuous)
-        .map(|(i, _)| i)
-        .collect();
+    let ctx = SearchCtx {
+        base_rows,
+        base_lb: model.vars.iter().map(|v| v.lb).collect(),
+        base_ub: model.vars.iter().map(|v| v.ub).collect(),
+        cost: model.objective.clone(),
+        int_vars: model
+            .vars
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.kind != VarKind::Continuous)
+            .map(|(i, _)| i)
+            .collect(),
+        obj_constant: model.obj_constant,
+        sign,
+        params,
+        start,
+        deadline: start + params.time_limit,
+    };
 
-    let mut simplex_iterations = 0usize;
-    let mut nodes_processed = 0usize;
-
-    let deadline = start + params.time_limit;
-    let solve_lp_with =
-        |lb: &[f64], ub: &[f64], iters: &mut usize| -> Result<LpOutcome, SolveError> {
-            let (outcome, it) = presolved_lp(&base_rows, &cost, lb, ub, Some(deadline));
-            *iters += it;
-            if let LpOutcome::Numerical(msg) = &outcome {
-                return Err(SolveError::Numerical(msg.clone()));
-            }
-            Ok(outcome)
-        };
-
+    let mut root_iters = 0usize;
     let mut incumbent: Option<(Vec<f64>, f64)> = None; // (values, min-sense obj)
+    let mut events: Vec<IncumbentEvent> = Vec::new();
+    let offer_root =
+        |incumbent: &mut Option<(Vec<f64>, f64)>, events: &mut Vec<IncumbentEvent>, x, obj| {
+            if incumbent.as_ref().is_none_or(|(_, b)| obj < *b) {
+                *incumbent = Some((x, obj));
+                events.push(IncumbentEvent {
+                    at: start.elapsed(),
+                    objective: sign * obj,
+                });
+            }
+        };
 
     // -- hint: fix integers, solve the remaining LP --
     if let Some(hint) = hint {
-        let mut lb = base_lb.clone();
-        let mut ub = base_ub.clone();
+        let mut lb = ctx.base_lb.clone();
+        let mut ub = ctx.base_ub.clone();
         let mut valid = true;
         for &(v, val) in hint {
             let i = v.index();
             let r = val.round();
-            if r < base_lb[i] - 1e-9 || r > base_ub[i] + 1e-9 {
+            if r < ctx.base_lb[i] - 1e-9 || r > ctx.base_ub[i] + 1e-9 {
                 valid = false;
                 break;
             }
@@ -197,9 +472,8 @@ pub(crate) fn solve(
             ub[i] = r;
         }
         if valid {
-            if let LpOutcome::Optimal { x, obj } = solve_lp_with(&lb, &ub, &mut simplex_iterations)?
-            {
-                incumbent = Some((x, obj + model.obj_constant));
+            if let LpOutcome::Optimal { x, obj } = ctx.lp(&lb, &ub, &mut root_iters)? {
+                offer_root(&mut incumbent, &mut events, x, obj + ctx.obj_constant);
             }
         }
     }
@@ -207,222 +481,201 @@ pub(crate) fn solve(
     // zero node budget + a hint-based incumbent: skip the root relaxation
     // entirely (scalable heuristic mode — the LP polish *is* the answer)
     if params.node_limit == 0 && incumbent.is_some() {
+        let stats = root_stats(threads, root_iters, events, start);
         return Ok(finish(
             SolveStatus::Feasible,
             incumbent,
             f64::NEG_INFINITY,
-            nodes_processed,
-            simplex_iterations,
-            start,
             sign,
+            stats,
         ));
     }
 
     // -- root relaxation --
-    let root_outcome = solve_lp_with(&base_lb, &base_ub, &mut simplex_iterations)?;
+    let root_outcome = ctx.lp(&ctx.base_lb, &ctx.base_ub, &mut root_iters)?;
     let (root_x, root_bound) = match root_outcome {
         LpOutcome::TimedOut => {
-            return Ok(finish(
-                if incumbent.is_some() {
-                    SolveStatus::Feasible
-                } else {
-                    SolveStatus::LimitReached
-                },
-                incumbent,
-                f64::NEG_INFINITY,
-                nodes_processed,
-                simplex_iterations,
-                start,
-                sign,
-            ));
+            let status = if incumbent.is_some() {
+                SolveStatus::Feasible
+            } else {
+                SolveStatus::LimitReached
+            };
+            let stats = root_stats(threads, root_iters, events, start);
+            return Ok(finish(status, incumbent, f64::NEG_INFINITY, sign, stats));
         }
-        LpOutcome::Optimal { x, obj } => (x, obj + model.obj_constant),
+        LpOutcome::Optimal { x, obj } => (x, obj + ctx.obj_constant),
         LpOutcome::Infeasible => {
-            return Ok(finish(
-                if incumbent.is_some() { SolveStatus::Feasible } else { SolveStatus::Infeasible },
-                incumbent,
-                f64::NEG_INFINITY,
-                nodes_processed,
-                simplex_iterations,
-                start,
-                sign,
-            ));
+            let status = if incumbent.is_some() {
+                SolveStatus::Feasible
+            } else {
+                SolveStatus::Infeasible
+            };
+            let stats = root_stats(threads, root_iters, events, start);
+            return Ok(finish(status, incumbent, f64::NEG_INFINITY, sign, stats));
         }
         LpOutcome::Unbounded => {
             // With an incumbent the model cannot be truly unbounded in the
             // integer sense we care about; report what we know.
-            return Ok(finish(
-                if incumbent.is_some() { SolveStatus::Feasible } else { SolveStatus::Unbounded },
-                incumbent,
-                f64::NEG_INFINITY,
-                nodes_processed,
-                simplex_iterations,
-                start,
-                sign,
-            ));
+            let status = if incumbent.is_some() {
+                SolveStatus::Feasible
+            } else {
+                SolveStatus::Unbounded
+            };
+            let stats = root_stats(threads, root_iters, events, start);
+            return Ok(finish(status, incumbent, f64::NEG_INFINITY, sign, stats));
         }
         LpOutcome::Numerical(_) => unreachable!("mapped to Err above"),
     };
 
     // integral root?
-    if all_integral(&root_x, &int_vars) {
-        let obj = root_bound;
-        if incumbent.as_ref().is_none_or(|(_, inc)| obj < *inc) {
-            incumbent = Some((round_ints(root_x, &int_vars), obj));
-        }
+    if all_integral(&root_x, &ctx.int_vars) {
+        offer_root(
+            &mut incumbent,
+            &mut events,
+            round_ints(root_x, &ctx.int_vars),
+            root_bound,
+        );
+        let stats = root_stats(threads, root_iters, events, start);
         return Ok(finish(
             SolveStatus::Optimal,
             incumbent,
             root_bound,
-            nodes_processed,
-            simplex_iterations,
-            start,
             sign,
+            stats,
         ));
     }
 
     // -- rounding heuristic --
     if params.rounding_heuristic && incumbent.is_none() {
-        let mut lb = base_lb.clone();
-        let mut ub = base_ub.clone();
-        for &i in &int_vars {
-            let r = root_x[i].round().clamp(base_lb[i], base_ub[i]);
+        let mut lb = ctx.base_lb.clone();
+        let mut ub = ctx.base_ub.clone();
+        for &i in &ctx.int_vars {
+            let r = root_x[i].round().clamp(ctx.base_lb[i], ctx.base_ub[i]);
             lb[i] = r;
             ub[i] = r;
         }
-        if let LpOutcome::Optimal { x, obj } = solve_lp_with(&lb, &ub, &mut simplex_iterations)? {
-            incumbent = Some((x, obj + model.obj_constant));
+        if let LpOutcome::Optimal { x, obj } = ctx.lp(&lb, &ub, &mut root_iters)? {
+            offer_root(&mut incumbent, &mut events, x, obj + ctx.obj_constant);
         }
     }
 
-    // -- branch & bound --
-    let mut arena: Vec<Node> =
-        vec![Node { parent: usize::MAX, bound_change: None, depth: 0 }];
+    // -- branch & bound over the shared node pool --
+    let root_time = start.elapsed();
     let mut heap = BinaryHeap::new();
-    heap.push(OpenNode { arena_index: 0, lp_bound: root_bound, depth: 0 });
-
-    let mut best_open_bound = root_bound;
-    let mut hit_limit = false;
-
-    while let Some(open) = heap.pop() {
-        best_open_bound = open.lp_bound;
-        if let Some((_, inc)) = &incumbent {
-            if open.lp_bound >= *inc - params.abs_gap
-                || (inc - open.lp_bound).abs() <= params.rel_gap * inc.abs().max(1.0)
-            {
-                // everything remaining is dominated: proven optimal
-                best_open_bound = *inc;
-                break;
-            }
-        }
-        if start.elapsed() >= params.time_limit || nodes_processed >= params.node_limit {
-            hit_limit = true;
-            break;
-        }
-        nodes_processed += 1;
-
-        // reconstruct bounds along the parent chain
-        let mut lb = base_lb.clone();
-        let mut ub = base_ub.clone();
-        let mut cursor = open.arena_index;
-        while cursor != usize::MAX {
-            if let Some(bc) = arena[cursor].bound_change {
-                lb[bc.var] = lb[bc.var].max(bc.lb);
-                ub[bc.var] = ub[bc.var].min(bc.ub);
-            }
-            cursor = arena[cursor].parent;
-        }
-        if lb.iter().zip(&ub).any(|(l, u)| l > u) {
-            continue; // conflicting branches
-        }
-
-        let outcome = solve_lp_with(&lb, &ub, &mut simplex_iterations)?;
-        let (x, obj) = match outcome {
-            LpOutcome::TimedOut => {
-                hit_limit = true;
-                break;
-            }
-            LpOutcome::Optimal { x, obj } => (x, obj + model.obj_constant),
-            LpOutcome::Infeasible => continue,
-            LpOutcome::Unbounded => {
-                // A child cannot be less bounded than the root in a sound
-                // model; treat as numerically suspect and skip.
-                continue;
-            }
-            LpOutcome::Numerical(_) => unreachable!("mapped to Err above"),
-        };
-        if let Some((_, inc)) = &incumbent {
-            if obj >= *inc - params.abs_gap {
-                continue; // dominated
-            }
-        }
-        match most_fractional(&x, &int_vars) {
-            None => {
-                // integral: new incumbent
-                if incumbent.as_ref().is_none_or(|(_, inc)| obj < *inc) {
-                    incumbent = Some((round_ints(x, &int_vars), obj));
-                }
-            }
-            Some(branch_var) => {
-                let v = x[branch_var];
-                let depth = arena[open.arena_index].depth + 1;
-                let down = Node {
-                    parent: open.arena_index,
-                    bound_change: Some(BranchBound {
-                        var: branch_var,
-                        lb: f64::NEG_INFINITY,
-                        ub: v.floor(),
-                    }),
-                    depth,
-                };
-                let up = Node {
-                    parent: open.arena_index,
-                    bound_change: Some(BranchBound {
-                        var: branch_var,
-                        lb: v.ceil(),
-                        ub: f64::INFINITY,
-                    }),
-                    depth,
-                };
-                arena.push(down);
-                heap.push(OpenNode { arena_index: arena.len() - 1, lp_bound: obj, depth });
-                arena.push(up);
-                heap.push(OpenNode { arena_index: arena.len() - 1, lp_bound: obj, depth });
-            }
-        }
-    }
-
-    let status = match (&incumbent, hit_limit, heap.is_empty()) {
-        (Some(_), false, _) => SolveStatus::Optimal,
-        (Some(_), true, _) => SolveStatus::Feasible,
-        (None, true, _) => SolveStatus::LimitReached,
-        (None, false, _) => SolveStatus::Infeasible,
+    heap.push(OpenNode {
+        id: 0,
+        lp_bound: root_bound,
+        depth: 0,
+        path: None,
+    });
+    let best_bits = incumbent
+        .as_ref()
+        .map_or(f64::INFINITY, |(_, b)| *b)
+        .to_bits();
+    let search = Search {
+        ctx: &ctx,
+        heap: Mutex::new(heap),
+        active: AtomicUsize::new(0),
+        stop: AtomicBool::new(false),
+        hit_limit: AtomicBool::new(false),
+        error: Mutex::new(None),
+        incumbent: Mutex::new(IncState {
+            best: incumbent,
+            events,
+        }),
+        best_obj: AtomicU64::new(best_bits),
+        nodes_processed: AtomicUsize::new(0),
+        nodes_pruned: AtomicUsize::new(0),
+        simplex_iterations: AtomicUsize::new(0),
+        next_id: AtomicU64::new(1),
     };
-    let bound = if heap.is_empty() && !hit_limit {
-        incumbent.as_ref().map_or(best_open_bound, |(_, inc)| *inc)
+
+    let worker_busy: Vec<Duration> = if threads == 1 {
+        vec![search.run_worker()]
     } else {
-        best_open_bound
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| s.spawn(|| search.run_worker()))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("solver worker panicked"))
+                .collect()
+        })
     };
-    Ok(finish(status, incumbent, bound, nodes_processed, simplex_iterations, start, sign))
+
+    if let Some(e) = search.error.into_inner().expect("error lock") {
+        return Err(e);
+    }
+    let hit_limit = search.hit_limit.load(Ordering::Relaxed);
+    let heap = search.heap.into_inner().expect("heap lock");
+    let IncState {
+        best: incumbent,
+        events,
+    } = search.incumbent.into_inner().expect("inc lock");
+
+    let status = match (&incumbent, hit_limit) {
+        (Some(_), false) => SolveStatus::Optimal,
+        (Some(_), true) => SolveStatus::Feasible,
+        (None, true) => SolveStatus::LimitReached,
+        (None, false) => SolveStatus::Infeasible,
+    };
+    let bound = if hit_limit {
+        // the heap still holds every unfinished node (workers requeue on a
+        // limit), so its top is the best proven dual bound
+        heap.peek().map_or(root_bound, |n| n.lp_bound)
+    } else {
+        incumbent.as_ref().map_or(root_bound, |(_, inc)| *inc)
+    };
+
+    let total_time = start.elapsed();
+    let stats = SolveStats {
+        threads,
+        nodes_processed: search.nodes_processed.into_inner(),
+        nodes_pruned: search.nodes_pruned.into_inner(),
+        simplex_iterations: root_iters + search.simplex_iterations.into_inner(),
+        root_time,
+        search_time: total_time - root_time,
+        total_time,
+        incumbents: events,
+        worker_busy,
+    };
+    Ok(finish(status, incumbent, bound, sign, stats))
+}
+
+/// Stats for a solve that ended during the root phase (no search workers).
+fn root_stats(
+    threads: usize,
+    simplex_iterations: usize,
+    incumbents: Vec<IncumbentEvent>,
+    start: Instant,
+) -> SolveStats {
+    let elapsed = start.elapsed();
+    SolveStats {
+        threads,
+        simplex_iterations,
+        root_time: elapsed,
+        total_time: elapsed,
+        incumbents,
+        ..SolveStats::default()
+    }
 }
 
 fn finish(
     status: SolveStatus,
     incumbent: Option<(Vec<f64>, f64)>,
     bound: f64,
-    nodes: usize,
-    simplex_iterations: usize,
-    start: Instant,
     sign: f64,
+    stats: SolveStats,
 ) -> MipResult {
     MipResult {
         status,
-        solution: incumbent
-            .map(|(values, obj)| Solution { values, objective: sign * obj }),
+        solution: incumbent.map(|(values, obj)| Solution {
+            values,
+            objective: sign * obj,
+        }),
         best_bound: sign * bound,
-        nodes,
-        simplex_iterations,
-        elapsed: start.elapsed(),
+        stats,
     }
 }
 
@@ -487,7 +740,11 @@ fn presolved_lp(
         for &(j, _) in &terms {
             used[j] = true;
         }
-        kept_rows.push(Row { terms, sense: row.sense, rhs });
+        kept_rows.push(Row {
+            terms,
+            sense: row.sense,
+            rhs,
+        });
     }
     // objective terms over unfixed variables must survive compression
     for (j, &c) in cost.iter().enumerate() {
@@ -531,7 +788,10 @@ fn presolved_lp(
                     lb[j]
                 };
             }
-            LpOutcome::Optimal { x: full, obj: obj + fixed_cost }
+            LpOutcome::Optimal {
+                x: full,
+                obj: obj + fixed_cost,
+            }
         }
         other => other,
     };
@@ -539,7 +799,9 @@ fn presolved_lp(
 }
 
 fn all_integral(x: &[f64], int_vars: &[usize]) -> bool {
-    int_vars.iter().all(|&i| (x[i] - x[i].round()).abs() <= INT_TOL)
+    int_vars
+        .iter()
+        .all(|&i| (x[i] - x[i].round()).abs() <= INT_TOL)
 }
 
 fn round_ints(mut x: Vec<f64>, int_vars: &[usize]) -> Vec<f64> {
@@ -656,7 +918,11 @@ mod tests {
         let b = m.bin_var("b");
         m.constraint(Model::expr().term(2.0, a).term(2.0, b), Sense::Le, 3.0);
         m.maximize(Model::expr().term(2.0, a).term(3.0, b));
-        let params = SolveParams { node_limit: 0, rounding_heuristic: false, ..p() };
+        let params = SolveParams {
+            node_limit: 0,
+            rounding_heuristic: false,
+            ..p()
+        };
         let r = m.solve_with_hint(&params, &[(a, 1.0), (b, 0.0)]).unwrap();
         // hint gives objective 2 even though the optimum is 3
         assert!(r.status().has_solution());
@@ -715,7 +981,10 @@ mod tests {
         }
         m.constraint(e.clone(), Sense::Le, 11.0);
         m.maximize(e);
-        let params = SolveParams { node_limit: 1, ..p() };
+        let params = SolveParams {
+            node_limit: 1,
+            ..p()
+        };
         let r = m.solve(&params).unwrap();
         assert!(matches!(
             r.status(),
@@ -739,5 +1008,124 @@ mod tests {
         m.maximize(Model::expr().term(1.0, x));
         let r = m.solve(&p()).unwrap();
         assert_eq!(r.status(), SolveStatus::Unbounded);
+    }
+
+    // -- simplex edge cases through the solver stack --
+
+    #[test]
+    fn infeasible_lp_detected_by_simplex() {
+        // bound propagation cannot see this conflict (activity bounds span
+        // the rhs on both rows), so phase-1 simplex must prove it
+        let mut m = Model::new();
+        let x = m.num_var("x", 0.0, 10.0);
+        let y = m.num_var("y", 0.0, 10.0);
+        m.constraint(Model::expr().term(1.0, x).term(1.0, y), Sense::Le, 1.0);
+        m.constraint(Model::expr().term(1.0, x).term(1.0, y), Sense::Ge, 2.0);
+        m.minimize(Model::expr().term(1.0, x));
+        let r = m.solve(&p()).unwrap();
+        assert_eq!(r.status(), SolveStatus::Infeasible);
+        assert!(r.solution().is_none());
+    }
+
+    #[test]
+    fn unbounded_lp_with_constraints() {
+        // feasible region is an unbounded strip around the diagonal
+        let mut m = Model::new();
+        let x = m.num_var("x", 0.0, f64::INFINITY);
+        let y = m.num_var("y", 0.0, f64::INFINITY);
+        m.constraint(Model::expr().term(1.0, x).term(-1.0, y), Sense::Le, 1.0);
+        m.constraint(Model::expr().term(-1.0, x).term(1.0, y), Sense::Le, 1.0);
+        m.maximize(Model::expr().term(1.0, x).term(1.0, y));
+        let r = m.solve(&p()).unwrap();
+        assert_eq!(r.status(), SolveStatus::Unbounded);
+    }
+
+    #[test]
+    fn degenerate_lp_with_redundant_constraints() {
+        // many bases are optimal (duplicated and implied rows); the simplex
+        // must terminate despite degenerate pivots and report the optimum
+        let mut m = Model::new();
+        let x = m.num_var("x", 0.0, 10.0);
+        let y = m.num_var("y", 0.0, 10.0);
+        for _ in 0..4 {
+            m.constraint(Model::expr().term(1.0, x).term(1.0, y), Sense::Ge, 2.0);
+        }
+        m.constraint(Model::expr().term(2.0, x).term(2.0, y), Sense::Ge, 4.0);
+        m.constraint(Model::expr().term(1.0, x), Sense::Ge, 0.0);
+        m.minimize(Model::expr().term(1.0, x).term(1.0, y));
+        let r = m.solve(&p()).unwrap();
+        assert_eq!(r.status(), SolveStatus::Optimal);
+        assert!((r.solution().unwrap().objective() - 2.0).abs() < 1e-6);
+    }
+
+    // -- parallel search --
+
+    /// A knapsack family with enough branching to exercise the pool.
+    fn branching_model(n: usize) -> Model {
+        let mut m = Model::new();
+        let vars: Vec<_> = (0..n).map(|i| m.bin_var(format!("b{i}"))).collect();
+        let mut weight = Model::expr();
+        let mut value = Model::expr();
+        for (i, &v) in vars.iter().enumerate() {
+            weight = weight.term(2.0 + ((i * 7) % 5) as f64, v);
+            value = value.term(3.0 + ((i * 11) % 7) as f64, v);
+        }
+        // the 0.5 offset keeps the root LP fractional (weights are integral)
+        m.constraint(weight, Sense::Le, (2 * n) as f64 * 0.6 + 0.5);
+        m.maximize(value);
+        m
+    }
+
+    #[test]
+    fn parallel_matches_sequential_objective() {
+        for n in [6, 9, 12] {
+            let seq = branching_model(n)
+                .solve(&SolveParams { threads: 1, ..p() })
+                .unwrap();
+            let par = branching_model(n)
+                .solve(&SolveParams { threads: 4, ..p() })
+                .unwrap();
+            assert_eq!(seq.status(), SolveStatus::Optimal, "n={n}");
+            assert_eq!(par.status(), SolveStatus::Optimal, "n={n}");
+            let (a, b) = (
+                seq.solution().unwrap().objective(),
+                par.solution().unwrap().objective(),
+            );
+            assert!(
+                (a - b).abs() < 1e-6,
+                "n={n}: sequential {a} vs parallel {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn stats_track_search_work() {
+        let r = branching_model(10)
+            .solve(&SolveParams { threads: 2, ..p() })
+            .unwrap();
+        let s = r.stats();
+        assert_eq!(s.threads, 2);
+        assert_eq!(s.worker_busy.len(), 2);
+        assert!(s.nodes_processed > 0, "{s:?}");
+        assert_eq!(s.nodes_processed, r.nodes());
+        assert!(s.simplex_iterations > 0, "{s:?}");
+        assert!(s.total_time >= s.root_time, "{s:?}");
+        assert!(
+            !s.incumbents.is_empty(),
+            "optimal solve must record an incumbent"
+        );
+        // the last trajectory point is the returned objective
+        let last = s.incumbents.last().unwrap().objective;
+        assert!((last - r.solution().unwrap().objective()).abs() < 1e-9);
+        // improvements are monotone for a maximisation model
+        for w in s.incumbents.windows(2) {
+            assert!(w[1].objective >= w[0].objective, "{:?}", s.incumbents);
+        }
+    }
+
+    #[test]
+    fn resolved_threads_is_positive() {
+        assert!(p().resolved_threads() >= 1);
+        assert_eq!(SolveParams { threads: 3, ..p() }.resolved_threads(), 3);
     }
 }

@@ -1,0 +1,162 @@
+//! Solver telemetry.
+//!
+//! [`SolveStats`] captures everything the branch & bound observed about a
+//! solve: work counters (nodes, prunes, simplex iterations), the incumbent
+//! trajectory, per-phase wall time and per-worker busy time. The layout
+//! crates thread it through to the `columba-s` flow and the bench binaries
+//! print it, so a regression in solver behaviour shows up as numbers, not
+//! vibes.
+
+use std::fmt;
+use std::time::Duration;
+
+/// One improvement of the incumbent during the search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IncumbentEvent {
+    /// Wall-clock offset from the start of the solve.
+    pub at: Duration,
+    /// Objective in the user's sense (negated back for maximisation).
+    pub objective: f64,
+}
+
+/// Telemetry from one MILP solve.
+#[derive(Debug, Clone, Default)]
+pub struct SolveStats {
+    /// Worker threads used by the branch & bound phase.
+    pub threads: usize,
+    /// Branch & bound nodes taken from the open pool and expanded.
+    pub nodes_processed: usize,
+    /// Nodes discarded without branching: dominated by the incumbent,
+    /// bound-infeasible, or LP-infeasible.
+    pub nodes_pruned: usize,
+    /// Total simplex iterations across every LP solved (root, heuristics
+    /// and search).
+    pub simplex_iterations: usize,
+    /// Wall time of the root phase: presolve, hint polish, root relaxation
+    /// and the rounding heuristic.
+    pub root_time: Duration,
+    /// Wall time of the branch & bound phase.
+    pub search_time: Duration,
+    /// Total wall time of the solve.
+    pub total_time: Duration,
+    /// Every incumbent improvement, in discovery order (root-phase
+    /// incumbents from hints or rounding appear first).
+    pub incumbents: Vec<IncumbentEvent>,
+    /// Busy time per worker during the search phase; utilization is
+    /// `busy / search_time` per worker.
+    pub worker_busy: Vec<Duration>,
+}
+
+impl SolveStats {
+    /// Mean worker utilization during the search phase in `[0, 1]`:
+    /// total busy time divided by `workers x search wall time`. `None`
+    /// when no search phase ran.
+    #[must_use]
+    pub fn utilization(&self) -> Option<f64> {
+        if self.worker_busy.is_empty() || self.search_time.is_zero() {
+            return None;
+        }
+        let busy: f64 = self.worker_busy.iter().map(Duration::as_secs_f64).sum();
+        Some((busy / (self.worker_busy.len() as f64 * self.search_time.as_secs_f64())).min(1.0))
+    }
+
+    /// The objective trajectory as `(seconds, objective)` pairs.
+    #[must_use]
+    pub fn trajectory(&self) -> Vec<(f64, f64)> {
+        self.incumbents
+            .iter()
+            .map(|e| (e.at.as_secs_f64(), e.objective))
+            .collect()
+    }
+}
+
+impl fmt::Display for SolveStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} nodes ({} pruned), {} simplex iterations, root {:.3}s + search {:.3}s = {:.3}s on {} thread{}",
+            self.nodes_processed,
+            self.nodes_pruned,
+            self.simplex_iterations,
+            self.root_time.as_secs_f64(),
+            self.search_time.as_secs_f64(),
+            self.total_time.as_secs_f64(),
+            self.threads,
+            if self.threads == 1 { "" } else { "s" },
+        )?;
+        if let Some(u) = self.utilization() {
+            write!(f, ", {:.0}% busy", u * 100.0)?;
+        }
+        if let Some(last) = self.incumbents.last() {
+            write!(
+                f,
+                "; {} incumbent{} (best {:.4} at {:.3}s)",
+                self.incumbents.len(),
+                if self.incumbents.len() == 1 { "" } else { "s" },
+                last.objective,
+                last.at.as_secs_f64(),
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utilization_bounds() {
+        let mut s = SolveStats::default();
+        assert_eq!(s.utilization(), None, "no search phase");
+        s.search_time = Duration::from_secs(2);
+        s.worker_busy = vec![Duration::from_secs(1), Duration::from_secs(2)];
+        let u = s.utilization().unwrap();
+        assert!((u - 0.75).abs() < 1e-9, "{u}");
+        // over-report clamps to 1
+        s.worker_busy = vec![Duration::from_secs(5)];
+        assert_eq!(s.utilization(), Some(1.0));
+    }
+
+    #[test]
+    fn display_mentions_counters() {
+        let s = SolveStats {
+            threads: 2,
+            nodes_processed: 10,
+            nodes_pruned: 3,
+            simplex_iterations: 99,
+            search_time: Duration::from_millis(500),
+            total_time: Duration::from_millis(600),
+            incumbents: vec![IncumbentEvent {
+                at: Duration::from_millis(40),
+                objective: 7.5,
+            }],
+            worker_busy: vec![Duration::from_millis(400); 2],
+            ..SolveStats::default()
+        };
+        let text = s.to_string();
+        assert!(text.contains("10 nodes"), "{text}");
+        assert!(text.contains("3 pruned"), "{text}");
+        assert!(text.contains("99 simplex"), "{text}");
+        assert!(text.contains("2 threads"), "{text}");
+        assert!(text.contains("7.5"), "{text}");
+    }
+
+    #[test]
+    fn trajectory_converts_units() {
+        let s = SolveStats {
+            incumbents: vec![
+                IncumbentEvent {
+                    at: Duration::from_millis(250),
+                    objective: 4.0,
+                },
+                IncumbentEvent {
+                    at: Duration::from_millis(750),
+                    objective: 2.0,
+                },
+            ],
+            ..SolveStats::default()
+        };
+        assert_eq!(s.trajectory(), vec![(0.25, 4.0), (0.75, 2.0)]);
+    }
+}

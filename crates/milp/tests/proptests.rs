@@ -1,15 +1,13 @@
-//! Property tests: the solver agrees with brute force on random small models.
+//! Randomized tests: the solver agrees with brute force on random small
+//! models. Driven by the internal PRNG (reproducible seeds, no registry
+//! dependencies).
 
-use columba_milp::{Model, MipResult, Sense, SolveParams, SolveStatus};
-use proptest::prelude::*;
+use columba_milp::{MipResult, Model, Sense, SolveParams, SolveStatus};
+use columba_prng::Rng;
 
 /// Brute-force optimum of a pure-binary minimisation model by enumerating all
 /// 2^n assignments.
-fn brute_force_binary(
-    n: usize,
-    rows: &[(Vec<f64>, Sense, f64)],
-    cost: &[f64],
-) -> Option<f64> {
+fn brute_force_binary(n: usize, rows: &[(Vec<f64>, Sense, f64)], cost: &[f64]) -> Option<f64> {
     let mut best: Option<f64> = None;
     for mask in 0u32..(1 << n) {
         let x: Vec<f64> = (0..n).map(|i| f64::from((mask >> i) & 1)).collect();
@@ -33,6 +31,7 @@ fn solve_binary(
     n: usize,
     rows: &[(Vec<f64>, Sense, f64)],
     cost: &[f64],
+    threads: usize,
 ) -> MipResult {
     let mut m = Model::new();
     let vars: Vec<_> = (0..n).map(|i| m.bin_var(format!("b{i}"))).collect();
@@ -48,64 +47,84 @@ fn solve_binary(
         obj = obj.term(*c, v);
     }
     m.minimize(obj);
-    m.solve(&SolveParams::default()).expect("solver must not fail numerically")
+    let params = SolveParams {
+        threads,
+        ..SolveParams::default()
+    };
+    m.solve(&params).expect("solver must not fail numerically")
 }
 
-fn sense_strategy() -> impl Strategy<Value = Sense> {
-    prop_oneof![Just(Sense::Le), Just(Sense::Ge)]
+/// Small integer coefficient in `[-5, 5]` (keeps the brute force exact).
+fn coef(rng: &mut Rng) -> f64 {
+    rng.gen_range(-5i64..=5) as f64
 }
 
-fn coef() -> impl Strategy<Value = f64> {
-    // small integers keep the brute force exact
-    (-5i32..=5).prop_map(f64::from)
+fn random_rows(rng: &mut Rng, n: usize) -> Vec<(Vec<f64>, Sense, f64)> {
+    let n_rows = rng.gen_range(1usize..5);
+    (0..n_rows)
+        .map(|_| {
+            let coefs: Vec<f64> = (0..n).map(|_| coef(rng)).collect();
+            let sense = if rng.gen_bool(0.5) {
+                Sense::Le
+            } else {
+                Sense::Ge
+            };
+            let rhs = rng.gen_range(-10i64..=15) as f64;
+            (coefs, sense, rhs)
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Branch & bound matches exhaustive enumeration on random binary MILPs.
-    #[test]
-    fn binary_milp_matches_brute_force(
-        n in 2usize..7,
-        row_data in prop::collection::vec(
-            (prop::collection::vec(coef(), 7), sense_strategy(), (-10i32..=15).prop_map(f64::from)),
-            1..5,
-        ),
-        cost in prop::collection::vec(coef(), 7),
-    ) {
-        let rows: Vec<(Vec<f64>, Sense, f64)> = row_data
-            .into_iter()
-            .map(|(c, s, r)| (c[..n].to_vec(), s, r))
-            .collect();
-        let cost = cost[..n].to_vec();
+/// Branch & bound matches exhaustive enumeration on random binary MILPs,
+/// with one worker and with four.
+#[test]
+fn binary_milp_matches_brute_force() {
+    let mut rng = Rng::seed_from_u64(0xB1B0);
+    for case in 0..64 {
+        let n = rng.gen_range(2usize..7);
+        let rows = random_rows(&mut rng, n);
+        let cost: Vec<f64> = (0..n).map(|_| coef(&mut rng)).collect();
         let expected = brute_force_binary(n, &rows, &cost);
-        let result = solve_binary(n, &rows, &cost);
-        match expected {
-            None => prop_assert_eq!(result.status(), SolveStatus::Infeasible),
-            Some(opt) => {
-                prop_assert_eq!(result.status(), SolveStatus::Optimal);
-                let got = result.solution().unwrap().objective();
-                prop_assert!((got - opt).abs() < 1e-6, "solver {} vs brute force {}", got, opt);
+        for threads in [1, 4] {
+            let result = solve_binary(n, &rows, &cost, threads);
+            match expected {
+                None => assert_eq!(
+                    result.status(),
+                    SolveStatus::Infeasible,
+                    "case {case} threads {threads}"
+                ),
+                Some(opt) => {
+                    assert_eq!(result.status(), SolveStatus::Optimal, "case {case}");
+                    let got = result.solution().unwrap().objective();
+                    assert!(
+                        (got - opt).abs() < 1e-6,
+                        "case {case} threads {threads}: solver {got} vs brute force {opt}"
+                    );
+                }
             }
         }
     }
+}
 
-    /// On LPs with a bounded box, the simplex never reports worse than any
-    /// feasible corner we can sample, and its solution satisfies every row.
-    #[test]
-    fn lp_solution_is_feasible_and_not_dominated_by_corners(
-        n in 2usize..5,
-        row_data in prop::collection::vec(
-            (prop::collection::vec(coef(), 5), (0i32..=20).prop_map(f64::from)),
-            1..5,
-        ),
-        cost in prop::collection::vec(coef(), 5),
-    ) {
+/// On LPs with a bounded box, the simplex never reports worse than any
+/// feasible corner we can sample, and its solution satisfies every row.
+#[test]
+fn lp_solution_is_feasible_and_not_dominated_by_corners() {
+    let mut rng = Rng::seed_from_u64(0x1B);
+    for case in 0..64 {
+        let n = rng.gen_range(2usize..5);
+        let rows: Vec<(Vec<f64>, f64)> = (0..rng.gen_range(1usize..5))
+            .map(|_| {
+                let coefs: Vec<f64> = (0..n).map(|_| coef(&mut rng)).collect();
+                let rhs = rng.gen_range(0i64..=20) as f64;
+                (coefs, rhs)
+            })
+            .collect();
+        let cost: Vec<f64> = (0..n).map(|_| coef(&mut rng)).collect();
+
         let mut m = Model::new();
-        let vars: Vec<_> = (0..n).map(|i| m.num_var(format!("x{i}"), 0.0, 3.0)).collect();
-        let rows: Vec<(Vec<f64>, f64)> = row_data
-            .into_iter()
-            .map(|(c, r)| (c[..n].to_vec(), r))
+        let vars: Vec<_> = (0..n)
+            .map(|i| m.num_var(format!("x{i}"), 0.0, 3.0))
             .collect();
         for (coefs, rhs) in &rows {
             let mut e = Model::expr();
@@ -114,58 +133,78 @@ proptest! {
             }
             m.constraint(e, Sense::Le, *rhs);
         }
-        let cost = cost[..n].to_vec();
         let mut obj = Model::expr();
         for (c, &v) in cost.iter().zip(&vars) {
             obj = obj.term(*c, v);
         }
         m.minimize(obj);
-        let r = m.solve(&SolveParams::default()).expect("no numerical failure");
+        let r = m
+            .solve(&SolveParams::default())
+            .expect("no numerical failure");
         // The box corner at the origin is feasible iff all rhs >= 0, which
         // holds by construction, so the LP must be feasible.
-        prop_assert_eq!(r.status(), SolveStatus::Optimal);
+        assert_eq!(r.status(), SolveStatus::Optimal, "case {case}");
         let sol = r.solution().unwrap();
         // feasibility of the returned point
         for (coefs, rhs) in &rows {
-            let act: f64 = coefs.iter().zip(&vars).map(|(c, &v)| c * sol.value(v)).sum();
-            prop_assert!(act <= rhs + 1e-6, "row violated: {} > {}", act, rhs);
+            let act: f64 = coefs
+                .iter()
+                .zip(&vars)
+                .map(|(c, &v)| c * sol.value(v))
+                .sum();
+            assert!(
+                act <= rhs + 1e-6,
+                "case {case}: row violated: {act} > {rhs}"
+            );
         }
         for &v in &vars {
-            prop_assert!(sol.value(v) >= -1e-9 && sol.value(v) <= 3.0 + 1e-9);
+            assert!(sol.value(v) >= -1e-9 && sol.value(v) <= 3.0 + 1e-9);
         }
         // not dominated by any feasible {0,3}^n corner
         for mask in 0u32..(1 << n) {
-            let x: Vec<f64> = (0..n).map(|i| if (mask >> i) & 1 == 1 { 3.0 } else { 0.0 }).collect();
+            let x: Vec<f64> = (0..n)
+                .map(|i| if (mask >> i) & 1 == 1 { 3.0 } else { 0.0 })
+                .collect();
             let corner_feasible = rows.iter().all(|(coefs, rhs)| {
                 coefs.iter().zip(&x).map(|(c, v)| c * v).sum::<f64>() <= rhs + 1e-9
             });
             if corner_feasible {
                 let corner_obj: f64 = cost.iter().zip(&x).map(|(c, v)| c * v).sum();
-                prop_assert!(
+                assert!(
                     sol.objective() <= corner_obj + 1e-6,
-                    "corner {:?} beats reported optimum: {} < {}",
-                    x, corner_obj, sol.objective()
+                    "case {case}: corner {x:?} beats reported optimum: {corner_obj} < {}",
+                    sol.objective()
                 );
             }
         }
     }
+}
 
-    /// Mixed models: integers restricted to a small range match brute force.
-    #[test]
-    fn small_integer_milp_matches_brute_force(
-        coefs in prop::collection::vec(coef(), 2),
-        rhs in (0i32..=12).prop_map(f64::from),
-        cost in prop::collection::vec((-4i32..=4).prop_map(f64::from), 2),
-    ) {
-        // min c1 x + c2 y s.t. a1 x + a2 y >= rhs - 6 (can be negative => feasible),
-        // 0 <= x,y <= 4 integer
-        let shifted = rhs - 6.0;
+/// Mixed models: integers restricted to a small range match brute force.
+#[test]
+fn small_integer_milp_matches_brute_force() {
+    let mut rng = Rng::seed_from_u64(0x5EED);
+    for case in 0..128 {
+        let coefs = [coef(&mut rng), coef(&mut rng)];
+        // min c1 x + c2 y s.t. a1 x + a2 y >= rhs - 6 (can be negative =>
+        // feasible), 0 <= x,y <= 4 integer
+        let shifted = rng.gen_range(0i64..=12) as f64 - 6.0;
+        let cost = [
+            rng.gen_range(-4i64..=4) as f64,
+            rng.gen_range(-4i64..=4) as f64,
+        ];
         let mut m = Model::new();
         let x = m.int_var("x", 0.0, 4.0);
         let y = m.int_var("y", 0.0, 4.0);
-        m.constraint(Model::expr().term(coefs[0], x).term(coefs[1], y), Sense::Ge, shifted);
+        m.constraint(
+            Model::expr().term(coefs[0], x).term(coefs[1], y),
+            Sense::Ge,
+            shifted,
+        );
         m.minimize(Model::expr().term(cost[0], x).term(cost[1], y));
-        let r = m.solve(&SolveParams::default()).expect("no numerical failure");
+        let r = m
+            .solve(&SolveParams::default())
+            .expect("no numerical failure");
 
         let mut best: Option<f64> = None;
         for xi in 0..=4 {
@@ -178,10 +217,13 @@ proptest! {
             }
         }
         match best {
-            None => prop_assert_eq!(r.status(), SolveStatus::Infeasible),
+            None => assert_eq!(r.status(), SolveStatus::Infeasible, "case {case}"),
             Some(opt) => {
-                prop_assert_eq!(r.status(), SolveStatus::Optimal);
-                prop_assert!((r.solution().unwrap().objective() - opt).abs() < 1e-6);
+                assert_eq!(r.status(), SolveStatus::Optimal, "case {case}");
+                assert!(
+                    (r.solution().unwrap().objective() - opt).abs() < 1e-6,
+                    "case {case}"
+                );
             }
         }
     }

@@ -37,7 +37,11 @@ pub(crate) fn instantiate(
     access: ControlAccess,
 ) -> ModuleInstance {
     // chambers put both lines on one boundary: `both` behaves as `top`
-    let side = if access == ControlAccess::Bottom { Side::Bottom } else { Side::Top };
+    let side = if access == ControlAccess::Bottom {
+        Side::Bottom
+    } else {
+        Side::Top
+    };
     let (x_l, x_r, y_b, y_t) = (rect.x_l(), rect.x_r(), rect.y_b(), rect.y_t());
     let y_mid = (y_b + y_t) / 2;
     // the chamber proper: a wide channel across the module
@@ -90,8 +94,14 @@ pub(crate) fn instantiate(
     ModuleInstance {
         module,
         flow_pins: vec![
-            FlowPin { side: Side::Left, position: Point::new(x_l, y_mid) },
-            FlowPin { side: Side::Right, position: Point::new(x_r, y_mid) },
+            FlowPin {
+                side: Side::Left,
+                position: Point::new(x_l, y_mid),
+            },
+            FlowPin {
+                side: Side::Right,
+                position: Point::new(x_r, y_mid),
+            },
         ],
         control_pins: vec![iso_in, iso_out],
     }
@@ -110,11 +120,8 @@ mod tests {
     fn place_with(spec: &ChamberSpec, access: ControlAccess) -> (Design, ModuleInstance, Rect) {
         let mut d = Design::new("t", Rect::new(Um(0), Um(60_000), Um(0), Um(60_000)));
         let m = model(spec);
-        let rect = Rect::from_origin_size(
-            Point::new(Um(5_000), Um(5_000)),
-            m.width,
-            m.length.unwrap(),
-        );
+        let rect =
+            Rect::from_origin_size(Point::new(Um(5_000), Um(5_000)), m.width, m.length.unwrap());
         d.modules.push(columba_design::PlacedModule {
             component: ComponentId(0),
             name: "rc".into(),
@@ -170,7 +177,10 @@ mod tests {
 
     #[test]
     fn tiny_chamber_clamped() {
-        let m = model(&ChamberSpec { width: Um(1), length: Um(1) });
+        let m = model(&ChamberSpec {
+            width: Um(1),
+            length: Um(1),
+        });
         assert_eq!(m.width, MIN_W);
         assert_eq!(m.length, Some(MIN_L));
     }

@@ -13,9 +13,7 @@
 //! parallel group's shared control channels pass vertically through the
 //! module (they are collinear with the stubs they feed).
 
-use columba_design::{
-    Channel, ChannelId, ChannelRole, Design, ModuleId, Valve, ValveKind,
-};
+use columba_design::{Channel, ChannelId, ChannelRole, Design, ModuleId, Valve, ValveKind};
 use columba_geom::{Orientation, Point, Rect, Segment, Side, Um};
 use columba_netlist::{ControlAccess, MixerSpec};
 
@@ -65,12 +63,18 @@ pub(crate) fn valve_pad(center: Point, or: Orientation, cw: Um) -> Rect {
     let along = D; // half-extent along the channel
     let across = cw / 2 + D / 2; // half-extent across it
     match or {
-        Orientation::Horizontal => {
-            Rect::new(center.x - along, center.x + along, center.y - across, center.y + across)
-        }
-        Orientation::Vertical => {
-            Rect::new(center.x - across, center.x + across, center.y - along, center.y + along)
-        }
+        Orientation::Horizontal => Rect::new(
+            center.x - along,
+            center.x + along,
+            center.y - across,
+            center.y + across,
+        ),
+        Orientation::Vertical => Rect::new(
+            center.x - across,
+            center.x + across,
+            center.y - along,
+            center.y + along,
+        ),
     }
 }
 
@@ -91,7 +95,11 @@ pub(crate) fn emit_line(
     feature_w: Um,
     blocks: ChannelId,
 ) -> ControlPin {
-    let boundary_y = if side == Side::Top { rect.y_t() } else { rect.y_b() };
+    let boundary_y = if side == Side::Top {
+        rect.y_t()
+    } else {
+        rect.y_b()
+    };
     let stub = design.add_channel(Channel::straight(
         ChannelRole::InternalControl,
         Segment::vertical(pin_x, boundary_y, valve_y, CHANNEL_W),
@@ -104,7 +112,12 @@ pub(crate) fn emit_line(
         blocks: Some(blocks),
         owner: Some(module),
     });
-    ControlPin { name, side, position: Point::new(pin_x, boundary_y), valves: vec![valve] }
+    ControlPin {
+        name,
+        side,
+        position: Point::new(pin_x, boundary_y),
+        valves: vec![valve],
+    }
 }
 
 pub(crate) fn instantiate(
@@ -155,12 +168,52 @@ pub(crate) fn instantiate(
     let col = |k: i64| x_l + D * k;
     let mut sites = vec![
         // pumping valves on the top ring run, columns 5d/9d/13d (4d pitch)
-        Site { group: "pump0", x: col(5), y: ring_t, kind: ValveKind::Pumping, or: Orientation::Horizontal, blocks: ring, prefer_top: true },
-        Site { group: "pump1", x: col(9), y: ring_t, kind: ValveKind::Pumping, or: Orientation::Horizontal, blocks: ring, prefer_top: true },
-        Site { group: "pump2", x: col(13), y: ring_t, kind: ValveKind::Pumping, or: Orientation::Horizontal, blocks: ring, prefer_top: true },
+        Site {
+            group: "pump0",
+            x: col(5),
+            y: ring_t,
+            kind: ValveKind::Pumping,
+            or: Orientation::Horizontal,
+            blocks: ring,
+            prefer_top: true,
+        },
+        Site {
+            group: "pump1",
+            x: col(9),
+            y: ring_t,
+            kind: ValveKind::Pumping,
+            or: Orientation::Horizontal,
+            blocks: ring,
+            prefer_top: true,
+        },
+        Site {
+            group: "pump2",
+            x: col(13),
+            y: ring_t,
+            kind: ValveKind::Pumping,
+            or: Orientation::Horizontal,
+            blocks: ring,
+            prefer_top: true,
+        },
         // isolation valves on the pin stubs
-        Site { group: "iso_in", x: col(3), y: y_mid, kind: ValveKind::Isolation, or: Orientation::Horizontal, blocks: left_stub, prefer_top: false },
-        Site { group: "iso_out", x: x_r - D * 3, y: y_mid, kind: ValveKind::Isolation, or: Orientation::Horizontal, blocks: right_stub, prefer_top: false },
+        Site {
+            group: "iso_in",
+            x: col(3),
+            y: y_mid,
+            kind: ValveKind::Isolation,
+            or: Orientation::Horizontal,
+            blocks: left_stub,
+            prefer_top: false,
+        },
+        Site {
+            group: "iso_out",
+            x: x_r - D * 3,
+            y: y_mid,
+            kind: ValveKind::Isolation,
+            or: Orientation::Horizontal,
+            blocks: right_stub,
+            prefer_top: false,
+        },
     ];
     if spec.sieve_valves {
         for (i, k) in [6i64, 8, 10, 12].into_iter().enumerate() {
@@ -223,8 +276,14 @@ pub(crate) fn instantiate(
     ModuleInstance {
         module,
         flow_pins: vec![
-            FlowPin { side: Side::Left, position: Point::new(x_l, y_mid) },
-            FlowPin { side: Side::Right, position: Point::new(x_r, y_mid) },
+            FlowPin {
+                side: Side::Left,
+                position: Point::new(x_l, y_mid),
+            },
+            FlowPin {
+                side: Side::Right,
+                position: Point::new(x_r, y_mid),
+            },
         ],
         control_pins,
     }
@@ -266,7 +325,11 @@ mod tests {
 
     #[test]
     fn sieve_and_traps_add_individual_lines() {
-        let spec = MixerSpec { sieve_valves: true, cell_traps: true, ..MixerSpec::default() };
+        let spec = MixerSpec {
+            sieve_valves: true,
+            cell_traps: true,
+            ..MixerSpec::default()
+        };
         let (d, inst, _) = place(&spec);
         assert_eq!(inst.control_pins.len(), 13, "5 + 4 sieve + 4 trap lines");
         assert_eq!(d.valves.len(), 13);
@@ -276,7 +339,11 @@ mod tests {
 
     #[test]
     fn valves_sit_on_their_columns() {
-        let spec = MixerSpec { sieve_valves: true, cell_traps: true, ..MixerSpec::default() };
+        let spec = MixerSpec {
+            sieve_valves: true,
+            cell_traps: true,
+            ..MixerSpec::default()
+        };
         let (d, inst, _) = place(&spec);
         for pin in &inst.control_pins {
             for &v in &pin.valves {
@@ -289,7 +356,10 @@ mod tests {
 
     #[test]
     fn internal_control_is_straight_vertical() {
-        let spec = MixerSpec { sieve_valves: true, ..MixerSpec::default() };
+        let spec = MixerSpec {
+            sieve_valves: true,
+            ..MixerSpec::default()
+        };
         let (d, _, _) = place(&spec);
         for c in &d.channels {
             if c.role == ChannelRole::InternalControl {
@@ -301,7 +371,11 @@ mod tests {
 
     #[test]
     fn pin_columns_are_unique() {
-        let spec = MixerSpec { sieve_valves: true, cell_traps: true, ..MixerSpec::default() };
+        let spec = MixerSpec {
+            sieve_valves: true,
+            cell_traps: true,
+            ..MixerSpec::default()
+        };
         let (_, inst, _) = place(&spec);
         let mut xs: Vec<Um> = inst.control_pins.iter().map(|p| p.position.x).collect();
         xs.sort();
@@ -312,9 +386,16 @@ mod tests {
     #[test]
     fn both_access_splits_pumps_to_top() {
         let (_, inst, _) = place(&MixerSpec::default()); // access = Both
-        let top: Vec<_> = inst.control_pins.iter().filter(|p| p.side == Side::Top).collect();
-        let bottom: Vec<_> =
-            inst.control_pins.iter().filter(|p| p.side == Side::Bottom).collect();
+        let top: Vec<_> = inst
+            .control_pins
+            .iter()
+            .filter(|p| p.side == Side::Top)
+            .collect();
+        let bottom: Vec<_> = inst
+            .control_pins
+            .iter()
+            .filter(|p| p.side == Side::Bottom)
+            .collect();
         assert_eq!(top.len(), 3);
         assert_eq!(bottom.len(), 2);
         assert!(top.iter().all(|p| p.name.contains("pump")));
@@ -324,7 +405,10 @@ mod tests {
 
     #[test]
     fn bottom_access_puts_all_pins_down() {
-        let spec = MixerSpec { access: ControlAccess::Bottom, ..MixerSpec::default() };
+        let spec = MixerSpec {
+            access: ControlAccess::Bottom,
+            ..MixerSpec::default()
+        };
         let (_, inst, rect) = place(&spec);
         assert!(inst.control_pins.iter().all(|p| p.side == Side::Bottom));
         assert!(inst.control_pins.iter().all(|p| p.position.y == rect.y_b()));
@@ -332,14 +416,25 @@ mod tests {
 
     #[test]
     fn geometry_is_drc_clean_and_contained() {
-        let spec = MixerSpec { sieve_valves: true, cell_traps: true, ..MixerSpec::default() };
+        let spec = MixerSpec {
+            sieve_valves: true,
+            cell_traps: true,
+            ..MixerSpec::default()
+        };
         let (d, _, rect) = place(&spec);
         for c in &d.channels {
             let bb = c.bounding_rect().unwrap();
-            assert!(rect.contains_rect(&bb), "channel {bb} outside module {rect}");
+            assert!(
+                rect.contains_rect(&bb),
+                "channel {bb} outside module {rect}"
+            );
         }
         for v in &d.valves {
-            assert!(rect.contains_rect(&v.rect), "valve {} outside module", v.rect);
+            assert!(
+                rect.contains_rect(&v.rect),
+                "valve {} outside module",
+                v.rect
+            );
         }
         let report = drc::check(&d);
         assert!(report.is_clean(), "{report}");
@@ -361,11 +456,19 @@ mod tests {
 
     #[test]
     fn tiny_spec_clamped_to_workable_footprint() {
-        let spec = MixerSpec { width: Um(200), length: Um(100), ..MixerSpec::default() };
+        let spec = MixerSpec {
+            width: Um(200),
+            length: Um(100),
+            ..MixerSpec::default()
+        };
         let m = model(&spec);
         assert_eq!(m.width, MIN_W_BASE);
         assert_eq!(m.length, Some(MIN_L));
-        let traps = MixerSpec { width: Um(200), cell_traps: true, ..MixerSpec::default() };
+        let traps = MixerSpec {
+            width: Um(200),
+            cell_traps: true,
+            ..MixerSpec::default()
+        };
         assert_eq!(model(&traps).width, MIN_W_TRAPS);
     }
 }

@@ -158,7 +158,10 @@ impl fmt::Display for InstantiateError {
                 f.write_str("switch instantiation requires a SwitchPlan")
             }
             InstantiateError::PlanMismatch { expected, got } => {
-                write!(f, "switch plan has {got} junctions, netlist spec has {expected}")
+                write!(
+                    f,
+                    "switch plan has {got} junctions, netlist spec has {expected}"
+                )
             }
             InstantiateError::JunctionOutsideRect { y, rect } => {
                 write!(f, "junction y {y} outside placed rect {rect}")
@@ -231,7 +234,9 @@ pub fn instantiate(
 
 fn check_rect(model: &ModuleModel, rect: Rect) -> Result<(), InstantiateError> {
     let ok = rect.width() == model.width
-        && model.length.map_or(rect.height() >= model.min_length, |l| rect.height() == l);
+        && model
+            .length
+            .map_or(rect.height() >= model.min_length, |l| rect.height() == l);
     if ok {
         Ok(())
     } else {
@@ -309,7 +314,13 @@ mod tests {
             control_side: Side::Bottom,
         };
         let e = instantiate(&mut d, ModuleId(0), &kind, rect, Some(&bad_plan), None).unwrap_err();
-        assert!(matches!(e, InstantiateError::PlanMismatch { expected: 2, got: 1 }));
+        assert!(matches!(
+            e,
+            InstantiateError::PlanMismatch {
+                expected: 2,
+                got: 1
+            }
+        ));
 
         let out_plan = SwitchPlan {
             junctions: vec![(Side::Left, Um(50)), (Side::Right, Um(1_000))],
@@ -321,7 +332,10 @@ mod tests {
 
     #[test]
     fn sieve_mixer_line_count() {
-        let spec = MixerSpec { sieve_valves: true, ..MixerSpec::default() };
+        let spec = MixerSpec {
+            sieve_valves: true,
+            ..MixerSpec::default()
+        };
         let m = ModuleModel::for_component(&ComponentKind::Mixer(spec));
         assert_eq!(m.control_pin_count, 9, "each sieve valve has its own line");
     }

@@ -49,7 +49,11 @@ pub(crate) fn instantiate(
     // columns: x_l + 2d, +4d, ..., one per junction; left junctions use the
     // low columns in plan order, right junctions the high ones, the spine
     // sits between the groups
-    let n_left = plan.junctions.iter().filter(|&&(s, _)| s == Side::Left).count();
+    let n_left = plan
+        .junctions
+        .iter()
+        .filter(|&&(s, _)| s == Side::Left)
+        .count();
     let col = |k: usize| rect.x_l() + D * 2 + D * 2 * k as i64;
     let spine_x = rect.x_l() + D * 2 + D * 2 * n_left as i64 - D;
 
@@ -83,7 +87,12 @@ pub(crate) fn instantiate(
         };
         let stub = design.add_channel(Channel::straight(
             ChannelRole::InternalFlow,
-            Segment::horizontal(y, pin_x_boundary.min(spine_x), pin_x_boundary.max(spine_x), CHANNEL_W),
+            Segment::horizontal(
+                y,
+                pin_x_boundary.min(spine_x),
+                pin_x_boundary.max(spine_x),
+                CHANNEL_W,
+            ),
             Some(module),
         ));
         flow_pins.push(FlowPin {
@@ -105,7 +114,11 @@ pub(crate) fn instantiate(
         ));
     }
 
-    ModuleInstance { module, flow_pins, control_pins }
+    ModuleInstance {
+        module,
+        flow_pins,
+        control_pins,
+    }
 }
 
 #[cfg(test)]
@@ -160,7 +173,11 @@ mod tests {
         for (pin, &(side, y)) in inst.flow_pins.iter().zip(&plan.junctions) {
             assert_eq!(pin.side, side);
             assert_eq!(pin.position.y, y);
-            let expected_x = if side == Side::Left { rect.x_l() } else { rect.x_r() };
+            let expected_x = if side == Side::Left {
+                rect.x_l()
+            } else {
+                rect.x_r()
+            };
             assert_eq!(pin.position.x, expected_x);
         }
     }

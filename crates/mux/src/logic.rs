@@ -77,7 +77,10 @@ pub fn selection(mux: &MuxUnit, address: usize) -> MuxSelection {
             open[v.channel] = false;
         }
     }
-    MuxSelection { open, inflated_lines }
+    MuxSelection {
+        open,
+        inflated_lines,
+    }
 }
 
 #[cfg(test)]
@@ -115,6 +118,10 @@ mod tests {
     #[test]
     fn simultaneous_control_tradeoff() {
         assert_eq!(simultaneous_limit(1), 1);
-        assert_eq!(simultaneous_limit(2), 2, "2-MUX designs control two valves at once");
+        assert_eq!(
+            simultaneous_limit(2),
+            2,
+            "2-MUX designs control two valves at once"
+        );
     }
 }

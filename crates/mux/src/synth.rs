@@ -39,12 +39,19 @@ impl fmt::Display for MuxError {
         match self {
             MuxError::NoChannels => f.write_str("multiplexer needs at least one control channel"),
             MuxError::NotAControlChannel(id) => {
-                write!(f, "channel #{} is not a straight vertical control channel", id.0)
+                write!(
+                    f,
+                    "channel #{} is not a straight vertical control channel",
+                    id.0
+                )
             }
             MuxError::DuplicateChannelX(x) => {
                 write!(f, "two control channels share x = {x}")
             }
-            MuxError::RegionTooSmall { required, available } => {
+            MuxError::RegionTooSmall {
+                required,
+                available,
+            } => {
                 write!(f, "MUX region height {available} < required {required}")
             }
             MuxError::ChannelOutsideRegion(id) => {
@@ -102,7 +109,10 @@ pub fn synthesize(
     let bits = address_bits(n);
     let required = required_height(n);
     if region.height() < required {
-        return Err(MuxError::RegionTooSmall { required, available: region.height() });
+        return Err(MuxError::RegionTooSmall {
+            required,
+            available: region.height(),
+        });
     }
 
     // validate channels and collect their x positions
@@ -113,8 +123,7 @@ pub fn synthesize(
         // the MUX extends it into its region
         let ok = c.role == ChannelRole::Control
             && c.path.len() == 1
-            && (c.path[0].orientation() == Orientation::Vertical
-                || c.path[0].length() == Um(0));
+            && (c.path[0].orientation() == Orientation::Vertical || c.path[0].length() == Um(0));
         if !ok {
             return Err(MuxError::NotAControlChannel(id));
         }
@@ -218,7 +227,12 @@ pub fn synthesize(
                 blocks: Some(ch),
                 owner: None,
             });
-            mux_valves.push(MuxValve { bit: b, on_complement_line, channel: i, valve });
+            mux_valves.push(MuxValve {
+                bit: b,
+                on_complement_line,
+                channel: i,
+                valve,
+            });
         }
     }
 
@@ -243,7 +257,7 @@ mod tests {
     /// A design with `n` vertical control channels above a bottom MUX region.
     fn scaffold(n: usize) -> (Design, Vec<ChannelId>, Rect) {
         let mux_h = required_height(n);
-        let chip = Rect::new(Um(0), Um(4_000 + 400 * n as i64), Um(0), Um(20_000) );
+        let chip = Rect::new(Um(0), Um(4_000 + 400 * n as i64), Um(0), Um(20_000));
         let mut d = Design::new("t", chip);
         let region = Rect::new(chip.x_l(), chip.x_r(), Um(0), mux_h);
         d.functional_region = Rect::new(chip.x_l(), chip.x_r(), mux_h, chip.y_t());
@@ -315,7 +329,10 @@ mod tests {
         synthesize(&mut d, ids.clone(), Side::Bottom, region).unwrap();
         for id in ids {
             let seg = d.channel(id).path[0];
-            assert!(seg.start().y < region.y_t(), "channel extended into the MUX region");
+            assert!(
+                seg.start().y < region.y_t(),
+                "channel extended into the MUX region"
+            );
         }
     }
 

@@ -43,10 +43,19 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        let e = NetlistError::Parse { line: 3, message: "bad token".into() };
+        let e = NetlistError::Parse {
+            line: 3,
+            message: "bad token".into(),
+        };
         assert_eq!(e.to_string(), "parse error on line 3: bad token");
-        assert!(NetlistError::DuplicateName("m1".into()).to_string().contains("m1"));
-        assert!(NetlistError::UnknownName("x".into()).to_string().contains('x'));
-        assert!(NetlistError::Invalid("empty".into()).to_string().contains("empty"));
+        assert!(NetlistError::DuplicateName("m1".into())
+            .to_string()
+            .contains("m1"));
+        assert!(NetlistError::UnknownName("x".into())
+            .to_string()
+            .contains('x'));
+        assert!(NetlistError::Invalid("empty".into())
+            .to_string()
+            .contains("empty"));
     }
 }

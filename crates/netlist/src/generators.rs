@@ -17,7 +17,7 @@
 //! Plus [`kinase_activity`] for the Fig 1 comparison and
 //! [`random_netlist`] for property testing.
 
-use rand::Rng;
+use columba_prng::Rng;
 
 use crate::model::{
     ChamberSpec, ComponentId, ControlAccess, Endpoint, MixerSpec, MuxCount, Netlist, UnitSide,
@@ -46,27 +46,40 @@ pub fn chip_ip(lanes: usize, mux_count: MuxCount) -> Netlist {
     let pre = n
         .add_mixer(
             "pre",
-            MixerSpec { sieve_valves: true, access: ControlAccess::Both, ..MixerSpec::default() },
+            MixerSpec {
+                sieve_valves: true,
+                access: ControlAccess::Both,
+                ..MixerSpec::default()
+            },
         )
         .expect("fresh name");
     let lysate = n.add_port("lysate").expect("fresh name");
-    n.connect(Endpoint::Port(lysate), unit(pre, UnitSide::Left)).expect("distinct endpoints");
+    n.connect(Endpoint::Port(lysate), unit(pre, UnitSide::Left))
+        .expect("distinct endpoints");
 
     let mut lane_units = Vec::with_capacity(lanes);
     for i in 0..lanes {
         let m = n
             .add_mixer(
                 format!("ip{i}"),
-                MixerSpec { access: ControlAccess::Both, ..MixerSpec::default() },
+                MixerSpec {
+                    access: ControlAccess::Both,
+                    ..MixerSpec::default()
+                },
             )
             .expect("fresh name");
-        let c = n.add_chamber(format!("rc{i}"), ChamberSpec::default()).expect("fresh name");
+        let c = n
+            .add_chamber(format!("rc{i}"), ChamberSpec::default())
+            .expect("fresh name");
         // multi-way net: pre.right fans out to every lane (planarization
         // will funnel this through a switch)
-        n.connect(unit(pre, UnitSide::Right), unit(m, UnitSide::Left)).expect("distinct");
-        n.connect(unit(m, UnitSide::Right), unit(c, UnitSide::Left)).expect("distinct");
+        n.connect(unit(pre, UnitSide::Right), unit(m, UnitSide::Left))
+            .expect("distinct");
+        n.connect(unit(m, UnitSide::Right), unit(c, UnitSide::Left))
+            .expect("distinct");
         let out = n.add_port(format!("out{i}")).expect("fresh name");
-        n.connect(unit(c, UnitSide::Right), Endpoint::Port(out)).expect("distinct");
+        n.connect(unit(c, UnitSide::Right), Endpoint::Port(out))
+            .expect("distinct");
         lane_units.push((m, c));
     }
 
@@ -75,8 +88,7 @@ pub fn chip_ip(lanes: usize, mux_count: MuxCount) -> Netlist {
         let per = lanes.div_ceil(groups);
         for chunk in lane_units.chunks(per) {
             if chunk.len() >= 2 {
-                let members: Vec<ComponentId> =
-                    chunk.iter().flat_map(|&(m, c)| [m, c]).collect();
+                let members: Vec<ComponentId> = chunk.iter().flat_map(|&(m, c)| [m, c]).collect();
                 n.add_parallel_group(members).expect("valid group");
             }
         }
@@ -105,12 +117,17 @@ pub fn nucleic_acid_processor(mux_count: MuxCount) -> Netlist {
             .expect("fresh name");
         let sample = n.add_port(format!("sample{lane}")).expect("fresh name");
         let out = n.add_port(format!("product{lane}")).expect("fresh name");
-        n.connect(Endpoint::Port(sample), unit(m, UnitSide::Left)).expect("distinct");
-        n.connect(unit(m, UnitSide::Right), unit(c1, UnitSide::Left)).expect("distinct");
-        n.connect(unit(c1, UnitSide::Right), unit(c2, UnitSide::Left)).expect("distinct");
-        n.connect(unit(c2, UnitSide::Right), Endpoint::Port(out)).expect("distinct");
+        n.connect(Endpoint::Port(sample), unit(m, UnitSide::Left))
+            .expect("distinct");
+        n.connect(unit(m, UnitSide::Right), unit(c1, UnitSide::Left))
+            .expect("distinct");
+        n.connect(unit(c1, UnitSide::Right), unit(c2, UnitSide::Left))
+            .expect("distinct");
+        n.connect(unit(c2, UnitSide::Right), Endpoint::Port(out))
+            .expect("distinct");
         // shared wash buffer: multi-way net resolved by planarization
-        n.connect(Endpoint::Port(wash), unit(m, UnitSide::Left)).expect("distinct");
+        n.connect(Endpoint::Port(wash), unit(m, UnitSide::Left))
+            .expect("distinct");
     }
     debug_assert_eq!(n.functional_unit_count(), 6);
     n
@@ -128,13 +145,18 @@ pub fn mrna_isolation(mux_count: MuxCount) -> Netlist {
         let m = n
             .add_mixer(
                 format!("capture{lane}"),
-                MixerSpec { cell_traps: true, ..MixerSpec::default() },
+                MixerSpec {
+                    cell_traps: true,
+                    ..MixerSpec::default()
+                },
             )
             .expect("fresh name");
         let mut prev = unit(m, UnitSide::Right);
         let cells = n.add_port(format!("cells{lane}")).expect("fresh name");
-        n.connect(Endpoint::Port(cells), unit(m, UnitSide::Left)).expect("distinct");
-        n.connect(Endpoint::Port(lysis), unit(m, UnitSide::Left)).expect("distinct");
+        n.connect(Endpoint::Port(cells), unit(m, UnitSide::Left))
+            .expect("distinct");
+        n.connect(Endpoint::Port(lysis), unit(m, UnitSide::Left))
+            .expect("distinct");
         for stage in ["bind", "synth", "store"] {
             let c = n
                 .add_chamber(format!("{stage}{lane}"), ChamberSpec::default())
@@ -168,17 +190,20 @@ pub fn columba2_case(mux_count: MuxCount) -> Netlist {
         let c2 = n
             .add_chamber(format!("read{lane}"), ChamberSpec::default())
             .expect("fresh name");
-        n.connect(Endpoint::Port(substrate), unit(m, UnitSide::Left)).expect("distinct");
-        n.connect(unit(m, UnitSide::Right), unit(c1, UnitSide::Left)).expect("distinct");
-        n.connect(unit(c1, UnitSide::Right), unit(c2, UnitSide::Left)).expect("distinct");
+        n.connect(Endpoint::Port(substrate), unit(m, UnitSide::Left))
+            .expect("distinct");
+        n.connect(unit(m, UnitSide::Right), unit(c1, UnitSide::Left))
+            .expect("distinct");
+        n.connect(unit(c1, UnitSide::Right), unit(c2, UnitSide::Left))
+            .expect("distinct");
         let out = n.add_port(format!("det{lane}")).expect("fresh name");
-        n.connect(unit(c2, UnitSide::Right), Endpoint::Port(out)).expect("distinct");
+        n.connect(unit(c2, UnitSide::Right), Endpoint::Port(out))
+            .expect("distinct");
         lanes.push((m, c1, c2));
     }
     // two parallel-execution groups of three lanes (the 7th runs alone)
     for chunk in lanes.chunks(3).take(2) {
-        let members: Vec<ComponentId> =
-            chunk.iter().flat_map(|&(m, c1, c2)| [m, c1, c2]).collect();
+        let members: Vec<ComponentId> = chunk.iter().flat_map(|&(m, c1, c2)| [m, c1, c2]).collect();
         n.add_parallel_group(members).expect("valid group");
     }
     debug_assert_eq!(n.functional_unit_count(), 21);
@@ -197,16 +222,22 @@ pub fn kinase_activity(mux_count: MuxCount) -> Netlist {
         let m = n
             .add_mixer(
                 format!("kin{lane}"),
-                MixerSpec { sieve_valves: true, ..MixerSpec::default() },
+                MixerSpec {
+                    sieve_valves: true,
+                    ..MixerSpec::default()
+                },
             )
             .expect("fresh name");
         let c = n
             .add_chamber(format!("assay{lane}"), ChamberSpec::default())
             .expect("fresh name");
-        n.connect(Endpoint::Port(kinase), unit(m, UnitSide::Left)).expect("distinct");
-        n.connect(unit(m, UnitSide::Right), unit(c, UnitSide::Left)).expect("distinct");
+        n.connect(Endpoint::Port(kinase), unit(m, UnitSide::Left))
+            .expect("distinct");
+        n.connect(unit(m, UnitSide::Right), unit(c, UnitSide::Left))
+            .expect("distinct");
         let out = n.add_port(format!("read{lane}")).expect("fresh name");
-        n.connect(unit(c, UnitSide::Right), Endpoint::Port(out)).expect("distinct");
+        n.connect(unit(c, UnitSide::Right), Endpoint::Port(out))
+            .expect("distinct");
     }
     debug_assert_eq!(n.functional_unit_count(), 8);
     n
@@ -232,15 +263,19 @@ pub fn table1_cases(mux_count: MuxCount) -> Vec<(&'static str, Netlist)> {
 ///
 /// Panics if `units == 0`.
 #[must_use]
-pub fn random_netlist<R: Rng + ?Sized>(rng: &mut R, units: usize) -> Netlist {
+pub fn random_netlist(rng: &mut Rng, units: usize) -> Netlist {
     assert!(units > 0);
     let mut n = Netlist::new("random");
-    n.mux_count = if rng.gen_bool(0.5) { MuxCount::One } else { MuxCount::Two };
+    n.mux_count = if rng.gen_bool(0.5) {
+        MuxCount::One
+    } else {
+        MuxCount::Two
+    };
     let shared = n.add_port("shared").expect("fresh name");
     let mut built = 0usize;
     let mut chain = 0usize;
     while built < units {
-        let len = rng.gen_range(1..=3).min(units - built);
+        let len = rng.gen_range(1usize..=3).min(units - built);
         let mut prev: Endpoint = if rng.gen_bool(0.3) {
             Endpoint::Port(shared)
         } else {
@@ -254,7 +289,7 @@ pub fn random_netlist<R: Rng + ?Sized>(rng: &mut R, units: usize) -> Netlist {
                     MixerSpec {
                         sieve_valves: rng.gen_bool(0.3),
                         cell_traps: rng.gen_bool(0.2),
-                        access: match rng.gen_range(0..3) {
+                        access: match rng.gen_range(0usize..3) {
                             0 => ControlAccess::Top,
                             1 => ControlAccess::Bottom,
                             _ => ControlAccess::Both,
@@ -264,7 +299,8 @@ pub fn random_netlist<R: Rng + ?Sized>(rng: &mut R, units: usize) -> Netlist {
                 )
                 .expect("fresh name")
             } else {
-                n.add_chamber(format!("u{chain}_{j}"), ChamberSpec::default()).expect("fresh name")
+                n.add_chamber(format!("u{chain}_{j}"), ChamberSpec::default())
+                    .expect("fresh name")
             };
             n.connect(prev, unit(id, UnitSide::Left)).expect("distinct");
             prev = unit(id, UnitSide::Right);
@@ -282,13 +318,14 @@ pub fn random_netlist<R: Rng + ?Sized>(rng: &mut R, units: usize) -> Netlist {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn unit_counts_match_table1() {
         let cases = table1_cases(MuxCount::One);
-        let counts: Vec<usize> = cases.iter().map(|(_, n)| n.functional_unit_count()).collect();
+        let counts: Vec<usize> = cases
+            .iter()
+            .map(|(_, n)| n.functional_unit_count())
+            .collect();
         assert_eq!(counts, vec![6, 9, 8, 21, 129, 257]);
         for (_, n) in &cases {
             n.validate().expect("generated netlists are valid");
@@ -299,8 +336,16 @@ mod tests {
     fn chip_ip_parallel_partition() {
         assert!(chip_ip(4, MuxCount::One).parallel_groups().is_empty());
         let big = chip_ip(64, MuxCount::Two);
-        assert_eq!(big.parallel_groups().len(), 8, "ChIP64 partitions into 8 groups");
-        assert_eq!(big.parallel_groups()[0].len(), 16, "8 lanes x (mixer+chamber)");
+        assert_eq!(
+            big.parallel_groups().len(),
+            8,
+            "ChIP64 partitions into 8 groups"
+        );
+        assert_eq!(
+            big.parallel_groups()[0].len(),
+            16,
+            "8 lanes x (mixer+chamber)"
+        );
         let bigger = chip_ip(128, MuxCount::One);
         assert_eq!(bigger.parallel_groups().len(), 8);
     }
@@ -330,7 +375,7 @@ mod tests {
 
     #[test]
     fn random_netlists_are_valid_and_sized() {
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = Rng::seed_from_u64(7);
         for units in [1, 2, 5, 17] {
             let n = random_netlist(&mut rng, units);
             assert_eq!(n.functional_unit_count(), units);

@@ -52,6 +52,7 @@ pub mod generators;
 mod model;
 mod parse;
 
+pub use columba_prng as prng;
 pub use error::NetlistError;
 pub use model::{
     ChamberSpec, Component, ComponentId, ComponentKind, Connection, ControlAccess, Endpoint,

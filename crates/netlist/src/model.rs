@@ -98,7 +98,10 @@ pub struct ChamberSpec {
 
 impl Default for ChamberSpec {
     fn default() -> ChamberSpec {
-        ChamberSpec { width: Um::from_mm(1.0), length: Um::from_mm(1.0) }
+        ChamberSpec {
+            width: Um::from_mm(1.0),
+            length: Um::from_mm(1.0),
+        }
     }
 }
 
@@ -204,7 +207,10 @@ impl Netlist {
     /// Creates an empty netlist with the given chip name.
     #[must_use]
     pub fn new(name: impl Into<String>) -> Netlist {
-        Netlist { name: name.into(), ..Netlist::default() }
+        Netlist {
+            name: name.into(),
+            ..Netlist::default()
+        }
     }
 
     /// Adds a component.
@@ -285,7 +291,9 @@ impl Netlist {
     /// Returns [`NetlistError::Invalid`] for a self-connection.
     pub fn connect(&mut self, from: Endpoint, to: Endpoint) -> Result<(), NetlistError> {
         if from == to {
-            return Err(NetlistError::Invalid("connection endpoints are identical".into()));
+            return Err(NetlistError::Invalid(
+                "connection endpoints are identical".into(),
+            ));
         }
         self.connections.push(Connection { from, to });
         Ok(())
@@ -299,7 +307,9 @@ impl Netlist {
     /// members.
     pub fn add_parallel_group(&mut self, units: Vec<ComponentId>) -> Result<(), NetlistError> {
         if units.len() < 2 {
-            return Err(NetlistError::Invalid("parallel group needs at least two units".into()));
+            return Err(NetlistError::Invalid(
+                "parallel group needs at least two units".into(),
+            ));
         }
         self.parallel_groups.push(units);
         Ok(())
@@ -345,7 +355,10 @@ impl Netlist {
     /// chambers, excluding switches.
     #[must_use]
     pub fn functional_unit_count(&self) -> usize {
-        self.components.iter().filter(|c| c.kind.is_functional_unit()).count()
+        self.components
+            .iter()
+            .filter(|c| c.kind.is_functional_unit())
+            .count()
     }
 
     /// Number of switches.
@@ -357,7 +370,10 @@ impl Netlist {
     /// Finds a component by name.
     #[must_use]
     pub fn component_by_name(&self, name: &str) -> Option<ComponentId> {
-        self.components.iter().position(|c| c.name == name).map(ComponentId)
+        self.components
+            .iter()
+            .position(|c| c.name == name)
+            .map(ComponentId)
     }
 
     /// Finds a port by name.
@@ -367,8 +383,7 @@ impl Netlist {
     }
 
     fn lookup(&self, name: &str) -> Option<()> {
-        if self.components.iter().any(|c| c.name == name) || self.ports.iter().any(|p| p == name)
-        {
+        if self.components.iter().any(|c| c.name == name) || self.ports.iter().any(|p| p == name) {
             Some(())
         } else {
             None
@@ -390,16 +405,21 @@ impl Netlist {
     /// * a parallel group member is a switch or appears in two groups.
     pub fn validate(&self) -> Result<(), NetlistError> {
         if self.functional_unit_count() == 0 {
-            return Err(NetlistError::Invalid("netlist has no functional units".into()));
+            return Err(NetlistError::Invalid(
+                "netlist has no functional units".into(),
+            ));
         }
         let check_ep = |e: &Endpoint| -> Result<(), NetlistError> {
             match e {
-                Endpoint::Unit { component, .. } if component.0 >= self.components.len() => Err(
-                    NetlistError::Invalid(format!("connection references component #{}", component.0)),
-                ),
-                Endpoint::Port(p) if p.0 >= self.ports.len() => {
-                    Err(NetlistError::Invalid(format!("connection references port #{}", p.0)))
+                Endpoint::Unit { component, .. } if component.0 >= self.components.len() => {
+                    Err(NetlistError::Invalid(format!(
+                        "connection references component #{}",
+                        component.0
+                    )))
                 }
+                Endpoint::Port(p) if p.0 >= self.ports.len() => Err(NetlistError::Invalid(
+                    format!("connection references port #{}", p.0),
+                )),
                 _ => Ok(()),
             }
         };
@@ -525,11 +545,18 @@ impl Netlist {
             let _ = writeln!(s, "port {p}");
         }
         for c in &self.connections {
-            let _ = writeln!(s, "connect {} -> {}", self.endpoint_text(&c.from), self.endpoint_text(&c.to));
+            let _ = writeln!(
+                s,
+                "connect {} -> {}",
+                self.endpoint_text(&c.from),
+                self.endpoint_text(&c.to)
+            );
         }
         for g in &self.parallel_groups {
-            let names: Vec<&str> =
-                g.iter().map(|u| self.components[u.0].name.as_str()).collect();
+            let names: Vec<&str> = g
+                .iter()
+                .map(|u| self.components[u.0].name.as_str())
+                .collect();
             let _ = writeln!(s, "parallel {}", names.join(" "));
         }
         s
@@ -554,11 +581,23 @@ mod tests {
         let m = n.add_mixer("m1", MixerSpec::default()).unwrap();
         let c = n.add_chamber("c1", ChamberSpec::default()).unwrap();
         let p = n.add_port("in1").unwrap();
-        n.connect(Endpoint::Port(p), Endpoint::Unit { component: m, side: UnitSide::Left })
-            .unwrap();
         n.connect(
-            Endpoint::Unit { component: m, side: UnitSide::Right },
-            Endpoint::Unit { component: c, side: UnitSide::Left },
+            Endpoint::Port(p),
+            Endpoint::Unit {
+                component: m,
+                side: UnitSide::Left,
+            },
+        )
+        .unwrap();
+        n.connect(
+            Endpoint::Unit {
+                component: m,
+                side: UnitSide::Right,
+            },
+            Endpoint::Unit {
+                component: c,
+                side: UnitSide::Left,
+            },
         )
         .unwrap();
         n
@@ -583,15 +622,24 @@ mod tests {
             n.add_chamber("m1", ChamberSpec::default()),
             Err(NetlistError::DuplicateName(_))
         ));
-        assert!(matches!(n.add_port("m1"), Err(NetlistError::DuplicateName(_))));
-        assert!(matches!(n.add_port("in1"), Err(NetlistError::DuplicateName(_))));
+        assert!(matches!(
+            n.add_port("m1"),
+            Err(NetlistError::DuplicateName(_))
+        ));
+        assert!(matches!(
+            n.add_port("in1"),
+            Err(NetlistError::DuplicateName(_))
+        ));
     }
 
     #[test]
     fn self_connection_rejected() {
         let mut n = two_unit_netlist();
         let m = n.component_by_name("m1").unwrap();
-        let e = Endpoint::Unit { component: m, side: UnitSide::Left };
+        let e = Endpoint::Unit {
+            component: m,
+            side: UnitSide::Left,
+        };
         assert!(n.connect(e, e).is_err());
     }
 
@@ -601,8 +649,14 @@ mod tests {
         let m = n.component_by_name("m1").unwrap();
         let c = n.component_by_name("c1").unwrap();
         n.connect(
-            Endpoint::Unit { component: m, side: UnitSide::Right },
-            Endpoint::Unit { component: c, side: UnitSide::Right },
+            Endpoint::Unit {
+                component: m,
+                side: UnitSide::Right,
+            },
+            Endpoint::Unit {
+                component: c,
+                side: UnitSide::Right,
+            },
         )
         .unwrap();
         assert!(n.validate().is_ok(), "raw netlists may hold multi-way nets");
@@ -615,8 +669,14 @@ mod tests {
         let mut n = two_unit_netlist();
         let p = n.port_by_name("in1").unwrap();
         let c = n.component_by_name("c1").unwrap();
-        n.connect(Endpoint::Port(p), Endpoint::Unit { component: c, side: UnitSide::Right })
-            .unwrap();
+        n.connect(
+            Endpoint::Port(p),
+            Endpoint::Unit {
+                component: c,
+                side: UnitSide::Right,
+            },
+        )
+        .unwrap();
         assert!(n.validate().is_ok());
         assert!(n.validate_planarized().is_err());
     }
@@ -657,14 +717,26 @@ mod tests {
         let m = n.component_by_name("m1").unwrap();
         // two connections into the switch's left side are fine
         n.connect(
-            Endpoint::Unit { component: m, side: UnitSide::Left },
-            Endpoint::Unit { component: s, side: UnitSide::Left },
+            Endpoint::Unit {
+                component: m,
+                side: UnitSide::Left,
+            },
+            Endpoint::Unit {
+                component: s,
+                side: UnitSide::Left,
+            },
         )
         .unwrap();
         let c = n.component_by_name("c1").unwrap();
         n.connect(
-            Endpoint::Unit { component: c, side: UnitSide::Right },
-            Endpoint::Unit { component: s, side: UnitSide::Left },
+            Endpoint::Unit {
+                component: c,
+                side: UnitSide::Right,
+            },
+            Endpoint::Unit {
+                component: s,
+                side: UnitSide::Left,
+            },
         )
         .unwrap();
         // the switch's left side legally carries two connections, but

@@ -39,7 +39,10 @@ impl Netlist {
                         "1" => MuxCount::One,
                         "2" => MuxCount::Two,
                         other => {
-                            return Err(err(line_no, format!("mux count must be 1 or 2, got `{other}`")))
+                            return Err(err(
+                                line_no,
+                                format!("mux count must be 1 or 2, got `{other}`"),
+                            ))
                         }
                     };
                 }
@@ -58,7 +61,9 @@ impl Netlist {
                                     other => {
                                         return Err(err(
                                             line_no,
-                                            format!("access must be top|bottom|both, got `{other}`"),
+                                            format!(
+                                                "access must be top|bottom|both, got `{other}`"
+                                            ),
                                         ))
                                     }
                                 };
@@ -115,7 +120,10 @@ impl Netlist {
                 }
                 "parallel" => {
                     if rest.len() < 2 {
-                        return Err(err(line_no, "parallel needs at least two unit names".into()));
+                        return Err(err(
+                            line_no,
+                            "parallel needs at least two unit names".into(),
+                        ));
                     }
                     let mut ids = Vec::with_capacity(rest.len());
                     for name in &rest {
@@ -187,7 +195,10 @@ fn parse_mm(v: &str, line: usize) -> Result<Um, NetlistError> {
         .parse()
         .map_err(|_| err(line, format!("expected a millimetre value, got `{v}`")))?;
     if !(mm.is_finite() && mm > 0.0) {
-        return Err(err(line, format!("size must be positive and finite, got `{v}`")));
+        return Err(err(
+            line,
+            format!("size must be positive and finite, got `{v}`"),
+        ));
     }
     Ok(Um::from_mm(mm))
 }
@@ -206,7 +217,10 @@ fn parse_endpoint(n: &Netlist, text: &str, line: usize) -> Result<Endpoint, Netl
     } else if let Some(p) = n.port_by_name(text) {
         Ok(Endpoint::Port(p))
     } else if n.component_by_name(text).is_some() {
-        Err(err(line, format!("component endpoint `{text}` needs a side: `{text}.left` or `{text}.right`")))
+        Err(err(
+            line,
+            format!("component endpoint `{text}` needs a side: `{text}.left` or `{text}.right`"),
+        ))
     } else {
         Err(NetlistError::UnknownName(text.to_string()))
     }
@@ -244,7 +258,9 @@ connect c1.right -> waste
         assert_eq!(n.ports().len(), 2);
         assert_eq!(n.connections().len(), 5);
         let Component { kind, .. } = &n.components()[0];
-        let ComponentKind::Mixer(m) = kind else { panic!("expected mixer") };
+        let ComponentKind::Mixer(m) = kind else {
+            panic!("expected mixer")
+        };
         assert_eq!(m.width, Um::from_mm(3.2));
         assert!(m.sieve_valves);
         assert!(!m.cell_traps);
@@ -266,7 +282,9 @@ connect c1.right -> waste
     #[test]
     fn error_carries_line_number() {
         let e = Netlist::parse("chip c\nbogus m1\n").unwrap_err();
-        let NetlistError::Parse { line, message } = e else { panic!("{e}") };
+        let NetlistError::Parse { line, message } = e else {
+            panic!("{e}")
+        };
         assert_eq!(line, 2);
         assert!(message.contains("bogus"));
     }

@@ -66,15 +66,23 @@ pub fn planarize(netlist: &Netlist) -> (Netlist, PlanarizeReport) {
     while let Some((endpoint, count)) = find_overloaded(&n) {
         report.rounds += 1;
         let name = fresh_switch_name(&n, &mut switch_seq);
-        let spec = SwitchSpec { junctions: count + 1 };
+        let spec = SwitchSpec {
+            junctions: count + 1,
+        };
         let sw = n.add_switch(name, spec).expect("fresh name is unique");
         report.switches_added += 1;
 
         // decide which switch side faces the overloaded endpoint so that the
         // refined connections keep a consistent left-to-right direction
         let (facing, fanout) = match endpoint {
-            Endpoint::Unit { side: UnitSide::Right, .. } => (UnitSide::Left, UnitSide::Right),
-            Endpoint::Unit { side: UnitSide::Left, .. } => (UnitSide::Right, UnitSide::Left),
+            Endpoint::Unit {
+                side: UnitSide::Right,
+                ..
+            } => (UnitSide::Left, UnitSide::Right),
+            Endpoint::Unit {
+                side: UnitSide::Left,
+                ..
+            } => (UnitSide::Right, UnitSide::Left),
             Endpoint::Port(_) => (UnitSide::Left, UnitSide::Right),
         };
 
@@ -82,8 +90,14 @@ pub fn planarize(netlist: &Netlist) -> (Netlist, PlanarizeReport) {
         let refined = redirect_connections(&mut n, endpoint, sw, fanout);
         report.refined_connections += refined;
         // and connect the endpoint itself to the switch once
-        n.connect(endpoint, Endpoint::Unit { component: sw, side: facing })
-            .expect("endpoint and fresh switch differ");
+        n.connect(
+            endpoint,
+            Endpoint::Unit {
+                component: sw,
+                side: facing,
+            },
+        )
+        .expect("endpoint and fresh switch differ");
     }
     (n, report)
 }
@@ -124,14 +138,21 @@ fn redirect_connections(
     sw: ComponentId,
     fanout: UnitSide,
 ) -> usize {
-    let replacement = Endpoint::Unit { component: sw, side: fanout };
+    let replacement = Endpoint::Unit {
+        component: sw,
+        side: fanout,
+    };
     // Netlist has no connection-rewrite API by design (connections are
     // append-only handles for users), so rebuild it.
     let rebuilt: Vec<Connection> = n
         .connections()
         .iter()
         .map(|c| Connection {
-            from: if c.from == endpoint { replacement } else { c.from },
+            from: if c.from == endpoint {
+                replacement
+            } else {
+                c.from
+            },
             to: if c.to == endpoint { replacement } else { c.to },
         })
         .collect();
@@ -150,16 +171,22 @@ fn replace_connections(n: &mut Netlist, conns: Vec<Connection>) {
     let mut fresh = Netlist::new(n.name.clone());
     fresh.mux_count = n.mux_count;
     for c in n.components() {
-        fresh.add_component(c.name.clone(), c.kind).expect("names were unique");
+        fresh
+            .add_component(c.name.clone(), c.kind)
+            .expect("names were unique");
     }
     for p in n.ports() {
         fresh.add_port(p.clone()).expect("names were unique");
     }
     for c in conns {
-        fresh.connect(c.from, c.to).expect("rebuilt connections are distinct");
+        fresh
+            .connect(c.from, c.to)
+            .expect("rebuilt connections are distinct");
     }
     for g in n.parallel_groups() {
-        fresh.add_parallel_group(g.clone()).expect("groups were valid");
+        fresh
+            .add_parallel_group(g.clone())
+            .expect("groups were valid");
     }
     *n = fresh;
 }
@@ -194,8 +221,11 @@ pub fn crossing_estimate(n: &Netlist) -> usize {
     };
     // directed longest-path layering (connections run source -> sink);
     // relaxation is capped so cyclic netlists terminate with a coarse layering
-    let edges: Vec<(usize, usize)> =
-        n.connections().iter().map(|c| (idx(&c.from), idx(&c.to))).collect();
+    let edges: Vec<(usize, usize)> = n
+        .connections()
+        .iter()
+        .map(|c| (idx(&c.from), idx(&c.to)))
+        .collect();
     let mut layer = vec![0usize; total];
     for _ in 0..total.max(1) {
         let mut changed = false;
@@ -248,11 +278,23 @@ mod tests {
         let m = n.add_mixer("m1", MixerSpec::default()).unwrap();
         let c = n.add_chamber("c1", ChamberSpec::default()).unwrap();
         let p = n.add_port("in").unwrap();
-        n.connect(Endpoint::Port(p), Endpoint::Unit { component: m, side: UnitSide::Left })
-            .unwrap();
         n.connect(
-            Endpoint::Unit { component: m, side: UnitSide::Right },
-            Endpoint::Unit { component: c, side: UnitSide::Left },
+            Endpoint::Port(p),
+            Endpoint::Unit {
+                component: m,
+                side: UnitSide::Left,
+            },
+        )
+        .unwrap();
+        n.connect(
+            Endpoint::Unit {
+                component: m,
+                side: UnitSide::Right,
+            },
+            Endpoint::Unit {
+                component: c,
+                side: UnitSide::Left,
+            },
         )
         .unwrap();
         let (out, report) = planarize(&n);
@@ -274,7 +316,9 @@ mod tests {
             .iter()
             .find(|c| matches!(c.kind, ComponentKind::Switch(_)))
             .unwrap();
-        let ComponentKind::Switch(spec) = sw.kind else { unreachable!() };
+        let ComponentKind::Switch(spec) = sw.kind else {
+            unreachable!()
+        };
         assert_eq!(spec.junctions, 5);
         // connection count grows by exactly one per switch
         assert_eq!(out.connections().len(), n.connections().len() + 1);
@@ -286,7 +330,10 @@ mod tests {
         // lysis port is shared AND each capture mixer left side is doubly used
         let (out, report) = planarize(&n);
         out.validate_planarized().unwrap();
-        assert!(report.switches_added >= 2, "shared port + two overloaded sides");
+        assert!(
+            report.switches_added >= 2,
+            "shared port + two overloaded sides"
+        );
         assert_eq!(out.functional_unit_count(), n.functional_unit_count());
         assert_eq!(out.parallel_groups(), n.parallel_groups());
     }
@@ -295,7 +342,8 @@ mod tests {
     fn all_table1_cases_planarize() {
         for (label, n) in generators::table1_cases(MuxCount::One) {
             let (out, _) = planarize(&n);
-            out.validate_planarized().unwrap_or_else(|e| panic!("{label}: {e}"));
+            out.validate_planarized()
+                .unwrap_or_else(|e| panic!("{label}: {e}"));
             assert_eq!(
                 out.functional_unit_count(),
                 n.functional_unit_count(),
@@ -320,18 +368,33 @@ mod tests {
         let a = n.add_chamber("a", ChamberSpec::default()).unwrap();
         let b = n.add_chamber("b", ChamberSpec::default()).unwrap();
         n.connect(
-            Endpoint::Unit { component: m, side: UnitSide::Right },
-            Endpoint::Unit { component: a, side: UnitSide::Left },
+            Endpoint::Unit {
+                component: m,
+                side: UnitSide::Right,
+            },
+            Endpoint::Unit {
+                component: a,
+                side: UnitSide::Left,
+            },
         )
         .unwrap();
         n.connect(
-            Endpoint::Unit { component: m, side: UnitSide::Right },
-            Endpoint::Unit { component: b, side: UnitSide::Left },
+            Endpoint::Unit {
+                component: m,
+                side: UnitSide::Right,
+            },
+            Endpoint::Unit {
+                component: b,
+                side: UnitSide::Left,
+            },
         )
         .unwrap();
         let (out, _) = planarize(&n);
         out.validate_planarized().unwrap();
-        assert!(out.component_by_name("sw1").is_some(), "skipped the squatted name");
+        assert!(
+            out.component_by_name("sw1").is_some(),
+            "skipped the squatted name"
+        );
     }
 
     #[test]

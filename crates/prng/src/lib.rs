@@ -1,0 +1,223 @@
+//! A tiny deterministic pseudo-random number generator.
+//!
+//! The workspace builds with **zero registry dependencies** (see the offline
+//! build policy in `DESIGN.md`), so the netlist generators and the
+//! randomized tests cannot use the `rand` crate. This crate provides the
+//! small slice of functionality they need: a seedable, reproducible,
+//! high-quality 64-bit generator.
+//!
+//! The implementation is xoshiro256++ by Blackman and Vigna (public
+//! domain), seeded from a single `u64` through splitmix64 as the authors
+//! recommend. It is *not* cryptographically secure and is not meant to be.
+//!
+//! # Examples
+//!
+//! ```
+//! use columba_prng::Rng;
+//!
+//! let mut rng = Rng::seed_from_u64(42);
+//! let coin = rng.gen_bool(0.5);
+//! let lane = rng.gen_range(0usize..8);
+//! assert!(lane < 8);
+//! // same seed, same stream
+//! let mut again = Rng::seed_from_u64(42);
+//! assert_eq!(again.gen_bool(0.5), coin);
+//! ```
+
+/// splitmix64 step: turns any 64-bit value into a well-mixed successor.
+#[must_use]
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// xoshiro256++ generator. Construct with [`Rng::seed_from_u64`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+impl Rng {
+    /// Seeds the full 256-bit state from one `u64` via splitmix64.
+    #[must_use]
+    pub fn seed_from_u64(seed: u64) -> Rng {
+        let mut sm = seed;
+        Rng {
+            s: std::array::from_fn(|_| splitmix64(&mut sm)),
+        }
+    }
+
+    /// The next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// A uniform `f64` in `[0, 1)` (53 random mantissa bits).
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen_f64() < p
+    }
+
+    /// A uniform value in the given (half-open or inclusive) range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        range.sample(self)
+    }
+
+    /// Debiased uniform integer in `[0, n)` via Lemire-style rejection.
+    fn bounded(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "empty range");
+        let threshold = n.wrapping_neg() % n;
+        loop {
+            let v = self.next_u64();
+            let (hi, lo) = {
+                let wide = u128::from(v) * u128::from(n);
+                ((wide >> 64) as u64, wide as u64)
+            };
+            if lo >= threshold {
+                return hi;
+            }
+        }
+    }
+}
+
+/// Ranges [`Rng::gen_range`] can sample from.
+pub trait SampleRange {
+    /// The sampled value type.
+    type Output;
+    /// Draws one uniform value.
+    fn sample(self, rng: &mut Rng) -> Self::Output;
+}
+
+impl SampleRange for std::ops::Range<usize> {
+    type Output = usize;
+    fn sample(self, rng: &mut Rng) -> usize {
+        assert!(self.start < self.end, "empty range");
+        self.start + rng.bounded((self.end - self.start) as u64) as usize
+    }
+}
+
+impl SampleRange for std::ops::RangeInclusive<usize> {
+    type Output = usize;
+    fn sample(self, rng: &mut Rng) -> usize {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty range");
+        lo + rng.bounded((hi - lo) as u64 + 1) as usize
+    }
+}
+
+impl SampleRange for std::ops::Range<i64> {
+    type Output = i64;
+    fn sample(self, rng: &mut Rng) -> i64 {
+        assert!(self.start < self.end, "empty range");
+        self.start + rng.bounded(self.start.abs_diff(self.end)) as i64
+    }
+}
+
+impl SampleRange for std::ops::RangeInclusive<i64> {
+    type Output = i64;
+    fn sample(self, rng: &mut Rng) -> i64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty range");
+        lo + rng.bounded(lo.abs_diff(hi) + 1) as i64
+    }
+}
+
+impl SampleRange for std::ops::Range<u64> {
+    type Output = u64;
+    fn sample(self, rng: &mut Rng) -> u64 {
+        assert!(self.start < self.end, "empty range");
+        self.start + rng.bounded(self.end - self.start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = Rng::seed_from_u64(7);
+        let mut b = Rng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Rng::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn splitmix_reference_values() {
+        // reference output of splitmix64 for seed 0 (from the public-domain
+        // reference implementation)
+        let mut s = 0u64;
+        assert_eq!(splitmix64(&mut s), 0xe220_a839_7b1d_cdaf);
+        assert_eq!(splitmix64(&mut s), 0x6e78_9e6a_a1b9_65f4);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = Rng::seed_from_u64(1);
+        for _ in 0..1_000 {
+            let v = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&v));
+            let w = rng.gen_range(5usize..=5);
+            assert_eq!(w, 5);
+            let x = rng.gen_range(-10i64..=10);
+            assert!((-10..=10).contains(&x));
+        }
+    }
+
+    #[test]
+    fn range_covers_all_values() {
+        let mut rng = Rng::seed_from_u64(2);
+        let mut seen = [false; 8];
+        for _ in 0..1_000 {
+            seen[rng.gen_range(0usize..8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all 8 values appear in 1000 draws");
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = Rng::seed_from_u64(3);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let f = rng.gen_f64();
+            assert!((0.0..1.0).contains(&f));
+            sum += f;
+        }
+        let mean = sum / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean} far from 0.5");
+    }
+
+    #[test]
+    fn gen_bool_probability() {
+        let mut rng = Rng::seed_from_u64(4);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((2_700..3_300).contains(&hits), "{hits} hits for p=0.3");
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+}

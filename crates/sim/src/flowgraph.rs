@@ -29,13 +29,20 @@ impl FlowGraph {
             .filter(|(_, c)| c.layer() == Layer::Flow && c.role != ChannelRole::MuxFlow)
             .map(|(i, _)| ChannelId(i))
             .collect();
-        let index: HashMap<ChannelId, usize> =
-            nodes.iter().enumerate().map(|(pos, &id)| (id, pos)).collect();
+        let index: HashMap<ChannelId, usize> = nodes
+            .iter()
+            .enumerate()
+            .map(|(pos, &id)| (id, pos))
+            .collect();
         let mut adj = vec![Vec::new(); nodes.len()];
         for (pi, &a) in nodes.iter().enumerate() {
             for (pj, &b) in nodes.iter().enumerate().skip(pi + 1) {
                 let touch = design.channel(a).path.iter().any(|sa| {
-                    design.channel(b).path.iter().any(|sb| sa.to_rect().touches(&sb.to_rect()))
+                    design
+                        .channel(b)
+                        .path
+                        .iter()
+                        .any(|sb| sa.to_rect().touches(&sb.to_rect()))
                 });
                 if touch {
                     adj[pi].push(pj);
@@ -52,17 +59,22 @@ impl FlowGraph {
                 .iter()
                 .enumerate()
                 .filter(|(_, &id)| {
-                    design
-                        .channel(id)
-                        .path
-                        .iter()
-                        .any(|s| s.to_rect().expanded(columba_geom::Um(1)).contains_point(inlet.position))
+                    design.channel(id).path.iter().any(|s| {
+                        s.to_rect()
+                            .expanded(columba_geom::Um(1))
+                            .contains_point(inlet.position)
+                    })
                 })
                 .map(|(pos, _)| pos)
                 .collect();
             inlet_taps.insert(InletId(ii), taps);
         }
-        FlowGraph { nodes, adj, inlet_taps, index }
+        FlowGraph {
+            nodes,
+            adj,
+            inlet_taps,
+            index,
+        }
     }
 
     /// BFS over passable channels starting from the inlet's taps.

@@ -163,13 +163,19 @@ impl<'a> Simulator<'a> {
         if line >= self.pressurized.len() {
             return Err(SimError::LineOutOfRange(line));
         }
-        let &(mi, addr) = self.mux_of_line.get(&line).ok_or(SimError::LineNotMuxed(line))?;
+        let &(mi, addr) = self
+            .mux_of_line
+            .get(&line)
+            .ok_or(SimError::LineNotMuxed(line))?;
         let mux = &self.design.muxes[mi];
         // evaluate the synthesized valve matrix: exactly this channel open
         let sel = selection(mux, addr);
         let open = sel.open_channels();
         if open != vec![addr] {
-            return Err(SimError::SelectionBroken { address: addr, open });
+            return Err(SimError::SelectionBroken {
+                address: addr,
+                open,
+            });
         }
         self.pressurized[line] = pressurize;
         self.time_ms += VALVE_ACTUATION_MS;
@@ -195,8 +201,16 @@ impl<'a> Simulator<'a> {
         a: (usize, bool),
         b: (usize, bool),
     ) -> Result<(ActuationEvent, ActuationEvent), SimError> {
-        let ma = self.mux_of_line.get(&a.0).ok_or(SimError::LineOutOfRange(a.0))?.0;
-        let mb = self.mux_of_line.get(&b.0).ok_or(SimError::LineOutOfRange(b.0))?.0;
+        let ma = self
+            .mux_of_line
+            .get(&a.0)
+            .ok_or(SimError::LineOutOfRange(a.0))?
+            .0;
+        let mb = self
+            .mux_of_line
+            .get(&b.0)
+            .ok_or(SimError::LineOutOfRange(b.0))?
+            .0;
         if ma == mb {
             return Err(SimError::SameMuxSimultaneous);
         }
@@ -222,9 +236,11 @@ impl<'a> Simulator<'a> {
     /// MUX valves are not controlled by lines and always report `false`.
     #[must_use]
     pub fn valve_closed(&self, valve: ValveId) -> bool {
-        self.design.control_lines.iter().enumerate().any(|(li, l)| {
-            self.pressurized[li] && l.valves.contains(&valve)
-        })
+        self.design
+            .control_lines
+            .iter()
+            .enumerate()
+            .any(|(li, l)| self.pressurized[li] && l.valves.contains(&valve))
     }
 
     /// Channels a fluid entering at `inlet` can currently reach.

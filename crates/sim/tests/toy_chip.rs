@@ -106,7 +106,10 @@ fn actuation_timing_accumulates() {
 fn one_mux_rejects_simultaneous_pairs() {
     let d = toy(3);
     let mut sim = Simulator::new(&d).unwrap();
-    assert_eq!(sim.actuate_pair((0, true), (1, true)).unwrap_err(), SimError::SameMuxSimultaneous);
+    assert_eq!(
+        sim.actuate_pair((0, true), (1, true)).unwrap_err(),
+        SimError::SameMuxSimultaneous
+    );
 }
 
 #[test]
@@ -114,7 +117,10 @@ fn line_lookup_by_name() {
     let d = toy(2);
     let sim = Simulator::new(&d).unwrap();
     assert_eq!(sim.line_by_name("line1").unwrap(), 1);
-    assert!(matches!(sim.line_by_name("nope"), Err(SimError::UnknownLine(_))));
+    assert!(matches!(
+        sim.line_by_name("nope"),
+        Err(SimError::UnknownLine(_))
+    ));
     assert_eq!(sim.line_name(0), "line0");
 }
 
@@ -137,7 +143,11 @@ fn unmuxed_line_rejected_at_construction() {
         Segment::vertical(Um(500), Um(10_000), Um(12_000), Um(100)),
         None,
     ));
-    d.control_lines.push(ControlLine { name: "orphan".into(), channel: orphan, valves: vec![] });
+    d.control_lines.push(ControlLine {
+        name: "orphan".into(),
+        channel: orphan,
+        valves: vec![],
+    });
     assert!(matches!(Simulator::new(&d), Err(SimError::LineNotMuxed(_))));
 }
 
@@ -145,6 +155,12 @@ fn unmuxed_line_rejected_at_construction() {
 fn out_of_range_inputs_error() {
     let d = toy(2);
     let mut sim = Simulator::new(&d).unwrap();
-    assert!(matches!(sim.actuate(99, true), Err(SimError::LineOutOfRange(99))));
-    assert!(matches!(sim.reachable_channels(InletId(99)), Err(SimError::UnknownInlet(99))));
+    assert!(matches!(
+        sim.actuate(99, true),
+        Err(SimError::LineOutOfRange(99))
+    ));
+    assert!(matches!(
+        sim.reachable_channels(InletId(99)),
+        Err(SimError::UnknownInlet(99))
+    ));
 }

@@ -28,7 +28,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let design = &outcome.design;
     let mut sim = Simulator::new(design)?;
-    println!("{} independent control lines behind one multiplexer", sim.line_count());
+    println!(
+        "{} independent control lines behind one multiplexer",
+        sim.line_count()
+    );
 
     // Fig 8 demonstration: pick one line, show the MUX bit configuration
     // that selects it, close its valve, and verify the fluid path breaks.
@@ -45,7 +48,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .expect("cdna0 inlet exists");
     let (from, to) = (InletId(cells0), InletId(cdna0));
 
-    println!("\nbefore actuation: cells0 -> cdna0 path open: {}", sim.fluid_path_exists(from, to)?);
+    println!(
+        "\nbefore actuation: cells0 -> cdna0 path open: {}",
+        sim.fluid_path_exists(from, to)?
+    );
     let ev = sim.actuate(line, true)?;
     println!(
         "actuated `{}`: MUX {} address {:#06b} ({} ms elapsed)",
@@ -54,20 +60,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ev.address,
         ev.time_ms
     );
-    println!("after actuation:  cells0 -> cdna0 path open: {}", sim.fluid_path_exists(from, to)?);
+    println!(
+        "after actuation:  cells0 -> cdna0 path open: {}",
+        sim.fluid_path_exists(from, to)?
+    );
     sim.actuate(line, false)?;
-    println!("vented:           cells0 -> cdna0 path open: {}", sim.fluid_path_exists(from, to)?);
+    println!(
+        "vented:           cells0 -> cdna0 path open: {}",
+        sim.fluid_path_exists(from, to)?
+    );
 
     // a full capture protocol on lane 0: isolate, capture, lyse, release
     let mut protocol = Protocol::new();
     for (name, pressurize) in [
-        ("capture0.iso_out", true),  // close the outlet
-        ("capture0.trap0", true),    // arm the cell traps
+        ("capture0.iso_out", true), // close the outlet
+        ("capture0.trap0", true),   // arm the cell traps
         ("capture0.trap1", true),
         ("capture0.trap2", true),
         ("capture0.trap3", true),
-        ("capture0.iso_in", true),   // seal the chamber for lysis
-        ("capture0.iso_in", false),  // reopen to elute
+        ("capture0.iso_in", true),  // seal the chamber for lysis
+        ("capture0.iso_in", false), // reopen to elute
         ("capture0.iso_out", false),
         ("capture0.trap0", false),
         ("capture0.trap1", false),

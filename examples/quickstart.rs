@@ -43,7 +43,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         outcome.layout.disjunctions,
         outcome.layout.pruned_pairs,
     );
-    println!("  DRC: {}", if outcome.drc.is_clean() { "clean" } else { "VIOLATIONS" });
+    println!(
+        "  DRC: {}",
+        if outcome.drc.is_clean() {
+            "clean"
+        } else {
+            "VIOLATIONS"
+        }
+    );
     println!("  synthesis took {:.2?}", outcome.elapsed);
 
     // export: AutoCAD script for mask fabrication (paper §3.3) + SVG preview

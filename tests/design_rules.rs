@@ -43,7 +43,11 @@ fn functional_region_holds_all_modules() {
     let out = synth(&generators::columba2_case(MuxCount::One));
     let fr = out.design.functional_region;
     for m in &out.design.modules {
-        assert!(fr.contains_rect(&m.rect), "module `{}` outside the functional region", m.name);
+        assert!(
+            fr.contains_rect(&m.rect),
+            "module `{}` outside the functional region",
+            m.name
+        );
     }
 }
 
@@ -52,7 +56,10 @@ fn mux_regions_are_outside_the_functional_region() {
     let out = synth(&generators::chip_ip(4, MuxCount::Two));
     let fr = out.design.functional_region;
     for mux in &out.design.muxes {
-        assert!(!mux.region.overlaps(&fr), "MUX region must flank the functional region");
+        assert!(
+            !mux.region.overlaps(&fr),
+            "MUX region must flank the functional region"
+        );
     }
     // every MUX valve sits in a MUX region
     for mux in &out.design.muxes {
@@ -95,7 +102,10 @@ fn one_mux_design_routes_everything_down() {
     for (_, c) in out.design.channels_with_role(ChannelRole::Control) {
         let seg = c.path[0];
         let low = seg.start().y.min(seg.end().y);
-        assert!(low < fr.y_b() + columba_s::geom::Um(1), "control channel reaches the bottom MUX");
+        assert!(
+            low < fr.y_b() + columba_s::geom::Um(1),
+            "control channel reaches the bottom MUX"
+        );
     }
 }
 
@@ -127,7 +137,11 @@ fn parallel_groups_share_columns_exactly() {
 fn switch_covers_its_junction_channels() {
     let out = synth(&generators::chip_ip(4, MuxCount::One));
     let d = &out.design;
-    let sw = d.modules.iter().find(|m| m.name.starts_with("sw")).expect("switch placed");
+    let sw = d
+        .modules
+        .iter()
+        .find(|m| m.name.starts_with("sw"))
+        .expect("switch placed");
     // every transport channel touching the switch boundary ends at a
     // junction y strictly inside the switch's vertical extent
     for c in &d.channels {
@@ -135,8 +149,7 @@ fn switch_covers_its_junction_channels() {
             continue;
         }
         let seg = c.path[0];
-        let touches_switch =
-            seg.start().x == sw.rect.x_r() || seg.end().x == sw.rect.x_l();
+        let touches_switch = seg.start().x == sw.rect.x_r() || seg.end().x == sw.rect.x_l();
         if touches_switch {
             let y = seg.start().y;
             assert!(

@@ -67,22 +67,30 @@ fn chip64_matches_paper_inlet_counts() {
     // the paper's Table 1 reports 17 control inlets for ChIP64 1-MUX and
     // 28 for 2-MUX; our reconstruction reproduces both exactly
     let flow = quick_flow();
-    let one = flow.synthesize(&generators::chip_ip(64, MuxCount::One)).unwrap();
+    let one = flow
+        .synthesize(&generators::chip_ip(64, MuxCount::One))
+        .unwrap();
     assert_eq!(one.stats().control_inlets, 17);
-    let two = flow.synthesize(&generators::chip_ip(64, MuxCount::Two)).unwrap();
+    let two = flow
+        .synthesize(&generators::chip_ip(64, MuxCount::Two))
+        .unwrap();
     assert_eq!(two.stats().control_inlets, 28);
 }
 
 #[test]
 fn every_control_line_is_addressable_and_blocks_fluid() {
     let flow = quick_flow();
-    let out = flow.synthesize(&generators::chip_ip(4, MuxCount::One)).unwrap();
+    let out = flow
+        .synthesize(&generators::chip_ip(4, MuxCount::One))
+        .unwrap();
     let design = &out.design;
     let mut sim = Simulator::new(design).expect("all lines muxed");
     assert_eq!(sim.line_count(), design.control_lines.len());
     // actuate and vent every single line: the MUX must isolate each one
     for li in 0..sim.line_count() {
-        let ev = sim.actuate(li, true).unwrap_or_else(|e| panic!("line {li}: {e}"));
+        let ev = sim
+            .actuate(li, true)
+            .unwrap_or_else(|e| panic!("line {li}: {e}"));
         assert_eq!(ev.line, li);
         sim.actuate(li, false).unwrap();
     }
@@ -92,11 +100,17 @@ fn every_control_line_is_addressable_and_blocks_fluid() {
 #[test]
 fn valve_accounting_is_consistent() {
     let flow = quick_flow();
-    let out = flow.synthesize(&generators::kinase_activity(MuxCount::One)).unwrap();
+    let out = flow
+        .synthesize(&generators::kinase_activity(MuxCount::One))
+        .unwrap();
     let d = &out.design;
     let mux_valves = d.valves.iter().filter(|v| v.kind == ValveKind::Mux).count();
     let line_valves: usize = d.control_lines.iter().map(|l| l.valves.len()).sum();
-    assert_eq!(d.valves.len(), mux_valves + line_valves, "every valve is MUX or line-driven");
+    assert_eq!(
+        d.valves.len(),
+        mux_valves + line_valves,
+        "every valve is MUX or line-driven"
+    );
     // MUX valve matrix size: n channels x address bits
     let m = &d.muxes[0];
     assert_eq!(m.valves.len(), m.controlled.len() * m.bits());
@@ -127,7 +141,9 @@ fn fluid_inlets_match_port_connections() {
 #[test]
 fn cad_outputs_are_complete() {
     let flow = quick_flow();
-    let out = flow.synthesize(&generators::kinase_activity(MuxCount::Two)).unwrap();
+    let out = flow
+        .synthesize(&generators::kinase_activity(MuxCount::Two))
+        .unwrap();
     let scr = out.to_autocad_script().unwrap();
     let svg = out.to_svg().unwrap();
     // every module appears in both outputs
@@ -152,7 +168,10 @@ fn search_mode_beats_or_matches_heuristic_objective() {
         heuristic.layout.objective.expect("has objective"),
         searched.layout.objective.expect("has objective"),
     );
-    assert!(s <= h + 1e-6, "search {s} must not be worse than heuristic {h}");
+    assert!(
+        s <= h + 1e-6,
+        "search {s} must not be worse than heuristic {h}"
+    );
     assert!(matches!(
         searched.layout.status,
         SolveStatus::Optimal | SolveStatus::Feasible
