@@ -22,4 +22,8 @@ cargo build --workspace --release --offline
 echo "==> cargo test --offline"
 cargo test --workspace -q --offline
 
+echo "==> cargo test --features fault-inject (resilience ladder under forced failures)"
+cargo test -q --offline -p columba-milp --features fault-inject
+cargo test -q --offline -p columba-layout --features fault-inject
+
 echo "All checks passed."

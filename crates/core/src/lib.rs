@@ -48,7 +48,11 @@ pub use columba_planar as planar;
 pub use columba_sim as sim;
 
 pub use columba_design::{drc::DrcReport, Design, DesignStats};
-pub use columba_layout::{LayoutError, LayoutOptions};
+pub use columba_layout::{
+    synthesize_resilient, AttemptLog, LayoutError, LayoutOptions, ResiliencePolicy, ResilientError,
+    ResilientOutcome, Rung,
+};
+pub use columba_milp::CancelToken;
 pub use columba_netlist::{Netlist, NetlistError};
 pub use columba_planar::PlanarizeReport;
 

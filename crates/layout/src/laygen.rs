@@ -93,6 +93,14 @@ pub(crate) fn generate(
 
     let nb = plan.blocks.len();
     let mut model = Model::new();
+    // constraint groups named after the paper equations, so an infeasible
+    // model can be diagnosed in the designer's vocabulary
+    let g_coupling = model.add_group("rectangle coupling (eq 1)");
+    let g_confine = model.add_group("chip confinement (eq 2)");
+    let g_overlap = model.add_group("non-overlap (eqs 3-5)");
+    let g_boundary = model.add_group("boundary attachment (eqs 6-11)");
+    let g_switch = model.add_group("switch coverage (eq 12)");
+    let g_pitch = model.add_group("inlet pitch (d')");
     let x_max = model.num_var("x_max", 0.0, bound_mm);
     let y_max = model.num_var("y_max", 0.0, bound_mm);
     let xy_max = model.num_var("xy_max", 0.0, bound_mm);
@@ -106,6 +114,14 @@ pub(crate) fn generate(
         Sense::Ge,
         0.0,
     );
+    // optional hard chip-size budget: caps the functional-region extents,
+    // in the same group as the eq-2 rows they tighten
+    if let Some(w) = options.max_width_mm {
+        model.constraint_in(g_confine, Model::expr().term(1.0, x_max), Sense::Le, w);
+    }
+    if let Some(h) = options.max_height_mm {
+        model.constraint_in(g_confine, Model::expr().term(1.0, y_max), Sense::Le, h);
+    }
 
     let mut ents: Vec<Ent> = Vec::new();
     let new_rect_vars = |model: &mut Model, tag: &str, i: usize| -> [VarId; 4] {
@@ -121,30 +137,35 @@ pub(crate) fn generate(
     for (i, b) in plan.blocks.iter().enumerate() {
         let v = new_rect_vars(&mut model, "b", i);
         // eq 1: coupling
-        model.constraint(
+        model.constraint_in(
+            g_coupling,
             Model::expr().term(1.0, v[1]).term(-1.0, v[0]),
             Sense::Eq,
             b.width.to_mm(),
         );
         match b.height {
-            Some(h) => model.constraint(
+            Some(h) => model.constraint_in(
+                g_coupling,
                 Model::expr().term(1.0, v[3]).term(-1.0, v[2]),
                 Sense::Eq,
                 h.to_mm(),
             ),
-            None => model.constraint(
+            None => model.constraint_in(
+                g_coupling,
                 Model::expr().term(1.0, v[3]).term(-1.0, v[2]),
                 Sense::Ge,
                 b.min_height.to_mm(),
             ),
         }
         // eq 2: confinement to the chip
-        model.constraint(
+        model.constraint_in(
+            g_confine,
             Model::expr().term(1.0, v[1]).term(-1.0, x_max),
             Sense::Le,
             0.0,
         );
-        model.constraint(
+        model.constraint_in(
+            g_confine,
             Model::expr().term(1.0, v[3]).term(-1.0, y_max),
             Sense::Le,
             0.0,
@@ -162,17 +183,20 @@ pub(crate) fn generate(
     let flow_base = ents.len();
     for (i, f) in plan.flows.iter().enumerate() {
         let v = new_rect_vars(&mut model, "f", i);
-        model.constraint(
+        model.constraint_in(
+            g_coupling,
             Model::expr().term(1.0, v[1]).term(-1.0, v[0]),
             Sense::Ge,
             0.0,
         );
-        model.constraint(
+        model.constraint_in(
+            g_confine,
             Model::expr().term(1.0, v[1]).term(-1.0, x_max),
             Sense::Le,
             0.0,
         );
-        model.constraint(
+        model.constraint_in(
+            g_confine,
             Model::expr().term(1.0, v[3]).term(-1.0, y_max),
             Sense::Le,
             0.0,
@@ -180,12 +204,14 @@ pub(crate) fn generate(
 
         // height class
         match f.kind {
-            FlowKind::Thin => model.constraint(
+            FlowKind::Thin => model.constraint_in(
+                g_coupling,
                 Model::expr().term(1.0, v[3]).term(-1.0, v[2]),
                 Sense::Eq,
                 2.0 * D_MM,
             ),
-            FlowKind::InletBundle(n) => model.constraint(
+            FlowKind::InletBundle(n) => model.constraint_in(
+                g_coupling,
                 Model::expr().term(1.0, v[3]).term(-1.0, v[2]),
                 Sense::Eq,
                 (INLET_PITCH * n as i64).to_mm(),
@@ -199,9 +225,15 @@ pub(crate) fn generate(
             match end {
                 EndKind::Boundary => {
                     if is_left {
-                        model.constraint(Model::expr().term(1.0, fx), Sense::Eq, 0.0);
+                        model.constraint_in(
+                            g_boundary,
+                            Model::expr().term(1.0, fx),
+                            Sense::Eq,
+                            0.0,
+                        );
                     } else {
-                        model.constraint(
+                        model.constraint_in(
+                            g_boundary,
                             Model::expr().term(1.0, fx).term(-1.0, x_max),
                             Sense::Eq,
                             0.0,
@@ -213,7 +245,12 @@ pub(crate) fn generate(
                 | EndKind::FullSide { block } => {
                     let bv = ents[block.0].vars;
                     let bx = if is_left { bv[1] } else { bv[0] };
-                    model.constraint(Model::expr().term(1.0, fx).term(-1.0, bx), Sense::Eq, 0.0);
+                    model.constraint_in(
+                        g_boundary,
+                        Model::expr().term(1.0, fx).term(-1.0, bx),
+                        Sense::Eq,
+                        0.0,
+                    );
                 }
             }
         }
@@ -230,7 +267,8 @@ pub(crate) fn generate(
                     match f.kind {
                         FlowKind::Thin => {
                             // f.y_b = pin - d
-                            model.constraint(
+                            model.constraint_in(
+                                g_boundary,
                                 Model::expr().term(1.0, v[2]).term(-1.0, byb),
                                 Sense::Eq,
                                 off - D_MM,
@@ -238,12 +276,14 @@ pub(crate) fn generate(
                         }
                         _ => {
                             // pin inside the merged rectangle
-                            model.constraint(
+                            model.constraint_in(
+                                g_boundary,
                                 Model::expr().term(1.0, byb).term(-1.0, v[2]),
                                 Sense::Ge,
                                 D_MM - off,
                             );
-                            model.constraint(
+                            model.constraint_in(
+                                g_boundary,
                                 Model::expr().term(1.0, byb).term(-1.0, v[3]),
                                 Sense::Le,
                                 -off - D_MM,
@@ -253,12 +293,14 @@ pub(crate) fn generate(
                 }
                 EndKind::FullSide { block } => {
                     let bv = ents[block.0].vars;
-                    model.constraint(
+                    model.constraint_in(
+                        g_boundary,
                         Model::expr().term(1.0, v[2]).term(-1.0, bv[2]),
                         Sense::Eq,
                         0.0,
                     );
-                    model.constraint(
+                    model.constraint_in(
+                        g_boundary,
                         Model::expr().term(1.0, v[3]).term(-1.0, bv[3]),
                         Sense::Eq,
                         0.0,
@@ -267,12 +309,14 @@ pub(crate) fn generate(
                 EndKind::SwitchSide { block } => {
                     // eq 12: the switch extends to cover the channel
                     let sv = ents[block.0].vars;
-                    model.constraint(
+                    model.constraint_in(
+                        g_switch,
                         Model::expr().term(1.0, v[2]).term(-1.0, sv[2]),
                         Sense::Ge,
                         2.0 * D_MM,
                     );
-                    model.constraint(
+                    model.constraint_in(
+                        g_switch,
                         Model::expr().term(1.0, v[3]).term(-1.0, sv[3]),
                         Sense::Le,
                         -2.0 * D_MM,
@@ -296,32 +340,37 @@ pub(crate) fn generate(
     for (i, c) in plan.controls.iter().enumerate() {
         let v = new_rect_vars(&mut model, "c", i);
         let bv = ents[c.block.0].vars;
-        model.constraint(
+        model.constraint_in(
+            g_boundary,
             Model::expr().term(1.0, v[0]).term(-1.0, bv[0]),
             Sense::Eq,
             0.0,
         );
-        model.constraint(
+        model.constraint_in(
+            g_boundary,
             Model::expr().term(1.0, v[1]).term(-1.0, bv[1]),
             Sense::Eq,
             0.0,
         );
         match c.dir {
             ControlDir::Down => {
-                model.constraint(Model::expr().term(1.0, v[2]), Sense::Eq, 0.0);
-                model.constraint(
+                model.constraint_in(g_boundary, Model::expr().term(1.0, v[2]), Sense::Eq, 0.0);
+                model.constraint_in(
+                    g_boundary,
                     Model::expr().term(1.0, v[3]).term(-1.0, bv[2]),
                     Sense::Eq,
                     0.0,
                 );
             }
             ControlDir::Up => {
-                model.constraint(
+                model.constraint_in(
+                    g_boundary,
                     Model::expr().term(1.0, v[2]).term(-1.0, bv[3]),
                     Sense::Eq,
                     0.0,
                 );
-                model.constraint(
+                model.constraint_in(
+                    g_boundary,
                     Model::expr().term(1.0, v[3]).term(-1.0, y_max),
                     Sense::Eq,
                     0.0,
@@ -374,7 +423,8 @@ pub(crate) fn generate(
             let q: [VarId; 4] = std::array::from_fn(|k| model.bin_var(format!("q{i}_{j}_{k}")));
             let (av, bv) = (a.vars, b.vars);
             // a left of b / b left of a / a below b / b below a
-            model.constraint(
+            model.constraint_in(
+                g_overlap,
                 Model::expr()
                     .term(1.0, av[1])
                     .term(-1.0, bv[0])
@@ -382,7 +432,8 @@ pub(crate) fn generate(
                 Sense::Le,
                 0.0,
             );
-            model.constraint(
+            model.constraint_in(
+                g_overlap,
                 Model::expr()
                     .term(1.0, bv[1])
                     .term(-1.0, av[0])
@@ -390,7 +441,8 @@ pub(crate) fn generate(
                 Sense::Le,
                 0.0,
             );
-            model.constraint(
+            model.constraint_in(
+                g_overlap,
                 Model::expr()
                     .term(1.0, av[3])
                     .term(-1.0, bv[2])
@@ -398,7 +450,8 @@ pub(crate) fn generate(
                 Sense::Le,
                 0.0,
             );
-            model.constraint(
+            model.constraint_in(
+                g_overlap,
                 Model::expr()
                     .term(1.0, bv[3])
                     .term(-1.0, av[2])
@@ -410,7 +463,7 @@ pub(crate) fn generate(
             for &qv in &q {
                 sum = sum.term(1.0, qv);
             }
-            model.constraint(sum, Sense::Eq, 3.0);
+            model.constraint_in(g_overlap, sum, Sense::Eq, 3.0);
             disjunctions.push((i, j, q));
         }
     }
@@ -442,7 +495,8 @@ pub(crate) fn generate(
                     model.bin_var(format!("p{i}_{j}_0")),
                     model.bin_var(format!("p{i}_{j}_1")),
                 ];
-                model.constraint(
+                model.constraint_in(
+                    g_pitch,
                     Model::expr()
                         .term(1.0, vi[3])
                         .term(-1.0, vj[2])
@@ -450,7 +504,8 @@ pub(crate) fn generate(
                     Sense::Le,
                     -d_prime,
                 );
-                model.constraint(
+                model.constraint_in(
+                    g_pitch,
                     Model::expr()
                         .term(1.0, vj[3])
                         .term(-1.0, vi[2])
@@ -458,7 +513,8 @@ pub(crate) fn generate(
                     Sense::Le,
                     -d_prime,
                 );
-                model.constraint(
+                model.constraint_in(
+                    g_pitch,
                     Model::expr().term(1.0, q[0]).term(1.0, q[1]),
                     Sense::Eq,
                     1.0,
@@ -495,6 +551,7 @@ pub(crate) fn generate(
         node_limit: options.node_limit,
         rounding_heuristic: false,
         threads: options.threads,
+        cancel: options.cancel.clone(),
         ..SolveParams::default()
     };
     let result = match &hint {
@@ -538,32 +595,42 @@ pub(crate) fn generate(
                 report: report_base,
             })
         }
+        // a *proven* infeasible model must never fall back to the
+        // constructive placement — the construction ignores the chip-size
+        // budget the proof hinges on. Diagnose the conflict instead.
+        None if result.status() == SolveStatus::Infeasible => {
+            let mut conflict = Vec::new();
+            let mut detail = String::from("the placement model admits no layout");
+            if options.diagnose_infeasibility {
+                let probe = SolveParams {
+                    time_limit: options.time_limit.min(Duration::from_secs(5)),
+                    node_limit: options.node_limit.clamp(1_000, 50_000),
+                    rounding_heuristic: false,
+                    threads: options.threads,
+                    cancel: options.cancel.clone(),
+                    ..SolveParams::default()
+                };
+                // a numerically failed probe keeps the generic message; the
+                // proven infeasibility itself is the error being reported
+                if let Ok(Some(d)) = model.diagnose_infeasibility(&probe) {
+                    detail = d.to_string();
+                    conflict = d.conflict;
+                }
+            }
+            Err(LayoutError::Infeasible { conflict, detail })
+        }
         None if options.warm_start && placement.feasible => {
             // fall back to the constructive layout outright
-            let block_rects: Vec<Rect> = plan
-                .blocks
-                .iter()
-                .zip(&placement.block_pos)
-                .map(|(b, &(x, yb, yt))| Rect::new(x, x + b.width, yb, yt))
-                .collect();
-            let extent = placement.extent;
-            let flow_rects = derive_flow_rects(plan, &block_rects, extent, |fi| {
-                let (_, _, yb, yt) = placement.flow_rect[fi];
-                (yb, yt)
-            });
-            let control_rects = derive_control_rects(plan, &block_rects, extent);
-            Ok(GeneratedLayout {
-                block_rects,
-                flow_rects,
-                control_rects,
-                extent,
-                report: LaygenReport {
+            Ok(constructive_layout(
+                plan,
+                &placement,
+                LaygenReport {
                     used_fallback: true,
                     ..report_base
                 },
-            })
+            ))
         }
-        None => Err(LayoutError::Milp(format!(
+        None => Err(LayoutError::milp(format!(
             "no feasible layout found within budget ({}); {}",
             result.status(),
             if !options.warm_start {
@@ -572,6 +639,59 @@ pub(crate) fn generate(
                 "the constructive placement failed its self-check"
             }
         ))),
+    }
+}
+
+/// The last resilience rung: skip the MILP entirely and return the
+/// constructive placement as the layout. Always cheap, never searches.
+pub(crate) fn generate_constructive(plan: &Plan) -> Result<GeneratedLayout, LayoutError> {
+    let placement = constructive::place(plan)?;
+    if !placement.feasible {
+        return Err(LayoutError::milp(
+            "constructive placement failed its self-check; no layout exists at any rung",
+        ));
+    }
+    Ok(constructive_layout(
+        plan,
+        &placement,
+        LaygenReport {
+            model_stats: ModelStats::default(),
+            status: SolveStatus::LimitReached,
+            objective: None,
+            elapsed: Duration::ZERO,
+            disjunctions: 0,
+            pruned_pairs: 0,
+            hint_used: false,
+            used_fallback: true,
+            solve: SolveStats::default(),
+        },
+    ))
+}
+
+/// Assembles a [`GeneratedLayout`] straight from the constructive placement.
+fn constructive_layout(
+    plan: &Plan,
+    placement: &Placement,
+    report: LaygenReport,
+) -> GeneratedLayout {
+    let block_rects: Vec<Rect> = plan
+        .blocks
+        .iter()
+        .zip(&placement.block_pos)
+        .map(|(b, &(x, yb, yt))| Rect::new(x, x + b.width, yb, yt))
+        .collect();
+    let extent = placement.extent;
+    let flow_rects = derive_flow_rects(plan, &block_rects, extent, |fi| {
+        let (_, _, yb, yt) = placement.flow_rect[fi];
+        (yb, yt)
+    });
+    let control_rects = derive_control_rects(plan, &block_rects, extent);
+    GeneratedLayout {
+        block_rects,
+        flow_rects,
+        control_rects,
+        extent,
+        report,
     }
 }
 

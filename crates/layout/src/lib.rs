@@ -38,17 +38,27 @@
 //!
 //! [`Design`]: columba_design::Design
 
+// Library code must surface failures as values, never unwrap them away;
+// the cfg(test) gate leaves unit tests free to unwrap.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 mod constructive;
 mod entities;
 mod error;
 mod laygen;
 mod layval;
+mod resilient;
 
 pub use entities::{Block, BlockId, BlockKind, ControlDir, FlowEntity, FlowKind, Plan};
 pub use error::LayoutError;
 pub use laygen::{GeneratedLayout, LaygenReport};
 pub use layval::LayoutResult;
+pub use resilient::{
+    synthesize_resilient, Attempt, AttemptLog, AttemptOutcome, ResiliencePolicy, ResilientError,
+    ResilientOutcome, Rung,
+};
 
+use columba_milp::CancelToken;
 use columba_netlist::Netlist;
 
 /// Objective weights and solver budgets for the synthesis.
@@ -80,6 +90,21 @@ pub struct LayoutOptions {
     /// available parallelism; `1` forces the sequential search. Any count
     /// yields the same objective when the solve runs to completion.
     pub threads: usize,
+    /// Optional hard cap on the functional-region width in mm. The MILP
+    /// becomes *provably infeasible* when the design cannot fit, which
+    /// [`LayoutError::Infeasible`] then diagnoses.
+    pub max_width_mm: Option<f64>,
+    /// Optional hard cap on the functional-region height in mm.
+    pub max_height_mm: Option<f64>,
+    /// Run the deletion-filter diagnosis when the MILP is proven
+    /// infeasible, naming the conflicting paper-equation constraint groups.
+    pub diagnose_infeasibility: bool,
+    /// Cooperative cancellation token. Cancelling it (or passing one built
+    /// with a deadline) aborts the solve promptly; the synthesis still
+    /// returns the best layout found so far when one exists. The per-solve
+    /// [`time_limit`](Self::time_limit) also applies — whichever fires
+    /// first wins.
+    pub cancel: Option<CancelToken>,
 }
 
 impl Default for LayoutOptions {
@@ -94,6 +119,10 @@ impl Default for LayoutOptions {
             prune_ordered_pairs: true,
             warm_start: true,
             threads: 0,
+            max_width_mm: None,
+            max_height_mm: None,
+            diagnose_infeasibility: true,
+            cancel: None,
         }
     }
 }

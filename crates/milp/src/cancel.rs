@@ -1,0 +1,144 @@
+//! Cooperative cancellation.
+//!
+//! A [`CancelToken`] combines a shared atomic flag with an optional
+//! wall-clock deadline. Cloning a token shares the flag, so one token can
+//! span several solves (a chip-level budget across both synthesis phases)
+//! while each solve also keeps its own `time_limit`: the solver intersects
+//! the two by capping the token's deadline, and both the branch & bound
+//! workers and the simplex inner loop poll the result. Cancellation is
+//! *cooperative* — a solve checks the token at node and iteration
+//! boundaries, stops cleanly, and still returns the best incumbent found.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A shareable cancellation signal: an atomic flag plus an optional
+/// deadline.
+///
+/// # Examples
+///
+/// ```
+/// use columba_milp::CancelToken;
+///
+/// let token = CancelToken::new();
+/// let watcher = token.clone(); // shares the flag
+/// watcher.cancel();
+/// assert!(token.is_cancelled());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+    deadline: Option<Instant>,
+}
+
+impl CancelToken {
+    /// A token with no deadline; fires only via [`CancelToken::cancel`].
+    #[must_use]
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// A token that fires automatically at `deadline`.
+    #[must_use]
+    pub fn with_deadline(deadline: Instant) -> CancelToken {
+        CancelToken {
+            flag: Arc::new(AtomicBool::new(false)),
+            deadline: Some(deadline),
+        }
+    }
+
+    /// A token that fires automatically `budget` from now.
+    #[must_use]
+    pub fn with_timeout(budget: Duration) -> CancelToken {
+        CancelToken::with_deadline(Instant::now() + budget)
+    }
+
+    /// Fires the token. Every clone observes the cancellation.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether the token has fired — explicitly via [`CancelToken::cancel`]
+    /// on any clone, or implicitly because the deadline passed.
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed) || self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// The token's deadline, if any.
+    #[must_use]
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// Wall-clock time left before the deadline fires (`None` without a
+    /// deadline, zero once it has passed or the flag is set).
+    #[must_use]
+    pub fn remaining(&self) -> Option<Duration> {
+        if self.flag.load(Ordering::Relaxed) {
+            return Some(Duration::ZERO);
+        }
+        self.deadline
+            .map(|d| d.saturating_duration_since(Instant::now()))
+    }
+
+    /// A clone whose deadline is capped at `deadline` (the earlier of the
+    /// two wins). The flag stays shared, so cancelling either token stops
+    /// both. This is how a per-solve `time_limit` composes with a caller's
+    /// chip-level budget.
+    #[must_use]
+    pub fn capped(&self, deadline: Instant) -> CancelToken {
+        CancelToken {
+            flag: Arc::clone(&self.flag),
+            deadline: Some(self.deadline.map_or(deadline, |d| d.min(deadline))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manual_cancel_is_shared_across_clones() {
+        let t = CancelToken::new();
+        let c = t.clone();
+        assert!(!t.is_cancelled());
+        c.cancel();
+        assert!(t.is_cancelled());
+        assert_eq!(t.remaining(), Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn deadline_fires_without_flag() {
+        let t = CancelToken::with_deadline(Instant::now() - Duration::from_millis(1));
+        assert!(t.is_cancelled());
+        let fresh = CancelToken::with_timeout(Duration::from_secs(3600));
+        assert!(!fresh.is_cancelled());
+        assert!(fresh
+            .remaining()
+            .is_some_and(|r| r > Duration::from_secs(3000)));
+    }
+
+    #[test]
+    fn capped_takes_earlier_deadline_and_shares_flag() {
+        let far = Instant::now() + Duration::from_secs(3600);
+        let near = Instant::now() + Duration::from_secs(1);
+        let t = CancelToken::with_deadline(far);
+        let capped = t.capped(near);
+        assert_eq!(capped.deadline(), Some(near));
+        // capping never extends
+        let recapped = capped.capped(far);
+        assert_eq!(recapped.deadline(), Some(near));
+        t.cancel();
+        assert!(capped.is_cancelled(), "flag is shared through capping");
+    }
+
+    #[test]
+    fn no_deadline_reports_none_remaining() {
+        let t = CancelToken::new();
+        assert_eq!(t.deadline(), None);
+        assert_eq!(t.remaining(), None);
+    }
+}

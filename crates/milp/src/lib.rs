@@ -31,15 +31,25 @@
 //! # Ok::<(), columba_milp::SolveError>(())
 //! ```
 
+// Library code must surface failures as values, never unwrap them away;
+// the cfg(test) gate leaves unit tests free to unwrap.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
+mod cancel;
+mod diagnose;
 mod expr;
+#[cfg(feature = "fault-inject")]
+pub mod fault;
 mod model;
 mod simplex;
 mod solution;
 mod solver;
 mod stats;
 
+pub use cancel::CancelToken;
+pub use diagnose::Diagnosis;
 pub use expr::Expr;
-pub use model::{Constraint, Model, ModelStats, Sense, VarId, VarKind};
+pub use model::{Constraint, GroupId, Model, ModelStats, Sense, VarId, VarKind};
 pub use solution::{MipResult, Solution, SolveStatus};
 pub use solver::{SolveError, SolveParams};
 pub use stats::{IncumbentEvent, SolveStats};

@@ -64,6 +64,18 @@ pub(crate) struct Var {
     pub(crate) ub: f64,
 }
 
+/// Handle to a named constraint group (see [`Model::add_group`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GroupId(pub(crate) u32);
+
+impl GroupId {
+    /// The dense index of this group in the model.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
 /// A compiled linear constraint `Σ cᵢ xᵢ (≤ | = | ≥) rhs`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Constraint {
@@ -73,6 +85,9 @@ pub struct Constraint {
     pub sense: Sense,
     /// Right-hand side (the expression's constant already folded in).
     pub rhs: f64,
+    /// The constraint group this row belongs to, if any. Groups carry the
+    /// human-readable labels used by infeasibility diagnosis.
+    pub group: Option<GroupId>,
 }
 
 /// Summary counts for a model.
@@ -132,6 +147,8 @@ pub struct Model {
     pub(crate) obj_constant: f64,
     /// `true` when the user asked to maximise (results are sign-flipped).
     pub(crate) maximize: bool,
+    /// Human-readable names of the constraint groups, dense by [`GroupId`].
+    pub(crate) groups: Vec<String>,
 }
 
 impl Model {
@@ -191,12 +208,49 @@ impl Model {
     ///
     /// Any constant inside `expr` is moved to the right-hand side.
     pub fn constraint(&mut self, expr: Expr, sense: Sense, rhs: f64) {
+        self.push_constraint(expr, sense, rhs, None);
+    }
+
+    /// Registers a named constraint group and returns its handle.
+    ///
+    /// Groups let the model builder tag constraints with a human-readable
+    /// label (for the layout models: the paper equation they encode), which
+    /// infeasibility diagnosis reports back instead of raw row indices.
+    pub fn add_group(&mut self, name: impl Into<String>) -> GroupId {
+        let id = GroupId(u32::try_from(self.groups.len()).expect("too many groups"));
+        self.groups.push(name.into());
+        id
+    }
+
+    /// Adds the constraint `expr (≤ | = | ≥) rhs` tagged with `group`.
+    pub fn constraint_in(&mut self, group: GroupId, expr: Expr, sense: Sense, rhs: f64) {
+        assert!(
+            group.index() < self.groups.len(),
+            "group {group:?} was not created by this model"
+        );
+        self.push_constraint(expr, sense, rhs, Some(group));
+    }
+
+    fn push_constraint(&mut self, expr: Expr, sense: Sense, rhs: f64, group: Option<GroupId>) {
         let terms = expr.compiled();
         self.constraints.push(Constraint {
             terms,
             sense,
             rhs: rhs - expr.constant(),
+            group,
         });
+    }
+
+    /// The name given to `group`.
+    #[must_use]
+    pub fn group_name(&self, group: GroupId) -> &str {
+        &self.groups[group.index()]
+    }
+
+    /// Names of all registered constraint groups, dense by [`GroupId`].
+    #[must_use]
+    pub fn group_names(&self) -> &[String] {
+        &self.groups
     }
 
     /// Fixes `var` to `value` by tightening both bounds.
@@ -395,6 +449,19 @@ mod tests {
         assert_eq!(m.var_bounds(x), (2.0, 10.0));
         m.fix_var(x, 4.0);
         assert_eq!(m.var_bounds(x), (4.0, 4.0));
+    }
+
+    #[test]
+    fn groups_tag_constraints() {
+        let mut m = Model::new();
+        let x = m.num_var("x", 0.0, 1.0);
+        let g = m.add_group("chip confinement (eq 2)");
+        m.constraint_in(g, Model::expr().term(1.0, x), Sense::Le, 0.5);
+        m.constraint(Model::expr().term(1.0, x), Sense::Ge, 0.0);
+        assert_eq!(m.constraints[0].group, Some(g));
+        assert_eq!(m.constraints[1].group, None);
+        assert_eq!(m.group_name(g), "chip confinement (eq 2)");
+        assert_eq!(m.group_names(), ["chip confinement (eq 2)"]);
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! until a long degenerate streak triggers Bland's rule, which guarantees
 //! termination.
 
+use crate::cancel::CancelToken;
 use crate::model::Sense;
 
 /// Pivot magnitude tolerance.
@@ -54,10 +55,11 @@ pub(crate) enum LpOutcome {
 }
 
 /// Solves `lp`, returning the outcome and the iteration count. When
-/// `deadline` is set, the solve aborts with [`LpOutcome::TimedOut`] once it
-/// passes (checked every few hundred pivots).
-pub(crate) fn solve_lp(lp: &Lp, deadline: Option<std::time::Instant>) -> (LpOutcome, usize) {
-    Tableau::new(lp).run(lp, deadline)
+/// `cancel` is set, the solve aborts with [`LpOutcome::TimedOut`] once the
+/// token fires — via its deadline or an explicit [`CancelToken::cancel`]
+/// (checked every few hundred pivots).
+pub(crate) fn solve_lp(lp: &Lp, cancel: Option<&CancelToken>) -> (LpOutcome, usize) {
+    Tableau::new(lp).run(lp, cancel.cloned())
 }
 
 struct Tableau {
@@ -80,7 +82,7 @@ struct Tableau {
     d: Vec<f64>,
     degenerate_streak: usize,
     iterations: usize,
-    deadline: Option<std::time::Instant>,
+    cancel: Option<CancelToken>,
 }
 
 impl Tableau {
@@ -197,7 +199,7 @@ impl Tableau {
             d: vec![0.0; ncols],
             degenerate_streak: 0,
             iterations: 0,
-            deadline: None,
+            cancel: None,
         }
     }
 
@@ -238,9 +240,9 @@ impl Tableau {
     }
 
     /// Runs phase 1 then phase 2.
-    fn run(mut self, lp: &Lp, deadline: Option<std::time::Instant>) -> (LpOutcome, usize) {
+    fn run(mut self, lp: &Lp, cancel: Option<CancelToken>) -> (LpOutcome, usize) {
         let max_iters = 200 * (self.m + self.ncols) + 20_000;
-        self.deadline = deadline;
+        self.cancel = cancel;
 
         // ---- phase 1: minimise sum of artificials ----
         let mut c1 = vec![0.0; self.ncols];
@@ -387,8 +389,8 @@ impl Tableau {
                 return PhaseEnd::IterLimit;
             }
             if self.iterations.is_multiple_of(256) {
-                if let Some(deadline) = self.deadline {
-                    if std::time::Instant::now() >= deadline {
+                if let Some(cancel) = &self.cancel {
+                    if cancel.is_cancelled() {
                         return PhaseEnd::TimedOut;
                     }
                 }

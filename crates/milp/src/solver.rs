@@ -10,10 +10,12 @@
 
 use std::collections::BinaryHeap;
 use std::fmt;
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
+use crate::cancel::CancelToken;
 use crate::model::{Model, VarId, VarKind};
 use crate::simplex::{self, Lp, LpOutcome, Row};
 use crate::solution::{MipResult, Solution, SolveStatus};
@@ -62,6 +64,11 @@ pub struct SolveParams {
     /// available parallelism; `1` runs the classic sequential search. Any
     /// count returns the same objective on a run to completion.
     pub threads: usize,
+    /// External cancellation token. The solver caps the token's deadline at
+    /// `time_limit`, so whichever fires first stops the solve; an explicit
+    /// [`CancelToken::cancel`] from any clone stops it too. The best
+    /// incumbent found so far is still returned.
+    pub cancel: Option<CancelToken>,
 }
 
 impl Default for SolveParams {
@@ -73,6 +80,7 @@ impl Default for SolveParams {
             abs_gap: 1e-9,
             rounding_heuristic: true,
             threads: 0,
+            cancel: None,
         }
     }
 }
@@ -161,20 +169,31 @@ struct SearchCtx<'a> {
     sign: f64,
     params: &'a SolveParams,
     start: Instant,
-    deadline: Instant,
+    /// The caller's token (or a fresh one) with its deadline capped at
+    /// `start + time_limit`; polled by workers and the simplex inner loop.
+    stop_token: CancelToken,
 }
 
 impl SearchCtx<'_> {
     /// Solves the LP for the given bounds, accumulating iterations into
     /// `iters` and mapping numerical failures to [`SolveError`].
     fn lp(&self, lb: &[f64], ub: &[f64], iters: &mut usize) -> Result<LpOutcome, SolveError> {
-        let (outcome, it) = presolved_lp(&self.base_rows, &self.cost, lb, ub, Some(self.deadline));
+        let (outcome, it) =
+            presolved_lp(&self.base_rows, &self.cost, lb, ub, Some(&self.stop_token));
         *iters += it;
         if let LpOutcome::Numerical(msg) = &outcome {
             return Err(SolveError::Numerical(msg.clone()));
         }
         Ok(outcome)
     }
+}
+
+/// Locks a mutex, recovering from poison: a panicking worker (contained by
+/// `catch_unwind`) may have left the lock poisoned, but every critical
+/// section here keeps the guarded data structurally valid, so the search
+/// can keep using it.
+fn lock_clean<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 /// The incumbent and its improvement history, guarded by one mutex.
@@ -201,6 +220,9 @@ struct Search<'a> {
     nodes_processed: AtomicUsize,
     nodes_pruned: AtomicUsize,
     simplex_iterations: AtomicUsize,
+    /// Worker panics contained by `catch_unwind`; each one loses a subtree,
+    /// so any panic downgrades an "optimal" claim to a limit-style status.
+    worker_panics: AtomicUsize,
     next_id: AtomicU64,
 }
 
@@ -218,7 +240,7 @@ impl Search<'_> {
     }
 
     fn offer_incumbent(&self, values: Vec<f64>, obj: f64) {
-        let mut inc = self.incumbent.lock().expect("incumbent lock");
+        let mut inc = lock_clean(&self.incumbent);
         if inc.best.as_ref().is_none_or(|(_, b)| obj < *b) {
             inc.best = Some((values, obj));
             self.best_obj.store(obj.to_bits(), Ordering::Relaxed);
@@ -234,7 +256,7 @@ impl Search<'_> {
     fn stop_at_limit(&self, open: OpenNode) {
         self.hit_limit.store(true, Ordering::Relaxed);
         self.stop.store(true, Ordering::Relaxed);
-        self.heap.lock().expect("heap lock").push(open);
+        lock_clean(&self.heap).push(open);
     }
 
     /// Worker loop: drain the pool until it is empty and no peer is active,
@@ -246,7 +268,7 @@ impl Search<'_> {
                 break;
             }
             let popped = {
-                let mut heap = self.heap.lock().expect("heap lock");
+                let mut heap = lock_clean(&self.heap);
                 // The heap is ordered by bound, so a dominated top proves
                 // every remaining node dominated: optimality.
                 let best = self.best_objective();
@@ -271,15 +293,27 @@ impl Search<'_> {
                 continue;
             };
             let t = Instant::now();
-            let outcome = self.process(node);
+            // Contain panics at the node boundary: a crashed worker loses
+            // that node's subtree (degrading the search to a limit-style
+            // status) but never takes down the process or its peers.
+            let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| self.process(node)));
             busy += t.elapsed();
             self.active.fetch_sub(1, Ordering::SeqCst);
-            if let Err(e) = outcome {
-                let mut slot = self.error.lock().expect("error lock");
-                slot.get_or_insert(e);
-                drop(slot);
-                self.stop.store(true, Ordering::Relaxed);
-                break;
+            match outcome {
+                Ok(Ok(())) => {}
+                Ok(Err(e)) => {
+                    let mut slot = lock_clean(&self.error);
+                    slot.get_or_insert(e);
+                    drop(slot);
+                    self.stop.store(true, Ordering::Relaxed);
+                    break;
+                }
+                Err(_) => {
+                    self.worker_panics.fetch_add(1, Ordering::Relaxed);
+                    // the lost subtree means optimality can no longer be
+                    // proven — report Feasible/LimitReached, not Optimal
+                    self.hit_limit.store(true, Ordering::Relaxed);
+                }
             }
         }
         busy
@@ -290,7 +324,9 @@ impl Search<'_> {
     fn process(&self, open: OpenNode) -> Result<(), SolveError> {
         let ctx = self.ctx;
         let p = ctx.params;
-        if ctx.start.elapsed() >= p.time_limit
+        // the token covers both the solver's own time limit (capped
+        // deadline) and any external cancellation
+        if ctx.stop_token.is_cancelled()
             || self.nodes_processed.load(Ordering::Relaxed) >= p.node_limit
         {
             self.stop_at_limit(open);
@@ -300,7 +336,26 @@ impl Search<'_> {
             self.nodes_pruned.fetch_add(1, Ordering::Relaxed);
             return Ok(());
         }
-        self.nodes_processed.fetch_add(1, Ordering::Relaxed);
+        let node_index = self.nodes_processed.fetch_add(1, Ordering::Relaxed);
+        #[cfg(not(feature = "fault-inject"))]
+        let _ = node_index;
+        #[cfg(feature = "fault-inject")]
+        if let Some(fault) = crate::fault::armed_at(node_index) {
+            match fault {
+                crate::fault::Fault::SimplexNumerical => {
+                    return Err(SolveError::Numerical(format!(
+                        "injected fault at node {node_index}"
+                    )));
+                }
+                crate::fault::Fault::WorkerPanic => {
+                    std::panic::panic_any(crate::fault::InjectedPanic);
+                }
+                crate::fault::Fault::Timeout => {
+                    self.stop_at_limit(open);
+                    return Ok(());
+                }
+            }
+        }
 
         // reconstruct bounds along the branch path
         let mut lb = ctx.base_lb.clone();
@@ -318,7 +373,7 @@ impl Search<'_> {
         }
 
         let (outcome, iters) =
-            presolved_lp(&ctx.base_rows, &ctx.cost, &lb, &ub, Some(ctx.deadline));
+            presolved_lp(&ctx.base_rows, &ctx.cost, &lb, &ub, Some(&ctx.stop_token));
         self.simplex_iterations.fetch_add(iters, Ordering::Relaxed);
         let (x, obj) = match outcome {
             LpOutcome::Numerical(msg) => return Err(SolveError::Numerical(msg)),
@@ -364,7 +419,7 @@ impl Search<'_> {
                     parent: open.path,
                 });
                 let base = self.next_id.fetch_add(2, Ordering::Relaxed);
-                let mut heap = self.heap.lock().expect("heap lock");
+                let mut heap = lock_clean(&self.heap);
                 heap.push(OpenNode {
                     id: base,
                     lp_bound: obj,
@@ -423,6 +478,11 @@ pub(crate) fn solve(
         }
     }
 
+    let solve_deadline = start + params.time_limit;
+    let stop_token = params.cancel.as_ref().map_or_else(
+        || CancelToken::with_deadline(solve_deadline),
+        |t| t.capped(solve_deadline),
+    );
     let ctx = SearchCtx {
         base_rows,
         base_lb: model.vars.iter().map(|v| v.lb).collect(),
@@ -439,7 +499,7 @@ pub(crate) fn solve(
         sign,
         params,
         start,
-        deadline: start + params.time_limit,
+        stop_token,
     };
 
     let mut root_iters = 0usize;
@@ -587,6 +647,7 @@ pub(crate) fn solve(
         nodes_processed: AtomicUsize::new(0),
         nodes_pruned: AtomicUsize::new(0),
         simplex_iterations: AtomicUsize::new(0),
+        worker_panics: AtomicUsize::new(0),
         next_id: AtomicU64::new(1),
     };
 
@@ -597,22 +658,35 @@ pub(crate) fn solve(
             let handles: Vec<_> = (0..threads)
                 .map(|_| s.spawn(|| search.run_worker()))
                 .collect();
+            // panics inside `process` are already contained; a join error
+            // here would mean the loop glue itself panicked — degrade to a
+            // zero busy-time reading rather than poisoning the caller
             handles
                 .into_iter()
-                .map(|h| h.join().expect("solver worker panicked"))
+                .map(|h| h.join().unwrap_or(Duration::ZERO))
                 .collect()
         })
     };
 
-    if let Some(e) = search.error.into_inner().expect("error lock") {
+    if let Some(e) = search
+        .error
+        .into_inner()
+        .unwrap_or_else(PoisonError::into_inner)
+    {
         return Err(e);
     }
     let hit_limit = search.hit_limit.load(Ordering::Relaxed);
-    let heap = search.heap.into_inner().expect("heap lock");
+    let heap = search
+        .heap
+        .into_inner()
+        .unwrap_or_else(PoisonError::into_inner);
     let IncState {
         best: incumbent,
         events,
-    } = search.incumbent.into_inner().expect("inc lock");
+    } = search
+        .incumbent
+        .into_inner()
+        .unwrap_or_else(PoisonError::into_inner);
 
     let status = match (&incumbent, hit_limit) {
         (Some(_), false) => SolveStatus::Optimal,
@@ -634,6 +708,7 @@ pub(crate) fn solve(
         nodes_processed: search.nodes_processed.into_inner(),
         nodes_pruned: search.nodes_pruned.into_inner(),
         simplex_iterations: root_iters + search.simplex_iterations.into_inner(),
+        worker_panics: search.worker_panics.into_inner(),
         root_time,
         search_time: total_time - root_time,
         total_time,
@@ -694,7 +769,7 @@ fn presolved_lp(
     cost: &[f64],
     lb: &[f64],
     ub: &[f64],
-    deadline: Option<std::time::Instant>,
+    cancel: Option<&CancelToken>,
 ) -> (LpOutcome, usize) {
     let n = lb.len();
     let fixed = |j: usize| ub[j] - lb[j] <= 0.0;
@@ -774,7 +849,7 @@ fn presolved_lp(
     };
     let fixed_cost: f64 = (0..n).filter(|&j| fixed(j)).map(|j| cost[j] * lb[j]).sum();
 
-    let (outcome, iters) = simplex::solve_lp(&small, deadline);
+    let (outcome, iters) = simplex::solve_lp(&small, cancel);
     let outcome = match outcome {
         LpOutcome::Optimal { x, obj } => {
             // expand to the full space: fixed -> value, unused -> lb
@@ -1127,5 +1202,72 @@ mod tests {
     fn resolved_threads_is_positive() {
         assert!(p().resolved_threads() >= 1);
         assert_eq!(SolveParams { threads: 3, ..p() }.resolved_threads(), 3);
+    }
+
+    // -- cooperative cancellation --
+
+    #[test]
+    fn pre_cancelled_token_aborts_without_search() {
+        let token = CancelToken::new();
+        token.cancel();
+        let params = SolveParams {
+            time_limit: Duration::from_secs(3600),
+            cancel: Some(token),
+            ..p()
+        };
+        let start = Instant::now();
+        let r = branching_model(12).solve(&params).unwrap();
+        assert_eq!(r.status(), SolveStatus::LimitReached);
+        assert_eq!(r.nodes(), 0, "no node may be expanded after cancellation");
+        assert!(
+            start.elapsed() < Duration::from_secs(60),
+            "cancelled solve must return promptly, took {:?}",
+            start.elapsed()
+        );
+    }
+
+    #[test]
+    fn watcher_thread_cancellation_stops_a_long_solve() {
+        let token = CancelToken::new();
+        let watcher = token.clone();
+        let params = SolveParams {
+            time_limit: Duration::from_secs(3600),
+            threads: 2,
+            cancel: Some(token),
+            ..p()
+        };
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            watcher.cancel();
+        });
+        let start = Instant::now();
+        let r = branching_model(20).solve(&params).unwrap();
+        handle.join().expect("watcher thread");
+        assert!(
+            start.elapsed() < Duration::from_secs(120),
+            "cancellation must beat the 1h time limit, took {:?}",
+            start.elapsed()
+        );
+        // whatever progress was made is reported faithfully
+        assert!(matches!(
+            r.status(),
+            SolveStatus::Optimal | SolveStatus::Feasible | SolveStatus::LimitReached
+        ));
+    }
+
+    #[test]
+    fn token_deadline_is_capped_by_time_limit() {
+        // the token's far deadline must not extend the solver's own budget:
+        // with a zero time limit the capped deadline has already passed
+        let token = CancelToken::with_timeout(Duration::from_secs(3600));
+        let params = SolveParams {
+            time_limit: Duration::ZERO,
+            threads: 1,
+            cancel: Some(token),
+            ..p()
+        };
+        let r = branching_model(20).solve(&params).unwrap();
+        assert_eq!(r.status(), SolveStatus::LimitReached);
+        assert_eq!(r.nodes(), 0);
     }
 }

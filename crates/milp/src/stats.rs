@@ -32,6 +32,10 @@ pub struct SolveStats {
     /// Total simplex iterations across every LP solved (root, heuristics
     /// and search).
     pub simplex_iterations: usize,
+    /// Worker panics contained at the node boundary. Each one loses that
+    /// node's subtree, so a nonzero count degrades an otherwise-complete
+    /// search to a limit-style status.
+    pub worker_panics: usize,
     /// Wall time of the root phase: presolve, hint polish, root relaxation
     /// and the rounding heuristic.
     pub root_time: Duration,
@@ -86,6 +90,14 @@ impl fmt::Display for SolveStats {
         )?;
         if let Some(u) = self.utilization() {
             write!(f, ", {:.0}% busy", u * 100.0)?;
+        }
+        if self.worker_panics > 0 {
+            write!(
+                f,
+                ", {} worker panic{} contained",
+                self.worker_panics,
+                if self.worker_panics == 1 { "" } else { "s" },
+            )?;
         }
         if let Some(last) = self.incumbents.last() {
             write!(

@@ -288,15 +288,34 @@ impl Netlist {
     ///
     /// # Errors
     ///
-    /// Returns [`NetlistError::Invalid`] for a self-connection.
+    /// Returns [`NetlistError::Invalid`] for a self-connection or an
+    /// endpoint whose id does not belong to this netlist.
     pub fn connect(&mut self, from: Endpoint, to: Endpoint) -> Result<(), NetlistError> {
         if from == to {
             return Err(NetlistError::Invalid(
                 "connection endpoints are identical".into(),
             ));
         }
+        self.check_endpoint(&from)?;
+        self.check_endpoint(&to)?;
         self.connections.push(Connection { from, to });
         Ok(())
+    }
+
+    fn check_endpoint(&self, e: &Endpoint) -> Result<(), NetlistError> {
+        match e {
+            Endpoint::Unit { component, .. } if component.0 >= self.components.len() => {
+                Err(NetlistError::Invalid(format!(
+                    "endpoint references unknown component #{}",
+                    component.0
+                )))
+            }
+            Endpoint::Port(p) if p.0 >= self.ports.len() => Err(NetlistError::Invalid(format!(
+                "endpoint references unknown port #{}",
+                p.0
+            ))),
+            _ => Ok(()),
+        }
     }
 
     /// Declares that `units` execute in parallel sharing control channels.
@@ -304,12 +323,20 @@ impl Netlist {
     /// # Errors
     ///
     /// Returns [`NetlistError::Invalid`] for a group with fewer than two
-    /// members.
+    /// members or a member id that does not belong to this netlist.
     pub fn add_parallel_group(&mut self, units: Vec<ComponentId>) -> Result<(), NetlistError> {
         if units.len() < 2 {
             return Err(NetlistError::Invalid(
                 "parallel group needs at least two units".into(),
             ));
+        }
+        for &u in &units {
+            if u.0 >= self.components.len() {
+                return Err(NetlistError::Invalid(format!(
+                    "parallel group references unknown component #{}",
+                    u.0
+                )));
+            }
         }
         self.parallel_groups.push(units);
         Ok(())
@@ -629,6 +656,29 @@ mod tests {
         assert!(matches!(
             n.add_port("in1"),
             Err(NetlistError::DuplicateName(_))
+        ));
+    }
+
+    #[test]
+    fn out_of_range_ids_rejected_at_insertion() {
+        let mut n = two_unit_netlist();
+        let ghost = Endpoint::Unit {
+            component: ComponentId(99),
+            side: UnitSide::Left,
+        };
+        let p = n.port_by_name("in1").unwrap();
+        assert!(matches!(
+            n.connect(ghost, Endpoint::Port(p)),
+            Err(NetlistError::Invalid(_))
+        ));
+        assert!(matches!(
+            n.connect(Endpoint::Port(PortId(7)), ghost),
+            Err(NetlistError::Invalid(_))
+        ));
+        let m = n.component_by_name("m1").unwrap();
+        assert!(matches!(
+            n.add_parallel_group(vec![m, ComponentId(99)]),
+            Err(NetlistError::Invalid(_))
         ));
     }
 

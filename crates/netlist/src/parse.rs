@@ -28,7 +28,9 @@ impl Netlist {
                 continue;
             }
             let mut words = line.split_whitespace();
-            let keyword = words.next().expect("non-empty line has a first word");
+            let Some(keyword) = words.next() else {
+                continue; // unreachable: the line is non-empty after trim
+            };
             let rest: Vec<&str> = words.collect();
             match keyword {
                 "chip" => {
@@ -129,7 +131,7 @@ impl Netlist {
                     for name in &rest {
                         let id = n
                             .component_by_name(name)
-                            .ok_or_else(|| NetlistError::UnknownName((*name).to_string()))?;
+                            .ok_or_else(|| err(line_no, format!("unknown unit `{name}`")))?;
                         ids.push(id);
                     }
                     n.add_parallel_group(ids)?;
@@ -194,10 +196,11 @@ fn parse_mm(v: &str, line: usize) -> Result<Um, NetlistError> {
     let mm: f64 = v
         .parse()
         .map_err(|_| err(line, format!("expected a millimetre value, got `{v}`")))?;
-    if !(mm.is_finite() && mm > 0.0) {
+    // the upper bound keeps downstream Um arithmetic far from i64 overflow
+    if !(mm.is_finite() && mm > 0.0 && mm <= 10_000.0) {
         return Err(err(
             line,
-            format!("size must be positive and finite, got `{v}`"),
+            format!("size must be positive, finite and at most 10000 mm, got `{v}`"),
         ));
     }
     Ok(Um::from_mm(mm))
@@ -207,7 +210,7 @@ fn parse_endpoint(n: &Netlist, text: &str, line: usize) -> Result<Endpoint, Netl
     if let Some((name, side)) = text.split_once('.') {
         let component = n
             .component_by_name(name)
-            .ok_or_else(|| NetlistError::UnknownName(name.to_string()))?;
+            .ok_or_else(|| err(line, format!("unknown component `{name}`")))?;
         let side = match side {
             "left" => UnitSide::Left,
             "right" => UnitSide::Right,
@@ -222,7 +225,7 @@ fn parse_endpoint(n: &Netlist, text: &str, line: usize) -> Result<Endpoint, Netl
             format!("component endpoint `{text}` needs a side: `{text}.left` or `{text}.right`"),
         ))
     } else {
-        Err(NetlistError::UnknownName(text.to_string()))
+        Err(err(line, format!("unknown endpoint name `{text}`")))
     }
 }
 
@@ -307,9 +310,23 @@ connect c1.right -> waste
     }
 
     #[test]
-    fn unknown_endpoint_name() {
+    fn unknown_endpoint_name_is_spanned() {
         let e = Netlist::parse("chip c\nmixer m1\nport p\nconnect p -> ghost.left\n").unwrap_err();
-        assert!(matches!(e, NetlistError::UnknownName(n) if n == "ghost"));
+        let NetlistError::Parse { line, message } = e else {
+            panic!("expected a spanned parse error, got {e}");
+        };
+        assert_eq!(line, 4);
+        assert!(message.contains("ghost"), "{message}");
+        // a bare unknown name (no side) is spanned too
+        let e = Netlist::parse("chip c\nmixer m1\nport p\nconnect p -> ghost\n").unwrap_err();
+        assert!(matches!(e, NetlistError::Parse { line: 4, .. }), "{e}");
+    }
+
+    #[test]
+    fn oversized_dimension_rejected() {
+        assert!(Netlist::parse("chip c\nmixer m1 width=1e30\n").is_err());
+        assert!(Netlist::parse("chip c\nmixer m1 width=inf\n").is_err());
+        assert!(Netlist::parse("chip c\nmixer m1 width=nan\n").is_err());
     }
 
     #[test]
