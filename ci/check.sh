@@ -26,4 +26,53 @@ echo "==> cargo test --features fault-inject (resilience ladder under forced fai
 cargo test -q --offline -p columba-milp --features fault-inject
 cargo test -q --offline -p columba-layout --features fault-inject
 
+echo "==> service smoke (HTTP round-trip against the release server)"
+if command -v curl >/dev/null 2>&1; then
+  SERVE_LOG=$(mktemp)
+  ./target/release/columba-serve 127.0.0.1:0 --quick --hold >"$SERVE_LOG" &
+  SERVE_PID=$!
+  trap 'kill "$SERVE_PID" 2>/dev/null || true' EXIT
+  ADDR=""
+  for _ in $(seq 1 100); do
+    ADDR=$(sed -n 's/^listening on //p' "$SERVE_LOG")
+    [ -n "$ADDR" ] && break
+    sleep 0.1
+  done
+  [ -n "$ADDR" ] || { echo "server never bound"; exit 1; }
+
+  smoke_post() {
+    curl -sfS -X POST --data-binary @cases/chip4ip.netlist "http://$ADDR/synthesize" \
+      | awk '$1=="id"{print $2}'
+  }
+  smoke_poll_done() {
+    for _ in $(seq 1 240); do
+      STATUS=$(curl -sfS "http://$ADDR/jobs/$1")
+      case $(printf '%s\n' "$STATUS" | awk '$1=="state"{print $2}') in
+        done) printf '%s\n' "$STATUS"; return 0 ;;
+        failed|cancelled) echo "job $1 did not finish: $STATUS" >&2; return 1 ;;
+      esac
+      sleep 0.5
+    done
+    echo "job $1 never finished" >&2
+    return 1
+  }
+
+  JOB1=$(smoke_post)
+  STATUS1=$(smoke_poll_done "$JOB1")
+  printf '%s\n' "$STATUS1" | grep -q '^from_cache false$'
+  SVG=$(curl -sfS "http://$ADDR/jobs/$JOB1/svg")
+  printf '%s\n' "$SVG" | grep -q '<svg'
+  JOB2=$(smoke_post)
+  STATUS2=$(smoke_poll_done "$JOB2")
+  printf '%s\n' "$STATUS2" | grep -q '^from_cache true$'
+  METRICS=$(curl -sfS "http://$ADDR/metrics")
+  printf '%s\n' "$METRICS" | grep -q '^cache_hits 1$'
+  printf '%s\n' "$METRICS" | grep -q '^worker_panics 0$'
+  kill "$SERVE_PID"
+  trap - EXIT
+  echo "service smoke OK"
+else
+  echo "curl not found; skipping the HTTP smoke"
+fi
+
 echo "All checks passed."

@@ -1,0 +1,165 @@
+//! Load benchmark for `columba-service`: measures end-to-end job latency
+//! for cold solves versus content-addressed cache hits, under concurrent
+//! client submission, on the plain `Instant` harness (no external
+//! benchmarking crates, so the build stays offline).
+//!
+//! ```sh
+//! cargo run -p columba-bench --release --bin service_load
+//! cargo run -p columba-bench --release --bin service_load -- --clients 16 --hits 64
+//! ```
+
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use columba_bench::secs;
+use columba_s::netlist::{generators, MuxCount};
+use columba_s::{LayoutOptions, SynthesisOptions};
+use columba_service::{JobState, Service, ServiceConfig};
+
+fn arg(args: &[String], name: &str, default: usize) -> usize {
+    match args.iter().position(|a| a == name) {
+        None => default,
+        Some(i) => match args.get(i + 1).map(|v| v.parse()) {
+            Some(Ok(n)) if n > 0 => n,
+            _ => {
+                eprintln!("error: {name} requires a positive integer");
+                std::process::exit(2);
+            }
+        },
+    }
+}
+
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+fn stats(mut samples: Vec<Duration>) -> (Duration, Duration, Duration, Duration) {
+    samples.sort_unstable();
+    let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+    (
+        samples[0],
+        mean,
+        percentile(&samples, 0.5),
+        *samples.last().expect("non-empty samples"),
+    )
+}
+
+fn run_to_done(service: &Service, text: &str) -> (Duration, bool) {
+    let t = Instant::now();
+    let id = service.submit_text(text).expect("bench queue has room");
+    let status = service
+        .wait(id, Duration::from_secs(600))
+        .expect("job known");
+    assert_eq!(
+        status.state,
+        JobState::Done,
+        "bench job failed: {:?}",
+        status.error
+    );
+    (t.elapsed(), status.from_cache)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let clients = arg(&args, "--clients", 8);
+    let hits_per_client = arg(&args, "--hits", 16);
+
+    let cases: Vec<(String, String)> = [4usize, 8, 16]
+        .iter()
+        .map(|&n| {
+            (
+                format!("chip{n}ip"),
+                generators::chip_ip(n, MuxCount::One).to_text(),
+            )
+        })
+        .collect();
+
+    let service = Arc::new(Service::start(ServiceConfig {
+        workers: 4,
+        queue_capacity: clients * cases.len() * hits_per_client + cases.len(),
+        options: SynthesisOptions {
+            layout: LayoutOptions {
+                time_limit: Duration::from_secs(15),
+                node_limit: 200,
+                threads: 1,
+                ..LayoutOptions::default()
+            },
+            ..SynthesisOptions::default()
+        },
+        job_deadline: None,
+        ..ServiceConfig::default()
+    }));
+
+    println!("service load benchmark: {clients} clients, {hits_per_client} cache hits each\n");
+    println!("{:<12}{:>12} {:>12}", "case", "cold solve", "");
+
+    // cold solves, serially (each is a cache miss)
+    let mut cold = Vec::new();
+    for (name, text) in &cases {
+        let (latency, from_cache) = run_to_done(&service, text);
+        assert!(!from_cache, "{name}: first submission must miss");
+        println!("{name:<12}{:>12} {:>12}", secs(latency), "");
+        cold.push(latency);
+    }
+
+    // hot: every client hammers every case; all hits
+    let hot: Vec<Duration> = {
+        let handles: Vec<_> = (0..clients)
+            .map(|_| {
+                let service = Arc::clone(&service);
+                let cases = cases.clone();
+                thread::spawn(move || {
+                    let mut latencies = Vec::new();
+                    for _ in 0..hits_per_client {
+                        for (name, text) in &cases {
+                            let (latency, from_cache) = run_to_done(&service, text);
+                            assert!(from_cache, "{name}: resubmission must hit the cache");
+                            latencies.push(latency);
+                        }
+                    }
+                    latencies
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread"))
+            .collect()
+    };
+
+    let (cold_min, cold_mean, cold_p50, cold_max) = stats(cold);
+    let (hot_min, hot_mean, hot_p50, hot_max) = stats(hot);
+    println!(
+        "\n{:<12}{:>10} {:>10} {:>10} {:>10}",
+        "", "min", "mean", "p50", "max"
+    );
+    println!(
+        "{:<12}{:>10} {:>10} {:>10} {:>10}",
+        "cold solve",
+        secs(cold_min),
+        secs(cold_mean),
+        secs(cold_p50),
+        secs(cold_max)
+    );
+    println!(
+        "{:<12}{:>10} {:>10} {:>10} {:>10}",
+        "cache hit",
+        secs(hot_min),
+        secs(hot_mean),
+        secs(hot_p50),
+        secs(hot_max)
+    );
+    let speedup = cold_p50.as_secs_f64() / hot_p50.as_secs_f64().max(1e-9);
+    println!("\np50 speedup from the content-addressed cache: {speedup:.0}x");
+    if speedup < 10.0 {
+        eprintln!("warning: cache speedup below the 10x target");
+    }
+
+    println!("\nfinal service metrics:");
+    for line in service.metrics().render().lines() {
+        println!("  {line}");
+    }
+    service.shutdown();
+}

@@ -49,10 +49,10 @@ pub use columba_sim as sim;
 
 pub use columba_design::{drc::DrcReport, Design, DesignStats};
 pub use columba_layout::{
-    synthesize_resilient, AttemptLog, LayoutError, LayoutOptions, ResiliencePolicy, ResilientError,
-    ResilientOutcome, Rung,
+    synthesize_resilient, Attempt, AttemptLog, AttemptOutcome, LayoutError, LayoutOptions,
+    ResiliencePolicy, ResilientError, ResilientOutcome, Rung,
 };
-pub use columba_milp::CancelToken;
+pub use columba_milp::{CancelToken, SolveStats};
 pub use columba_netlist::{Netlist, NetlistError};
 pub use columba_planar::PlanarizeReport;
 
@@ -116,6 +116,43 @@ impl Default for SynthesisOptions {
             auto_scale: true,
             scale_threshold: 24,
         }
+    }
+}
+
+impl SynthesisOptions {
+    /// Renders every option that can change the synthesized *design* into
+    /// a stable, deterministic byte form — the options half of the
+    /// content-addressed cache key used by `columba-service` (the netlist
+    /// half is [`Netlist::canonical_text`]).
+    ///
+    /// Deliberately excluded, because they provably do not change the
+    /// returned layout: `threads` (any worker count yields the same
+    /// objective — see `crates/layout/tests/determinism.rs`),
+    /// `diagnose_infeasibility` (changes only the error detail of a run
+    /// that produces nothing), and the `cancel` token (a runtime handle).
+    /// Budgets (`time_limit`, `node_limit`) *are* included: when a budget
+    /// binds it selects the incumbent, so different budgets may
+    /// legitimately yield different designs.
+    #[must_use]
+    pub fn canonical_text(&self) -> String {
+        let l = &self.layout;
+        format!(
+            "alpha {}\nbeta {}\ngamma {}\nkappa {}\ntime_limit_us {}\nnode_limit {}\n\
+             prune_ordered_pairs {}\nwarm_start {}\nmax_width_mm {}\nmax_height_mm {}\n\
+             auto_scale {}\nscale_threshold {}\n",
+            l.alpha,
+            l.beta,
+            l.gamma,
+            l.kappa,
+            l.time_limit.as_micros(),
+            l.node_limit,
+            l.prune_ordered_pairs,
+            l.warm_start,
+            l.max_width_mm.map_or("none".into(), |v| v.to_string()),
+            l.max_height_mm.map_or("none".into(), |v| v.to_string()),
+            self.auto_scale,
+            self.scale_threshold,
+        )
     }
 }
 
@@ -230,6 +267,67 @@ impl Columba {
         let netlist = Netlist::parse(text)?;
         self.synthesize(&netlist)
     }
+
+    /// Runs the full design flow through the resilient escalation ladder
+    /// ([`synthesize_resilient`]): full MILP → scaled retry → heuristic
+    /// only → constructive only, with one optional [`CancelToken`]
+    /// spanning every rung. This is the entry point a long-running caller
+    /// (the `columba-service` job workers) uses: a cancelled or
+    /// deadline-expired token degrades the job instead of losing it, and
+    /// the returned [`AttemptLog`] records which rung produced the layout.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SynthesisError`] when the netlist is invalid, the model
+    /// is proven infeasible, or every permitted rung failed.
+    pub fn synthesize_resilient(
+        &self,
+        input: &Netlist,
+        cancel: Option<CancelToken>,
+    ) -> Result<ResilientSynthesis, SynthesisError> {
+        let start = Instant::now();
+        input.validate()?;
+        let (planarized, planarize) = columba_planar::planarize(input);
+        let mut layout_options = self.options.layout.clone();
+        if self.options.auto_scale
+            && planarized.functional_unit_count() > self.options.scale_threshold
+        {
+            layout_options.node_limit = 0;
+        }
+        if let Some(token) = cancel {
+            layout_options.cancel = Some(token);
+        }
+        let policy = ResiliencePolicy {
+            options: layout_options,
+            ..ResiliencePolicy::default()
+        };
+        let resilient = synthesize_resilient(&planarized, &policy)
+            .map_err(|e| SynthesisError::Layout(e.error))?;
+        Ok(ResilientSynthesis {
+            outcome: SynthesisOutcome {
+                design: resilient.result.design,
+                planarize,
+                layout: resilient.result.laygen,
+                drc: resilient.result.drc,
+                elapsed: start.elapsed(),
+            },
+            rung: resilient.rung,
+            log: resilient.log,
+        })
+    }
+}
+
+/// A [`SynthesisOutcome`] produced by the resilient ladder, plus the
+/// trail of rungs that produced it.
+#[derive(Debug)]
+pub struct ResilientSynthesis {
+    /// Everything the run produced.
+    pub outcome: SynthesisOutcome,
+    /// The ladder rung that produced the layout.
+    pub rung: Rung,
+    /// Every rung tried, with per-rung telemetry
+    /// ([`AttemptLog::aggregate_solve`] sums it).
+    pub log: AttemptLog,
 }
 
 #[cfg(test)]
@@ -280,6 +378,51 @@ mod tests {
             Columba::new().synthesize(&empty),
             Err(SynthesisError::Netlist(_))
         ));
+    }
+
+    #[test]
+    fn resilient_flow_produces_and_logs() {
+        let n = generators::chip_ip(2, MuxCount::One);
+        let flow = Columba::with_options(SynthesisOptions {
+            layout: LayoutOptions {
+                time_limit: std::time::Duration::from_secs(5),
+                ..LayoutOptions::default()
+            },
+            ..SynthesisOptions::default()
+        });
+        let out = flow.synthesize_resilient(&n, None).expect("synthesizes");
+        assert!(out.outcome.drc.is_clean());
+        assert_eq!(out.rung, Rung::FullMilp);
+        assert_eq!(out.log.produced_by(), Some(Rung::FullMilp));
+        assert!(out.log.aggregate_solve().simplex_iterations > 0);
+        // a pre-cancelled token degrades instead of failing
+        let token = CancelToken::new();
+        token.cancel();
+        let degraded = flow
+            .synthesize_resilient(&n, Some(token))
+            .expect("ladder still produces");
+        assert!(degraded.outcome.drc.is_clean());
+    }
+
+    #[test]
+    fn options_canonical_text_tracks_design_relevant_fields() {
+        let base = SynthesisOptions::default().canonical_text();
+        assert_eq!(base, SynthesisOptions::default().canonical_text());
+        let mut other = SynthesisOptions::default();
+        other.layout.threads = 7; // provably design-invariant: excluded
+        assert_eq!(base, other.canonical_text());
+        other.layout.kappa = 0.25;
+        assert_ne!(base, other.canonical_text());
+        let mut capped = SynthesisOptions::default();
+        capped.layout.max_width_mm = Some(40.0);
+        assert_ne!(base, capped.canonical_text());
+        let mut scaled = SynthesisOptions {
+            scale_threshold: 5,
+            ..SynthesisOptions::default()
+        };
+        assert_ne!(base, scaled.canonical_text());
+        scaled.scale_threshold = 24;
+        assert_eq!(base, scaled.canonical_text());
     }
 
     #[test]

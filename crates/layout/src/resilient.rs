@@ -129,6 +129,23 @@ impl AttemptLog {
             .map(|a| a.rung)
     }
 
+    /// Solver telemetry summed over every rung that ran a solve: work
+    /// counters, contained panics and in-solver phase times. This is the
+    /// per-job quantity a monitoring layer accumulates into lifetime
+    /// counters (see [`SolveStats::absorb`]); the ladder's own wall clock
+    /// is [`AttemptLog::total`], which also covers validation time outside
+    /// the solver.
+    #[must_use]
+    pub fn aggregate_solve(&self) -> SolveStats {
+        let mut agg = SolveStats::default();
+        for a in &self.attempts {
+            if let Some(s) = &a.solve {
+                agg.absorb(s);
+            }
+        }
+        agg
+    }
+
     fn push(&mut self, rung: Rung, outcome: AttemptOutcome, elapsed: Duration) {
         self.attempts.push(Attempt {
             rung,
@@ -373,6 +390,37 @@ mod tests {
         assert!(out.result.drc.is_clean(), "{:?}", out.result.drc);
         let text = out.log.to_string();
         assert!(text.contains("produced the layout"), "{text}");
+    }
+
+    #[test]
+    fn aggregate_solve_sums_over_rungs() {
+        let mut log = AttemptLog::default();
+        let solved = |nodes: usize| SolveStats {
+            nodes_processed: nodes,
+            simplex_iterations: nodes * 10,
+            ..SolveStats::default()
+        };
+        log.attempts.push(Attempt {
+            rung: Rung::FullMilp,
+            outcome: AttemptOutcome::Failed("budget".into()),
+            elapsed: Duration::from_millis(5),
+            solve: Some(solved(7)),
+        });
+        log.attempts.push(Attempt {
+            rung: Rung::RetryScaled,
+            outcome: AttemptOutcome::Skipped("budget".into()),
+            elapsed: Duration::ZERO,
+            solve: None,
+        });
+        log.attempts.push(Attempt {
+            rung: Rung::HeuristicOnly,
+            outcome: AttemptOutcome::Produced(SolveStatus::Feasible),
+            elapsed: Duration::from_millis(3),
+            solve: Some(solved(2)),
+        });
+        let agg = log.aggregate_solve();
+        assert_eq!(agg.nodes_processed, 9);
+        assert_eq!(agg.simplex_iterations, 90);
     }
 
     #[test]

@@ -64,6 +64,24 @@ impl SolveStats {
         Some((busy / (self.worker_busy.len() as f64 * self.search_time.as_secs_f64())).min(1.0))
     }
 
+    /// Folds another solve's telemetry into this one: work counters,
+    /// contained panics and phase times add up, `threads` keeps the
+    /// maximum. Used to aggregate telemetry *across* solves (the
+    /// resilience ladder's rungs, or a synthesis service's lifetime
+    /// counters), so the per-solve vectors — incumbent trajectory and
+    /// per-worker busy time — are left untouched: they do not compose
+    /// across independent searches.
+    pub fn absorb(&mut self, other: &SolveStats) {
+        self.threads = self.threads.max(other.threads);
+        self.nodes_processed += other.nodes_processed;
+        self.nodes_pruned += other.nodes_pruned;
+        self.simplex_iterations += other.simplex_iterations;
+        self.worker_panics += other.worker_panics;
+        self.root_time += other.root_time;
+        self.search_time += other.search_time;
+        self.total_time += other.total_time;
+    }
+
     /// The objective trajectory as `(seconds, objective)` pairs.
     #[must_use]
     pub fn trajectory(&self) -> Vec<(f64, f64)> {
@@ -152,6 +170,48 @@ mod tests {
         assert!(text.contains("99 simplex"), "{text}");
         assert!(text.contains("2 threads"), "{text}");
         assert!(text.contains("7.5"), "{text}");
+    }
+
+    #[test]
+    fn absorb_sums_counters_and_keeps_max_threads() {
+        let mut a = SolveStats {
+            threads: 2,
+            nodes_processed: 10,
+            nodes_pruned: 3,
+            simplex_iterations: 100,
+            worker_panics: 1,
+            root_time: Duration::from_millis(10),
+            search_time: Duration::from_millis(20),
+            total_time: Duration::from_millis(30),
+            incumbents: vec![IncumbentEvent {
+                at: Duration::from_millis(5),
+                objective: 1.0,
+            }],
+            worker_busy: vec![Duration::from_millis(15); 2],
+        };
+        let b = SolveStats {
+            threads: 4,
+            nodes_processed: 5,
+            nodes_pruned: 2,
+            simplex_iterations: 50,
+            worker_panics: 0,
+            root_time: Duration::from_millis(1),
+            search_time: Duration::from_millis(2),
+            total_time: Duration::from_millis(3),
+            ..SolveStats::default()
+        };
+        a.absorb(&b);
+        assert_eq!(a.threads, 4);
+        assert_eq!(a.nodes_processed, 15);
+        assert_eq!(a.nodes_pruned, 5);
+        assert_eq!(a.simplex_iterations, 150);
+        assert_eq!(a.worker_panics, 1);
+        assert_eq!(a.root_time, Duration::from_millis(11));
+        assert_eq!(a.search_time, Duration::from_millis(22));
+        assert_eq!(a.total_time, Duration::from_millis(33));
+        // per-solve vectors do not compose and must survive untouched
+        assert_eq!(a.incumbents.len(), 1);
+        assert_eq!(a.worker_busy.len(), 2);
     }
 
     #[test]

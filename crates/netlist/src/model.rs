@@ -529,8 +529,28 @@ impl Netlist {
     }
 
     /// Renders the plain-text format (parseable by [`Netlist::parse`]).
+    ///
+    /// Alias of [`Netlist::canonical_text`]; both render the canonical
+    /// form.
     #[must_use]
     pub fn to_text(&self) -> String {
+        self.canonical_text()
+    }
+
+    /// Renders the *canonical* plain-text form: a deterministic,
+    /// exhaustive render where every component option is written out
+    /// explicitly and statements appear in insertion order.
+    ///
+    /// Two in-memory netlists are equal **iff** their canonical texts are
+    /// byte-equal, and `parse(canonical_text(n)) == n` for every valid
+    /// netlist (dimension values render through the shortest-round-trip
+    /// `f64` formatter, so the µm fixed-point values survive the trip).
+    /// This is the byte form the `columba-service` design cache hashes —
+    /// see `crates/service` — so its stability is load-bearing: any change
+    /// here invalidates every cached design, but can never cause a false
+    /// cache hit.
+    #[must_use]
+    pub fn canonical_text(&self) -> String {
         use std::fmt::Write as _;
         let mut s = String::new();
         let _ = writeln!(s, "chip {}", self.name);

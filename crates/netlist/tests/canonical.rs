@@ -1,0 +1,88 @@
+//! Canonical-text round-trip: `parse(canonical_text(n)) == n` must hold
+//! for every netlist the repo can produce — the bundled `cases/*.netlist`
+//! files, every generator case, and seeded random netlists. This is the
+//! correctness foundation for content-addressed design caching in
+//! `columba-service`: the cache key is a hash of the canonical bytes, so a
+//! render that loses or reorders information would alias distinct designs.
+
+use std::fs;
+use std::path::PathBuf;
+
+use columba_netlist::{generators, MuxCount, Netlist};
+use columba_prng::Rng;
+
+fn cases_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../cases")
+}
+
+/// One canonical round trip plus the fixed-point property: rendering the
+/// reparsed netlist must reproduce the exact bytes.
+fn assert_canonical(label: &str, n: &Netlist) {
+    let text = n.canonical_text();
+    let reparsed = Netlist::parse(&text).unwrap_or_else(|e| panic!("{label}: {e}\n{text}"));
+    assert_eq!(&reparsed, n, "{label}: parse(canonical_text(n)) != n");
+    assert_eq!(
+        reparsed.canonical_text(),
+        text,
+        "{label}: canonical text is not a fixed point"
+    );
+    assert_eq!(n.to_text(), text, "{label}: to_text must alias canonical");
+}
+
+#[test]
+fn bundled_case_files_round_trip() {
+    let dir = cases_dir();
+    let mut seen = 0;
+    for entry in fs::read_dir(&dir).expect("cases/ directory exists") {
+        let path = entry.expect("readable dir entry").path();
+        if path.extension().is_none_or(|e| e != "netlist") {
+            continue;
+        }
+        let label = path.display().to_string();
+        let text = fs::read_to_string(&path).expect("readable case file");
+        let n = Netlist::parse(&text).unwrap_or_else(|e| panic!("{label}: {e}"));
+        assert_canonical(&label, &n);
+        seen += 1;
+    }
+    assert!(seen >= 7, "expected the 7 bundled cases, found {seen}");
+}
+
+#[test]
+fn generator_cases_round_trip() {
+    for mux in [MuxCount::One, MuxCount::Two] {
+        for (label, n) in generators::table1_cases(mux) {
+            assert_canonical(label, &n);
+        }
+        assert_canonical("kinase", &generators::kinase_activity(mux));
+    }
+}
+
+#[test]
+fn seeded_random_netlists_round_trip() {
+    let mut rng = Rng::seed_from_u64(0x5EED_CAB1E);
+    for round in 0..200 {
+        let units = rng.gen_range(1usize..=24);
+        let n = generators::random_netlist(&mut rng, units);
+        assert_canonical(&format!("random round {round} ({units}u)"), &n);
+    }
+}
+
+#[test]
+fn canonical_text_distinguishes_option_changes() {
+    // two logically different netlists must never share canonical bytes —
+    // spot-check the easy-to-lose fields (flags, access, mux count)
+    let base = "chip c\nmux 1\nmixer m1 width=3 length=1.5 access=both\nport p\n\
+                connect p -> m1.left\n";
+    let variants = [
+        "chip c\nmux 2\nmixer m1 width=3 length=1.5 access=both\nport p\nconnect p -> m1.left\n",
+        "chip c\nmux 1\nmixer m1 width=3 length=1.5 access=top\nport p\nconnect p -> m1.left\n",
+        "chip c\nmux 1\nmixer m1 width=3 length=1.5 access=both sieve\nport p\nconnect p -> m1.left\n",
+        "chip c\nmux 1\nmixer m1 width=3.001 length=1.5 access=both\nport p\nconnect p -> m1.left\n",
+        "chip c\nmux 1\nmixer m1 width=3 length=1.5 access=both\nport p\nconnect m1.left -> p\n",
+    ];
+    let canon = Netlist::parse(base).expect("valid").canonical_text();
+    for v in variants {
+        let other = Netlist::parse(v).expect("valid").canonical_text();
+        assert_ne!(canon, other, "variant collapsed into the base:\n{v}");
+    }
+}

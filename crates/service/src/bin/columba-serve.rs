@@ -1,0 +1,91 @@
+//! `columba-serve` — run the synthesis service as an HTTP server.
+//!
+//! ```sh
+//! columba-serve                      # 127.0.0.1:8642, defaults
+//! columba-serve 127.0.0.1:0         # ephemeral port (printed on stdout)
+//! columba-serve --trace             # JSONL lifecycle trace on stderr
+//! columba-serve --workers 8 --quick # quick solver budgets (CI smoke)
+//! columba-serve --hold              # ignore stdin; run until killed
+//! ```
+//!
+//! Prints exactly one `listening on <addr>` line on stdout once bound,
+//! then serves until stdin reaches EOF (or a `quit` line) — or forever
+//! under `--hold`, for scripted runs that background the process and
+//! kill it.
+
+use std::io::BufRead as _;
+use std::sync::Arc;
+use std::time::Duration;
+
+use columba_s::{LayoutOptions, SynthesisOptions};
+use columba_service::{
+    HttpConfig, HttpServer, JsonlSink, NullSink, Service, ServiceConfig, TraceSink,
+};
+
+fn usize_flag(args: &[String], name: &str, default: usize) -> usize {
+    match args.iter().position(|a| a == name) {
+        None => default,
+        Some(i) => match args.get(i + 1).map(|v| v.parse()) {
+            Some(Ok(n)) => n,
+            _ => {
+                eprintln!("error: {name} requires an integer");
+                std::process::exit(2);
+            }
+        },
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let addr = args
+        .iter()
+        .find(|a| !a.starts_with("--") && a.parse::<usize>().is_err())
+        .cloned()
+        .unwrap_or_else(|| "127.0.0.1:8642".to_string());
+    let trace: Arc<dyn TraceSink> = if args.iter().any(|a| a == "--trace") {
+        Arc::new(JsonlSink::new(std::io::stderr()))
+    } else {
+        Arc::new(NullSink)
+    };
+    let mut options = SynthesisOptions::default();
+    if args.iter().any(|a| a == "--quick") {
+        options.layout = LayoutOptions {
+            time_limit: Duration::from_secs(10),
+            node_limit: 200,
+            threads: 1,
+            ..LayoutOptions::default()
+        };
+    }
+    let service = Arc::new(Service::start(ServiceConfig {
+        workers: usize_flag(&args, "--workers", 0),
+        queue_capacity: usize_flag(&args, "--queue", 64),
+        options,
+        trace,
+        ..ServiceConfig::default()
+    }));
+    let server = match HttpServer::bind(Arc::clone(&service), &addr, HttpConfig::default()) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("error: cannot bind {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("listening on {}", server.addr());
+
+    if args.iter().any(|a| a == "--hold") {
+        loop {
+            std::thread::sleep(Duration::from_secs(3600));
+        }
+    }
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        match line {
+            Ok(l) if l.trim() == "quit" => break,
+            Ok(_) => {}
+            Err(_) => break,
+        }
+    }
+    eprintln!("shutting down");
+    drop(server);
+    service.shutdown();
+}

@@ -1,0 +1,286 @@
+//! Content-addressed design cache.
+//!
+//! Synthesis is expensive (an MILP solve) and deterministic: the same
+//! canonical netlist bytes under the same design-relevant options always
+//! produce the same design. So completed designs are cached under a
+//! [`ContentKey`] of those canonical bytes, and resubmitting a known
+//! design is a hash lookup instead of a solve. The cache is LRU with
+//! byte-size accounting — each entry is costed by the real sizes of the
+//! artifacts it pins (netlist text + rendered SVG + SCR) — and keeps
+//! hit/miss/eviction counters for `/metrics`.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use columba_s::SynthesisOutcome;
+
+use crate::hash::ContentKey;
+
+/// A finished design with its CAD renders, shared between the job table
+/// and the cache. Rendering happens once, at insert time, so cache hits
+/// serve `/jobs/<id>/svg` without touching the geometry again.
+#[derive(Debug)]
+pub struct CompletedDesign {
+    /// The full synthesis outcome.
+    pub outcome: SynthesisOutcome,
+    /// The design rendered as SVG.
+    pub svg: String,
+    /// The design rendered as an AutoCAD `.scr` script.
+    pub scr: String,
+    /// The ladder rung that produced the design (stable display form).
+    pub rung: String,
+    /// Wall-clock time the original solve took (the time a cache hit
+    /// saves).
+    pub solved_in: Duration,
+}
+
+/// Cache capacity limits.
+#[derive(Debug, Clone, Copy)]
+pub struct CacheConfig {
+    /// Byte budget across all entries (artifact sizes, see
+    /// [`DesignCache::insert`]). `0` disables caching.
+    pub capacity_bytes: usize,
+    /// Hard cap on the entry count, whatever their sizes.
+    pub max_entries: usize,
+}
+
+impl Default for CacheConfig {
+    fn default() -> CacheConfig {
+        CacheConfig {
+            capacity_bytes: 64 << 20,
+            max_entries: 1024,
+        }
+    }
+}
+
+/// Counter snapshot for `/metrics`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found a completed design.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries evicted to make room.
+    pub evictions: u64,
+    /// Entries currently held.
+    pub entries: usize,
+    /// Bytes currently accounted.
+    pub bytes: usize,
+    /// The byte budget.
+    pub capacity_bytes: usize,
+}
+
+struct Entry {
+    value: Arc<CompletedDesign>,
+    cost: usize,
+    last_used: u64,
+}
+
+/// An LRU map from [`ContentKey`] to [`CompletedDesign`].
+///
+/// Not internally synchronized — the service wraps it in a `Mutex`; every
+/// operation is O(entries) at worst and allocation-free on the hit path.
+pub struct DesignCache {
+    map: HashMap<ContentKey, Entry>,
+    config: CacheConfig,
+    bytes: usize,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl DesignCache {
+    /// An empty cache with the given limits.
+    #[must_use]
+    pub fn new(config: CacheConfig) -> DesignCache {
+        DesignCache {
+            map: HashMap::new(),
+            config,
+            bytes: 0,
+            tick: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Looks `key` up, counting a hit or miss and refreshing recency.
+    pub fn get(&mut self, key: ContentKey) -> Option<Arc<CompletedDesign>> {
+        self.tick += 1;
+        match self.map.get_mut(&key) {
+            Some(entry) => {
+                entry.last_used = self.tick;
+                self.hits += 1;
+                Some(Arc::clone(&entry.value))
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts a completed design, costed at `cost` bytes (the service
+    /// passes the summed artifact sizes), evicting least-recently-used
+    /// entries until both limits hold. A design too large for the whole
+    /// budget is not cached at all. Re-inserting an existing key refreshes
+    /// the entry.
+    pub fn insert(&mut self, key: ContentKey, value: Arc<CompletedDesign>, cost: usize) {
+        if cost > self.config.capacity_bytes || self.config.max_entries == 0 {
+            return;
+        }
+        self.tick += 1;
+        if let Some(old) = self.map.remove(&key) {
+            self.bytes -= old.cost;
+        }
+        while !self.map.is_empty()
+            && (self.bytes + cost > self.config.capacity_bytes
+                || self.map.len() + 1 > self.config.max_entries)
+        {
+            self.evict_lru();
+        }
+        self.bytes += cost;
+        self.map.insert(
+            key,
+            Entry {
+                value,
+                cost,
+                last_used: self.tick,
+            },
+        );
+    }
+
+    fn evict_lru(&mut self) {
+        let victim = self
+            .map
+            .iter()
+            .min_by_key(|(_, e)| e.last_used)
+            .map(|(k, _)| *k);
+        if let Some(k) = victim {
+            if let Some(e) = self.map.remove(&k) {
+                self.bytes -= e.cost;
+                self.evictions += 1;
+            }
+        }
+    }
+
+    /// The current counters.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            evictions: self.evictions,
+            entries: self.map.len(),
+            bytes: self.bytes,
+            capacity_bytes: self.config.capacity_bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use columba_s::{Columba, Netlist};
+
+    fn design(tag: &str) -> Arc<CompletedDesign> {
+        // one tiny real synthesis, reused for every entry (the cache only
+        // looks at cost, not content)
+        let netlist = Netlist::parse(
+            "chip t\nmixer m1\nport a\nport b\nconnect a -> m1.left\nconnect m1.right -> b\n",
+        )
+        .expect("valid netlist");
+        let outcome = Columba::new().synthesize(&netlist).expect("synthesizes");
+        Arc::new(CompletedDesign {
+            svg: outcome.to_svg().expect("in-memory render"),
+            scr: outcome.to_autocad_script().expect("in-memory render"),
+            outcome,
+            rung: tag.to_string(),
+            solved_in: Duration::from_millis(100),
+        })
+    }
+
+    fn key(n: u64) -> ContentKey {
+        ContentKey(n, n)
+    }
+
+    #[test]
+    fn hit_miss_counters_and_recency() {
+        let mut c = DesignCache::new(CacheConfig {
+            capacity_bytes: 1000,
+            max_entries: 2,
+        });
+        let d = design("full MILP");
+        assert!(c.get(key(1)).is_none());
+        c.insert(key(1), Arc::clone(&d), 10);
+        c.insert(key(2), Arc::clone(&d), 10);
+        assert!(c.get(key(1)).is_some(), "key 1 still cached");
+        // inserting a third entry evicts the LRU — key 2, because key 1
+        // was touched after both inserts
+        c.insert(key(3), Arc::clone(&d), 10);
+        assert!(c.get(key(2)).is_none(), "LRU entry evicted");
+        assert!(c.get(key(1)).is_some());
+        assert!(c.get(key(3)).is_some());
+        let s = c.stats();
+        assert_eq!(s.hits, 3);
+        assert_eq!(s.misses, 2);
+        assert_eq!(s.evictions, 1);
+        assert_eq!(s.entries, 2);
+        assert_eq!(s.bytes, 20);
+    }
+
+    #[test]
+    fn byte_budget_evicts_until_it_fits() {
+        let mut c = DesignCache::new(CacheConfig {
+            capacity_bytes: 100,
+            max_entries: 100,
+        });
+        let d = design("full MILP");
+        c.insert(key(1), Arc::clone(&d), 40);
+        c.insert(key(2), Arc::clone(&d), 40);
+        // 90 > 100 - 80: one eviction frees enough
+        c.insert(key(3), Arc::clone(&d), 90);
+        let s = c.stats();
+        assert_eq!(s.entries, 1);
+        assert_eq!(s.bytes, 90);
+        assert_eq!(s.evictions, 2);
+    }
+
+    #[test]
+    fn oversized_design_is_not_cached() {
+        let mut c = DesignCache::new(CacheConfig {
+            capacity_bytes: 100,
+            max_entries: 100,
+        });
+        let d = design("full MILP");
+        c.insert(key(1), Arc::clone(&d), 10);
+        c.insert(key(2), Arc::clone(&d), 101);
+        assert!(c.get(key(2)).is_none());
+        assert!(c.get(key(1)).is_some(), "existing entries survive");
+        assert_eq!(c.stats().entries, 1);
+    }
+
+    #[test]
+    fn reinsert_replaces_cost() {
+        let mut c = DesignCache::new(CacheConfig::default());
+        let d = design("full MILP");
+        c.insert(key(1), Arc::clone(&d), 40);
+        c.insert(key(1), Arc::clone(&d), 10);
+        let s = c.stats();
+        assert_eq!(s.entries, 1);
+        assert_eq!(s.bytes, 10);
+        assert_eq!(s.evictions, 0);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut c = DesignCache::new(CacheConfig {
+            capacity_bytes: 0,
+            max_entries: 4,
+        });
+        c.insert(key(1), design("full MILP"), 1);
+        assert!(c.get(key(1)).is_none());
+    }
+}

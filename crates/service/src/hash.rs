@@ -1,0 +1,101 @@
+//! Content addressing: FNV-1a, hand-rolled.
+//!
+//! The design cache keys on a hash of the canonical bytes of a job
+//! (`Netlist::canonical_text` + `SynthesisOptions::canonical_text`). The
+//! workspace builds with zero registry dependencies, so no `sha2`/`xxhash`
+//! here: FNV-1a is tiny, fast on short keys, and — run once over each of
+//! the two canonical texts and mixed — gives a 128-bit key whose
+//! accidental-collision probability is negligible at any realistic cache
+//! population (a few thousand designs against 2^128).
+
+/// FNV-1a 64-bit offset basis.
+const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// The FNV-1a 64-bit hash of `bytes`.
+#[must_use]
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// A 128-bit content key: two FNV-1a lanes over the same bytes, the second
+/// seeded by the length-tagged first. Collisions between *different*
+/// canonical texts would need both lanes to collide at once.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ContentKey(pub u64, pub u64);
+
+impl ContentKey {
+    /// Hashes one logical record made of several canonical sections
+    /// (netlist text, options text). Sections are length-prefixed into the
+    /// stream so `("ab", "c")` and `("a", "bc")` key differently.
+    #[must_use]
+    pub fn of_sections(sections: &[&str]) -> ContentKey {
+        let mut lane0 = OFFSET;
+        for s in sections {
+            for b in (s.len() as u64).to_le_bytes() {
+                lane0 ^= u64::from(b);
+                lane0 = lane0.wrapping_mul(PRIME);
+            }
+            for &b in s.as_bytes() {
+                lane0 ^= u64::from(b);
+                lane0 = lane0.wrapping_mul(PRIME);
+            }
+        }
+        // second lane: re-hash with the first lane folded in up front, so
+        // the lanes decorrelate
+        let mut lane1 = OFFSET;
+        for b in lane0.to_le_bytes() {
+            lane1 ^= u64::from(b);
+            lane1 = lane1.wrapping_mul(PRIME);
+        }
+        for s in sections {
+            for &b in s.as_bytes() {
+                lane1 ^= u64::from(b);
+                lane1 = lane1.wrapping_mul(PRIME);
+            }
+        }
+        ContentKey(lane0, lane1)
+    }
+
+    /// Short printable form (for traces and job status lines).
+    #[must_use]
+    pub fn short(&self) -> String {
+        format!("{:016x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv1a_reference_vectors() {
+        // published FNV-1a 64 test vectors
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn sections_are_length_prefixed() {
+        let ab_c = ContentKey::of_sections(&["ab", "c"]);
+        let a_bc = ContentKey::of_sections(&["a", "bc"]);
+        assert_ne!(ab_c, a_bc);
+        assert_eq!(ab_c, ContentKey::of_sections(&["ab", "c"]));
+    }
+
+    #[test]
+    fn single_bit_changes_both_lanes() {
+        let a = ContentKey::of_sections(&["chip x", "alpha 1"]);
+        let b = ContentKey::of_sections(&["chip y", "alpha 1"]);
+        assert_ne!(a.0, b.0);
+        assert_ne!(a.1, b.1);
+        assert_eq!(a.short().len(), 16);
+    }
+}

@@ -1,0 +1,509 @@
+//! A minimal hand-rolled HTTP/1.1 front end over `std::net`.
+//!
+//! No external dependencies, no keep-alive, no chunked encoding: every
+//! request carries an optional `Content-Length` body, every response
+//! closes the connection. That subset is exactly what the service API
+//! needs and keeps the parser small enough to fuzz exhaustively.
+//!
+//! Routes:
+//!
+//! | method   | path              | response                              |
+//! |----------|-------------------|---------------------------------------|
+//! | `POST`   | `/synthesize`     | `202` with `id <n>`, `429` queue full |
+//! | `GET`    | `/jobs/<id>`      | flat `key value` status text          |
+//! | `GET`    | `/jobs/<id>/svg`  | the SVG render                        |
+//! | `GET`    | `/jobs/<id>/scr`  | the AutoCAD script                    |
+//! | `DELETE` | `/jobs/<id>`      | cancels the job                       |
+//! | `GET`    | `/metrics`        | flat counters                         |
+//! | `GET`    | `/healthz`        | `ok`                                  |
+//!
+//! Malformed requests get a 4xx and the server keeps serving; nothing a
+//! client sends can take the accept loop down.
+
+use std::io::{self, ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use crate::job::JobId;
+use crate::service::{ExportError, ExportKind, Service, SubmitError};
+
+/// Front-end limits.
+#[derive(Debug, Clone, Copy)]
+pub struct HttpConfig {
+    /// Cap on request bodies; a larger `Content-Length` gets `413`.
+    pub max_body_bytes: usize,
+    /// Per-connection read timeout; a stalled client gets `408`.
+    pub read_timeout: Duration,
+}
+
+impl Default for HttpConfig {
+    fn default() -> HttpConfig {
+        HttpConfig {
+            max_body_bytes: 1 << 20,
+            read_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+const MAX_HEAD_BYTES: usize = 8 << 10;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Method {
+    Get,
+    Post,
+    Delete,
+}
+
+#[derive(Debug)]
+struct Request {
+    method: Method,
+    path: String,
+    body: Vec<u8>,
+}
+
+#[derive(Debug, PartialEq, Eq)]
+struct HttpError {
+    status: u16,
+    message: String,
+}
+
+impl HttpError {
+    fn new(status: u16, message: impl Into<String>) -> HttpError {
+        HttpError {
+            status,
+            message: message.into(),
+        }
+    }
+}
+
+/// A response about to be written. Public only for the load bench.
+#[derive(Debug)]
+pub struct Response {
+    status: u16,
+    content_type: &'static str,
+    body: Vec<u8>,
+}
+
+impl Response {
+    fn text(status: u16, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: body.into().into_bytes(),
+        }
+    }
+
+    fn svg(body: String) -> Response {
+        Response {
+            status: 200,
+            content_type: "image/svg+xml",
+            body: body.into_bytes(),
+        }
+    }
+
+    fn from_error(e: &HttpError) -> Response {
+        Response::text(e.status, format!("error {}\n", e.message))
+    }
+
+    fn reason(status: u16) -> &'static str {
+        match status {
+            200 => "OK",
+            202 => "Accepted",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            408 => "Request Timeout",
+            409 => "Conflict",
+            413 => "Payload Too Large",
+            429 => "Too Many Requests",
+            431 => "Request Header Fields Too Large",
+            503 => "Service Unavailable",
+            _ => "Internal Server Error",
+        }
+    }
+
+    fn write_to(&self, out: &mut impl Write) -> io::Result<()> {
+        write!(
+            out,
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            self.status,
+            Response::reason(self.status),
+            self.content_type,
+            self.body.len()
+        )?;
+        out.write_all(&self.body)?;
+        out.flush()
+    }
+}
+
+/// Reads and parses one request. Strictly bounded: the header block is
+/// capped at 8 KiB, the body at `max_body`, and every malformed shape
+/// maps to a 4xx.
+fn read_request(stream: &mut impl Read, max_body: usize) -> Result<Request, HttpError> {
+    let mut head = Vec::with_capacity(256);
+    let mut byte = [0u8; 1];
+    loop {
+        match stream.read(&mut byte) {
+            Ok(0) => {
+                return Err(HttpError::new(
+                    400,
+                    "connection closed before the header block ended",
+                ))
+            }
+            Ok(_) => head.push(byte[0]),
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                return Err(HttpError::new(408, "timed out reading the request"))
+            }
+            Err(_) => return Err(HttpError::new(400, "read error")),
+        }
+        if head.ends_with(b"\r\n\r\n") || head.ends_with(b"\n\n") {
+            break;
+        }
+        if head.len() > MAX_HEAD_BYTES {
+            return Err(HttpError::new(431, "header block exceeds 8 KiB"));
+        }
+    }
+    let text = String::from_utf8_lossy(&head);
+    let mut lines = text.lines();
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split_whitespace();
+    let (Some(method), Some(path), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return Err(HttpError::new(400, "malformed request line"));
+    };
+    if parts.next().is_some() || !version.starts_with("HTTP/") {
+        return Err(HttpError::new(400, "malformed request line"));
+    }
+    let method = match method {
+        "GET" => Method::Get,
+        "POST" => Method::Post,
+        "DELETE" => Method::Delete,
+        _ => {
+            return Err(HttpError::new(
+                405,
+                format!("method {method} not supported"),
+            ))
+        }
+    };
+    if !path.starts_with('/') {
+        return Err(HttpError::new(400, "request path must start with '/'"));
+    }
+    let mut content_length: Option<usize> = None;
+    for line in lines {
+        if line.is_empty() {
+            break;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpError::new(
+                400,
+                format!("malformed header line: {line}"),
+            ));
+        };
+        if name.trim().eq_ignore_ascii_case("content-length") {
+            let parsed: usize = value
+                .trim()
+                .parse()
+                .map_err(|_| HttpError::new(400, "invalid Content-Length"))?;
+            if content_length.is_some_and(|prev| prev != parsed) {
+                return Err(HttpError::new(400, "conflicting Content-Length headers"));
+            }
+            content_length = Some(parsed);
+        }
+    }
+    let len = content_length.unwrap_or(0);
+    if len > max_body {
+        return Err(HttpError::new(
+            413,
+            format!("body of {len} bytes exceeds the {max_body}-byte limit"),
+        ));
+    }
+    let mut body = vec![0u8; len];
+    if len > 0 {
+        stream.read_exact(&mut body).map_err(|e| match e.kind() {
+            ErrorKind::WouldBlock | ErrorKind::TimedOut => {
+                HttpError::new(408, "timed out reading the request body")
+            }
+            _ => HttpError::new(400, "request body shorter than Content-Length"),
+        })?;
+    }
+    Ok(Request {
+        method,
+        path: path.to_string(),
+        body,
+    })
+}
+
+fn route(service: &Service, req: Request) -> Response {
+    let path = req.path.split('?').next().unwrap_or("");
+    let segments: Vec<&str> = path
+        .trim_matches('/')
+        .split('/')
+        .filter(|s| !s.is_empty())
+        .collect();
+    match (req.method, segments.as_slice()) {
+        (Method::Post, ["synthesize"]) => {
+            let Ok(text) = String::from_utf8(req.body) else {
+                return Response::text(400, "error netlist body is not UTF-8\n");
+            };
+            if text.trim().is_empty() {
+                return Response::text(400, "error empty netlist body\n");
+            }
+            match service.submit_text(text) {
+                Ok(id) => Response::text(202, format!("id {id}\n")),
+                Err(e @ SubmitError::QueueFull { .. }) => {
+                    Response::text(429, format!("error {e}\n"))
+                }
+                Err(e @ SubmitError::ShuttingDown) => Response::text(503, format!("error {e}\n")),
+            }
+        }
+        (Method::Get, ["jobs", id]) => match parse_id(id) {
+            Some(id) => match service.status(id) {
+                Some(status) => Response::text(200, status.render()),
+                None => Response::text(404, format!("error no job {id}\n")),
+            },
+            None => Response::text(400, "error job id must be an integer\n"),
+        },
+        (Method::Get, ["jobs", id, format @ ("svg" | "scr")]) => match parse_id(id) {
+            Some(id) => {
+                let kind = if *format == "svg" {
+                    ExportKind::Svg
+                } else {
+                    ExportKind::Scr
+                };
+                match service.export(id, kind) {
+                    Ok(design) => match kind {
+                        ExportKind::Svg => Response::svg(design.svg.clone()),
+                        ExportKind::Scr => Response::text(200, design.scr.clone()),
+                    },
+                    Err(ExportError::NotFound) => {
+                        Response::text(404, format!("error no job {id}\n"))
+                    }
+                    Err(ExportError::NotReady(state)) => {
+                        Response::text(409, format!("error job {id} is {state}, no design\n"))
+                    }
+                }
+            }
+            None => Response::text(400, "error job id must be an integer\n"),
+        },
+        (Method::Delete, ["jobs", id]) => match parse_id(id) {
+            Some(id) => {
+                if service.cancel(id) {
+                    Response::text(200, format!("cancelled {id}\n"))
+                } else {
+                    Response::text(
+                        404,
+                        format!("error job {id} not found or already terminal\n"),
+                    )
+                }
+            }
+            None => Response::text(400, "error job id must be an integer\n"),
+        },
+        (Method::Get, ["metrics"]) => Response::text(200, service.metrics().render()),
+        (Method::Get, ["healthz"]) => Response::text(200, "ok\n"),
+        _ => Response::text(404, format!("error no route for {path}\n")),
+    }
+}
+
+fn parse_id(raw: &str) -> Option<JobId> {
+    raw.parse().ok().map(JobId)
+}
+
+fn handle_connection(service: &Service, mut stream: TcpStream, config: HttpConfig) {
+    let _ = stream.set_read_timeout(Some(config.read_timeout));
+    let response = match read_request(&mut stream, config.max_body_bytes) {
+        Ok(req) => route(service, req),
+        Err(e) => Response::from_error(&e),
+    };
+    // the client may already be gone; that is its problem, not ours
+    let _ = response.write_to(&mut stream);
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+}
+
+/// The TCP front end: an accept loop handing each connection to a short
+/// lived thread. Dropping the server (or calling
+/// [`HttpServer::shutdown`]) stops accepting; the wrapped [`Service`] is
+/// shut down separately by its owner.
+pub struct HttpServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for HttpServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HttpServer")
+            .field("addr", &self.addr)
+            .finish_non_exhaustive()
+    }
+}
+
+impl HttpServer {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and starts
+    /// accepting.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind(service: Arc<Service>, addr: &str, config: HttpConfig) -> io::Result<HttpServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept = {
+            let stop = Arc::clone(&stop);
+            thread::Builder::new()
+                .name("columba-http-accept".into())
+                .spawn(move || accept_loop(&listener, &service, config, &stop))?
+        };
+        Ok(HttpServer {
+            addr: local,
+            stop,
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound address (resolves the ephemeral port).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting connections and joins the accept thread.
+    /// Idempotent; also runs on drop.
+    pub fn shutdown(&mut self) {
+        if self.stop.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        // unblock the accept loop with a throwaway connection
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for HttpServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    service: &Arc<Service>,
+    config: HttpConfig,
+    stop: &AtomicBool,
+) {
+    for conn in listener.incoming() {
+        if stop.load(Ordering::Acquire) {
+            return;
+        }
+        match conn {
+            Ok(stream) => {
+                let service = Arc::clone(service);
+                let spawned = thread::Builder::new()
+                    .name("columba-http-conn".into())
+                    .spawn(move || handle_connection(&service, stream, config));
+                // thread exhaustion: drop the connection rather than die
+                drop(spawned);
+            }
+            Err(_) => thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn parse(raw: &[u8]) -> Result<Request, HttpError> {
+        read_request(&mut Cursor::new(raw.to_vec()), 1 << 20)
+    }
+
+    #[test]
+    fn parses_get_and_post() {
+        let req = parse(b"GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n").expect("valid");
+        assert_eq!(req.method, Method::Get);
+        assert_eq!(req.path, "/metrics");
+        assert!(req.body.is_empty());
+
+        let req =
+            parse(b"POST /synthesize HTTP/1.1\r\nContent-Length: 4\r\n\r\nchip").expect("valid");
+        assert_eq!(req.method, Method::Post);
+        assert_eq!(req.body, b"chip");
+    }
+
+    #[test]
+    fn tolerates_bare_lf_line_endings() {
+        let req = parse(b"GET /healthz HTTP/1.1\nHost: x\n\n").expect("valid");
+        assert_eq!(req.path, "/healthz");
+    }
+
+    #[test]
+    fn garbage_request_lines_are_400_or_405() {
+        for raw in [
+            &b"\r\n\r\n"[..],
+            b"GET\r\n\r\n",
+            b"GET /x\r\n\r\n",
+            b"GET /x HTTP/1.1 extra\r\n\r\n",
+            b"GET /x SMTP/1.0\r\n\r\n",
+            b"GET relative HTTP/1.1\r\n\r\n",
+            b"PUT /x HTTP/1.1\r\n\r\n",
+            b"\xff\xfe\x00 garbage\r\n\r\n",
+        ] {
+            let status = parse(raw).expect_err("must be rejected").status;
+            assert!(
+                status == 400 || status == 405,
+                "{raw:?} gave {status}, wanted 4xx"
+            );
+        }
+    }
+
+    #[test]
+    fn content_length_abuse() {
+        // invalid
+        let e = parse(b"POST /s HTTP/1.1\r\nContent-Length: banana\r\n\r\n").expect_err("reject");
+        assert_eq!(e.status, 400);
+        // negative
+        let e = parse(b"POST /s HTTP/1.1\r\nContent-Length: -5\r\n\r\n").expect_err("reject");
+        assert_eq!(e.status, 400);
+        // conflicting duplicates
+        let e = parse(b"POST /s HTTP/1.1\r\nContent-Length: 1\r\nContent-Length: 2\r\n\r\nx")
+            .expect_err("reject");
+        assert_eq!(e.status, 400);
+        // oversized
+        let e = read_request(
+            &mut Cursor::new(b"POST /s HTTP/1.1\r\nContent-Length: 100\r\n\r\n".to_vec()),
+            10,
+        )
+        .expect_err("reject");
+        assert_eq!(e.status, 413);
+        // truncated body
+        let e = parse(b"POST /s HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort").expect_err("reject");
+        assert_eq!(e.status, 400);
+    }
+
+    #[test]
+    fn oversized_header_block_is_431() {
+        let mut raw = b"GET /x HTTP/1.1\r\n".to_vec();
+        raw.extend(std::iter::repeat_n(b'a', MAX_HEAD_BYTES + 10));
+        let e = parse(&raw).expect_err("reject");
+        assert_eq!(e.status, 431);
+    }
+
+    #[test]
+    fn response_wire_format() {
+        let mut out = Vec::new();
+        Response::text(202, "id 7\n")
+            .write_to(&mut out)
+            .expect("in-memory write");
+        let text = String::from_utf8(out).expect("ascii");
+        assert!(text.starts_with("HTTP/1.1 202 Accepted\r\n"), "{text}");
+        assert!(text.contains("Content-Length: 5\r\n"), "{text}");
+        assert!(text.contains("Connection: close\r\n"), "{text}");
+        assert!(text.ends_with("\r\n\r\nid 7\n"), "{text}");
+    }
+}

@@ -1,0 +1,154 @@
+//! Job identity, states and status snapshots.
+
+use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::cache::CompletedDesign;
+
+/// Handle to one submitted synthesis job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct JobId(pub u64);
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Lifecycle state of a job. Terminal states are `Done`, `Failed` and
+/// `Cancelled`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Admitted, waiting for a worker.
+    Queued,
+    /// A worker is synthesizing it.
+    Running,
+    /// Synthesis produced a design (possibly a degraded ladder rung).
+    Done,
+    /// Synthesis failed; [`JobStatus::error`] carries the reason.
+    Failed,
+    /// Cancelled by the client before producing a design.
+    Cancelled,
+}
+
+impl JobState {
+    /// Whether the job will change state again.
+    #[must_use]
+    pub fn is_terminal(self) -> bool {
+        matches!(
+            self,
+            JobState::Done | JobState::Failed | JobState::Cancelled
+        )
+    }
+
+    /// Stable lowercase name (HTTP status lines, metrics).
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Failed => "failed",
+            JobState::Cancelled => "cancelled",
+        }
+    }
+}
+
+impl fmt::Display for JobState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A point-in-time snapshot of one job, as returned by `Service::status`
+/// and rendered by `GET /jobs/<id>`.
+#[derive(Debug, Clone)]
+pub struct JobStatus {
+    /// The job.
+    pub id: JobId,
+    /// Current state.
+    pub state: JobState,
+    /// Whether the design came from the content-addressed cache.
+    pub from_cache: bool,
+    /// Time from worker pickup to terminal state, once terminal.
+    pub elapsed: Option<Duration>,
+    /// The resilience-ladder rung that produced the design, once done.
+    pub rung: Option<String>,
+    /// The failure reason, when `state == Failed`.
+    pub error: Option<String>,
+    /// The finished design (also present on a cancelled job whose ladder
+    /// still produced an incumbent before the token fired).
+    pub design: Option<Arc<CompletedDesign>>,
+}
+
+impl JobStatus {
+    /// Renders the flat `key value` text form served by `GET /jobs/<id>`:
+    /// always `id`, `state`, `from_cache`; then `elapsed_us` and `rung`
+    /// once finished, `error` on failure, and the design's headline
+    /// numbers (`drc_clean`, `width_mm`, `height_mm`, solver counters)
+    /// when a design exists.
+    #[must_use]
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(s, "id {}", self.id);
+        let _ = writeln!(s, "state {}", self.state);
+        let _ = writeln!(s, "from_cache {}", self.from_cache);
+        if let Some(elapsed) = self.elapsed {
+            let _ = writeln!(s, "elapsed_us {}", elapsed.as_micros());
+        }
+        if let Some(rung) = &self.rung {
+            let _ = writeln!(s, "rung {rung}");
+        }
+        if let Some(error) = &self.error {
+            let _ = writeln!(s, "error {}", error.replace('\n', " "));
+        }
+        if let Some(design) = &self.design {
+            let stats = design.outcome.stats();
+            let solve = &design.outcome.layout.solve;
+            let _ = writeln!(s, "drc_clean {}", design.outcome.drc.is_clean());
+            let _ = writeln!(s, "width_mm {:.3}", stats.width.to_mm());
+            let _ = writeln!(s, "height_mm {:.3}", stats.height.to_mm());
+            let _ = writeln!(s, "control_inlets {}", stats.control_inlets);
+            let _ = writeln!(s, "solve_nodes {}", solve.nodes_processed);
+            let _ = writeln!(s, "solve_pruned {}", solve.nodes_pruned);
+            let _ = writeln!(s, "solve_simplex_iterations {}", solve.simplex_iterations);
+            let _ = writeln!(s, "solved_in_us {}", design.solved_in.as_micros());
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn terminal_states() {
+        assert!(!JobState::Queued.is_terminal());
+        assert!(!JobState::Running.is_terminal());
+        assert!(JobState::Done.is_terminal());
+        assert!(JobState::Failed.is_terminal());
+        assert!(JobState::Cancelled.is_terminal());
+        assert_eq!(JobState::Running.to_string(), "running");
+    }
+
+    #[test]
+    fn render_includes_error_single_line() {
+        let status = JobStatus {
+            id: JobId(3),
+            state: JobState::Failed,
+            from_cache: false,
+            elapsed: Some(Duration::from_micros(42)),
+            rung: None,
+            error: Some("line 1:\nbad".into()),
+            design: None,
+        };
+        let text = status.render();
+        assert!(text.contains("id 3\n"), "{text}");
+        assert!(text.contains("state failed\n"), "{text}");
+        assert!(text.contains("elapsed_us 42\n"), "{text}");
+        assert!(text.contains("error line 1: bad\n"), "{text}");
+    }
+}

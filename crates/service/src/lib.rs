@@ -1,0 +1,52 @@
+//! columba-service: a concurrent synthesis service around the Columba S
+//! flow.
+//!
+//! Four layers, bottom up:
+//!
+//! * [`cache`] — a content-addressed design cache: canonical netlist
+//!   bytes + design-relevant options are hashed ([`hash::ContentKey`])
+//!   and completed designs are stored under that key with LRU eviction
+//!   and byte-size accounting. Resubmitting a known design is a hash
+//!   lookup instead of an MILP solve.
+//! * [`service`] — a job scheduler: bounded queue with admission
+//!   control (submissions beyond capacity are rejected with a reason,
+//!   never blocked), a fixed worker pool running the resilient
+//!   synthesis ladder, per-job deadlines and cooperative cancellation
+//!   through `CancelToken`, and queryable job states.
+//! * [`http`] — a minimal hand-rolled HTTP/1.1 front end over
+//!   `std::net` exposing submit / status / export / cancel / metrics.
+//! * [`trace`] — structured JSONL lifecycle tracing through a pluggable
+//!   [`TraceSink`].
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use columba_service::{HttpConfig, HttpServer, Service, ServiceConfig};
+//!
+//! let service = Arc::new(Service::start(ServiceConfig::default()));
+//! let server = HttpServer::bind(
+//!     Arc::clone(&service),
+//!     "127.0.0.1:0",
+//!     HttpConfig::default(),
+//! ).expect("bind");
+//! println!("listening on {}", server.addr());
+//! # drop(server);
+//! # service.shutdown();
+//! ```
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
+pub mod cache;
+pub mod hash;
+pub mod http;
+pub mod job;
+pub mod metrics;
+pub mod service;
+pub mod trace;
+
+pub use cache::{CacheConfig, CacheStats, CompletedDesign, DesignCache};
+pub use hash::{fnv1a64, ContentKey};
+pub use http::{HttpConfig, HttpServer};
+pub use job::{JobId, JobState, JobStatus};
+pub use metrics::{metric_value, MetricsSnapshot};
+pub use service::{ExportError, ExportKind, Service, ServiceConfig, SubmitError};
+pub use trace::{JsonlSink, MemorySink, NullSink, TraceEvent, TraceKind, TraceSink};

@@ -1,0 +1,147 @@
+//! Service-level metrics.
+//!
+//! One [`MetricsSnapshot`] gathers everything `/metrics` serves: cache
+//! counters, queue state, jobs by state, and the cumulative
+//! [`SolveStats`] absorbed from every solve the service ran. The wire
+//! format is flat text — one `name value` pair per line, integers and
+//! fixed-point decimals only — trivially scrape-able and diff-able.
+
+use columba_s::SolveStats;
+
+use crate::cache::CacheStats;
+
+/// Point-in-time service counters.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    /// Cache counters.
+    pub cache: CacheStats,
+    /// Jobs admitted but not yet picked up.
+    pub queue_depth: usize,
+    /// The admission-control bound.
+    pub queue_capacity: usize,
+    /// Submissions rejected by admission control since start.
+    pub rejected: u64,
+    /// Jobs currently queued.
+    pub jobs_queued: usize,
+    /// Jobs currently running.
+    pub jobs_running: usize,
+    /// Jobs finished with a design.
+    pub jobs_done: usize,
+    /// Jobs failed.
+    pub jobs_failed: usize,
+    /// Jobs cancelled.
+    pub jobs_cancelled: usize,
+    /// Worker panics contained by the pool (each one failed its job but
+    /// kept the worker alive).
+    pub worker_panics: u64,
+    /// Worker threads in the pool.
+    pub workers: usize,
+    /// Cumulative solver telemetry across every completed solve
+    /// (aggregated with [`SolveStats::absorb`]).
+    pub solve: SolveStats,
+}
+
+impl MetricsSnapshot {
+    /// Renders the flat text form served by `GET /metrics`.
+    #[must_use]
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::with_capacity(512);
+        let mut line = |k: &str, v: String| {
+            let _ = writeln!(s, "{k} {v}");
+        };
+        line("cache_hits", self.cache.hits.to_string());
+        line("cache_misses", self.cache.misses.to_string());
+        line("cache_evictions", self.cache.evictions.to_string());
+        line("cache_entries", self.cache.entries.to_string());
+        line("cache_bytes", self.cache.bytes.to_string());
+        line(
+            "cache_capacity_bytes",
+            self.cache.capacity_bytes.to_string(),
+        );
+        line("queue_depth", self.queue_depth.to_string());
+        line("queue_capacity", self.queue_capacity.to_string());
+        line("queue_rejected", self.rejected.to_string());
+        line("jobs_queued", self.jobs_queued.to_string());
+        line("jobs_running", self.jobs_running.to_string());
+        line("jobs_done", self.jobs_done.to_string());
+        line("jobs_failed", self.jobs_failed.to_string());
+        line("jobs_cancelled", self.jobs_cancelled.to_string());
+        line("workers", self.workers.to_string());
+        line("worker_panics", self.worker_panics.to_string());
+        line("solve_nodes", self.solve.nodes_processed.to_string());
+        line("solve_pruned", self.solve.nodes_pruned.to_string());
+        line(
+            "solve_simplex_iterations",
+            self.solve.simplex_iterations.to_string(),
+        );
+        line(
+            "solve_time_seconds",
+            format!("{:.6}", self.solve.total_time.as_secs_f64()),
+        );
+        line("solve_worker_panics", self.solve.worker_panics.to_string());
+        s
+    }
+}
+
+/// Parses one counter back out of the rendered form (test helper for
+/// clients asserting on `/metrics`).
+#[must_use]
+pub fn metric_value(rendered: &str, name: &str) -> Option<f64> {
+    rendered.lines().find_map(|l| {
+        let (k, v) = l.split_once(' ')?;
+        if k == name {
+            v.parse().ok()
+        } else {
+            None
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn render_is_flat_and_parseable() {
+        let snap = MetricsSnapshot {
+            cache: CacheStats {
+                hits: 3,
+                misses: 7,
+                evictions: 1,
+                entries: 6,
+                bytes: 1234,
+                capacity_bytes: 4096,
+            },
+            queue_depth: 2,
+            queue_capacity: 64,
+            rejected: 5,
+            jobs_queued: 2,
+            jobs_running: 1,
+            jobs_done: 9,
+            jobs_failed: 1,
+            jobs_cancelled: 1,
+            worker_panics: 0,
+            workers: 4,
+            solve: SolveStats {
+                nodes_processed: 100,
+                nodes_pruned: 40,
+                simplex_iterations: 999,
+                total_time: Duration::from_millis(1500),
+                ..SolveStats::default()
+            },
+        };
+        let text = snap.render();
+        for line in text.lines() {
+            let (name, value) = line.split_once(' ').expect("name value");
+            assert!(!name.is_empty());
+            assert!(value.parse::<f64>().is_ok(), "unparsable value: {line}");
+        }
+        assert_eq!(metric_value(&text, "cache_hits"), Some(3.0));
+        assert_eq!(metric_value(&text, "queue_rejected"), Some(5.0));
+        assert_eq!(metric_value(&text, "solve_simplex_iterations"), Some(999.0));
+        assert_eq!(metric_value(&text, "solve_time_seconds"), Some(1.5));
+        assert_eq!(metric_value(&text, "nope"), None);
+    }
+}

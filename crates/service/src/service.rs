@@ -1,0 +1,851 @@
+//! The synthesis service: admission control, a bounded job queue, a fixed
+//! worker pool running the resilient synthesis ladder, and the
+//! content-addressed design cache in front of it.
+//!
+//! Concurrency layout: one `Mutex<State>` holds the queue and the job
+//! table; two condvars on it wake workers (`work`) and waiters (`done`).
+//! The cache and the cumulative solver telemetry live behind their own
+//! locks so a long solve never blocks status queries. Workers run each
+//! job inside `catch_unwind` — a panicking solve fails that job, bumps
+//! `worker_panics`, and the worker lives on.
+
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use columba_s::{CancelToken, Columba, Netlist, SolveStats, SynthesisOptions};
+
+use crate::cache::{CacheConfig, CompletedDesign, DesignCache};
+use crate::hash::ContentKey;
+use crate::job::{JobId, JobState, JobStatus};
+use crate::metrics::MetricsSnapshot;
+use crate::trace::{NullSink, TraceEvent, TraceKind, TraceSink};
+
+/// Locks a mutex, recovering from poisoning: a panic in a worker is
+/// already contained and counted, so the shared state stays usable.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Service construction parameters.
+#[derive(Clone)]
+pub struct ServiceConfig {
+    /// Worker threads in the pool. `0` picks
+    /// `min(available_parallelism, 4)`.
+    pub workers: usize,
+    /// Bound on the submission queue. A submission arriving when the
+    /// queue holds this many jobs is rejected with
+    /// [`SubmitError::QueueFull`] — backpressure, never indefinite
+    /// blocking.
+    pub queue_capacity: usize,
+    /// Design-cache limits.
+    pub cache: CacheConfig,
+    /// Synthesis options every job runs under (also half of the cache
+    /// key — see [`SynthesisOptions::canonical_text`]).
+    pub options: SynthesisOptions,
+    /// Per-job wall-clock deadline. The job's [`CancelToken`] fires when
+    /// it expires, degrading the solve through the resilience ladder.
+    pub job_deadline: Option<Duration>,
+    /// Terminal job records kept for status queries; the oldest beyond
+    /// this are pruned so a long-running service does not grow without
+    /// bound.
+    pub max_records: usize,
+    /// Trace sink for lifecycle events.
+    pub trace: Arc<dyn TraceSink>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> ServiceConfig {
+        ServiceConfig {
+            workers: 0,
+            queue_capacity: 64,
+            cache: CacheConfig::default(),
+            options: SynthesisOptions::default(),
+            job_deadline: Some(Duration::from_secs(120)),
+            max_records: 4096,
+            trace: Arc::new(NullSink),
+        }
+    }
+}
+
+impl fmt::Debug for ServiceConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ServiceConfig")
+            .field("workers", &self.workers)
+            .field("queue_capacity", &self.queue_capacity)
+            .field("cache", &self.cache)
+            .field("job_deadline", &self.job_deadline)
+            .field("max_records", &self.max_records)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Why a submission was not admitted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The queue is at capacity; resubmit later.
+    QueueFull {
+        /// Jobs waiting when the submission arrived.
+        depth: usize,
+        /// The configured bound.
+        capacity: usize,
+    },
+    /// The service is shutting down.
+    ShuttingDown,
+}
+
+impl fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubmitError::QueueFull { depth, capacity } => {
+                write!(f, "queue full (depth {depth}, capacity {capacity})")
+            }
+            SubmitError::ShuttingDown => f.write_str("service is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// Which CAD artifact to export.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExportKind {
+    /// The SVG render.
+    Svg,
+    /// The AutoCAD `.scr` script.
+    Scr,
+}
+
+/// Why an export was not served.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExportError {
+    /// No such job.
+    NotFound,
+    /// The job has no design (yet): still queued/running, failed, or
+    /// cancelled before an incumbent existed.
+    NotReady(JobState),
+}
+
+struct JobRecord {
+    text: Arc<String>,
+    token: CancelToken,
+    state: JobState,
+    cancel_requested: bool,
+    elapsed: Option<Duration>,
+    from_cache: bool,
+    rung: Option<String>,
+    error: Option<String>,
+    design: Option<Arc<CompletedDesign>>,
+}
+
+impl JobRecord {
+    fn snapshot(&self, id: u64) -> JobStatus {
+        JobStatus {
+            id: JobId(id),
+            state: self.state,
+            from_cache: self.from_cache,
+            elapsed: self.elapsed,
+            rung: self.rung.clone(),
+            error: self.error.clone(),
+            design: self.design.clone(),
+        }
+    }
+}
+
+struct State {
+    queue: VecDeque<u64>,
+    jobs: HashMap<u64, JobRecord>,
+    next_id: u64,
+}
+
+struct Inner {
+    epoch: Instant,
+    columba: Columba,
+    options_canon: String,
+    queue_capacity: usize,
+    job_deadline: Option<Duration>,
+    max_records: usize,
+    worker_count: usize,
+    state: Mutex<State>,
+    work: Condvar,
+    done: Condvar,
+    shutting_down: AtomicBool,
+    cache: Mutex<DesignCache>,
+    agg: Mutex<SolveStats>,
+    trace_sink: Arc<dyn TraceSink>,
+    rejected: AtomicU64,
+    panics: AtomicU64,
+    done_count: AtomicU64,
+    failed_count: AtomicU64,
+    cancelled_count: AtomicU64,
+}
+
+impl Inner {
+    fn trace(&self, job: Option<u64>, kind: TraceKind, detail: impl Into<String>) {
+        self.trace_sink.record(&TraceEvent {
+            ts: self.epoch.elapsed(),
+            job,
+            kind,
+            detail: detail.into(),
+        });
+    }
+}
+
+enum JobEnd {
+    Done {
+        design: Arc<CompletedDesign>,
+        from_cache: bool,
+    },
+    Failed(String),
+}
+
+/// A running synthesis service. Construct with [`Service::start`]; share
+/// behind an `Arc` (the HTTP front end does). Dropping the service shuts
+/// it down.
+pub struct Service {
+    inner: Arc<Inner>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl fmt::Debug for Service {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Service")
+            .field("workers", &self.inner.worker_count)
+            .field("queue_capacity", &self.inner.queue_capacity)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Service {
+    /// Starts the worker pool and returns the running service.
+    #[must_use]
+    pub fn start(config: ServiceConfig) -> Service {
+        let worker_count = if config.workers == 0 {
+            thread::available_parallelism().map_or(2, |n| n.get().min(4))
+        } else {
+            config.workers
+        };
+        let inner = Arc::new(Inner {
+            epoch: Instant::now(),
+            columba: Columba::with_options(config.options.clone()),
+            options_canon: config.options.canonical_text(),
+            queue_capacity: config.queue_capacity.max(1),
+            job_deadline: config.job_deadline,
+            max_records: config.max_records.max(1),
+            worker_count,
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                jobs: HashMap::new(),
+                next_id: 1,
+            }),
+            work: Condvar::new(),
+            done: Condvar::new(),
+            shutting_down: AtomicBool::new(false),
+            cache: Mutex::new(DesignCache::new(config.cache)),
+            agg: Mutex::new(SolveStats::default()),
+            trace_sink: config.trace,
+            rejected: AtomicU64::new(0),
+            panics: AtomicU64::new(0),
+            done_count: AtomicU64::new(0),
+            failed_count: AtomicU64::new(0),
+            cancelled_count: AtomicU64::new(0),
+        });
+        let workers = (0..worker_count)
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                thread::Builder::new()
+                    .name(format!("columba-worker-{i}"))
+                    .spawn(move || worker_loop(&inner))
+                    .expect("spawning a worker thread")
+            })
+            .collect();
+        Service {
+            inner,
+            workers: Mutex::new(workers),
+        }
+    }
+
+    /// The worker pool size.
+    #[must_use]
+    pub fn worker_count(&self) -> usize {
+        self.inner.worker_count
+    }
+
+    /// Submits a netlist (plain-text format) for synthesis.
+    ///
+    /// Admission control is immediate: the call never blocks on the
+    /// queue. Parsing happens on the worker, so a malformed netlist is
+    /// admitted and then fails its job with the parse error.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::QueueFull`] when the queue is at capacity,
+    /// [`SubmitError::ShuttingDown`] after [`Service::shutdown`].
+    pub fn submit_text(&self, text: impl Into<String>) -> Result<JobId, SubmitError> {
+        let text: Arc<String> = Arc::new(text.into());
+        let inner = &self.inner;
+        inner.trace(None, TraceKind::Received, format!("{} bytes", text.len()));
+        if inner.shutting_down.load(Ordering::Acquire) {
+            inner.rejected.fetch_add(1, Ordering::Relaxed);
+            inner.trace(None, TraceKind::Rejected, "service is shutting down");
+            return Err(SubmitError::ShuttingDown);
+        }
+        let id = {
+            let mut st = lock(&inner.state);
+            if st.queue.len() >= inner.queue_capacity {
+                let depth = st.queue.len();
+                drop(st);
+                inner.rejected.fetch_add(1, Ordering::Relaxed);
+                let err = SubmitError::QueueFull {
+                    depth,
+                    capacity: inner.queue_capacity,
+                };
+                inner.trace(None, TraceKind::Rejected, err.to_string());
+                return Err(err);
+            }
+            let id = st.next_id;
+            st.next_id += 1;
+            let token = inner
+                .job_deadline
+                .map_or_else(CancelToken::new, CancelToken::with_timeout);
+            st.jobs.insert(
+                id,
+                JobRecord {
+                    text,
+                    token,
+                    state: JobState::Queued,
+                    cancel_requested: false,
+                    elapsed: None,
+                    from_cache: false,
+                    rung: None,
+                    error: None,
+                    design: None,
+                },
+            );
+            st.queue.push_back(id);
+            prune_records(&mut st, inner.max_records);
+            id
+        };
+        inner.trace(Some(id), TraceKind::Admitted, "");
+        inner.work.notify_one();
+        Ok(JobId(id))
+    }
+
+    /// A point-in-time snapshot of one job, `None` for an unknown (or
+    /// pruned) id.
+    #[must_use]
+    pub fn status(&self, id: JobId) -> Option<JobStatus> {
+        let st = lock(&self.inner.state);
+        st.jobs.get(&id.0).map(|r| r.snapshot(id.0))
+    }
+
+    /// Blocks until the job reaches a terminal state or `timeout`
+    /// passes; returns the final snapshot either way (`None` for an
+    /// unknown id).
+    #[must_use]
+    pub fn wait(&self, id: JobId, timeout: Duration) -> Option<JobStatus> {
+        let deadline = Instant::now() + timeout;
+        let mut st = lock(&self.inner.state);
+        loop {
+            let r = st.jobs.get(&id.0)?;
+            if r.state.is_terminal() {
+                return Some(r.snapshot(id.0));
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Some(r.snapshot(id.0));
+            }
+            let (g, _) = self
+                .inner
+                .done
+                .wait_timeout(st, deadline - now)
+                .unwrap_or_else(PoisonError::into_inner);
+            st = g;
+        }
+    }
+
+    /// Requests cancellation. A queued job becomes `Cancelled`
+    /// immediately; a running job's [`CancelToken`] fires, the resilience
+    /// ladder winds down cooperatively, and the job lands in `Cancelled`
+    /// (with the best incumbent attached when one exists). Returns `false`
+    /// for unknown or already-terminal jobs.
+    pub fn cancel(&self, id: JobId) -> bool {
+        let inner = &self.inner;
+        let was_queued = {
+            let mut st = lock(&inner.state);
+            let Some(r) = st.jobs.get_mut(&id.0) else {
+                return false;
+            };
+            if r.state.is_terminal() {
+                return false;
+            }
+            r.cancel_requested = true;
+            r.token.cancel();
+            let was_queued = r.state == JobState::Queued;
+            if was_queued {
+                r.state = JobState::Cancelled;
+                r.elapsed = Some(Duration::ZERO);
+                st.queue.retain(|&q| q != id.0);
+            }
+            was_queued
+        };
+        if was_queued {
+            inner.cancelled_count.fetch_add(1, Ordering::Relaxed);
+            inner.trace(Some(id.0), TraceKind::Cancelled, "while queued");
+            inner.done.notify_all();
+        }
+        true
+    }
+
+    /// Returns the finished design for a CAD export and records the
+    /// `exported` trace event.
+    ///
+    /// # Errors
+    ///
+    /// [`ExportError::NotFound`] for an unknown id, [`ExportError::NotReady`]
+    /// when the job has no design.
+    pub fn export(&self, id: JobId, kind: ExportKind) -> Result<Arc<CompletedDesign>, ExportError> {
+        let design = {
+            let st = lock(&self.inner.state);
+            let r = st.jobs.get(&id.0).ok_or(ExportError::NotFound)?;
+            r.design.clone().ok_or(ExportError::NotReady(r.state))?
+        };
+        let what = match kind {
+            ExportKind::Svg => "svg",
+            ExportKind::Scr => "scr",
+        };
+        self.inner.trace(Some(id.0), TraceKind::Exported, what);
+        Ok(design)
+    }
+
+    /// Current counters for `/metrics`.
+    #[must_use]
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let inner = &self.inner;
+        let (queue_depth, jobs_queued, jobs_running) = {
+            let st = lock(&inner.state);
+            let queued = st
+                .jobs
+                .values()
+                .filter(|r| r.state == JobState::Queued)
+                .count();
+            let running = st
+                .jobs
+                .values()
+                .filter(|r| r.state == JobState::Running)
+                .count();
+            (st.queue.len(), queued, running)
+        };
+        MetricsSnapshot {
+            cache: lock(&inner.cache).stats(),
+            queue_depth,
+            queue_capacity: inner.queue_capacity,
+            rejected: inner.rejected.load(Ordering::Relaxed),
+            jobs_queued,
+            jobs_running,
+            jobs_done: usize::try_from(inner.done_count.load(Ordering::Relaxed)).unwrap_or(0),
+            jobs_failed: usize::try_from(inner.failed_count.load(Ordering::Relaxed)).unwrap_or(0),
+            jobs_cancelled: usize::try_from(inner.cancelled_count.load(Ordering::Relaxed))
+                .unwrap_or(0),
+            worker_panics: inner.panics.load(Ordering::Relaxed),
+            workers: inner.worker_count,
+            solve: lock(&inner.agg).clone(),
+        }
+    }
+
+    /// Graceful shutdown: stops admitting, cancels every queued and
+    /// in-flight job through its [`CancelToken`], joins all workers, and
+    /// flushes the trace sink. Idempotent; also runs on drop.
+    pub fn shutdown(&self) {
+        let inner = &self.inner;
+        if inner.shutting_down.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        let drained: Vec<u64> = {
+            let mut st = lock(&inner.state);
+            for r in st.jobs.values_mut() {
+                if !r.state.is_terminal() {
+                    r.token.cancel();
+                }
+            }
+            let drained: Vec<u64> = st.queue.drain(..).collect();
+            for &id in &drained {
+                if let Some(r) = st.jobs.get_mut(&id) {
+                    if r.state == JobState::Queued {
+                        r.state = JobState::Cancelled;
+                        r.elapsed = Some(Duration::ZERO);
+                        r.error = Some("service shut down before the job ran".into());
+                    }
+                }
+            }
+            drained
+        };
+        for id in drained {
+            inner.cancelled_count.fetch_add(1, Ordering::Relaxed);
+            inner.trace(Some(id), TraceKind::Cancelled, "shutdown drained the queue");
+        }
+        inner.work.notify_all();
+        inner.done.notify_all();
+        let handles: Vec<JoinHandle<()>> = lock(&self.workers).drain(..).collect();
+        for h in handles {
+            let _ = h.join();
+        }
+        inner.trace(None, TraceKind::Shutdown, "");
+        inner.trace_sink.flush();
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Drops the oldest terminal job records beyond `max_records`. Ids are
+/// monotonic, so "oldest" is "smallest id".
+fn prune_records(st: &mut State, max_records: usize) {
+    if st.jobs.len() <= max_records {
+        return;
+    }
+    let mut terminal: Vec<u64> = st
+        .jobs
+        .iter()
+        .filter(|(_, r)| r.state.is_terminal())
+        .map(|(&id, _)| id)
+        .collect();
+    terminal.sort_unstable();
+    let excess = st.jobs.len() - max_records;
+    for id in terminal.into_iter().take(excess) {
+        st.jobs.remove(&id);
+    }
+}
+
+fn worker_loop(inner: &Arc<Inner>) {
+    loop {
+        let claimed = {
+            let mut st = lock(&inner.state);
+            loop {
+                if let Some(id) = st.queue.pop_front() {
+                    // cancel() removes queued ids, but double-check: only
+                    // a still-Queued record runs
+                    let Some(r) = st.jobs.get_mut(&id) else {
+                        continue;
+                    };
+                    if r.state != JobState::Queued {
+                        continue;
+                    }
+                    r.state = JobState::Running;
+                    let text = Arc::clone(&r.text);
+                    let token = r.token.clone();
+                    break Some((id, text, token));
+                }
+                if inner.shutting_down.load(Ordering::Acquire) {
+                    break None;
+                }
+                let (g, _) = inner
+                    .work
+                    .wait_timeout(st, Duration::from_millis(100))
+                    .unwrap_or_else(PoisonError::into_inner);
+                st = g;
+            }
+        };
+        let Some((id, text, token)) = claimed else {
+            return;
+        };
+        inner.trace(Some(id), TraceKind::Started, "");
+        let t0 = Instant::now();
+        let end = match catch_unwind(AssertUnwindSafe(|| run_job(inner, id, &text, &token))) {
+            Ok(end) => end,
+            Err(_) => {
+                inner.panics.fetch_add(1, Ordering::Relaxed);
+                JobEnd::Failed("worker panicked during synthesis (contained)".into())
+            }
+        };
+        finalize(inner, id, t0.elapsed(), end);
+        inner.done.notify_all();
+    }
+}
+
+fn run_job(inner: &Inner, id: u64, text: &str, token: &CancelToken) -> JobEnd {
+    let netlist = match Netlist::parse(text) {
+        Ok(n) => n,
+        Err(e) => return JobEnd::Failed(format!("netlist error: {e}")),
+    };
+    let canonical = netlist.canonical_text();
+    let key = ContentKey::of_sections(&[&canonical, &inner.options_canon]);
+    if let Some(design) = lock(&inner.cache).get(key) {
+        inner.trace(
+            Some(id),
+            TraceKind::CacheHit,
+            format!("key {}", key.short()),
+        );
+        return JobEnd::Done {
+            design,
+            from_cache: true,
+        };
+    }
+    match inner
+        .columba
+        .synthesize_resilient(&netlist, Some(token.clone()))
+    {
+        Ok(result) => {
+            for (i, attempt) in result.log.attempts.iter().enumerate() {
+                inner.trace(
+                    Some(id),
+                    TraceKind::Rung,
+                    format!("{} of {}: {}", i + 1, attempt.rung, summarize(attempt)),
+                );
+            }
+            lock(&inner.agg).absorb(&result.log.aggregate_solve());
+            let svg = result.outcome.to_svg().unwrap_or_default();
+            let scr = result.outcome.to_autocad_script().unwrap_or_default();
+            let solved_in = result.outcome.elapsed;
+            let design = Arc::new(CompletedDesign {
+                svg,
+                scr,
+                rung: result.rung.to_string(),
+                solved_in,
+                outcome: result.outcome,
+            });
+            // cost: the real artifact bytes this entry pins, plus a small
+            // allowance for the structs themselves
+            let cost = design.svg.len() + design.scr.len() + canonical.len() + 512;
+            lock(&inner.cache).insert(key, Arc::clone(&design), cost);
+            inner.trace(
+                Some(id),
+                TraceKind::Solved,
+                format!(
+                    "{} in {:.3}s, key {}",
+                    design.rung,
+                    solved_in.as_secs_f64(),
+                    key.short()
+                ),
+            );
+            JobEnd::Done {
+                design,
+                from_cache: false,
+            }
+        }
+        Err(e) => JobEnd::Failed(e.to_string()),
+    }
+}
+
+fn summarize(attempt: &columba_s::Attempt) -> String {
+    use columba_s::AttemptOutcome;
+    match &attempt.outcome {
+        AttemptOutcome::Produced(status) => format!("produced ({status:?})"),
+        AttemptOutcome::Failed(why) => format!("failed: {why}"),
+        AttemptOutcome::Skipped(why) => format!("skipped: {why}"),
+    }
+}
+
+fn finalize(inner: &Inner, id: u64, elapsed: Duration, end: JobEnd) {
+    let final_state = {
+        let mut st = lock(&inner.state);
+        let Some(r) = st.jobs.get_mut(&id) else {
+            return;
+        };
+        r.elapsed = Some(elapsed);
+        match end {
+            JobEnd::Done { design, from_cache } => {
+                r.from_cache = from_cache;
+                r.rung = Some(design.rung.clone());
+                r.design = Some(design);
+                r.state = if r.cancel_requested {
+                    JobState::Cancelled
+                } else {
+                    JobState::Done
+                };
+            }
+            JobEnd::Failed(msg) => {
+                r.error = Some(msg);
+                r.state = if r.cancel_requested {
+                    JobState::Cancelled
+                } else {
+                    JobState::Failed
+                };
+            }
+        }
+        r.state
+    };
+    match final_state {
+        JobState::Done => {
+            inner.done_count.fetch_add(1, Ordering::Relaxed);
+        }
+        JobState::Failed => {
+            inner.failed_count.fetch_add(1, Ordering::Relaxed);
+            let detail = {
+                let st = lock(&inner.state);
+                st.jobs
+                    .get(&id)
+                    .and_then(|r| r.error.clone())
+                    .unwrap_or_default()
+            };
+            inner.trace(Some(id), TraceKind::Failed, detail);
+        }
+        JobState::Cancelled => {
+            inner.cancelled_count.fetch_add(1, Ordering::Relaxed);
+            inner.trace(Some(id), TraceKind::Cancelled, "while running");
+        }
+        JobState::Queued | JobState::Running => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::MemorySink;
+
+    const TINY: &str = "chip t\nmixer m1\nport a\nport b\n\
+                        connect a -> m1.left\nconnect m1.right -> b\n";
+
+    fn quick_config(trace: Arc<dyn TraceSink>) -> ServiceConfig {
+        let mut options = SynthesisOptions::default();
+        options.layout.time_limit = Duration::from_secs(5);
+        options.layout.threads = 1;
+        ServiceConfig {
+            workers: 2,
+            options,
+            trace,
+            ..ServiceConfig::default()
+        }
+    }
+
+    #[test]
+    fn submit_solve_and_cache_hit() {
+        let sink = Arc::new(MemorySink::new());
+        let service = Service::start(quick_config(Arc::clone(&sink) as Arc<dyn TraceSink>));
+        let first = service.submit_text(TINY).expect("admitted");
+        let status = service
+            .wait(first, Duration::from_secs(60))
+            .expect("known job");
+        assert_eq!(status.state, JobState::Done, "{:?}", status.error);
+        assert!(!status.from_cache);
+        assert!(status.design.is_some());
+        let second = service.submit_text(TINY).expect("admitted");
+        let status2 = service
+            .wait(second, Duration::from_secs(60))
+            .expect("known job");
+        assert_eq!(status2.state, JobState::Done);
+        assert!(status2.from_cache, "second submission must hit the cache");
+        // byte-identical artifacts between solve and cache hit
+        let d1 = status.design.expect("design");
+        let d2 = status2.design.expect("design");
+        assert_eq!(d1.svg, d2.svg);
+        assert_eq!(d1.scr, d2.scr);
+        let m = service.metrics();
+        assert_eq!(m.cache.hits, 1);
+        assert_eq!(m.cache.misses, 1);
+        assert_eq!(m.jobs_done, 2);
+        assert_eq!(m.worker_panics, 0);
+        assert!(m.solve.simplex_iterations > 0, "aggregated solver stats");
+        service.shutdown();
+        assert_eq!(sink.of_kind(TraceKind::CacheHit).len(), 1);
+        assert_eq!(sink.of_kind(TraceKind::Solved).len(), 1);
+        assert!(sink.flush_count() >= 1, "shutdown flushes the sink");
+    }
+
+    #[test]
+    fn malformed_netlist_fails_the_job_not_the_worker() {
+        let service = Service::start(quick_config(Arc::new(NullSink)));
+        let bad = service
+            .submit_text("definitely not a netlist")
+            .expect("admitted");
+        let status = service.wait(bad, Duration::from_secs(30)).expect("known");
+        assert_eq!(status.state, JobState::Failed);
+        assert!(status
+            .error
+            .as_deref()
+            .is_some_and(|e| e.contains("netlist")));
+        // the worker survives and serves the next job
+        let good = service.submit_text(TINY).expect("admitted");
+        let status = service.wait(good, Duration::from_secs(60)).expect("known");
+        assert_eq!(status.state, JobState::Done);
+        let m = service.metrics();
+        assert_eq!(m.worker_panics, 0);
+        assert_eq!(m.jobs_failed, 1);
+    }
+
+    #[test]
+    fn queue_full_rejects_with_reason() {
+        // zero-worker pool cannot drain the queue — but workers: 0 means
+        // "auto", so use capacity 1 and saturate it faster than two
+        // workers can drain: submit while the queue is artificially held
+        // by not starting... simplest deterministic route: capacity 1 and
+        // one worker busy on a slow job.
+        let mut config = quick_config(Arc::new(NullSink));
+        config.workers = 1;
+        config.queue_capacity = 1;
+        let service = Service::start(config);
+        // the worker picks this up quickly...
+        let _running = service.submit_text(TINY).expect("admitted");
+        // ...then one job can sit in the queue; the next must bounce.
+        // Submission order is racy against the worker, so just drive until
+        // a rejection shows up — admission control must answer immediately
+        // either way.
+        let mut saw_rejection = None;
+        for _ in 0..64 {
+            match service.submit_text(TINY) {
+                Ok(_) => continue,
+                Err(e) => {
+                    saw_rejection = Some(e);
+                    break;
+                }
+            }
+        }
+        let Some(SubmitError::QueueFull { capacity, .. }) = saw_rejection else {
+            panic!("expected a QueueFull rejection, got {saw_rejection:?}");
+        };
+        assert_eq!(capacity, 1);
+        assert!(service.metrics().rejected >= 1);
+        service.shutdown();
+    }
+
+    #[test]
+    fn cancel_queued_job_and_unknown_ids() {
+        let mut config = quick_config(Arc::new(NullSink));
+        config.workers = 1;
+        config.queue_capacity = 8;
+        let service = Service::start(config);
+        let ids: Vec<JobId> = (0..4)
+            .map(|_| service.submit_text(TINY).expect("admitted"))
+            .collect();
+        // cancel the last one — almost certainly still queued behind the
+        // solver; either way cancel() must succeed on a non-terminal job
+        let last = ids[3];
+        assert!(service.cancel(last));
+        let status = service.wait(last, Duration::from_secs(60)).expect("known");
+        assert_eq!(status.state, JobState::Cancelled);
+        assert!(!service.cancel(last), "already terminal");
+        assert!(!service.cancel(JobId(999_999)), "unknown id");
+        service.shutdown();
+    }
+
+    #[test]
+    fn submit_after_shutdown_is_rejected() {
+        let service = Service::start(quick_config(Arc::new(NullSink)));
+        service.shutdown();
+        assert_eq!(service.submit_text(TINY), Err(SubmitError::ShuttingDown));
+    }
+
+    #[test]
+    fn export_errors() {
+        let service = Service::start(quick_config(Arc::new(NullSink)));
+        assert_eq!(
+            service.export(JobId(42), ExportKind::Svg).err(),
+            Some(ExportError::NotFound)
+        );
+        let id = service.submit_text(TINY).expect("admitted");
+        let status = service.wait(id, Duration::from_secs(60)).expect("known");
+        assert_eq!(status.state, JobState::Done);
+        let svg = service.export(id, ExportKind::Svg).expect("design ready");
+        assert!(svg.svg.contains("<svg"));
+        let scr = service.export(id, ExportKind::Scr).expect("design ready");
+        assert!(scr.scr.contains("RECTANG"));
+        service.shutdown();
+    }
+}

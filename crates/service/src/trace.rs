@@ -1,0 +1,315 @@
+//! Structured lifecycle tracing.
+//!
+//! Every job lifecycle transition emits one [`TraceEvent`] through the
+//! service's [`TraceSink`]: `received`, `admitted`, `rejected`,
+//! `cache_hit`, `started`, `rung`, `solved`, `failed`, `cancelled`,
+//! `exported`, `shutdown`. Timestamps are monotonic offsets from the
+//! service epoch (`Instant`-based, never wall clock), so traces order
+//! correctly even across clock adjustments.
+//!
+//! The sink is pluggable: production writes JSON Lines through
+//! [`JsonlSink`] (one self-contained JSON object per line — the schema is
+//! documented on [`TraceEvent::to_jsonl`]), tests capture events in memory
+//! with [`MemorySink`], and the default [`NullSink`] drops them.
+
+use std::fmt;
+use std::io::Write;
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// The lifecycle transition a [`TraceEvent`] records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceKind {
+    /// A submission arrived at the service boundary.
+    Received,
+    /// The submission passed admission control and was queued.
+    Admitted,
+    /// Admission control rejected the submission (queue full or shutdown).
+    Rejected,
+    /// The job was served from the content-addressed design cache.
+    CacheHit,
+    /// A worker picked the job up and began synthesis.
+    Started,
+    /// One resilience-ladder rung ran (detail carries rung + outcome).
+    Rung,
+    /// Synthesis produced a design.
+    Solved,
+    /// Synthesis failed (parse error, infeasibility, exhausted ladder).
+    Failed,
+    /// The job ended cancelled, by client request.
+    Cancelled,
+    /// A CAD export of the finished design was served.
+    Exported,
+    /// The service shut down.
+    Shutdown,
+}
+
+impl TraceKind {
+    /// The stable event name used in the JSONL schema.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TraceKind::Received => "received",
+            TraceKind::Admitted => "admitted",
+            TraceKind::Rejected => "rejected",
+            TraceKind::CacheHit => "cache_hit",
+            TraceKind::Started => "started",
+            TraceKind::Rung => "rung",
+            TraceKind::Solved => "solved",
+            TraceKind::Failed => "failed",
+            TraceKind::Cancelled => "cancelled",
+            TraceKind::Exported => "exported",
+            TraceKind::Shutdown => "shutdown",
+        }
+    }
+}
+
+impl fmt::Display for TraceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One lifecycle transition.
+#[derive(Debug, Clone)]
+pub struct TraceEvent {
+    /// Monotonic offset from the service epoch.
+    pub ts: Duration,
+    /// The job the event belongs to; `None` for service-level events
+    /// (`shutdown`).
+    pub job: Option<u64>,
+    /// The transition.
+    pub kind: TraceKind,
+    /// Free-form detail (rung name, rejection reason, error text, ...).
+    pub detail: String,
+}
+
+impl TraceEvent {
+    /// Renders the event as one JSON Lines record:
+    ///
+    /// ```json
+    /// {"ts_us":123456,"job":7,"event":"solved","detail":"full MILP"}
+    /// ```
+    ///
+    /// `ts_us` is the monotonic offset in microseconds; `job` is omitted
+    /// for service-level events; `detail` is omitted when empty.
+    #[must_use]
+    pub fn to_jsonl(&self) -> String {
+        let mut s = String::with_capacity(64 + self.detail.len());
+        s.push_str("{\"ts_us\":");
+        s.push_str(&self.ts.as_micros().to_string());
+        if let Some(job) = self.job {
+            s.push_str(",\"job\":");
+            s.push_str(&job.to_string());
+        }
+        s.push_str(",\"event\":\"");
+        s.push_str(self.kind.as_str());
+        s.push('"');
+        if !self.detail.is_empty() {
+            s.push_str(",\"detail\":\"");
+            escape_json_into(&self.detail, &mut s);
+            s.push('"');
+        }
+        s.push('}');
+        s
+    }
+}
+
+/// Escapes `text` for inclusion inside a JSON string literal.
+fn escape_json_into(text: &str, out: &mut String) {
+    for c in text.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Where trace events go. Implementations must tolerate concurrent
+/// `record` calls from the admission path, every worker, and the HTTP
+/// connection threads.
+pub trait TraceSink: Send + Sync {
+    /// Records one event.
+    fn record(&self, event: &TraceEvent);
+    /// Flushes buffered events to durable form. Called by
+    /// `Service::shutdown`.
+    fn flush(&self) {}
+}
+
+/// Drops every event. The default sink.
+#[derive(Debug, Default)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn record(&self, _event: &TraceEvent) {}
+}
+
+/// Captures events in memory; the test sink.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    events: Mutex<Vec<TraceEvent>>,
+    flushes: Mutex<usize>,
+}
+
+impl MemorySink {
+    /// An empty sink.
+    #[must_use]
+    pub fn new() -> MemorySink {
+        MemorySink::default()
+    }
+
+    /// A copy of every event recorded so far.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<TraceEvent> {
+        self.events
+            .lock()
+            .map_or_else(|e| e.into_inner().clone(), |g| g.clone())
+    }
+
+    /// How many times [`TraceSink::flush`] ran.
+    #[must_use]
+    pub fn flush_count(&self) -> usize {
+        self.flushes.lock().map_or_else(|e| *e.into_inner(), |g| *g)
+    }
+
+    /// Events of one kind, in order.
+    #[must_use]
+    pub fn of_kind(&self, kind: TraceKind) -> Vec<TraceEvent> {
+        self.snapshot()
+            .into_iter()
+            .filter(|e| e.kind == kind)
+            .collect()
+    }
+}
+
+impl TraceSink for MemorySink {
+    fn record(&self, event: &TraceEvent) {
+        if let Ok(mut g) = self.events.lock() {
+            g.push(event.clone());
+        }
+    }
+
+    fn flush(&self) {
+        if let Ok(mut g) = self.flushes.lock() {
+            *g += 1;
+        }
+    }
+}
+
+/// Writes one JSON line per event to any [`Write`] (a file, a pipe,
+/// stderr). Lines are written atomically under an internal lock.
+pub struct JsonlSink<W: Write + Send> {
+    out: Mutex<W>,
+}
+
+impl<W: Write + Send> JsonlSink<W> {
+    /// Wraps a writer.
+    pub fn new(out: W) -> JsonlSink<W> {
+        JsonlSink {
+            out: Mutex::new(out),
+        }
+    }
+}
+
+impl<W: Write + Send> TraceSink for JsonlSink<W> {
+    fn record(&self, event: &TraceEvent) {
+        if let Ok(mut g) = self.out.lock() {
+            // tracing must never take the service down: I/O errors drop
+            // the event
+            let _ = writeln!(g, "{}", event.to_jsonl());
+        }
+    }
+
+    fn flush(&self) {
+        if let Ok(mut g) = self.out.lock() {
+            let _ = g.flush();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jsonl_schema_and_escaping() {
+        let e = TraceEvent {
+            ts: Duration::from_micros(1234),
+            job: Some(7),
+            kind: TraceKind::Failed,
+            detail: "line 2: unknown keyword `\"bo\\gus`\n".into(),
+        };
+        assert_eq!(
+            e.to_jsonl(),
+            "{\"ts_us\":1234,\"job\":7,\"event\":\"failed\",\
+             \"detail\":\"line 2: unknown keyword `\\\"bo\\\\gus`\\n\"}"
+        );
+        let service_level = TraceEvent {
+            ts: Duration::ZERO,
+            job: None,
+            kind: TraceKind::Shutdown,
+            detail: String::new(),
+        };
+        assert_eq!(
+            service_level.to_jsonl(),
+            "{\"ts_us\":0,\"event\":\"shutdown\"}"
+        );
+    }
+
+    #[test]
+    fn control_chars_escape_as_unicode() {
+        let e = TraceEvent {
+            ts: Duration::ZERO,
+            job: None,
+            kind: TraceKind::Rejected,
+            detail: "\u{1}".into(),
+        };
+        assert!(e.to_jsonl().contains("\\u0001"), "{}", e.to_jsonl());
+    }
+
+    #[test]
+    fn jsonl_sink_writes_lines() {
+        let sink = JsonlSink::new(Vec::new());
+        for job in 0..3u64 {
+            sink.record(&TraceEvent {
+                ts: Duration::from_micros(job),
+                job: Some(job),
+                kind: TraceKind::Admitted,
+                detail: String::new(),
+            });
+        }
+        sink.flush();
+        let buf = sink.out.lock().expect("sink lock");
+        let text = String::from_utf8(buf.clone()).expect("utf8");
+        assert_eq!(text.lines().count(), 3);
+        assert!(text.lines().all(|l| l.starts_with('{') && l.ends_with('}')));
+    }
+
+    #[test]
+    fn memory_sink_filters_by_kind() {
+        let sink = MemorySink::new();
+        sink.record(&TraceEvent {
+            ts: Duration::ZERO,
+            job: Some(1),
+            kind: TraceKind::Admitted,
+            detail: String::new(),
+        });
+        sink.record(&TraceEvent {
+            ts: Duration::ZERO,
+            job: Some(1),
+            kind: TraceKind::Solved,
+            detail: "full MILP".into(),
+        });
+        assert_eq!(sink.of_kind(TraceKind::Solved).len(), 1);
+        assert_eq!(sink.of_kind(TraceKind::Rejected).len(), 0);
+        sink.flush();
+        assert_eq!(sink.flush_count(), 1);
+    }
+}

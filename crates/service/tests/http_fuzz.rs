@@ -1,0 +1,179 @@
+//! Seeded random-mutation fuzz of the HTTP front end, modeled on the
+//! netlist parser's mutation harness (`crates/netlist/tests/mutation.rs`):
+//! corrupt a valid request with byte flips, truncations, span shuffles
+//! and insertions of protocol-relevant tokens, fire it at a live server
+//! over real TCP, and require a well-formed HTTP response (4xx for the
+//! malformed shapes) with the server still serving afterwards. Seeded,
+//! so any failure reproduces by round number alone.
+
+mod common;
+
+use std::sync::Arc;
+
+use columba_prng::Rng;
+use columba_service::{HttpConfig, HttpServer, Service, ServiceConfig};
+
+/// Protocol-relevant fragments — worst case for the request parser.
+const TOKENS: &[&str] = &[
+    "GET",
+    "POST",
+    "DELETE",
+    "BREW",
+    " ",
+    "/synthesize",
+    "/jobs/",
+    "/jobs/18446744073709551616",
+    "/metrics",
+    "HTTP/1.1",
+    "HTTP/9.9",
+    "SMTP/1.0",
+    "\r\n",
+    "\n",
+    "\r",
+    ":",
+    "Content-Length:",
+    "Content-Length: -1",
+    "Content-Length: 99999999999999999999",
+    "Content-Length: banana",
+    "Transfer-Encoding: chunked",
+    "Host:",
+    "\0",
+    "\u{fffd}",
+    "%2e%2e",
+];
+
+fn mutate(rng: &mut Rng, text: &str) -> Vec<u8> {
+    let mut bytes = text.as_bytes().to_vec();
+    let edits = rng.gen_range(1..8usize);
+    for _ in 0..edits {
+        if bytes.is_empty() {
+            break;
+        }
+        match rng.gen_range(0..5usize) {
+            0 => {
+                let i = rng.gen_range(0..bytes.len());
+                bytes[i] = (rng.next_u64() & 0xff) as u8;
+            }
+            1 => {
+                let i = rng.gen_range(0..bytes.len());
+                bytes.truncate(i);
+            }
+            2 => {
+                let i = rng.gen_range(0..bytes.len());
+                let j = (i + rng.gen_range(1..24usize)).min(bytes.len());
+                bytes.drain(i..j);
+            }
+            3 => {
+                let i = rng.gen_range(0..bytes.len());
+                let j = (i + rng.gen_range(1..24usize)).min(bytes.len());
+                let span: Vec<u8> = bytes[i..j].to_vec();
+                let at = rng.gen_range(0..=bytes.len());
+                bytes.splice(at..at, span);
+            }
+            _ => {
+                let tok = TOKENS[rng.gen_range(0..TOKENS.len())];
+                let at = rng.gen_range(0..=bytes.len());
+                bytes.splice(at..at, tok.bytes());
+            }
+        }
+    }
+    bytes
+}
+
+fn start_server() -> (Arc<Service>, HttpServer) {
+    let service = Arc::new(Service::start(ServiceConfig {
+        workers: 1,
+        options: common::deterministic_options(),
+        ..ServiceConfig::default()
+    }));
+    let server = HttpServer::bind(Arc::clone(&service), "127.0.0.1:0", HttpConfig::default())
+        .expect("bind an ephemeral port");
+    (service, server)
+}
+
+#[test]
+fn mutated_requests_get_4xx_and_the_server_keeps_serving() {
+    let (service, server) = start_server();
+    let addr = server.addr();
+    let seeds = [
+        "GET /metrics HTTP/1.1\r\nHost: fuzz\r\n\r\n".to_string(),
+        "POST /synthesize HTTP/1.1\r\nHost: fuzz\r\nContent-Length: 11\r\n\r\nnot-a-chip\n"
+            .to_string(),
+        "DELETE /jobs/1 HTTP/1.1\r\nHost: fuzz\r\n\r\n".to_string(),
+    ];
+    let mut rng = Rng::seed_from_u64(0x4177_F022);
+    for round in 0..150 {
+        for (s, seed) in seeds.iter().enumerate() {
+            let corrupted = mutate(&mut rng, seed);
+            let response = common::send_raw(addr, &corrupted);
+            // a mutation can still be a valid request, so any well-formed
+            // status is acceptable; an empty or non-HTTP reply is not
+            assert!(
+                response.starts_with("HTTP/1.1 "),
+                "seed {s} round {round}: non-HTTP reply {response:?} to {corrupted:?}"
+            );
+            let (status, _) = common::parse_response(&response);
+            assert!(
+                (200..=599).contains(&status),
+                "seed {s} round {round}: status {status}"
+            );
+        }
+    }
+    // after the storm, a well-formed request still works
+    let (status, body) = common::request(addr, "GET", "/healthz", None);
+    assert_eq!(status, 200);
+    assert_eq!(body, "ok\n");
+    assert_eq!(service.metrics().worker_panics, 0);
+    service.shutdown();
+}
+
+#[test]
+fn explicit_malformed_shapes() {
+    let (service, server) = start_server();
+    let addr = server.addr();
+    let checks: &[(&[u8], u16)] = &[
+        (b"\r\n\r\n", 400),
+        (b"GET\r\n\r\n", 400),
+        (b"BREW /coffee HTTP/1.1\r\n\r\n", 405),
+        (b"GET nopath HTTP/1.1\r\n\r\n", 400),
+        (
+            b"POST /synthesize HTTP/1.1\r\nContent-Length: banana\r\n\r\n",
+            400,
+        ),
+        (
+            b"POST /synthesize HTTP/1.1\r\nContent-Length: 9999999999\r\n\r\n",
+            413,
+        ),
+        // Content-Length larger than the bytes actually sent
+        (
+            b"POST /synthesize HTTP/1.1\r\nContent-Length: 50\r\n\r\nshort",
+            400,
+        ),
+        (b"GET /jobs/notanumber HTTP/1.1\r\n\r\n", 400),
+        (b"GET /jobs/42 HTTP/1.1\r\n\r\n", 404),
+        (b"GET /no/such/route HTTP/1.1\r\n\r\n", 404),
+        (
+            b"POST /synthesize HTTP/1.1\r\nContent-Length: 0\r\n\r\n",
+            400,
+        ),
+    ];
+    for (raw, expected) in checks {
+        let response = common::send_raw(addr, raw);
+        let (status, body) = common::parse_response(&response);
+        assert_eq!(
+            status,
+            *expected,
+            "request {:?} gave {status} ({body:?})",
+            String::from_utf8_lossy(raw)
+        );
+    }
+    // an oversized header block is cut off at 8 KiB with a 431
+    let mut huge = b"GET /metrics HTTP/1.1\r\nX-Filler: ".to_vec();
+    huge.extend(std::iter::repeat_n(b'a', 16 << 10));
+    let (status, _) = common::parse_response(&common::send_raw(addr, &huge));
+    assert_eq!(status, 431);
+    // still alive
+    let (status, _) = common::request(addr, "GET", "/metrics", None);
+    assert_eq!(status, 200);
+    service.shutdown();
+}

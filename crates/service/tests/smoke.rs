@@ -1,0 +1,118 @@
+//! End-to-end smoke over real TCP: submit, poll, export, metrics — and
+//! the loose cache-speedup assertion (a cache hit must be at least 10×
+//! faster than the solve it replaces; the precise numbers come from the
+//! `service_load` bench).
+
+mod common;
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use columba_service::{metric_value, HttpConfig, HttpServer, JobState, Service, ServiceConfig};
+
+/// Pulls `key value` lines apart (the `/jobs/<id>` wire format).
+fn field<'a>(body: &'a str, key: &str) -> Option<&'a str> {
+    body.lines()
+        .find_map(|l| l.strip_prefix(key)?.strip_prefix(' '))
+}
+
+#[test]
+fn post_poll_export_metrics_and_cache_speedup() {
+    let service = Arc::new(Service::start(ServiceConfig {
+        workers: 2,
+        options: common::deterministic_options(),
+        ..ServiceConfig::default()
+    }));
+    let server = HttpServer::bind(Arc::clone(&service), "127.0.0.1:0", HttpConfig::default())
+        .expect("bind an ephemeral port");
+    let addr = server.addr();
+    let netlist =
+        std::fs::read_to_string(common::cases_dir().join("chip4ip.netlist")).expect("bundled case");
+
+    // health first
+    let (status, body) = common::request(addr, "GET", "/healthz", None);
+    assert_eq!((status, body.as_str()), (200, "ok\n"));
+
+    // submit and poll to done
+    let (status, body) = common::request(addr, "POST", "/synthesize", Some(&netlist));
+    assert_eq!(status, 202, "{body}");
+    let id = field(&body, "id").expect("202 body carries the id").trim();
+    let done = common::poll_terminal(addr, id, Duration::from_secs(300));
+    assert_eq!(field(&done, "state"), Some("done"), "{done}");
+    assert_eq!(field(&done, "from_cache"), Some("false"), "{done}");
+    assert_eq!(field(&done, "drc_clean"), Some("true"), "{done}");
+    let solve_us: f64 = field(&done, "elapsed_us")
+        .expect("terminal status carries elapsed_us")
+        .parse()
+        .expect("integer");
+
+    // exports
+    let (status, svg) = common::request(addr, "GET", &format!("/jobs/{id}/svg"), None);
+    assert_eq!(status, 200);
+    assert!(
+        svg.contains("<svg"),
+        "not an SVG: {}",
+        &svg[..svg.len().min(80)]
+    );
+    let (status, scr) = common::request(addr, "GET", &format!("/jobs/{id}/scr"), None);
+    assert_eq!(status, 200);
+    assert!(scr.contains("RECTANG"), "not an AutoCAD script");
+
+    // a second identical POST is a cache hit, at least 10× faster
+    let (status, body) = common::request(addr, "POST", "/synthesize", Some(&netlist));
+    assert_eq!(status, 202, "{body}");
+    let id2 = field(&body, "id").expect("id").trim().to_string();
+    let done2 = common::poll_terminal(addr, &id2, Duration::from_secs(60));
+    assert_eq!(field(&done2, "state"), Some("done"), "{done2}");
+    assert_eq!(field(&done2, "from_cache"), Some("true"), "{done2}");
+    let hit_us: f64 = field(&done2, "elapsed_us")
+        .expect("elapsed_us")
+        .parse()
+        .expect("integer");
+    // loose by design: only meaningful when the solve took real time
+    if solve_us > 100_000.0 {
+        assert!(
+            hit_us * 10.0 <= solve_us,
+            "cache hit took {hit_us}us vs {solve_us}us solve — less than 10x faster"
+        );
+    }
+
+    // metrics reflect all of it
+    let (status, metrics) = common::request(addr, "GET", "/metrics", None);
+    assert_eq!(status, 200);
+    assert_eq!(metric_value(&metrics, "cache_hits"), Some(1.0), "{metrics}");
+    assert_eq!(metric_value(&metrics, "cache_misses"), Some(1.0));
+    assert_eq!(metric_value(&metrics, "jobs_done"), Some(2.0));
+    assert_eq!(metric_value(&metrics, "worker_panics"), Some(0.0));
+    assert!(
+        metric_value(&metrics, "solve_simplex_iterations").is_some_and(|v| v > 0.0),
+        "cumulative solver telemetry missing:\n{metrics}"
+    );
+
+    // cancel a queued job via DELETE (submit a fresh design so it is not
+    // a cache hit, then cancel immediately; with both workers idle it may
+    // already be running — either way the DELETE must succeed)
+    let other = std::fs::read_to_string(common::cases_dir().join("mrna_isolation.netlist"))
+        .expect("bundled case");
+    let (status, body) = common::request(addr, "POST", "/synthesize", Some(&other));
+    assert_eq!(status, 202, "{body}");
+    let id3 = field(&body, "id").expect("id").trim().to_string();
+    let (status, body) = common::request(addr, "DELETE", &format!("/jobs/{id3}"), None);
+    assert_eq!(status, 200, "{body}");
+    let done3 = common::poll_terminal(addr, &id3, Duration::from_secs(300));
+    let state3 = field(&done3, "state").expect("state");
+    assert!(
+        state3 == "cancelled" || state3 == "done",
+        "cancelled job ended as {state3}"
+    );
+
+    drop(server);
+    service.shutdown();
+    let final_state = service
+        .wait(
+            columba_service::JobId(id.parse().expect("integer id")),
+            Duration::ZERO,
+        )
+        .expect("job survives server drop");
+    assert_eq!(final_state.state, JobState::Done);
+}

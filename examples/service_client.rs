@@ -1,0 +1,106 @@
+//! Talking to `columba-service` over plain HTTP with nothing but
+//! `std::net::TcpStream` — the whole wire protocol in one file.
+//!
+//! The example is self-contained: it starts the service on an ephemeral
+//! port in-process, then acts as an external client against it. Point
+//! the same request code at any running instance (see "Running as a
+//! service" in the README).
+//!
+//! ```sh
+//! cargo run --release --example service_client
+//! ```
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+use columba_s::netlist::{generators, MuxCount};
+use columba_service::{HttpConfig, HttpServer, Service, ServiceConfig};
+
+/// One HTTP/1.1 exchange: connect, send, half-close, read the reply.
+fn http(addr: SocketAddr, method: &str, path: &str, body: Option<&str>) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect to the service");
+    let mut request = format!("{method} {path} HTTP/1.1\r\nHost: columba\r\n");
+    if let Some(body) = body {
+        request.push_str(&format!("Content-Length: {}\r\n", body.len()));
+    }
+    request.push_str("\r\n");
+    if let Some(body) = body {
+        request.push_str(body);
+    }
+    stream
+        .write_all(request.as_bytes())
+        .expect("write the request");
+    stream
+        .shutdown(std::net::Shutdown::Write)
+        .expect("half-close");
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .expect("read the response");
+    response
+}
+
+/// Strips the header block off a response.
+fn body(response: &str) -> &str {
+    response.split_once("\r\n\r\n").map_or("", |(_, body)| body)
+}
+
+fn main() {
+    // in-process server so the example runs standalone
+    let service = Arc::new(Service::start(ServiceConfig::default()));
+    let server = HttpServer::bind(Arc::clone(&service), "127.0.0.1:0", HttpConfig::default())
+        .expect("bind an ephemeral port");
+    let addr = server.addr();
+    println!("service listening on http://{addr}\n");
+
+    // submit a netlist
+    let netlist = generators::chip_ip(4, MuxCount::One).to_text();
+    let reply = http(addr, "POST", "/synthesize", Some(&netlist));
+    let id = body(&reply)
+        .trim()
+        .strip_prefix("id ")
+        .expect("202 reply carries `id <n>`")
+        .to_string();
+    println!("submitted chip4ip as job {id}");
+
+    // poll until done
+    let status = loop {
+        let status = body(&http(addr, "GET", &format!("/jobs/{id}"), None)).to_string();
+        if ["done", "failed", "cancelled"]
+            .iter()
+            .any(|s| status.contains(&format!("state {s}\n")))
+        {
+            break status;
+        }
+        std::thread::sleep(Duration::from_millis(200));
+    };
+    println!("\njob status:\n{status}");
+
+    // fetch the CAD artifacts
+    let svg = body(&http(addr, "GET", &format!("/jobs/{id}/svg"), None)).len();
+    let scr = body(&http(addr, "GET", &format!("/jobs/{id}/scr"), None)).len();
+    println!("exports: {svg} bytes of SVG, {scr} bytes of AutoCAD script");
+
+    // an identical resubmission is a cache hit
+    let reply = http(addr, "POST", "/synthesize", Some(&netlist));
+    let id2 = body(&reply).trim().strip_prefix("id ").expect("id");
+    loop {
+        let status = body(&http(addr, "GET", &format!("/jobs/{id2}"), None)).to_string();
+        if status.contains("state done\n") {
+            assert!(status.contains("from_cache true\n"));
+            println!("\njob {id2} (same design resubmitted) served from the cache");
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    println!("\nservice metrics:");
+    for line in body(&http(addr, "GET", "/metrics", None)).lines() {
+        println!("  {line}");
+    }
+
+    drop(server);
+    service.shutdown();
+}
