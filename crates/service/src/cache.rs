@@ -8,6 +8,13 @@
 //! byte-size accounting — each entry is costed by the real sizes of the
 //! artifacts it pins (netlist text + rendered SVG + SCR) — and keeps
 //! hit/miss/eviction counters for `/metrics`.
+//!
+//! FNV-1a is not collision-resistant against an adversary, and the service
+//! hashes *untrusted* client netlists — a crafted key collision must not
+//! serve one client another client's design. So every entry also stores
+//! the canonical record it was keyed from, and [`DesignCache::get`]
+//! compares it byte-for-byte on a key match: a mismatch is a miss, never a
+//! wrong artifact.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -73,6 +80,8 @@ pub struct CacheStats {
 
 struct Entry {
     value: Arc<CompletedDesign>,
+    /// The canonical record the key was hashed from, kept to verify hits.
+    canon: String,
     cost: usize,
     last_used: u64,
 }
@@ -107,27 +116,38 @@ impl DesignCache {
     }
 
     /// Looks `key` up, counting a hit or miss and refreshing recency.
-    pub fn get(&mut self, key: ContentKey) -> Option<Arc<CompletedDesign>> {
+    ///
+    /// `canon` is the canonical record `key` was hashed from; a key match
+    /// whose stored record differs byte-for-byte (a hash collision,
+    /// accidental or crafted) is treated as a miss so the cache never
+    /// serves the wrong design.
+    pub fn get(&mut self, key: ContentKey, canon: &str) -> Option<Arc<CompletedDesign>> {
         self.tick += 1;
         match self.map.get_mut(&key) {
-            Some(entry) => {
+            Some(entry) if entry.canon == canon => {
                 entry.last_used = self.tick;
                 self.hits += 1;
                 Some(Arc::clone(&entry.value))
             }
-            None => {
+            _ => {
                 self.misses += 1;
                 None
             }
         }
     }
 
-    /// Inserts a completed design, costed at `cost` bytes (the service
-    /// passes the summed artifact sizes), evicting least-recently-used
-    /// entries until both limits hold. A design too large for the whole
-    /// budget is not cached at all. Re-inserting an existing key refreshes
-    /// the entry.
-    pub fn insert(&mut self, key: ContentKey, value: Arc<CompletedDesign>, cost: usize) {
+    /// Inserts a completed design keyed from the canonical record `canon`,
+    /// costed at `cost` bytes (the service passes the summed artifact
+    /// sizes), evicting least-recently-used entries until both limits
+    /// hold. A design too large for the whole budget is not cached at all.
+    /// Re-inserting an existing key refreshes the entry.
+    pub fn insert(
+        &mut self,
+        key: ContentKey,
+        value: Arc<CompletedDesign>,
+        canon: String,
+        cost: usize,
+    ) {
         if cost > self.config.capacity_bytes || self.config.max_entries == 0 {
             return;
         }
@@ -146,6 +166,7 @@ impl DesignCache {
             key,
             Entry {
                 value,
+                canon,
                 cost,
                 last_used: self.tick,
             },
@@ -206,6 +227,11 @@ mod tests {
         ContentKey(n, n)
     }
 
+    /// Inserts under the canonical record every test shares.
+    fn put(c: &mut DesignCache, k: ContentKey, d: &Arc<CompletedDesign>, cost: usize) {
+        c.insert(k, Arc::clone(d), "canon".into(), cost);
+    }
+
     #[test]
     fn hit_miss_counters_and_recency() {
         let mut c = DesignCache::new(CacheConfig {
@@ -213,16 +239,16 @@ mod tests {
             max_entries: 2,
         });
         let d = design("full MILP");
-        assert!(c.get(key(1)).is_none());
-        c.insert(key(1), Arc::clone(&d), 10);
-        c.insert(key(2), Arc::clone(&d), 10);
-        assert!(c.get(key(1)).is_some(), "key 1 still cached");
+        assert!(c.get(key(1), "canon").is_none());
+        put(&mut c, key(1), &d, 10);
+        put(&mut c, key(2), &d, 10);
+        assert!(c.get(key(1), "canon").is_some(), "key 1 still cached");
         // inserting a third entry evicts the LRU — key 2, because key 1
         // was touched after both inserts
-        c.insert(key(3), Arc::clone(&d), 10);
-        assert!(c.get(key(2)).is_none(), "LRU entry evicted");
-        assert!(c.get(key(1)).is_some());
-        assert!(c.get(key(3)).is_some());
+        put(&mut c, key(3), &d, 10);
+        assert!(c.get(key(2), "canon").is_none(), "LRU entry evicted");
+        assert!(c.get(key(1), "canon").is_some());
+        assert!(c.get(key(3), "canon").is_some());
         let s = c.stats();
         assert_eq!(s.hits, 3);
         assert_eq!(s.misses, 2);
@@ -238,10 +264,10 @@ mod tests {
             max_entries: 100,
         });
         let d = design("full MILP");
-        c.insert(key(1), Arc::clone(&d), 40);
-        c.insert(key(2), Arc::clone(&d), 40);
+        put(&mut c, key(1), &d, 40);
+        put(&mut c, key(2), &d, 40);
         // 90 > 100 - 80: one eviction frees enough
-        c.insert(key(3), Arc::clone(&d), 90);
+        put(&mut c, key(3), &d, 90);
         let s = c.stats();
         assert_eq!(s.entries, 1);
         assert_eq!(s.bytes, 90);
@@ -255,10 +281,10 @@ mod tests {
             max_entries: 100,
         });
         let d = design("full MILP");
-        c.insert(key(1), Arc::clone(&d), 10);
-        c.insert(key(2), Arc::clone(&d), 101);
-        assert!(c.get(key(2)).is_none());
-        assert!(c.get(key(1)).is_some(), "existing entries survive");
+        put(&mut c, key(1), &d, 10);
+        put(&mut c, key(2), &d, 101);
+        assert!(c.get(key(2), "canon").is_none());
+        assert!(c.get(key(1), "canon").is_some(), "existing entries survive");
         assert_eq!(c.stats().entries, 1);
     }
 
@@ -266,8 +292,8 @@ mod tests {
     fn reinsert_replaces_cost() {
         let mut c = DesignCache::new(CacheConfig::default());
         let d = design("full MILP");
-        c.insert(key(1), Arc::clone(&d), 40);
-        c.insert(key(1), Arc::clone(&d), 10);
+        put(&mut c, key(1), &d, 40);
+        put(&mut c, key(1), &d, 10);
         let s = c.stats();
         assert_eq!(s.entries, 1);
         assert_eq!(s.bytes, 10);
@@ -280,7 +306,24 @@ mod tests {
             capacity_bytes: 0,
             max_entries: 4,
         });
-        c.insert(key(1), design("full MILP"), 1);
-        assert!(c.get(key(1)).is_none());
+        c.insert(key(1), design("full MILP"), "canon".into(), 1);
+        assert!(c.get(key(1), "canon").is_none());
+    }
+
+    #[test]
+    fn key_collision_with_different_record_is_a_miss() {
+        // two *different* canonical records colliding on the same 128-bit
+        // key (craftable against FNV) must never serve each other's design
+        let mut c = DesignCache::new(CacheConfig::default());
+        let d = design("full MILP");
+        c.insert(key(1), Arc::clone(&d), "chip victim ...".into(), 10);
+        assert!(
+            c.get(key(1), "chip attacker ...").is_none(),
+            "colliding key with a different record must miss"
+        );
+        assert!(c.get(key(1), "chip victim ...").is_some());
+        let s = c.stats();
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 1);
     }
 }

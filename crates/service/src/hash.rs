@@ -7,6 +7,13 @@
 //! the two canonical texts and mixed — gives a 128-bit key whose
 //! accidental-collision probability is negligible at any realistic cache
 //! population (a few thousand designs against 2^128).
+//!
+//! FNV is **not** collision-resistant against an adversary, and the
+//! service hashes untrusted client input. The key is therefore only a
+//! lookup accelerator: the design cache stores the full canonical record
+//! with each entry and verifies it byte-for-byte on every hit, so a
+//! crafted collision degrades to a cache miss, never to serving another
+//! client's design (see `crate::cache::DesignCache::get`).
 
 /// FNV-1a 64-bit offset basis.
 const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;

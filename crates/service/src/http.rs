@@ -18,14 +18,17 @@
 //! | `GET`    | `/healthz`        | `ok`                                  |
 //!
 //! Malformed requests get a 4xx and the server keeps serving; nothing a
-//! client sends can take the accept loop down.
+//! client sends can take the accept loop down. Slow clients are bounded
+//! twice over: each `read()` has a socket timeout and the whole request
+//! has a wall-clock deadline (`408`), and the number of concurrent
+//! connection threads is capped (`503` beyond the cap).
 
 use std::io::{self, ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crate::job::JobId;
 use crate::service::{ExportError, ExportKind, Service, SubmitError};
@@ -35,8 +38,17 @@ use crate::service::{ExportError, ExportKind, Service, SubmitError};
 pub struct HttpConfig {
     /// Cap on request bodies; a larger `Content-Length` gets `413`.
     pub max_body_bytes: usize,
-    /// Per-connection read timeout; a stalled client gets `408`.
+    /// Per-`read()` timeout; a fully stalled client gets `408`.
     pub read_timeout: Duration,
+    /// Overall deadline for reading one request. `read_timeout` alone only
+    /// bounds each *individual* read, so a slow-drip client (one byte
+    /// every few seconds) could hold a connection thread for hours; this
+    /// caps the whole request and answers `408`.
+    pub request_deadline: Duration,
+    /// Cap on concurrently served connections. Each connection gets its
+    /// own short-lived thread; arrivals beyond the cap are answered `503`
+    /// on the accept thread instead of growing threads without bound.
+    pub max_connections: usize,
 }
 
 impl Default for HttpConfig {
@@ -44,6 +56,8 @@ impl Default for HttpConfig {
         HttpConfig {
             max_body_bytes: 1 << 20,
             read_timeout: Duration::from_secs(5),
+            request_deadline: Duration::from_secs(15),
+            max_connections: 64,
         }
     }
 }
@@ -140,12 +154,20 @@ impl Response {
 }
 
 /// Reads and parses one request. Strictly bounded: the header block is
-/// capped at 8 KiB, the body at `max_body`, and every malformed shape
-/// maps to a 4xx.
-fn read_request(stream: &mut impl Read, max_body: usize) -> Result<Request, HttpError> {
+/// capped at 8 KiB, the body at `max_body`, the whole read at `deadline`
+/// (checked between reads, so a slow-drip client cannot hold the thread
+/// past it), and every malformed shape maps to a 4xx.
+fn read_request(
+    stream: &mut impl Read,
+    max_body: usize,
+    deadline: Instant,
+) -> Result<Request, HttpError> {
     let mut head = Vec::with_capacity(256);
     let mut byte = [0u8; 1];
     loop {
+        if Instant::now() >= deadline {
+            return Err(HttpError::new(408, "request deadline exceeded"));
+        }
         match stream.read(&mut byte) {
             Ok(0) => {
                 return Err(HttpError::new(
@@ -221,13 +243,24 @@ fn read_request(stream: &mut impl Read, max_body: usize) -> Result<Request, Http
         ));
     }
     let mut body = vec![0u8; len];
-    if len > 0 {
-        stream.read_exact(&mut body).map_err(|e| match e.kind() {
-            ErrorKind::WouldBlock | ErrorKind::TimedOut => {
-                HttpError::new(408, "timed out reading the request body")
+    let mut filled = 0;
+    while filled < len {
+        if Instant::now() >= deadline {
+            return Err(HttpError::new(408, "request deadline exceeded"));
+        }
+        match stream.read(&mut body[filled..]) {
+            Ok(0) => {
+                return Err(HttpError::new(
+                    400,
+                    "request body shorter than Content-Length",
+                ))
             }
-            _ => HttpError::new(400, "request body shorter than Content-Length"),
-        })?;
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                return Err(HttpError::new(408, "timed out reading the request body"))
+            }
+            Err(_) => return Err(HttpError::new(400, "read error")),
+        }
     }
     Ok(Request {
         method,
@@ -313,13 +346,25 @@ fn parse_id(raw: &str) -> Option<JobId> {
 
 fn handle_connection(service: &Service, mut stream: TcpStream, config: HttpConfig) {
     let _ = stream.set_read_timeout(Some(config.read_timeout));
-    let response = match read_request(&mut stream, config.max_body_bytes) {
+    let _ = stream.set_write_timeout(Some(config.read_timeout));
+    let deadline = Instant::now() + config.request_deadline;
+    let response = match read_request(&mut stream, config.max_body_bytes, deadline) {
         Ok(req) => route(service, req),
         Err(e) => Response::from_error(&e),
     };
     // the client may already be gone; that is its problem, not ours
     let _ = response.write_to(&mut stream);
     let _ = stream.shutdown(std::net::Shutdown::Both);
+}
+
+/// Decrements the live-connection count when a connection thread ends
+/// (or when its spawn fails and the closure is dropped unrun).
+struct ConnGuard(Arc<AtomicUsize>);
+
+impl Drop for ConnGuard {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::AcqRel);
+    }
 }
 
 /// The TCP front end: an accept loop handing each connection to a short
@@ -396,17 +441,35 @@ fn accept_loop(
     config: HttpConfig,
     stop: &AtomicBool,
 ) {
+    let active = Arc::new(AtomicUsize::new(0));
     for conn in listener.incoming() {
         if stop.load(Ordering::Acquire) {
             return;
         }
         match conn {
-            Ok(stream) => {
+            Ok(mut stream) => {
+                if active.fetch_add(1, Ordering::AcqRel) >= config.max_connections.max(1) {
+                    // over the cap: answer on the accept thread (bounded —
+                    // the response is a few dozen bytes against an empty
+                    // socket buffer) instead of growing threads without
+                    // bound
+                    active.fetch_sub(1, Ordering::AcqRel);
+                    let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+                    let _ = Response::text(503, "error too many open connections\n")
+                        .write_to(&mut stream);
+                    let _ = stream.shutdown(std::net::Shutdown::Both);
+                    continue;
+                }
+                let guard = ConnGuard(Arc::clone(&active));
                 let service = Arc::clone(service);
                 let spawned = thread::Builder::new()
                     .name("columba-http-conn".into())
-                    .spawn(move || handle_connection(&service, stream, config));
+                    .spawn(move || {
+                        let _guard = guard;
+                        handle_connection(&service, stream, config);
+                    });
                 // thread exhaustion: drop the connection rather than die
+                // (the closure is dropped unrun, releasing the guard)
                 drop(spawned);
             }
             Err(_) => thread::sleep(Duration::from_millis(10)),
@@ -419,8 +482,12 @@ mod tests {
     use super::*;
     use std::io::Cursor;
 
+    fn far_deadline() -> Instant {
+        Instant::now() + Duration::from_secs(30)
+    }
+
     fn parse(raw: &[u8]) -> Result<Request, HttpError> {
-        read_request(&mut Cursor::new(raw.to_vec()), 1 << 20)
+        read_request(&mut Cursor::new(raw.to_vec()), 1 << 20, far_deadline())
     }
 
     #[test]
@@ -478,6 +545,7 @@ mod tests {
         let e = read_request(
             &mut Cursor::new(b"POST /s HTTP/1.1\r\nContent-Length: 100\r\n\r\n".to_vec()),
             10,
+            far_deadline(),
         )
         .expect_err("reject");
         assert_eq!(e.status, 413);
@@ -492,6 +560,63 @@ mod tests {
         raw.extend(std::iter::repeat_n(b'a', MAX_HEAD_BYTES + 10));
         let e = parse(&raw).expect_err("reject");
         assert_eq!(e.status, 431);
+    }
+
+    /// A reader that drips one byte per `read()` call, sleeping in
+    /// between — a cooperative model of a slow-drip client that never
+    /// trips the per-read socket timeout.
+    struct Drip {
+        data: Vec<u8>,
+        pos: usize,
+        pause: Duration,
+    }
+
+    impl Read for Drip {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            std::thread::sleep(self.pause);
+            if self.pos >= self.data.len() || buf.is_empty() {
+                return Ok(0);
+            }
+            buf[0] = self.data[self.pos];
+            self.pos += 1;
+            Ok(1)
+        }
+    }
+
+    #[test]
+    fn slow_drip_request_hits_the_deadline() {
+        // each byte arrives "quickly" (well inside any per-read timeout),
+        // but the request as a whole must still be cut off at the deadline
+        let mut drip = Drip {
+            data: b"POST /synthesize HTTP/1.1\r\nContent-Length: 4\r\n\r\nchip".to_vec(),
+            pos: 0,
+            pause: Duration::from_millis(10),
+        };
+        let deadline = Instant::now() + Duration::from_millis(50);
+        let e = read_request(&mut drip, 1 << 20, deadline).expect_err("deadline must fire");
+        assert_eq!(e.status, 408);
+    }
+
+    #[test]
+    fn slow_drip_body_hits_the_deadline() {
+        // the header block arrives instantly, then the body drips — the
+        // deadline must also cover the body loop
+        let head = b"POST /synthesize HTTP/1.1\r\nContent-Length: 1000\r\n\r\n";
+        let mut data = head.to_vec();
+        data.extend(std::iter::repeat_n(b'x', 1000));
+        let mut drip = Drip {
+            data,
+            pos: 0,
+            pause: Duration::ZERO,
+        };
+        // burn the header bytes with no pause, then slow down: simplest is
+        // to give the whole read a deadline already spent by header time —
+        // use a drip pause small enough that the header finishes, with a
+        // deadline shorter than the full body takes
+        drip.pause = Duration::from_micros(200);
+        let deadline = Instant::now() + Duration::from_millis(40);
+        let e = read_request(&mut drip, 1 << 20, deadline).expect_err("deadline must fire");
+        assert_eq!(e.status, 408);
     }
 
     #[test]

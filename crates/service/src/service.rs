@@ -17,7 +17,7 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
-use columba_s::{CancelToken, Columba, Netlist, SolveStats, SynthesisOptions};
+use columba_s::{CancelToken, Columba, Netlist, Rung, SolveStats, SynthesisOptions};
 
 use crate::cache::{CacheConfig, CompletedDesign, DesignCache};
 use crate::hash::ContentKey;
@@ -289,13 +289,21 @@ impl Service {
         let text: Arc<String> = Arc::new(text.into());
         let inner = &self.inner;
         inner.trace(None, TraceKind::Received, format!("{} bytes", text.len()));
-        if inner.shutting_down.load(Ordering::Acquire) {
-            inner.rejected.fetch_add(1, Ordering::Relaxed);
-            inner.trace(None, TraceKind::Rejected, "service is shutting down");
-            return Err(SubmitError::ShuttingDown);
-        }
         let id = {
             let mut st = lock(&inner.state);
+            // Check the flag *under the state lock*: shutdown() drains the
+            // queue under this same lock after setting the flag, so either
+            // this submission sees the flag and is rejected, or it enqueues
+            // before the drain and the drain cancels it. Checking before
+            // taking the lock would leave a window where a job lands in a
+            // queue whose workers have already been joined and stays
+            // `Queued` forever.
+            if inner.shutting_down.load(Ordering::Acquire) {
+                drop(st);
+                inner.rejected.fetch_add(1, Ordering::Relaxed);
+                inner.trace(None, TraceKind::Rejected, "service is shutting down");
+                return Err(SubmitError::ShuttingDown);
+            }
             if st.queue.len() >= inner.queue_capacity {
                 let depth = st.queue.len();
                 drop(st);
@@ -494,6 +502,29 @@ impl Service {
         for h in handles {
             let _ = h.join();
         }
+        // Re-drain after the join: with no workers left, any job still
+        // non-terminal (a submission that raced the first drain) would
+        // otherwise stay `Queued` forever and block its waiters.
+        let stragglers: Vec<u64> = {
+            let mut st = lock(&inner.state);
+            st.queue.clear();
+            let mut ids = Vec::new();
+            for (&id, r) in &mut st.jobs {
+                if !r.state.is_terminal() {
+                    r.token.cancel();
+                    r.state = JobState::Cancelled;
+                    r.elapsed.get_or_insert(Duration::ZERO);
+                    r.error = Some("service shut down before the job ran".into());
+                    ids.push(id);
+                }
+            }
+            ids
+        };
+        for id in stragglers {
+            inner.cancelled_count.fetch_add(1, Ordering::Relaxed);
+            inner.trace(Some(id), TraceKind::Cancelled, "shutdown drained the queue");
+        }
+        inner.done.notify_all();
         inner.trace(None, TraceKind::Shutdown, "");
         inner.trace_sink.flush();
     }
@@ -570,14 +601,26 @@ fn worker_loop(inner: &Arc<Inner>) {
     }
 }
 
+/// The canonical record a cache entry is keyed from: the same two
+/// sections as the [`ContentKey`], with the first length-prefixed so the
+/// section boundary stays unambiguous. Stored alongside the entry and
+/// compared on every hit, because FNV collisions are craftable.
+fn cache_record(netlist_canon: &str, options_canon: &str) -> String {
+    format!(
+        "{}\u{1f}{netlist_canon}{options_canon}",
+        netlist_canon.len()
+    )
+}
+
 fn run_job(inner: &Inner, id: u64, text: &str, token: &CancelToken) -> JobEnd {
     let netlist = match Netlist::parse(text) {
         Ok(n) => n,
         Err(e) => return JobEnd::Failed(format!("netlist error: {e}")),
     };
     let canonical = netlist.canonical_text();
+    let record = cache_record(&canonical, &inner.options_canon);
     let key = ContentKey::of_sections(&[&canonical, &inner.options_canon]);
-    if let Some(design) = lock(&inner.cache).get(key) {
+    if let Some(design) = lock(&inner.cache).get(key, &record) {
         inner.trace(
             Some(id),
             TraceKind::CacheHit,
@@ -611,18 +654,31 @@ fn run_job(inner: &Inner, id: u64, text: &str, token: &CancelToken) -> JobEnd {
                 solved_in,
                 outcome: result.outcome,
             });
-            // cost: the real artifact bytes this entry pins, plus a small
-            // allowance for the structs themselves
-            let cost = design.svg.len() + design.scr.len() + canonical.len() + 512;
-            lock(&inner.cache).insert(key, Arc::clone(&design), cost);
+            // Cache only pristine results: a fired token (client DELETE or
+            // the job deadline) or a rung below full MILP means this design
+            // is what the resilience ladder salvaged, not what a full-budget
+            // solve would produce — caching it would pin the degraded
+            // artifact under the same key forever.
+            let pristine = result.rung == Rung::FullMilp && !token.is_cancelled();
+            if pristine {
+                // cost: the real artifact bytes this entry pins, plus a
+                // small allowance for the structs themselves
+                let cost = design.svg.len() + design.scr.len() + record.len() + 512;
+                lock(&inner.cache).insert(key, Arc::clone(&design), record, cost);
+            }
             inner.trace(
                 Some(id),
                 TraceKind::Solved,
                 format!(
-                    "{} in {:.3}s, key {}",
+                    "{} in {:.3}s, key {}{}",
                     design.rung,
                     solved_in.as_secs_f64(),
-                    key.short()
+                    key.short(),
+                    if pristine {
+                        ""
+                    } else {
+                        ", not cached (degraded)"
+                    }
                 ),
             );
             JobEnd::Done {
@@ -822,6 +878,38 @@ mod tests {
         assert_eq!(status.state, JobState::Cancelled);
         assert!(!service.cancel(last), "already terminal");
         assert!(!service.cancel(JobId(999_999)), "unknown id");
+        service.shutdown();
+    }
+
+    #[test]
+    fn degraded_results_are_not_cached() {
+        // the token fires before the solve starts, so the ladder salvages
+        // a degraded design instead of failing — which must NOT be cached,
+        // or every future identical submission would be served the
+        // degraded artifact instead of a full solve
+        let mut config = quick_config(Arc::new(NullSink));
+        config.job_deadline = Some(Duration::ZERO);
+        let service = Service::start(config);
+        let first = service.submit_text(TINY).expect("admitted");
+        let s1 = service
+            .wait(first, Duration::from_secs(60))
+            .expect("known job");
+        assert!(
+            s1.design.is_some(),
+            "ladder degrades, not fails: {:?}",
+            s1.error
+        );
+        let second = service.submit_text(TINY).expect("admitted");
+        let s2 = service
+            .wait(second, Duration::from_secs(60))
+            .expect("known job");
+        assert!(
+            !s2.from_cache,
+            "degraded design must not be served from cache"
+        );
+        let m = service.metrics();
+        assert_eq!(m.cache.hits, 0);
+        assert_eq!(m.cache.entries, 0, "no degraded entry may be inserted");
         service.shutdown();
     }
 
