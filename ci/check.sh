@@ -25,6 +25,7 @@ cargo test --workspace -q --offline
 echo "==> cargo test --features fault-inject (resilience ladder under forced failures)"
 cargo test -q --offline -p columba-milp --features fault-inject
 cargo test -q --offline -p columba-layout --features fault-inject
+cargo test -q --offline -p columba-service --features fault-inject
 
 echo "==> service smoke (HTTP round-trip against the release server)"
 if command -v curl >/dev/null 2>&1; then
@@ -71,6 +72,56 @@ if command -v curl >/dev/null 2>&1; then
   kill "$SERVE_PID"
   trap - EXIT
   echo "service smoke OK"
+
+  echo "==> restart-recovery smoke (solve, SIGKILL, restart on the same state dir)"
+  STATE_DIR=$(mktemp -d)
+  SERVE_LOG=$(mktemp)
+  ./target/release/columba-serve 127.0.0.1:0 --quick --hold --state-dir "$STATE_DIR" >"$SERVE_LOG" &
+  SERVE_PID=$!
+  trap 'kill -9 "$SERVE_PID" 2>/dev/null || true' EXIT
+  ADDR=""
+  for _ in $(seq 1 100); do
+    ADDR=$(sed -n 's/^listening on //p' "$SERVE_LOG")
+    [ -n "$ADDR" ] && break
+    sleep 0.1
+  done
+  [ -n "$ADDR" ] || { echo "durable server never bound"; exit 1; }
+  JOB1=$(smoke_post)
+  smoke_poll_done "$JOB1" >/dev/null
+
+  # crash hard: no graceful shutdown, no flush beyond the fsync discipline
+  kill -9 "$SERVE_PID"
+  wait "$SERVE_PID" 2>/dev/null || true
+
+  SERVE_LOG=$(mktemp)
+  ./target/release/columba-serve 127.0.0.1:0 --quick --hold --state-dir "$STATE_DIR" >"$SERVE_LOG" &
+  SERVE_PID=$!
+  trap 'kill -9 "$SERVE_PID" 2>/dev/null || true' EXIT
+  ADDR=""
+  for _ in $(seq 1 100); do
+    ADDR=$(sed -n 's/^listening on //p' "$SERVE_LOG")
+    [ -n "$ADDR" ] && break
+    sleep 0.1
+  done
+  [ -n "$ADDR" ] || { echo "server never came back after SIGKILL"; exit 1; }
+
+  METRICS=$(curl -sfS "http://$ADDR/metrics")
+  printf '%s\n' "$METRICS" | grep -q '^cache_files_loaded 1$' \
+    || { echo "restart did not reload the disk cache: $METRICS"; exit 1; }
+  REPLAYED=$(printf '%s\n' "$METRICS" | awk '$1=="journal_records_replayed"{print $2}')
+  [ "$REPLAYED" -ge 1 ] || { echo "restart replayed no journal records"; exit 1; }
+
+  # the same case must now be a pure cache hit: zero solver work
+  JOB2=$(smoke_post)
+  STATUS2=$(smoke_poll_done "$JOB2")
+  printf '%s\n' "$STATUS2" | grep -q '^from_cache true$' \
+    || { echo "recovered design was re-solved: $STATUS2"; exit 1; }
+  METRICS=$(curl -sfS "http://$ADDR/metrics")
+  printf '%s\n' "$METRICS" | grep -q '^cache_hits 1$'
+  printf '%s\n' "$METRICS" | grep -q '^solve_simplex_iterations 0$'
+  kill -9 "$SERVE_PID"
+  trap - EXIT
+  echo "restart-recovery smoke OK"
 else
   echo "curl not found; skipping the HTTP smoke"
 fi

@@ -6,21 +6,32 @@
 //! columba-serve --trace             # JSONL lifecycle trace on stderr
 //! columba-serve --workers 8 --quick # quick solver budgets (CI smoke)
 //! columba-serve --hold              # ignore stdin; run until killed
+//! columba-serve --state-dir DIR     # durable journal + disk cache
 //! ```
 //!
 //! Prints exactly one `listening on <addr>` line on stdout once bound,
 //! then serves until stdin reaches EOF (or a `quit` line) — or forever
 //! under `--hold`, for scripted runs that background the process and
 //! kill it.
+//!
+//! With `--state-dir DIR` the service journals every job and persists
+//! every cached design under `DIR`, replaying both on the next start.
+//! Add `--no-fsync` to skip fsync (survives SIGKILL, not power loss).
 
 use std::io::BufRead as _;
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Duration;
 
 use columba_s::{LayoutOptions, SynthesisOptions};
 use columba_service::{
-    HttpConfig, HttpServer, JsonlSink, NullSink, Service, ServiceConfig, TraceSink,
+    FsyncPolicy, HttpConfig, HttpServer, JsonlSink, NullSink, PersistConfig, Service,
+    ServiceConfig, TraceSink,
 };
+
+/// Flags that consume the next argument as a value; the positional
+/// address scan must skip those values.
+const VALUE_FLAGS: &[&str] = &["--workers", "--queue", "--state-dir"];
 
 fn usize_flag(args: &[String], name: &str, default: usize) -> usize {
     match args.iter().position(|a| a == name) {
@@ -35,13 +46,43 @@ fn usize_flag(args: &[String], name: &str, default: usize) -> usize {
     }
 }
 
+fn path_flag(args: &[String], name: &str) -> Option<PathBuf> {
+    match args.iter().position(|a| a == name) {
+        None => None,
+        Some(i) => match args.get(i + 1) {
+            Some(v) if !v.starts_with("--") => Some(PathBuf::from(v)),
+            _ => {
+                eprintln!("error: {name} requires a path");
+                std::process::exit(2);
+            }
+        },
+    }
+}
+
+/// The first argument that is neither a flag nor a value consumed by a
+/// preceding value-taking flag.
+fn positional_addr(args: &[String]) -> Option<String> {
+    let mut skip = false;
+    for arg in args {
+        if skip {
+            skip = false;
+            continue;
+        }
+        if VALUE_FLAGS.iter().any(|f| f == arg) {
+            skip = true;
+            continue;
+        }
+        if arg.starts_with("--") {
+            continue;
+        }
+        return Some(arg.clone());
+    }
+    None
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let addr = args
-        .iter()
-        .find(|a| !a.starts_with("--") && a.parse::<usize>().is_err())
-        .cloned()
-        .unwrap_or_else(|| "127.0.0.1:8642".to_string());
+    let addr = positional_addr(&args).unwrap_or_else(|| "127.0.0.1:8642".to_string());
     let trace: Arc<dyn TraceSink> = if args.iter().any(|a| a == "--trace") {
         Arc::new(JsonlSink::new(std::io::stderr()))
     } else {
@@ -56,13 +97,28 @@ fn main() {
             ..LayoutOptions::default()
         };
     }
-    let service = Arc::new(Service::start(ServiceConfig {
+    let persist = path_flag(&args, "--state-dir").map(|state_dir| PersistConfig {
+        state_dir,
+        fsync_policy: if args.iter().any(|a| a == "--no-fsync") {
+            FsyncPolicy::Never
+        } else {
+            FsyncPolicy::Always
+        },
+    });
+    let service = match Service::open(ServiceConfig {
         workers: usize_flag(&args, "--workers", 0),
         queue_capacity: usize_flag(&args, "--queue", 64),
         options,
         trace,
+        persist,
         ..ServiceConfig::default()
-    }));
+    }) {
+        Ok(service) => Arc::new(service),
+        Err(e) => {
+            eprintln!("error: cannot open state directory: {e}");
+            std::process::exit(1);
+        }
+    };
     let server = match HttpServer::bind(Arc::clone(&service), &addr, HttpConfig::default()) {
         Ok(server) => server,
         Err(e) => {

@@ -24,13 +24,57 @@ use columba_s::SynthesisOutcome;
 
 use crate::hash::ContentKey;
 
+/// The headline numbers a finished design reports through
+/// `GET /jobs/<id>`: the DRC verdict, chip dimensions, and the solver
+/// counters of the solve that produced it.
+///
+/// This is everything the status endpoint needs from a
+/// `SynthesisOutcome`, extracted so a [`CompletedDesign`] is a plain
+/// value — cheap to hold, and round-trippable through the disk cache
+/// (`persist::diskcache`) without serializing the full geometry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DesignSummary {
+    /// Whether the post-synthesis design-rule check came back clean.
+    pub drc_clean: bool,
+    /// Chip width in millimetres.
+    pub width_mm: f64,
+    /// Chip height in millimetres.
+    pub height_mm: f64,
+    /// Control inlets placed.
+    pub control_inlets: usize,
+    /// Branch-and-bound nodes processed by the solve.
+    pub solve_nodes: usize,
+    /// Nodes pruned by the incumbent bound.
+    pub solve_pruned: usize,
+    /// Simplex iterations across the solve.
+    pub solve_simplex_iterations: usize,
+}
+
+impl DesignSummary {
+    /// Extracts the summary from a full synthesis outcome.
+    #[must_use]
+    pub fn of_outcome(outcome: &SynthesisOutcome) -> DesignSummary {
+        let stats = outcome.stats();
+        let solve = &outcome.layout.solve;
+        DesignSummary {
+            drc_clean: outcome.drc.is_clean(),
+            width_mm: stats.width.to_mm(),
+            height_mm: stats.height.to_mm(),
+            control_inlets: stats.control_inlets,
+            solve_nodes: solve.nodes_processed,
+            solve_pruned: solve.nodes_pruned,
+            solve_simplex_iterations: solve.simplex_iterations,
+        }
+    }
+}
+
 /// A finished design with its CAD renders, shared between the job table
 /// and the cache. Rendering happens once, at insert time, so cache hits
 /// serve `/jobs/<id>/svg` without touching the geometry again.
 #[derive(Debug)]
 pub struct CompletedDesign {
-    /// The full synthesis outcome.
-    pub outcome: SynthesisOutcome,
+    /// Headline numbers for the status endpoint.
+    pub summary: DesignSummary,
     /// The design rendered as SVG.
     pub svg: String,
     /// The design rendered as an AutoCAD `.scr` script.
@@ -40,6 +84,16 @@ pub struct CompletedDesign {
     /// Wall-clock time the original solve took (the time a cache hit
     /// saves).
     pub solved_in: Duration,
+}
+
+/// The byte cost a design is accounted at in the cache: the real
+/// artifact bytes the entry pins (SVG + SCR + the canonical record),
+/// plus a small allowance for the structs themselves. Shared between the
+/// live insert path and disk-cache recovery so a recovered entry is
+/// costed identically to a freshly solved one.
+#[must_use]
+pub fn entry_cost(design: &CompletedDesign, canon: &str) -> usize {
+    design.svg.len() + design.scr.len() + canon.len() + 512
 }
 
 /// Cache capacity limits.
@@ -173,6 +227,18 @@ impl DesignCache {
         );
     }
 
+    /// Looks `key` up without counters, recency, or record verification.
+    ///
+    /// For the recovery path only: a `completed` journal record names the
+    /// key its design was cached under, and both came from this process's
+    /// own journal and checksummed cache files — not from an untrusted
+    /// client — so there is no collision to defend against and no client
+    /// lookup to count.
+    #[must_use]
+    pub fn peek_key(&self, key: ContentKey) -> Option<Arc<CompletedDesign>> {
+        self.map.get(&key).map(|e| Arc::clone(&e.value))
+    }
+
     fn evict_lru(&mut self) {
         let victim = self
             .map
@@ -217,7 +283,7 @@ mod tests {
         Arc::new(CompletedDesign {
             svg: outcome.to_svg().expect("in-memory render"),
             scr: outcome.to_autocad_script().expect("in-memory render"),
-            outcome,
+            summary: DesignSummary::of_outcome(&outcome),
             rung: tag.to_string(),
             solved_in: Duration::from_millis(100),
         })
@@ -308,6 +374,25 @@ mod tests {
         });
         c.insert(key(1), design("full MILP"), "canon".into(), 1);
         assert!(c.get(key(1), "canon").is_none());
+    }
+
+    #[test]
+    fn peek_key_skips_counters_and_recency() {
+        let mut c = DesignCache::new(CacheConfig::default());
+        let d = design("full MILP");
+        put(&mut c, key(1), &d, 10);
+        assert!(c.peek_key(key(1)).is_some());
+        assert!(c.peek_key(key(2)).is_none());
+        let s = c.stats();
+        assert_eq!(s.hits, 0, "peek must not count as a hit");
+        assert_eq!(s.misses, 0, "peek must not count as a miss");
+    }
+
+    #[test]
+    fn entry_cost_tracks_artifact_bytes() {
+        let d = design("full MILP");
+        let cost = entry_cost(&d, "canon");
+        assert_eq!(cost, d.svg.len() + d.scr.len() + "canon".len() + 512);
     }
 
     #[test]

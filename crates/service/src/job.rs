@@ -105,15 +105,18 @@ impl JobStatus {
             let _ = writeln!(s, "error {}", error.replace('\n', " "));
         }
         if let Some(design) = &self.design {
-            let stats = design.outcome.stats();
-            let solve = &design.outcome.layout.solve;
-            let _ = writeln!(s, "drc_clean {}", design.outcome.drc.is_clean());
-            let _ = writeln!(s, "width_mm {:.3}", stats.width.to_mm());
-            let _ = writeln!(s, "height_mm {:.3}", stats.height.to_mm());
-            let _ = writeln!(s, "control_inlets {}", stats.control_inlets);
-            let _ = writeln!(s, "solve_nodes {}", solve.nodes_processed);
-            let _ = writeln!(s, "solve_pruned {}", solve.nodes_pruned);
-            let _ = writeln!(s, "solve_simplex_iterations {}", solve.simplex_iterations);
+            let sum = &design.summary;
+            let _ = writeln!(s, "drc_clean {}", sum.drc_clean);
+            let _ = writeln!(s, "width_mm {:.3}", sum.width_mm);
+            let _ = writeln!(s, "height_mm {:.3}", sum.height_mm);
+            let _ = writeln!(s, "control_inlets {}", sum.control_inlets);
+            let _ = writeln!(s, "solve_nodes {}", sum.solve_nodes);
+            let _ = writeln!(s, "solve_pruned {}", sum.solve_pruned);
+            let _ = writeln!(
+                s,
+                "solve_simplex_iterations {}",
+                sum.solve_simplex_iterations
+            );
             let _ = writeln!(s, "solved_in_us {}", design.solved_in.as_micros());
         }
         s

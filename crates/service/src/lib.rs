@@ -17,6 +17,10 @@
 //!   `std::net` exposing submit / status / export / cancel / metrics.
 //! * [`trace`] — structured JSONL lifecycle tracing through a pluggable
 //!   [`TraceSink`].
+//! * [`persist`] — opt-in durability: a write-ahead job journal with an
+//!   fsync-before-ack discipline, a checksummed disk-backed design
+//!   cache, and a startup recovery path that tolerates torn writes and
+//!   bit flips (configure with [`PersistConfig`]).
 //!
 //! ```no_run
 //! use std::sync::Arc;
@@ -40,13 +44,17 @@ pub mod hash;
 pub mod http;
 pub mod job;
 pub mod metrics;
+pub mod persist;
 pub mod service;
 pub mod trace;
 
-pub use cache::{CacheConfig, CacheStats, CompletedDesign, DesignCache};
+pub use cache::{entry_cost, CacheConfig, CacheStats, CompletedDesign, DesignCache, DesignSummary};
 pub use hash::{fnv1a64, ContentKey};
 pub use http::{HttpConfig, HttpServer};
 pub use job::{JobId, JobState, JobStatus};
 pub use metrics::{metric_value, MetricsSnapshot};
+#[cfg(feature = "fault-inject")]
+pub use persist::fault::{arm as arm_persist_fault, PersistFault, PersistFaultGuard};
+pub use persist::{FsyncPolicy, Journal, JournalRecord, PersistConfig};
 pub use service::{ExportError, ExportKind, Service, ServiceConfig, SubmitError};
 pub use trace::{JsonlSink, MemorySink, NullSink, TraceEvent, TraceKind, TraceSink};

@@ -36,6 +36,22 @@ pub struct MetricsSnapshot {
     pub worker_panics: u64,
     /// Worker threads in the pool.
     pub workers: usize,
+    /// Synthesized designs rejected by the post-synthesis DRC gate
+    /// (failed their job, never cached).
+    pub drc_rejected: u64,
+    /// Journal records replayed at the last startup (0 without
+    /// persistence).
+    pub journal_records_replayed: u64,
+    /// Corrupt journal records skipped at the last startup.
+    pub journal_corrupt_skipped: u64,
+    /// Disk-cache files that verified clean at the last startup.
+    pub cache_files_loaded: u64,
+    /// Corrupt disk-cache files dropped at the last startup.
+    pub cache_corrupt_dropped: u64,
+    /// Journal compactions run since startup.
+    pub compactions: u64,
+    /// Persist-layer write failures since startup.
+    pub persist_errors: u64,
     /// Cumulative solver telemetry across every completed solve
     /// (aggregated with [`SolveStats::absorb`]).
     pub solve: SolveStats,
@@ -69,6 +85,22 @@ impl MetricsSnapshot {
         line("jobs_cancelled", self.jobs_cancelled.to_string());
         line("workers", self.workers.to_string());
         line("worker_panics", self.worker_panics.to_string());
+        line("drc_rejected", self.drc_rejected.to_string());
+        line(
+            "journal_records_replayed",
+            self.journal_records_replayed.to_string(),
+        );
+        line(
+            "journal_corrupt_skipped",
+            self.journal_corrupt_skipped.to_string(),
+        );
+        line("cache_files_loaded", self.cache_files_loaded.to_string());
+        line(
+            "cache_corrupt_dropped",
+            self.cache_corrupt_dropped.to_string(),
+        );
+        line("compactions", self.compactions.to_string());
+        line("persist_errors", self.persist_errors.to_string());
         line("solve_nodes", self.solve.nodes_processed.to_string());
         line("solve_pruned", self.solve.nodes_pruned.to_string());
         line(
@@ -124,6 +156,13 @@ mod tests {
             jobs_cancelled: 1,
             worker_panics: 0,
             workers: 4,
+            drc_rejected: 2,
+            journal_records_replayed: 11,
+            journal_corrupt_skipped: 1,
+            cache_files_loaded: 4,
+            cache_corrupt_dropped: 1,
+            compactions: 1,
+            persist_errors: 0,
             solve: SolveStats {
                 nodes_processed: 100,
                 nodes_pruned: 40,
@@ -140,6 +179,13 @@ mod tests {
         }
         assert_eq!(metric_value(&text, "cache_hits"), Some(3.0));
         assert_eq!(metric_value(&text, "queue_rejected"), Some(5.0));
+        assert_eq!(metric_value(&text, "drc_rejected"), Some(2.0));
+        assert_eq!(metric_value(&text, "journal_records_replayed"), Some(11.0));
+        assert_eq!(metric_value(&text, "journal_corrupt_skipped"), Some(1.0));
+        assert_eq!(metric_value(&text, "cache_files_loaded"), Some(4.0));
+        assert_eq!(metric_value(&text, "cache_corrupt_dropped"), Some(1.0));
+        assert_eq!(metric_value(&text, "compactions"), Some(1.0));
+        assert_eq!(metric_value(&text, "persist_errors"), Some(0.0));
         assert_eq!(metric_value(&text, "solve_simplex_iterations"), Some(999.0));
         assert_eq!(metric_value(&text, "solve_time_seconds"), Some(1.5));
         assert_eq!(metric_value(&text, "nope"), None);

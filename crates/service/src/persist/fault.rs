@@ -1,0 +1,91 @@
+//! Deterministic I/O fault injection for the persist layer.
+//!
+//! Compiled only under the `fault-inject` cargo feature, mirroring the
+//! solver hooks in `columba_milp::fault`: a test arms one [`PersistFault`]
+//! at a durable-write index; every journal append or cache-file write at
+//! or after that index trips the fault until the returned
+//! [`PersistFaultGuard`] drops. The guard also holds a global lock so
+//! concurrently running fault tests cannot interleave their plans.
+//!
+//! This module exists to *prove* crash recovery: that a short write
+//! leaves a torn record the next startup skips (never panics on), and
+//! that an I/O error on the submit path rejects the submission instead of
+//! acking a job that was never made durable.
+
+use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// The failure mode to force on the next durable write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PersistFault {
+    /// The write fails outright with an I/O error; nothing reaches disk.
+    IoError,
+    /// Only a prefix of the record reaches disk before the "crash" — the
+    /// torn frame stays in the file and the write reports failure, exactly
+    /// what a power cut mid-append leaves behind.
+    ShortWrite,
+}
+
+const DISARMED: u8 = 0;
+
+static KIND: AtomicU8 = AtomicU8::new(DISARMED);
+static AT_OP: AtomicUsize = AtomicUsize::new(0);
+static OPS: AtomicUsize = AtomicUsize::new(0);
+static ARM_LOCK: Mutex<()> = Mutex::new(());
+
+/// Serialises fault-injecting tests and disarms the fault on drop.
+pub struct PersistFaultGuard {
+    _lock: MutexGuard<'static, ()>,
+}
+
+impl Drop for PersistFaultGuard {
+    fn drop(&mut self) {
+        KIND.store(DISARMED, Ordering::SeqCst);
+    }
+}
+
+/// Arms `fault` for every durable write with index `>= at_op` (indices
+/// count journal appends and cache-file writes together, in order,
+/// starting at 0 when `arm` is called). Stays armed until the guard drops.
+#[must_use]
+pub fn arm(fault: PersistFault, at_op: usize) -> PersistFaultGuard {
+    // a previous test may have panicked while holding the lock; recover
+    // rather than propagate the poison
+    let lock = ARM_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+    OPS.store(0, Ordering::SeqCst);
+    AT_OP.store(at_op, Ordering::SeqCst);
+    let code = match fault {
+        PersistFault::IoError => 1,
+        PersistFault::ShortWrite => 2,
+    };
+    KIND.store(code, Ordering::SeqCst);
+    PersistFaultGuard { _lock: lock }
+}
+
+/// Counts one durable write and returns the fault to trip on it, if any.
+pub(crate) fn trip() -> Option<PersistFault> {
+    let fault = match KIND.load(Ordering::SeqCst) {
+        1 => PersistFault::IoError,
+        2 => PersistFault::ShortWrite,
+        _ => return None,
+    };
+    let op = OPS.fetch_add(1, Ordering::SeqCst);
+    (op >= AT_OP.load(Ordering::SeqCst)).then_some(fault)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arming_and_disarming() {
+        {
+            let _g = arm(PersistFault::IoError, 2);
+            assert_eq!(trip(), None, "op 0 passes");
+            assert_eq!(trip(), None, "op 1 passes");
+            assert_eq!(trip(), Some(PersistFault::IoError), "op 2 trips");
+            assert_eq!(trip(), Some(PersistFault::IoError), "stays armed");
+        }
+        assert_eq!(trip(), None, "guard drop disarms");
+    }
+}

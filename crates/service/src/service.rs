@@ -8,9 +8,17 @@
 //! locks so a long solve never blocks status queries. Workers run each
 //! job inside `catch_unwind` — a panicking solve fails that job, bumps
 //! `worker_panics`, and the worker lives on.
+//!
+//! Durability is opt-in through [`ServiceConfig::persist`]: with a
+//! [`PersistConfig`], every submission is journaled (fsync before ack),
+//! pristine designs are mirrored to a checksummed disk cache, and
+//! [`Service::open`] replays both on startup — re-enqueueing jobs that
+//! were submitted but never finished, restoring terminal job records,
+//! and warming the in-memory cache (see [`crate::persist`]).
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::fmt;
+use std::io;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
@@ -19,10 +27,11 @@ use std::time::{Duration, Instant};
 
 use columba_s::{CancelToken, Columba, Netlist, Rung, SolveStats, SynthesisOptions};
 
-use crate::cache::{CacheConfig, CompletedDesign, DesignCache};
+use crate::cache::{entry_cost, CacheConfig, CompletedDesign, DesignCache, DesignSummary};
 use crate::hash::ContentKey;
 use crate::job::{JobId, JobState, JobStatus};
 use crate::metrics::MetricsSnapshot;
+use crate::persist::{JournalRecord, Persist, PersistConfig, Recovery};
 use crate::trace::{NullSink, TraceEvent, TraceKind, TraceSink};
 
 /// Locks a mutex, recovering from poisoning: a panic in a worker is
@@ -56,6 +65,10 @@ pub struct ServiceConfig {
     pub max_records: usize,
     /// Trace sink for lifecycle events.
     pub trace: Arc<dyn TraceSink>,
+    /// Durability: `Some` journals every job and mirrors the design cache
+    /// to disk under the given state directory, recovering both on
+    /// startup; `None` (the default) keeps everything in memory.
+    pub persist: Option<PersistConfig>,
 }
 
 impl Default for ServiceConfig {
@@ -68,6 +81,7 @@ impl Default for ServiceConfig {
             job_deadline: Some(Duration::from_secs(120)),
             max_records: 4096,
             trace: Arc::new(NullSink),
+            persist: None,
         }
     }
 }
@@ -80,6 +94,7 @@ impl fmt::Debug for ServiceConfig {
             .field("cache", &self.cache)
             .field("job_deadline", &self.job_deadline)
             .field("max_records", &self.max_records)
+            .field("persist", &self.persist)
             .finish_non_exhaustive()
     }
 }
@@ -96,6 +111,14 @@ pub enum SubmitError {
     },
     /// The service is shutting down.
     ShuttingDown,
+    /// The submission could not be made durable (journal append failed).
+    /// The job was NOT admitted: acked means journaled, so a submission
+    /// that cannot be journaled is refused rather than accepted with a
+    /// silent durability hole.
+    Persist {
+        /// The underlying I/O error, rendered.
+        detail: String,
+    },
 }
 
 impl fmt::Display for SubmitError {
@@ -105,6 +128,9 @@ impl fmt::Display for SubmitError {
                 write!(f, "queue full (depth {depth}, capacity {capacity})")
             }
             SubmitError::ShuttingDown => f.write_str("service is shutting down"),
+            SubmitError::Persist { detail } => {
+                write!(f, "submission could not be journaled: {detail}")
+            }
         }
     }
 }
@@ -160,6 +186,11 @@ struct State {
     queue: VecDeque<u64>,
     jobs: HashMap<u64, JobRecord>,
     next_id: u64,
+    /// Ids handed out by admission control whose journal append is still
+    /// in flight: they count against `queue_capacity` (so a burst of
+    /// submissions cannot overshoot the bound while the journal fsyncs)
+    /// but are not yet in `queue` or `jobs`.
+    reserved: usize,
 }
 
 struct Inner {
@@ -177,8 +208,10 @@ struct Inner {
     cache: Mutex<DesignCache>,
     agg: Mutex<SolveStats>,
     trace_sink: Arc<dyn TraceSink>,
+    persist: Option<Persist>,
     rejected: AtomicU64,
     panics: AtomicU64,
+    drc_rejected: AtomicU64,
     done_count: AtomicU64,
     failed_count: AtomicU64,
     cancelled_count: AtomicU64,
@@ -193,12 +226,35 @@ impl Inner {
             detail: detail.into(),
         });
     }
+
+    /// Appends a journal record when persistence is on, tracing (never
+    /// propagating) failures and compactions. For the records whose loss
+    /// recovery tolerates — `started`, terminal states — the submission
+    /// path journals through [`Persist::append`] directly because there a
+    /// failure must refuse the ack.
+    fn journal_best_effort(&self, record: &JournalRecord) {
+        let Some(persist) = &self.persist else {
+            return;
+        };
+        match persist.append(record) {
+            Ok(true) => self.trace(None, TraceKind::Compacted, "journal compacted"),
+            Ok(false) => {}
+            Err(e) => self.trace(
+                Some(record.id()),
+                TraceKind::PersistError,
+                format!("journal append failed: {e}"),
+            ),
+        }
+    }
 }
 
 enum JobEnd {
     Done {
         design: Arc<CompletedDesign>,
         from_cache: bool,
+        /// The key the design was cached under (in memory and on disk);
+        /// `None` for degraded, uncached results.
+        key: Option<ContentKey>,
     },
     Failed(String),
 }
@@ -222,12 +278,45 @@ impl fmt::Debug for Service {
 
 impl Service {
     /// Starts the worker pool and returns the running service.
+    ///
+    /// # Panics
+    ///
+    /// When [`ServiceConfig::persist`] is set and the state directory
+    /// cannot be opened. Use [`Service::open`] to handle that error;
+    /// `start` remains the infallible constructor for in-memory use.
     #[must_use]
     pub fn start(config: ServiceConfig) -> Service {
+        match Service::open(config) {
+            Ok(service) => service,
+            Err(e) => panic!("opening the service state directory: {e}"),
+        }
+    }
+
+    /// Starts the worker pool, first recovering persisted state when
+    /// [`ServiceConfig::persist`] is set: the job journal is replayed
+    /// (re-enqueueing submitted-but-unfinished jobs and restoring
+    /// terminal records) and the disk cache is verified and loaded into
+    /// the in-memory cache — all before the first worker runs, so
+    /// recovered queue order is preserved. Corrupt journal records and
+    /// cache files are counted, traced, and skipped, never a panic.
+    ///
+    /// # Errors
+    ///
+    /// An I/O error creating or opening the state directory or journal
+    /// file. Corrupt *contents* never error.
+    pub fn open(config: ServiceConfig) -> io::Result<Service> {
         let worker_count = if config.workers == 0 {
             thread::available_parallelism().map_or(2, |n| n.get().min(4))
         } else {
             config.workers
+        };
+        let opened = match &config.persist {
+            Some(pc) => Some(Persist::open(pc)?),
+            None => None,
+        };
+        let (persist, recovery) = match opened {
+            Some((p, r)) => (Some(p), Some(r)),
+            None => (None, None),
         };
         let inner = Arc::new(Inner {
             epoch: Instant::now(),
@@ -241,6 +330,7 @@ impl Service {
                 queue: VecDeque::new(),
                 jobs: HashMap::new(),
                 next_id: 1,
+                reserved: 0,
             }),
             work: Condvar::new(),
             done: Condvar::new(),
@@ -248,12 +338,17 @@ impl Service {
             cache: Mutex::new(DesignCache::new(config.cache)),
             agg: Mutex::new(SolveStats::default()),
             trace_sink: config.trace,
+            persist,
             rejected: AtomicU64::new(0),
             panics: AtomicU64::new(0),
+            drc_rejected: AtomicU64::new(0),
             done_count: AtomicU64::new(0),
             failed_count: AtomicU64::new(0),
             cancelled_count: AtomicU64::new(0),
         });
+        if let Some(recovery) = recovery {
+            apply_recovery(&inner, recovery);
+        }
         let workers = (0..worker_count)
             .map(|i| {
                 let inner = Arc::clone(&inner);
@@ -263,10 +358,10 @@ impl Service {
                     .expect("spawning a worker thread")
             })
             .collect();
-        Service {
+        Ok(Service {
             inner,
             workers: Mutex::new(workers),
-        }
+        })
     }
 
     /// The worker pool size.
@@ -281,14 +376,24 @@ impl Service {
     /// queue. Parsing happens on the worker, so a malformed netlist is
     /// admitted and then fails its job with the parse error.
     ///
+    /// With persistence on, a `submitted` journal record is made durable
+    /// (written and, under the default fsync policy, fsynced) *before*
+    /// this call returns the id — an acked submission survives a crash.
+    ///
     /// # Errors
     ///
     /// [`SubmitError::QueueFull`] when the queue is at capacity,
-    /// [`SubmitError::ShuttingDown`] after [`Service::shutdown`].
+    /// [`SubmitError::ShuttingDown`] after [`Service::shutdown`],
+    /// [`SubmitError::Persist`] when the journal append failed (the job
+    /// was not admitted).
     pub fn submit_text(&self, text: impl Into<String>) -> Result<JobId, SubmitError> {
         let text: Arc<String> = Arc::new(text.into());
         let inner = &self.inner;
         inner.trace(None, TraceKind::Received, format!("{} bytes", text.len()));
+        // Phase 1 — admission + id reservation under the state lock. The
+        // reservation counts against capacity so concurrent submissions
+        // cannot overshoot the bound while phase 2 runs the (possibly
+        // slow, fsyncing) journal append outside the lock.
         let id = {
             let mut st = lock(&inner.state);
             // Check the flag *under the state lock*: shutdown() drains the
@@ -304,8 +409,8 @@ impl Service {
                 inner.trace(None, TraceKind::Rejected, "service is shutting down");
                 return Err(SubmitError::ShuttingDown);
             }
-            if st.queue.len() >= inner.queue_capacity {
-                let depth = st.queue.len();
+            let depth = st.queue.len() + st.reserved;
+            if depth >= inner.queue_capacity {
                 drop(st);
                 inner.rejected.fetch_add(1, Ordering::Relaxed);
                 let err = SubmitError::QueueFull {
@@ -317,6 +422,49 @@ impl Service {
             }
             let id = st.next_id;
             st.next_id += 1;
+            st.reserved += 1;
+            id
+        };
+        // Phase 2 — make the submission durable before acking it. A
+        // failed append refuses the submission: acked means journaled.
+        if let Some(persist) = &inner.persist {
+            let record = JournalRecord::Submitted {
+                id,
+                text: Arc::clone(&text),
+            };
+            match persist.append(&record) {
+                Ok(compacted) => {
+                    if compacted {
+                        inner.trace(None, TraceKind::Compacted, "journal compacted");
+                    }
+                }
+                Err(e) => {
+                    lock(&inner.state).reserved -= 1;
+                    inner.rejected.fetch_add(1, Ordering::Relaxed);
+                    inner.trace(
+                        Some(id),
+                        TraceKind::PersistError,
+                        format!("journal append failed: {e}"),
+                    );
+                    return Err(SubmitError::Persist {
+                        detail: e.to_string(),
+                    });
+                }
+            }
+        }
+        // Phase 3 — enqueue. Shutdown may have raced phase 2; re-check
+        // under the lock and journal a cancel so the record is not
+        // re-enqueued on the next startup.
+        {
+            let mut st = lock(&inner.state);
+            st.reserved -= 1;
+            if inner.shutting_down.load(Ordering::Acquire) {
+                drop(st);
+                inner.journal_best_effort(&JournalRecord::Cancelled { id });
+                inner.rejected.fetch_add(1, Ordering::Relaxed);
+                inner.trace(None, TraceKind::Rejected, "service is shutting down");
+                return Err(SubmitError::ShuttingDown);
+            }
             let token = inner
                 .job_deadline
                 .map_or_else(CancelToken::new, CancelToken::with_timeout);
@@ -336,8 +484,7 @@ impl Service {
             );
             st.queue.push_back(id);
             prune_records(&mut st, inner.max_records);
-            id
-        };
+        }
         inner.trace(Some(id), TraceKind::Admitted, "");
         inner.work.notify_one();
         Ok(JobId(id))
@@ -402,6 +549,7 @@ impl Service {
             was_queued
         };
         if was_queued {
+            inner.journal_best_effort(&JournalRecord::Cancelled { id: id.0 });
             inner.cancelled_count.fetch_add(1, Ordering::Relaxed);
             inner.trace(Some(id.0), TraceKind::Cancelled, "while queued");
             inner.done.notify_all();
@@ -448,6 +596,18 @@ impl Service {
                 .count();
             (st.queue.len(), queued, running)
         };
+        let (replayed, corrupt_journal, files_loaded, corrupt_cache, compactions, persist_errors) =
+            match &inner.persist {
+                Some(p) => (
+                    p.journal_records_replayed,
+                    p.journal_corrupt_skipped,
+                    p.cache_files_loaded,
+                    p.cache_corrupt_dropped,
+                    p.compactions(),
+                    p.error_count(),
+                ),
+                None => (0, 0, 0, 0, 0, 0),
+            };
         MetricsSnapshot {
             cache: lock(&inner.cache).stats(),
             queue_depth,
@@ -461,8 +621,25 @@ impl Service {
                 .unwrap_or(0),
             worker_panics: inner.panics.load(Ordering::Relaxed),
             workers: inner.worker_count,
+            drc_rejected: inner.drc_rejected.load(Ordering::Relaxed),
+            journal_records_replayed: replayed,
+            journal_corrupt_skipped: corrupt_journal,
+            cache_files_loaded: files_loaded,
+            cache_corrupt_dropped: corrupt_cache,
+            compactions,
+            persist_errors,
             solve: lock(&inner.agg).clone(),
         }
+    }
+
+    /// The current submission-queue depth (admitted jobs waiting for a
+    /// worker, plus reservations in flight). Cheaper than
+    /// [`Service::metrics`] for callers that only need backpressure
+    /// context, like the HTTP front end computing `Retry-After`.
+    #[must_use]
+    pub fn queue_depth(&self) -> usize {
+        let st = lock(&self.inner.state);
+        st.queue.len() + st.reserved
     }
 
     /// Graceful shutdown: stops admitting, cancels every queued and
@@ -493,6 +670,7 @@ impl Service {
             drained
         };
         for id in drained {
+            inner.journal_best_effort(&JournalRecord::Cancelled { id });
             inner.cancelled_count.fetch_add(1, Ordering::Relaxed);
             inner.trace(Some(id), TraceKind::Cancelled, "shutdown drained the queue");
         }
@@ -521,6 +699,7 @@ impl Service {
             ids
         };
         for id in stragglers {
+            inner.journal_best_effort(&JournalRecord::Cancelled { id });
             inner.cancelled_count.fetch_add(1, Ordering::Relaxed);
             inner.trace(Some(id), TraceKind::Cancelled, "shutdown drained the queue");
         }
@@ -555,6 +734,159 @@ fn prune_records(st: &mut State, max_records: usize) {
     }
 }
 
+/// What the journal fold knows about one job after replay. Later records
+/// overwrite earlier ones, so the map ends holding each job's final
+/// journaled state.
+enum Folded {
+    /// Submitted (possibly started) but never terminal: re-enqueue it.
+    Live(Arc<String>),
+    /// Completed with a design, cached under `key` when `Some`.
+    Done {
+        key: Option<ContentKey>,
+        rung: String,
+    },
+    /// Failed with an error.
+    Failed(String),
+    /// Cancelled.
+    Cancelled,
+}
+
+/// Applies recovered persistent state before the first worker runs: warms
+/// the in-memory cache from the verified disk cache, folds the journal
+/// into final per-job states, re-enqueues live jobs in submission order
+/// (ids are monotonic, so id order *is* submission order), restores
+/// terminal job records for status queries, and traces every corruption
+/// the persist layer skipped.
+fn apply_recovery(inner: &Inner, recovery: Recovery) {
+    for note in recovery
+        .replay
+        .notes
+        .iter()
+        .chain(recovery.cache.notes.iter())
+    {
+        inner.trace(None, TraceKind::Corrupt, note.clone());
+    }
+    let replayed_good = recovery.replay.records.len();
+    let mut folded: BTreeMap<u64, Folded> = BTreeMap::new();
+    let mut texts: HashMap<u64, Arc<String>> = HashMap::new();
+    for record in recovery.replay.records {
+        match record {
+            JournalRecord::Submitted { id, text } => {
+                texts.insert(id, Arc::clone(&text));
+                folded.insert(id, Folded::Live(text));
+            }
+            JournalRecord::Started { id } => {
+                // advisory; but a started record with no submitted record
+                // means the submission was lost to corruption — there is
+                // nothing to re-enqueue
+                if !folded.contains_key(&id) {
+                    inner.trace(
+                        Some(id),
+                        TraceKind::Corrupt,
+                        "started record without a submitted record; job unrecoverable",
+                    );
+                }
+            }
+            JournalRecord::Completed { id, key, rung } => {
+                folded.insert(id, Folded::Done { key, rung });
+            }
+            JournalRecord::Failed { id, error } => {
+                folded.insert(id, Folded::Failed(error));
+            }
+            JournalRecord::Cancelled { id } => {
+                folded.insert(id, Folded::Cancelled);
+            }
+        }
+    }
+    let mut requeued: Vec<u64> = Vec::new();
+    let mut restored_terminal = 0usize;
+    {
+        // Workers have not been spawned yet, so holding both locks is
+        // uncontended; the cache lock spans the loop to warm entries and
+        // resolve `completed` keys in one pass.
+        let mut cache = lock(&inner.cache);
+        for stored in &recovery.cache.designs {
+            let cost = entry_cost(&stored.design, &stored.canon);
+            cache.insert(
+                stored.key,
+                Arc::clone(&stored.design),
+                stored.canon.clone(),
+                cost,
+            );
+        }
+        let mut st = lock(&inner.state);
+        for (id, state) in folded {
+            st.next_id = st.next_id.max(id + 1);
+            let stub = |state: JobState| JobRecord {
+                text: texts
+                    .get(&id)
+                    .cloned()
+                    .unwrap_or_else(|| Arc::new(String::new())),
+                token: CancelToken::new(),
+                state,
+                cancel_requested: false,
+                elapsed: None,
+                from_cache: false,
+                rung: None,
+                error: None,
+                design: None,
+            };
+            match state {
+                Folded::Live(text) => {
+                    let token = inner
+                        .job_deadline
+                        .map_or_else(CancelToken::new, CancelToken::with_timeout);
+                    let mut r = stub(JobState::Queued);
+                    r.text = text;
+                    r.token = token;
+                    st.jobs.insert(id, r);
+                    st.queue.push_back(id);
+                    requeued.push(id);
+                }
+                Folded::Done { key, rung } => {
+                    let mut r = stub(JobState::Done);
+                    r.rung = Some(rung);
+                    // the design itself lives in the recovered disk cache;
+                    // a dropped (corrupt/evicted) file leaves the record
+                    // Done with no exportable design
+                    r.design = key.and_then(|k| cache.peek_key(k));
+                    st.jobs.insert(id, r);
+                    restored_terminal += 1;
+                }
+                Folded::Failed(error) => {
+                    let mut r = stub(JobState::Failed);
+                    r.error = Some(error);
+                    st.jobs.insert(id, r);
+                    restored_terminal += 1;
+                }
+                Folded::Cancelled => {
+                    st.jobs.insert(id, stub(JobState::Cancelled));
+                    restored_terminal += 1;
+                }
+            }
+        }
+        prune_records(&mut st, inner.max_records);
+    }
+    for &id in &requeued {
+        inner.trace(Some(id), TraceKind::Recovery, "re-enqueued after restart");
+    }
+    inner.trace(
+        None,
+        TraceKind::Recovery,
+        format!(
+            "replayed {} journal records ({} corrupt skipped), \
+             loaded {} cached designs ({} corrupt dropped), \
+             re-enqueued {} jobs, restored {} terminal records",
+            replayed_good,
+            recovery.replay.corrupt,
+            recovery.cache.designs.len(),
+            recovery.cache.dropped,
+            requeued.len(),
+            restored_terminal,
+        ),
+    );
+}
+
 fn worker_loop(inner: &Arc<Inner>) {
     loop {
         let claimed = {
@@ -587,6 +919,9 @@ fn worker_loop(inner: &Arc<Inner>) {
         let Some((id, text, token)) = claimed else {
             return;
         };
+        // Advisory progress record: recovery re-enqueues a started-but-
+        // unfinished job either way, so losing this append is harmless.
+        inner.journal_best_effort(&JournalRecord::Started { id });
         inner.trace(Some(id), TraceKind::Started, "");
         let t0 = Instant::now();
         let end = match catch_unwind(AssertUnwindSafe(|| run_job(inner, id, &text, &token))) {
@@ -629,6 +964,7 @@ fn run_job(inner: &Inner, id: u64, text: &str, token: &CancelToken) -> JobEnd {
         return JobEnd::Done {
             design,
             from_cache: true,
+            key: Some(key),
         };
     }
     match inner
@@ -644,6 +980,15 @@ fn run_job(inner: &Inner, id: u64, text: &str, token: &CancelToken) -> JobEnd {
                 );
             }
             lock(&inner.agg).absorb(&result.log.aggregate_solve());
+            // DRC gate: every synthesized design is re-checked before it
+            // is served or cached. A non-clean report fails the job with
+            // the violation list — a design that breaks the rules must
+            // never reach a client or pin a cache slot.
+            let drc = columba_s::design::drc::check(&result.outcome.design);
+            if let Some(msg) = drc_failure(&drc) {
+                inner.drc_rejected.fetch_add(1, Ordering::Relaxed);
+                return JobEnd::Failed(msg);
+            }
             let svg = result.outcome.to_svg().unwrap_or_default();
             let scr = result.outcome.to_autocad_script().unwrap_or_default();
             let solved_in = result.outcome.elapsed;
@@ -652,7 +997,7 @@ fn run_job(inner: &Inner, id: u64, text: &str, token: &CancelToken) -> JobEnd {
                 scr,
                 rung: result.rung.to_string(),
                 solved_in,
-                outcome: result.outcome,
+                summary: DesignSummary::of_outcome(&result.outcome),
             });
             // Cache only pristine results: a fired token (client DELETE or
             // the job deadline) or a rung below full MILP means this design
@@ -661,10 +1006,17 @@ fn run_job(inner: &Inner, id: u64, text: &str, token: &CancelToken) -> JobEnd {
             // artifact under the same key forever.
             let pristine = result.rung == Rung::FullMilp && !token.is_cancelled();
             if pristine {
-                // cost: the real artifact bytes this entry pins, plus a
-                // small allowance for the structs themselves
-                let cost = design.svg.len() + design.scr.len() + record.len() + 512;
-                lock(&inner.cache).insert(key, Arc::clone(&design), record, cost);
+                let cost = entry_cost(&design, &record);
+                lock(&inner.cache).insert(key, Arc::clone(&design), record.clone(), cost);
+                if let Some(persist) = &inner.persist {
+                    if let Err(e) = persist.store_design(key, &record, &design) {
+                        inner.trace(
+                            Some(id),
+                            TraceKind::PersistError,
+                            format!("design store failed: {e}"),
+                        );
+                    }
+                }
             }
             inner.trace(
                 Some(id),
@@ -684,10 +1036,29 @@ fn run_job(inner: &Inner, id: u64, text: &str, token: &CancelToken) -> JobEnd {
             JobEnd::Done {
                 design,
                 from_cache: false,
+                key: pristine.then_some(key),
             }
         }
         Err(e) => JobEnd::Failed(e.to_string()),
     }
+}
+
+/// Renders a non-clean DRC report as the job-failure message (one line,
+/// every violation listed); `None` for a clean report.
+fn drc_failure(report: &columba_s::design::drc::DrcReport) -> Option<String> {
+    if report.is_clean() {
+        return None;
+    }
+    let list = report
+        .violations
+        .iter()
+        .map(ToString::to_string)
+        .collect::<Vec<_>>()
+        .join("; ");
+    Some(format!(
+        "design failed DRC with {} violation(s): {list}",
+        report.violations.len()
+    ))
 }
 
 fn summarize(attempt: &columba_s::Attempt) -> String {
@@ -700,34 +1071,51 @@ fn summarize(attempt: &columba_s::Attempt) -> String {
 }
 
 fn finalize(inner: &Inner, id: u64, elapsed: Duration, end: JobEnd) {
-    let final_state = {
+    let (final_state, journal_record) = {
         let mut st = lock(&inner.state);
         let Some(r) = st.jobs.get_mut(&id) else {
             return;
         };
         r.elapsed = Some(elapsed);
         match end {
-            JobEnd::Done { design, from_cache } => {
+            JobEnd::Done {
+                design,
+                from_cache,
+                key,
+            } => {
                 r.from_cache = from_cache;
                 r.rung = Some(design.rung.clone());
+                let rung = design.rung.clone();
                 r.design = Some(design);
                 r.state = if r.cancel_requested {
                     JobState::Cancelled
                 } else {
                     JobState::Done
                 };
+                let record = if r.state == JobState::Done {
+                    JournalRecord::Completed { id, key, rung }
+                } else {
+                    JournalRecord::Cancelled { id }
+                };
+                (r.state, record)
             }
             JobEnd::Failed(msg) => {
-                r.error = Some(msg);
+                r.error = Some(msg.clone());
                 r.state = if r.cancel_requested {
                     JobState::Cancelled
                 } else {
                     JobState::Failed
                 };
+                let record = if r.state == JobState::Failed {
+                    JournalRecord::Failed { id, error: msg }
+                } else {
+                    JournalRecord::Cancelled { id }
+                };
+                (r.state, record)
             }
         }
-        r.state
     };
+    inner.journal_best_effort(&journal_record);
     match final_state {
         JobState::Done => {
             inner.done_count.fetch_add(1, Ordering::Relaxed);
@@ -911,6 +1299,45 @@ mod tests {
         assert_eq!(m.cache.hits, 0);
         assert_eq!(m.cache.entries, 0, "no degraded entry may be inserted");
         service.shutdown();
+    }
+
+    #[test]
+    fn drc_gate_message_lists_every_violation() {
+        use columba_s::design::drc::{DrcReport, Rule, Violation};
+        assert!(
+            drc_failure(&DrcReport::default()).is_none(),
+            "clean reports pass the gate"
+        );
+        // real synthesized designs are DRC-clean (the stress suite asserts
+        // it), so the gate's failure path is exercised with a fabricated
+        // report
+        let report = DrcReport {
+            violations: vec![
+                Violation {
+                    rule: Rule::ModuleOverlap,
+                    message: "m1 overlaps m2".into(),
+                },
+                Violation {
+                    rule: Rule::InletPitch,
+                    message: "inlets a,b closer than d'".into(),
+                },
+            ],
+        };
+        let msg = drc_failure(&report).expect("non-clean report fails the gate");
+        assert!(msg.contains("2 violation(s)"), "{msg}");
+        assert!(msg.contains("module-overlap"), "{msg}");
+        assert!(msg.contains("inlets a,b closer than d'"), "{msg}");
+    }
+
+    #[test]
+    fn persist_error_display_names_the_cause() {
+        let e = SubmitError::Persist {
+            detail: "disk on fire".into(),
+        };
+        assert_eq!(
+            e.to_string(),
+            "submission could not be journaled: disk on fire"
+        );
     }
 
     #[test]

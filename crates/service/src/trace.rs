@@ -3,7 +3,9 @@
 //! Every job lifecycle transition emits one [`TraceEvent`] through the
 //! service's [`TraceSink`]: `received`, `admitted`, `rejected`,
 //! `cache_hit`, `started`, `rung`, `solved`, `failed`, `cancelled`,
-//! `exported`, `shutdown`. Timestamps are monotonic offsets from the
+//! `exported`, `shutdown` — plus the persistence lifecycle: `recovery`,
+//! `corrupt`, `compacted`, `persist_error`. Timestamps are monotonic
+//! offsets from the
 //! service epoch (`Instant`-based, never wall clock), so traces order
 //! correctly even across clock adjustments.
 //!
@@ -42,6 +44,15 @@ pub enum TraceKind {
     Exported,
     /// The service shut down.
     Shutdown,
+    /// Startup recovery replayed persisted state (detail carries the
+    /// replay summary, or names the re-enqueued job when `job` is set).
+    Recovery,
+    /// A corrupt persisted record or file was skipped during recovery.
+    Corrupt,
+    /// The journal was compacted down to its live records.
+    Compacted,
+    /// A persist-layer write failed (journal append or design store).
+    PersistError,
 }
 
 impl TraceKind {
@@ -60,6 +71,10 @@ impl TraceKind {
             TraceKind::Cancelled => "cancelled",
             TraceKind::Exported => "exported",
             TraceKind::Shutdown => "shutdown",
+            TraceKind::Recovery => "recovery",
+            TraceKind::Corrupt => "corrupt",
+            TraceKind::Compacted => "compacted",
+            TraceKind::PersistError => "persist_error",
         }
     }
 }

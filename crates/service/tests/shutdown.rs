@@ -65,7 +65,7 @@ fn shutdown_under_load_never_hangs() {
             let mut rejected_for_shutdown = 0u32;
             for _ in 0..200 {
                 match service.submit_text(&text) {
-                    Ok(_) | Err(SubmitError::QueueFull { .. }) => {}
+                    Ok(_) | Err(SubmitError::QueueFull { .. } | SubmitError::Persist { .. }) => {}
                     Err(SubmitError::ShuttingDown) => rejected_for_shutdown += 1,
                 }
                 thread::sleep(Duration::from_millis(1));

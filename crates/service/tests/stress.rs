@@ -82,11 +82,7 @@ fn concurrent_waves_match_serial_synthesis_and_second_wave_hits_cache() {
         assert_eq!(status.state, JobState::Done, "{name}: {:?}", status.error);
         assert!(!status.from_cache, "{name}: wave 1 must actually solve");
         let design = status.design.expect("done jobs carry the design");
-        assert!(
-            design.outcome.drc.is_clean(),
-            "{name}: {}",
-            design.outcome.drc
-        );
+        assert!(design.summary.drc_clean, "{name}: design failed DRC");
     }
 
     // every service result is byte-identical to synthesizing the same
