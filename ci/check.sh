@@ -69,6 +69,20 @@ if command -v curl >/dev/null 2>&1; then
   METRICS=$(curl -sfS "http://$ADDR/metrics")
   printf '%s\n' "$METRICS" | grep -q '^cache_hits 1$'
   printf '%s\n' "$METRICS" | grep -q '^worker_panics 0$'
+
+  echo "==> observability smoke (Prometheus scrape + Chrome-trace profile)"
+  PROM=$(curl -sfS "http://$ADDR/metrics?format=prometheus")
+  printf '%s\n' "$PROM" | ./target/release/obs-validate prometheus
+  printf '%s\n' "$PROM" | grep -q 'columba_solve_seconds_bucket' \
+    || { echo "Prometheus scrape is missing solve-latency buckets"; exit 1; }
+  printf '%s\n' "$PROM" | grep -q 'columba_solve_seconds_p99' \
+    || { echo "Prometheus scrape is missing the p99 summary line"; exit 1; }
+  curl -sfS "http://$ADDR/jobs/$JOB1/profile" | ./target/release/obs-validate chrome
+  TRACE=$(curl -sfS "http://$ADDR/jobs/$JOB1/trace")
+  printf '%s\n' "$TRACE" | grep -q '"event":"solved"' \
+    || { echo "lifecycle trace is missing the solved event: $TRACE"; exit 1; }
+  echo "observability smoke OK"
+
   kill "$SERVE_PID"
   trap - EXIT
   echo "service smoke OK"
@@ -125,5 +139,8 @@ if command -v curl >/dev/null 2>&1; then
 else
   echo "curl not found; skipping the HTTP smoke"
 fi
+
+echo "==> observability overhead guard (disabled-path spans within 2% on chip4ip)"
+./target/release/obs_overhead --iters 3
 
 echo "All checks passed."

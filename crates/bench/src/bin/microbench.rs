@@ -11,35 +11,33 @@
 
 use std::time::{Duration, Instant};
 
-use columba_bench::secs;
+use columba_bench::{bench_json, secs, write_bench_json, CaseStats};
 use columba_s::layout::{self, LayoutOptions};
 use columba_s::netlist::{generators, MuxCount};
 use columba_s::planar::planarize;
 use columba_s::{Columba, SynthesisOptions};
 
-/// Times `f` over `iters` runs and returns `(min, mean, max)`.
-fn measure<T>(iters: usize, mut f: impl FnMut() -> T) -> (Duration, Duration, Duration) {
-    let mut min = Duration::MAX;
-    let mut max = Duration::ZERO;
-    let mut total = Duration::ZERO;
+/// Times `f` over `iters` runs and returns the raw samples.
+fn measure<T>(iters: usize, mut f: impl FnMut() -> T) -> Vec<Duration> {
+    let mut samples = Vec::with_capacity(iters);
     for _ in 0..iters {
         let t = Instant::now();
         std::hint::black_box(f());
-        let d = t.elapsed();
-        min = min.min(d);
-        max = max.max(d);
-        total += d;
+        samples.push(t.elapsed());
     }
-    (min, total / iters as u32, max)
+    samples
 }
 
-fn report(stage: &str, iters: usize, (min, mean, max): (Duration, Duration, Duration)) {
+/// Prints the human-readable row and returns the machine-readable stats.
+fn report(stage: &str, iters: usize, samples: &[Duration]) -> CaseStats {
+    let stats = CaseStats::from_samples(stage, samples);
     println!(
         "{stage:<34}{:>10} {:>10} {:>10}   ({iters} iters)",
-        secs(min),
-        secs(mean),
-        secs(max)
+        secs(Duration::from_secs_f64(stats.min_s)),
+        secs(Duration::from_secs_f64(stats.mean_s)),
+        secs(Duration::from_secs_f64(stats.max_s))
     );
+    stats
 }
 
 fn main() {
@@ -60,54 +58,55 @@ fn main() {
 
     let chip4 = generators::chip_ip(4, MuxCount::One);
     let chip64 = generators::chip_ip(64, MuxCount::One);
+    let mut cases = Vec::new();
 
-    report(
+    cases.push(report(
         "netlist generation (64 units)",
         iters,
-        measure(iters, || generators::chip_ip(64, MuxCount::One)),
-    );
-    report(
+        &measure(iters, || generators::chip_ip(64, MuxCount::One)),
+    ));
+    cases.push(report(
         "planarize chip4",
         iters,
-        measure(iters, || planarize(&chip4)),
-    );
-    report(
+        &measure(iters, || planarize(&chip4)),
+    ));
+    cases.push(report(
         "planarize chip64",
         iters,
-        measure(iters, || planarize(&chip64)),
-    );
+        &measure(iters, || planarize(&chip64)),
+    ));
 
     let (planar4, _) = planarize(&chip4);
     let heuristic = LayoutOptions::heuristic_only();
-    report(
+    cases.push(report(
         "layout chip4 (heuristic)",
         iters,
-        measure(iters, || {
+        &measure(iters, || {
             layout::synthesize(&planar4, &heuristic).expect("chip4 synthesizes")
         }),
-    );
+    ));
 
     let budget = LayoutOptions {
         time_limit: Duration::from_secs(2),
         node_limit: 50,
         ..LayoutOptions::default()
     };
-    report(
+    cases.push(report(
         "layout chip4 (bounded search)",
         iters,
-        measure(iters, || {
+        &measure(iters, || {
             layout::synthesize(&planar4, &budget).expect("chip4 synthesizes")
         }),
-    );
+    ));
 
     let (planar64, _) = planarize(&chip64);
-    report(
+    cases.push(report(
         "layout chip64 (heuristic)",
         iters,
-        measure(iters, || {
+        &measure(iters, || {
             layout::synthesize(&planar64, &heuristic).expect("chip64 synthesizes")
         }),
-    );
+    ));
 
     let flow = Columba::with_options(SynthesisOptions {
         layout: LayoutOptions {
@@ -116,12 +115,17 @@ fn main() {
         },
         ..SynthesisOptions::default()
     });
-    report(
+    cases.push(report(
         "full flow chip4",
         iters,
-        measure(iters, || {
+        &measure(iters, || {
             flow.synthesize(&chip4).expect("chip4 synthesizes")
         }),
+    ));
+
+    write_bench_json(
+        "BENCH_microbench.json",
+        &bench_json("microbench", &[("iters", iters.to_string())], &cases),
     );
 
     // solver telemetry of one representative bounded search

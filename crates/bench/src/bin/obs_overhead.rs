@@ -1,0 +1,124 @@
+//! Overhead guard for the observability layer: asserts the runtime-disabled
+//! instrumentation costs the chip4ip solve path less than 2% of its wall
+//! time, so the spans shipped into `columba-milp` / `columba-layout` are
+//! free when nobody is looking.
+//!
+//! Method: (1) measure the per-call cost of a disabled `span()` in a tight
+//! loop; (2) count the spans one instrumented chip4ip solve actually opens
+//! (recording run); (3) measure the disabled-path solve wall time. The
+//! guard then requires `span_count x per_call_cost <= 2% of the solve
+//! median` — a deterministic bound that does not depend on run-to-run
+//! solver jitter, unlike differencing two noisy medians. Enabled-path
+//! medians are printed for information only.
+//!
+//! ```sh
+//! cargo run -p columba-bench --release --bin obs_overhead
+//! cargo run -p columba-bench --release --bin obs_overhead -- --iters 9
+//! ```
+
+use std::time::{Duration, Instant};
+
+use columba_bench::{secs, CaseStats};
+use columba_obs::SpanRecorder;
+use columba_s::layout::{self, LayoutOptions};
+use columba_s::netlist::{generators, MuxCount, Netlist};
+use columba_s::planar::planarize;
+
+const OVERHEAD_BUDGET: f64 = 0.02;
+
+fn solve_samples(planar: &Netlist, opts: &LayoutOptions, iters: usize) -> Vec<Duration> {
+    (0..iters)
+        .map(|_| {
+            let t = Instant::now();
+            std::hint::black_box(layout::synthesize(planar, opts).expect("chip4ip synthesizes"));
+            t.elapsed()
+        })
+        .collect()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let iters = match args.iter().position(|a| a == "--iters") {
+        None => 5usize,
+        Some(i) => match args.get(i + 1).map(|v| v.parse()) {
+            Some(Ok(n)) if n > 0 => n,
+            _ => {
+                eprintln!("error: --iters requires a positive integer");
+                std::process::exit(2);
+            }
+        },
+    };
+
+    let chip4 = generators::chip_ip(4, MuxCount::One);
+    let (planar, _) = planarize(&chip4);
+    let opts = LayoutOptions {
+        time_limit: Duration::from_secs(2),
+        node_limit: 50,
+        threads: 1,
+        ..LayoutOptions::default()
+    };
+
+    // 1) per-call cost of the disabled fast path (one relaxed atomic load)
+    columba_obs::set_enabled(false);
+    const CALLS: u32 = 4_000_000;
+    let t = Instant::now();
+    for _ in 0..CALLS {
+        std::hint::black_box(columba_obs::span("overhead.probe"));
+    }
+    let per_call_ns = t.elapsed().as_nanos() as f64 / f64::from(CALLS);
+
+    // 2) how many spans one instrumented solve opens (recording run)
+    columba_obs::set_enabled(true);
+    let recorder = SpanRecorder::new(1 << 20);
+    {
+        let _guard = recorder.install();
+        std::hint::black_box(layout::synthesize(&planar, &opts).expect("chip4ip synthesizes"));
+    }
+    let span_count = recorder.len() as u64 + recorder.evicted();
+
+    // enabled-path timing, informational only (recorder kept installed)
+    let enabled = {
+        let _guard = recorder.install();
+        CaseStats::from_samples(
+            "chip4ip solve (obs enabled)",
+            &solve_samples(&planar, &opts, iters),
+        )
+    };
+
+    // 3) disabled-path solve wall time
+    columba_obs::set_enabled(false);
+    let disabled = CaseStats::from_samples(
+        "chip4ip solve (obs disabled)",
+        &solve_samples(&planar, &opts, iters),
+    );
+
+    let estimated_overhead_s = per_call_ns * 1e-9 * span_count as f64;
+    let fraction = estimated_overhead_s / disabled.median_s;
+
+    println!("observability overhead guard (chip4ip, {iters} iters)\n");
+    println!("disabled span() per call:     {per_call_ns:.1} ns");
+    println!("spans per instrumented solve: {span_count}");
+    println!(
+        "disabled solve median:        {}",
+        secs(Duration::from_secs_f64(disabled.median_s))
+    );
+    println!(
+        "enabled solve median:         {}  (informational)",
+        secs(Duration::from_secs_f64(enabled.median_s))
+    );
+    println!(
+        "estimated disabled overhead:  {:.4}% of the solve median (budget {:.0}%)",
+        fraction * 100.0,
+        OVERHEAD_BUDGET * 100.0
+    );
+
+    if fraction > OVERHEAD_BUDGET {
+        eprintln!(
+            "error: disabled-path observability overhead {:.3}% exceeds the {:.0}% budget",
+            fraction * 100.0,
+            OVERHEAD_BUDGET * 100.0
+        );
+        std::process::exit(1);
+    }
+    println!("\nOK: disabled-path overhead is within budget");
+}

@@ -12,7 +12,7 @@ use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
 
-use columba_bench::secs;
+use columba_bench::{bench_json, secs, write_bench_json, CaseStats};
 use columba_s::netlist::{generators, MuxCount};
 use columba_s::{LayoutOptions, SynthesisOptions};
 use columba_service::{JobState, Service, ServiceConfig};
@@ -129,6 +129,8 @@ fn main() {
             .collect()
     };
 
+    let cold_stats = CaseStats::from_samples("cold solve", &cold);
+    let hot_stats = CaseStats::from_samples("cache hit", &hot);
     let (cold_min, cold_mean, cold_p50, cold_max) = stats(cold);
     let (hot_min, hot_mean, hot_p50, hot_max) = stats(hot);
     println!(
@@ -156,6 +158,19 @@ fn main() {
     if speedup < 10.0 {
         eprintln!("warning: cache speedup below the 10x target");
     }
+
+    write_bench_json(
+        "BENCH_service.json",
+        &bench_json(
+            "service_load",
+            &[
+                ("clients", clients.to_string()),
+                ("hits_per_client", hits_per_client.to_string()),
+                ("p50_speedup", format!("{speedup:.3}")),
+            ],
+            &[cold_stats, hot_stats],
+        ),
+    );
 
     println!("\nfinal service metrics:");
     for line in service.metrics().render().lines() {

@@ -124,6 +124,121 @@ pub fn secs(d: Duration) -> String {
     }
 }
 
+/// Machine-readable stats of one benchmark case: exact order statistics
+/// from the raw samples plus the log-bucketed histogram percentiles the
+/// service's `/metrics` would report for the same latencies (so bench
+/// artifacts and live telemetry are directly comparable).
+#[derive(Debug, Clone)]
+pub struct CaseStats {
+    /// Case label.
+    pub name: String,
+    /// Samples measured.
+    pub iters: usize,
+    /// Exact minimum, seconds.
+    pub min_s: f64,
+    /// Exact mean, seconds.
+    pub mean_s: f64,
+    /// Exact median, seconds.
+    pub median_s: f64,
+    /// Exact maximum, seconds.
+    pub max_s: f64,
+    /// Histogram p50 (bucket upper bound), seconds.
+    pub hist_p50_s: f64,
+    /// Histogram p90 (bucket upper bound), seconds.
+    pub hist_p90_s: f64,
+    /// Histogram p99 (bucket upper bound), seconds.
+    pub hist_p99_s: f64,
+}
+
+impl CaseStats {
+    /// Computes the stats of one case from its raw samples.
+    ///
+    /// # Panics
+    ///
+    /// On an empty sample set.
+    #[must_use]
+    pub fn from_samples(name: &str, samples: &[Duration]) -> CaseStats {
+        assert!(!samples.is_empty(), "case {name} measured no samples");
+        let mut sorted: Vec<Duration> = samples.to_vec();
+        sorted.sort_unstable();
+        let hist = columba_obs::Histogram::new();
+        for &d in samples {
+            hist.record(d);
+        }
+        let snap = hist.snapshot();
+        let (p50, p90, p99) = snap.percentiles_us();
+        let mean = sorted.iter().sum::<Duration>() / sorted.len() as u32;
+        CaseStats {
+            name: name.to_string(),
+            iters: sorted.len(),
+            min_s: sorted[0].as_secs_f64(),
+            mean_s: mean.as_secs_f64(),
+            median_s: sorted[sorted.len() / 2].as_secs_f64(),
+            max_s: sorted[sorted.len() - 1].as_secs_f64(),
+            hist_p50_s: p50 / 1e6,
+            hist_p90_s: p90 / 1e6,
+            hist_p99_s: p99 / 1e6,
+        }
+    }
+
+    fn json_into(&self, out: &mut String) {
+        use std::fmt::Write as _;
+        out.push_str("{\"name\":");
+        columba_obs::export::json_string_into(out, &self.name);
+        let _ = write!(
+            out,
+            ",\"iters\":{},\"min_s\":{:.9},\"mean_s\":{:.9},\"median_s\":{:.9},\
+             \"max_s\":{:.9},\"hist_p50_s\":{:.9},\"hist_p90_s\":{:.9},\"hist_p99_s\":{:.9}}}",
+            self.iters,
+            self.min_s,
+            self.mean_s,
+            self.median_s,
+            self.max_s,
+            self.hist_p50_s,
+            self.hist_p90_s,
+            self.hist_p99_s,
+        );
+    }
+}
+
+/// Renders a `BENCH_<name>.json` document: bench name, free-form config
+/// pairs, and one stats object per case.
+#[must_use]
+pub fn bench_json(bench: &str, config: &[(&str, String)], cases: &[CaseStats]) -> String {
+    let mut out = String::with_capacity(256 + cases.len() * 192);
+    out.push_str("{\"bench\":");
+    columba_obs::export::json_string_into(&mut out, bench);
+    for (key, value) in config {
+        out.push(',');
+        columba_obs::export::json_string_into(&mut out, key);
+        out.push(':');
+        // numbers stay numbers, everything else is a string
+        if value.parse::<f64>().is_ok() {
+            out.push_str(value);
+        } else {
+            columba_obs::export::json_string_into(&mut out, value);
+        }
+    }
+    out.push_str(",\"cases\":[");
+    for (i, case) in cases.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        case.json_into(&mut out);
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Writes a bench artifact, reporting (never propagating) I/O failure —
+/// a read-only working directory must not fail the bench itself.
+pub fn write_bench_json(path: &str, body: &str) {
+    match std::fs::write(path, body) {
+        Ok(()) => println!("\nwrote {path}"),
+        Err(e) => eprintln!("\nwarning: could not write {path}: {e}"),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -141,5 +256,43 @@ mod tests {
         assert_eq!(dim(19.8, 27.4), "19.8x27.4");
         assert_eq!(secs(Duration::from_millis(800)), "800ms");
         assert_eq!(secs(Duration::from_secs_f64(71.9)), "71.9s");
+    }
+
+    #[test]
+    fn bench_json_parses_and_keeps_exact_medians() {
+        use columba_obs::{parse_json, Json};
+
+        let samples: Vec<Duration> = [3u64, 1, 2, 5, 4]
+            .iter()
+            .map(|&ms| Duration::from_millis(ms))
+            .collect();
+        let case = CaseStats::from_samples("layout \"quoted\"", &samples);
+        assert_eq!(case.iters, 5);
+        assert!((case.median_s - 0.003).abs() < 1e-9);
+        assert!(case.min_s <= case.mean_s && case.mean_s <= case.max_s);
+        // the histogram bucket bound brackets the exact percentile
+        assert!(case.hist_p50_s >= case.median_s);
+        assert!(case.hist_p50_s <= case.hist_p90_s);
+        assert!(case.hist_p90_s <= case.hist_p99_s);
+
+        let body = bench_json(
+            "microbench",
+            &[("iters", "5".to_string()), ("host", "ci".to_string())],
+            &[case],
+        );
+        let doc = parse_json(&body).expect("bench artifact is valid JSON");
+        assert_eq!(doc.get("bench").and_then(Json::as_str), Some("microbench"));
+        assert_eq!(doc.get("iters").and_then(Json::as_f64), Some(5.0));
+        assert_eq!(doc.get("host").and_then(Json::as_str), Some("ci"));
+        let cases = doc.get("cases").and_then(Json::as_arr).expect("cases");
+        assert_eq!(cases.len(), 1);
+        assert_eq!(
+            cases[0].get("name").and_then(Json::as_str),
+            Some("layout \"quoted\"")
+        );
+        assert!(cases[0]
+            .get("median_s")
+            .and_then(Json::as_f64)
+            .is_some_and(|v| (v - 0.003).abs() < 1e-9));
     }
 }

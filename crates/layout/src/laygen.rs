@@ -87,6 +87,8 @@ pub(crate) fn generate(
     plan: &Plan,
     options: &LayoutOptions,
 ) -> Result<GeneratedLayout, LayoutError> {
+    let mut laygen_span = columba_obs::span("laygen");
+    let mut build_span = columba_obs::span("laygen.model_build");
     let placement = constructive::place(plan)?;
     let bound_mm = (placement.extent.0.max(placement.extent.1).to_mm() * 1.3 + 20.0).max(50.0);
     let big_m = bound_mm;
@@ -554,10 +556,22 @@ pub(crate) fn generate(
         cancel: options.cancel.clone(),
         ..SolveParams::default()
     };
+    if build_span.is_recording() {
+        build_span.attr("blocks", nb);
+        build_span.attr("disjunctions", disjunctions.len());
+        build_span.attr("pruned_pairs", pruned);
+        build_span.attr("hint", u64::from(hint.is_some()));
+    }
+    drop(build_span);
+    let solve_span = columba_obs::span("laygen.solve");
     let result = match &hint {
         Some(h) => model.solve_with_hint(&params, h)?,
         None => model.solve(&params)?,
     };
+    drop(solve_span);
+    if laygen_span.is_recording() {
+        laygen_span.attr("status", result.status().to_string());
+    }
 
     let report_base = LaygenReport {
         model_stats: model.stats(),
@@ -645,6 +659,7 @@ pub(crate) fn generate(
 /// The last resilience rung: skip the MILP entirely and return the
 /// constructive placement as the layout. Always cheap, never searches.
 pub(crate) fn generate_constructive(plan: &Plan) -> Result<GeneratedLayout, LayoutError> {
+    let _span = columba_obs::span("laygen.constructive");
     let placement = constructive::place(plan)?;
     if !placement.feasible {
         return Err(LayoutError::milp(

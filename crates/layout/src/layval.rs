@@ -47,6 +47,7 @@ pub(crate) fn validate(
     generated: &GeneratedLayout,
     _options: &LayoutOptions,
 ) -> Result<LayoutResult, LayoutError> {
+    let _span = columba_obs::span("layval");
     let start = Instant::now();
 
     // ---- chip frame: functional region + boundary margins + MUX regions ----

@@ -268,10 +268,12 @@ pub fn synthesize_resilient(
         }
         let opts = rung_options(policy, rung, &token);
         let t0 = Instant::now();
+        let mut rung_span = columba_obs::span(rung_span_name(rung));
         match laygen::generate(&plan, &opts)
             .and_then(|g| layval::validate(netlist, &plan, &g, &opts))
         {
             Ok(result) => {
+                rung_span.attr("outcome", "produced");
                 let status = result.laygen.status;
                 log.attempts.push(Attempt {
                     rung,
@@ -283,6 +285,7 @@ pub fn synthesize_resilient(
                 return Ok(ResilientOutcome { result, rung, log });
             }
             Err(error @ LayoutError::Infeasible { .. }) => {
+                rung_span.attr("outcome", "infeasible");
                 // proven infeasible: no rung can produce a *valid* layout,
                 // so abort with the diagnosis instead of degrading into a
                 // layout that violates the chip budget
@@ -295,6 +298,7 @@ pub fn synthesize_resilient(
                 return Err(ResilientError { error, log });
             }
             Err(error) => {
+                rung_span.attr("outcome", "failed");
                 log.push(
                     rung,
                     AttemptOutcome::Failed(error.to_string()),
@@ -308,10 +312,12 @@ pub fn synthesize_resilient(
     if policy.allow_constructive {
         let t0 = Instant::now();
         let opts = rung_options(policy, Rung::ConstructiveOnly, &token);
+        let mut rung_span = columba_obs::span(rung_span_name(Rung::ConstructiveOnly));
         match laygen::generate_constructive(&plan)
             .and_then(|g| layval::validate(netlist, &plan, &g, &opts))
         {
             Ok(result) => {
+                rung_span.attr("outcome", "produced");
                 let status = result.laygen.status;
                 log.attempts.push(Attempt {
                     rung: Rung::ConstructiveOnly,
@@ -327,6 +333,7 @@ pub fn synthesize_resilient(
                 });
             }
             Err(error) => {
+                rung_span.attr("outcome", "failed");
                 log.push(
                     Rung::ConstructiveOnly,
                     AttemptOutcome::Failed(error.to_string()),
@@ -347,6 +354,16 @@ pub fn synthesize_resilient(
     let error = last_err
         .unwrap_or_else(|| LayoutError::Restore("no ladder rung was permitted to run".into()));
     Err(ResilientError { error, log })
+}
+
+/// Static span name for one ladder rung.
+fn rung_span_name(rung: Rung) -> &'static str {
+    match rung {
+        Rung::FullMilp => "rung.full_milp",
+        Rung::RetryScaled => "rung.retry_scaled",
+        Rung::HeuristicOnly => "rung.heuristic_only",
+        Rung::ConstructiveOnly => "rung.constructive_only",
+    }
 }
 
 fn rung_options(policy: &ResiliencePolicy, rung: Rung, token: &CancelToken) -> LayoutOptions {

@@ -245,6 +245,7 @@ impl Tableau {
         self.cancel = cancel;
 
         // ---- phase 1: minimise sum of artificials ----
+        let mut p1_span = columba_obs::span("simplex.phase1");
         let mut c1 = vec![0.0; self.ncols];
         c1[(self.n_struct + self.m)..].fill(1.0);
         self.load_costs(&c1);
@@ -275,8 +276,12 @@ impl Tableau {
             self.ub[j] = 0.0;
         }
         self.drive_out_artificials();
+        p1_span.attr("iterations", self.iterations);
+        drop(p1_span);
 
         // ---- phase 2: true objective ----
+        let mut p2_span = columba_obs::span("simplex.phase2");
+        let p2_start_iters = self.iterations;
         let mut c2 = vec![0.0; self.ncols];
         c2[..self.n_struct].copy_from_slice(&lp.cost);
         self.load_costs(&c2);
@@ -292,6 +297,8 @@ impl Tableau {
                 )
             }
         }
+        p2_span.attr("iterations", self.iterations - p2_start_iters);
+        drop(p2_span);
 
         // extract structural solution
         let mut x = vec![0.0; self.n_struct];

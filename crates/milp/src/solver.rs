@@ -248,6 +248,29 @@ impl Search<'_> {
                 at: self.ctx.start.elapsed(),
                 objective: self.ctx.sign * obj,
             });
+            drop(inc);
+            if columba_obs::enabled() {
+                columba_obs::instant(
+                    "bnb.incumbent",
+                    vec![("objective", (self.ctx.sign * obj).into())],
+                );
+            }
+        }
+    }
+
+    /// Close (and record) one `bnb.batch` span, annotating it with the
+    /// sampled incumbent / best-bound pair — the gap trajectory the trace
+    /// viewer plots. Only touches the heap lock when actually recording.
+    fn finish_batch(&self, batch: &mut Option<columba_obs::SpanGuard>, nodes: usize) {
+        let Some(mut guard) = batch.take() else {
+            return;
+        };
+        if guard.is_recording() {
+            guard.attr("nodes", nodes);
+            guard.attr("incumbent", self.ctx.sign * self.best_objective());
+            if let Some(top) = lock_clean(&self.heap).peek() {
+                guard.attr("bound", self.ctx.sign * top.lp_bound);
+            }
         }
     }
 
@@ -262,7 +285,12 @@ impl Search<'_> {
     /// Worker loop: drain the pool until it is empty and no peer is active,
     /// a limit fires, or an error stops the search. Returns busy time.
     fn run_worker(&self) -> Duration {
+        /// Nodes covered by one `bnb.batch` span: coarse enough that the
+        /// trace stays small, fine enough to show where search time goes.
+        const BATCH_NODES: usize = 32;
         let mut busy = Duration::ZERO;
+        let mut batch: Option<columba_obs::SpanGuard> = None;
+        let mut batch_nodes = 0usize;
         loop {
             if self.stop.load(Ordering::Relaxed) {
                 break;
@@ -289,9 +317,14 @@ impl Search<'_> {
             };
             let Some(node) = popped else {
                 // peers are still expanding nodes that may yield children
+                self.finish_batch(&mut batch, batch_nodes);
+                batch_nodes = 0;
                 std::thread::yield_now();
                 continue;
             };
+            if batch.is_none() && columba_obs::enabled() {
+                batch = Some(columba_obs::span("bnb.batch"));
+            }
             let t = Instant::now();
             // Contain panics at the node boundary: a crashed worker loses
             // that node's subtree (degrading the search to a limit-style
@@ -299,6 +332,11 @@ impl Search<'_> {
             let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| self.process(node)));
             busy += t.elapsed();
             self.active.fetch_sub(1, Ordering::SeqCst);
+            batch_nodes += 1;
+            if batch_nodes >= BATCH_NODES {
+                self.finish_batch(&mut batch, batch_nodes);
+                batch_nodes = 0;
+            }
             match outcome {
                 Ok(Ok(())) => {}
                 Ok(Err(e)) => {
@@ -316,6 +354,7 @@ impl Search<'_> {
                 }
             }
         }
+        self.finish_batch(&mut batch, batch_nodes);
         busy
     }
 
@@ -443,9 +482,15 @@ pub(crate) fn solve(
     params: &SolveParams,
     hint: Option<&[(VarId, f64)]>,
 ) -> Result<MipResult, SolveError> {
+    let mut solve_span = columba_obs::span("milp.solve");
     let start = Instant::now();
     let sign = if model.maximize { -1.0 } else { 1.0 };
     let threads = params.resolved_threads();
+    if solve_span.is_recording() {
+        solve_span.attr("vars", model.vars.len());
+        solve_span.attr("constraints", model.constraints.len());
+        solve_span.attr("threads", threads);
+    }
 
     let base_rows: Vec<Row> = model
         .constraints
@@ -502,6 +547,7 @@ pub(crate) fn solve(
         stop_token,
     };
 
+    let mut root_span = columba_obs::span("milp.root");
     let mut root_iters = 0usize;
     let mut incumbent: Option<(Vec<f64>, f64)> = None; // (values, min-sense obj)
     let mut events: Vec<IncumbentEvent> = Vec::new();
@@ -620,6 +666,9 @@ pub(crate) fn solve(
     }
 
     // -- branch & bound over the shared node pool --
+    root_span.attr("iterations", root_iters);
+    drop(root_span);
+    let mut search_span = columba_obs::span("bnb.search");
     let root_time = start.elapsed();
     let mut heap = BinaryHeap::new();
     heap.push(OpenNode {
@@ -654,9 +703,19 @@ pub(crate) fn solve(
     let worker_busy: Vec<Duration> = if threads == 1 {
         vec![search.run_worker()]
     } else {
+        // Hand the observability context across the scope boundary so each
+        // worker's batch spans nest under this thread's `bnb.search` span.
+        let obs_ctx = columba_obs::SpanContext::current();
         std::thread::scope(|s| {
+            let search = &search;
             let handles: Vec<_> = (0..threads)
-                .map(|_| s.spawn(|| search.run_worker()))
+                .map(|_| {
+                    let obs_ctx = obs_ctx.clone();
+                    s.spawn(move || {
+                        let _obs = obs_ctx.as_ref().map(columba_obs::SpanContext::attach);
+                        search.run_worker()
+                    })
+                })
                 .collect();
             // panics inside `process` are already contained; a join error
             // here would mean the loop glue itself panicked — degrade to a
@@ -703,6 +762,23 @@ pub(crate) fn solve(
     };
 
     let total_time = start.elapsed();
+    if search_span.is_recording() {
+        search_span.attr("nodes", search.nodes_processed.load(Ordering::Relaxed));
+        search_span.attr("pruned", search.nodes_pruned.load(Ordering::Relaxed));
+    }
+    drop(search_span);
+    if solve_span.is_recording() {
+        solve_span.attr(
+            "status",
+            match status {
+                SolveStatus::Optimal => "optimal",
+                SolveStatus::Feasible => "feasible",
+                SolveStatus::Infeasible => "infeasible",
+                SolveStatus::Unbounded => "unbounded",
+                SolveStatus::LimitReached => "limit",
+            },
+        );
+    }
     let stats = SolveStats {
         threads,
         nodes_processed: search.nodes_processed.into_inner(),
@@ -1253,6 +1329,40 @@ mod tests {
             r.status(),
             SolveStatus::Optimal | SolveStatus::Feasible | SolveStatus::LimitReached
         ));
+    }
+
+    #[test]
+    fn spans_nest_across_search_workers() {
+        let rec = columba_obs::SpanRecorder::new(8192);
+        columba_obs::set_enabled(true);
+        let guard = rec.install();
+        let r = branching_model(12)
+            .solve(&SolveParams { threads: 2, ..p() })
+            .unwrap();
+        drop(guard);
+        columba_obs::set_enabled(false);
+        assert_eq!(r.status(), SolveStatus::Optimal);
+
+        let events = rec.finished();
+        let find = |name: &str| events.iter().find(|e| e.name == name);
+        let solve = find("milp.solve").expect("milp.solve span");
+        let root = find("milp.root").expect("milp.root span");
+        let search = find("bnb.search").expect("bnb.search span");
+        assert_eq!(root.parent, Some(solve.id));
+        assert_eq!(search.parent, Some(solve.id));
+        assert!(find("simplex.phase1").is_some());
+        assert!(find("simplex.phase2").is_some());
+        // every batch span a worker recorded hangs off the search span,
+        // even though the workers ran on scope threads
+        let batches: Vec<_> = events.iter().filter(|e| e.name == "bnb.batch").collect();
+        assert!(!batches.is_empty(), "search must record node batches");
+        for b in &batches {
+            assert_eq!(b.parent, Some(search.id));
+        }
+        // the root LP's phase spans nest under milp.root
+        assert!(events
+            .iter()
+            .any(|e| e.name == "simplex.phase1" && e.parent == Some(root.id)));
     }
 
     #[test]

@@ -1,0 +1,40 @@
+//! `obs-validate` — validate exporter output on stdin with the crate's
+//! mini-parsers. Used by `ci/check.sh` to check what the live service
+//! actually serves.
+//!
+//! ```sh
+//! curl -s "$ADDR/metrics?format=prometheus" | obs-validate prometheus
+//! curl -s "$ADDR/jobs/1/profile"           | obs-validate chrome
+//! ```
+//!
+//! Prints one `ok: ...` line and exits 0 on success; prints the parse
+//! error and exits 1 otherwise.
+
+use std::io::Read as _;
+
+fn main() {
+    let mode = std::env::args().nth(1).unwrap_or_default();
+    let mut input = String::new();
+    if let Err(e) = std::io::stdin().read_to_string(&mut input) {
+        eprintln!("error: cannot read stdin: {e}");
+        std::process::exit(1);
+    }
+    let outcome = match mode.as_str() {
+        "prometheus" => columba_obs::parse_prometheus(&input)
+            .map(|samples| format!("ok: {} prometheus samples", samples.len())),
+        "chrome" => {
+            columba_obs::validate_chrome_trace(&input).map(|n| format!("ok: {n} trace events"))
+        }
+        _ => {
+            eprintln!("usage: obs-validate <prometheus|chrome>  (document on stdin)");
+            std::process::exit(2);
+        }
+    };
+    match outcome {
+        Ok(msg) => println!("{msg}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

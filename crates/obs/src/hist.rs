@@ -1,0 +1,242 @@
+//! Log-bucketed latency histograms.
+//!
+//! Buckets grow by a factor of √2 (two buckets per octave) from 1 µs up to
+//! ~134 s (2²⁷ µs), which comfortably covers the 1 µs – 100 s range the
+//! synthesis stack produces: cache hits are tens of microseconds, full MILP
+//! solves tens of seconds. 55 finite bucket bounds + one overflow bucket
+//! keep a histogram at ~450 bytes while bounding the relative quantile
+//! error at √2.
+//!
+//! Recording is lock-free (one relaxed atomic increment after a binary
+//! search over the static bound table). Snapshots are plain data and merge
+//! by element-wise addition, so per-worker histograms can be combined into
+//! a service-wide view.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::Duration;
+
+/// Number of finite bucket upper bounds: √2⁰ µs … √2⁵⁴ µs (≈134 s).
+pub const NUM_BOUNDS: usize = 55;
+
+/// Total buckets: the finite ones plus one overflow bucket.
+pub const NUM_BUCKETS: usize = NUM_BOUNDS + 1;
+
+/// The finite bucket upper bounds in microseconds: `bound[i] = 2^(i/2)`.
+/// Bucket `i` counts durations `d` with `bound[i-1] < d <= bound[i]`
+/// (bucket 0 counts everything at or below 1 µs).
+#[must_use]
+pub fn bucket_bounds_us() -> &'static [f64; NUM_BOUNDS] {
+    static BOUNDS: OnceLock<[f64; NUM_BOUNDS]> = OnceLock::new();
+    BOUNDS.get_or_init(|| std::array::from_fn(|i| 2f64.powf(i as f64 / 2.0)))
+}
+
+/// Index of the bucket a duration of `us` microseconds falls into.
+#[must_use]
+pub fn bucket_index(us: f64) -> usize {
+    // partition_point: first bound with us <= bound, i.e. count of bounds < us.
+    bucket_bounds_us().partition_point(|&b| b < us)
+}
+
+/// A concurrent log-bucketed histogram. `record` is wait-free; `snapshot`
+/// is a consistent-enough read for metrics (relaxed loads).
+pub struct Histogram {
+    counts: [AtomicU64; NUM_BUCKETS],
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Histogram {
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one duration.
+    pub fn record(&self, d: Duration) {
+        let idx = bucket_index(d.as_secs_f64() * 1e6);
+        self.counts[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        let ns = u64::try_from(d.as_nanos()).unwrap_or(u64::MAX);
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Record one duration given in microseconds.
+    pub fn record_us(&self, us: f64) {
+        let idx = bucket_index(us.max(0.0));
+        self.counts[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        let ns = (us.max(0.0) * 1e3).round() as u64;
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// A plain-data copy of the current state.
+    #[must_use]
+    pub fn snapshot(&self) -> HistSnapshot {
+        HistSnapshot {
+            counts: std::array::from_fn(|i| self.counts[i].load(Ordering::Relaxed)),
+            count: self.count.load(Ordering::Relaxed),
+            sum_ns: self.sum_ns.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of a [`Histogram`], mergeable and queryable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistSnapshot {
+    /// Per-bucket counts (`NUM_BUCKETS` entries; last is overflow).
+    pub counts: [u64; NUM_BUCKETS],
+    /// Total recorded observations.
+    pub count: u64,
+    /// Sum of all recorded durations in nanoseconds (saturating).
+    pub sum_ns: u64,
+}
+
+impl Default for HistSnapshot {
+    fn default() -> Self {
+        HistSnapshot::empty()
+    }
+}
+
+impl HistSnapshot {
+    /// A snapshot with no observations.
+    #[must_use]
+    pub fn empty() -> Self {
+        HistSnapshot {
+            counts: [0; NUM_BUCKETS],
+            count: 0,
+            sum_ns: 0,
+        }
+    }
+
+    /// Element-wise accumulate `other` into `self`.
+    pub fn merge(&mut self, other: &HistSnapshot) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a = a.saturating_add(*b);
+        }
+        self.count = self.count.saturating_add(other.count);
+        self.sum_ns = self.sum_ns.saturating_add(other.sum_ns);
+    }
+
+    /// Mean observation in microseconds (0 when empty).
+    #[must_use]
+    pub fn mean_us(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_ns as f64 / 1e3 / self.count as f64
+        }
+    }
+
+    /// The `q`-quantile (`0 <= q <= 1`) as the upper bound of the bucket
+    /// where the cumulative count first reaches `ceil(q * count)`, in
+    /// microseconds. Overflow observations report the last finite bound
+    /// scaled by √2. Returns 0 for an empty snapshot.
+    #[must_use]
+    pub fn quantile_us(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let bounds = bucket_bounds_us();
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen = seen.saturating_add(c);
+            if seen >= rank {
+                return if i < NUM_BOUNDS {
+                    bounds[i]
+                } else {
+                    bounds[NUM_BOUNDS - 1] * std::f64::consts::SQRT_2
+                };
+            }
+        }
+        bounds[NUM_BOUNDS - 1] * std::f64::consts::SQRT_2
+    }
+
+    /// The `q`-quantile in seconds.
+    #[must_use]
+    pub fn quantile_secs(&self, q: f64) -> f64 {
+        self.quantile_us(q) / 1e6
+    }
+
+    /// Convenience: (p50, p90, p99) in microseconds.
+    #[must_use]
+    pub fn percentiles_us(&self) -> (f64, f64, f64) {
+        (
+            self.quantile_us(0.50),
+            self.quantile_us(0.90),
+            self.quantile_us(0.99),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounds_are_strictly_increasing_and_span_range() {
+        let b = bucket_bounds_us();
+        assert!((b[0] - 1.0).abs() < 1e-12, "first bound is 1 µs");
+        for w in b.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+        assert!(b[NUM_BOUNDS - 1] >= 100.0 * 1e6, "covers 100 s");
+    }
+
+    #[test]
+    fn two_buckets_per_octave() {
+        let b = bucket_bounds_us();
+        for i in 0..NUM_BOUNDS - 2 {
+            let ratio = b[i + 2] / b[i];
+            assert!((ratio - 2.0).abs() < 1e-9, "octave at {i}: {ratio}");
+        }
+    }
+
+    #[test]
+    fn record_lands_in_the_right_bucket() {
+        let h = Histogram::new();
+        h.record(Duration::from_micros(1)); // at the first bound
+        h.record(Duration::from_micros(3)); // 2^(3/2)≈2.83 < 3 <= 4
+        h.record(Duration::from_secs(1000)); // overflow
+        let s = h.snapshot();
+        assert_eq!(s.counts[0], 1);
+        assert_eq!(s.counts[4], 1, "3 µs in (2.83, 4]");
+        assert_eq!(s.counts[NUM_BUCKETS - 1], 1);
+        assert_eq!(s.count, 3);
+    }
+
+    #[test]
+    fn quantiles_and_merge() {
+        let h = Histogram::new();
+        for _ in 0..90 {
+            h.record(Duration::from_micros(10));
+        }
+        for _ in 0..10 {
+            h.record(Duration::from_millis(10));
+        }
+        let s = h.snapshot();
+        let (p50, p90, p99) = s.percentiles_us();
+        assert!(p50 <= p90 && p90 <= p99);
+        assert!((10.0..20.0).contains(&p50));
+        assert!((10_000.0..20_000.0).contains(&p99));
+
+        let mut merged = HistSnapshot::empty();
+        merged.merge(&s);
+        merged.merge(&s);
+        assert_eq!(merged.count, 2 * s.count);
+        assert_eq!(merged.quantile_us(0.5), s.quantile_us(0.5));
+    }
+}

@@ -1,0 +1,468 @@
+//! Test-side mini-parsers: Prometheus text exposition and a minimal JSON
+//! reader, used to validate what the exporters emit (in unit tests and in
+//! the `obs-validate` CI helper) without any external dependency.
+
+/// One parsed Prometheus sample line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PromSample {
+    /// Metric name.
+    pub name: String,
+    /// Label pairs in source order.
+    pub labels: Vec<(String, String)>,
+    /// Sample value.
+    pub value: f64,
+}
+
+fn valid_metric_name(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars().enumerate().all(|(i, c)| {
+            c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit())
+        })
+}
+
+fn valid_label_name(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars()
+            .enumerate()
+            .all(|(i, c)| c.is_ascii_alphabetic() || c == '_' || (i > 0 && c.is_ascii_digit()))
+}
+
+type Labels = Vec<(String, String)>;
+
+fn parse_labels(s: &str, line_no: usize) -> Result<(Labels, &str), String> {
+    // `s` starts just after '{'; returns labels and the rest after '}'.
+    let mut labels = Vec::new();
+    let mut chars = s.char_indices().peekable();
+    loop {
+        // label name
+        let start = match chars.peek() {
+            Some(&(i, '}')) => {
+                let rest = &s[i + 1..];
+                return Ok((labels, rest));
+            }
+            Some(&(i, _)) => i,
+            None => return Err(format!("line {line_no}: unterminated label set")),
+        };
+        let mut eq = None;
+        for (i, c) in chars.by_ref() {
+            if c == '=' {
+                eq = Some(i);
+                break;
+            }
+        }
+        let eq = eq.ok_or_else(|| format!("line {line_no}: label without '='"))?;
+        let name = &s[start..eq];
+        if !valid_label_name(name) {
+            return Err(format!("line {line_no}: bad label name {name:?}"));
+        }
+        match chars.next() {
+            Some((_, '"')) => {}
+            _ => return Err(format!("line {line_no}: label value must be quoted")),
+        }
+        let mut value = String::new();
+        let mut closed = false;
+        while let Some((_, c)) = chars.next() {
+            match c {
+                '"' => {
+                    closed = true;
+                    break;
+                }
+                '\\' => match chars.next() {
+                    Some((_, '\\')) => value.push('\\'),
+                    Some((_, '"')) => value.push('"'),
+                    Some((_, 'n')) => value.push('\n'),
+                    other => {
+                        return Err(format!("line {line_no}: bad escape {other:?}"));
+                    }
+                },
+                c => value.push(c),
+            }
+        }
+        if !closed {
+            return Err(format!("line {line_no}: unterminated label value"));
+        }
+        labels.push((name.to_string(), value));
+        match chars.next() {
+            Some((_, ',')) => {}
+            Some((i, '}')) => {
+                let rest = &s[i + 1..];
+                return Ok((labels, rest));
+            }
+            other => {
+                return Err(format!(
+                    "line {line_no}: expected ',' or '}}', got {other:?}"
+                ))
+            }
+        }
+    }
+}
+
+/// Parse a Prometheus text exposition document into its sample lines,
+/// validating metric/label name charsets, quoting, escapes and values.
+pub fn parse_prometheus(text: &str) -> Result<Vec<PromSample>, String> {
+    let mut samples = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (name, rest) = match line.find(['{', ' ']) {
+            Some(i) => (&line[..i], &line[i..]),
+            None => return Err(format!("line {line_no}: no value: {line:?}")),
+        };
+        if !valid_metric_name(name) {
+            return Err(format!("line {line_no}: bad metric name {name:?}"));
+        }
+        let (labels, value_str) = if let Some(stripped) = rest.strip_prefix('{') {
+            parse_labels(stripped, line_no)?
+        } else {
+            (Vec::new(), rest)
+        };
+        let value_str = value_str.trim();
+        let value = match value_str {
+            "+Inf" => f64::INFINITY,
+            "-Inf" => f64::NEG_INFINITY,
+            "NaN" => f64::NAN,
+            v => v
+                .parse::<f64>()
+                .map_err(|_| format!("line {line_no}: bad value {v:?}"))?,
+        };
+        samples.push(PromSample {
+            name: name.to_string(),
+            labels,
+            value,
+        });
+    }
+    if samples.is_empty() {
+        return Err("no samples found".to_string());
+    }
+    Ok(samples)
+}
+
+// --------------------------------------------------------------------- json
+
+/// A parsed JSON value (minimal model; numbers are f64).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number
+    Num(f64),
+    /// String
+    Str(String),
+    /// Array
+    Arr(Vec<Json>),
+    /// Object (insertion order preserved)
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Object field lookup (first match).
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The array elements, if this is an array.
+    #[must_use]
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+struct JsonParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> JsonParser<'a> {
+    fn err(&self, msg: &str) -> String {
+        format!("json error at byte {}: {msg}", self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected {:?}", b as char)))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.parse_object(),
+            Some(b'[') => self.parse_array(),
+            Some(b'"') => Ok(Json::Str(self.parse_string()?)),
+            Some(b't') => self.parse_lit("true", Json::Bool(true)),
+            Some(b'f') => self.parse_lit("false", Json::Bool(false)),
+            Some(b'n') => self.parse_lit("null", Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            _ => Err(self.err("expected a value")),
+        }
+    }
+
+    fn parse_lit(&mut self, lit: &str, v: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("expected {lit}")))
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("non-utf8 number"))?;
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| self.err(&format!("bad number {text:?}")))
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| self.err("non-utf8 \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            // Surrogates render as replacement; fine for a validator.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        other => {
+                            return Err(self.err(&format!("bad escape {other:?}")));
+                        }
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.err("invalid utf-8"))?;
+                    let c = rest.chars().next().ok_or_else(|| self.err("empty"))?;
+                    if (c as u32) < 0x20 {
+                        return Err(self.err("raw control character in string"));
+                    }
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+}
+
+/// Parse a complete JSON document (rejects trailing garbage).
+pub fn parse_json(text: &str) -> Result<Json, String> {
+    let mut p = JsonParser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    let v = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing garbage"));
+    }
+    Ok(v)
+}
+
+/// Validate a Chrome trace-event JSON document: must parse, must contain a
+/// `traceEvents` array whose entries each carry `name`, `ph` and `ts`.
+/// Returns the event count.
+pub fn validate_chrome_trace(text: &str) -> Result<usize, String> {
+    let doc = parse_json(text)?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| "missing traceEvents array".to_string())?;
+    for (i, e) in events.iter().enumerate() {
+        let name = e.get("name").and_then(Json::as_str);
+        let ph = e.get("ph").and_then(Json::as_str);
+        let ts = e.get("ts").and_then(Json::as_f64);
+        if name.is_none() || ph.is_none() || ts.is_none() {
+            return Err(format!("event {i} missing name/ph/ts"));
+        }
+        if ph == Some("X") && e.get("dur").and_then(Json::as_f64).is_none() {
+            return Err(format!("complete event {i} missing dur"));
+        }
+    }
+    Ok(events.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prometheus_round_trip() {
+        let text =
+            "# TYPE a counter\na_total{x=\"q\\\"uo\\\\te\\n\"} 3\nb 1.5\nc{le=\"+Inf\"} +Inf\n";
+        let samples = parse_prometheus(text).expect("parses");
+        assert_eq!(samples.len(), 3);
+        assert_eq!(samples[0].labels[0].1, "q\"uo\\te\n");
+        assert!(samples[2].value.is_infinite());
+        assert!(parse_prometheus("bad-name 1\n").is_err());
+        assert!(parse_prometheus("novalue\n").is_err());
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let doc = parse_json("{\"a\":[1,2.5,-3e2],\"b\":\"x\\u0041\",\"c\":null,\"d\":true}")
+            .expect("ok");
+        assert_eq!(doc.get("b").and_then(Json::as_str), Some("xA"));
+        assert_eq!(
+            doc.get("a").and_then(Json::as_arr).map(<[Json]>::len),
+            Some(3)
+        );
+        assert!(parse_json("{\"a\":1,}").is_err());
+        assert!(parse_json("[1,2] trailing").is_err());
+    }
+
+    #[test]
+    fn chrome_trace_validation() {
+        let good = "{\"traceEvents\":[{\"name\":\"s\",\"ph\":\"X\",\"ts\":1,\"dur\":2}]}";
+        assert_eq!(validate_chrome_trace(good), Ok(1));
+        let bad = "{\"traceEvents\":[{\"name\":\"s\",\"ph\":\"X\",\"ts\":1}]}";
+        assert!(validate_chrome_trace(bad).is_err());
+    }
+}

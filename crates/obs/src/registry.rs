@@ -1,0 +1,189 @@
+//! A small counter / gauge / histogram registry.
+//!
+//! Metrics are registered by (name, labels) and handed out as `Arc`s, so
+//! hot paths hold the atomic directly and never touch the registry lock
+//! again. Rendering walks the sorted map and emits Prometheus text.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use crate::export;
+use crate::hist::Histogram;
+
+/// A floating-point gauge stored as f64 bits in an atomic.
+#[derive(Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// A gauge initialised to 0.0.
+    #[must_use]
+    pub fn new() -> Self {
+        Gauge(AtomicU64::new(0f64.to_bits()))
+    }
+
+    /// Set the gauge.
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Read the gauge.
+    #[must_use]
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// A metric identity: sanitized name plus sorted label pairs.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct MetricKey {
+    name: String,
+    labels: Vec<(String, String)>,
+}
+
+impl MetricKey {
+    fn new(name: &str, labels: &[(&str, &str)]) -> Self {
+        let mut labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        labels.sort();
+        MetricKey {
+            name: export::prom_sanitize_name(name),
+            labels,
+        }
+    }
+}
+
+#[derive(Default)]
+struct RegistryInner {
+    counters: BTreeMap<MetricKey, Arc<AtomicU64>>,
+    gauges: BTreeMap<MetricKey, Arc<Gauge>>,
+    hists: BTreeMap<MetricKey, Arc<Histogram>>,
+}
+
+/// A registry of named metrics; clone-cheap handles, render-on-demand.
+#[derive(Default)]
+pub struct Registry {
+    inner: Mutex<RegistryInner>,
+}
+
+fn lock(inner: &Mutex<RegistryInner>) -> MutexGuard<'_, RegistryInner> {
+    inner.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+impl Registry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// The counter registered under `name` (created on first use).
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Arc<AtomicU64> {
+        self.counter_labeled(name, &[])
+    }
+
+    /// The counter registered under `name` with `labels`.
+    #[must_use]
+    pub fn counter_labeled(&self, name: &str, labels: &[(&str, &str)]) -> Arc<AtomicU64> {
+        Arc::clone(
+            lock(&self.inner)
+                .counters
+                .entry(MetricKey::new(name, labels))
+                .or_default(),
+        )
+    }
+
+    /// The gauge registered under `name` (created on first use).
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        self.gauge_labeled(name, &[])
+    }
+
+    /// The gauge registered under `name` with `labels`.
+    #[must_use]
+    pub fn gauge_labeled(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        Arc::clone(
+            lock(&self.inner)
+                .gauges
+                .entry(MetricKey::new(name, labels))
+                .or_default(),
+        )
+    }
+
+    /// The histogram registered under `name` (created on first use).
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        self.histogram_labeled(name, &[])
+    }
+
+    /// The histogram registered under `name` with `labels`.
+    #[must_use]
+    pub fn histogram_labeled(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
+        Arc::clone(
+            lock(&self.inner)
+                .hists
+                .entry(MetricKey::new(name, labels))
+                .or_default(),
+        )
+    }
+
+    /// Render every registered metric as Prometheus text exposition.
+    pub fn render_prometheus_into(&self, buf: &mut String) {
+        let inner = lock(&self.inner);
+        let mut last_type_line = String::new();
+        for (key, counter) in &inner.counters {
+            export::prom_type_line(buf, &mut last_type_line, &key.name, "counter");
+            export::prom_sample(
+                buf,
+                &key.name,
+                &key.labels,
+                counter.load(Ordering::Relaxed) as f64,
+            );
+        }
+        for (key, gauge) in &inner.gauges {
+            export::prom_type_line(buf, &mut last_type_line, &key.name, "gauge");
+            export::prom_sample(buf, &key.name, &key.labels, gauge.get());
+        }
+        for (key, hist) in &inner.hists {
+            export::prom_histogram(buf, &key.name, &key.labels, &hist.snapshot());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_are_shared() {
+        let reg = Registry::new();
+        reg.counter("hits").fetch_add(2, Ordering::Relaxed);
+        reg.counter("hits").fetch_add(3, Ordering::Relaxed);
+        assert_eq!(reg.counter("hits").load(Ordering::Relaxed), 5);
+        reg.gauge("depth").set(1.5);
+        assert!((reg.gauge("depth").get() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn labeled_metrics_are_distinct() {
+        let reg = Registry::new();
+        reg.counter_labeled("http", &[("route", "/a")])
+            .fetch_add(1, Ordering::Relaxed);
+        reg.counter_labeled("http", &[("route", "/b")])
+            .fetch_add(7, Ordering::Relaxed);
+        assert_eq!(
+            reg.counter_labeled("http", &[("route", "/b")])
+                .load(Ordering::Relaxed),
+            7
+        );
+        let mut out = String::new();
+        reg.render_prometheus_into(&mut out);
+        assert!(out.contains("http{route=\"/a\"} 1"));
+        assert!(out.contains("http{route=\"/b\"} 7"));
+        // One TYPE line per metric family, not per sample.
+        assert_eq!(out.matches("# TYPE http counter").count(), 1);
+    }
+}

@@ -1,0 +1,267 @@
+//! Seeded property tests over the observability primitives: histogram
+//! bucketing and quantiles, Prometheus escaping through the exposition
+//! mini-parser, Chrome-trace export through the JSON mini-parser, and
+//! span nesting across a worker-pool thread boundary.
+//!
+//! All randomness comes from `columba-prng` with fixed seeds, so every
+//! failure reproduces byte-for-byte.
+
+use std::sync::Mutex;
+use std::thread;
+
+use columba_obs::export::{prom_sample, prom_sanitize_name};
+use columba_obs::hist::{bucket_bounds_us, bucket_index, Histogram, NUM_BOUNDS};
+use columba_obs::{
+    parse_json, parse_prometheus, validate_chrome_trace, Json, SpanContext, SpanRecorder,
+};
+use columba_prng::Rng;
+
+/// Serializes the tests that flip the global recording flag or install
+/// thread-local recorders on spawned threads.
+static SPAN_LOCK: Mutex<()> = Mutex::new(());
+
+// ------------------------------------------------------------- histograms
+
+/// A random duration in microseconds, log-uniform over ~[0.1 µs, 200 s]
+/// so every bucket (including under- and overflow) gets exercised.
+fn random_us(rng: &mut Rng) -> f64 {
+    let exponent = rng.gen_f64() * 9.3 - 1.0; // 10^-1 .. 10^8.3
+    10f64.powf(exponent)
+}
+
+#[test]
+fn random_durations_land_in_their_bucket() {
+    let bounds = bucket_bounds_us();
+    let mut rng = Rng::seed_from_u64(0xC01_BA5);
+    for _ in 0..20_000 {
+        let us = random_us(&mut rng);
+        let idx = bucket_index(us);
+        if idx < NUM_BOUNDS {
+            assert!(us <= bounds[idx], "us={us} above bound of bucket {idx}");
+        } else {
+            assert!(
+                us > bounds[NUM_BOUNDS - 1],
+                "us={us} in overflow but below the last bound"
+            );
+        }
+        if idx > 0 {
+            assert!(
+                us > bounds[idx - 1],
+                "us={us} at or below the previous bound of bucket {idx}"
+            );
+        }
+    }
+}
+
+#[test]
+fn quantiles_are_monotone_and_bracket_the_samples() {
+    let mut rng = Rng::seed_from_u64(42);
+    for round in 0..200 {
+        let hist = Histogram::new();
+        let n = rng.gen_range(1usize..400);
+        let mut max_us = 0f64;
+        let mut min_us = f64::INFINITY;
+        for _ in 0..n {
+            let us = random_us(&mut rng);
+            min_us = min_us.min(us);
+            max_us = max_us.max(us);
+            hist.record_us(us);
+        }
+        let snap = hist.snapshot();
+        assert_eq!(snap.count, n as u64, "round {round}");
+
+        // quantiles are monotone in q ...
+        let (p50, p90, p99) = snap.percentiles_us();
+        assert!(p50 <= p90 && p90 <= p99, "round {round}: {p50} {p90} {p99}");
+        let qs = [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0];
+        for pair in qs.windows(2) {
+            assert!(
+                snap.quantile_us(pair[0]) <= snap.quantile_us(pair[1]),
+                "round {round}: quantile not monotone at {pair:?}"
+            );
+        }
+
+        // ... and every quantile sits within one √2 bucket of the samples.
+        let bounds = bucket_bounds_us();
+        let lo_bucket = bucket_index(min_us);
+        let lo = if lo_bucket == 0 {
+            0.0
+        } else {
+            bounds[lo_bucket - 1]
+        };
+        let hi = bounds[bucket_index(max_us).min(NUM_BOUNDS - 1)];
+        for q in qs {
+            let v = snap.quantile_us(q);
+            assert!(
+                v >= lo && (v <= hi || bucket_index(max_us) == NUM_BOUNDS),
+                "round {round}: quantile {q} = {v} outside [{lo}, {hi}]"
+            );
+        }
+
+        // merging a histogram with itself doubles every count
+        let mut merged = snap.clone();
+        merged.merge(&snap);
+        assert_eq!(merged.count, snap.count * 2);
+        assert_eq!(merged.quantile_us(0.5), snap.quantile_us(0.5));
+    }
+}
+
+// ------------------------------------------------------------- prometheus
+
+/// A random label value drawing from characters that exercise the escaper:
+/// quotes, backslashes, newlines, unicode, and plain ASCII.
+fn random_label_value(rng: &mut Rng) -> String {
+    const ALPHABET: [&str; 12] = [
+        "\"", "\\", "\n", "a", "Z", "0", " ", "µ", "→", "{", "}", "=",
+    ];
+    let len = rng.gen_range(0usize..24);
+    (0..len)
+        .map(|_| ALPHABET[rng.gen_range(0usize..ALPHABET.len())])
+        .collect()
+}
+
+#[test]
+fn prometheus_escaping_round_trips_through_the_parser() {
+    let mut rng = Rng::seed_from_u64(7);
+    for round in 0..500 {
+        let value = random_label_value(&mut rng);
+        let other = random_label_value(&mut rng);
+        let mut buf = String::new();
+        prom_sample(
+            &mut buf,
+            "columba_prop_test",
+            &[
+                ("case".to_string(), value.clone()),
+                ("extra".to_string(), other.clone()),
+            ],
+            f64::from(rng.gen_range(0i64..1_000_000) as i32),
+        );
+        let samples = parse_prometheus(&buf)
+            .unwrap_or_else(|e| panic!("round {round}: emitted line rejected: {e}\n{buf}"));
+        assert_eq!(samples.len(), 1);
+        assert_eq!(samples[0].name, "columba_prop_test");
+        assert_eq!(
+            samples[0].labels,
+            vec![("case".to_string(), value), ("extra".to_string(), other),],
+            "round {round}: label value did not round-trip"
+        );
+    }
+}
+
+#[test]
+fn sanitized_names_always_parse() {
+    let mut rng = Rng::seed_from_u64(11);
+    for _ in 0..500 {
+        let raw = random_label_value(&mut rng);
+        let name = prom_sanitize_name(&raw);
+        let mut buf = String::new();
+        prom_sample(&mut buf, &name, &[], 1.0);
+        let samples = parse_prometheus(&buf).unwrap_or_else(|e| panic!("{raw:?} -> {name:?}: {e}"));
+        assert_eq!(samples[0].name, name);
+    }
+}
+
+// ----------------------------------------------------------- chrome trace
+
+const SPAN_NAMES: [&str; 6] = [
+    "alpha",
+    "beta.gamma",
+    "needs \"escaping\"",
+    "back\\slash",
+    "newline\nname",
+    "µ-span",
+];
+
+fn open_random_spans(rng: &mut Rng, depth: usize, opened: &mut usize) {
+    for _ in 0..rng.gen_range(1usize..4) {
+        let mut span = columba_obs::span(SPAN_NAMES[rng.gen_range(0usize..SPAN_NAMES.len())]);
+        span.attr("depth", depth as u64);
+        if rng.gen_bool(0.3) {
+            span.attr("note", "weird \"value\"\\with\nescapes");
+        }
+        *opened += 1;
+        if depth < 3 && rng.gen_bool(0.5) {
+            open_random_spans(rng, depth + 1, opened);
+        }
+    }
+}
+
+#[test]
+fn chrome_trace_of_random_span_trees_is_valid_json() {
+    let _lock = SPAN_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    columba_obs::set_enabled(true);
+    let mut rng = Rng::seed_from_u64(1234);
+    for round in 0..50 {
+        let recorder = SpanRecorder::new(4096);
+        let mut opened = 0usize;
+        {
+            let _guard = recorder.install();
+            open_random_spans(&mut rng, 0, &mut opened);
+        }
+        let events = recorder.finished();
+        assert_eq!(events.len(), opened, "round {round}: lost spans");
+        let trace = columba_obs::chrome_trace(&events);
+        let n = validate_chrome_trace(&trace)
+            .unwrap_or_else(|e| panic!("round {round}: invalid trace: {e}"));
+        assert_eq!(n, opened, "round {round}: event count mismatch");
+
+        // names survive JSON escaping intact
+        let doc = parse_json(&trace).expect("parses");
+        let names: Vec<&str> = doc
+            .get("traceEvents")
+            .and_then(Json::as_arr)
+            .expect("traceEvents")
+            .iter()
+            .map(|e| e.get("name").and_then(Json::as_str).expect("name"))
+            .collect();
+        for name in &names {
+            assert!(SPAN_NAMES.contains(name), "unexpected name {name:?}");
+        }
+    }
+}
+
+#[test]
+fn spans_nest_across_a_worker_thread_boundary() {
+    let _lock = SPAN_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    columba_obs::set_enabled(true);
+    let mut rng = Rng::seed_from_u64(99);
+    for _ in 0..20 {
+        let recorder = SpanRecorder::new(1024);
+        let workers = rng.gen_range(1usize..5);
+        {
+            let _guard = recorder.install();
+            let root = columba_obs::span("pool.root");
+            let ctx = SpanContext::current().expect("root span is current");
+            let handles: Vec<_> = (0..workers)
+                .map(|i| {
+                    let ctx = ctx.clone();
+                    thread::spawn(move || {
+                        let _attach = ctx.attach();
+                        let mut span = columba_obs::span("pool.task");
+                        span.attr("worker", i);
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().expect("worker thread");
+            }
+            drop(root);
+        }
+        let events = recorder.finished();
+        let root_id = events
+            .iter()
+            .find(|e| e.name == "pool.root")
+            .expect("root recorded")
+            .id;
+        let tasks: Vec<_> = events.iter().filter(|e| e.name == "pool.task").collect();
+        assert_eq!(tasks.len(), workers);
+        for task in tasks {
+            assert_eq!(
+                task.parent,
+                Some(root_id),
+                "cross-thread span lost its parent"
+            );
+            assert_ne!(task.tid, 0, "worker spans carry a thread id");
+        }
+    }
+}

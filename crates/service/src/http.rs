@@ -7,15 +7,25 @@
 //!
 //! Routes:
 //!
-//! | method   | path              | response                              |
-//! |----------|-------------------|---------------------------------------|
-//! | `POST`   | `/synthesize`     | `202` with `id <n>`, `429` queue full |
-//! | `GET`    | `/jobs/<id>`      | flat `key value` status text          |
-//! | `GET`    | `/jobs/<id>/svg`  | the SVG render                        |
-//! | `GET`    | `/jobs/<id>/scr`  | the AutoCAD script                    |
-//! | `DELETE` | `/jobs/<id>`      | cancels the job                       |
-//! | `GET`    | `/metrics`        | flat counters                         |
-//! | `GET`    | `/healthz`        | `ok`                                  |
+//! | method   | path                  | response                              |
+//! |----------|-----------------------|---------------------------------------|
+//! | `POST`   | `/synthesize`         | `202` with `id <n>`, `429` queue full |
+//! | `GET`    | `/jobs/<id>`          | flat `key value` status text          |
+//! | `GET`    | `/jobs/<id>/svg`      | the SVG render                        |
+//! | `GET`    | `/jobs/<id>/scr`      | the AutoCAD script                    |
+//! | `GET`    | `/jobs/<id>/trace`    | the job's lifecycle trace as JSONL    |
+//! | `GET`    | `/jobs/<id>/profile`  | the job's span profile (Chrome trace) |
+//! | `DELETE` | `/jobs/<id>`          | cancels the job                       |
+//! | `GET`    | `/metrics`            | flat counters                         |
+//! | `GET`    | `/metrics?format=prometheus` | Prometheus text exposition     |
+//! | `GET`    | `/profile`            | recent HTTP request spans (Chrome)    |
+//! | `GET`    | `/healthz`            | `ok`                                  |
+//!
+//! Every served request is observed: its latency lands in the request
+//! histogram, its `(route label, status)` pair in a counter, and an
+//! `http.request` span in the service-level recorder behind
+//! `GET /profile`. Route labels are static (`GET /jobs/{id}`, ...), so
+//! metric cardinality stays bounded no matter what paths clients send.
 //!
 //! Malformed requests get a 4xx and the server keeps serving; nothing a
 //! client sends can take the accept loop down. Slow clients are bounded
@@ -33,7 +43,7 @@ use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
 use crate::job::JobId;
-use crate::service::{ExportError, ExportKind, Service, SubmitError};
+use crate::service::{ExportError, ExportKind, ProfileError, Service, SubmitError};
 
 /// Front-end limits.
 #[derive(Debug, Clone, Copy)]
@@ -121,6 +131,24 @@ impl Response {
         Response {
             status: 200,
             content_type: "image/svg+xml",
+            body: body.into_bytes(),
+            retry_after: None,
+        }
+    }
+
+    fn json(body: String) -> Response {
+        Response {
+            status: 200,
+            content_type: "application/json",
+            body: body.into_bytes(),
+            retry_after: None,
+        }
+    }
+
+    fn jsonl(body: String) -> Response {
+        Response {
+            status: 200,
+            content_type: "application/x-ndjson",
             body: body.into_bytes(),
             retry_after: None,
         }
@@ -295,8 +323,47 @@ fn read_request(
     })
 }
 
+/// Splits a request target into its path and (possibly empty) query.
+fn split_target(target: &str) -> (&str, &str) {
+    target
+        .split_once('?')
+        .map_or((target, ""), |(path, query)| (path, query))
+}
+
+/// Whether a query string contains `key=value` (no percent-decoding —
+/// the only recognised parameters are plain ASCII).
+fn query_has(query: &str, key: &str, value: &str) -> bool {
+    query
+        .split('&')
+        .any(|pair| pair.split_once('=') == Some((key, value)))
+}
+
+/// The bounded-cardinality label a request is observed under: the route
+/// pattern it matched, never the raw path.
+fn route_label(req: &Request) -> &'static str {
+    let (path, _) = split_target(&req.path);
+    let segments: Vec<&str> = path
+        .trim_matches('/')
+        .split('/')
+        .filter(|s| !s.is_empty())
+        .collect();
+    match (req.method, segments.as_slice()) {
+        (Method::Post, ["synthesize"]) => "POST /synthesize",
+        (Method::Get, ["jobs", _]) => "GET /jobs/{id}",
+        (Method::Get, ["jobs", _, "svg"]) => "GET /jobs/{id}/svg",
+        (Method::Get, ["jobs", _, "scr"]) => "GET /jobs/{id}/scr",
+        (Method::Get, ["jobs", _, "trace"]) => "GET /jobs/{id}/trace",
+        (Method::Get, ["jobs", _, "profile"]) => "GET /jobs/{id}/profile",
+        (Method::Delete, ["jobs", _]) => "DELETE /jobs/{id}",
+        (Method::Get, ["metrics"]) => "GET /metrics",
+        (Method::Get, ["profile"]) => "GET /profile",
+        (Method::Get, ["healthz"]) => "GET /healthz",
+        _ => "other",
+    }
+}
+
 fn route(service: &Service, req: Request) -> Response {
-    let path = req.path.split('?').next().unwrap_or("");
+    let (path, query) = split_target(&req.path);
     let segments: Vec<&str> = path
         .trim_matches('/')
         .split('/')
@@ -366,7 +433,35 @@ fn route(service: &Service, req: Request) -> Response {
             }
             None => Response::text(400, "error job id must be an integer\n"),
         },
-        (Method::Get, ["metrics"]) => Response::text(200, service.metrics().render()),
+        (Method::Get, ["jobs", id, "trace"]) => match parse_id(id) {
+            Some(id) => match service.job_trace(id) {
+                Some(jsonl) => Response::jsonl(jsonl),
+                None => Response::text(404, format!("error no job {id}\n")),
+            },
+            None => Response::text(400, "error job id must be an integer\n"),
+        },
+        (Method::Get, ["jobs", id, "profile"]) => match parse_id(id) {
+            Some(id) => match service.job_profile(id) {
+                Ok(json) => Response::json(json),
+                Err(ProfileError::NotFound) => Response::text(404, format!("error no job {id}\n")),
+                Err(ProfileError::NotReady(state)) => Response::text(
+                    409,
+                    format!("error job {id} is {state}, profile not ready\n"),
+                ),
+                Err(ProfileError::Disabled) => {
+                    Response::text(409, format!("error job {id} ran without span profiling\n"))
+                }
+            },
+            None => Response::text(400, "error job id must be an integer\n"),
+        },
+        (Method::Get, ["metrics"]) => {
+            if query_has(query, "format", "prometheus") {
+                Response::text(200, service.metrics().render_prometheus())
+            } else {
+                Response::text(200, service.metrics().render())
+            }
+        }
+        (Method::Get, ["profile"]) => Response::json(service.http_profile()),
         (Method::Get, ["healthz"]) => Response::text(200, "ok\n"),
         _ => Response::text(404, format!("error no route for {path}\n")),
     }
@@ -377,13 +472,28 @@ fn parse_id(raw: &str) -> Option<JobId> {
 }
 
 fn handle_connection(service: &Service, mut stream: TcpStream, config: HttpConfig) {
+    // Observe the whole request: an `http.request` span (recorded into
+    // the service-level recorder behind `GET /profile`), the latency
+    // histogram, and the per-(route, status) counter.
+    let _recorder = service.attach_http_recorder();
+    let t0 = Instant::now();
+    let mut span = columba_obs::span("http.request");
     let _ = stream.set_read_timeout(Some(config.read_timeout));
     let _ = stream.set_write_timeout(Some(config.read_timeout));
     let deadline = Instant::now() + config.request_deadline;
-    let response = match read_request(&mut stream, config.max_body_bytes, deadline) {
-        Ok(req) => route(service, req),
-        Err(e) => Response::from_error(&e),
+    let (label, response) = match read_request(&mut stream, config.max_body_bytes, deadline) {
+        Ok(req) => {
+            let label = route_label(&req);
+            (label, route(service, req))
+        }
+        Err(e) => ("malformed", Response::from_error(&e)),
     };
+    if span.is_recording() {
+        span.attr("route", label);
+        span.attr("status", u64::from(response.status));
+    }
+    drop(span);
+    service.observe_http(label, response.status, t0.elapsed());
     // the client may already be gone; that is its problem, not ours
     let _ = response.write_to(&mut stream);
     let _ = stream.shutdown(std::net::Shutdown::Both);

@@ -56,5 +56,7 @@ pub use metrics::{metric_value, MetricsSnapshot};
 #[cfg(feature = "fault-inject")]
 pub use persist::fault::{arm as arm_persist_fault, PersistFault, PersistFaultGuard};
 pub use persist::{FsyncPolicy, Journal, JournalRecord, PersistConfig};
-pub use service::{ExportError, ExportKind, Service, ServiceConfig, SubmitError};
-pub use trace::{JsonlSink, MemorySink, NullSink, TraceEvent, TraceKind, TraceSink};
+pub use service::{ExportError, ExportKind, ProfileError, Service, ServiceConfig, SubmitError};
+pub use trace::{
+    JsonlSink, MemorySink, NullSink, RingConfig, RingSink, TraceEvent, TraceKind, TraceSink,
+};

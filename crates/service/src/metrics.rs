@@ -1,11 +1,23 @@
 //! Service-level metrics.
 //!
 //! One [`MetricsSnapshot`] gathers everything `/metrics` serves: cache
-//! counters, queue state, jobs by state, and the cumulative
-//! [`SolveStats`] absorbed from every solve the service ran. The wire
-//! format is flat text — one `name value` pair per line, integers and
-//! fixed-point decimals only — trivially scrape-able and diff-able.
+//! counters, queue state, jobs by state, latency histograms, per-worker
+//! utilisation, and the cumulative [`SolveStats`] absorbed from every
+//! solve the service ran. Two wire formats:
+//!
+//! * [`MetricsSnapshot::render`] — flat text, one `name value` pair per
+//!   line, integers and fixed-point decimals only — trivially
+//!   scrape-able and diff-able. The default for `GET /metrics`.
+//! * [`MetricsSnapshot::render_prometheus`] — the Prometheus text
+//!   exposition format, served for `GET /metrics?format=prometheus`:
+//!   counters/gauges with `# TYPE` lines, plus full histogram families
+//!   (`columba_solve_seconds_bucket{le="…"}`, `_sum`, `_count`, and
+//!   `_p50`/`_p90`/`_p99` summary gauges).
 
+use std::time::Duration;
+
+use columba_obs::export::{prom_histogram, prom_sample, prom_type_line};
+use columba_obs::HistSnapshot;
 use columba_s::SolveStats;
 
 use crate::cache::CacheStats;
@@ -55,6 +67,21 @@ pub struct MetricsSnapshot {
     /// Cumulative solver telemetry across every completed solve
     /// (aggregated with [`SolveStats::absorb`]).
     pub solve: SolveStats,
+    /// Time since the service started.
+    pub uptime: Duration,
+    /// Fraction of the uptime each worker spent running jobs, in worker
+    /// index order (one entry per worker, each in `[0, 1]`).
+    pub worker_busy: Vec<f64>,
+    /// Lifecycle trace events dropped by the bounded trace rings.
+    pub trace_events_evicted: u64,
+    /// Profiling span events dropped by bounded per-job span recorders.
+    pub profile_events_dropped: u64,
+    /// Wall-clock latency of completed non-cache-hit solves.
+    pub solve_hist: HistSnapshot,
+    /// HTTP request service latency (read + route + write).
+    pub http_hist: HistSnapshot,
+    /// HTTP requests by `(route label, status, count)`, label-sorted.
+    pub http_by_route: Vec<(String, u16, u64)>,
 }
 
 impl MetricsSnapshot {
@@ -112,6 +139,218 @@ impl MetricsSnapshot {
             format!("{:.6}", self.solve.total_time.as_secs_f64()),
         );
         line("solve_worker_panics", self.solve.worker_panics.to_string());
+        line(
+            "uptime_seconds",
+            format!("{:.3}", self.uptime.as_secs_f64()),
+        );
+        for (i, busy) in self.worker_busy.iter().enumerate() {
+            line(&format!("worker_busy_fraction_{i}"), format!("{busy:.6}"));
+        }
+        line(
+            "trace_events_evicted",
+            self.trace_events_evicted.to_string(),
+        );
+        line(
+            "profile_events_dropped",
+            self.profile_events_dropped.to_string(),
+        );
+        line("solve_latency_count", self.solve_hist.count.to_string());
+        let (p50, p90, p99) = self.solve_hist.percentiles_us();
+        line("solve_seconds_p50", format!("{:.6}", p50 / 1e6));
+        line("solve_seconds_p90", format!("{:.6}", p90 / 1e6));
+        line("solve_seconds_p99", format!("{:.6}", p99 / 1e6));
+        line("http_requests_total", self.http_hist.count.to_string());
+        let (p50, p90, p99) = self.http_hist.percentiles_us();
+        line("http_seconds_p50", format!("{:.6}", p50 / 1e6));
+        line("http_seconds_p90", format!("{:.6}", p90 / 1e6));
+        line("http_seconds_p99", format!("{:.6}", p99 / 1e6));
+        s
+    }
+
+    /// Renders the Prometheus text exposition form served by
+    /// `GET /metrics?format=prometheus`. Metric names carry a `columba_`
+    /// prefix; the two latency histograms render as full Prometheus
+    /// histogram families plus `_p50`/`_p90`/`_p99` summary gauges, and
+    /// per-route HTTP counts become one
+    /// `columba_http_requests_total{route,status}` family.
+    #[must_use]
+    pub fn render_prometheus(&self) -> String {
+        let mut s = String::with_capacity(8192);
+        let mut last = String::new();
+        let counter = |s: &mut String, last: &mut String, name: &str, v: f64| {
+            prom_type_line(s, last, name, "counter");
+            prom_sample(s, name, &[], v);
+        };
+        let gauge = |s: &mut String, last: &mut String, name: &str, v: f64| {
+            prom_type_line(s, last, name, "gauge");
+            prom_sample(s, name, &[], v);
+        };
+        #[allow(clippy::cast_precision_loss)]
+        let f = |v: u64| v as f64;
+        #[allow(clippy::cast_precision_loss)]
+        let fu = |v: usize| v as f64;
+        counter(
+            &mut s,
+            &mut last,
+            "columba_cache_hits_total",
+            f(self.cache.hits),
+        );
+        counter(
+            &mut s,
+            &mut last,
+            "columba_cache_misses_total",
+            f(self.cache.misses),
+        );
+        counter(
+            &mut s,
+            &mut last,
+            "columba_cache_evictions_total",
+            f(self.cache.evictions),
+        );
+        gauge(
+            &mut s,
+            &mut last,
+            "columba_cache_entries",
+            fu(self.cache.entries),
+        );
+        gauge(
+            &mut s,
+            &mut last,
+            "columba_cache_bytes",
+            fu(self.cache.bytes),
+        );
+        gauge(
+            &mut s,
+            &mut last,
+            "columba_queue_depth",
+            fu(self.queue_depth),
+        );
+        gauge(
+            &mut s,
+            &mut last,
+            "columba_queue_capacity",
+            fu(self.queue_capacity),
+        );
+        counter(
+            &mut s,
+            &mut last,
+            "columba_queue_rejected_total",
+            f(self.rejected),
+        );
+        gauge(
+            &mut s,
+            &mut last,
+            "columba_jobs_queued",
+            fu(self.jobs_queued),
+        );
+        gauge(
+            &mut s,
+            &mut last,
+            "columba_jobs_running",
+            fu(self.jobs_running),
+        );
+        counter(
+            &mut s,
+            &mut last,
+            "columba_jobs_done_total",
+            fu(self.jobs_done),
+        );
+        counter(
+            &mut s,
+            &mut last,
+            "columba_jobs_failed_total",
+            fu(self.jobs_failed),
+        );
+        counter(
+            &mut s,
+            &mut last,
+            "columba_jobs_cancelled_total",
+            fu(self.jobs_cancelled),
+        );
+        gauge(&mut s, &mut last, "columba_workers", fu(self.workers));
+        counter(
+            &mut s,
+            &mut last,
+            "columba_worker_panics_total",
+            f(self.worker_panics),
+        );
+        counter(
+            &mut s,
+            &mut last,
+            "columba_drc_rejected_total",
+            f(self.drc_rejected),
+        );
+        counter(
+            &mut s,
+            &mut last,
+            "columba_persist_errors_total",
+            f(self.persist_errors),
+        );
+        counter(
+            &mut s,
+            &mut last,
+            "columba_journal_compactions_total",
+            f(self.compactions),
+        );
+        counter(
+            &mut s,
+            &mut last,
+            "columba_solve_nodes_total",
+            fu(self.solve.nodes_processed),
+        );
+        counter(
+            &mut s,
+            &mut last,
+            "columba_solve_pruned_total",
+            fu(self.solve.nodes_pruned),
+        );
+        counter(
+            &mut s,
+            &mut last,
+            "columba_solve_simplex_iterations_total",
+            fu(self.solve.simplex_iterations),
+        );
+        gauge(
+            &mut s,
+            &mut last,
+            "columba_uptime_seconds",
+            self.uptime.as_secs_f64(),
+        );
+        prom_type_line(&mut s, &mut last, "columba_worker_busy_fraction", "gauge");
+        for (i, busy) in self.worker_busy.iter().enumerate() {
+            prom_sample(
+                &mut s,
+                "columba_worker_busy_fraction",
+                &[("worker".to_string(), i.to_string())],
+                *busy,
+            );
+        }
+        counter(
+            &mut s,
+            &mut last,
+            "columba_trace_events_evicted_total",
+            f(self.trace_events_evicted),
+        );
+        counter(
+            &mut s,
+            &mut last,
+            "columba_profile_events_dropped_total",
+            f(self.profile_events_dropped),
+        );
+        prom_type_line(&mut s, &mut last, "columba_http_requests_total", "counter");
+        for (route, status, count) in &self.http_by_route {
+            prom_sample(
+                &mut s,
+                "columba_http_requests_total",
+                &[
+                    ("route".to_string(), route.clone()),
+                    ("status".to_string(), status.to_string()),
+                ],
+                f(*count),
+            );
+        }
+        prom_histogram(&mut s, "columba_solve_seconds", &[], &self.solve_hist);
+        prom_histogram(&mut s, "columba_http_request_seconds", &[], &self.http_hist);
         s
     }
 }
@@ -170,6 +409,13 @@ mod tests {
                 total_time: Duration::from_millis(1500),
                 ..SolveStats::default()
             },
+            uptime: Duration::from_secs(12),
+            worker_busy: vec![0.25, 0.75],
+            trace_events_evicted: 3,
+            profile_events_dropped: 1,
+            solve_hist: HistSnapshot::default(),
+            http_hist: HistSnapshot::default(),
+            http_by_route: vec![("GET /metrics".into(), 200, 4)],
         };
         let text = snap.render();
         for line in text.lines() {
@@ -188,6 +434,64 @@ mod tests {
         assert_eq!(metric_value(&text, "persist_errors"), Some(0.0));
         assert_eq!(metric_value(&text, "solve_simplex_iterations"), Some(999.0));
         assert_eq!(metric_value(&text, "solve_time_seconds"), Some(1.5));
+        assert_eq!(metric_value(&text, "uptime_seconds"), Some(12.0));
+        assert_eq!(metric_value(&text, "worker_busy_fraction_0"), Some(0.25));
+        assert_eq!(metric_value(&text, "worker_busy_fraction_1"), Some(0.75));
+        assert_eq!(metric_value(&text, "trace_events_evicted"), Some(3.0));
+        assert_eq!(metric_value(&text, "profile_events_dropped"), Some(1.0));
+        assert_eq!(metric_value(&text, "http_requests_total"), Some(0.0));
         assert_eq!(metric_value(&text, "nope"), None);
+    }
+
+    #[test]
+    fn prometheus_render_parses_and_carries_histograms() {
+        let solve_hist = {
+            let h = columba_obs::Histogram::new();
+            h.record(Duration::from_millis(40));
+            h.record(Duration::from_millis(90));
+            h.snapshot()
+        };
+        let snap = MetricsSnapshot {
+            jobs_done: 2,
+            uptime: Duration::from_secs(30),
+            worker_busy: vec![0.5],
+            solve_hist,
+            http_by_route: vec![
+                ("GET /metrics".into(), 200, 3),
+                ("POST /synthesize".into(), 202, 2),
+            ],
+            ..MetricsSnapshot::default()
+        };
+        let text = snap.render_prometheus();
+        let samples = columba_obs::parse_prometheus(&text).expect("valid exposition");
+        assert!(samples.iter().any(|s| s.name == "columba_jobs_done_total"));
+        assert!(
+            samples
+                .iter()
+                .any(|s| s.name == "columba_solve_seconds_bucket"),
+            "histogram buckets must be present"
+        );
+        let p99 = samples
+            .iter()
+            .find(|s| s.name == "columba_solve_seconds_p99")
+            .expect("p99 summary line");
+        assert!(p99.value > 0.0);
+        let inf = samples
+            .iter()
+            .find(|s| {
+                s.name == "columba_solve_seconds_bucket"
+                    && s.labels.iter().any(|(k, v)| k == "le" && v == "+Inf")
+            })
+            .expect("+Inf bucket");
+        assert_eq!(inf.value, 2.0);
+        let routed = samples
+            .iter()
+            .filter(|s| s.name == "columba_http_requests_total")
+            .count();
+        assert_eq!(routed, 2, "one sample per (route, status)");
+        assert!(
+            text.contains("columba_worker_busy_fraction{worker=\"0\"} 0.5"),
+            "{text}"
+        );
     }
 }

@@ -25,6 +25,7 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
+use columba_obs::{Histogram, RecorderGuard, SpanEvent, SpanRecorder};
 use columba_s::{CancelToken, Columba, Netlist, Rung, SolveStats, SynthesisOptions};
 
 use crate::cache::{entry_cost, CacheConfig, CompletedDesign, DesignCache, DesignSummary};
@@ -32,7 +33,7 @@ use crate::hash::ContentKey;
 use crate::job::{JobId, JobState, JobStatus};
 use crate::metrics::MetricsSnapshot;
 use crate::persist::{JournalRecord, Persist, PersistConfig, Recovery};
-use crate::trace::{NullSink, TraceEvent, TraceKind, TraceSink};
+use crate::trace::{NullSink, RingConfig, RingSink, TraceEvent, TraceKind, TraceSink};
 
 /// Locks a mutex, recovering from poisoning: a panic in a worker is
 /// already contained and counted, so the shared state stays usable.
@@ -69,6 +70,19 @@ pub struct ServiceConfig {
     /// to disk under the given state directory, recovering both on
     /// startup; `None` (the default) keeps everything in memory.
     pub persist: Option<PersistConfig>,
+    /// Span profiling: when `true` (the default) the process-global
+    /// [`columba_obs`] flag is switched on at startup, every job runs
+    /// under a bounded per-job [`SpanRecorder`], and the captured solver
+    /// and layout spans are served as a Chrome trace by
+    /// `GET /jobs/<id>/profile`.
+    pub profile_spans: bool,
+    /// Span events kept per job profile; the recorder ring evicts the
+    /// oldest beyond this (evictions surface in `/metrics` as
+    /// `profile_events_dropped`).
+    pub profile_capacity: usize,
+    /// Bounds for the per-job lifecycle trace rings behind
+    /// `GET /jobs/<id>/trace`.
+    pub trace_ring: RingConfig,
 }
 
 impl Default for ServiceConfig {
@@ -82,6 +96,9 @@ impl Default for ServiceConfig {
             max_records: 4096,
             trace: Arc::new(NullSink),
             persist: None,
+            profile_spans: true,
+            profile_capacity: 4096,
+            trace_ring: RingConfig::default(),
         }
     }
 }
@@ -95,6 +112,7 @@ impl fmt::Debug for ServiceConfig {
             .field("job_deadline", &self.job_deadline)
             .field("max_records", &self.max_records)
             .field("persist", &self.persist)
+            .field("profile_spans", &self.profile_spans)
             .finish_non_exhaustive()
     }
 }
@@ -156,6 +174,18 @@ pub enum ExportError {
     NotReady(JobState),
 }
 
+/// Why a `GET /jobs/<id>/profile` request was not served.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProfileError {
+    /// No such job.
+    NotFound,
+    /// The job is not terminal yet; its profile is still being recorded.
+    NotReady(JobState),
+    /// The job finished but no spans were captured —
+    /// [`ServiceConfig::profile_spans`] was off when it ran.
+    Disabled,
+}
+
 struct JobRecord {
     text: Arc<String>,
     token: CancelToken,
@@ -166,6 +196,10 @@ struct JobRecord {
     rung: Option<String>,
     error: Option<String>,
     design: Option<Arc<CompletedDesign>>,
+    /// Finished span events captured while the job ran; the source of
+    /// `GET /jobs/<id>/profile`. `None` until terminal, or forever when
+    /// profiling is off.
+    profile: Option<Arc<Vec<SpanEvent>>>,
 }
 
 impl JobRecord {
@@ -208,6 +242,10 @@ struct Inner {
     cache: Mutex<DesignCache>,
     agg: Mutex<SolveStats>,
     trace_sink: Arc<dyn TraceSink>,
+    /// Bounded per-job trace rings behind `GET /jobs/<id>/trace`; every
+    /// event recorded through [`Inner::trace`] is teed here as well as
+    /// to the configured sink.
+    ring: RingSink,
     persist: Option<Persist>,
     rejected: AtomicU64,
     panics: AtomicU64,
@@ -215,16 +253,36 @@ struct Inner {
     done_count: AtomicU64,
     failed_count: AtomicU64,
     cancelled_count: AtomicU64,
+    profile_spans: bool,
+    profile_capacity: usize,
+    /// Span events evicted from per-job profile recorders (and the
+    /// HTTP request recorder) because their rings were full.
+    profile_dropped: AtomicU64,
+    /// Wall-clock latency of completed non-cache-hit solves.
+    solve_hist: Histogram,
+    /// HTTP request service latency, fed by the front end through
+    /// [`Service::observe_http`].
+    http_hist: Histogram,
+    /// HTTP request counts by (route label, status).
+    http_counts: Mutex<BTreeMap<(&'static str, u16), u64>>,
+    /// Nanoseconds each worker has spent running jobs; busy fraction is
+    /// this over uptime.
+    worker_busy_ns: Vec<AtomicU64>,
+    /// Service-level recorder the HTTP front end installs per
+    /// connection: request spans land here, served by `GET /profile`.
+    http_recorder: SpanRecorder,
 }
 
 impl Inner {
     fn trace(&self, job: Option<u64>, kind: TraceKind, detail: impl Into<String>) {
-        self.trace_sink.record(&TraceEvent {
+        let event = TraceEvent {
             ts: self.epoch.elapsed(),
             job,
             kind,
             detail: detail.into(),
-        });
+        };
+        self.ring.record(&event);
+        self.trace_sink.record(&event);
     }
 
     /// Appends a journal record when persistence is on, tracing (never
@@ -318,6 +376,9 @@ impl Service {
             Some((p, r)) => (Some(p), Some(r)),
             None => (None, None),
         };
+        if config.profile_spans {
+            columba_obs::set_enabled(true);
+        }
         let inner = Arc::new(Inner {
             epoch: Instant::now(),
             columba: Columba::with_options(config.options.clone()),
@@ -338,6 +399,7 @@ impl Service {
             cache: Mutex::new(DesignCache::new(config.cache)),
             agg: Mutex::new(SolveStats::default()),
             trace_sink: config.trace,
+            ring: RingSink::new(config.trace_ring),
             persist,
             rejected: AtomicU64::new(0),
             panics: AtomicU64::new(0),
@@ -345,6 +407,14 @@ impl Service {
             done_count: AtomicU64::new(0),
             failed_count: AtomicU64::new(0),
             cancelled_count: AtomicU64::new(0),
+            profile_spans: config.profile_spans,
+            profile_capacity: config.profile_capacity.max(64),
+            profile_dropped: AtomicU64::new(0),
+            solve_hist: Histogram::new(),
+            http_hist: Histogram::new(),
+            http_counts: Mutex::new(BTreeMap::new()),
+            worker_busy_ns: (0..worker_count).map(|_| AtomicU64::new(0)).collect(),
+            http_recorder: SpanRecorder::new(2048),
         });
         if let Some(recovery) = recovery {
             apply_recovery(&inner, recovery);
@@ -354,7 +424,7 @@ impl Service {
                 let inner = Arc::clone(&inner);
                 thread::Builder::new()
                     .name(format!("columba-worker-{i}"))
-                    .spawn(move || worker_loop(&inner))
+                    .spawn(move || worker_loop(&inner, i))
                     .expect("spawning a worker thread")
             })
             .collect();
@@ -480,10 +550,13 @@ impl Service {
                     rung: None,
                     error: None,
                     design: None,
+                    profile: None,
                 },
             );
             st.queue.push_back(id);
-            prune_records(&mut st, inner.max_records);
+            let pruned = prune_records(&mut st, inner.max_records);
+            drop(st);
+            inner.ring.forget(&pruned);
         }
         inner.trace(Some(id), TraceKind::Admitted, "");
         inner.work.notify_one();
@@ -608,6 +681,21 @@ impl Service {
                 ),
                 None => (0, 0, 0, 0, 0, 0),
             };
+        let uptime = inner.epoch.elapsed();
+        let uptime_ns = uptime.as_nanos().max(1);
+        let worker_busy = inner
+            .worker_busy_ns
+            .iter()
+            .map(|ns| {
+                #[allow(clippy::cast_precision_loss)]
+                let frac = u128::from(ns.load(Ordering::Relaxed)) as f64 / uptime_ns as f64;
+                frac.min(1.0)
+            })
+            .collect();
+        let http_by_route = lock(&inner.http_counts)
+            .iter()
+            .map(|(&(route, status), &count)| (route.to_string(), status, count))
+            .collect();
         MetricsSnapshot {
             cache: lock(&inner.cache).stats(),
             queue_depth,
@@ -629,7 +717,85 @@ impl Service {
             compactions,
             persist_errors,
             solve: lock(&inner.agg).clone(),
+            uptime,
+            worker_busy,
+            trace_events_evicted: inner.ring.evicted(),
+            profile_events_dropped: inner.profile_dropped.load(Ordering::Relaxed)
+                + inner.http_recorder.evicted(),
+            solve_hist: inner.solve_hist.snapshot(),
+            http_hist: inner.http_hist.snapshot(),
+            http_by_route,
         }
+    }
+
+    /// The lifecycle trace of one job as JSON Lines (one event per
+    /// line, oldest first — the schema of [`TraceEvent::to_jsonl`]),
+    /// served by `GET /jobs/<id>/trace`. `None` for a job the service
+    /// has never seen; an admitted job with an evicted or empty ring
+    /// renders as an empty document.
+    #[must_use]
+    pub fn job_trace(&self, id: JobId) -> Option<String> {
+        let known = lock(&self.inner.state).jobs.contains_key(&id.0);
+        let events = self.inner.ring.job_events(id.0);
+        if !known && events.is_none() {
+            return None;
+        }
+        let mut s = String::new();
+        for event in events.unwrap_or_default() {
+            s.push_str(&event.to_jsonl());
+            s.push('\n');
+        }
+        Some(s)
+    }
+
+    /// The captured solver/layout span profile of one finished job as a
+    /// Chrome trace-event JSON document (loadable in `chrome://tracing`
+    /// and Perfetto), served by `GET /jobs/<id>/profile`.
+    ///
+    /// # Errors
+    ///
+    /// [`ProfileError::NotFound`] for an unknown id,
+    /// [`ProfileError::NotReady`] while the job is queued or running,
+    /// [`ProfileError::Disabled`] when the job finished without a
+    /// recorded profile (profiling was off).
+    pub fn job_profile(&self, id: JobId) -> Result<String, ProfileError> {
+        let (state, profile) = {
+            let st = lock(&self.inner.state);
+            let r = st.jobs.get(&id.0).ok_or(ProfileError::NotFound)?;
+            (r.state, r.profile.clone())
+        };
+        match profile {
+            Some(events) => Ok(columba_obs::chrome_trace(&events)),
+            None if state.is_terminal() => Err(ProfileError::Disabled),
+            None => Err(ProfileError::NotReady(state)),
+        }
+    }
+
+    /// The service-level span profile — recent HTTP request spans — as a
+    /// Chrome trace-event JSON document, served by `GET /profile`.
+    #[must_use]
+    pub fn http_profile(&self) -> String {
+        columba_obs::chrome_trace(&self.inner.http_recorder.finished())
+    }
+
+    /// Installs the service-level HTTP span recorder on the calling
+    /// thread; the front end holds the guard for the life of one
+    /// connection so its `http.request` span lands in [`Service::http_profile`].
+    #[must_use]
+    pub fn attach_http_recorder(&self) -> RecorderGuard {
+        self.inner.http_recorder.install()
+    }
+
+    /// Records one served HTTP request: latency into the request
+    /// histogram, and one count under the `(route label, status)` pair.
+    /// Route labels are static strings (`"POST /synthesize"`,
+    /// `"GET /jobs/{id}"`, ...) so metric cardinality stays bounded no
+    /// matter what paths clients send.
+    pub fn observe_http(&self, route: &'static str, status: u16, elapsed: Duration) {
+        self.inner.http_hist.record(elapsed);
+        *lock(&self.inner.http_counts)
+            .entry((route, status))
+            .or_insert(0) += 1;
     }
 
     /// The current submission-queue depth (admitted jobs waiting for a
@@ -715,11 +881,12 @@ impl Drop for Service {
     }
 }
 
-/// Drops the oldest terminal job records beyond `max_records`. Ids are
-/// monotonic, so "oldest" is "smallest id".
-fn prune_records(st: &mut State, max_records: usize) {
+/// Drops the oldest terminal job records beyond `max_records`, returning
+/// the dropped ids so side tables (the trace rings) can forget them too.
+/// Ids are monotonic, so "oldest" is "smallest id".
+fn prune_records(st: &mut State, max_records: usize) -> Vec<u64> {
     if st.jobs.len() <= max_records {
-        return;
+        return Vec::new();
     }
     let mut terminal: Vec<u64> = st
         .jobs
@@ -729,9 +896,11 @@ fn prune_records(st: &mut State, max_records: usize) {
         .collect();
     terminal.sort_unstable();
     let excess = st.jobs.len() - max_records;
-    for id in terminal.into_iter().take(excess) {
-        st.jobs.remove(&id);
+    terminal.truncate(excess);
+    for id in &terminal {
+        st.jobs.remove(id);
     }
+    terminal
 }
 
 /// What the journal fold knows about one job after replay. Later records
@@ -830,6 +999,7 @@ fn apply_recovery(inner: &Inner, recovery: Recovery) {
                 rung: None,
                 error: None,
                 design: None,
+                profile: None,
             };
             match state {
                 Folded::Live(text) => {
@@ -865,7 +1035,8 @@ fn apply_recovery(inner: &Inner, recovery: Recovery) {
                 }
             }
         }
-        prune_records(&mut st, inner.max_records);
+        let pruned = prune_records(&mut st, inner.max_records);
+        inner.ring.forget(&pruned);
     }
     for &id in &requeued {
         inner.trace(Some(id), TraceKind::Recovery, "re-enqueued after restart");
@@ -887,7 +1058,7 @@ fn apply_recovery(inner: &Inner, recovery: Recovery) {
     );
 }
 
-fn worker_loop(inner: &Arc<Inner>) {
+fn worker_loop(inner: &Arc<Inner>, index: usize) {
     loop {
         let claimed = {
             let mut st = lock(&inner.state);
@@ -924,14 +1095,52 @@ fn worker_loop(inner: &Arc<Inner>) {
         inner.journal_best_effort(&JournalRecord::Started { id });
         inner.trace(Some(id), TraceKind::Started, "");
         let t0 = Instant::now();
-        let end = match catch_unwind(AssertUnwindSafe(|| run_job(inner, id, &text, &token))) {
-            Ok(end) => end,
-            Err(_) => {
-                inner.panics.fetch_add(1, Ordering::Relaxed);
-                JobEnd::Failed("worker panicked during synthesis (contained)".into())
+        // Each job gets its own bounded span recorder: the worker thread
+        // installs it, opens the "job" root span, and everything the
+        // solver and layout stack record while the job runs nests under
+        // it (including B&B worker threads, which attach the context
+        // across the scope boundary). The finished events become the
+        // job's `/profile`.
+        let recorder = inner
+            .profile_spans
+            .then(|| SpanRecorder::new(inner.profile_capacity));
+        let end = {
+            let _rec = recorder.as_ref().map(SpanRecorder::install);
+            let mut job_span = columba_obs::span("job");
+            let end = match catch_unwind(AssertUnwindSafe(|| run_job(inner, id, &text, &token))) {
+                Ok(end) => end,
+                Err(_) => {
+                    inner.panics.fetch_add(1, Ordering::Relaxed);
+                    JobEnd::Failed("worker panicked during synthesis (contained)".into())
+                }
+            };
+            if job_span.is_recording() {
+                job_span.attr("id", id);
+                job_span.attr(
+                    "outcome",
+                    match &end {
+                        JobEnd::Done {
+                            from_cache: true, ..
+                        } => "cache_hit",
+                        JobEnd::Done { .. } => "done",
+                        JobEnd::Failed(_) => "failed",
+                    },
+                );
             }
+            end
         };
-        finalize(inner, id, t0.elapsed(), end);
+        let elapsed = t0.elapsed();
+        inner.worker_busy_ns[index].fetch_add(
+            u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX),
+            Ordering::Relaxed,
+        );
+        let profile = recorder.map(|rec| {
+            inner
+                .profile_dropped
+                .fetch_add(rec.evicted(), Ordering::Relaxed);
+            Arc::new(rec.finished())
+        });
+        finalize(inner, id, elapsed, end, profile);
         inner.done.notify_all();
     }
 }
@@ -1070,13 +1279,20 @@ fn summarize(attempt: &columba_s::Attempt) -> String {
     }
 }
 
-fn finalize(inner: &Inner, id: u64, elapsed: Duration, end: JobEnd) {
+fn finalize(
+    inner: &Inner,
+    id: u64,
+    elapsed: Duration,
+    end: JobEnd,
+    profile: Option<Arc<Vec<SpanEvent>>>,
+) {
     let (final_state, journal_record) = {
         let mut st = lock(&inner.state);
         let Some(r) = st.jobs.get_mut(&id) else {
             return;
         };
         r.elapsed = Some(elapsed);
+        r.profile = profile;
         match end {
             JobEnd::Done {
                 design,
@@ -1092,6 +1308,9 @@ fn finalize(inner: &Inner, id: u64, elapsed: Duration, end: JobEnd) {
                 } else {
                     JobState::Done
                 };
+                if r.state == JobState::Done && !from_cache {
+                    inner.solve_hist.record(elapsed);
+                }
                 let record = if r.state == JobState::Done {
                     JournalRecord::Completed { id, key, rung }
                 } else {

@@ -1,0 +1,239 @@
+//! End-to-end observability over real TCP: a solved job serves a JSONL
+//! lifecycle trace and a Chrome-trace span profile whose solver spans
+//! nest under the job root; `/metrics?format=prometheus` parses under
+//! the exposition mini-parser and carries solve-latency histogram
+//! buckets; tiny trace rings surface their evictions.
+
+mod common;
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use columba_obs::{parse_json, parse_prometheus, validate_chrome_trace, Json};
+use columba_service::{metric_value, HttpConfig, HttpServer, RingConfig, Service, ServiceConfig};
+
+fn field<'a>(body: &'a str, key: &str) -> Option<&'a str> {
+    body.lines()
+        .find_map(|l| l.strip_prefix(key)?.strip_prefix(' '))
+}
+
+/// One parsed span: `(name, parent span id)`.
+type SpanMap = HashMap<u64, (String, Option<u64>)>;
+
+/// Indexes a Chrome trace document by `args.span_id`.
+fn index_spans(doc: &Json) -> SpanMap {
+    let mut spans = SpanMap::new();
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .expect("traceEvents array");
+    for event in events {
+        let name = event
+            .get("name")
+            .and_then(Json::as_str)
+            .expect("event name")
+            .to_string();
+        let args = event.get("args").expect("args object");
+        let id = args.get("span_id").and_then(Json::as_f64).expect("span_id") as u64;
+        let parent = args.get("parent").and_then(Json::as_f64).map(|p| p as u64);
+        spans.insert(id, (name, parent));
+    }
+    spans
+}
+
+/// Whether some span named `name` has an ancestor named `ancestor`.
+fn nests_under(spans: &SpanMap, name: &str, ancestor: &str) -> bool {
+    'outer: for (mut cursor, (n, _)) in spans.iter().map(|(id, v)| (*id, v)) {
+        if n != name {
+            continue;
+        }
+        loop {
+            let Some((_, parent)) = spans.get(&cursor) else {
+                continue 'outer;
+            };
+            let Some(parent) = parent else {
+                continue 'outer;
+            };
+            let Some((pname, _)) = spans.get(parent) else {
+                continue 'outer;
+            };
+            if pname == ancestor {
+                return true;
+            }
+            cursor = *parent;
+        }
+    }
+    false
+}
+
+#[test]
+fn trace_profile_and_prometheus_endpoints() {
+    let service = Arc::new(Service::start(ServiceConfig {
+        workers: 1,
+        options: common::deterministic_options(),
+        ..ServiceConfig::default()
+    }));
+    let server = HttpServer::bind(Arc::clone(&service), "127.0.0.1:0", HttpConfig::default())
+        .expect("bind an ephemeral port");
+    let addr = server.addr();
+    let netlist =
+        std::fs::read_to_string(common::cases_dir().join("chip4ip.netlist")).expect("bundled case");
+
+    let (status, body) = common::request(addr, "POST", "/synthesize", Some(&netlist));
+    assert_eq!(status, 202, "{body}");
+    let id = field(&body, "id").expect("id").trim().to_string();
+    let done = common::poll_terminal(addr, &id, Duration::from_secs(300));
+    assert_eq!(field(&done, "state"), Some("done"), "{done}");
+
+    // ---- per-job lifecycle trace: JSONL, every line valid JSON
+    let (status, trace) = common::request(addr, "GET", &format!("/jobs/{id}/trace"), None);
+    assert_eq!(status, 200, "{trace}");
+    assert!(!trace.trim().is_empty(), "trace must not be empty");
+    let mut kinds = Vec::new();
+    for line in trace.lines() {
+        let doc = parse_json(line).unwrap_or_else(|e| panic!("bad JSONL line {line:?}: {e}"));
+        if let Some(kind) = doc.get("event").and_then(Json::as_str) {
+            kinds.push(kind.to_string());
+        }
+    }
+    assert!(kinds.iter().any(|k| k == "started"), "{kinds:?}");
+    assert!(kinds.iter().any(|k| k == "solved"), "{kinds:?}");
+
+    // ---- per-job profile: a valid Chrome trace with the span chain
+    // job → rung.full_milp → laygen → milp.solve → simplex/bnb, + layval
+    let (status, profile) = common::request(addr, "GET", &format!("/jobs/{id}/profile"), None);
+    assert_eq!(status, 200, "{profile}");
+    let n = validate_chrome_trace(&profile).expect("profile is a valid Chrome trace");
+    assert!(n > 0, "profile must contain events");
+    let doc = parse_json(&profile).expect("profile parses");
+    let spans = index_spans(&doc);
+    let names: Vec<&str> = spans.values().map(|(n, _)| n.as_str()).collect();
+    for expected in [
+        "job",
+        "laygen",
+        "laygen.solve",
+        "milp.solve",
+        "simplex.phase1",
+        "simplex.phase2",
+        "layval",
+    ] {
+        assert!(
+            names.contains(&expected),
+            "span {expected} missing from profile; got {names:?}"
+        );
+    }
+    for (child, ancestor) in [
+        ("laygen", "job"),
+        ("milp.solve", "laygen.solve"),
+        ("simplex.phase1", "milp.solve"),
+        ("simplex.phase2", "milp.solve"),
+        ("layval", "job"),
+    ] {
+        assert!(
+            nests_under(&spans, child, ancestor),
+            "{child} must nest under {ancestor}"
+        );
+    }
+    if names.contains(&"bnb.search") {
+        assert!(nests_under(&spans, "bnb.search", "milp.solve"));
+    }
+
+    // ---- profile/trace error paths
+    let (status, _) = common::request(addr, "GET", "/jobs/999999/trace", None);
+    assert_eq!(status, 404);
+    let (status, _) = common::request(addr, "GET", "/jobs/999999/profile", None);
+    assert_eq!(status, 404);
+    let (status, _) = common::request(addr, "GET", "/jobs/banana/profile", None);
+    assert_eq!(status, 400);
+
+    // ---- Prometheus exposition parses and carries the solve histogram
+    let (status, prom) = common::request(addr, "GET", "/metrics?format=prometheus", None);
+    assert_eq!(status, 200);
+    let samples = parse_prometheus(&prom).expect("valid Prometheus exposition");
+    let buckets = samples
+        .iter()
+        .filter(|s| s.name == "columba_solve_seconds_bucket")
+        .count();
+    assert!(buckets > 10, "solve histogram buckets must be exposed");
+    for name in [
+        "columba_solve_seconds_p50",
+        "columba_solve_seconds_p99",
+        "columba_solve_seconds_count",
+        "columba_http_request_seconds_count",
+        "columba_uptime_seconds",
+        "columba_jobs_done_total",
+        "columba_worker_busy_fraction",
+        "columba_http_requests_total",
+    ] {
+        assert!(
+            samples.iter().any(|s| s.name == name),
+            "{name} missing from exposition"
+        );
+    }
+    let solve_count = samples
+        .iter()
+        .find(|s| s.name == "columba_solve_seconds_count")
+        .expect("count");
+    assert!(solve_count.value >= 1.0, "one solve was recorded");
+
+    // ---- flat format keeps working and gained the new lines
+    let (status, flat) = common::request(addr, "GET", "/metrics", None);
+    assert_eq!(status, 200);
+    assert!(metric_value(&flat, "uptime_seconds").is_some_and(|v| v > 0.0));
+    assert!(metric_value(&flat, "worker_busy_fraction_0").is_some());
+    assert!(metric_value(&flat, "solve_seconds_p50").is_some_and(|v| v > 0.0));
+    assert!(metric_value(&flat, "http_requests_total").is_some_and(|v| v >= 1.0));
+    assert_eq!(metric_value(&flat, "jobs_done"), Some(1.0));
+
+    // ---- service-level HTTP span profile
+    let (status, http_profile) = common::request(addr, "GET", "/profile", None);
+    assert_eq!(status, 200);
+    let n = validate_chrome_trace(&http_profile).expect("valid Chrome trace");
+    assert!(n > 0, "http.request spans were recorded");
+    assert!(http_profile.contains("http.request"), "{http_profile}");
+
+    drop(server);
+    service.shutdown();
+}
+
+#[test]
+fn tiny_trace_rings_evict_and_report() {
+    let service = Arc::new(Service::start(ServiceConfig {
+        workers: 1,
+        options: common::deterministic_options(),
+        trace_ring: RingConfig {
+            per_job: 2,
+            max_jobs: 2,
+            global: 2,
+        },
+        ..ServiceConfig::default()
+    }));
+    let server = HttpServer::bind(Arc::clone(&service), "127.0.0.1:0", HttpConfig::default())
+        .expect("bind an ephemeral port");
+    let addr = server.addr();
+    let tiny = "chip t\nmixer m1\nport a\nport b\n\
+                connect a -> m1.left\nconnect m1.right -> b\n";
+    let (status, body) = common::request(addr, "POST", "/synthesize", Some(tiny));
+    assert_eq!(status, 202, "{body}");
+    let id = field(&body, "id").expect("id").trim().to_string();
+    let done = common::poll_terminal(addr, &id, Duration::from_secs(120));
+    assert_eq!(field(&done, "state"), Some("done"), "{done}");
+
+    // a solved job emits more than two per-job events (admitted, started,
+    // rung, solved, ...), so a two-slot ring must have evicted
+    let (status, trace) = common::request(addr, "GET", &format!("/jobs/{id}/trace"), None);
+    assert_eq!(status, 200);
+    assert!(
+        trace.lines().count() <= 2,
+        "per-job ring must hold at most two events:\n{trace}"
+    );
+    let (status, flat) = common::request(addr, "GET", "/metrics", None);
+    assert_eq!(status, 200);
+    assert!(
+        metric_value(&flat, "trace_events_evicted").is_some_and(|v| v >= 1.0),
+        "evictions must surface in /metrics:\n{flat}"
+    );
+    drop(server);
+    service.shutdown();
+}
