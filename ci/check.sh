@@ -1,6 +1,17 @@
 #!/usr/bin/env bash
 # The one gate every change must pass, locally and in CI.
 #
+# Sections (each also a named CI job):
+#
+#   lint   cargo fmt + clippy with warnings as errors
+#   test   release build, workspace tests, fault-inject configurations
+#   smoke  HTTP round-trip, batch + SSE, observability, restart-recovery
+#   perf   bench artifacts vs the committed baselines (ci/perf_gate)
+#
+#   ci/check.sh                  # everything
+#   ci/check.sh --skip-perf      # everything except the perf gate
+#   ci/check.sh --only lint      # one section (test/smoke imply the build)
+#
 # The build is hermetic: the workspace has no registry dependencies (the
 # internal `columba-prng` crate replaces `rand`, deterministic loops replace
 # `proptest`, and the `microbench` binary replaces `criterion`), so every
@@ -10,29 +21,59 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> cargo fmt --check"
-cargo fmt --all -- --check
+ONLY=""
+SKIP_PERF=0
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --only)
+      ONLY="${2:?--only requires a section: lint|test|smoke|perf}"
+      shift 2
+      ;;
+    --skip-perf)
+      SKIP_PERF=1
+      shift
+      ;;
+    *)
+      echo "usage: ci/check.sh [--only lint|test|smoke|perf] [--skip-perf]" >&2
+      exit 2
+      ;;
+  esac
+done
+case "$ONLY" in ""|lint|test|smoke|perf) ;; *)
+  echo "error: unknown section '$ONLY' (want lint|test|smoke|perf)" >&2
+  exit 2
+esac
 
-echo "==> cargo clippy (warnings are errors)"
-cargo clippy --workspace --all-targets --offline -- -D warnings
+section_lint() {
+  echo "==> cargo fmt --check"
+  cargo fmt --all -- --check
 
-echo "==> cargo build --release --offline"
-cargo build --workspace --release --offline
+  echo "==> cargo clippy (warnings are errors)"
+  cargo clippy --workspace --all-targets --offline -- -D warnings
+}
 
-echo "==> cargo test --offline"
-cargo test --workspace -q --offline
+section_build() {
+  echo "==> cargo build --release --offline"
+  cargo build --workspace --release --offline
+}
 
-echo "==> cargo test --features fault-inject (resilience ladder under forced failures)"
-cargo test -q --offline -p columba-milp --features fault-inject
-cargo test -q --offline -p columba-layout --features fault-inject
-cargo test -q --offline -p columba-service --features fault-inject
+section_test() {
+  echo "==> cargo test --offline"
+  cargo test --workspace -q --offline
 
-echo "==> service smoke (HTTP round-trip against the release server)"
-if command -v curl >/dev/null 2>&1; then
+  echo "==> cargo test --features fault-inject (resilience ladder under forced failures)"
+  cargo test -q --offline -p columba-milp --features fault-inject
+  cargo test -q --offline -p columba-layout --features fault-inject
+  cargo test -q --offline -p columba-service --features fault-inject
+}
+
+# Starts target/release/columba-serve with the given extra flags,
+# populates ADDR and SERVE_PID, and installs a kill trap.
+serve_start() {
   SERVE_LOG=$(mktemp)
-  ./target/release/columba-serve 127.0.0.1:0 --quick --hold >"$SERVE_LOG" &
+  ./target/release/columba-serve 127.0.0.1:0 --quick --hold "$@" >"$SERVE_LOG" &
   SERVE_PID=$!
-  trap 'kill "$SERVE_PID" 2>/dev/null || true' EXIT
+  trap 'kill -9 "$SERVE_PID" 2>/dev/null || true' EXIT
   ADDR=""
   for _ in $(seq 1 100); do
     ADDR=$(sed -n 's/^listening on //p' "$SERVE_LOG")
@@ -40,24 +81,34 @@ if command -v curl >/dev/null 2>&1; then
     sleep 0.1
   done
   [ -n "$ADDR" ] || { echo "server never bound"; exit 1; }
+}
 
-  smoke_post() {
-    curl -sfS -X POST --data-binary @cases/chip4ip.netlist "http://$ADDR/synthesize" \
-      | awk '$1=="id"{print $2}'
-  }
-  smoke_poll_done() {
-    for _ in $(seq 1 240); do
-      STATUS=$(curl -sfS "http://$ADDR/jobs/$1")
-      case $(printf '%s\n' "$STATUS" | awk '$1=="state"{print $2}') in
-        done) printf '%s\n' "$STATUS"; return 0 ;;
-        failed|cancelled) echo "job $1 did not finish: $STATUS" >&2; return 1 ;;
-      esac
-      sleep 0.5
-    done
-    echo "job $1 never finished" >&2
-    return 1
-  }
+smoke_post() {
+  curl -sfS -X POST --data-binary @cases/chip4ip.netlist "http://$ADDR/synthesize" \
+    | awk '$1=="id"{print $2}'
+}
 
+smoke_poll_done() {
+  for _ in $(seq 1 240); do
+    STATUS=$(curl -sfS "http://$ADDR/jobs/$1")
+    case $(printf '%s\n' "$STATUS" | awk '$1=="state"{print $2}') in
+      done) printf '%s\n' "$STATUS"; return 0 ;;
+      failed|cancelled) echo "job $1 did not finish: $STATUS" >&2; return 1 ;;
+    esac
+    sleep 0.5
+  done
+  echo "job $1 never finished" >&2
+  return 1
+}
+
+section_smoke() {
+  if ! command -v curl >/dev/null 2>&1; then
+    echo "curl not found; skipping the HTTP smoke"
+    return 0
+  fi
+
+  echo "==> service smoke (HTTP round-trip against the release server)"
+  serve_start
   JOB1=$(smoke_post)
   STATUS1=$(smoke_poll_done "$JOB1")
   printf '%s\n' "$STATUS1" | grep -q '^from_cache false$'
@@ -70,6 +121,35 @@ if command -v curl >/dev/null 2>&1; then
   printf '%s\n' "$METRICS" | grep -q '^cache_hits 1$'
   printf '%s\n' "$METRICS" | grep -q '^worker_panics 0$'
 
+  echo "==> batch smoke (POST /batch dedups members; group status converges)"
+  BATCH_BODY=$(mktemp)
+  cat cases/chip4ip.netlist >"$BATCH_BODY"
+  printf '%%%%\n' >>"$BATCH_BODY"
+  cat cases/chip4ip.netlist >>"$BATCH_BODY"
+  BATCH_RESP=$(curl -sfS -X POST --data-binary @"$BATCH_BODY" "http://$ADDR/batch")
+  BATCH_ID=$(printf '%s\n' "$BATCH_RESP" | awk '$1=="batch"{print $2}')
+  [ -n "$BATCH_ID" ] || { echo "batch submit failed: $BATCH_RESP"; exit 1; }
+  printf '%s\n' "$BATCH_RESP" | grep -q '^members 2$'
+  for _ in $(seq 1 240); do
+    BATCH_STATUS=$(curl -sfS "http://$ADDR/batch/$BATCH_ID")
+    printf '%s\n' "$BATCH_STATUS" | grep -q '^state done$' && break
+    sleep 0.5
+  done
+  printf '%s\n' "$BATCH_STATUS" | grep -q '^state done$' \
+    || { echo "batch never converged: $BATCH_STATUS"; exit 1; }
+  printf '%s\n' "$BATCH_STATUS" | grep -q '^unique 1$' \
+    || { echo "duplicate members did not dedup: $BATCH_STATUS"; exit 1; }
+  printf '%s\n' "$BATCH_STATUS" | grep -q '^done 2$'
+  METRICS=$(curl -sfS "http://$ADDR/metrics")
+  printf '%s\n' "$METRICS" | grep -q '^batch_dedup_hits 1$'
+
+  echo "==> SSE smoke (GET /jobs/<id>/events streams to an end frame)"
+  EVENTS=$(curl -sfS --no-buffer --max-time 30 "http://$ADDR/jobs/$JOB1/events")
+  printf '%s\n' "$EVENTS" | grep -q '^event: solved$' \
+    || { echo "event stream is missing the solved frame: $EVENTS"; exit 1; }
+  printf '%s\n' "$EVENTS" | grep -q '^event: end$' \
+    || { echo "event stream never ended: $EVENTS"; exit 1; }
+
   echo "==> observability smoke (Prometheus scrape + Chrome-trace profile)"
   PROM=$(curl -sfS "http://$ADDR/metrics?format=prometheus")
   printf '%s\n' "$PROM" | ./target/release/obs-validate prometheus
@@ -77,29 +157,21 @@ if command -v curl >/dev/null 2>&1; then
     || { echo "Prometheus scrape is missing solve-latency buckets"; exit 1; }
   printf '%s\n' "$PROM" | grep -q 'columba_solve_seconds_p99' \
     || { echo "Prometheus scrape is missing the p99 summary line"; exit 1; }
+  printf '%s\n' "$PROM" | grep -q 'columba_queue_class_depth' \
+    || { echo "Prometheus scrape is missing the per-class queue gauges"; exit 1; }
   curl -sfS "http://$ADDR/jobs/$JOB1/profile" | ./target/release/obs-validate chrome
   TRACE=$(curl -sfS "http://$ADDR/jobs/$JOB1/trace")
   printf '%s\n' "$TRACE" | grep -q '"event":"solved"' \
     || { echo "lifecycle trace is missing the solved event: $TRACE"; exit 1; }
   echo "observability smoke OK"
 
-  kill "$SERVE_PID"
+  kill -9 "$SERVE_PID"
   trap - EXIT
   echo "service smoke OK"
 
   echo "==> restart-recovery smoke (solve, SIGKILL, restart on the same state dir)"
   STATE_DIR=$(mktemp -d)
-  SERVE_LOG=$(mktemp)
-  ./target/release/columba-serve 127.0.0.1:0 --quick --hold --state-dir "$STATE_DIR" >"$SERVE_LOG" &
-  SERVE_PID=$!
-  trap 'kill -9 "$SERVE_PID" 2>/dev/null || true' EXIT
-  ADDR=""
-  for _ in $(seq 1 100); do
-    ADDR=$(sed -n 's/^listening on //p' "$SERVE_LOG")
-    [ -n "$ADDR" ] && break
-    sleep 0.1
-  done
-  [ -n "$ADDR" ] || { echo "durable server never bound"; exit 1; }
+  serve_start --state-dir "$STATE_DIR"
   JOB1=$(smoke_post)
   smoke_poll_done "$JOB1" >/dev/null
 
@@ -107,18 +179,7 @@ if command -v curl >/dev/null 2>&1; then
   kill -9 "$SERVE_PID"
   wait "$SERVE_PID" 2>/dev/null || true
 
-  SERVE_LOG=$(mktemp)
-  ./target/release/columba-serve 127.0.0.1:0 --quick --hold --state-dir "$STATE_DIR" >"$SERVE_LOG" &
-  SERVE_PID=$!
-  trap 'kill -9 "$SERVE_PID" 2>/dev/null || true' EXIT
-  ADDR=""
-  for _ in $(seq 1 100); do
-    ADDR=$(sed -n 's/^listening on //p' "$SERVE_LOG")
-    [ -n "$ADDR" ] && break
-    sleep 0.1
-  done
-  [ -n "$ADDR" ] || { echo "server never came back after SIGKILL"; exit 1; }
-
+  serve_start --state-dir "$STATE_DIR"
   METRICS=$(curl -sfS "http://$ADDR/metrics")
   printf '%s\n' "$METRICS" | grep -q '^cache_files_loaded 1$' \
     || { echo "restart did not reload the disk cache: $METRICS"; exit 1; }
@@ -136,11 +197,43 @@ if command -v curl >/dev/null 2>&1; then
   kill -9 "$SERVE_PID"
   trap - EXIT
   echo "restart-recovery smoke OK"
-else
-  echo "curl not found; skipping the HTTP smoke"
-fi
 
-echo "==> observability overhead guard (disabled-path spans within 2% on chip4ip)"
-./target/release/obs_overhead --iters 3
+  echo "==> observability overhead guard (disabled-path spans within 2% on chip4ip)"
+  ./target/release/obs_overhead --iters 3
+}
+
+section_perf() {
+  echo "==> perf gate (bench medians vs committed baselines, see ci/perf_gate)"
+  ci/perf_gate
+}
+
+case "$ONLY" in
+  lint)
+    section_lint
+    ;;
+  test)
+    section_build
+    section_test
+    ;;
+  smoke)
+    section_build
+    section_smoke
+    ;;
+  perf)
+    section_build
+    section_perf
+    ;;
+  "")
+    section_lint
+    section_build
+    section_test
+    section_smoke
+    if [ "$SKIP_PERF" = 1 ]; then
+      echo "==> perf gate skipped (--skip-perf)"
+    else
+      section_perf
+    fi
+    ;;
+esac
 
 echo "All checks passed."

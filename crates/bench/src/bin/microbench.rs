@@ -7,11 +7,15 @@
 //! ```sh
 //! cargo run -p columba-bench --release --bin microbench
 //! cargo run -p columba-bench --release --bin microbench -- --iters 10
+//! cargo run -p columba-bench --release --bin microbench -- --out /tmp/bench
 //! ```
+//!
+//! The machine-readable artifact lands at `<out>/BENCH_microbench.json`
+//! (default `bench/` — the committed perf-gate baseline location).
 
 use std::time::{Duration, Instant};
 
-use columba_bench::{bench_json, secs, write_bench_json, CaseStats};
+use columba_bench::{bench_json, out_path, secs, write_bench_json, CaseStats};
 use columba_s::layout::{self, LayoutOptions};
 use columba_s::netlist::{generators, MuxCount};
 use columba_s::planar::planarize;
@@ -124,7 +128,7 @@ fn main() {
     ));
 
     write_bench_json(
-        "BENCH_microbench.json",
+        &out_path(&args, "BENCH_microbench.json"),
         &bench_json("microbench", &[("iters", iters.to_string())], &cases),
     );
 

@@ -7,12 +7,16 @@
 //! cargo run -p columba-bench --release --bin service_load
 //! cargo run -p columba-bench --release --bin service_load -- --clients 16 --hits 64
 //! ```
+//!
+//! The machine-readable artifact lands at `<out>/BENCH_service.json`
+//! (default `bench/` — the committed perf-gate baseline location;
+//! override with `--out DIR`).
 
 use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
 
-use columba_bench::{bench_json, secs, write_bench_json, CaseStats};
+use columba_bench::{bench_json, out_path, secs, write_bench_json, CaseStats};
 use columba_s::netlist::{generators, MuxCount};
 use columba_s::{LayoutOptions, SynthesisOptions};
 use columba_service::{JobState, Service, ServiceConfig};
@@ -160,7 +164,7 @@ fn main() {
     }
 
     write_bench_json(
-        "BENCH_service.json",
+        &out_path(&args, "BENCH_service.json"),
         &bench_json(
             "service_load",
             &[

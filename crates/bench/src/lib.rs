@@ -19,6 +19,7 @@
 //! benchmarking crates), which also prints the solver telemetry
 //! ([`columba_s::milp::SolveStats`]) of a bounded search.
 
+use std::path::{Path, PathBuf};
 use std::time::Duration;
 
 use columba_s::netlist::{generators, MuxCount, Netlist};
@@ -230,13 +231,206 @@ pub fn bench_json(bench: &str, config: &[(&str, String)], cases: &[CaseStats]) -
     out
 }
 
-/// Writes a bench artifact, reporting (never propagating) I/O failure —
-/// a read-only working directory must not fail the bench itself.
-pub fn write_bench_json(path: &str, body: &str) {
-    match std::fs::write(path, body) {
-        Ok(()) => println!("\nwrote {path}"),
-        Err(e) => eprintln!("\nwarning: could not write {path}: {e}"),
+/// Resolves where a bench binary writes its `BENCH_<name>.json`
+/// artifact: `<dir>/<file>` where `<dir>` comes from the `--out` flag
+/// and defaults to `bench/` — a stable, committed location instead of
+/// whatever the current working directory happens to be.
+#[must_use]
+pub fn out_path(args: &[String], file: &str) -> PathBuf {
+    let dir = match args.iter().position(|a| a == "--out") {
+        None => PathBuf::from("bench"),
+        Some(i) => match args.get(i + 1) {
+            Some(v) if !v.starts_with("--") => PathBuf::from(v),
+            _ => {
+                eprintln!("error: --out requires a directory path");
+                std::process::exit(2);
+            }
+        },
+    };
+    dir.join(file)
+}
+
+/// Writes a bench artifact, creating the parent directory if needed and
+/// reporting (never propagating) I/O failure — a read-only working
+/// directory must not fail the bench itself.
+pub fn write_bench_json(path: &Path, body: &str) {
+    if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        if let Err(e) = std::fs::create_dir_all(parent) {
+            eprintln!("\nwarning: could not create {}: {e}", parent.display());
+            return;
+        }
     }
+    match std::fs::write(path, body) {
+        Ok(()) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("\nwarning: could not write {}: {e}", path.display()),
+    }
+}
+
+/// One case of a perf-gate comparison: the committed baseline median
+/// against the freshly measured one.
+#[derive(Debug, Clone)]
+pub struct GateCase {
+    /// Case label (shared between the two artifacts).
+    pub name: String,
+    /// Committed baseline median, seconds.
+    pub baseline_s: f64,
+    /// Freshly measured median, seconds.
+    pub current_s: f64,
+    /// Whether this case participates in the pass/fail decision. Cases
+    /// whose baseline median sits under the noise floor are reported but
+    /// never gate — micro-timings jitter far beyond any tolerance.
+    pub gated: bool,
+}
+
+impl GateCase {
+    /// Relative change of the median: `+0.25` is a 25 % slowdown.
+    #[must_use]
+    pub fn delta(&self) -> f64 {
+        (self.current_s - self.baseline_s) / self.baseline_s.max(1e-12)
+    }
+}
+
+/// The outcome of comparing one fresh bench artifact against its
+/// committed baseline.
+#[derive(Debug, Clone)]
+pub struct GateReport {
+    /// The bench name from the baseline artifact.
+    pub bench: String,
+    /// Per-case comparisons, in baseline order.
+    pub cases: Vec<GateCase>,
+    /// Baseline cases the current run did not measure — always a
+    /// failure: a silently dropped case is how a gate rots.
+    pub missing: Vec<String>,
+    /// Maximum tolerated relative slowdown on gated cases.
+    pub tolerance: f64,
+}
+
+impl GateReport {
+    /// The gated cases whose median regressed beyond the tolerance.
+    #[must_use]
+    pub fn regressions(&self) -> Vec<&GateCase> {
+        self.cases
+            .iter()
+            .filter(|c| c.gated && c.delta() > self.tolerance)
+            .collect()
+    }
+
+    /// Whether the gate passes: no regression and no missing case.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.regressions().is_empty() && self.missing.is_empty()
+    }
+
+    /// Renders the comparison as a GitHub-flavored markdown table (the
+    /// shape dropped into `GITHUB_STEP_SUMMARY`).
+    #[must_use]
+    pub fn markdown(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "### perf gate: `{}` ({})\n",
+            self.bench,
+            if self.passed() { "pass" } else { "FAIL" }
+        );
+        out.push_str("| case | baseline p50 | current p50 | delta | status |\n");
+        out.push_str("|------|-------------:|------------:|------:|--------|\n");
+        for case in &self.cases {
+            let delta = case.delta();
+            let status = if !case.gated {
+                "info (below noise floor)"
+            } else if delta > self.tolerance {
+                "**regressed**"
+            } else {
+                "ok"
+            };
+            let _ = writeln!(
+                out,
+                "| {} | {} | {} | {:+.1}% | {} |",
+                case.name,
+                secs(Duration::from_secs_f64(case.baseline_s)),
+                secs(Duration::from_secs_f64(case.current_s)),
+                delta * 100.0,
+                status
+            );
+        }
+        for name in &self.missing {
+            let _ = writeln!(out, "| {name} | — | missing | — | **missing** |");
+        }
+        out
+    }
+}
+
+/// Extracts `(name, median_s)` per case from a `BENCH_*.json` document.
+fn bench_medians(doc: &columba_obs::Json) -> Result<Vec<(String, f64)>, String> {
+    use columba_obs::Json;
+    let cases = doc
+        .get("cases")
+        .and_then(Json::as_arr)
+        .ok_or("artifact has no cases array")?;
+    cases
+        .iter()
+        .map(|case| {
+            let name = case
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or("case without a name")?;
+            let median = case
+                .get("median_s")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("case {name} without a median_s"))?;
+            Ok((name.to_string(), median))
+        })
+        .collect()
+}
+
+/// Compares a fresh bench artifact against its committed baseline.
+/// Every baseline case is pinned: it must appear in the current run,
+/// and (when its baseline median clears `min_baseline_s`) its median
+/// must not regress by more than `tolerance`. Extra cases in the
+/// current run are ignored — adding a case does not break the gate,
+/// only refreshing the baseline admits it.
+///
+/// # Errors
+///
+/// On malformed JSON or an artifact missing the expected fields.
+pub fn compare_bench(
+    baseline: &str,
+    current: &str,
+    tolerance: f64,
+    min_baseline_s: f64,
+) -> Result<GateReport, String> {
+    let base_doc = columba_obs::parse_json(baseline).map_err(|e| format!("baseline: {e}"))?;
+    let cur_doc = columba_obs::parse_json(current).map_err(|e| format!("current: {e}"))?;
+    let bench = base_doc
+        .get("bench")
+        .and_then(columba_obs::Json::as_str)
+        .unwrap_or("?")
+        .to_string();
+    let base_cases = bench_medians(&base_doc).map_err(|e| format!("baseline: {e}"))?;
+    let cur_cases: std::collections::HashMap<String, f64> = bench_medians(&cur_doc)
+        .map_err(|e| format!("current: {e}"))?
+        .into_iter()
+        .collect();
+    let mut cases = Vec::new();
+    let mut missing = Vec::new();
+    for (name, baseline_s) in base_cases {
+        match cur_cases.get(&name) {
+            Some(&current_s) => cases.push(GateCase {
+                gated: baseline_s >= min_baseline_s,
+                name,
+                baseline_s,
+                current_s,
+            }),
+            None => missing.push(name),
+        }
+    }
+    Ok(GateReport {
+        bench,
+        cases,
+        missing,
+        tolerance,
+    })
 }
 
 #[cfg(test)]
@@ -256,6 +450,85 @@ mod tests {
         assert_eq!(dim(19.8, 27.4), "19.8x27.4");
         assert_eq!(secs(Duration::from_millis(800)), "800ms");
         assert_eq!(secs(Duration::from_secs_f64(71.9)), "71.9s");
+    }
+
+    fn artifact(bench: &str, cases: &[(&str, f64)]) -> String {
+        let stats: Vec<CaseStats> = cases
+            .iter()
+            .map(|&(name, median_s)| {
+                CaseStats::from_samples(name, &[Duration::from_secs_f64(median_s); 3])
+            })
+            .collect();
+        bench_json(bench, &[], &stats)
+    }
+
+    #[test]
+    fn perf_gate_passes_within_tolerance_and_fails_beyond() {
+        let baseline = artifact("microbench", &[("layout", 0.100), ("planarize", 0.050)]);
+        let ok = artifact("microbench", &[("layout", 0.105), ("planarize", 0.054)]);
+        let report = compare_bench(&baseline, &ok, 0.10, 0.005).expect("parse");
+        assert!(report.passed(), "{:?}", report.regressions());
+        assert_eq!(report.bench, "microbench");
+
+        let bad = artifact("microbench", &[("layout", 0.150), ("planarize", 0.050)]);
+        let report = compare_bench(&baseline, &bad, 0.10, 0.005).expect("parse");
+        assert!(!report.passed());
+        let regressed: Vec<&str> = report
+            .regressions()
+            .iter()
+            .map(|c| c.name.as_str())
+            .collect();
+        assert_eq!(regressed, vec!["layout"]);
+        assert!(report.markdown().contains("**regressed**"));
+    }
+
+    #[test]
+    fn perf_gate_noise_floor_reports_but_never_gates() {
+        // a 3x slowdown on a sub-floor case is informational only
+        let baseline = artifact("microbench", &[("tiny", 0.0001)]);
+        let slow = artifact("microbench", &[("tiny", 0.0003)]);
+        let report = compare_bench(&baseline, &slow, 0.10, 0.005).expect("parse");
+        assert!(report.passed());
+        assert!(report.markdown().contains("below noise floor"));
+    }
+
+    #[test]
+    fn perf_gate_missing_case_fails_and_extra_case_is_ignored() {
+        let baseline = artifact("service_load", &[("cold solve", 0.5), ("cache hit", 0.01)]);
+        let dropped = artifact("service_load", &[("cold solve", 0.5)]);
+        let report = compare_bench(&baseline, &dropped, 0.10, 0.005).expect("parse");
+        assert!(!report.passed(), "a dropped pinned case must fail the gate");
+        assert_eq!(report.missing, vec!["cache hit".to_string()]);
+        assert!(report.markdown().contains("**missing**"));
+
+        let extra = artifact(
+            "service_load",
+            &[("cold solve", 0.5), ("cache hit", 0.01), ("new case", 9.0)],
+        );
+        let report = compare_bench(&baseline, &extra, 0.10, 0.005).expect("parse");
+        assert!(report.passed(), "unpinned extra cases never gate");
+        assert_eq!(report.cases.len(), 2);
+    }
+
+    #[test]
+    fn perf_gate_rejects_malformed_artifacts() {
+        assert!(compare_bench("not json", "{}", 0.1, 0.005).is_err());
+        assert!(compare_bench("{}", "not json", 0.1, 0.005).is_err());
+        assert!(compare_bench("{\"bench\":\"x\"}", "{\"bench\":\"x\"}", 0.1, 0.005).is_err());
+    }
+
+    #[test]
+    fn out_path_defaults_to_bench_dir() {
+        let none: Vec<String> = vec![];
+        assert_eq!(
+            out_path(&none, "BENCH_x.json"),
+            PathBuf::from("bench/BENCH_x.json")
+        );
+        let some = vec!["--out".to_string(), "/tmp/artifacts".to_string()];
+        assert_eq!(
+            out_path(&some, "BENCH_x.json"),
+            PathBuf::from("/tmp/artifacts/BENCH_x.json")
+        );
     }
 
     #[test]

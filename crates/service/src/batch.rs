@@ -1,0 +1,227 @@
+//! Batch job groups: many netlists submitted in one request.
+//!
+//! A batch is a group of member submissions admitted atomically.
+//! Members are deduplicated through the same canonical-text
+//! [`crate::hash::ContentKey`] path the design cache uses: two members
+//! whose netlists canonicalize identically map to the *same* job, so a
+//! 50-member batch with 10 unique netlists performs exactly 10 solves
+//! and every duplicate member reads its representative's result
+//! byte-for-byte. Members are admitted under [`QosClass::Bulk`] by
+//! default so a large batch fills the bulk queue, never the interactive
+//! one.
+
+use std::fmt;
+
+use crate::job::{JobId, JobState, JobStatus, QosClass};
+
+/// Handle to one submitted batch group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BatchId(pub u64);
+
+impl fmt::Display for BatchId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// One member of a batch, in submission order.
+#[derive(Debug, Clone)]
+pub struct MemberStatus {
+    /// Position in the submitted batch (0-based).
+    pub index: usize,
+    /// The job that computes (or computed) this member. Duplicate
+    /// members share a job id.
+    pub job: JobId,
+    /// The member job's snapshot; `None` when its record has been pruned
+    /// (or was lost to journal corruption across a restart).
+    pub status: Option<JobStatus>,
+}
+
+impl MemberStatus {
+    /// Whether this member will change state again. Pruned members are
+    /// terminal: their jobs only get pruned after finishing.
+    #[must_use]
+    pub fn is_terminal(&self) -> bool {
+        self.status.as_ref().is_none_or(|s| s.state.is_terminal())
+    }
+}
+
+/// Aggregate counts over a batch's members.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchSummary {
+    /// Members submitted (including duplicates).
+    pub members: usize,
+    /// Distinct jobs backing them.
+    pub unique: usize,
+    /// Members whose job is still queued.
+    pub queued: usize,
+    /// Members whose job is running.
+    pub running: usize,
+    /// Members whose job finished with a design.
+    pub done: usize,
+    /// Members whose job failed.
+    pub failed: usize,
+    /// Members whose job was cancelled.
+    pub cancelled: usize,
+    /// Members whose job record is gone (pruned, or lost to corruption).
+    pub pruned: usize,
+}
+
+/// A point-in-time snapshot of one batch group, as returned by
+/// `Service::batch_status` and rendered by `GET /batch/<id>`.
+#[derive(Debug, Clone)]
+pub struct BatchStatus {
+    /// The batch.
+    pub id: BatchId,
+    /// The QoS class its members were admitted under.
+    pub class: QosClass,
+    /// Every member, in submission order.
+    pub members: Vec<MemberStatus>,
+}
+
+impl BatchStatus {
+    /// Whether every member has reached a terminal state.
+    #[must_use]
+    pub fn is_terminal(&self) -> bool {
+        self.members.iter().all(MemberStatus::is_terminal)
+    }
+
+    /// Aggregate counts over the members.
+    #[must_use]
+    pub fn summary(&self) -> BatchSummary {
+        let mut s = BatchSummary {
+            members: self.members.len(),
+            ..BatchSummary::default()
+        };
+        let mut jobs: Vec<u64> = self.members.iter().map(|m| m.job.0).collect();
+        jobs.sort_unstable();
+        jobs.dedup();
+        s.unique = jobs.len();
+        for m in &self.members {
+            match m.status.as_ref().map(|st| st.state) {
+                Some(JobState::Queued) => s.queued += 1,
+                Some(JobState::Running) => s.running += 1,
+                Some(JobState::Done) => s.done += 1,
+                Some(JobState::Failed) => s.failed += 1,
+                Some(JobState::Cancelled) => s.cancelled += 1,
+                None => s.pruned += 1,
+            }
+        }
+        s
+    }
+
+    /// Renders the flat `key value` text form served by `GET /batch/<id>`:
+    /// the group summary first, then one `member <index> job <id>
+    /// state <state>` line per member in submission order.
+    #[must_use]
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let s = self.summary();
+        let mut out = String::new();
+        let _ = writeln!(out, "id {}", self.id);
+        let _ = writeln!(out, "class {}", self.class);
+        let _ = writeln!(
+            out,
+            "state {}",
+            if self.is_terminal() {
+                "done"
+            } else {
+                "running"
+            }
+        );
+        let _ = writeln!(out, "members {}", s.members);
+        let _ = writeln!(out, "unique {}", s.unique);
+        let _ = writeln!(out, "queued {}", s.queued);
+        let _ = writeln!(out, "running {}", s.running);
+        let _ = writeln!(out, "done {}", s.done);
+        let _ = writeln!(out, "failed {}", s.failed);
+        let _ = writeln!(out, "cancelled {}", s.cancelled);
+        let _ = writeln!(out, "pruned {}", s.pruned);
+        for m in &self.members {
+            let state = m.status.as_ref().map_or("pruned", |st| st.state.as_str());
+            let from_cache = m.status.as_ref().is_some_and(|st| st.from_cache);
+            let _ = writeln!(
+                out,
+                "member {} job {} state {} from_cache {}",
+                m.index, m.job, state, from_cache
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn status(id: u64, state: JobState, from_cache: bool) -> JobStatus {
+        JobStatus {
+            id: JobId(id),
+            state,
+            class: QosClass::Bulk,
+            from_cache,
+            elapsed: None,
+            rung: None,
+            error: None,
+            design: None,
+        }
+    }
+
+    fn sample() -> BatchStatus {
+        BatchStatus {
+            id: BatchId(9),
+            class: QosClass::Bulk,
+            members: vec![
+                MemberStatus {
+                    index: 0,
+                    job: JobId(1),
+                    status: Some(status(1, JobState::Done, false)),
+                },
+                MemberStatus {
+                    index: 1,
+                    job: JobId(1),
+                    status: Some(status(1, JobState::Done, false)),
+                },
+                MemberStatus {
+                    index: 2,
+                    job: JobId(2),
+                    status: Some(status(2, JobState::Running, false)),
+                },
+                MemberStatus {
+                    index: 3,
+                    job: JobId(3),
+                    status: None,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn summary_counts_members_not_jobs() {
+        let s = sample().summary();
+        assert_eq!(s.members, 4);
+        assert_eq!(s.unique, 3, "duplicate members share one job");
+        assert_eq!(s.done, 2, "both duplicate members count as done");
+        assert_eq!(s.running, 1);
+        assert_eq!(s.pruned, 1);
+    }
+
+    #[test]
+    fn terminal_requires_every_member_terminal() {
+        let mut b = sample();
+        assert!(!b.is_terminal(), "one member is still running");
+        b.members[2].status = Some(status(2, JobState::Failed, false));
+        assert!(b.is_terminal(), "pruned members count as terminal");
+    }
+
+    #[test]
+    fn render_is_flat_key_value() {
+        let text = sample().render();
+        assert!(text.contains("id 9\n"), "{text}");
+        assert!(text.contains("class bulk\n"), "{text}");
+        assert!(text.contains("members 4\n"), "{text}");
+        assert!(text.contains("unique 3\n"), "{text}");
+        assert!(text.contains("member 0 job 1 state done from_cache false\n"));
+        assert!(text.contains("member 3 job 3 state pruned from_cache false\n"));
+    }
+}

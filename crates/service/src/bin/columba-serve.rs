@@ -5,6 +5,7 @@
 //! columba-serve 127.0.0.1:0         # ephemeral port (printed on stdout)
 //! columba-serve --trace             # JSONL lifecycle trace on stderr
 //! columba-serve --workers 8 --quick # quick solver budgets (CI smoke)
+//! columba-serve --bulk-queue 512    # bulk (batch) admission budget
 //! columba-serve --hold              # ignore stdin; run until killed
 //! columba-serve --state-dir DIR     # durable journal + disk cache
 //! ```
@@ -31,7 +32,7 @@ use columba_service::{
 
 /// Flags that consume the next argument as a value; the positional
 /// address scan must skip those values.
-const VALUE_FLAGS: &[&str] = &["--workers", "--queue", "--state-dir"];
+const VALUE_FLAGS: &[&str] = &["--workers", "--queue", "--bulk-queue", "--state-dir"];
 
 fn usize_flag(args: &[String], name: &str, default: usize) -> usize {
     match args.iter().position(|a| a == name) {
@@ -108,6 +109,7 @@ fn main() {
     let service = match Service::open(ServiceConfig {
         workers: usize_flag(&args, "--workers", 0),
         queue_capacity: usize_flag(&args, "--queue", 64),
+        bulk_queue_capacity: usize_flag(&args, "--bulk-queue", 256),
         options,
         trace,
         persist,

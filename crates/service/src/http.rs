@@ -1,25 +1,47 @@
 //! A minimal hand-rolled HTTP/1.1 front end over `std::net`.
 //!
-//! No external dependencies, no keep-alive, no chunked encoding: every
-//! request carries an optional `Content-Length` body, every response
-//! closes the connection. That subset is exactly what the service API
-//! needs and keeps the parser small enough to fuzz exhaustively.
+//! No external dependencies, no keep-alive: every request carries an
+//! optional `Content-Length` body, every response closes the
+//! connection. Plain responses are `Content-Length`-framed; the two
+//! event-stream routes are the one place chunked transfer encoding is
+//! used, because their length is unknown until the job finishes. That
+//! subset is exactly what the service API needs and keeps the parser
+//! small enough to fuzz exhaustively.
 //!
 //! Routes:
 //!
 //! | method   | path                  | response                              |
 //! |----------|-----------------------|---------------------------------------|
 //! | `POST`   | `/synthesize`         | `202` with `id <n>`, `429` queue full |
+//! | `POST`   | `/batch`              | `202` with group + member job ids     |
 //! | `GET`    | `/jobs/<id>`          | flat `key value` status text          |
 //! | `GET`    | `/jobs/<id>/svg`      | the SVG render                        |
 //! | `GET`    | `/jobs/<id>/scr`      | the AutoCAD script                    |
 //! | `GET`    | `/jobs/<id>/trace`    | the job's lifecycle trace as JSONL    |
+//! | `GET`    | `/jobs/<id>/events`   | live SSE progress stream (chunked)    |
 //! | `GET`    | `/jobs/<id>/profile`  | the job's span profile (Chrome trace) |
 //! | `DELETE` | `/jobs/<id>`          | cancels the job                       |
+//! | `GET`    | `/batch/<id>`         | per-member status + group summary     |
+//! | `GET`    | `/batch/<id>/events`  | live SSE group progress (chunked)     |
 //! | `GET`    | `/metrics`            | flat counters                         |
 //! | `GET`    | `/metrics?format=prometheus` | Prometheus text exposition     |
 //! | `GET`    | `/profile`            | recent HTTP request spans (Chrome)    |
 //! | `GET`    | `/healthz`            | `ok`                                  |
+//!
+//! `POST /batch` takes many netlists in one body, separated by lines
+//! containing only `%%`, and admits them as one group under the bulk
+//! QoS class (override with `?class=interactive`). `POST /synthesize`
+//! accepts the same `?class=` override (default interactive).
+//!
+//! The event streams are server-sent events: `event:`/`data:` frames
+//! carrying the job's lifecycle trace (rung transitions, incumbent
+//! trajectory, completion) as JSONL, with `: hb` comment heartbeats
+//! while nothing changes. A stream ends with an `event: end` frame when
+//! the job (or every batch member) reaches a terminal state, when the
+//! stream deadline passes, or silently when the client disconnects —
+//! writes against a gone or stalled client time out, the connection
+//! thread exits, and its slot frees. Streams never hold service locks
+//! between polls, so a slow consumer cannot block a worker.
 //!
 //! Every served request is observed: its latency lands in the request
 //! histogram, its `(route label, status)` pair in a counter, and an
@@ -42,7 +64,8 @@ use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
-use crate::job::JobId;
+use crate::batch::BatchId;
+use crate::job::{JobId, QosClass};
 use crate::service::{ExportError, ExportKind, ProfileError, Service, SubmitError};
 
 /// Front-end limits.
@@ -61,6 +84,16 @@ pub struct HttpConfig {
     /// own short-lived thread; arrivals beyond the cap are answered `503`
     /// on the accept thread instead of growing threads without bound.
     pub max_connections: usize,
+    /// Hard lifetime cap on one event stream. A client that never
+    /// disconnects still releases its connection slot at this deadline
+    /// (the stream ends with an `event: end` frame, reason `deadline`).
+    pub sse_deadline: Duration,
+    /// Idle interval after which an event stream writes a `: hb` comment
+    /// heartbeat — the write doubles as disconnect detection, so an
+    /// abandoned stream is torn down within one heartbeat.
+    pub sse_heartbeat: Duration,
+    /// How often an event stream polls the service for new trace events.
+    pub sse_poll: Duration,
 }
 
 impl Default for HttpConfig {
@@ -70,6 +103,9 @@ impl Default for HttpConfig {
             read_timeout: Duration::from_secs(5),
             request_deadline: Duration::from_secs(15),
             max_connections: 64,
+            sse_deadline: Duration::from_secs(300),
+            sse_heartbeat: Duration::from_secs(5),
+            sse_poll: Duration::from_millis(50),
         }
     }
 }
@@ -205,6 +241,178 @@ impl Response {
 /// to load, not to predict solve times.
 fn retry_after_secs(queue_depth: usize, workers: usize) -> u64 {
     ((queue_depth as u64 * 2) / workers.max(1) as u64).clamp(1, 60)
+}
+
+/// What the router decided: either a fully-formed plain response, or an
+/// event stream the connection thread must serve incrementally (the
+/// stream owns the socket until the job ends or the client goes away).
+#[derive(Debug)]
+enum Routed {
+    Plain(Response),
+    JobEvents(JobId),
+    BatchEvents(BatchId),
+}
+
+/// Chunked transfer encoding over any `Write`: each `chunk()` is one
+/// `<hex len>\r\n<data>\r\n` frame flushed immediately (an SSE event must
+/// reach the client now, not when a buffer fills), `finish()` is the
+/// `0\r\n\r\n` terminator.
+struct ChunkedWriter<W: Write> {
+    out: W,
+}
+
+impl<W: Write> ChunkedWriter<W> {
+    fn new(out: W) -> ChunkedWriter<W> {
+        ChunkedWriter { out }
+    }
+
+    fn chunk(&mut self, data: &[u8]) -> io::Result<()> {
+        if data.is_empty() {
+            // an empty chunk would terminate the stream
+            return Ok(());
+        }
+        write!(self.out, "{:x}\r\n", data.len())?;
+        self.out.write_all(data)?;
+        self.out.write_all(b"\r\n")?;
+        self.out.flush()
+    }
+
+    fn finish(&mut self) -> io::Result<()> {
+        self.out.write_all(b"0\r\n\r\n")?;
+        self.out.flush()
+    }
+}
+
+/// One server-sent event: `event: <kind>` + one `data:` line per line of
+/// `data`, blank-line terminated. SSE forbids raw newlines inside a
+/// `data:` value, so multi-line payloads become multiple `data:` lines.
+fn sse_frame(kind: &str, data: &str) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::with_capacity(data.len() + kind.len() + 16);
+    let _ = writeln!(out, "event: {kind}");
+    for line in data.lines() {
+        let _ = writeln!(out, "data: {line}");
+    }
+    if data.is_empty() {
+        out.push_str("data:\n");
+    }
+    out.push('\n');
+    out
+}
+
+/// Writes the response head that commits the connection to a chunked
+/// `text/event-stream` body.
+fn write_sse_head(out: &mut impl Write) -> io::Result<()> {
+    out.write_all(
+        b"HTTP/1.1 200 OK\r\n\
+          Content-Type: text/event-stream\r\n\
+          Cache-Control: no-cache\r\n\
+          Transfer-Encoding: chunked\r\n\
+          Connection: close\r\n\r\n",
+    )?;
+    out.flush()
+}
+
+/// Serves `GET /jobs/<id>/events`: replays the job's trace ring as SSE
+/// frames, polls for new events, heartbeats while idle, and ends with an
+/// `event: end` frame on terminal state or stream deadline. Every write
+/// is bounded by the socket write timeout, so a stalled or vanished
+/// client tears the stream down within one heartbeat; the service is
+/// only ever polled for snapshots, never held across a write.
+fn stream_job_events(service: &Service, out: &mut impl Write, config: HttpConfig, id: JobId) {
+    if write_sse_head(out).is_err() {
+        return;
+    }
+    let mut chunks = ChunkedWriter::new(out);
+    let deadline = Instant::now() + config.sse_deadline;
+    let mut sent = 0usize;
+    let mut last_write = Instant::now();
+    loop {
+        let Some(events) = service.job_events(id) else {
+            // pruned mid-stream; nothing more will arrive
+            let _ = chunks.chunk(sse_frame("end", "reason pruned").as_bytes());
+            break;
+        };
+        let mut frames = String::new();
+        for event in &events[sent.min(events.len())..] {
+            frames.push_str(&sse_frame(event.kind.as_str(), &event.to_jsonl()));
+        }
+        sent = sent.max(events.len());
+        if !frames.is_empty() {
+            if chunks.chunk(frames.as_bytes()).is_err() {
+                return; // client gone
+            }
+            last_write = Instant::now();
+        }
+        let terminal = service.status(id).is_none_or(|s| s.state.is_terminal());
+        if terminal {
+            let state = service
+                .status(id)
+                .map_or_else(|| "pruned".to_string(), |s| s.state.as_str().to_string());
+            let _ = chunks.chunk(sse_frame("end", &format!("state {state}")).as_bytes());
+            break;
+        }
+        if Instant::now() >= deadline {
+            let _ = chunks.chunk(sse_frame("end", "reason deadline").as_bytes());
+            break;
+        }
+        if last_write.elapsed() >= config.sse_heartbeat {
+            if chunks.chunk(b": hb\n\n").is_err() {
+                return; // disconnect detected on heartbeat
+            }
+            last_write = Instant::now();
+        }
+        thread::sleep(config.sse_poll);
+    }
+    let _ = chunks.finish();
+}
+
+/// Serves `GET /batch/<id>/events`: emits a `batch` frame carrying the
+/// one-line group summary whenever it changes, then `event: end` when
+/// every member is terminal (or the deadline passes). Same disconnect
+/// and deadline discipline as the per-job stream.
+fn stream_batch_events(service: &Service, out: &mut impl Write, config: HttpConfig, id: BatchId) {
+    if write_sse_head(out).is_err() {
+        return;
+    }
+    let mut chunks = ChunkedWriter::new(out);
+    let deadline = Instant::now() + config.sse_deadline;
+    let mut last_line = String::new();
+    let mut last_write = Instant::now();
+    loop {
+        let Some(status) = service.batch_status(id) else {
+            let _ = chunks.chunk(sse_frame("end", "reason pruned").as_bytes());
+            break;
+        };
+        let s = status.summary();
+        let line = format!(
+            "members {} unique {} queued {} running {} done {} failed {} cancelled {} pruned {}",
+            s.members, s.unique, s.queued, s.running, s.done, s.failed, s.cancelled, s.pruned
+        );
+        if line != last_line {
+            if chunks.chunk(sse_frame("batch", &line).as_bytes()).is_err() {
+                return;
+            }
+            last_line = line;
+            last_write = Instant::now();
+        }
+        if status.is_terminal() {
+            let _ = chunks.chunk(sse_frame("end", "state done").as_bytes());
+            break;
+        }
+        if Instant::now() >= deadline {
+            let _ = chunks.chunk(sse_frame("end", "reason deadline").as_bytes());
+            break;
+        }
+        if last_write.elapsed() >= config.sse_heartbeat {
+            if chunks.chunk(b": hb\n\n").is_err() {
+                return;
+            }
+            last_write = Instant::now();
+        }
+        thread::sleep(config.sse_poll);
+    }
+    let _ = chunks.finish();
 }
 
 /// Reads and parses one request. Strictly bounded: the header block is
@@ -349,12 +557,16 @@ fn route_label(req: &Request) -> &'static str {
         .collect();
     match (req.method, segments.as_slice()) {
         (Method::Post, ["synthesize"]) => "POST /synthesize",
+        (Method::Post, ["batch"]) => "POST /batch",
         (Method::Get, ["jobs", _]) => "GET /jobs/{id}",
         (Method::Get, ["jobs", _, "svg"]) => "GET /jobs/{id}/svg",
         (Method::Get, ["jobs", _, "scr"]) => "GET /jobs/{id}/scr",
         (Method::Get, ["jobs", _, "trace"]) => "GET /jobs/{id}/trace",
+        (Method::Get, ["jobs", _, "events"]) => "GET /jobs/{id}/events",
         (Method::Get, ["jobs", _, "profile"]) => "GET /jobs/{id}/profile",
         (Method::Delete, ["jobs", _]) => "DELETE /jobs/{id}",
+        (Method::Get, ["batch", _]) => "GET /batch/{id}",
+        (Method::Get, ["batch", _, "events"]) => "GET /batch/{id}/events",
         (Method::Get, ["metrics"]) => "GET /metrics",
         (Method::Get, ["profile"]) => "GET /profile",
         (Method::Get, ["healthz"]) => "GET /healthz",
@@ -362,35 +574,142 @@ fn route_label(req: &Request) -> &'static str {
     }
 }
 
-fn route(service: &Service, req: Request) -> Response {
+/// Parses the `?class=` override; `None` on an unknown class name.
+fn parse_class(query: &str, default: QosClass) -> Option<QosClass> {
+    query
+        .split('&')
+        .find_map(|pair| pair.strip_prefix("class="))
+        .map_or(Some(default), QosClass::parse)
+}
+
+/// Splits a `POST /batch` body into member netlists on `%%` separator
+/// lines. Members are kept verbatim (the dedup path canonicalizes);
+/// fully blank members are dropped so a trailing separator is harmless.
+fn split_batch_members(body: &str) -> Vec<String> {
+    let mut members = Vec::new();
+    let mut current = String::new();
+    for line in body.lines() {
+        if line.trim() == "%%" {
+            if !current.trim().is_empty() {
+                members.push(std::mem::take(&mut current));
+            } else {
+                current.clear();
+            }
+        } else {
+            current.push_str(line);
+            current.push('\n');
+        }
+    }
+    if !current.trim().is_empty() {
+        members.push(current);
+    }
+    members
+}
+
+/// Maps a [`SubmitError`] to the shared backpressure response shape used
+/// by both submit routes.
+fn submit_error_response(service: &Service, e: &SubmitError) -> Response {
+    match e {
+        SubmitError::QueueFull { depth, .. } => Response::text(429, format!("error {e}\n"))
+            .with_retry_after(retry_after_secs(*depth, service.worker_count())),
+        SubmitError::ShuttingDown => Response::text(503, format!("error {e}\n")),
+        // the journal write failed — likely transient (disk pressure);
+        // invite a quick retry
+        SubmitError::Persist { .. } => {
+            Response::text(503, format!("error {e}\n")).with_retry_after(1)
+        }
+    }
+}
+
+fn route(service: &Service, req: Request) -> Routed {
+    Routed::Plain(match route_inner(service, req) {
+        Ok(response) => response,
+        Err(routed) => return routed,
+    })
+}
+
+/// The routing table proper. Plain responses come back as `Ok`; the
+/// event-stream routes short-circuit with `Err(Routed::..Events)` once
+/// the target is known to exist (unknown ids still get a plain 404 —
+/// a stream must not commit a 200 head for a job that is not there).
+#[allow(clippy::too_many_lines)]
+fn route_inner(service: &Service, req: Request) -> Result<Response, Routed> {
     let (path, query) = split_target(&req.path);
     let segments: Vec<&str> = path
         .trim_matches('/')
         .split('/')
         .filter(|s| !s.is_empty())
         .collect();
-    match (req.method, segments.as_slice()) {
+    Ok(match (req.method, segments.as_slice()) {
         (Method::Post, ["synthesize"]) => {
             let Ok(text) = String::from_utf8(req.body) else {
-                return Response::text(400, "error netlist body is not UTF-8\n");
+                return Ok(Response::text(400, "error netlist body is not UTF-8\n"));
             };
             if text.trim().is_empty() {
-                return Response::text(400, "error empty netlist body\n");
+                return Ok(Response::text(400, "error empty netlist body\n"));
             }
-            match service.submit_text(text) {
+            let Some(class) = parse_class(query, QosClass::Interactive) else {
+                return Ok(Response::text(
+                    400,
+                    "error class must be interactive or bulk\n",
+                ));
+            };
+            match service.submit_text_as(text, class) {
                 Ok(id) => Response::text(202, format!("id {id}\n")),
-                Err(e @ SubmitError::QueueFull { depth, .. }) => {
-                    Response::text(429, format!("error {e}\n"))
-                        .with_retry_after(retry_after_secs(depth, service.worker_count()))
-                }
-                Err(e @ SubmitError::ShuttingDown) => Response::text(503, format!("error {e}\n")),
-                Err(e @ SubmitError::Persist { .. }) => {
-                    // the journal write failed — likely transient (disk
-                    // pressure); invite a quick retry
-                    Response::text(503, format!("error {e}\n")).with_retry_after(1)
-                }
+                Err(e) => submit_error_response(service, &e),
             }
         }
+        (Method::Post, ["batch"]) => {
+            let Ok(text) = String::from_utf8(req.body) else {
+                return Ok(Response::text(400, "error batch body is not UTF-8\n"));
+            };
+            let members = split_batch_members(&text);
+            if members.is_empty() {
+                return Ok(Response::text(400, "error empty batch body\n"));
+            }
+            let Some(class) = parse_class(query, QosClass::Bulk) else {
+                return Ok(Response::text(
+                    400,
+                    "error class must be interactive or bulk\n",
+                ));
+            };
+            match service.submit_batch(&members, class) {
+                Ok((batch, jobs)) => {
+                    use std::fmt::Write as _;
+                    let mut body = format!("batch {batch}\nmembers {}\n", jobs.len());
+                    for (index, job) in jobs.iter().enumerate() {
+                        let _ = writeln!(body, "member {index} job {job}");
+                    }
+                    Response::text(202, body)
+                }
+                Err(e) => submit_error_response(service, &e),
+            }
+        }
+        (Method::Get, ["batch", id]) => match id.parse().ok().map(BatchId) {
+            Some(id) => match service.batch_status(id) {
+                Some(status) => Response::text(200, status.render()),
+                None => Response::text(404, format!("error no batch {id}\n")),
+            },
+            None => Response::text(400, "error batch id must be an integer\n"),
+        },
+        (Method::Get, ["batch", id, "events"]) => match id.parse().ok().map(BatchId) {
+            Some(id) => {
+                if service.batch_status(id).is_some() {
+                    return Err(Routed::BatchEvents(id));
+                }
+                Response::text(404, format!("error no batch {id}\n"))
+            }
+            None => Response::text(400, "error batch id must be an integer\n"),
+        },
+        (Method::Get, ["jobs", id, "events"]) => match parse_id(id) {
+            Some(id) => {
+                if service.job_events(id).is_some() {
+                    return Err(Routed::JobEvents(id));
+                }
+                Response::text(404, format!("error no job {id}\n"))
+            }
+            None => Response::text(400, "error job id must be an integer\n"),
+        },
         (Method::Get, ["jobs", id]) => match parse_id(id) {
             Some(id) => match service.status(id) {
                 Some(status) => Response::text(200, status.render()),
@@ -464,7 +783,7 @@ fn route(service: &Service, req: Request) -> Response {
         (Method::Get, ["profile"]) => Response::json(service.http_profile()),
         (Method::Get, ["healthz"]) => Response::text(200, "ok\n"),
         _ => Response::text(404, format!("error no route for {path}\n")),
-    }
+    })
 }
 
 fn parse_id(raw: &str) -> Option<JobId> {
@@ -481,21 +800,34 @@ fn handle_connection(service: &Service, mut stream: TcpStream, config: HttpConfi
     let _ = stream.set_read_timeout(Some(config.read_timeout));
     let _ = stream.set_write_timeout(Some(config.read_timeout));
     let deadline = Instant::now() + config.request_deadline;
-    let (label, response) = match read_request(&mut stream, config.max_body_bytes, deadline) {
+    let (label, routed) = match read_request(&mut stream, config.max_body_bytes, deadline) {
         Ok(req) => {
             let label = route_label(&req);
             (label, route(service, req))
         }
-        Err(e) => ("malformed", Response::from_error(&e)),
+        Err(e) => ("malformed", Routed::Plain(Response::from_error(&e))),
+    };
+    let status = match routed {
+        Routed::Plain(response) => {
+            // the client may already be gone; that is its problem, not ours
+            let _ = response.write_to(&mut stream);
+            response.status
+        }
+        Routed::JobEvents(id) => {
+            stream_job_events(service, &mut stream, config, id);
+            200
+        }
+        Routed::BatchEvents(id) => {
+            stream_batch_events(service, &mut stream, config, id);
+            200
+        }
     };
     if span.is_recording() {
         span.attr("route", label);
-        span.attr("status", u64::from(response.status));
+        span.attr("status", u64::from(status));
     }
     drop(span);
-    service.observe_http(label, response.status, t0.elapsed());
-    // the client may already be gone; that is its problem, not ours
-    let _ = response.write_to(&mut stream);
+    service.observe_http(label, status, t0.elapsed());
     let _ = stream.shutdown(std::net::Shutdown::Both);
 }
 
@@ -764,6 +1096,71 @@ mod tests {
     }
 
     #[test]
+    fn chunked_writer_frames_and_terminates() {
+        let mut out = Vec::new();
+        let mut w = ChunkedWriter::new(&mut out);
+        w.chunk(b"hello").expect("write");
+        w.chunk(b"")
+            .expect("empty chunk is a no-op, not a terminator");
+        w.chunk(&[b'x'; 16]).expect("write");
+        w.finish().expect("finish");
+        let text = String::from_utf8(out).expect("ascii");
+        assert_eq!(
+            text,
+            format!("5\r\nhello\r\n10\r\n{}\r\n0\r\n\r\n", "x".repeat(16))
+        );
+    }
+
+    #[test]
+    fn sse_frames_split_multiline_data() {
+        assert_eq!(
+            sse_frame("solved", "full MILP"),
+            "event: solved\ndata: full MILP\n\n"
+        );
+        assert_eq!(
+            sse_frame("batch", "a\nb"),
+            "event: batch\ndata: a\ndata: b\n\n",
+            "raw newlines must not leak into one data line"
+        );
+        assert_eq!(sse_frame("end", ""), "event: end\ndata:\n\n");
+    }
+
+    #[test]
+    fn batch_bodies_split_on_separator_lines() {
+        let members = split_batch_members("chip a\n%%\nchip b\n%%\n");
+        assert_eq!(
+            members,
+            vec!["chip a\n".to_string(), "chip b\n".to_string()]
+        );
+        // blank members (leading, doubled, or trailing separators) vanish
+        let members = split_batch_members("%%\nchip a\n%%\n%%\n  \n%%\nchip b");
+        assert_eq!(
+            members,
+            vec!["chip a\n".to_string(), "chip b\n".to_string()]
+        );
+        assert!(split_batch_members("").is_empty());
+        assert!(split_batch_members("%%\n \n%%").is_empty());
+    }
+
+    #[test]
+    fn class_query_parses_with_per_route_default() {
+        assert_eq!(
+            parse_class("", QosClass::Interactive),
+            Some(QosClass::Interactive)
+        );
+        assert_eq!(parse_class("", QosClass::Bulk), Some(QosClass::Bulk));
+        assert_eq!(
+            parse_class("class=interactive", QosClass::Bulk),
+            Some(QosClass::Interactive)
+        );
+        assert_eq!(
+            parse_class("format=prometheus&class=bulk", QosClass::Interactive),
+            Some(QosClass::Bulk)
+        );
+        assert_eq!(parse_class("class=express", QosClass::Bulk), None);
+    }
+
+    #[test]
     fn response_wire_format() {
         let mut out = Vec::new();
         Response::text(202, "id 7\n")
@@ -828,7 +1225,9 @@ mod tests {
                 path: "/synthesize".into(),
                 body: TINY.as_bytes().to_vec(),
             };
-            let resp = route(&service, req);
+            let Routed::Plain(resp) = route(&service, req) else {
+                panic!("POST /synthesize never streams");
+            };
             if resp.status == 429 {
                 saw = Some(resp);
                 break;

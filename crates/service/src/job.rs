@@ -16,6 +16,60 @@ impl fmt::Display for JobId {
     }
 }
 
+/// The quality-of-service class a job is admitted and scheduled under.
+///
+/// The two classes have *separate* admission budgets (see
+/// `ServiceConfig::queue_capacity` and
+/// `ServiceConfig::bulk_queue_capacity`) so a large batch filling the
+/// bulk queue can never crowd single-design interactive traffic out of
+/// admission, and workers prefer the interactive queue (with a periodic
+/// bulk pick so bulk work is never starved outright).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum QosClass {
+    /// Latency-sensitive single-design traffic; the default for
+    /// `POST /synthesize`.
+    #[default]
+    Interactive,
+    /// Throughput traffic — batch members default here.
+    Bulk,
+}
+
+impl QosClass {
+    /// Stable lowercase name (journal records, HTTP query values).
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            QosClass::Interactive => "interactive",
+            QosClass::Bulk => "bulk",
+        }
+    }
+
+    /// Parses the stable name back; `None` for anything else.
+    #[must_use]
+    pub fn parse(name: &str) -> Option<QosClass> {
+        match name {
+            "interactive" => Some(QosClass::Interactive),
+            "bulk" => Some(QosClass::Bulk),
+            _ => None,
+        }
+    }
+
+    /// Index into per-class tables (`[interactive, bulk]`).
+    #[must_use]
+    pub(crate) fn idx(self) -> usize {
+        match self {
+            QosClass::Interactive => 0,
+            QosClass::Bulk => 1,
+        }
+    }
+}
+
+impl fmt::Display for QosClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// Lifecycle state of a job. Terminal states are `Done`, `Failed` and
 /// `Cancelled`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -69,6 +123,8 @@ pub struct JobStatus {
     pub id: JobId,
     /// Current state.
     pub state: JobState,
+    /// The QoS class the job was admitted under.
+    pub class: QosClass,
     /// Whether the design came from the content-addressed cache.
     pub from_cache: bool,
     /// Time from worker pickup to terminal state, once terminal.
@@ -94,6 +150,7 @@ impl JobStatus {
         let mut s = String::new();
         let _ = writeln!(s, "id {}", self.id);
         let _ = writeln!(s, "state {}", self.state);
+        let _ = writeln!(s, "class {}", self.class);
         let _ = writeln!(s, "from_cache {}", self.from_cache);
         if let Some(elapsed) = self.elapsed {
             let _ = writeln!(s, "elapsed_us {}", elapsed.as_micros());
@@ -138,10 +195,21 @@ mod tests {
     }
 
     #[test]
+    fn qos_class_names_round_trip() {
+        for class in [QosClass::Interactive, QosClass::Bulk] {
+            assert_eq!(QosClass::parse(class.as_str()), Some(class));
+        }
+        assert_eq!(QosClass::parse("premium"), None);
+        assert_eq!(QosClass::default(), QosClass::Interactive);
+        assert_eq!(QosClass::Bulk.to_string(), "bulk");
+    }
+
+    #[test]
     fn render_includes_error_single_line() {
         let status = JobStatus {
             id: JobId(3),
             state: JobState::Failed,
+            class: QosClass::Interactive,
             from_cache: false,
             elapsed: Some(Duration::from_micros(42)),
             rung: None,

@@ -13,8 +13,13 @@
 //!   never blocked), a fixed worker pool running the resilient
 //!   synthesis ladder, per-job deadlines and cooperative cancellation
 //!   through `CancelToken`, and queryable job states.
+//! * [`batch`] — batch job groups: many netlists in one request,
+//!   deduplicated through the cache's canonical-text path so identical
+//!   members collapse to one solve, admitted under the bulk QoS class.
 //! * [`http`] — a minimal hand-rolled HTTP/1.1 front end over
-//!   `std::net` exposing submit / status / export / cancel / metrics.
+//!   `std::net` exposing submit / batch / status / export / cancel /
+//!   metrics, plus server-sent-event progress streaming
+//!   (`GET /jobs/<id>/events`).
 //! * [`trace`] — structured JSONL lifecycle tracing through a pluggable
 //!   [`TraceSink`].
 //! * [`persist`] — opt-in durability: a write-ahead job journal with an
@@ -39,6 +44,7 @@
 
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
+pub mod batch;
 pub mod cache;
 pub mod hash;
 pub mod http;
@@ -48,10 +54,11 @@ pub mod persist;
 pub mod service;
 pub mod trace;
 
+pub use batch::{BatchId, BatchStatus, BatchSummary, MemberStatus};
 pub use cache::{entry_cost, CacheConfig, CacheStats, CompletedDesign, DesignCache, DesignSummary};
 pub use hash::{fnv1a64, ContentKey};
 pub use http::{HttpConfig, HttpServer};
-pub use job::{JobId, JobState, JobStatus};
+pub use job::{JobId, JobState, JobStatus, QosClass};
 pub use metrics::{metric_value, MetricsSnapshot};
 #[cfg(feature = "fault-inject")]
 pub use persist::fault::{arm as arm_persist_fault, PersistFault, PersistFaultGuard};

@@ -27,10 +27,25 @@ use crate::cache::CacheStats;
 pub struct MetricsSnapshot {
     /// Cache counters.
     pub cache: CacheStats,
-    /// Jobs admitted but not yet picked up.
+    /// Jobs admitted but not yet picked up (both classes).
     pub queue_depth: usize,
-    /// The admission-control bound.
+    /// Interactive jobs waiting for a worker.
+    pub queue_depth_interactive: usize,
+    /// Bulk jobs waiting for a worker.
+    pub queue_depth_bulk: usize,
+    /// The interactive admission-control bound.
     pub queue_capacity: usize,
+    /// The bulk admission-control bound.
+    pub bulk_queue_capacity: usize,
+    /// Batch groups admitted since start.
+    pub batches_submitted: u64,
+    /// Batch members received since start (including duplicates).
+    pub batch_members: u64,
+    /// Batch members that collapsed onto another member's job through
+    /// canonical-text dedup instead of getting their own solve.
+    pub batch_dedup_hits: u64,
+    /// Batch groups currently tracked (not yet pruned).
+    pub batches_live: usize,
     /// Submissions rejected by admission control since start.
     pub rejected: u64,
     /// Jobs currently queued.
@@ -103,8 +118,18 @@ impl MetricsSnapshot {
             self.cache.capacity_bytes.to_string(),
         );
         line("queue_depth", self.queue_depth.to_string());
+        line(
+            "queue_depth_interactive",
+            self.queue_depth_interactive.to_string(),
+        );
+        line("queue_depth_bulk", self.queue_depth_bulk.to_string());
         line("queue_capacity", self.queue_capacity.to_string());
+        line("bulk_queue_capacity", self.bulk_queue_capacity.to_string());
         line("queue_rejected", self.rejected.to_string());
+        line("batches_submitted", self.batches_submitted.to_string());
+        line("batch_members", self.batch_members.to_string());
+        line("batch_dedup_hits", self.batch_dedup_hits.to_string());
+        line("batches_live", self.batches_live.to_string());
         line("jobs_queued", self.jobs_queued.to_string());
         line("jobs_running", self.jobs_running.to_string());
         line("jobs_done", self.jobs_done.to_string());
@@ -225,17 +250,60 @@ impl MetricsSnapshot {
             "columba_queue_depth",
             fu(self.queue_depth),
         );
+        prom_type_line(&mut s, &mut last, "columba_queue_class_depth", "gauge");
+        prom_sample(
+            &mut s,
+            "columba_queue_class_depth",
+            &[("class".to_string(), "interactive".to_string())],
+            fu(self.queue_depth_interactive),
+        );
+        prom_sample(
+            &mut s,
+            "columba_queue_class_depth",
+            &[("class".to_string(), "bulk".to_string())],
+            fu(self.queue_depth_bulk),
+        );
         gauge(
             &mut s,
             &mut last,
             "columba_queue_capacity",
             fu(self.queue_capacity),
         );
+        gauge(
+            &mut s,
+            &mut last,
+            "columba_bulk_queue_capacity",
+            fu(self.bulk_queue_capacity),
+        );
         counter(
             &mut s,
             &mut last,
             "columba_queue_rejected_total",
             f(self.rejected),
+        );
+        counter(
+            &mut s,
+            &mut last,
+            "columba_batches_submitted_total",
+            f(self.batches_submitted),
+        );
+        counter(
+            &mut s,
+            &mut last,
+            "columba_batch_members_total",
+            f(self.batch_members),
+        );
+        counter(
+            &mut s,
+            &mut last,
+            "columba_batch_dedup_hits_total",
+            f(self.batch_dedup_hits),
+        );
+        gauge(
+            &mut s,
+            &mut last,
+            "columba_batches_live",
+            fu(self.batches_live),
         );
         gauge(
             &mut s,
@@ -386,7 +454,14 @@ mod tests {
                 capacity_bytes: 4096,
             },
             queue_depth: 2,
+            queue_depth_interactive: 1,
+            queue_depth_bulk: 1,
             queue_capacity: 64,
+            bulk_queue_capacity: 256,
+            batches_submitted: 2,
+            batch_members: 50,
+            batch_dedup_hits: 40,
+            batches_live: 1,
             rejected: 5,
             jobs_queued: 2,
             jobs_running: 1,
@@ -425,6 +500,13 @@ mod tests {
         }
         assert_eq!(metric_value(&text, "cache_hits"), Some(3.0));
         assert_eq!(metric_value(&text, "queue_rejected"), Some(5.0));
+        assert_eq!(metric_value(&text, "queue_depth_interactive"), Some(1.0));
+        assert_eq!(metric_value(&text, "queue_depth_bulk"), Some(1.0));
+        assert_eq!(metric_value(&text, "bulk_queue_capacity"), Some(256.0));
+        assert_eq!(metric_value(&text, "batches_submitted"), Some(2.0));
+        assert_eq!(metric_value(&text, "batch_members"), Some(50.0));
+        assert_eq!(metric_value(&text, "batch_dedup_hits"), Some(40.0));
+        assert_eq!(metric_value(&text, "batches_live"), Some(1.0));
         assert_eq!(metric_value(&text, "drc_rejected"), Some(2.0));
         assert_eq!(metric_value(&text, "journal_records_replayed"), Some(11.0));
         assert_eq!(metric_value(&text, "journal_corrupt_skipped"), Some(1.0));
@@ -492,6 +574,16 @@ mod tests {
         assert!(
             text.contains("columba_worker_busy_fraction{worker=\"0\"} 0.5"),
             "{text}"
+        );
+        assert!(
+            text.contains("columba_queue_class_depth{class=\"interactive\"}"),
+            "{text}"
+        );
+        assert!(
+            samples
+                .iter()
+                .any(|s| s.name == "columba_batch_dedup_hits_total"),
+            "batch counters must be exported"
         );
     }
 }

@@ -38,6 +38,7 @@ use std::sync::Arc;
 use super::crc::crc32;
 use super::{sync_parent_dir, FsyncPolicy};
 use crate::hash::ContentKey;
+use crate::job::QosClass;
 
 /// File name of the journal inside the state directory.
 pub const JOURNAL_FILE: &str = "journal.log";
@@ -59,6 +60,10 @@ pub enum JournalRecord {
     Submitted {
         /// The job id.
         id: u64,
+        /// The QoS class it was admitted under — recovery re-enqueues
+        /// into the same queue. (Journals from before QoS classes decode
+        /// as `Interactive`.)
+        class: QosClass,
         /// The submitted netlist text, verbatim.
         text: Arc<String>,
     },
@@ -91,10 +96,22 @@ pub enum JournalRecord {
         /// The job id.
         id: u64,
     },
+    /// A batch group was admitted: the member jobs (each with its own
+    /// `Submitted` record, appended *before* this one) belong to group
+    /// `id`. Compaction rewrites the member list down to still-live
+    /// members and drops the record once every member is terminal — like
+    /// job history, finished group composition is traded away.
+    Batch {
+        /// The batch group id.
+        id: u64,
+        /// Member job ids, in submission order (duplicates collapsed to
+        /// the job that represents them).
+        members: Vec<u64>,
+    },
 }
 
 impl JournalRecord {
-    /// The job the record belongs to.
+    /// The job (or batch group) the record belongs to.
     #[must_use]
     pub fn id(&self) -> u64 {
         match self {
@@ -102,15 +119,16 @@ impl JournalRecord {
             | JournalRecord::Started { id }
             | JournalRecord::Completed { id, .. }
             | JournalRecord::Failed { id, .. }
-            | JournalRecord::Cancelled { id } => *id,
+            | JournalRecord::Cancelled { id }
+            | JournalRecord::Batch { id, .. } => *id,
         }
     }
 
     /// Encodes the payload (the bytes the CRC covers).
     fn encode(&self) -> Vec<u8> {
         match self {
-            JournalRecord::Submitted { id, text } => {
-                let mut b = format!("submitted {id}\n").into_bytes();
+            JournalRecord::Submitted { id, class, text } => {
+                let mut b = format!("submitted {id} {class}\n").into_bytes();
                 b.extend_from_slice(text.as_bytes());
                 b
             }
@@ -128,6 +146,18 @@ impl JournalRecord {
                 b
             }
             JournalRecord::Cancelled { id } => format!("cancelled {id}").into_bytes(),
+            JournalRecord::Batch { id, members } => {
+                let mut b = format!("batch {id}\n").into_bytes();
+                let mut first = true;
+                for m in members {
+                    if !first {
+                        b.push(b' ');
+                    }
+                    first = false;
+                    b.extend_from_slice(m.to_string().as_bytes());
+                }
+                b
+            }
         }
     }
 
@@ -143,10 +173,18 @@ impl JournalRecord {
         let kind = words.next()?;
         let id: u64 = words.next()?.parse().ok()?;
         match kind {
-            "submitted" => Some(JournalRecord::Submitted {
-                id,
-                text: Arc::new(rest.to_string()),
-            }),
+            "submitted" => {
+                // Journals written before QoS classes have no class word.
+                let class = match words.next() {
+                    None => QosClass::Interactive,
+                    Some(w) => QosClass::parse(w)?,
+                };
+                Some(JournalRecord::Submitted {
+                    id,
+                    class,
+                    text: Arc::new(rest.to_string()),
+                })
+            }
             "started" => Some(JournalRecord::Started { id }),
             "completed" => {
                 let k0 = words.next()?;
@@ -170,6 +208,13 @@ impl JournalRecord {
                 error: rest.to_string(),
             }),
             "cancelled" => Some(JournalRecord::Cancelled { id }),
+            "batch" => {
+                let mut members = Vec::new();
+                for w in rest.split_whitespace() {
+                    members.push(w.parse().ok()?);
+                }
+                Some(JournalRecord::Batch { id, members })
+            }
             _ => None,
         }
     }
@@ -267,9 +312,12 @@ pub struct Journal {
     fsync: FsyncPolicy,
     /// Records currently in the file (good records after open).
     records: u64,
-    /// Submitted-but-not-terminal jobs, with the text a compaction needs
-    /// to rewrite their `submitted` records.
-    live: BTreeMap<u64, Arc<String>>,
+    /// Submitted-but-not-terminal jobs, with the class and text a
+    /// compaction needs to rewrite their `submitted` records.
+    live: BTreeMap<u64, (QosClass, Arc<String>)>,
+    /// Batch groups and their member lists; compaction drops a group once
+    /// no member is live.
+    batches: BTreeMap<u64, Vec<u64>>,
     compactions: u64,
 }
 
@@ -292,8 +340,9 @@ impl Journal {
         };
         let replay = scan(&bytes);
         let mut live = BTreeMap::new();
+        let mut batches = BTreeMap::new();
         for r in &replay.records {
-            track(&mut live, r);
+            track(&mut live, &mut batches, r);
         }
         let mut journal = Journal {
             file: OpenOptions::new().create(true).append(true).open(path)?,
@@ -301,6 +350,7 @@ impl Journal {
             fsync,
             records: replay.records.len() as u64,
             live,
+            batches,
             compactions: 0,
         };
         if replay.corrupt > 0 {
@@ -321,7 +371,7 @@ impl Journal {
     pub fn append(&mut self, record: &JournalRecord) -> io::Result<bool> {
         let framed = frame(&record.encode());
         self.write_all_synced(&framed)?;
-        track(&mut self.live, record);
+        track(&mut self.live, &mut self.batches, record);
         self.records += 1;
         self.maybe_compact()
     }
@@ -356,14 +406,30 @@ impl Journal {
         {
             return Ok(false);
         }
-        let survivors: Vec<JournalRecord> = self
+        let mut survivors: Vec<JournalRecord> = self
             .live
             .iter()
-            .map(|(&id, text)| JournalRecord::Submitted {
+            .map(|(&id, (class, text))| JournalRecord::Submitted {
                 id,
+                class: *class,
                 text: Arc::clone(text),
             })
             .collect();
+        // Keep batch groups that still have a live member, trimmed to
+        // those members so every surviving member id resolves to a
+        // surviving `submitted` record on replay.
+        self.batches.retain(|_, members| {
+            members.retain(|m| self.live.contains_key(m));
+            !members.is_empty()
+        });
+        survivors.extend(
+            self.batches
+                .iter()
+                .map(|(&id, members)| JournalRecord::Batch {
+                    id,
+                    members: members.clone(),
+                }),
+        );
         self.rewrite(&survivors)?;
         self.compactions += 1;
         Ok(true)
@@ -415,17 +481,25 @@ impl Journal {
     }
 }
 
-/// Folds one record into the live (submitted-but-not-terminal) set.
-fn track(live: &mut BTreeMap<u64, Arc<String>>, record: &JournalRecord) {
+/// Folds one record into the live (submitted-but-not-terminal) set and
+/// the batch-membership map.
+fn track(
+    live: &mut BTreeMap<u64, (QosClass, Arc<String>)>,
+    batches: &mut BTreeMap<u64, Vec<u64>>,
+    record: &JournalRecord,
+) {
     match record {
-        JournalRecord::Submitted { id, text } => {
-            live.insert(*id, Arc::clone(text));
+        JournalRecord::Submitted { id, class, text } => {
+            live.insert(*id, (*class, Arc::clone(text)));
         }
         JournalRecord::Started { .. } => {}
         JournalRecord::Completed { id, .. }
         | JournalRecord::Failed { id, .. }
         | JournalRecord::Cancelled { id } => {
             live.remove(id);
+        }
+        JournalRecord::Batch { id, members } => {
+            batches.insert(*id, members.clone());
         }
     }
 }
@@ -446,6 +520,7 @@ mod tests {
         vec![
             JournalRecord::Submitted {
                 id: 1,
+                class: QosClass::Interactive,
                 text: Arc::new("chip a\nmixer m1\n".into()),
             },
             JournalRecord::Started { id: 1 },
@@ -456,6 +531,7 @@ mod tests {
             },
             JournalRecord::Submitted {
                 id: 2,
+                class: QosClass::Bulk,
                 text: Arc::new("chip b\n".into()),
             },
             JournalRecord::Failed {
@@ -464,6 +540,7 @@ mod tests {
             },
             JournalRecord::Submitted {
                 id: 3,
+                class: QosClass::Interactive,
                 text: Arc::new("chip c\n".into()),
             },
             JournalRecord::Cancelled { id: 3 },
@@ -471,6 +548,10 @@ mod tests {
                 id: 4,
                 key: None,
                 rung: "constructive only".into(),
+            },
+            JournalRecord::Batch {
+                id: 1,
+                members: vec![1, 2, 3],
             },
         ]
     }
@@ -576,6 +657,7 @@ mod tests {
         // one job that stays live the whole time
         j.append(&JournalRecord::Submitted {
             id: 1,
+            class: QosClass::Bulk,
             text: Arc::new("chip live\n".into()),
         })
         .expect("append");
@@ -583,6 +665,7 @@ mod tests {
         for id in 2..200u64 {
             j.append(&JournalRecord::Submitted {
                 id,
+                class: QosClass::Interactive,
                 text: Arc::new(format!("chip dead{id}\n")),
             })
             .expect("append");
@@ -620,6 +703,7 @@ mod tests {
         for id in 1..100u64 {
             j.append(&JournalRecord::Submitted {
                 id,
+                class: QosClass::Interactive,
                 text: Arc::new("chip x\n".into()),
             })
             .expect("append");
@@ -628,6 +712,7 @@ mod tests {
         assert!(j.compactions() >= 1);
         j.append(&JournalRecord::Submitted {
             id: 500,
+            class: QosClass::Interactive,
             text: Arc::new("chip after\n".into()),
         })
         .expect("append after compaction");
@@ -635,5 +720,102 @@ mod tests {
         let (_, replay) = Journal::open(&path, FsyncPolicy::Never).expect("reopen");
         assert_eq!(replay.corrupt, 0);
         assert!(replay.records.iter().any(|r| r.id() == 500));
+    }
+
+    #[test]
+    fn pre_qos_submitted_record_decodes_as_interactive() {
+        // a journal written before QoS classes: head has no class word
+        let path = tmp_journal("legacy");
+        let payload = b"submitted 7\nchip legacy\nmixer m1\n";
+        fs::write(&path, frame(payload)).expect("write legacy journal");
+        let (_, replay) = Journal::open(&path, FsyncPolicy::Never).expect("open");
+        assert_eq!(replay.corrupt, 0, "{:?}", replay.notes);
+        assert_eq!(
+            replay.records,
+            vec![JournalRecord::Submitted {
+                id: 7,
+                class: QosClass::Interactive,
+                text: Arc::new("chip legacy\nmixer m1\n".into()),
+            }]
+        );
+    }
+
+    #[test]
+    fn compaction_trims_batches_to_live_members() {
+        let path = tmp_journal("batch-compact");
+        let (mut j, _) = Journal::open(&path, FsyncPolicy::Never).expect("open");
+        // batch 1: members 1 (stays live) and 2 (finishes)
+        for id in [1u64, 2] {
+            j.append(&JournalRecord::Submitted {
+                id,
+                class: QosClass::Bulk,
+                text: Arc::new(format!("chip b{id}\n")),
+            })
+            .expect("append");
+        }
+        j.append(&JournalRecord::Batch {
+            id: 1,
+            members: vec![1, 2],
+        })
+        .expect("append");
+        j.append(&JournalRecord::Completed {
+            id: 2,
+            key: None,
+            rung: "full MILP".into(),
+        })
+        .expect("append");
+        // batch 2: every member finishes — the whole group is dropped
+        for id in [3u64, 4] {
+            j.append(&JournalRecord::Submitted {
+                id,
+                class: QosClass::Bulk,
+                text: Arc::new(format!("chip c{id}\n")),
+            })
+            .expect("append");
+        }
+        j.append(&JournalRecord::Batch {
+            id: 2,
+            members: vec![3, 4],
+        })
+        .expect("append");
+        // finish batch 2's members so the group has no live member left
+        j.append(&JournalRecord::Cancelled { id: 3 })
+            .expect("append");
+        j.append(&JournalRecord::Cancelled { id: 4 })
+            .expect("append");
+        // churn short-lived jobs until a compaction fires
+        let mut id = 100u64;
+        while j.compactions() == 0 {
+            j.append(&JournalRecord::Submitted {
+                id,
+                class: QosClass::Interactive,
+                text: Arc::new("chip churn\n".into()),
+            })
+            .expect("append");
+            j.append(&JournalRecord::Cancelled { id }).expect("append");
+            id += 1;
+            assert!(id < 10_000, "compaction never triggered");
+        }
+        drop(j);
+        let (_, replay) = Journal::open(&path, FsyncPolicy::Never).expect("reopen");
+        assert_eq!(replay.corrupt, 0);
+        let batches: Vec<&JournalRecord> = replay
+            .records
+            .iter()
+            .filter(|r| matches!(r, JournalRecord::Batch { .. }))
+            .collect();
+        assert_eq!(
+            batches,
+            vec![&JournalRecord::Batch {
+                id: 1,
+                members: vec![1],
+            }],
+            "batch 1 survives trimmed to its live member; batch 2 is gone"
+        );
+        // and every surviving batch member has a submitted record
+        assert!(replay
+            .records
+            .iter()
+            .any(|r| matches!(r, JournalRecord::Submitted { id: 1, .. })));
     }
 }

@@ -248,6 +248,7 @@ mod tests {
             persist
                 .append(&JournalRecord::Submitted {
                     id: 1,
+                    class: crate::job::QosClass::Interactive,
                     text: Arc::new("chip t\n".into()),
                 })
                 .expect("append");

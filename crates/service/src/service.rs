@@ -28,9 +28,10 @@ use std::time::{Duration, Instant};
 use columba_obs::{Histogram, RecorderGuard, SpanEvent, SpanRecorder};
 use columba_s::{CancelToken, Columba, Netlist, Rung, SolveStats, SynthesisOptions};
 
+use crate::batch::{BatchId, BatchStatus, MemberStatus};
 use crate::cache::{entry_cost, CacheConfig, CompletedDesign, DesignCache, DesignSummary};
 use crate::hash::ContentKey;
-use crate::job::{JobId, JobState, JobStatus};
+use crate::job::{JobId, JobState, JobStatus, QosClass};
 use crate::metrics::MetricsSnapshot;
 use crate::persist::{JournalRecord, Persist, PersistConfig, Recovery};
 use crate::trace::{NullSink, RingConfig, RingSink, TraceEvent, TraceKind, TraceSink};
@@ -47,11 +48,15 @@ pub struct ServiceConfig {
     /// Worker threads in the pool. `0` picks
     /// `min(available_parallelism, 4)`.
     pub workers: usize,
-    /// Bound on the submission queue. A submission arriving when the
-    /// queue holds this many jobs is rejected with
+    /// Bound on the *interactive* submission queue. A submission
+    /// arriving when the queue holds this many jobs is rejected with
     /// [`SubmitError::QueueFull`] — backpressure, never indefinite
     /// blocking.
     pub queue_capacity: usize,
+    /// Bound on the *bulk* submission queue (batch members land here by
+    /// default). The two budgets are separate: a batch saturating the
+    /// bulk queue never blocks interactive admission, and vice versa.
+    pub bulk_queue_capacity: usize,
     /// Design-cache limits.
     pub cache: CacheConfig,
     /// Synthesis options every job runs under (also half of the cache
@@ -90,6 +95,7 @@ impl Default for ServiceConfig {
         ServiceConfig {
             workers: 0,
             queue_capacity: 64,
+            bulk_queue_capacity: 256,
             cache: CacheConfig::default(),
             options: SynthesisOptions::default(),
             job_deadline: Some(Duration::from_secs(120)),
@@ -108,6 +114,7 @@ impl fmt::Debug for ServiceConfig {
         f.debug_struct("ServiceConfig")
             .field("workers", &self.workers)
             .field("queue_capacity", &self.queue_capacity)
+            .field("bulk_queue_capacity", &self.bulk_queue_capacity)
             .field("cache", &self.cache)
             .field("job_deadline", &self.job_deadline)
             .field("max_records", &self.max_records)
@@ -190,6 +197,7 @@ struct JobRecord {
     text: Arc<String>,
     token: CancelToken,
     state: JobState,
+    class: QosClass,
     cancel_requested: bool,
     elapsed: Option<Duration>,
     from_cache: bool,
@@ -207,6 +215,7 @@ impl JobRecord {
         JobStatus {
             id: JobId(id),
             state: self.state,
+            class: self.class,
             from_cache: self.from_cache,
             elapsed: self.elapsed,
             rung: self.rung.clone(),
@@ -216,22 +225,43 @@ impl JobRecord {
     }
 }
 
+/// A batch group's membership: the job id backing each member, in
+/// submission order (duplicate members repeat their representative's id).
+struct BatchRecord {
+    class: QosClass,
+    members: Vec<u64>,
+}
+
 struct State {
-    queue: VecDeque<u64>,
+    /// One queue per [`QosClass`], indexed by [`QosClass::idx`].
+    queues: [VecDeque<u64>; 2],
     jobs: HashMap<u64, JobRecord>,
     next_id: u64,
     /// Ids handed out by admission control whose journal append is still
-    /// in flight: they count against `queue_capacity` (so a burst of
-    /// submissions cannot overshoot the bound while the journal fsyncs)
-    /// but are not yet in `queue` or `jobs`.
-    reserved: usize,
+    /// in flight, per class: they count against that class's capacity
+    /// (so a burst of submissions cannot overshoot the bound while the
+    /// journal fsyncs) but are not yet in a queue or `jobs`.
+    reserved: [usize; 2],
+    batches: BTreeMap<u64, BatchRecord>,
+    next_batch_id: u64,
+    /// Jobs claimed by workers so far; every fourth claim prefers the
+    /// bulk queue so bulk work is never starved outright.
+    claims: u64,
+}
+
+impl State {
+    fn depth(&self, class: QosClass) -> usize {
+        let i = class.idx();
+        self.queues[i].len() + self.reserved[i]
+    }
 }
 
 struct Inner {
     epoch: Instant,
     columba: Columba,
     options_canon: String,
-    queue_capacity: usize,
+    /// Per-class admission budgets, indexed by [`QosClass::idx`].
+    queue_capacity: [usize; 2],
     job_deadline: Option<Duration>,
     max_records: usize,
     worker_count: usize,
@@ -249,6 +279,13 @@ struct Inner {
     persist: Option<Persist>,
     rejected: AtomicU64,
     panics: AtomicU64,
+    /// Batch groups admitted.
+    batches_submitted: AtomicU64,
+    /// Batch members received (including duplicates).
+    batch_members: AtomicU64,
+    /// Batch members that collapsed onto another member's job instead of
+    /// getting their own solve.
+    batch_dedup_hits: AtomicU64,
     drc_rejected: AtomicU64,
     done_count: AtomicU64,
     failed_count: AtomicU64,
@@ -383,15 +420,21 @@ impl Service {
             epoch: Instant::now(),
             columba: Columba::with_options(config.options.clone()),
             options_canon: config.options.canonical_text(),
-            queue_capacity: config.queue_capacity.max(1),
+            queue_capacity: [
+                config.queue_capacity.max(1),
+                config.bulk_queue_capacity.max(1),
+            ],
             job_deadline: config.job_deadline,
             max_records: config.max_records.max(1),
             worker_count,
             state: Mutex::new(State {
-                queue: VecDeque::new(),
+                queues: [VecDeque::new(), VecDeque::new()],
                 jobs: HashMap::new(),
                 next_id: 1,
-                reserved: 0,
+                reserved: [0, 0],
+                batches: BTreeMap::new(),
+                next_batch_id: 1,
+                claims: 0,
             }),
             work: Condvar::new(),
             done: Condvar::new(),
@@ -403,6 +446,9 @@ impl Service {
             persist,
             rejected: AtomicU64::new(0),
             panics: AtomicU64::new(0),
+            batches_submitted: AtomicU64::new(0),
+            batch_members: AtomicU64::new(0),
+            batch_dedup_hits: AtomicU64::new(0),
             drc_rejected: AtomicU64::new(0),
             done_count: AtomicU64::new(0),
             failed_count: AtomicU64::new(0),
@@ -457,6 +503,22 @@ impl Service {
     /// [`SubmitError::Persist`] when the journal append failed (the job
     /// was not admitted).
     pub fn submit_text(&self, text: impl Into<String>) -> Result<JobId, SubmitError> {
+        self.submit_text_as(text, QosClass::Interactive)
+    }
+
+    /// [`Service::submit_text`] under an explicit [`QosClass`]. The two
+    /// classes have separate admission budgets and queues; workers prefer
+    /// the interactive queue with a periodic bulk pick.
+    ///
+    /// # Errors
+    ///
+    /// As [`Service::submit_text`]; `QueueFull` is judged against the
+    /// class's own capacity.
+    pub fn submit_text_as(
+        &self,
+        text: impl Into<String>,
+        class: QosClass,
+    ) -> Result<JobId, SubmitError> {
         let text: Arc<String> = Arc::new(text.into());
         let inner = &self.inner;
         inner.trace(None, TraceKind::Received, format!("{} bytes", text.len()));
@@ -467,7 +529,7 @@ impl Service {
         let id = {
             let mut st = lock(&inner.state);
             // Check the flag *under the state lock*: shutdown() drains the
-            // queue under this same lock after setting the flag, so either
+            // queues under this same lock after setting the flag, so either
             // this submission sees the flag and is rejected, or it enqueues
             // before the drain and the drain cancels it. Checking before
             // taking the lock would leave a window where a job lands in a
@@ -479,20 +541,20 @@ impl Service {
                 inner.trace(None, TraceKind::Rejected, "service is shutting down");
                 return Err(SubmitError::ShuttingDown);
             }
-            let depth = st.queue.len() + st.reserved;
-            if depth >= inner.queue_capacity {
+            let depth = st.depth(class);
+            if depth >= inner.queue_capacity[class.idx()] {
                 drop(st);
                 inner.rejected.fetch_add(1, Ordering::Relaxed);
                 let err = SubmitError::QueueFull {
                     depth,
-                    capacity: inner.queue_capacity,
+                    capacity: inner.queue_capacity[class.idx()],
                 };
                 inner.trace(None, TraceKind::Rejected, err.to_string());
                 return Err(err);
             }
             let id = st.next_id;
             st.next_id += 1;
-            st.reserved += 1;
+            st.reserved[class.idx()] += 1;
             id
         };
         // Phase 2 — make the submission durable before acking it. A
@@ -500,6 +562,7 @@ impl Service {
         if let Some(persist) = &inner.persist {
             let record = JournalRecord::Submitted {
                 id,
+                class,
                 text: Arc::clone(&text),
             };
             match persist.append(&record) {
@@ -509,7 +572,7 @@ impl Service {
                     }
                 }
                 Err(e) => {
-                    lock(&inner.state).reserved -= 1;
+                    lock(&inner.state).reserved[class.idx()] -= 1;
                     inner.rejected.fetch_add(1, Ordering::Relaxed);
                     inner.trace(
                         Some(id),
@@ -527,7 +590,7 @@ impl Service {
         // re-enqueued on the next startup.
         {
             let mut st = lock(&inner.state);
-            st.reserved -= 1;
+            st.reserved[class.idx()] -= 1;
             if inner.shutting_down.load(Ordering::Acquire) {
                 drop(st);
                 inner.journal_best_effort(&JournalRecord::Cancelled { id });
@@ -535,25 +598,7 @@ impl Service {
                 inner.trace(None, TraceKind::Rejected, "service is shutting down");
                 return Err(SubmitError::ShuttingDown);
             }
-            let token = inner
-                .job_deadline
-                .map_or_else(CancelToken::new, CancelToken::with_timeout);
-            st.jobs.insert(
-                id,
-                JobRecord {
-                    text,
-                    token,
-                    state: JobState::Queued,
-                    cancel_requested: false,
-                    elapsed: None,
-                    from_cache: false,
-                    rung: None,
-                    error: None,
-                    design: None,
-                    profile: None,
-                },
-            );
-            st.queue.push_back(id);
+            enqueue_job(&mut st, inner, id, class, text);
             let pruned = prune_records(&mut st, inner.max_records);
             drop(st);
             inner.ring.forget(&pruned);
@@ -561,6 +606,248 @@ impl Service {
         inner.trace(Some(id), TraceKind::Admitted, "");
         inner.work.notify_one();
         Ok(JobId(id))
+    }
+
+    /// Submits many netlists as one batch group under `class`
+    /// ([`QosClass::Bulk`] for `POST /batch`). Admission is atomic: either
+    /// every member is admitted or none is.
+    ///
+    /// Members are deduplicated before any solve runs: each parseable
+    /// netlist is canonicalized and keyed exactly like the design cache
+    /// (the canonical record behind [`ContentKey`]), so identical members
+    /// collapse onto one job and read the same [`CompletedDesign`]
+    /// byte-for-byte. Unparseable members dedup by their raw text (they
+    /// fail identically anyway). Only the *unique* members count against
+    /// the class's admission budget.
+    ///
+    /// With persistence on, every unique member's `submitted` record and
+    /// one `batch` group record are journaled before the ack.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::QueueFull`] when the unique members do not fit the
+    /// class's budget, [`SubmitError::ShuttingDown`],
+    /// [`SubmitError::Persist`] when journaling failed (nothing was
+    /// admitted). An empty batch is rejected as `QueueFull` with depth 0
+    /// and capacity 0 — there is nothing to admit.
+    pub fn submit_batch(
+        &self,
+        texts: &[String],
+        class: QosClass,
+    ) -> Result<(BatchId, Vec<JobId>), SubmitError> {
+        let inner = &self.inner;
+        if texts.is_empty() {
+            return Err(SubmitError::QueueFull {
+                depth: 0,
+                capacity: 0,
+            });
+        }
+        inner.trace(
+            None,
+            TraceKind::Received,
+            format!(
+                "batch of {} members, {} bytes",
+                texts.len(),
+                texts.iter().map(String::len).sum::<usize>()
+            ),
+        );
+        // Dedup members through the cache's canonical-record path before
+        // admission, so duplicates never consume queue slots or solves.
+        let mut unique: Vec<Arc<String>> = Vec::new();
+        let mut member_of: Vec<usize> = Vec::with_capacity(texts.len());
+        {
+            let mut seen: HashMap<String, usize> = HashMap::new();
+            for text in texts {
+                let dedup_key = match Netlist::parse(text) {
+                    Ok(n) => cache_record(&n.canonical_text(), &inner.options_canon),
+                    // unparseable members fail identically; dedup on the
+                    // raw text so they still collapse
+                    Err(_) => format!("!{text}"),
+                };
+                let slot = *seen.entry(dedup_key).or_insert_with(|| {
+                    unique.push(Arc::new(text.clone()));
+                    unique.len() - 1
+                });
+                member_of.push(slot);
+            }
+        }
+        inner
+            .batch_members
+            .fetch_add(texts.len() as u64, Ordering::Relaxed);
+        inner
+            .batch_dedup_hits
+            .fetch_add((texts.len() - unique.len()) as u64, Ordering::Relaxed);
+        // Phase 1 — atomic admission of every unique member + the batch
+        // id, under the state lock (see submit_text_as for the shutdown
+        // ordering argument).
+        let (batch_id, ids) = {
+            let mut st = lock(&inner.state);
+            if inner.shutting_down.load(Ordering::Acquire) {
+                drop(st);
+                inner.rejected.fetch_add(1, Ordering::Relaxed);
+                inner.trace(None, TraceKind::Rejected, "service is shutting down");
+                return Err(SubmitError::ShuttingDown);
+            }
+            let depth = st.depth(class);
+            if depth + unique.len() > inner.queue_capacity[class.idx()] {
+                drop(st);
+                inner.rejected.fetch_add(1, Ordering::Relaxed);
+                let err = SubmitError::QueueFull {
+                    depth,
+                    capacity: inner.queue_capacity[class.idx()],
+                };
+                inner.trace(None, TraceKind::Rejected, err.to_string());
+                return Err(err);
+            }
+            let ids: Vec<u64> = (0..unique.len() as u64).map(|i| st.next_id + i).collect();
+            st.next_id += unique.len() as u64;
+            st.reserved[class.idx()] += unique.len();
+            let batch_id = st.next_batch_id;
+            st.next_batch_id += 1;
+            (batch_id, ids)
+        };
+        let members: Vec<u64> = member_of.iter().map(|&slot| ids[slot]).collect();
+        // Phase 2 — journal every unique member, then the group record.
+        // A failure refuses the whole batch (nothing was enqueued yet);
+        // already-journaled members are cancelled best-effort so the next
+        // startup does not resurrect half a batch.
+        if let Some(persist) = &inner.persist {
+            let mut journaled: Vec<u64> = Vec::new();
+            let mut fail = None;
+            for (i, text) in unique.iter().enumerate() {
+                let record = JournalRecord::Submitted {
+                    id: ids[i],
+                    class,
+                    text: Arc::clone(text),
+                };
+                match persist.append(&record) {
+                    Ok(compacted) => {
+                        if compacted {
+                            inner.trace(None, TraceKind::Compacted, "journal compacted");
+                        }
+                        journaled.push(ids[i]);
+                    }
+                    Err(e) => {
+                        fail = Some(e);
+                        break;
+                    }
+                }
+            }
+            if fail.is_none() {
+                if let Err(e) = persist.append(&JournalRecord::Batch {
+                    id: batch_id,
+                    members: members.clone(),
+                }) {
+                    fail = Some(e);
+                }
+            }
+            if let Some(e) = fail {
+                lock(&inner.state).reserved[class.idx()] -= unique.len();
+                for id in journaled {
+                    inner.journal_best_effort(&JournalRecord::Cancelled { id });
+                }
+                inner.rejected.fetch_add(1, Ordering::Relaxed);
+                inner.trace(
+                    None,
+                    TraceKind::PersistError,
+                    format!("batch journal append failed: {e}"),
+                );
+                return Err(SubmitError::Persist {
+                    detail: e.to_string(),
+                });
+            }
+        }
+        // Phase 3 — enqueue every unique member and record the group.
+        {
+            let mut st = lock(&inner.state);
+            st.reserved[class.idx()] -= unique.len();
+            if inner.shutting_down.load(Ordering::Acquire) {
+                drop(st);
+                for &id in &ids {
+                    inner.journal_best_effort(&JournalRecord::Cancelled { id });
+                }
+                inner.rejected.fetch_add(1, Ordering::Relaxed);
+                inner.trace(None, TraceKind::Rejected, "service is shutting down");
+                return Err(SubmitError::ShuttingDown);
+            }
+            for (i, text) in unique.into_iter().enumerate() {
+                enqueue_job(&mut st, inner, ids[i], class, text);
+            }
+            st.batches.insert(
+                batch_id,
+                BatchRecord {
+                    class,
+                    members: members.clone(),
+                },
+            );
+            prune_batches(&mut st, inner.max_records);
+            let pruned = prune_records(&mut st, inner.max_records);
+            drop(st);
+            inner.ring.forget(&pruned);
+        }
+        inner.batches_submitted.fetch_add(1, Ordering::Relaxed);
+        inner.trace(
+            None,
+            TraceKind::Batch,
+            format!(
+                "batch {batch_id} admitted: {} members, {} unique, class {class}",
+                members.len(),
+                ids.len()
+            ),
+        );
+        for &id in &ids {
+            inner.trace(Some(id), TraceKind::Admitted, format!("batch {batch_id}"));
+        }
+        inner.work.notify_all();
+        Ok((BatchId(batch_id), members.into_iter().map(JobId).collect()))
+    }
+
+    /// A point-in-time snapshot of one batch group, `None` for an
+    /// unknown (or pruned) id.
+    #[must_use]
+    pub fn batch_status(&self, id: BatchId) -> Option<BatchStatus> {
+        let st = lock(&self.inner.state);
+        let batch = st.batches.get(&id.0)?;
+        Some(batch_snapshot(id, batch, &st.jobs))
+    }
+
+    /// Blocks until every member of the batch is terminal or `timeout`
+    /// passes; returns the final snapshot either way (`None` for an
+    /// unknown id).
+    #[must_use]
+    pub fn wait_batch(&self, id: BatchId, timeout: Duration) -> Option<BatchStatus> {
+        let deadline = Instant::now() + timeout;
+        let mut st = lock(&self.inner.state);
+        loop {
+            let batch = st.batches.get(&id.0)?;
+            let snap = batch_snapshot(id, batch, &st.jobs);
+            if snap.is_terminal() {
+                return Some(snap);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Some(snap);
+            }
+            let (g, _) = self
+                .inner
+                .done
+                .wait_timeout(st, deadline - now)
+                .unwrap_or_else(PoisonError::into_inner);
+            st = g;
+        }
+    }
+
+    /// The lifecycle trace events of one job, oldest first — the data
+    /// behind `GET /jobs/<id>/events` (SSE). `None` for a job the
+    /// service has never seen.
+    #[must_use]
+    pub fn job_events(&self, id: JobId) -> Option<Vec<TraceEvent>> {
+        let known = lock(&self.inner.state).jobs.contains_key(&id.0);
+        let events = self.inner.ring.job_events(id.0);
+        if !known && events.is_none() {
+            return None;
+        }
+        Some(events.unwrap_or_default())
     }
 
     /// A point-in-time snapshot of one job, `None` for an unknown (or
@@ -617,7 +904,8 @@ impl Service {
             if was_queued {
                 r.state = JobState::Cancelled;
                 r.elapsed = Some(Duration::ZERO);
-                st.queue.retain(|&q| q != id.0);
+                let class = r.class;
+                st.queues[class.idx()].retain(|&q| q != id.0);
             }
             was_queued
         };
@@ -655,7 +943,7 @@ impl Service {
     #[must_use]
     pub fn metrics(&self) -> MetricsSnapshot {
         let inner = &self.inner;
-        let (queue_depth, jobs_queued, jobs_running) = {
+        let (queue_depths, batches_live, jobs_queued, jobs_running) = {
             let st = lock(&inner.state);
             let queued = st
                 .jobs
@@ -667,7 +955,12 @@ impl Service {
                 .values()
                 .filter(|r| r.state == JobState::Running)
                 .count();
-            (st.queue.len(), queued, running)
+            (
+                [st.queues[0].len(), st.queues[1].len()],
+                st.batches.len(),
+                queued,
+                running,
+            )
         };
         let (replayed, corrupt_journal, files_loaded, corrupt_cache, compactions, persist_errors) =
             match &inner.persist {
@@ -698,8 +991,15 @@ impl Service {
             .collect();
         MetricsSnapshot {
             cache: lock(&inner.cache).stats(),
-            queue_depth,
-            queue_capacity: inner.queue_capacity,
+            queue_depth: queue_depths[0] + queue_depths[1],
+            queue_depth_interactive: queue_depths[0],
+            queue_depth_bulk: queue_depths[1],
+            queue_capacity: inner.queue_capacity[0],
+            bulk_queue_capacity: inner.queue_capacity[1],
+            batches_submitted: inner.batches_submitted.load(Ordering::Relaxed),
+            batch_members: inner.batch_members.load(Ordering::Relaxed),
+            batch_dedup_hits: inner.batch_dedup_hits.load(Ordering::Relaxed),
+            batches_live,
             rejected: inner.rejected.load(Ordering::Relaxed),
             jobs_queued,
             jobs_running,
@@ -805,7 +1105,7 @@ impl Service {
     #[must_use]
     pub fn queue_depth(&self) -> usize {
         let st = lock(&self.inner.state);
-        st.queue.len() + st.reserved
+        st.depth(QosClass::Interactive) + st.depth(QosClass::Bulk)
     }
 
     /// Graceful shutdown: stops admitting, cancels every queued and
@@ -823,7 +1123,7 @@ impl Service {
                     r.token.cancel();
                 }
             }
-            let drained: Vec<u64> = st.queue.drain(..).collect();
+            let drained: Vec<u64> = st.queues.iter_mut().flat_map(|q| q.drain(..)).collect();
             for &id in &drained {
                 if let Some(r) = st.jobs.get_mut(&id) {
                     if r.state == JobState::Queued {
@@ -851,7 +1151,9 @@ impl Service {
         // otherwise stay `Queued` forever and block its waiters.
         let stragglers: Vec<u64> = {
             let mut st = lock(&inner.state);
-            st.queue.clear();
+            for q in &mut st.queues {
+                q.clear();
+            }
             let mut ids = Vec::new();
             for (&id, r) in &mut st.jobs {
                 if !r.state.is_terminal() {
@@ -881,17 +1183,91 @@ impl Drop for Service {
     }
 }
 
+/// Inserts a fresh `Queued` record for `id` and pushes it onto its class
+/// queue. Callers hold the state lock.
+fn enqueue_job(st: &mut State, inner: &Inner, id: u64, class: QosClass, text: Arc<String>) {
+    let token = inner
+        .job_deadline
+        .map_or_else(CancelToken::new, CancelToken::with_timeout);
+    st.jobs.insert(
+        id,
+        JobRecord {
+            text,
+            token,
+            state: JobState::Queued,
+            class,
+            cancel_requested: false,
+            elapsed: None,
+            from_cache: false,
+            rung: None,
+            error: None,
+            design: None,
+            profile: None,
+        },
+    );
+    st.queues[class.idx()].push_back(id);
+}
+
+/// Assembles the client-facing snapshot of one batch from the job table.
+fn batch_snapshot(id: BatchId, batch: &BatchRecord, jobs: &HashMap<u64, JobRecord>) -> BatchStatus {
+    BatchStatus {
+        id,
+        class: batch.class,
+        members: batch
+            .members
+            .iter()
+            .enumerate()
+            .map(|(index, &job)| MemberStatus {
+                index,
+                job: JobId(job),
+                status: jobs.get(&job).map(|r| r.snapshot(job)),
+            })
+            .collect(),
+    }
+}
+
+/// Drops the oldest fully-terminal batch groups beyond `max_batches`.
+/// A batch with any non-terminal member is never dropped; ids are
+/// monotonic, so iteration order of the `BTreeMap` is age order.
+fn prune_batches(st: &mut State, max_batches: usize) {
+    if st.batches.len() <= max_batches {
+        return;
+    }
+    let excess = st.batches.len() - max_batches;
+    let removable: Vec<u64> = st
+        .batches
+        .iter()
+        .filter(|(_, b)| {
+            b.members
+                .iter()
+                .all(|m| st.jobs.get(m).is_none_or(|r| r.state.is_terminal()))
+        })
+        .map(|(&id, _)| id)
+        .take(excess)
+        .collect();
+    for id in removable {
+        st.batches.remove(&id);
+    }
+}
+
 /// Drops the oldest terminal job records beyond `max_records`, returning
 /// the dropped ids so side tables (the trace rings) can forget them too.
-/// Ids are monotonic, so "oldest" is "smallest id".
+/// Ids are monotonic, so "oldest" is "smallest id". Jobs referenced by a
+/// retained batch group are kept so `GET /batch/<id>` member statuses
+/// stay resolvable until the group itself is pruned.
 fn prune_records(st: &mut State, max_records: usize) -> Vec<u64> {
     if st.jobs.len() <= max_records {
         return Vec::new();
     }
+    let referenced: std::collections::HashSet<u64> = st
+        .batches
+        .values()
+        .flat_map(|b| b.members.iter().copied())
+        .collect();
     let mut terminal: Vec<u64> = st
         .jobs
         .iter()
-        .filter(|(_, r)| r.state.is_terminal())
+        .filter(|(id, r)| r.state.is_terminal() && !referenced.contains(id))
         .map(|(&id, _)| id)
         .collect();
     terminal.sort_unstable();
@@ -907,8 +1283,9 @@ fn prune_records(st: &mut State, max_records: usize) -> Vec<u64> {
 /// overwrite earlier ones, so the map ends holding each job's final
 /// journaled state.
 enum Folded {
-    /// Submitted (possibly started) but never terminal: re-enqueue it.
-    Live(Arc<String>),
+    /// Submitted (possibly started) but never terminal: re-enqueue it
+    /// into its class's queue.
+    Live(QosClass, Arc<String>),
     /// Completed with a design, cached under `key` when `Some`.
     Done {
         key: Option<ContentKey>,
@@ -938,11 +1315,14 @@ fn apply_recovery(inner: &Inner, recovery: Recovery) {
     let replayed_good = recovery.replay.records.len();
     let mut folded: BTreeMap<u64, Folded> = BTreeMap::new();
     let mut texts: HashMap<u64, Arc<String>> = HashMap::new();
+    let mut classes: HashMap<u64, QosClass> = HashMap::new();
+    let mut batches: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
     for record in recovery.replay.records {
         match record {
-            JournalRecord::Submitted { id, text } => {
+            JournalRecord::Submitted { id, class, text } => {
                 texts.insert(id, Arc::clone(&text));
-                folded.insert(id, Folded::Live(text));
+                classes.insert(id, class);
+                folded.insert(id, Folded::Live(class, text));
             }
             JournalRecord::Started { id } => {
                 // advisory; but a started record with no submitted record
@@ -965,10 +1345,14 @@ fn apply_recovery(inner: &Inner, recovery: Recovery) {
             JournalRecord::Cancelled { id } => {
                 folded.insert(id, Folded::Cancelled);
             }
+            JournalRecord::Batch { id, members } => {
+                batches.insert(id, members);
+            }
         }
     }
     let mut requeued: Vec<u64> = Vec::new();
     let mut restored_terminal = 0usize;
+    let restored_batches;
     {
         // Workers have not been spawned yet, so holding both locks is
         // uncontended; the cache lock spans the loop to warm entries and
@@ -993,6 +1377,7 @@ fn apply_recovery(inner: &Inner, recovery: Recovery) {
                     .unwrap_or_else(|| Arc::new(String::new())),
                 token: CancelToken::new(),
                 state,
+                class: classes.get(&id).copied().unwrap_or_default(),
                 cancel_requested: false,
                 elapsed: None,
                 from_cache: false,
@@ -1002,7 +1387,7 @@ fn apply_recovery(inner: &Inner, recovery: Recovery) {
                 profile: None,
             };
             match state {
-                Folded::Live(text) => {
+                Folded::Live(class, text) => {
                     let token = inner
                         .job_deadline
                         .map_or_else(CancelToken::new, CancelToken::with_timeout);
@@ -1010,7 +1395,7 @@ fn apply_recovery(inner: &Inner, recovery: Recovery) {
                     r.text = text;
                     r.token = token;
                     st.jobs.insert(id, r);
-                    st.queue.push_back(id);
+                    st.queues[class.idx()].push_back(id);
                     requeued.push(id);
                 }
                 Folded::Done { key, rung } => {
@@ -1035,6 +1420,18 @@ fn apply_recovery(inner: &Inner, recovery: Recovery) {
                 }
             }
         }
+        for (id, members) in batches {
+            st.next_batch_id = st.next_batch_id.max(id + 1);
+            // the group's class is its members' class; a batch whose
+            // every member was lost to corruption defaults to bulk
+            let class = members
+                .iter()
+                .find_map(|m| classes.get(m).copied())
+                .unwrap_or(QosClass::Bulk);
+            st.batches.insert(id, BatchRecord { class, members });
+        }
+        restored_batches = st.batches.len();
+        prune_batches(&mut st, inner.max_records);
         let pruned = prune_records(&mut st, inner.max_records);
         inner.ring.forget(&pruned);
     }
@@ -1047,13 +1444,15 @@ fn apply_recovery(inner: &Inner, recovery: Recovery) {
         format!(
             "replayed {} journal records ({} corrupt skipped), \
              loaded {} cached designs ({} corrupt dropped), \
-             re-enqueued {} jobs, restored {} terminal records",
+             re-enqueued {} jobs, restored {} terminal records, \
+             restored {} batch groups",
             replayed_good,
             recovery.replay.corrupt,
             recovery.cache.designs.len(),
             recovery.cache.dropped,
             requeued.len(),
             restored_terminal,
+            restored_batches,
         ),
     );
 }
@@ -1063,7 +1462,13 @@ fn worker_loop(inner: &Arc<Inner>, index: usize) {
         let claimed = {
             let mut st = lock(&inner.state);
             loop {
-                if let Some(id) = st.queue.pop_front() {
+                // Interactive-first, with every fourth claim preferring
+                // bulk so a steady interactive stream cannot starve bulk
+                // work outright.
+                let order = if st.claims % 4 == 3 { [1, 0] } else { [0, 1] };
+                let next = order.into_iter().find_map(|i| st.queues[i].pop_front());
+                if let Some(id) = next {
+                    st.claims += 1;
                     // cancel() removes queued ids, but double-check: only
                     // a still-Queued record runs
                     let Some(r) = st.jobs.get_mut(&id) else {
@@ -1186,6 +1591,16 @@ fn run_job(inner: &Inner, id: u64, text: &str, token: &CancelToken) -> JobEnd {
                     Some(id),
                     TraceKind::Rung,
                     format!("{} of {}: {}", i + 1, attempt.rung, summarize(attempt)),
+                );
+            }
+            // Replay the winning solve's incumbent trajectory into the
+            // trace ring so `GET /jobs/<id>/events` streams the
+            // objective's descent alongside the rung transitions.
+            for (secs, objective) in result.outcome.layout.solve.trajectory() {
+                inner.trace(
+                    Some(id),
+                    TraceKind::Incumbent,
+                    format!("t={secs:.3}s obj={objective:.4}"),
                 );
             }
             lock(&inner.agg).absorb(&result.log.aggregate_solve());

@@ -36,6 +36,10 @@ pub enum TraceKind {
     Started,
     /// One resilience-ladder rung ran (detail carries rung + outcome).
     Rung,
+    /// One incumbent improvement during the MILP search (detail carries
+    /// `t=<secs> obj=<objective>`), replayed from the solve's incumbent
+    /// trajectory so `GET /jobs/<id>/events` can stream it.
+    Incumbent,
     /// Synthesis produced a design.
     Solved,
     /// Synthesis failed (parse error, infeasibility, exhausted ladder).
@@ -55,6 +59,9 @@ pub enum TraceKind {
     Compacted,
     /// A persist-layer write failed (journal append or design store).
     PersistError,
+    /// Batch-group lifecycle (admission, recovery; detail carries the
+    /// member/unique counts).
+    Batch,
 }
 
 impl TraceKind {
@@ -68,6 +75,7 @@ impl TraceKind {
             TraceKind::CacheHit => "cache_hit",
             TraceKind::Started => "started",
             TraceKind::Rung => "rung",
+            TraceKind::Incumbent => "incumbent",
             TraceKind::Solved => "solved",
             TraceKind::Failed => "failed",
             TraceKind::Cancelled => "cancelled",
@@ -77,6 +85,7 @@ impl TraceKind {
             TraceKind::Corrupt => "corrupt",
             TraceKind::Compacted => "compacted",
             TraceKind::PersistError => "persist_error",
+            TraceKind::Batch => "batch",
         }
     }
 }

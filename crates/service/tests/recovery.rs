@@ -14,7 +14,8 @@ use std::time::Duration;
 
 use columba_prng::Rng;
 use columba_service::{
-    FsyncPolicy, JobId, JobState, Journal, JournalRecord, PersistConfig, Service, ServiceConfig,
+    BatchId, FsyncPolicy, JobId, JobState, Journal, JournalRecord, PersistConfig, QosClass,
+    Service, ServiceConfig,
 };
 
 const TINY: &str = "chip t\nmixer m1\nport a\nport b\n\
@@ -125,6 +126,7 @@ fn submitted_but_unfinished_jobs_are_requeued_and_run() {
         journal
             .append(&JournalRecord::Submitted {
                 id: 7,
+                class: QosClass::Interactive,
                 text: Arc::new(TINY.to_string()),
             })
             .expect("append");
@@ -142,6 +144,74 @@ fn submitted_but_unfinished_jobs_are_requeued_and_run() {
     // new submissions allocate past the recovered id space
     let next = service.submit_text(TINY2).expect("admitted");
     assert_eq!(next, JobId(8));
+    service.shutdown();
+}
+
+#[test]
+fn batch_groups_recover_and_requeue_only_unfinished_members() {
+    let dir = fresh_state_dir("batchgroup");
+    // simulate a crash mid-batch: two unique members journaled under
+    // one group (member 2 listed twice — a deduped duplicate), the
+    // first member already completed (degraded: no cached design), the
+    // second never started
+    fs::create_dir_all(&dir).expect("mkdir");
+    {
+        let (mut journal, _) =
+            Journal::open(&dir.join("journal.log"), FsyncPolicy::Never).expect("journal");
+        journal
+            .append(&JournalRecord::Submitted {
+                id: 1,
+                class: QosClass::Bulk,
+                text: Arc::new(TINY.to_string()),
+            })
+            .expect("append");
+        journal
+            .append(&JournalRecord::Submitted {
+                id: 2,
+                class: QosClass::Bulk,
+                text: Arc::new(TINY2.to_string()),
+            })
+            .expect("append");
+        journal
+            .append(&JournalRecord::Batch {
+                id: 5,
+                members: vec![1, 2, 2],
+            })
+            .expect("append");
+        journal
+            .append(&JournalRecord::Completed {
+                id: 1,
+                key: None,
+                rung: "full MILP".into(),
+            })
+            .expect("append");
+    }
+
+    let service = open(&dir);
+    // only the unfinished member re-runs; the completed one stays done
+    let one = service.status(JobId(1)).expect("recovered terminal member");
+    assert_eq!(one.state, JobState::Done, "completed member must not rerun");
+    let group = service
+        .wait_batch(BatchId(5), Duration::from_secs(120))
+        .expect("batch group recovered under its original id");
+    assert!(group.is_terminal(), "group converges after restart");
+    let s = group.summary();
+    assert_eq!(s.members, 3, "duplicate-expanded member list survives");
+    assert_eq!(s.unique, 2);
+    assert_eq!(s.done, 3, "all members done: {group:?}");
+    let two = service.status(JobId(2)).expect("requeued member exists");
+    assert_eq!(two.state, JobState::Done, "{:?}", two.error);
+    assert!(
+        !two.from_cache,
+        "the unfinished member had no cached design — it must re-solve"
+    );
+
+    // id spaces advance past the recovered batch and jobs
+    let (next_batch, jobs) = service
+        .submit_batch(&[TINY.to_string()], columba_service::QosClass::Bulk)
+        .expect("admitted");
+    assert!(next_batch.0 > 5, "batch ids resume past recovery");
+    assert!(jobs[0].0 > 2, "job ids resume past recovery");
     service.shutdown();
 }
 
