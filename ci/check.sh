@@ -5,6 +5,7 @@
 #
 #   lint   cargo fmt + clippy with warnings as errors
 #   test   release build, workspace tests, fault-inject configurations
+#   chaos  crash-point enumeration + fault-injected degrade/heal cycle
 #   smoke  HTTP round-trip, batch + SSE, observability, restart-recovery
 #   perf   bench artifacts vs the committed baselines (ci/perf_gate)
 #
@@ -26,7 +27,7 @@ SKIP_PERF=0
 while [ $# -gt 0 ]; do
   case "$1" in
     --only)
-      ONLY="${2:?--only requires a section: lint|test|smoke|perf}"
+      ONLY="${2:?--only requires a section: lint|test|chaos|smoke|perf}"
       shift 2
       ;;
     --skip-perf)
@@ -34,13 +35,13 @@ while [ $# -gt 0 ]; do
       shift
       ;;
     *)
-      echo "usage: ci/check.sh [--only lint|test|smoke|perf] [--skip-perf]" >&2
+      echo "usage: ci/check.sh [--only lint|test|chaos|smoke|perf] [--skip-perf]" >&2
       exit 2
       ;;
   esac
 done
-case "$ONLY" in ""|lint|test|smoke|perf) ;; *)
-  echo "error: unknown section '$ONLY' (want lint|test|smoke|perf)" >&2
+case "$ONLY" in ""|lint|test|chaos|smoke|perf) ;; *)
+  echo "error: unknown section '$ONLY' (want lint|test|chaos|smoke|perf)" >&2
   exit 2
 esac
 
@@ -65,6 +66,18 @@ section_test() {
   cargo test -q --offline -p columba-milp --features fault-inject
   cargo test -q --offline -p columba-layout --features fault-inject
   cargo test -q --offline -p columba-service --features fault-inject
+}
+
+section_chaos() {
+  echo "==> chaos: crash-point enumeration (SimFs power loss after every storage op)"
+  cargo test -q --offline -p columba-service --test crash_points
+
+  echo "==> chaos: degrade/heal cycle + injected persist faults (fault-inject)"
+  cargo test -q --offline -p columba-service --features fault-inject \
+    --test self_heal --test persist_fault
+
+  echo "==> chaos: readiness gate under a large journal replay"
+  cargo test -q --offline -p columba-service --test health
 }
 
 # Starts target/release/columba-serve with the given extra flags,
@@ -214,6 +227,9 @@ case "$ONLY" in
   test)
     section_build
     section_test
+    ;;
+  chaos)
+    section_chaos
     ;;
   smoke)
     section_build

@@ -164,6 +164,7 @@ mod tests {
             rung: None,
             error: None,
             design: None,
+            durable: false,
         }
     }
 

@@ -8,6 +8,10 @@
 //! columba-serve --bulk-queue 512    # bulk (batch) admission budget
 //! columba-serve --hold              # ignore stdin; run until killed
 //! columba-serve --state-dir DIR     # durable journal + disk cache
+//! columba-serve --breaker-threshold 5   # failed writes before degraded mode
+//! columba-serve --breaker-probe-ms 2000 # half-open probe interval
+//! columba-serve --persist-retries 2     # retries per persist write
+//! columba-serve --watchdog-grace-secs 30 # grace past deadline before cancel
 //! ```
 //!
 //! Prints exactly one `listening on <addr>` line on stdout once bound,
@@ -26,13 +30,22 @@ use std::time::Duration;
 
 use columba_s::{LayoutOptions, SynthesisOptions};
 use columba_service::{
-    FsyncPolicy, HttpConfig, HttpServer, JsonlSink, NullSink, PersistConfig, Service,
-    ServiceConfig, TraceSink,
+    BreakerConfig, FsyncPolicy, HttpConfig, HttpServer, JsonlSink, NullSink, PersistConfig,
+    Service, ServiceConfig, TraceSink,
 };
 
 /// Flags that consume the next argument as a value; the positional
 /// address scan must skip those values.
-const VALUE_FLAGS: &[&str] = &["--workers", "--queue", "--bulk-queue", "--state-dir"];
+const VALUE_FLAGS: &[&str] = &[
+    "--workers",
+    "--queue",
+    "--bulk-queue",
+    "--state-dir",
+    "--breaker-threshold",
+    "--breaker-probe-ms",
+    "--persist-retries",
+    "--watchdog-grace-secs",
+];
 
 fn usize_flag(args: &[String], name: &str, default: usize) -> usize {
     match args.iter().position(|a| a == name) {
@@ -106,6 +119,27 @@ fn main() {
             FsyncPolicy::Always
         },
     });
+    let breaker_defaults = BreakerConfig::default();
+    #[allow(clippy::cast_possible_truncation)]
+    let breaker = BreakerConfig {
+        failure_threshold: usize_flag(
+            &args,
+            "--breaker-threshold",
+            breaker_defaults.failure_threshold as usize,
+        ) as u32,
+        probe_interval: Duration::from_millis(usize_flag(
+            &args,
+            "--breaker-probe-ms",
+            breaker_defaults.probe_interval.as_millis() as usize,
+        ) as u64),
+        max_retries: usize_flag(
+            &args,
+            "--persist-retries",
+            breaker_defaults.max_retries as usize,
+        ) as u32,
+        ..breaker_defaults
+    };
+    let watchdog_grace = Duration::from_secs(usize_flag(&args, "--watchdog-grace-secs", 30) as u64);
     let service = match Service::open(ServiceConfig {
         workers: usize_flag(&args, "--workers", 0),
         queue_capacity: usize_flag(&args, "--queue", 64),
@@ -113,6 +147,8 @@ fn main() {
         options,
         trace,
         persist,
+        breaker,
+        watchdog_grace,
         ..ServiceConfig::default()
     }) {
         Ok(service) => Arc::new(service),

@@ -26,7 +26,8 @@
 //! | `GET`    | `/metrics`            | flat counters                         |
 //! | `GET`    | `/metrics?format=prometheus` | Prometheus text exposition     |
 //! | `GET`    | `/profile`            | recent HTTP request spans (Chrome)    |
-//! | `GET`    | `/healthz`            | `ok`                                  |
+//! | `GET`    | `/healthz`            | JSON readiness report (`503` while    |
+//! |          |                       | recovering, with `Retry-After`)       |
 //!
 //! `POST /batch` takes many netlists in one body, separated by lines
 //! containing only `%%`, and admits them as one group under the bulk
@@ -60,7 +61,7 @@
 use std::io::{self, ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
@@ -234,13 +235,37 @@ impl Response {
     }
 }
 
+/// Process-wide RNG behind the retry-after jitter. Seeded once with a
+/// fixed constant: determinism per call is not the point (the state
+/// advances every draw), only freedom from `/dev/urandom` and external
+/// crates.
+static RETRY_JITTER: Mutex<Option<columba_prng::Rng>> = Mutex::new(None);
+
 /// How long a rejected client should wait before retrying, from the
 /// backlog it is queued behind: roughly two solves' worth of queue per
-/// worker, clamped to a sane `[1, 60]` second window. The formula is
-/// deliberately coarse — its job is to spread retries out in proportion
-/// to load, not to predict solve times.
+/// worker, jittered by ±25% and clamped to a sane `[1, 60]` second
+/// window. The formula is deliberately coarse — its job is to spread
+/// retries out in proportion to load, not to predict solve times. The
+/// jitter desynchronizes the herd: without it, every client rejected in
+/// the same load spike computes the same wait and stampedes back in
+/// lockstep, re-creating the spike it was told to avoid.
+#[allow(
+    clippy::cast_precision_loss,
+    clippy::cast_possible_truncation,
+    clippy::cast_sign_loss
+)]
 fn retry_after_secs(queue_depth: usize, workers: usize) -> u64 {
-    ((queue_depth as u64 * 2) / workers.max(1) as u64).clamp(1, 60)
+    let base = (queue_depth as u64 * 2) / workers.max(1) as u64;
+    let factor = {
+        let mut slot = RETRY_JITTER
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let rng = slot.get_or_insert_with(|| columba_prng::Rng::seed_from_u64(0x52e7_4a11));
+        0.75 + rng.gen_f64() * 0.5
+    };
+    // jitter the raw backlog estimate, then clamp — so the floor and
+    // ceiling stay hard guarantees rather than jitter inputs
+    ((base as f64 * factor) as u64).clamp(1, 60)
 }
 
 /// What the router decided: either a fully-formed plain response, or an
@@ -781,7 +806,21 @@ fn route_inner(service: &Service, req: Request) -> Result<Response, Routed> {
             }
         }
         (Method::Get, ["profile"]) => Response::json(service.http_profile()),
-        (Method::Get, ["healthz"]) => Response::text(200, "ok\n"),
+        (Method::Get, ["healthz"]) => {
+            // deliberately never blocks on readiness: this is the one
+            // route a load balancer can poll while startup recovery is
+            // still replaying the journal
+            let health = service.health();
+            let mut response = Response::json(health.to_json());
+            if !health.ready {
+                response.status = 503;
+                // a short fixed hint — recovery progress is not
+                // predictable from queue depth, and the depth accessors
+                // themselves gate on readiness
+                response = response.with_retry_after(1);
+            }
+            response
+        }
         _ => Response::text(404, format!("error no route for {path}\n")),
     })
 }
@@ -1188,13 +1227,41 @@ mod tests {
         assert!(text.find("Retry-After").expect("header") < head_end);
 
         assert_eq!(retry_after_secs(0, 4), 1, "floor of one second");
-        assert_eq!(retry_after_secs(8, 4), 4);
         assert_eq!(retry_after_secs(1000, 2), 60, "ceiling of a minute");
-        assert_eq!(
-            retry_after_secs(5, 0),
-            10,
-            "zero workers must not divide by zero"
-        );
+    }
+
+    #[test]
+    fn retry_after_jitter_stays_within_bounds() {
+        // the jittered value must stay inside ±25% of the coarse
+        // backlog estimate, and the [1, 60] clamp must stay a hard
+        // guarantee no matter what the RNG draws
+        for _ in 0..256 {
+            let r = retry_after_secs(8, 4); // base 4 seconds
+            assert!((3..=5).contains(&r), "±25% of 4s, got {r}");
+            let r = retry_after_secs(5, 0); // base 10 (no div-by-zero)
+            assert!((7..=12).contains(&r), "±25% of 10s, got {r}");
+            assert_eq!(retry_after_secs(0, 4), 1, "floor survives jitter");
+            assert_eq!(retry_after_secs(1000, 2), 60, "ceiling survives jitter");
+        }
+    }
+
+    #[test]
+    fn healthz_serves_a_json_readiness_report() {
+        let service = quick_service(1, 4);
+        let req = Request {
+            method: Method::Get,
+            path: "/healthz".into(),
+            body: Vec::new(),
+        };
+        let Routed::Plain(resp) = route(&service, req) else {
+            panic!("GET /healthz never streams");
+        };
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.content_type, "application/json");
+        let text = String::from_utf8(resp.body).expect("json is utf-8");
+        assert!(text.contains("\"ready\":true"), "{text}");
+        assert!(text.contains("\"breaker\":\"closed\""), "{text}");
+        service.shutdown();
     }
 
     fn quick_service(workers: usize, queue_capacity: usize) -> Service {

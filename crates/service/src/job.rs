@@ -136,6 +136,10 @@ pub struct JobStatus {
     /// The finished design (also present on a cancelled job whose ladder
     /// still produced an incumbent before the token fired).
     pub design: Option<Arc<CompletedDesign>>,
+    /// Whether the submission is journaled on disk. `false` while the
+    /// persist breaker is open (the job was accepted in volatile
+    /// degraded mode) and always `false` for in-memory-only services.
+    pub durable: bool,
 }
 
 impl JobStatus {
@@ -152,6 +156,7 @@ impl JobStatus {
         let _ = writeln!(s, "state {}", self.state);
         let _ = writeln!(s, "class {}", self.class);
         let _ = writeln!(s, "from_cache {}", self.from_cache);
+        let _ = writeln!(s, "durable {}", self.durable);
         if let Some(elapsed) = self.elapsed {
             let _ = writeln!(s, "elapsed_us {}", elapsed.as_micros());
         }
@@ -215,6 +220,7 @@ mod tests {
             rung: None,
             error: Some("line 1:\nbad".into()),
             design: None,
+            durable: false,
         };
         let text = status.render();
         assert!(text.contains("id 3\n"), "{text}");

@@ -62,8 +62,14 @@ pub use job::{JobId, JobState, JobStatus, QosClass};
 pub use metrics::{metric_value, MetricsSnapshot};
 #[cfg(feature = "fault-inject")]
 pub use persist::fault::{arm as arm_persist_fault, PersistFault, PersistFaultGuard};
-pub use persist::{FsyncPolicy, Journal, JournalRecord, PersistConfig};
-pub use service::{ExportError, ExportKind, ProfileError, Service, ServiceConfig, SubmitError};
+pub use persist::{
+    BreakerConfig, BreakerState, CrashMode, FsyncPolicy, Journal, JournalRecord, Persist,
+    PersistConfig, PersistSupervisor, RealFs, Recovery, SimFault, SimFs, Storage, StorageFile,
+    WriteOutcome,
+};
+pub use service::{
+    ExportError, ExportKind, HealthReport, ProfileError, Service, ServiceConfig, SubmitError,
+};
 pub use trace::{
     JsonlSink, MemorySink, NullSink, RingConfig, RingSink, TraceEvent, TraceKind, TraceSink,
 };

@@ -79,6 +79,18 @@ pub struct MetricsSnapshot {
     pub compactions: u64,
     /// Persist-layer write failures since startup.
     pub persist_errors: u64,
+    /// Persist-write retries the self-healing supervisor performed.
+    pub persist_retries: u64,
+    /// Times the persist breaker tripped into degraded mode.
+    pub breaker_trips: u64,
+    /// Current breaker state as a gauge: 0 closed, 1 open, 2 half-open.
+    pub breaker_state: u64,
+    /// Total seconds the service has spent in degraded (volatile) mode,
+    /// including the current open period.
+    pub degraded_seconds: f64,
+    /// Running jobs the stuck-job watchdog cancelled past deadline +
+    /// grace.
+    pub watchdog_cancels: u64,
     /// Cumulative solver telemetry across every completed solve
     /// (aggregated with [`SolveStats::absorb`]).
     pub solve: SolveStats,
@@ -153,6 +165,11 @@ impl MetricsSnapshot {
         );
         line("compactions", self.compactions.to_string());
         line("persist_errors", self.persist_errors.to_string());
+        line("persist_retries", self.persist_retries.to_string());
+        line("breaker_trips", self.breaker_trips.to_string());
+        line("breaker_state", self.breaker_state.to_string());
+        line("degraded_seconds", format!("{:.3}", self.degraded_seconds));
+        line("watchdog_cancels", self.watchdog_cancels.to_string());
         line("solve_nodes", self.solve.nodes_processed.to_string());
         line("solve_pruned", self.solve.nodes_pruned.to_string());
         line(
@@ -363,6 +380,36 @@ impl MetricsSnapshot {
         counter(
             &mut s,
             &mut last,
+            "columba_persist_retries_total",
+            f(self.persist_retries),
+        );
+        counter(
+            &mut s,
+            &mut last,
+            "columba_breaker_trips_total",
+            f(self.breaker_trips),
+        );
+        gauge(
+            &mut s,
+            &mut last,
+            "columba_breaker_state",
+            f(self.breaker_state),
+        );
+        counter(
+            &mut s,
+            &mut last,
+            "columba_degraded_seconds_total",
+            self.degraded_seconds,
+        );
+        counter(
+            &mut s,
+            &mut last,
+            "columba_watchdog_cancels_total",
+            f(self.watchdog_cancels),
+        );
+        counter(
+            &mut s,
+            &mut last,
             "columba_solve_nodes_total",
             fu(self.solve.nodes_processed),
         );
@@ -477,6 +524,11 @@ mod tests {
             cache_corrupt_dropped: 1,
             compactions: 1,
             persist_errors: 0,
+            persist_retries: 6,
+            breaker_trips: 1,
+            breaker_state: 1,
+            degraded_seconds: 2.5,
+            watchdog_cancels: 1,
             solve: SolveStats {
                 nodes_processed: 100,
                 nodes_pruned: 40,
@@ -514,6 +566,11 @@ mod tests {
         assert_eq!(metric_value(&text, "cache_corrupt_dropped"), Some(1.0));
         assert_eq!(metric_value(&text, "compactions"), Some(1.0));
         assert_eq!(metric_value(&text, "persist_errors"), Some(0.0));
+        assert_eq!(metric_value(&text, "persist_retries"), Some(6.0));
+        assert_eq!(metric_value(&text, "breaker_trips"), Some(1.0));
+        assert_eq!(metric_value(&text, "breaker_state"), Some(1.0));
+        assert_eq!(metric_value(&text, "degraded_seconds"), Some(2.5));
+        assert_eq!(metric_value(&text, "watchdog_cancels"), Some(1.0));
         assert_eq!(metric_value(&text, "solve_simplex_iterations"), Some(999.0));
         assert_eq!(metric_value(&text, "solve_time_seconds"), Some(1.5));
         assert_eq!(metric_value(&text, "uptime_seconds"), Some(12.0));

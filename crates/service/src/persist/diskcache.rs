@@ -16,14 +16,14 @@
 //! is: a file whose frame, checksum, sections, or embedded key do not
 //! check out is counted, noted, deleted, and skipped — never a panic.
 
-use std::fs::{self, File, OpenOptions};
-use std::io::{self, Write};
-use std::path::{Path, PathBuf};
+use std::io;
+use std::path::Path;
 use std::sync::Arc;
 use std::time::Duration;
 
 use super::crc::crc32;
-use super::{sync_parent_dir, FsyncPolicy};
+use super::vfs::{RealFs, Storage, StorageFile};
+use super::FsyncPolicy;
 use crate::cache::{CompletedDesign, DesignSummary};
 use crate::hash::ContentKey;
 
@@ -218,41 +218,57 @@ pub fn store(
     design: &CompletedDesign,
     fsync: FsyncPolicy,
 ) -> io::Result<()> {
+    store_on(&RealFs, dir, key, canon, design, fsync)
+}
+
+/// [`store`] over any [`Storage`] backend.
+///
+/// # Errors
+///
+/// The write, fsync, or rename failed; the previous state of the file (if
+/// any) is untouched and the temp file is removed best-effort.
+pub fn store_on(
+    storage: &dyn Storage,
+    dir: &Path,
+    key: ContentKey,
+    canon: &str,
+    design: &CompletedDesign,
+    fsync: FsyncPolicy,
+) -> io::Result<()> {
     let name = design_file_name(key);
     let final_path = dir.join(&name);
     let tmp_path = dir.join(format!(".tmp-{name}"));
     let bytes = encode(key, canon, design);
-    let result = write_tmp_and_rename(&tmp_path, &final_path, &bytes, fsync);
+    let result = write_tmp_and_rename(storage, &tmp_path, &final_path, &bytes, fsync);
     if result.is_err() {
-        let _ = fs::remove_file(&tmp_path);
+        let _ = storage.remove_file(&tmp_path);
     }
     result
 }
 
 fn write_tmp_and_rename(
+    storage: &dyn Storage,
     tmp_path: &Path,
     final_path: &Path,
     bytes: &[u8],
     fsync: FsyncPolicy,
 ) -> io::Result<()> {
-    let mut tmp = OpenOptions::new()
-        .create(true)
-        .write(true)
-        .truncate(true)
-        .open(tmp_path)?;
-    write_faultable(&mut tmp, bytes)?;
+    let mut tmp = storage.create(tmp_path)?;
+    write_faultable(tmp.as_mut(), bytes)?;
     if fsync == FsyncPolicy::Always {
-        tmp.sync_all()?;
+        tmp.sync()?;
     }
     drop(tmp);
-    fs::rename(tmp_path, final_path)?;
+    storage.rename(tmp_path, final_path)?;
     if fsync == FsyncPolicy::Always {
-        sync_parent_dir(final_path);
+        if let Some(parent) = final_path.parent() {
+            storage.sync_dir(parent);
+        }
     }
     Ok(())
 }
 
-fn write_faultable(file: &mut File, bytes: &[u8]) -> io::Result<()> {
+fn write_faultable(file: &mut dyn StorageFile, bytes: &[u8]) -> io::Result<()> {
     #[cfg(feature = "fault-inject")]
     if let Some(fault) = super::fault::trip() {
         match fault {
@@ -261,7 +277,7 @@ fn write_faultable(file: &mut File, bytes: &[u8]) -> io::Result<()> {
             }
             super::fault::PersistFault::ShortWrite => {
                 let _ = file.write_all(&bytes[..bytes.len() / 2]);
-                let _ = file.sync_data();
+                let _ = file.sync();
                 return Err(io::Error::other("injected short write"));
             }
         }
@@ -278,17 +294,22 @@ fn write_faultable(file: &mut File, bytes: &[u8]) -> io::Result<()> {
 /// Propagates only directory-listing I/O errors; per-file read failures
 /// and corrupt contents are counted in the returned [`CacheLoad`].
 pub fn load_all(dir: &Path) -> io::Result<CacheLoad> {
+    load_all_on(&RealFs, dir)
+}
+
+/// [`load_all`] over any [`Storage`] backend.
+///
+/// # Errors
+///
+/// Propagates only directory-listing I/O errors; per-file read failures
+/// and corrupt contents are counted in the returned [`CacheLoad`].
+pub fn load_all_on(storage: &dyn Storage, dir: &Path) -> io::Result<CacheLoad> {
     let mut load = CacheLoad::default();
-    let entries = match fs::read_dir(dir) {
-        Ok(e) => e,
+    let mut paths = match storage.read_dir(dir) {
+        Ok(p) => p,
         Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(load),
         Err(e) => return Err(e),
     };
-    let mut paths: Vec<PathBuf> = entries
-        .filter_map(Result::ok)
-        .map(|e| e.path())
-        .filter(|p| p.is_file())
-        .collect();
     paths.sort();
     for path in paths {
         let file_name = path
@@ -303,17 +324,20 @@ pub fn load_all(dir: &Path) -> io::Result<CacheLoad> {
             load.notes.push(format!(
                 "cache file {file_name}: interrupted store (temp debris)"
             ));
-            let _ = fs::remove_file(&path);
+            let _ = storage.remove_file(&path);
             continue;
         }
         let Some(key) = key_from_file_name(&file_name) else {
             load.dropped += 1;
             load.notes
                 .push(format!("cache file {file_name}: unrecognized name"));
-            let _ = fs::remove_file(&path);
+            let _ = storage.remove_file(&path);
             continue;
         };
-        let verdict = fs::read(&path).ok().and_then(|bytes| decode(&bytes, key));
+        let verdict = storage
+            .read(&path)
+            .ok()
+            .and_then(|bytes| decode(&bytes, key));
         match verdict {
             Some(stored) => load.designs.push(stored),
             None => {
@@ -321,7 +345,7 @@ pub fn load_all(dir: &Path) -> io::Result<CacheLoad> {
                 load.notes.push(format!(
                     "cache file {file_name}: failed checksum or structure verification"
                 ));
-                let _ = fs::remove_file(&path);
+                let _ = storage.remove_file(&path);
             }
         }
     }
@@ -342,6 +366,8 @@ fn key_from_file_name(name: &str) -> Option<ContentKey> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::fs;
+    use std::path::PathBuf;
 
     fn tmp_dir(tag: &str) -> PathBuf {
         let dir =

@@ -1,0 +1,400 @@
+//! Self-healing for the persist layer: bounded jittered retries and a
+//! circuit breaker.
+//!
+//! Every persist write the service issues goes through
+//! [`PersistSupervisor::run`]:
+//!
+//! * **Closed** (healthy): the write runs; on failure it is retried up to
+//!   [`BreakerConfig::max_retries`] times with exponential backoff and
+//!   `columba-prng` jitter (so a stalled disk is not hammered in
+//!   lockstep by every worker). A write that still fails counts one
+//!   *consecutive failure*; [`BreakerConfig::failure_threshold`] of those
+//!   in a row trips the breaker.
+//! * **Open** (degraded): no I/O is attempted at all — writes are
+//!   *skipped* and counted, and the service keeps solving and serving
+//!   from memory in volatile mode. After
+//!   [`BreakerConfig::probe_interval`] the service's supervisor thread
+//!   moves the breaker to half-open and sends one probe write.
+//! * **Half-open**: regular writes are still skipped; the single probe
+//!   decides. Success closes the breaker (the service then writes a
+//!   `resync` journal record and re-journals its volatile jobs); failure
+//!   re-opens it and restarts the probe clock.
+//!
+//! The supervisor only decides and counts — *what* to do on each outcome
+//! (reject a submission, mark a job volatile, trace) is the service's
+//! policy in `service.rs`.
+
+use std::io;
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicU8, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+
+use columba_prng::Rng;
+
+/// Breaker and retry thresholds; every `columba-serve` flag maps onto a
+/// field here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Consecutive failed writes (after retries) that trip the breaker.
+    pub failure_threshold: u32,
+    /// How long the breaker stays open before a half-open probe.
+    pub probe_interval: Duration,
+    /// Retries per write after the first attempt.
+    pub max_retries: u32,
+    /// Backoff before the first retry; doubles per retry.
+    pub base_backoff: Duration,
+    /// Backoff cap.
+    pub max_backoff: Duration,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> BreakerConfig {
+        BreakerConfig {
+            failure_threshold: 5,
+            probe_interval: Duration::from_secs(2),
+            max_retries: 2,
+            base_backoff: Duration::from_millis(5),
+            max_backoff: Duration::from_millis(200),
+        }
+    }
+}
+
+/// The breaker's state, surfaced by `/healthz` and `/metrics`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: writes run (with retries).
+    Closed,
+    /// Degraded: writes are skipped; the service is volatile.
+    Open,
+    /// A probe write is in flight; regular writes are still skipped.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Stable lowercase name (`/healthz`, traces).
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half_open",
+        }
+    }
+
+    /// Numeric gauge value for `/metrics` (0 closed, 1 open, 2 half-open).
+    #[must_use]
+    pub fn as_gauge(self) -> u64 {
+        match self {
+            BreakerState::Closed => 0,
+            BreakerState::Open => 1,
+            BreakerState::HalfOpen => 2,
+        }
+    }
+}
+
+const CLOSED: u8 = 0;
+const OPEN: u8 = 1;
+const HALF_OPEN: u8 = 2;
+
+/// What happened to one supervised write.
+#[derive(Debug)]
+pub enum WriteOutcome<T> {
+    /// The write succeeded (possibly after retries).
+    Done(T),
+    /// The write failed after retries; the breaker stayed closed.
+    Failed(io::Error),
+    /// The write failed after retries *and* its failure tripped the
+    /// breaker — the service is now degraded.
+    Tripped(io::Error),
+    /// The breaker was already open: no I/O was attempted.
+    Skipped,
+}
+
+/// Retry/breaker state shared by every persist write. See the module
+/// docs for the state machine.
+#[derive(Debug)]
+pub struct PersistSupervisor {
+    config: BreakerConfig,
+    state: AtomicU8,
+    consecutive: AtomicU32,
+    trips: AtomicU64,
+    retries: AtomicU64,
+    skipped: AtomicU64,
+    degraded_ns: AtomicU64,
+    opened_at: Mutex<Option<Instant>>,
+    rng: Mutex<Rng>,
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl PersistSupervisor {
+    /// A closed (healthy) supervisor. `seed` feeds the backoff jitter;
+    /// determinism only matters to tests.
+    #[must_use]
+    pub fn new(config: BreakerConfig, seed: u64) -> PersistSupervisor {
+        PersistSupervisor {
+            config,
+            state: AtomicU8::new(CLOSED),
+            consecutive: AtomicU32::new(0),
+            trips: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            skipped: AtomicU64::new(0),
+            degraded_ns: AtomicU64::new(0),
+            opened_at: Mutex::new(None),
+            rng: Mutex::new(Rng::seed_from_u64(seed)),
+        }
+    }
+
+    /// The configuration the supervisor runs under.
+    #[must_use]
+    pub fn config(&self) -> &BreakerConfig {
+        &self.config
+    }
+
+    /// Current breaker state.
+    #[must_use]
+    pub fn state(&self) -> BreakerState {
+        match self.state.load(Ordering::SeqCst) {
+            OPEN => BreakerState::Open,
+            HALF_OPEN => BreakerState::HalfOpen,
+            _ => BreakerState::Closed,
+        }
+    }
+
+    /// Whether writes are currently being skipped (open or half-open).
+    #[must_use]
+    pub fn degraded(&self) -> bool {
+        self.state.load(Ordering::SeqCst) != CLOSED
+    }
+
+    /// Runs one persist write under the breaker: skip when degraded,
+    /// otherwise attempt with jittered-backoff retries and fold the
+    /// result into the breaker state.
+    pub fn run<T>(&self, mut op: impl FnMut() -> io::Result<T>) -> WriteOutcome<T> {
+        if self.degraded() {
+            self.skipped.fetch_add(1, Ordering::Relaxed);
+            return WriteOutcome::Skipped;
+        }
+        let mut last_err = None;
+        for attempt in 0..=self.config.max_retries {
+            if attempt > 0 {
+                self.retries.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(self.backoff(attempt - 1));
+            }
+            match op() {
+                Ok(v) => {
+                    self.consecutive.store(0, Ordering::SeqCst);
+                    return WriteOutcome::Done(v);
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        let err =
+            last_err.unwrap_or_else(|| io::Error::other("persist write failed with no error"));
+        let failures = self.consecutive.fetch_add(1, Ordering::SeqCst) + 1;
+        if failures >= self.config.failure_threshold {
+            self.trip();
+            WriteOutcome::Tripped(err)
+        } else {
+            WriteOutcome::Failed(err)
+        }
+    }
+
+    /// The jittered exponential backoff before retry `retry` (0-based):
+    /// `base * 2^retry`, capped, scaled by a uniform factor in
+    /// `[0.5, 1.5)`.
+    fn backoff(&self, retry: u32) -> Duration {
+        let exp = self
+            .config
+            .base_backoff
+            .saturating_mul(1u32 << retry.min(16))
+            .min(self.config.max_backoff);
+        let jitter = 0.5 + lock(&self.rng).gen_f64();
+        exp.mul_f64(jitter)
+    }
+
+    /// Trips the breaker open and starts the degraded clock.
+    pub fn trip(&self) {
+        let was = self.state.swap(OPEN, Ordering::SeqCst);
+        if was != OPEN {
+            self.trips.fetch_add(1, Ordering::Relaxed);
+            *lock(&self.opened_at) = Some(Instant::now());
+        }
+    }
+
+    /// Whether an open breaker has waited out its probe interval.
+    #[must_use]
+    pub fn probe_due(&self) -> bool {
+        self.state.load(Ordering::SeqCst) == OPEN
+            && lock(&self.opened_at)
+                .map(|at| at.elapsed() >= self.config.probe_interval)
+                .unwrap_or(true)
+    }
+
+    /// Moves an open breaker to half-open for one probe write. Returns
+    /// whether the move happened (false when the breaker was not open).
+    pub fn begin_probe(&self) -> bool {
+        self.state
+            .compare_exchange(OPEN, HALF_OPEN, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+    }
+
+    /// The probe failed: back to open, restart the probe clock.
+    pub fn probe_failed(&self) {
+        self.state.store(OPEN, Ordering::SeqCst);
+        *lock(&self.opened_at) = Some(Instant::now());
+    }
+
+    /// The probe succeeded: close the breaker, bank the degraded time,
+    /// and return (resetting) the count of writes skipped while open —
+    /// the `dropped` figure the resync journal record carries.
+    pub fn close(&self) -> u64 {
+        self.state.store(CLOSED, Ordering::SeqCst);
+        self.consecutive.store(0, Ordering::SeqCst);
+        if let Some(at) = lock(&self.opened_at).take() {
+            let ns = u64::try_from(at.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            self.degraded_ns.fetch_add(ns, Ordering::Relaxed);
+        }
+        self.skipped.swap(0, Ordering::SeqCst)
+    }
+
+    /// Times the breaker has tripped open.
+    #[must_use]
+    pub fn trips(&self) -> u64 {
+        self.trips.load(Ordering::Relaxed)
+    }
+
+    /// Individual write retries performed.
+    #[must_use]
+    pub fn retries(&self) -> u64 {
+        self.retries.load(Ordering::Relaxed)
+    }
+
+    /// Writes skipped since the breaker last closed.
+    #[must_use]
+    pub fn skipped(&self) -> u64 {
+        self.skipped.load(Ordering::Relaxed)
+    }
+
+    /// Total time spent degraded, including the current open period.
+    #[must_use]
+    pub fn degraded_time(&self) -> Duration {
+        let banked = Duration::from_nanos(self.degraded_ns.load(Ordering::Relaxed));
+        match *lock(&self.opened_at) {
+            Some(at) => banked + at.elapsed(),
+            None => banked,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> BreakerConfig {
+        BreakerConfig {
+            failure_threshold: 3,
+            probe_interval: Duration::from_millis(1),
+            max_retries: 1,
+            base_backoff: Duration::from_micros(10),
+            max_backoff: Duration::from_micros(100),
+        }
+    }
+
+    #[test]
+    fn failures_trip_after_threshold_writes() {
+        let sup = PersistSupervisor::new(quick(), 1);
+        for i in 1..=2u32 {
+            match sup.run::<()>(|| Err(io::Error::other("disk on fire"))) {
+                WriteOutcome::Failed(_) => {}
+                other => panic!("write {i} should fail below threshold, got {other:?}"),
+            }
+        }
+        assert!(matches!(
+            sup.run::<()>(|| Err(io::Error::other("disk on fire"))),
+            WriteOutcome::Tripped(_)
+        ));
+        assert_eq!(sup.state(), BreakerState::Open);
+        assert_eq!(sup.trips(), 1);
+        // each failed write burned max_retries retries
+        assert_eq!(sup.retries(), 3);
+    }
+
+    #[test]
+    fn success_resets_the_consecutive_count() {
+        let sup = PersistSupervisor::new(quick(), 2);
+        for _ in 0..10 {
+            assert!(matches!(
+                sup.run::<()>(|| Err(io::Error::other("flaky"))),
+                WriteOutcome::Failed(_)
+            ));
+            assert!(matches!(sup.run(|| Ok(())), WriteOutcome::Done(())));
+        }
+        assert_eq!(sup.state(), BreakerState::Closed);
+        assert_eq!(sup.trips(), 0);
+    }
+
+    #[test]
+    fn open_breaker_skips_without_io() {
+        let sup = PersistSupervisor::new(quick(), 3);
+        sup.trip();
+        let mut calls = 0u32;
+        for _ in 0..4 {
+            assert!(matches!(
+                sup.run(|| {
+                    calls += 1;
+                    Ok(())
+                }),
+                WriteOutcome::Skipped
+            ));
+        }
+        assert_eq!(calls, 0, "no I/O while open");
+        assert_eq!(sup.skipped(), 4);
+    }
+
+    #[test]
+    fn probe_cycle_reopens_on_failure_and_closes_on_success() {
+        let sup = PersistSupervisor::new(quick(), 4);
+        sup.trip();
+        std::thread::sleep(Duration::from_millis(2));
+        assert!(sup.probe_due());
+        assert!(sup.begin_probe());
+        assert_eq!(sup.state(), BreakerState::HalfOpen);
+        assert!(!sup.begin_probe(), "only one probe at a time");
+        sup.probe_failed();
+        assert_eq!(sup.state(), BreakerState::Open);
+        std::thread::sleep(Duration::from_millis(2));
+        assert!(sup.begin_probe());
+        sup.run::<()>(|| Ok(())); // half-open still skips regular writes
+        let dropped = sup.close();
+        assert_eq!(sup.state(), BreakerState::Closed);
+        assert_eq!(dropped, 1, "the skipped write is reported at close");
+        assert_eq!(sup.skipped(), 0, "skip count resets at close");
+        assert!(sup.degraded_time() > Duration::ZERO);
+    }
+
+    #[test]
+    fn retries_happen_before_failure_is_counted() {
+        let sup = PersistSupervisor::new(
+            BreakerConfig {
+                max_retries: 3,
+                ..quick()
+            },
+            5,
+        );
+        let mut attempts = 0u32;
+        let out = sup.run(|| {
+            attempts += 1;
+            if attempts < 3 {
+                Err(io::Error::other("transient"))
+            } else {
+                Ok(attempts)
+            }
+        });
+        assert!(matches!(out, WriteOutcome::Done(3)));
+        assert_eq!(sup.retries(), 2);
+        assert_eq!(sup.state(), BreakerState::Closed);
+    }
+}

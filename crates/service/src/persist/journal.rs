@@ -30,13 +30,13 @@
 //! not touched.
 
 use std::collections::BTreeMap;
-use std::fs::{self, File, OpenOptions};
-use std::io::{self, Write};
+use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use super::crc::crc32;
-use super::{sync_parent_dir, FsyncPolicy};
+use super::vfs::{RealFs, Storage, StorageFile};
+use super::FsyncPolicy;
 use crate::hash::ContentKey;
 use crate::job::QosClass;
 
@@ -108,6 +108,15 @@ pub enum JournalRecord {
         /// the job that represents them).
         members: Vec<u64>,
     },
+    /// The persist circuit breaker re-closed after a degraded (volatile)
+    /// period: journaling resumes here. `dropped` counts the journal
+    /// writes skipped while the breaker was open. Live jobs admitted
+    /// during the outage are re-journaled as fresh `Submitted` records
+    /// immediately after this marker.
+    Resync {
+        /// Journal writes skipped while the breaker was open.
+        dropped: u64,
+    },
 }
 
 impl JournalRecord {
@@ -121,6 +130,7 @@ impl JournalRecord {
             | JournalRecord::Failed { id, .. }
             | JournalRecord::Cancelled { id }
             | JournalRecord::Batch { id, .. } => *id,
+            JournalRecord::Resync { .. } => 0,
         }
     }
 
@@ -158,6 +168,7 @@ impl JournalRecord {
                 }
                 b
             }
+            JournalRecord::Resync { dropped } => format!("resync 0 {dropped}").into_bytes(),
         }
     }
 
@@ -215,6 +226,9 @@ impl JournalRecord {
                 }
                 Some(JournalRecord::Batch { id, members })
             }
+            "resync" => Some(JournalRecord::Resync {
+                dropped: words.next()?.parse().ok()?,
+            }),
             _ => None,
         }
     }
@@ -307,7 +321,8 @@ fn scan(bytes: &[u8]) -> Replay {
 /// service wraps it in a `Mutex`.
 #[derive(Debug)]
 pub struct Journal {
-    file: File,
+    storage: Arc<dyn Storage>,
+    file: Box<dyn StorageFile>,
     path: PathBuf,
     fsync: FsyncPolicy,
     /// Records currently in the file (good records after open).
@@ -333,7 +348,20 @@ impl Journal {
     /// corrupt *contents* are never an error, only counted in the
     /// returned [`Replay`].
     pub fn open(path: &Path, fsync: FsyncPolicy) -> io::Result<(Journal, Replay)> {
-        let bytes = match fs::read(path) {
+        Journal::open_on(Arc::new(RealFs), path, fsync)
+    }
+
+    /// [`Journal::open`] over any [`Storage`] backend.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors opening, reading or repairing the file.
+    pub fn open_on(
+        storage: Arc<dyn Storage>,
+        path: &Path,
+        fsync: FsyncPolicy,
+    ) -> io::Result<(Journal, Replay)> {
+        let bytes = match storage.read(path) {
             Ok(b) => b,
             Err(e) if e.kind() == io::ErrorKind::NotFound => Vec::new(),
             Err(e) => return Err(e),
@@ -345,7 +373,8 @@ impl Journal {
             track(&mut live, &mut batches, r);
         }
         let mut journal = Journal {
-            file: OpenOptions::new().create(true).append(true).open(path)?,
+            file: storage.open_append(path)?,
+            storage,
             path: path.to_path_buf(),
             fsync,
             records: replay.records.len() as u64,
@@ -386,14 +415,14 @@ impl Journal {
                 super::fault::PersistFault::ShortWrite => {
                     // a power cut mid-append: a prefix lands, the call fails
                     let _ = self.file.write_all(&bytes[..bytes.len() / 2]);
-                    let _ = self.file.sync_data();
+                    let _ = self.file.sync();
                     return Err(io::Error::other("injected short write"));
                 }
             }
         }
         self.file.write_all(bytes)?;
         if self.fsync == FsyncPolicy::Always {
-            self.file.sync_data()?;
+            self.file.sync()?;
         }
         Ok(())
     }
@@ -440,22 +469,20 @@ impl Journal {
     /// The temp file's handle becomes the append handle.
     fn rewrite(&mut self, records: &[JournalRecord]) -> io::Result<()> {
         let tmp_path = self.path.with_extension("log.tmp");
-        let mut tmp = OpenOptions::new()
-            .create(true)
-            .write(true)
-            .truncate(true)
-            .open(&tmp_path)?;
+        let mut tmp = self.storage.create(&tmp_path)?;
         let mut buf = Vec::new();
         for r in records {
             buf.extend_from_slice(&frame(&r.encode()));
         }
         tmp.write_all(&buf)?;
         if self.fsync == FsyncPolicy::Always {
-            tmp.sync_all()?;
+            tmp.sync()?;
         }
-        fs::rename(&tmp_path, &self.path)?;
+        self.storage.rename(&tmp_path, &self.path)?;
         if self.fsync == FsyncPolicy::Always {
-            sync_parent_dir(&self.path);
+            if let Some(parent) = self.path.parent() {
+                self.storage.sync_dir(parent);
+            }
         }
         self.file = tmp;
         self.records = records.len() as u64;
@@ -501,12 +528,16 @@ fn track(
         JournalRecord::Batch { id, members } => {
             batches.insert(*id, members.clone());
         }
+        // a resync marker carries no job state; it only documents the
+        // degraded window in the file
+        JournalRecord::Resync { .. } => {}
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::fs;
 
     fn tmp_journal(tag: &str) -> PathBuf {
         let dir =
@@ -553,6 +584,7 @@ mod tests {
                 id: 1,
                 members: vec![1, 2, 3],
             },
+            JournalRecord::Resync { dropped: 17 },
         ]
     }
 

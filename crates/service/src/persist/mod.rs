@@ -31,19 +31,22 @@ pub mod crc;
 pub mod diskcache;
 #[cfg(feature = "fault-inject")]
 pub mod fault;
+pub mod heal;
 pub mod journal;
+pub mod vfs;
 
-use std::fs;
 use std::io;
-use std::path::{Path, PathBuf};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use crate::cache::CompletedDesign;
 use crate::hash::ContentKey;
 
 pub use diskcache::{load_all, store, CacheLoad, StoredDesign, CACHE_DIR};
+pub use heal::{BreakerConfig, BreakerState, PersistSupervisor, WriteOutcome};
 pub use journal::{Journal, JournalRecord, Replay, JOURNAL_FILE};
+pub use vfs::{CrashMode, RealFs, SimFault, SimFs, Storage, StorageFile};
 
 /// When the persist layer calls fsync.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -95,6 +98,7 @@ pub struct Recovery {
 /// fixed post-recovery counters `/metrics` reports.
 #[derive(Debug)]
 pub struct Persist {
+    storage: Arc<dyn Storage>,
     journal: Mutex<Journal>,
     cache_dir: PathBuf,
     fsync: FsyncPolicy,
@@ -121,13 +125,28 @@ impl Persist {
     /// file. Corrupt *contents* are never an error — they are counted in
     /// the returned [`Recovery`].
     pub fn open(config: &PersistConfig) -> io::Result<(Persist, Recovery)> {
-        fs::create_dir_all(&config.state_dir)?;
+        Persist::open_on(Arc::new(RealFs), config)
+    }
+
+    /// [`Persist::open`] over any [`Storage`] backend — the entry point
+    /// the crash-point simulation uses with a [`SimFs`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors creating directories or opening the journal.
+    pub fn open_on(
+        storage: Arc<dyn Storage>,
+        config: &PersistConfig,
+    ) -> io::Result<(Persist, Recovery)> {
+        storage.create_dir_all(&config.state_dir)?;
         let cache_dir = config.state_dir.join(CACHE_DIR);
-        fs::create_dir_all(&cache_dir)?;
+        storage.create_dir_all(&cache_dir)?;
         let journal_path = config.state_dir.join(JOURNAL_FILE);
-        let (journal, replay) = Journal::open(&journal_path, config.fsync_policy)?;
-        let cache = load_all(&cache_dir)?;
+        let (journal, replay) =
+            Journal::open_on(Arc::clone(&storage), &journal_path, config.fsync_policy)?;
+        let cache = diskcache::load_all_on(storage.as_ref(), &cache_dir)?;
         let persist = Persist {
+            storage,
             journal: Mutex::new(journal),
             cache_dir,
             fsync: config.fsync_policy,
@@ -167,7 +186,14 @@ impl Persist {
         canon: &str,
         design: &CompletedDesign,
     ) -> io::Result<()> {
-        let result = store(&self.cache_dir, key, canon, design, self.fsync);
+        let result = diskcache::store_on(
+            self.storage.as_ref(),
+            &self.cache_dir,
+            key,
+            canon,
+            design,
+            self.fsync,
+        );
         if result.is_err() {
             self.errors.fetch_add(1, Ordering::Relaxed);
         }
@@ -193,23 +219,11 @@ fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
-/// Best-effort fsync of a path's parent directory, so a rename is durable
-/// before we report success. Failures are swallowed: some filesystems
-/// refuse directory fsync and the rename itself already ordered the
-/// metadata on the ones that matter.
-fn sync_parent_dir(path: &Path) {
-    if let Some(parent) = path.parent() {
-        if let Ok(dir) = fs::File::open(parent) {
-            let _ = dir.sync_all();
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::cache::DesignSummary;
-    use std::sync::Arc;
+    use std::fs;
     use std::time::Duration;
 
     fn tmp_state(tag: &str) -> PathBuf {

@@ -33,7 +33,10 @@ use crate::cache::{entry_cost, CacheConfig, CompletedDesign, DesignCache, Design
 use crate::hash::ContentKey;
 use crate::job::{JobId, JobState, JobStatus, QosClass};
 use crate::metrics::MetricsSnapshot;
-use crate::persist::{JournalRecord, Persist, PersistConfig, Recovery};
+use crate::persist::{
+    BreakerConfig, BreakerState, JournalRecord, Persist, PersistConfig, PersistSupervisor,
+    Recovery, WriteOutcome,
+};
 use crate::trace::{NullSink, RingConfig, RingSink, TraceEvent, TraceKind, TraceSink};
 
 /// Locks a mutex, recovering from poisoning: a panic in a worker is
@@ -88,6 +91,17 @@ pub struct ServiceConfig {
     /// Bounds for the per-job lifecycle trace rings behind
     /// `GET /jobs/<id>/trace`.
     pub trace_ring: RingConfig,
+    /// Persist self-healing thresholds: retries per write, consecutive
+    /// failures before the breaker trips the service into volatile
+    /// degraded mode, and the half-open probe pacing.
+    pub breaker: BreakerConfig,
+    /// Grace past [`ServiceConfig::job_deadline`] before the stuck-job
+    /// watchdog cancels a running job that ignored its deadline token.
+    pub watchdog_grace: Duration,
+    /// Test hook: sleep this long per journal record during startup
+    /// recovery, making the not-ready window observable from `/healthz`.
+    /// `None` (the default) replays at full speed.
+    pub replay_throttle: Option<Duration>,
 }
 
 impl Default for ServiceConfig {
@@ -105,6 +119,9 @@ impl Default for ServiceConfig {
             profile_spans: true,
             profile_capacity: 4096,
             trace_ring: RingConfig::default(),
+            breaker: BreakerConfig::default(),
+            watchdog_grace: Duration::from_secs(30),
+            replay_throttle: None,
         }
     }
 }
@@ -120,6 +137,8 @@ impl fmt::Debug for ServiceConfig {
             .field("max_records", &self.max_records)
             .field("persist", &self.persist)
             .field("profile_spans", &self.profile_spans)
+            .field("breaker", &self.breaker)
+            .field("watchdog_grace", &self.watchdog_grace)
             .finish_non_exhaustive()
     }
 }
@@ -193,6 +212,60 @@ pub enum ProfileError {
     Disabled,
 }
 
+/// A point-in-time liveness/readiness report, served as JSON by
+/// `GET /healthz`. `ready` is the overall verdict: the HTTP front end
+/// answers 503 with `Retry-After` until it turns true.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HealthReport {
+    /// The service can take traffic: startup recovery has finished and
+    /// shutdown has not begun.
+    pub ready: bool,
+    /// Startup recovery (journal replay + cache load) is still running;
+    /// submissions block and `/healthz` answers 503 meanwhile.
+    pub recovering: bool,
+    /// [`Service::shutdown`] has begun.
+    pub shutting_down: bool,
+    /// The persist breaker's state ([`BreakerState::Closed`] when
+    /// persistence is off).
+    pub breaker: BreakerState,
+    /// Persist writes are being skipped: work accepted now is volatile
+    /// until the breaker closes again.
+    pub degraded: bool,
+    /// Interactive-queue depth (admitted + reserved).
+    pub queue_depth_interactive: usize,
+    /// Bulk-queue depth (admitted + reserved).
+    pub queue_depth_bulk: usize,
+    /// Jobs currently running on workers.
+    pub jobs_running: usize,
+    /// Worker threads in the pool.
+    pub workers: usize,
+    /// Jobs the stuck-job watchdog has cancelled since startup.
+    pub watchdog_cancels: u64,
+}
+
+impl HealthReport {
+    /// The report as a single-line JSON object — the `/healthz` body.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"ready\":{},\"recovering\":{},\"shutting_down\":{},\
+             \"breaker\":\"{}\",\"degraded\":{},\
+             \"queue_depth_interactive\":{},\"queue_depth_bulk\":{},\
+             \"jobs_running\":{},\"workers\":{},\"watchdog_cancels\":{}}}",
+            self.ready,
+            self.recovering,
+            self.shutting_down,
+            self.breaker.as_str(),
+            self.degraded,
+            self.queue_depth_interactive,
+            self.queue_depth_bulk,
+            self.jobs_running,
+            self.workers,
+            self.watchdog_cancels,
+        )
+    }
+}
+
 struct JobRecord {
     text: Arc<String>,
     token: CancelToken,
@@ -208,6 +281,16 @@ struct JobRecord {
     /// `GET /jobs/<id>/profile`. `None` until terminal, or forever when
     /// profiling is off.
     profile: Option<Arc<Vec<SpanEvent>>>,
+    /// Whether this job's submission record reached the journal. `false`
+    /// for jobs accepted while the persist breaker was open (volatile
+    /// degraded mode) and for in-memory-only services; flips back to
+    /// `true` when the breaker heals and the job is re-journaled.
+    durable: bool,
+    /// When a worker claimed the job; the stuck-job watchdog measures
+    /// deadline + grace against it.
+    started_at: Option<Instant>,
+    /// The watchdog already cancelled this job (it fires once per job).
+    watchdog_fired: bool,
 }
 
 impl JobRecord {
@@ -221,6 +304,7 @@ impl JobRecord {
             rung: self.rung.clone(),
             error: self.error.clone(),
             design: self.design.clone(),
+            durable: self.durable,
         }
     }
 }
@@ -277,6 +361,17 @@ struct Inner {
     /// to the configured sink.
     ring: RingSink,
     persist: Option<Persist>,
+    /// Retry/breaker state every persist write runs under; meaningful
+    /// only when `persist` is `Some` (stays closed forever otherwise).
+    supervisor: PersistSupervisor,
+    /// Startup recovery has finished (immediately true without
+    /// persistence). Guarded by its own mutex so `/healthz` reads it
+    /// without touching the job table; every other public API blocks on
+    /// it through [`Inner::wait_ready`].
+    ready: Mutex<bool>,
+    ready_cv: Condvar,
+    watchdog_grace: Duration,
+    watchdog_cancels: AtomicU64,
     rejected: AtomicU64,
     panics: AtomicU64,
     /// Batch groups admitted.
@@ -322,24 +417,71 @@ impl Inner {
         self.trace_sink.record(&event);
     }
 
-    /// Appends a journal record when persistence is on, tracing (never
-    /// propagating) failures and compactions. For the records whose loss
-    /// recovery tolerates — `started`, terminal states — the submission
-    /// path journals through [`Persist::append`] directly because there a
+    /// Blocks until startup recovery has finished (or shutdown began).
+    /// Every public API that reads or mutates the job table goes through
+    /// this so recovered state is never observed half-applied; `/healthz`
+    /// deliberately does not — reporting "not ready yet" is its job.
+    fn wait_ready(&self) {
+        let mut ready = lock(&self.ready);
+        while !*ready && !self.shutting_down.load(Ordering::Acquire) {
+            let (g, _) = self
+                .ready_cv
+                .wait_timeout(ready, Duration::from_millis(50))
+                .unwrap_or_else(PoisonError::into_inner);
+            ready = g;
+        }
+    }
+
+    /// Appends a journal record when persistence is on, through the
+    /// breaker, tracing (never propagating) failures and compactions.
+    /// These are the records whose loss recovery tolerates — `started`,
+    /// terminal states; admission records go through
+    /// [`Inner::journal_admission`] because there a closed-breaker
     /// failure must refuse the ack.
     fn journal_best_effort(&self, record: &JournalRecord) {
         let Some(persist) = &self.persist else {
             return;
         };
-        match persist.append(record) {
-            Ok(true) => self.trace(None, TraceKind::Compacted, "journal compacted"),
-            Ok(false) => {}
-            Err(e) => self.trace(
+        match self.supervisor.run(|| persist.append(record)) {
+            WriteOutcome::Done(true) => self.trace(None, TraceKind::Compacted, "journal compacted"),
+            WriteOutcome::Done(false) | WriteOutcome::Skipped => {}
+            WriteOutcome::Failed(e) => self.trace(
                 Some(record.id()),
                 TraceKind::PersistError,
                 format!("journal append failed: {e}"),
             ),
+            WriteOutcome::Tripped(e) => self.trace_breaker_open(Some(record.id()), &e),
         }
+    }
+
+    /// Journals an admission record under the breaker. `Ok(true)` means
+    /// the record is durable; `Ok(false)` means the breaker is (or this
+    /// very failure tripped it) open and the job is accepted *volatile*;
+    /// `Err` refuses the submission — the write failed but the breaker is
+    /// still closed, and while healthy, acked means journaled.
+    fn journal_admission(&self, persist: &Persist, record: &JournalRecord) -> io::Result<bool> {
+        match self.supervisor.run(|| persist.append(record)) {
+            WriteOutcome::Done(compacted) => {
+                if compacted {
+                    self.trace(None, TraceKind::Compacted, "journal compacted");
+                }
+                Ok(true)
+            }
+            WriteOutcome::Skipped => Ok(false),
+            WriteOutcome::Tripped(e) => {
+                self.trace_breaker_open(Some(record.id()), &e);
+                Ok(false)
+            }
+            WriteOutcome::Failed(e) => Err(e),
+        }
+    }
+
+    fn trace_breaker_open(&self, job: Option<u64>, cause: &io::Error) {
+        self.trace(
+            job,
+            TraceKind::BreakerOpen,
+            format!("persist breaker opened; serving volatile from memory: {cause}"),
+        );
     }
 }
 
@@ -444,6 +586,11 @@ impl Service {
             trace_sink: config.trace,
             ring: RingSink::new(config.trace_ring),
             persist,
+            supervisor: PersistSupervisor::new(config.breaker, 0x0c01_7b5a),
+            ready: Mutex::new(recovery.is_none()),
+            ready_cv: Condvar::new(),
+            watchdog_grace: config.watchdog_grace,
+            watchdog_cancels: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
             panics: AtomicU64::new(0),
             batches_submitted: AtomicU64::new(0),
@@ -462,21 +609,46 @@ impl Service {
             worker_busy_ns: (0..worker_count).map(|_| AtomicU64::new(0)).collect(),
             http_recorder: SpanRecorder::new(2048),
         });
+        let mut handles: Vec<JoinHandle<()>> = Vec::with_capacity(worker_count + 2);
+        // Recovery runs off-thread so the constructor returns immediately
+        // and `/healthz` can report 503-not-ready while the replay is
+        // still re-enqueueing jobs. Workers and submissions block on the
+        // ready flag, so recovered queue order is still preserved.
         if let Some(recovery) = recovery {
-            apply_recovery(&inner, recovery);
+            let inner = Arc::clone(&inner);
+            let throttle = config.replay_throttle;
+            handles.push(
+                thread::Builder::new()
+                    .name("columba-recovery".into())
+                    .spawn(move || {
+                        apply_recovery(&inner, recovery, throttle);
+                        *lock(&inner.ready) = true;
+                        inner.ready_cv.notify_all();
+                    })
+                    .expect("spawning the recovery thread"),
+            );
         }
-        let workers = (0..worker_count)
-            .map(|i| {
-                let inner = Arc::clone(&inner);
+        {
+            let inner = Arc::clone(&inner);
+            handles.push(
+                thread::Builder::new()
+                    .name("columba-supervisor".into())
+                    .spawn(move || supervisor_loop(&inner))
+                    .expect("spawning the supervisor thread"),
+            );
+        }
+        for i in 0..worker_count {
+            let inner = Arc::clone(&inner);
+            handles.push(
                 thread::Builder::new()
                     .name(format!("columba-worker-{i}"))
                     .spawn(move || worker_loop(&inner, i))
-                    .expect("spawning a worker thread")
-            })
-            .collect();
+                    .expect("spawning a worker thread"),
+            );
+        }
         Ok(Service {
             inner,
-            workers: Mutex::new(workers),
+            workers: Mutex::new(handles),
         })
     }
 
@@ -521,6 +693,7 @@ impl Service {
     ) -> Result<JobId, SubmitError> {
         let text: Arc<String> = Arc::new(text.into());
         let inner = &self.inner;
+        inner.wait_ready();
         inner.trace(None, TraceKind::Received, format!("{} bytes", text.len()));
         // Phase 1 — admission + id reservation under the state lock. The
         // reservation counts against capacity so concurrent submissions
@@ -557,20 +730,20 @@ impl Service {
             st.reserved[class.idx()] += 1;
             id
         };
-        // Phase 2 — make the submission durable before acking it. A
-        // failed append refuses the submission: acked means journaled.
+        // Phase 2 — make the submission durable before acking it. While
+        // the breaker is closed a failed append refuses the submission
+        // (acked means journaled); once it is open — or this very failure
+        // trips it — the job is accepted *volatile* instead: solved and
+        // served from memory, marked non-durable until the breaker heals.
+        let mut durable = false;
         if let Some(persist) = &inner.persist {
             let record = JournalRecord::Submitted {
                 id,
                 class,
                 text: Arc::clone(&text),
             };
-            match persist.append(&record) {
-                Ok(compacted) => {
-                    if compacted {
-                        inner.trace(None, TraceKind::Compacted, "journal compacted");
-                    }
-                }
+            match inner.journal_admission(persist, &record) {
+                Ok(d) => durable = d,
                 Err(e) => {
                     lock(&inner.state).reserved[class.idx()] -= 1;
                     inner.rejected.fetch_add(1, Ordering::Relaxed);
@@ -598,7 +771,7 @@ impl Service {
                 inner.trace(None, TraceKind::Rejected, "service is shutting down");
                 return Err(SubmitError::ShuttingDown);
             }
-            enqueue_job(&mut st, inner, id, class, text);
+            enqueue_job(&mut st, inner, id, class, text, durable);
             let pruned = prune_records(&mut st, inner.max_records);
             drop(st);
             inner.ring.forget(&pruned);
@@ -636,6 +809,7 @@ impl Service {
         class: QosClass,
     ) -> Result<(BatchId, Vec<JobId>), SubmitError> {
         let inner = &self.inner;
+        inner.wait_ready();
         if texts.is_empty() {
             return Err(SubmitError::QueueFull {
                 depth: 0,
@@ -708,10 +882,14 @@ impl Service {
         };
         let members: Vec<u64> = member_of.iter().map(|&slot| ids[slot]).collect();
         // Phase 2 — journal every unique member, then the group record.
-        // A failure refuses the whole batch (nothing was enqueued yet);
-        // already-journaled members are cancelled best-effort so the next
-        // startup does not resurrect half a batch.
+        // A closed-breaker failure refuses the whole batch (nothing was
+        // enqueued yet); already-journaled members are cancelled
+        // best-effort so the next startup does not resurrect half a
+        // batch. A breaker trip (or an already-open breaker) accepts the
+        // whole batch volatile instead.
+        let mut durable = false;
         if let Some(persist) = &inner.persist {
+            durable = true;
             let mut journaled: Vec<u64> = Vec::new();
             let mut fail = None;
             for (i, text) in unique.iter().enumerate() {
@@ -720,13 +898,9 @@ impl Service {
                     class,
                     text: Arc::clone(text),
                 };
-                match persist.append(&record) {
-                    Ok(compacted) => {
-                        if compacted {
-                            inner.trace(None, TraceKind::Compacted, "journal compacted");
-                        }
-                        journaled.push(ids[i]);
-                    }
+                match inner.journal_admission(persist, &record) {
+                    Ok(true) => journaled.push(ids[i]),
+                    Ok(false) => durable = false,
                     Err(e) => {
                         fail = Some(e);
                         break;
@@ -734,11 +908,16 @@ impl Service {
                 }
             }
             if fail.is_none() {
-                if let Err(e) = persist.append(&JournalRecord::Batch {
-                    id: batch_id,
-                    members: members.clone(),
-                }) {
-                    fail = Some(e);
+                match inner.journal_admission(
+                    persist,
+                    &JournalRecord::Batch {
+                        id: batch_id,
+                        members: members.clone(),
+                    },
+                ) {
+                    Ok(true) => {}
+                    Ok(false) => durable = false,
+                    Err(e) => fail = Some(e),
                 }
             }
             if let Some(e) = fail {
@@ -771,7 +950,7 @@ impl Service {
                 return Err(SubmitError::ShuttingDown);
             }
             for (i, text) in unique.into_iter().enumerate() {
-                enqueue_job(&mut st, inner, ids[i], class, text);
+                enqueue_job(&mut st, inner, ids[i], class, text, durable);
             }
             st.batches.insert(
                 batch_id,
@@ -806,6 +985,7 @@ impl Service {
     /// unknown (or pruned) id.
     #[must_use]
     pub fn batch_status(&self, id: BatchId) -> Option<BatchStatus> {
+        self.inner.wait_ready();
         let st = lock(&self.inner.state);
         let batch = st.batches.get(&id.0)?;
         Some(batch_snapshot(id, batch, &st.jobs))
@@ -816,6 +996,7 @@ impl Service {
     /// unknown id).
     #[must_use]
     pub fn wait_batch(&self, id: BatchId, timeout: Duration) -> Option<BatchStatus> {
+        self.inner.wait_ready();
         let deadline = Instant::now() + timeout;
         let mut st = lock(&self.inner.state);
         loop {
@@ -842,6 +1023,7 @@ impl Service {
     /// service has never seen.
     #[must_use]
     pub fn job_events(&self, id: JobId) -> Option<Vec<TraceEvent>> {
+        self.inner.wait_ready();
         let known = lock(&self.inner.state).jobs.contains_key(&id.0);
         let events = self.inner.ring.job_events(id.0);
         if !known && events.is_none() {
@@ -854,6 +1036,7 @@ impl Service {
     /// pruned) id.
     #[must_use]
     pub fn status(&self, id: JobId) -> Option<JobStatus> {
+        self.inner.wait_ready();
         let st = lock(&self.inner.state);
         st.jobs.get(&id.0).map(|r| r.snapshot(id.0))
     }
@@ -863,6 +1046,7 @@ impl Service {
     /// unknown id).
     #[must_use]
     pub fn wait(&self, id: JobId, timeout: Duration) -> Option<JobStatus> {
+        self.inner.wait_ready();
         let deadline = Instant::now() + timeout;
         let mut st = lock(&self.inner.state);
         loop {
@@ -890,6 +1074,7 @@ impl Service {
     /// for unknown or already-terminal jobs.
     pub fn cancel(&self, id: JobId) -> bool {
         let inner = &self.inner;
+        inner.wait_ready();
         let was_queued = {
             let mut st = lock(&inner.state);
             let Some(r) = st.jobs.get_mut(&id.0) else {
@@ -926,6 +1111,7 @@ impl Service {
     /// [`ExportError::NotFound`] for an unknown id, [`ExportError::NotReady`]
     /// when the job has no design.
     pub fn export(&self, id: JobId, kind: ExportKind) -> Result<Arc<CompletedDesign>, ExportError> {
+        self.inner.wait_ready();
         let design = {
             let st = lock(&self.inner.state);
             let r = st.jobs.get(&id.0).ok_or(ExportError::NotFound)?;
@@ -939,10 +1125,47 @@ impl Service {
         Ok(design)
     }
 
+    /// The liveness/readiness report behind `GET /healthz`. Unlike every
+    /// other accessor this does NOT block on startup recovery —
+    /// reporting "not ready yet" during the replay is its job.
+    #[must_use]
+    pub fn health(&self) -> HealthReport {
+        let inner = &self.inner;
+        let recovering = !*lock(&inner.ready);
+        let shutting_down = inner.shutting_down.load(Ordering::Acquire);
+        let (queue_depth_interactive, queue_depth_bulk, jobs_running) = {
+            let st = lock(&inner.state);
+            let running = st
+                .jobs
+                .values()
+                .filter(|r| r.state == JobState::Running)
+                .count();
+            (
+                st.depth(QosClass::Interactive),
+                st.depth(QosClass::Bulk),
+                running,
+            )
+        };
+        let breaker = inner.supervisor.state();
+        HealthReport {
+            ready: !recovering && !shutting_down,
+            recovering,
+            shutting_down,
+            breaker,
+            degraded: breaker != BreakerState::Closed,
+            queue_depth_interactive,
+            queue_depth_bulk,
+            jobs_running,
+            workers: inner.worker_count,
+            watchdog_cancels: inner.watchdog_cancels.load(Ordering::Relaxed),
+        }
+    }
+
     /// Current counters for `/metrics`.
     #[must_use]
     pub fn metrics(&self) -> MetricsSnapshot {
         let inner = &self.inner;
+        inner.wait_ready();
         let (queue_depths, batches_live, jobs_queued, jobs_running) = {
             let st = lock(&inner.state);
             let queued = st
@@ -1016,6 +1239,11 @@ impl Service {
             cache_corrupt_dropped: corrupt_cache,
             compactions,
             persist_errors,
+            persist_retries: inner.supervisor.retries(),
+            breaker_trips: inner.supervisor.trips(),
+            breaker_state: inner.supervisor.state().as_gauge(),
+            degraded_seconds: inner.supervisor.degraded_time().as_secs_f64(),
+            watchdog_cancels: inner.watchdog_cancels.load(Ordering::Relaxed),
             solve: lock(&inner.agg).clone(),
             uptime,
             worker_busy,
@@ -1035,6 +1263,7 @@ impl Service {
     /// renders as an empty document.
     #[must_use]
     pub fn job_trace(&self, id: JobId) -> Option<String> {
+        self.inner.wait_ready();
         let known = lock(&self.inner.state).jobs.contains_key(&id.0);
         let events = self.inner.ring.job_events(id.0);
         if !known && events.is_none() {
@@ -1059,6 +1288,7 @@ impl Service {
     /// [`ProfileError::Disabled`] when the job finished without a
     /// recorded profile (profiling was off).
     pub fn job_profile(&self, id: JobId) -> Result<String, ProfileError> {
+        self.inner.wait_ready();
         let (state, profile) = {
             let st = lock(&self.inner.state);
             let r = st.jobs.get(&id.0).ok_or(ProfileError::NotFound)?;
@@ -1104,6 +1334,7 @@ impl Service {
     /// context, like the HTTP front end computing `Retry-After`.
     #[must_use]
     pub fn queue_depth(&self) -> usize {
+        self.inner.wait_ready();
         let st = lock(&self.inner.state);
         st.depth(QosClass::Interactive) + st.depth(QosClass::Bulk)
     }
@@ -1116,6 +1347,9 @@ impl Service {
         if inner.shutting_down.swap(true, Ordering::AcqRel) {
             return;
         }
+        // Wake anything blocked on the ready flag (workers, submissions,
+        // queries during a recovery replay) so they observe the shutdown.
+        inner.ready_cv.notify_all();
         let drained: Vec<u64> = {
             let mut st = lock(&inner.state);
             for r in st.jobs.values_mut() {
@@ -1185,7 +1419,14 @@ impl Drop for Service {
 
 /// Inserts a fresh `Queued` record for `id` and pushes it onto its class
 /// queue. Callers hold the state lock.
-fn enqueue_job(st: &mut State, inner: &Inner, id: u64, class: QosClass, text: Arc<String>) {
+fn enqueue_job(
+    st: &mut State,
+    inner: &Inner,
+    id: u64,
+    class: QosClass,
+    text: Arc<String>,
+    durable: bool,
+) {
     let token = inner
         .job_deadline
         .map_or_else(CancelToken::new, CancelToken::with_timeout);
@@ -1203,6 +1444,9 @@ fn enqueue_job(st: &mut State, inner: &Inner, id: u64, class: QosClass, text: Ar
             error: None,
             design: None,
             profile: None,
+            durable,
+            started_at: None,
+            watchdog_fired: false,
         },
     );
     st.queues[class.idx()].push_back(id);
@@ -1303,7 +1547,7 @@ enum Folded {
 /// (ids are monotonic, so id order *is* submission order), restores
 /// terminal job records for status queries, and traces every corruption
 /// the persist layer skipped.
-fn apply_recovery(inner: &Inner, recovery: Recovery) {
+fn apply_recovery(inner: &Inner, recovery: Recovery, throttle: Option<Duration>) {
     for note in recovery
         .replay
         .notes
@@ -1318,6 +1562,15 @@ fn apply_recovery(inner: &Inner, recovery: Recovery) {
     let mut classes: HashMap<u64, QosClass> = HashMap::new();
     let mut batches: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
     for record in recovery.replay.records {
+        if let Some(pause) = throttle {
+            // Test hook: stretch the replay so the not-ready window is
+            // observable. Shutdown aborts the stretch, not the replay —
+            // the remaining records apply immediately so the flag flip
+            // never leaves half-applied state behind.
+            if !inner.shutting_down.load(Ordering::Acquire) {
+                thread::sleep(pause);
+            }
+        }
         match record {
             JournalRecord::Submitted { id, class, text } => {
                 texts.insert(id, Arc::clone(&text));
@@ -1347,6 +1600,16 @@ fn apply_recovery(inner: &Inner, recovery: Recovery) {
             }
             JournalRecord::Batch { id, members } => {
                 batches.insert(id, members);
+            }
+            JournalRecord::Resync { dropped } => {
+                inner.trace(
+                    None,
+                    TraceKind::Resync,
+                    format!(
+                        "journal has a resync point: {dropped} persist \
+                         writes were skipped while degraded before it"
+                    ),
+                );
             }
         }
     }
@@ -1385,6 +1648,10 @@ fn apply_recovery(inner: &Inner, recovery: Recovery) {
                 error: None,
                 design: None,
                 profile: None,
+                // it came out of the journal, so it is in the journal
+                durable: true,
+                started_at: None,
+                watchdog_fired: false,
             };
             match state {
                 Folded::Live(class, text) => {
@@ -1457,7 +1724,129 @@ fn apply_recovery(inner: &Inner, recovery: Recovery) {
     );
 }
 
+/// The supervisor thread: a ~50 ms tick running the stuck-job watchdog
+/// and, when the persist breaker is open, the half-open probe that heals
+/// it. Exits at shutdown.
+fn supervisor_loop(inner: &Arc<Inner>) {
+    while !inner.shutting_down.load(Ordering::Acquire) {
+        thread::sleep(Duration::from_millis(50));
+        watchdog_sweep(inner);
+        probe_persist(inner);
+    }
+}
+
+/// Cancels running jobs that have outlived deadline + grace. The
+/// deadline token normally fires on its own and the ladder winds down
+/// cooperatively; the watchdog is the backstop for a solve that ignored
+/// it — it re-fires the token, marks the job cancel-requested so it
+/// finalizes as `Cancelled`, counts it, and traces it — once per job.
+fn watchdog_sweep(inner: &Inner) {
+    let Some(deadline) = inner.job_deadline else {
+        return;
+    };
+    let limit = deadline + inner.watchdog_grace;
+    let fired: Vec<u64> = {
+        let mut st = lock(&inner.state);
+        let mut fired = Vec::new();
+        for (&id, r) in &mut st.jobs {
+            if r.state == JobState::Running
+                && !r.watchdog_fired
+                && r.started_at.is_some_and(|t0| t0.elapsed() > limit)
+            {
+                r.watchdog_fired = true;
+                r.cancel_requested = true;
+                r.token.cancel();
+                fired.push(id);
+            }
+        }
+        fired
+    };
+    for id in fired {
+        inner.watchdog_cancels.fetch_add(1, Ordering::Relaxed);
+        inner.trace(
+            Some(id),
+            TraceKind::Watchdog,
+            "running past deadline + grace; cancelled",
+        );
+    }
+}
+
+/// When the breaker is open and its probe interval has passed, sends the
+/// single half-open probe write — the `resync` journal record itself, so
+/// a successful probe leaves the degraded-mode marker in the journal. On
+/// success the breaker closes and the live volatile jobs are
+/// re-journaled; on failure the breaker re-opens and the clock restarts.
+fn probe_persist(inner: &Inner) {
+    let Some(persist) = &inner.persist else {
+        return;
+    };
+    let sup = &inner.supervisor;
+    if !sup.probe_due() || !sup.begin_probe() {
+        return;
+    }
+    let dropped = sup.skipped();
+    match persist.append(&JournalRecord::Resync { dropped }) {
+        Ok(_) => {
+            let skipped = sup.close();
+            inner.trace(
+                None,
+                TraceKind::Resync,
+                format!("{skipped} persist writes were skipped while degraded"),
+            );
+            rejournal_volatile(inner, persist);
+            inner.trace(
+                None,
+                TraceKind::BreakerClosed,
+                "probe write succeeded; journaling resumed",
+            );
+        }
+        Err(e) => {
+            sup.probe_failed();
+            inner.trace(
+                None,
+                TraceKind::PersistError,
+                format!("probe write failed; breaker stays open: {e}"),
+            );
+        }
+    }
+}
+
+/// Re-journals every live volatile job after the breaker closes, marking
+/// each durable again. Terminal volatile jobs stay volatile: they are
+/// results, not obligations, and losing them in a crash is the
+/// documented cost of having served through the outage.
+fn rejournal_volatile(inner: &Inner, persist: &Persist) {
+    let live: Vec<(u64, QosClass, Arc<String>)> = {
+        let st = lock(&inner.state);
+        st.jobs
+            .iter()
+            .filter(|(_, r)| !r.durable && !r.state.is_terminal())
+            .map(|(&id, r)| (id, r.class, Arc::clone(&r.text)))
+            .collect()
+    };
+    let mut healed = Vec::new();
+    for (id, class, text) in live {
+        match persist.append(&JournalRecord::Submitted { id, class, text }) {
+            Ok(_) => healed.push(id),
+            Err(e) => inner.trace(
+                Some(id),
+                TraceKind::PersistError,
+                format!("re-journal after heal failed: {e}"),
+            ),
+        }
+    }
+    let mut st = lock(&inner.state);
+    for id in &healed {
+        if let Some(r) = st.jobs.get_mut(id) {
+            r.durable = true;
+        }
+    }
+}
+
 fn worker_loop(inner: &Arc<Inner>, index: usize) {
+    // Never claim before startup recovery finishes: recovered queue
+    // order is part of the durability contract.
+    inner.wait_ready();
     loop {
         let claimed = {
             let mut st = lock(&inner.state);
@@ -1478,6 +1867,7 @@ fn worker_loop(inner: &Arc<Inner>, index: usize) {
                         continue;
                     }
                     r.state = JobState::Running;
+                    r.started_at = Some(Instant::now());
                     let text = Arc::clone(&r.text);
                     let token = r.token.clone();
                     break Some((id, text, token));
@@ -1633,12 +2023,17 @@ fn run_job(inner: &Inner, id: u64, text: &str, token: &CancelToken) -> JobEnd {
                 let cost = entry_cost(&design, &record);
                 lock(&inner.cache).insert(key, Arc::clone(&design), record.clone(), cost);
                 if let Some(persist) = &inner.persist {
-                    if let Err(e) = persist.store_design(key, &record, &design) {
-                        inner.trace(
+                    match inner
+                        .supervisor
+                        .run(|| persist.store_design(key, &record, &design))
+                    {
+                        WriteOutcome::Done(()) | WriteOutcome::Skipped => {}
+                        WriteOutcome::Failed(e) => inner.trace(
                             Some(id),
                             TraceKind::PersistError,
                             format!("design store failed: {e}"),
-                        );
+                        ),
+                        WriteOutcome::Tripped(e) => inner.trace_breaker_open(Some(id), &e),
                     }
                 }
             }

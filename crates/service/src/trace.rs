@@ -62,6 +62,19 @@ pub enum TraceKind {
     /// Batch-group lifecycle (admission, recovery; detail carries the
     /// member/unique counts).
     Batch,
+    /// The persist breaker tripped open: writes are skipped and the
+    /// service is serving volatile from memory.
+    BreakerOpen,
+    /// The half-open probe write succeeded: the breaker closed and
+    /// journaling resumed.
+    BreakerClosed,
+    /// A `resync` journal record: the count of persist writes skipped
+    /// while the breaker was open (written on heal, replayed on
+    /// recovery).
+    Resync,
+    /// The stuck-job watchdog cancelled a running job that outlived its
+    /// deadline plus the configured grace.
+    Watchdog,
 }
 
 impl TraceKind {
@@ -86,6 +99,10 @@ impl TraceKind {
             TraceKind::Compacted => "compacted",
             TraceKind::PersistError => "persist_error",
             TraceKind::Batch => "batch",
+            TraceKind::BreakerOpen => "breaker_open",
+            TraceKind::BreakerClosed => "breaker_closed",
+            TraceKind::Resync => "resync",
+            TraceKind::Watchdog => "watchdog",
         }
     }
 }

@@ -122,7 +122,7 @@ fn mutated_requests_get_4xx_and_the_server_keeps_serving() {
     // after the storm, a well-formed request still works
     let (status, body) = common::request(addr, "GET", "/healthz", None);
     assert_eq!(status, 200);
-    assert_eq!(body, "ok\n");
+    assert!(body.contains("\"ready\":true"), "{body}");
     assert_eq!(service.metrics().worker_panics, 0);
     service.shutdown();
 }

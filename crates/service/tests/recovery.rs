@@ -256,6 +256,15 @@ fn recovery_tolerates_arbitrary_state_corruption() {
         let service = open(&pristine);
         solve(&service, TINY);
         solve(&service, TINY2);
+        // a batch group too, so the fuzz also mangles `batch` records
+        // (member lists) and the compacted shapes they leave behind
+        let (batch, _jobs) = service
+            .submit_batch(&[TINY.to_string(), TINY2.to_string()], QosClass::Bulk)
+            .expect("batch admitted");
+        let group = service
+            .wait_batch(batch, Duration::from_secs(120))
+            .expect("batch known");
+        assert!(group.is_terminal(), "batch converges before the fuzz");
         if let Ok(id) = service.submit_text("chip broken\nport only\n") {
             let _ = service.wait(id, Duration::from_secs(60));
         }
@@ -358,6 +367,73 @@ fn churn_triggers_journal_compaction() {
     // the compacted journal replays clean
     let service = open(&dir);
     assert_eq!(service.metrics().journal_corrupt_skipped, 0);
+    service.shutdown();
+}
+
+#[test]
+fn compaction_runs_clean_over_a_corrupted_tail() {
+    let dir = fresh_state_dir("compact-tail");
+    fs::create_dir_all(&dir).expect("mkdir");
+    {
+        let (mut journal, _) =
+            Journal::open(&dir.join("journal.log"), FsyncPolicy::Never).expect("journal");
+        // 30 dead submit+cancel pairs: compactable weight the rewrite
+        // must carry over a torn frame without tripping on it
+        for id in 0..30 {
+            journal
+                .append(&JournalRecord::Submitted {
+                    id,
+                    class: QosClass::Bulk,
+                    text: Arc::new(format!("chip broken{id}\nport only\n")),
+                })
+                .expect("append");
+            journal
+                .append(&JournalRecord::Cancelled { id })
+                .expect("append");
+        }
+    }
+    // tear the last frame mid-payload — a torn write at the tail
+    let path = dir.join("journal.log");
+    let mut bytes = fs::read(&path).expect("journal readable");
+    let torn = bytes.len() - 9;
+    bytes.truncate(torn);
+    fs::write(&path, &bytes).expect("rewrite");
+
+    let service = open(&dir);
+    let m = service.metrics();
+    assert_eq!(
+        m.journal_records_replayed, 59,
+        "every frame before the tear replays"
+    );
+    assert!(
+        m.journal_corrupt_skipped >= 1,
+        "the torn tail is skipped, not fatal: {}",
+        m.journal_corrupt_skipped
+    );
+
+    // churn enough dead records past the threshold to force a
+    // compaction *on top of* the corrupted journal
+    for i in 0..30 {
+        let id = service
+            .submit_text(format!("chip alsobroken{i}\nport only\n"))
+            .expect("admitted");
+        let status = service.wait(id, Duration::from_secs(60)).expect("known");
+        assert_eq!(status.state, JobState::Failed);
+    }
+    let m = service.metrics();
+    assert!(
+        m.compactions >= 1,
+        "dead records over a corrupted tail must still compact"
+    );
+    service.shutdown();
+
+    // the rewrite dropped the torn frame: the journal now replays clean
+    let service = open(&dir);
+    assert_eq!(
+        service.metrics().journal_corrupt_skipped,
+        0,
+        "compaction rewrote the corruption away"
+    );
     service.shutdown();
 }
 

@@ -31,7 +31,8 @@ fn post_poll_export_metrics_and_cache_speedup() {
 
     // health first
     let (status, body) = common::request(addr, "GET", "/healthz", None);
-    assert_eq!((status, body.as_str()), (200, "ok\n"));
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"ready\":true"), "{body}");
 
     // submit and poll to done
     let (status, body) = common::request(addr, "POST", "/synthesize", Some(&netlist));
