@@ -6,7 +6,8 @@
 #   lint   cargo fmt + clippy with warnings as errors
 #   test   release build, workspace tests, fault-inject configurations
 #   chaos  crash-point enumeration + fault-injected degrade/heal cycle
-#   smoke  HTTP round-trip, batch + SSE, observability, restart-recovery
+#   smoke  HTTP round-trip, batch + SSE, assay front end, observability,
+#          restart-recovery
 #   perf   bench artifacts vs the committed baselines (ci/perf_gate)
 #
 #   ci/check.sh                  # everything
@@ -61,6 +62,9 @@ section_build() {
 section_test() {
   echo "==> cargo test --offline"
   cargo test --workspace -q --offline
+
+  echo "==> cargo test -p columba-schedule (assay scheduling + storage synthesis)"
+  cargo test -q --offline -p columba-schedule
 
   echo "==> cargo test --features fault-inject (resilience ladder under forced failures)"
   cargo test -q --offline -p columba-milp --features fault-inject
@@ -181,6 +185,34 @@ section_smoke() {
   kill -9 "$SERVE_PID"
   trap - EXIT
   echo "service smoke OK"
+
+  echo "==> assay smoke (POST /synthesize-assay: assay in, SVG out, cache hit on resubmit)"
+  serve_start
+  AJOB1=$(curl -sfS -X POST --data-binary @cases/pooled_capture.assay \
+    "http://$ADDR/synthesize-assay" | awk '$1=="id"{print $2}')
+  ASTATUS1=$(smoke_poll_done "$AJOB1")
+  printf '%s\n' "$ASTATUS1" | grep -q '^from_cache false$'
+  printf '%s\n' "$ASTATUS1" | grep -q '^drc_clean true$'
+  printf '%s\n' "$ASTATUS1" | grep -q '^schedule_policy distributed$'
+  ASVG=$(curl -sfS "http://$ADDR/jobs/$AJOB1/svg")
+  printf '%s\n' "$ASVG" | grep -q '<svg'
+  AJOB2=$(curl -sfS -X POST --data-binary @cases/pooled_capture.assay \
+    "http://$ADDR/synthesize-assay" | awk '$1=="id"{print $2}')
+  ASTATUS2=$(smoke_poll_done "$AJOB2")
+  printf '%s\n' "$ASTATUS2" | grep -q '^from_cache true$' \
+    || { echo "identical assay was re-solved: $ASTATUS2"; exit 1; }
+  METRICS=$(curl -sfS "http://$ADDR/metrics")
+  printf '%s\n' "$METRICS" | grep -q '^assay_jobs 2$'
+  printf '%s\n' "$METRICS" | grep -q '^cache_hits 1$'
+  # malformed bodies are rejected up front with a structured 400
+  ACYCLIC=$(mktemp)
+  printf 'assay cyc\nop a duration=1 device=mixer\nop b duration=1 device=mixer\ndep a -> b\ndep b -> a\n' >"$ACYCLIC"
+  ACODE=$(curl -s -o /dev/null -w '%{http_code}' -X POST --data-binary @"$ACYCLIC" \
+    "http://$ADDR/synthesize-assay")
+  [ "$ACODE" = 400 ] || { echo "cyclic assay returned $ACODE, want 400"; exit 1; }
+  kill -9 "$SERVE_PID"
+  trap - EXIT
+  echo "assay smoke OK"
 
   echo "==> restart-recovery smoke (solve, SIGKILL, restart on the same state dir)"
   STATE_DIR=$(mktemp -d)

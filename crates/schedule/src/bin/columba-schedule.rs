@@ -1,0 +1,141 @@
+//! `columba-schedule` — schedule an assay text and print its netlist.
+//!
+//! ```sh
+//! columba-schedule cases/pooled_capture.assay          # netlist on stdout
+//! columba-schedule - < my.assay                        # read stdin
+//! columba-schedule --policy dedicated my.assay         # storage policy
+//! columba-schedule --threshold 5 --transport 1 my.assay
+//! columba-schedule --sweep my.assay                    # makespan per policy
+//! ```
+//!
+//! The emitted netlist is preceded by `#`-comment lines carrying the
+//! schedule report (makespan, utilization, storage pressure), so the
+//! output stays directly consumable by `columba-netlist` and the
+//! service's `POST /synthesize`.
+
+use std::io::Read as _;
+
+use columba_schedule::{Assay, ScheduleOptions, StoragePolicy};
+
+fn value_flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn f64_flag(args: &[String], name: &str, default: f64) -> f64 {
+    match value_flag(args, name) {
+        None => default,
+        Some(v) => v.parse().unwrap_or_else(|_| {
+            eprintln!("error: {name} requires a number, got `{v}`");
+            std::process::exit(2);
+        }),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!(
+            "usage: columba-schedule [--policy dedicated|distributed|spill] \
+             [--threshold <s>] [--transport <s>] [--sweep] <file|->"
+        );
+        return;
+    }
+    let mut options = ScheduleOptions::default();
+    if let Some(name) = value_flag(&args, "--policy") {
+        options.policy = StoragePolicy::parse(&name).unwrap_or_else(|| {
+            eprintln!("error: --policy must be dedicated|distributed|spill, got `{name}`");
+            std::process::exit(2);
+        });
+    }
+    options.storage_threshold_s = f64_flag(&args, "--threshold", options.storage_threshold_s);
+    options.transport_s = f64_flag(&args, "--transport", options.transport_s);
+
+    let value_flags = ["--policy", "--threshold", "--transport"];
+    let mut skip = false;
+    let mut input: Option<String> = None;
+    for arg in &args {
+        if skip {
+            skip = false;
+            continue;
+        }
+        if value_flags.contains(&arg.as_str()) {
+            skip = true;
+            continue;
+        }
+        if arg.starts_with("--") {
+            continue;
+        }
+        input = Some(arg.clone());
+        break;
+    }
+    let text = match input.as_deref() {
+        None | Some("-") => {
+            let mut buf = String::new();
+            if let Err(e) = std::io::stdin().read_to_string(&mut buf) {
+                eprintln!("error: reading stdin: {e}");
+                std::process::exit(2);
+            }
+            buf
+        }
+        Some(path) => std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("error: reading {path}: {e}");
+            std::process::exit(2);
+        }),
+    };
+
+    let assay = match Assay::parse(&text) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    if args.iter().any(|a| a == "--sweep") {
+        println!("# storage-policy sweep for `{}`", assay.name);
+        for policy in [
+            StoragePolicy::Dedicated,
+            StoragePolicy::Distributed,
+            StoragePolicy::Spill,
+        ] {
+            let opts = ScheduleOptions { policy, ..options };
+            match columba_schedule::schedule(&assay, &opts) {
+                Ok(r) => println!(
+                    "{policy:>12}: makespan {:.1}s, {} storage op(s), peak {}, utilization {:.2}",
+                    r.makespan_s,
+                    r.storage.ops.len(),
+                    r.storage.peak,
+                    r.utilization
+                ),
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        return;
+    }
+
+    match columba_schedule::schedule(&assay, &options) {
+        Ok(report) => {
+            let stats = report.stats();
+            println!("# scheduled by columba-schedule");
+            println!("# {}", options.canonical_text());
+            println!(
+                "# makespan_s={:.3} ops={} storage_ops={} storage_peak={} utilization={:.3}",
+                stats.makespan_s,
+                stats.ops,
+                stats.storage_ops,
+                stats.storage_peak,
+                stats.utilization
+            );
+            print!("{}", report.netlist_text);
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,280 @@
+//! Projecting a schedule down to the structural netlist.
+//!
+//! The contract: whatever this module emits must parse back through
+//! `columba_netlist::Netlist::parse` — byte-for-byte round-trip of the
+//! canonical text — because the emitted text is exactly what the
+//! service's existing `/synthesize` path (and its content-addressed
+//! cache) consumes.
+//!
+//! Mapping rules:
+//!
+//! * every **used device** becomes one component: mixers `mix0..`,
+//!   chambers `cham0..`;
+//! * evicted fluids get one physical storage component per distinct
+//!   **(producer device, consumer device) pair** — a storage chamber
+//!   `store0..` for dedicated homes, a rotary mixer `rot0..` for
+//!   spills. Per-pair (rather than per packed time slot) matters for
+//!   routability: a storage component only ever subdivides one edge of
+//!   the acyclic device flow graph, which cannot create a cycle,
+//!   whereas a slot shared across pairs could. The
+//!   [`StoragePlan`]'s slot counts remain the *capacity* stats;
+//! * every **source op** (no incoming dependency) gets a reagent inlet
+//!   port `in_<op>`, every **sink op** a product outlet `out_<op>`;
+//! * every **dependency edge** becomes a channel from the producer's
+//!   device to the consumer's; a pair that owns a storage component
+//!   routes *all* its traffic through it (the store sits in the pair's
+//!   channel path — a direct channel parallel to the detour would be
+//!   redundant plumbing). Duplicate channels between the same component
+//!   pair collapse (the schedule time-shares them), and an edge between
+//!   two ops on the same device needs no channel at all.
+
+use columba_netlist::{ChamberSpec, Endpoint, MixerSpec, Netlist, UnitSide};
+
+use crate::error::ScheduleError;
+use crate::model::{Assay, DeviceClass};
+use crate::sched::Timetable;
+use crate::storage::{StorageHome, StoragePlan};
+
+/// Builds the netlist for a scheduled assay.
+///
+/// # Errors
+///
+/// [`ScheduleError::Invalid`] when the netlist model rejects the
+/// projection (it never should for a valid schedule — the message says
+/// what to report if it does).
+pub(crate) fn emit(
+    assay: &Assay,
+    schedule: &Timetable,
+    storage: &StoragePlan,
+) -> Result<Netlist, ScheduleError> {
+    let fail = |what: &str, e: columba_netlist::NetlistError| {
+        ScheduleError::Invalid(format!("emitting {what}: {e}"))
+    };
+    let mut n = Netlist::new(assay.name.clone());
+    let mut mixers = Vec::with_capacity(schedule.mixers_used);
+    for i in 0..schedule.mixers_used {
+        mixers.push(
+            n.add_mixer(format!("mix{i}"), MixerSpec::default())
+                .map_err(|e| fail("a mixer", e))?,
+        );
+    }
+    let mut chambers = Vec::with_capacity(schedule.chambers_used);
+    for i in 0..schedule.chambers_used {
+        chambers.push(
+            n.add_chamber(format!("cham{i}"), ChamberSpec::default())
+                .map_err(|e| fail("a chamber", e))?,
+        );
+    }
+    let comp_of = |op: usize| {
+        let device = schedule.assignments[op].device;
+        match device.class {
+            DeviceClass::Mixer => mixers[device.index],
+            DeviceClass::Chamber => chambers[device.index],
+        }
+    };
+
+    // Reagent inlets and product outlets, in name order for a stable
+    // canonical form.
+    let endpoints_named = |ops: Vec<usize>, prefix: &str| -> Vec<(usize, String)> {
+        let mut named: Vec<(usize, String)> = ops
+            .into_iter()
+            .map(|op| (op, format!("{prefix}_{}", assay.ops()[op].name)))
+            .collect();
+        named.sort_by(|a, b| a.1.cmp(&b.1));
+        named
+    };
+    for (op, name) in endpoints_named(assay.sources(), "in") {
+        let port = n.add_port(name).map_err(|e| fail("an inlet port", e))?;
+        n.connect(
+            Endpoint::Port(port),
+            Endpoint::Unit {
+                component: comp_of(op),
+                side: UnitSide::Left,
+            },
+        )
+        .map_err(|e| fail("an inlet channel", e))?;
+    }
+
+    // Dependency channels, in canonical (from-name, to-name) order.
+    let mut edges: Vec<usize> = (0..assay.deps().len()).collect();
+    edges.sort_by_key(|&e| {
+        let d = assay.deps()[e];
+        (
+            assay.ops()[d.from].name.clone(),
+            assay.ops()[d.to].name.clone(),
+        )
+    });
+    let mut seen: std::collections::HashSet<(usize, usize)> = std::collections::HashSet::new();
+    let mut connect_pair = |n: &mut Netlist,
+                            from: columba_netlist::ComponentId,
+                            to: columba_netlist::ComponentId|
+     -> Result<(), ScheduleError> {
+        if from == to || !seen.insert((from.0, to.0)) {
+            return Ok(());
+        }
+        n.connect(
+            Endpoint::Unit {
+                component: from,
+                side: UnitSide::Right,
+            },
+            Endpoint::Unit {
+                component: to,
+                side: UnitSide::Left,
+            },
+        )
+        .map_err(|e| fail("a channel", e))
+    };
+    // One storage component per distinct (producer, consumer) device
+    // pair, named in first-encounter order over the canonical edge
+    // order so the text stays deterministic. Pass 1 materializes the
+    // components; pass 2 wires every edge — a pair that owns a storage
+    // component routes *all* its traffic through it (the store sits in
+    // the pair's channel path; a parallel direct channel alongside the
+    // detour would be redundant plumbing).
+    let home_of = |e: usize| {
+        storage
+            .ops
+            .iter()
+            .find(|o| o.dep == e)
+            .map(|o| o.home)
+            .unwrap_or(StorageHome::Channel)
+    };
+    let mut pair_store: std::collections::HashMap<(usize, usize), columba_netlist::ComponentId> =
+        std::collections::HashMap::new();
+    let mut store_count = 0usize;
+    let mut rot_count = 0usize;
+    for &e in &edges {
+        let d = assay.deps()[e];
+        let (from, to) = (comp_of(d.from), comp_of(d.to));
+        if from == to || pair_store.contains_key(&(from.0, to.0)) {
+            continue;
+        }
+        match home_of(e) {
+            StorageHome::Channel => {}
+            StorageHome::Chamber { .. } => {
+                let id = n
+                    .add_chamber(format!("store{store_count}"), ChamberSpec::default())
+                    .map_err(|err| fail("a storage chamber", err))?;
+                store_count += 1;
+                pair_store.insert((from.0, to.0), id);
+            }
+            StorageHome::Rotary { .. } => {
+                let id = n
+                    .add_mixer(format!("rot{rot_count}"), MixerSpec::default())
+                    .map_err(|err| fail("a spill mixer", err))?;
+                rot_count += 1;
+                pair_store.insert((from.0, to.0), id);
+            }
+        }
+    }
+    for e in edges {
+        let d = assay.deps()[e];
+        let (from, to) = (comp_of(d.from), comp_of(d.to));
+        if from == to {
+            // Same-device edges carry no channel at all, stored or
+            // not: the fluid waits in place.
+            continue;
+        }
+        match pair_store.get(&(from.0, to.0)) {
+            Some(&store) => {
+                connect_pair(&mut n, from, store)?;
+                connect_pair(&mut n, store, to)?;
+            }
+            None => connect_pair(&mut n, from, to)?,
+        }
+    }
+
+    for (op, name) in endpoints_named(assay.sinks(), "out") {
+        let port = n.add_port(name).map_err(|e| fail("an outlet port", e))?;
+        n.connect(
+            Endpoint::Unit {
+                component: comp_of(op),
+                side: UnitSide::Right,
+            },
+            Endpoint::Port(port),
+        )
+        .map_err(|e| fail("an outlet channel", e))?;
+    }
+
+    n.validate()
+        .map_err(|e| ScheduleError::Invalid(format!("emitted netlist failed validation: {e}")))?;
+    Ok(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::DeviceBounds;
+    use crate::sched::list_schedule;
+    use crate::storage::{classify, materialize, StoragePolicy};
+
+    fn emit_for(assay: &Assay, policy: StoragePolicy) -> Netlist {
+        let bounds = assay.devices().unwrap_or(DeviceBounds {
+            mixers: 2,
+            chambers: 2,
+        });
+        let no_lat = vec![0.0; assay.deps().len()];
+        let no_ext = vec![0.0; assay.ops().len()];
+        let pass = list_schedule(assay, bounds, &no_lat, &no_ext).unwrap();
+        let (kinds, ext) = classify(assay, &pass, policy, 2.0, 0.5);
+        let fin = list_schedule(assay, bounds, &no_lat, &ext).unwrap();
+        let plan = materialize(assay, &fin, &kinds).unwrap();
+        emit(assay, &fin, &plan).unwrap()
+    }
+
+    fn idle_assay() -> Assay {
+        let mut a = Assay::new("idle").unwrap();
+        let fast = a.add_op("fast", 10.0, DeviceClass::Mixer).unwrap();
+        let slow = a.add_op("slow", 100.0, DeviceClass::Chamber).unwrap();
+        let join = a.add_op("join", 10.0, DeviceClass::Chamber).unwrap();
+        a.add_dep(fast, join).unwrap();
+        a.add_dep(slow, join).unwrap();
+        a
+    }
+
+    #[test]
+    fn parses_back_through_columba_netlist() {
+        let n = emit_for(&idle_assay(), StoragePolicy::Dedicated);
+        let text = n.canonical_text();
+        let again = Netlist::parse(&text).expect("round-trip");
+        assert_eq!(again.canonical_text(), text);
+    }
+
+    #[test]
+    fn dedicated_storage_materializes_a_chamber() {
+        let n = emit_for(&idle_assay(), StoragePolicy::Dedicated);
+        assert!(n.component_by_name("store0").is_some(), "{}", n.to_text());
+        let d = emit_for(&idle_assay(), StoragePolicy::Distributed);
+        assert!(d.component_by_name("store0").is_none(), "{}", d.to_text());
+    }
+
+    #[test]
+    fn spill_materializes_a_rotary_mixer() {
+        let n = emit_for(&idle_assay(), StoragePolicy::Spill);
+        assert!(n.component_by_name("rot0").is_some(), "{}", n.to_text());
+    }
+
+    #[test]
+    fn sources_and_sinks_become_ports() {
+        let n = emit_for(&idle_assay(), StoragePolicy::Distributed);
+        assert!(n.port_by_name("in_fast").is_some());
+        assert!(n.port_by_name("in_slow").is_some());
+        assert!(n.port_by_name("out_join").is_some());
+    }
+
+    #[test]
+    fn same_device_edges_need_no_channel() {
+        let mut a = Assay::new("serial").unwrap();
+        let x = a.add_op("x", 5.0, DeviceClass::Mixer).unwrap();
+        let y = a.add_op("y", 5.0, DeviceClass::Mixer).unwrap();
+        a.add_dep(x, y).unwrap();
+        a.set_devices(DeviceBounds {
+            mixers: 1,
+            chambers: 1,
+        })
+        .unwrap();
+        let n = emit_for(&a, StoragePolicy::Distributed);
+        // both ops share mix0: only the inlet and outlet channels exist
+        assert_eq!(n.connections().len(), 2, "{}", n.to_text());
+    }
+}

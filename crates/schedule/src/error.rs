@@ -1,0 +1,67 @@
+//! Error type for assay parsing, validation and scheduling.
+
+use std::fmt;
+
+/// Everything that can go wrong between an assay text and its emitted
+/// netlist.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScheduleError {
+    /// Syntax error in the plain-text assay format, with the 1-based
+    /// line it occurred on.
+    Parse {
+        /// 1-based line number in the input text.
+        line: usize,
+        /// What was wrong.
+        message: String,
+    },
+    /// The sequencing graph is cyclic — no schedule exists. The listed
+    /// operation ids (names, sorted) are exactly the ones on or
+    /// downstream of a cycle.
+    Cycle {
+        /// The offending operation names, sorted.
+        ops: Vec<String>,
+    },
+    /// A structural error: duplicate names, dangling references,
+    /// impossible options.
+    Invalid(String),
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::Parse { line, message } => {
+                write!(f, "line {line}: {message}")
+            }
+            ScheduleError::Cycle { ops } => {
+                write!(
+                    f,
+                    "cyclic sequencing graph through operation(s): {}",
+                    ops.join(", ")
+                )
+            }
+            ScheduleError::Invalid(msg) => write!(f, "invalid assay: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        let e = ScheduleError::Parse {
+            line: 3,
+            message: "nope".into(),
+        };
+        assert_eq!(e.to_string(), "line 3: nope");
+        let e = ScheduleError::Cycle {
+            ops: vec!["a".into(), "b".into()],
+        };
+        assert!(e.to_string().contains("a, b"), "{e}");
+        let e = ScheduleError::Invalid("x".into());
+        assert!(e.to_string().contains("x"));
+    }
+}

@@ -1,0 +1,134 @@
+//! Synthetic assay generators, mirroring `columba_netlist::generators`:
+//! a few named protocols for docs/smoke cases plus a seeded random
+//! DAG generator for the bench and fuzz fleets.
+
+use columba_prng::Rng;
+
+use crate::model::{Assay, DeviceBounds, DeviceClass};
+
+/// A pooled immunoprecipitation protocol: parallel sample preps feeding
+/// one pooled capture, then elution — the fast preps idle while the
+/// slow capture runs, so storage decisions matter.
+///
+/// # Panics
+///
+/// Never: the construction is static and valid for `samples` in
+/// `1..=9` (clamped).
+#[must_use]
+pub fn pooled_capture(samples: usize) -> Assay {
+    let samples = samples.clamp(1, 9);
+    let mut a = Assay::new(format!("pooled_capture{samples}")).expect("static name");
+    a.set_devices(DeviceBounds {
+        mixers: 2,
+        chambers: 1,
+    })
+    .expect("static bounds");
+    let capture = a
+        .add_op("capture", 120.0, DeviceClass::Chamber)
+        .expect("fresh name");
+    for i in 0..samples {
+        let prep = a
+            .add_op(format!("prep{i}"), 15.0, DeviceClass::Mixer)
+            .expect("fresh name");
+        a.add_dep(prep, capture).expect("fresh edge");
+    }
+    let elute = a
+        .add_op("elute", 20.0, DeviceClass::Mixer)
+        .expect("fresh name");
+    a.add_dep(capture, elute).expect("fresh edge");
+    a
+}
+
+/// A serial-dilution chain: `stages` mix steps back to back on one
+/// mixer — the degenerate no-storage case.
+#[must_use]
+pub fn serial_dilution(stages: usize) -> Assay {
+    let stages = stages.clamp(2, 64);
+    let mut a = Assay::new(format!("serial_dilution{stages}")).expect("static name");
+    let mut prev = None;
+    for i in 0..stages {
+        let op = a
+            .add_op(format!("dilute{i}"), 12.0, DeviceClass::Mixer)
+            .expect("fresh name");
+        if let Some(p) = prev {
+            a.add_dep(p, op).expect("fresh edge");
+        }
+        prev = Some(op);
+    }
+    a
+}
+
+/// A seeded random assay DAG with `ops` operations. Edges always point
+/// from a lower to a higher index, so the graph is acyclic by
+/// construction; roughly a third of the ops are chamber steps with
+/// long durations, which is what makes fluids idle.
+///
+/// # Panics
+///
+/// Never for `ops >= 1` (clamped to `1..=512`).
+#[must_use]
+pub fn random_assay(rng: &mut Rng, ops: usize) -> Assay {
+    let ops = ops.clamp(1, 512);
+    let mut a = Assay::new(format!("random{ops}")).expect("static name");
+    for i in 0..ops {
+        let (class, duration) = if rng.gen_bool(0.33) {
+            (DeviceClass::Chamber, 30.0 + rng.gen_f64() * 150.0)
+        } else {
+            (DeviceClass::Mixer, 5.0 + rng.gen_f64() * 20.0)
+        };
+        a.add_op(format!("op{i:03}"), duration, class)
+            .expect("fresh name");
+    }
+    for to in 1..ops {
+        let fanin = 1 + usize::from(rng.gen_bool(0.3));
+        for _ in 0..fanin {
+            let from = rng.gen_range(0..to);
+            // duplicate edges are rejected by the model; skip quietly
+            let _ = a.add_dep(from, to);
+        }
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{schedule, ScheduleOptions};
+
+    #[test]
+    fn named_protocols_schedule_cleanly() {
+        for assay in [pooled_capture(3), serial_dilution(6)] {
+            assay.validate().unwrap();
+            let report = schedule(&assay, &ScheduleOptions::default()).unwrap();
+            assert!(report.makespan_s > 0.0);
+            let text = report.netlist_text.clone();
+            let n = columba_netlist::Netlist::parse(&text).unwrap();
+            assert_eq!(n.canonical_text(), text);
+        }
+    }
+
+    #[test]
+    fn pooled_capture_has_idle_fluids() {
+        let report = schedule(&pooled_capture(3), &ScheduleOptions::default()).unwrap();
+        assert!(
+            !report.storage.ops.is_empty(),
+            "preps must idle while capture runs"
+        );
+    }
+
+    #[test]
+    fn serial_dilution_needs_no_storage() {
+        let report = schedule(&serial_dilution(6), &ScheduleOptions::default()).unwrap();
+        assert!(report.storage.ops.is_empty());
+    }
+
+    #[test]
+    fn random_assays_are_valid_and_deterministic() {
+        for seed in 0..8u64 {
+            let a = random_assay(&mut Rng::seed_from_u64(seed), 24);
+            a.validate().unwrap();
+            let b = random_assay(&mut Rng::seed_from_u64(seed), 24);
+            assert_eq!(a.canonical_text(), b.canonical_text());
+        }
+    }
+}

@@ -1,0 +1,366 @@
+//! `columba-schedule` — behavioral assay scheduling and storage
+//! synthesis, one abstraction level above the structural netlist.
+//!
+//! Real assay workloads start as a *sequencing graph*: operations with
+//! durations, fluid dependencies and device-class requirements. This
+//! crate parses that graph from a plain-text format ([`Assay::parse`]),
+//! list-schedules it onto a bounded set of mixers and chambers
+//! ([`sched`]), decides where every intermediate fluid waits out its
+//! idle interval ([`storage`] — the Transport-or-Store rule, with a
+//! configurable long-idle policy), and emits the plain-text netlist the
+//! rest of the Columba S flow consumes ([`emit`];
+//! `columba_netlist::Netlist::parse` round-trip is the contract).
+//!
+//! The one-call front door is [`schedule`]:
+//!
+//! ```
+//! use columba_schedule::{Assay, ScheduleOptions};
+//!
+//! let assay = Assay::parse(
+//!     "assay demo\n\
+//!      op mix duration=10 device=mixer\n\
+//!      op incubate duration=60 device=chamber\n\
+//!      op elute duration=5 device=mixer\n\
+//!      dep mix -> incubate\n\
+//!      dep incubate -> elute\n",
+//! )
+//! .unwrap();
+//! let report = columba_schedule::schedule(&assay, &ScheduleOptions::default()).unwrap();
+//! assert!(report.makespan_s >= 75.0);
+//! let netlist = columba_netlist::Netlist::parse(&report.netlist_text).unwrap();
+//! assert_eq!(netlist.name, "demo");
+//! ```
+//!
+//! The three pipeline stages run under obs spans (`schedule.list`,
+//! `schedule.storage`, `schedule.emit`) so a profiled service job shows
+//! where its schedule time went.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+#![warn(missing_docs)]
+
+pub mod emit;
+pub mod error;
+pub mod generators;
+pub mod model;
+pub mod parse;
+pub mod sched;
+pub mod storage;
+
+pub use error::ScheduleError;
+pub use model::{Assay, Dep, DeviceBounds, DeviceClass, Op};
+pub use sched::{Assignment, DeviceRef, Timetable};
+pub use storage::{StorageHome, StorageOp, StoragePlan, StoragePolicy};
+
+/// Everything the scheduler is configured by. Also half of the
+/// service's content-addressed cache key for assay jobs — see
+/// [`ScheduleOptions::canonical_text`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScheduleOptions {
+    /// Where long-idle fluids are parked.
+    pub policy: StoragePolicy,
+    /// Idle intervals at or below this stay in distributed channel
+    /// storage regardless of policy (the Transport-or-Store rule).
+    pub storage_threshold_s: f64,
+    /// One transport move (device → storage or storage → device),
+    /// seconds. A dedicated-chamber round trip costs twice this.
+    pub transport_s: f64,
+    /// Device bounds used when the assay text declares none.
+    pub default_devices: DeviceBounds,
+}
+
+impl Default for ScheduleOptions {
+    fn default() -> ScheduleOptions {
+        ScheduleOptions {
+            policy: StoragePolicy::default(),
+            storage_threshold_s: 2.0,
+            transport_s: 0.5,
+            default_devices: DeviceBounds {
+                mixers: 2,
+                chambers: 1,
+            },
+        }
+    }
+}
+
+impl ScheduleOptions {
+    /// Rejects non-finite or negative knobs and impossible bounds.
+    ///
+    /// # Errors
+    ///
+    /// [`ScheduleError::Invalid`] naming the offending knob.
+    pub fn validate(&self) -> Result<(), ScheduleError> {
+        for (label, v) in [
+            ("storage_threshold_s", self.storage_threshold_s),
+            ("transport_s", self.transport_s),
+        ] {
+            if !(v.is_finite() && v >= 0.0) {
+                return Err(ScheduleError::Invalid(format!(
+                    "{label} must be finite and non-negative, got {v}"
+                )));
+            }
+        }
+        self.default_devices.validate()
+    }
+
+    /// The canonical one-line form: every knob, deterministic order.
+    /// Two option sets behave identically iff these strings are equal,
+    /// which is why the service hashes this into assay cache keys.
+    #[must_use]
+    pub fn canonical_text(&self) -> String {
+        format!(
+            "schedule policy={} threshold_s={} transport_s={} mixers={} chambers={}",
+            self.policy,
+            self.storage_threshold_s,
+            self.transport_s,
+            self.default_devices.mixers,
+            self.default_devices.chambers,
+        )
+    }
+}
+
+/// The flat headline numbers of a schedule, sized for a job-status
+/// line, a metrics counter or a bench artifact.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScheduleStats {
+    /// Operations scheduled.
+    pub ops: usize,
+    /// Storage operations inserted (fluids that had to wait somewhere).
+    pub storage_ops: usize,
+    /// Peak number of fluids stored at the same instant.
+    pub storage_peak: usize,
+    /// Completion time of the assay, seconds.
+    pub makespan_s: f64,
+    /// Busy time over provisioned device-time: `Σ durations /
+    /// ((mixers + chambers) × makespan)`.
+    pub utilization: f64,
+    /// The storage policy the schedule ran under.
+    pub policy: StoragePolicy,
+}
+
+/// The full result of [`schedule`]: the timetable, the storage plan,
+/// the emitted netlist (as a model and as canonical text), and the
+/// headline stats.
+#[derive(Debug, Clone)]
+pub struct ScheduleReport {
+    /// Per-op assignments (indexed by op index) and the makespan.
+    pub timetable: Timetable,
+    /// The inserted storage operations and slot counts.
+    pub storage: StoragePlan,
+    /// The emitted structural netlist.
+    pub netlist: columba_netlist::Netlist,
+    /// Canonical text of [`ScheduleReport::netlist`] — exactly what
+    /// `columba_netlist::Netlist::parse` consumes.
+    pub netlist_text: String,
+    /// Completion time, seconds.
+    pub makespan_s: f64,
+    /// Busy time over provisioned device-time.
+    pub utilization: f64,
+    /// The device bounds the schedule ran under.
+    pub devices: DeviceBounds,
+    /// The options it ran under.
+    pub options: ScheduleOptions,
+}
+
+impl ScheduleReport {
+    /// The flat headline numbers.
+    #[must_use]
+    pub fn stats(&self) -> ScheduleStats {
+        ScheduleStats {
+            ops: self.timetable.assignments.len(),
+            storage_ops: self.storage.ops.len(),
+            storage_peak: self.storage.peak,
+            makespan_s: self.makespan_s,
+            utilization: self.utilization,
+            policy: self.options.policy,
+        }
+    }
+}
+
+/// Whether `text` looks like the assay format rather than a netlist:
+/// its first significant line starts with the `assay` keyword. The
+/// service uses this to route one submission text through either
+/// front end.
+#[must_use]
+pub fn is_assay_text(text: &str) -> bool {
+    text.lines()
+        .map(|raw| raw.split('#').next().unwrap_or("").trim())
+        .find(|line| !line.is_empty())
+        .is_some_and(|line| line.split_whitespace().next() == Some("assay"))
+}
+
+/// Schedules `assay` under `options` and emits its netlist.
+///
+/// Three stages, each under its own obs span:
+///
+/// 1. `schedule.list` — critical-path list scheduling with zero edge
+///    latencies, to discover every fluid's idle interval;
+/// 2. `schedule.storage` — the Transport-or-Store classification, then
+///    a second scheduling pass with the resulting transport latencies,
+///    then slot packing ([`storage`]);
+/// 3. `schedule.emit` — projection down to the structural netlist
+///    ([`emit`]).
+///
+/// # Errors
+///
+/// [`ScheduleError::Invalid`] for bad options or an empty assay,
+/// [`ScheduleError::Cycle`] for a cyclic sequencing graph.
+pub fn schedule(assay: &Assay, options: &ScheduleOptions) -> Result<ScheduleReport, ScheduleError> {
+    options.validate()?;
+    let bounds = assay.devices().unwrap_or(options.default_devices);
+
+    let no_latency = vec![0.0; assay.deps().len()];
+    let first_pass = {
+        let mut span = columba_obs::span("schedule.list");
+        let no_extend = vec![0.0; assay.ops().len()];
+        let pass = sched::list_schedule(assay, bounds, &no_latency, &no_extend)?;
+        if span.is_recording() {
+            span.attr("ops", assay.ops().len());
+            span.attr("makespan_s", pass.makespan_s);
+        }
+        pass
+    };
+
+    let (timetable, plan) = {
+        let mut span = columba_obs::span("schedule.storage");
+        let (kinds, extend) = storage::classify(
+            assay,
+            &first_pass,
+            options.policy,
+            options.storage_threshold_s,
+            options.transport_s,
+        );
+        let final_pass = sched::list_schedule(assay, bounds, &no_latency, &extend)?;
+        let plan = storage::materialize(assay, &final_pass, &kinds)?;
+        if span.is_recording() {
+            span.attr("policy", options.policy.as_str());
+            span.attr("storage_ops", plan.ops.len());
+            span.attr("storage_peak", plan.peak);
+        }
+        (final_pass, plan)
+    };
+
+    let netlist = {
+        let mut span = columba_obs::span("schedule.emit");
+        let netlist = emit::emit(assay, &timetable, &plan)?;
+        if span.is_recording() {
+            span.attr("units", netlist.functional_unit_count());
+            span.attr("connections", netlist.connections().len());
+        }
+        netlist
+    };
+
+    let busy: f64 = assay.ops().iter().map(|o| o.duration_s).sum();
+    let capacity = (bounds.mixers + bounds.chambers) as f64 * timetable.makespan_s;
+    let utilization = if capacity > 0.0 {
+        (busy / capacity).min(1.0)
+    } else {
+        0.0
+    };
+    Ok(ScheduleReport {
+        makespan_s: timetable.makespan_s,
+        utilization,
+        netlist_text: netlist.canonical_text(),
+        netlist,
+        timetable,
+        storage: plan,
+        devices: bounds,
+        options: *options,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idle_assay_text() -> &'static str {
+        "assay idle\n\
+         devices mixers=2 chambers=2\n\
+         op fast duration=10 device=mixer\n\
+         op slow duration=100 device=chamber\n\
+         op join duration=10 device=chamber\n\
+         dep fast -> join\n\
+         dep slow -> join\n"
+    }
+
+    #[test]
+    fn end_to_end_schedule() {
+        let assay = Assay::parse(idle_assay_text()).unwrap();
+        let report = schedule(&assay, &ScheduleOptions::default()).unwrap();
+        assert_eq!(report.timetable.assignments.len(), 3);
+        assert!(report.makespan_s >= 110.0);
+        assert!(report.utilization > 0.0 && report.utilization <= 1.0);
+        assert_eq!(report.storage.ops.len(), 1, "fast idles while slow runs");
+        let n = columba_netlist::Netlist::parse(&report.netlist_text).unwrap();
+        assert_eq!(n.canonical_text(), report.netlist_text);
+        let stats = report.stats();
+        assert_eq!(stats.ops, 3);
+        assert_eq!(stats.storage_ops, 1);
+        assert_eq!(stats.policy, StoragePolicy::Distributed);
+    }
+
+    #[test]
+    fn policies_produce_different_makespans_here() {
+        let assay = Assay::parse(idle_assay_text()).unwrap();
+        let distributed_opts = ScheduleOptions {
+            policy: StoragePolicy::Distributed,
+            ..ScheduleOptions::default()
+        };
+        let distributed = schedule(&assay, &distributed_opts).unwrap();
+        let dedicated_opts = ScheduleOptions {
+            policy: StoragePolicy::Dedicated,
+            ..ScheduleOptions::default()
+        };
+        let dedicated = schedule(&assay, &dedicated_opts).unwrap();
+        assert!(
+            dedicated.makespan_s > distributed.makespan_s,
+            "dedicated {} vs distributed {}",
+            dedicated.makespan_s,
+            distributed.makespan_s
+        );
+        assert!(dedicated.netlist.component_by_name("store0").is_some());
+    }
+
+    #[test]
+    fn options_validate_and_canonicalize() {
+        let opts = ScheduleOptions::default();
+        opts.validate().unwrap();
+        let canon = opts.canonical_text();
+        assert!(canon.contains("policy=distributed"), "{canon}");
+        assert!(canon.contains("threshold_s=2"), "{canon}");
+        let mut bad = opts;
+        bad.transport_s = f64::NAN;
+        assert!(bad.validate().is_err());
+        let mut bad = opts;
+        bad.storage_threshold_s = -1.0;
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn same_assay_and_options_give_identical_netlist_text() {
+        let a = Assay::parse(idle_assay_text()).unwrap();
+        let opts = ScheduleOptions::default();
+        let one = schedule(&a, &opts).unwrap();
+        let two = schedule(&Assay::parse(&a.canonical_text()).unwrap(), &opts).unwrap();
+        assert_eq!(one.netlist_text, two.netlist_text);
+    }
+
+    #[test]
+    fn assay_sniffing() {
+        assert!(is_assay_text("assay x\nop a duration=1 device=mixer\n"));
+        assert!(is_assay_text("# comment\n\n  assay x\n"));
+        assert!(!is_assay_text("chip demo\nmixer m1\n"));
+        assert!(!is_assay_text(""));
+        assert!(!is_assay_text("# just a comment\n"));
+    }
+
+    #[test]
+    fn cyclic_assay_fails_with_op_ids() {
+        let mut a = Assay::new("c").unwrap();
+        let x = a.add_op("x", 1.0, DeviceClass::Mixer).unwrap();
+        let y = a.add_op("y", 1.0, DeviceClass::Mixer).unwrap();
+        a.add_dep(x, y).unwrap();
+        a.add_dep(y, x).unwrap();
+        let err = schedule(&a, &ScheduleOptions::default()).unwrap_err();
+        assert!(matches!(err, ScheduleError::Cycle { .. }), "{err}");
+    }
+}

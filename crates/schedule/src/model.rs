@@ -1,0 +1,478 @@
+//! The assay sequencing graph: operations, fluid dependencies, device
+//! bounds.
+//!
+//! An [`Assay`] is a DAG of [`Op`]s. Each op runs for a fixed duration
+//! on one device of its [`DeviceClass`]; each dependency edge carries
+//! the producer's output fluid into the consumer. The graph is the
+//! behavioral level above the structural netlist: the scheduler maps it
+//! onto a bounded device set and [`crate::emit`] projects the result
+//! down to the plain-text netlist the rest of the flow consumes.
+
+use std::collections::HashMap;
+
+use crate::error::ScheduleError;
+
+/// Hard cap on operations per assay; keeps the scheduler and the HTTP
+/// front end safe from pathological inputs.
+pub const MAX_OPS: usize = 4096;
+
+/// Hard cap on one operation's duration (one day, in seconds).
+pub const MAX_DURATION_S: f64 = 86_400.0;
+
+/// Hard cap on the per-class device bound an assay may request.
+pub const MAX_DEVICES: usize = 64;
+
+/// The device class an operation requires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DeviceClass {
+    /// A rotary mixer (active mixing, heating steps).
+    Mixer,
+    /// A passive chamber (incubation, capture, detection steps).
+    Chamber,
+}
+
+impl DeviceClass {
+    /// Stable lowercase name used by the text format.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DeviceClass::Mixer => "mixer",
+            DeviceClass::Chamber => "chamber",
+        }
+    }
+
+    /// Parses the stable name back; `None` for anything else.
+    #[must_use]
+    pub fn parse(name: &str) -> Option<DeviceClass> {
+        match name {
+            "mixer" => Some(DeviceClass::Mixer),
+            "chamber" => Some(DeviceClass::Chamber),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for DeviceClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One operation of the sequencing graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Op {
+    /// Unique name; also the id cycles and schedules are reported by.
+    pub name: String,
+    /// How long the operation occupies its device, seconds.
+    pub duration_s: f64,
+    /// The device class it must run on.
+    pub class: DeviceClass,
+}
+
+/// One fluid dependency: the output of `from` is an input of `to`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Dep {
+    /// Producer op index.
+    pub from: usize,
+    /// Consumer op index.
+    pub to: usize,
+}
+
+/// How many devices of each class the schedule may use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeviceBounds {
+    /// Rotary mixers available.
+    pub mixers: usize,
+    /// Passive chambers available.
+    pub chambers: usize,
+}
+
+impl DeviceBounds {
+    /// Rejects empty or absurd bounds.
+    ///
+    /// # Errors
+    ///
+    /// [`ScheduleError::Invalid`] when a class count is 0 or above
+    /// [`MAX_DEVICES`].
+    pub fn validate(self) -> Result<(), ScheduleError> {
+        for (label, n) in [("mixers", self.mixers), ("chambers", self.chambers)] {
+            if n == 0 || n > MAX_DEVICES {
+                return Err(ScheduleError::Invalid(format!(
+                    "{label} must be between 1 and {MAX_DEVICES}, got {n}"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The behavioral assay: a named DAG of operations plus optional
+/// per-assay device bounds (falling back to
+/// [`crate::ScheduleOptions::default_devices`] when absent).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Assay {
+    /// Assay name; becomes the emitted netlist's chip name.
+    pub name: String,
+    ops: Vec<Op>,
+    deps: Vec<Dep>,
+    by_name: HashMap<String, usize>,
+    devices: Option<DeviceBounds>,
+}
+
+/// Rejects names the text format could not round-trip (netlist names
+/// obey the same rule, so an assay name is always a legal chip name).
+fn check_name(name: &str) -> Result<(), ScheduleError> {
+    if name.is_empty() || name.contains('=') || name.contains('.') {
+        return Err(ScheduleError::Invalid(format!("invalid name `{name}`")));
+    }
+    Ok(())
+}
+
+impl Assay {
+    /// An empty assay with the given name.
+    ///
+    /// # Errors
+    ///
+    /// [`ScheduleError::Invalid`] on a name the text format cannot
+    /// represent.
+    pub fn new(name: impl Into<String>) -> Result<Assay, ScheduleError> {
+        let name = name.into();
+        check_name(&name)?;
+        Ok(Assay {
+            name,
+            ops: Vec::new(),
+            deps: Vec::new(),
+            by_name: HashMap::new(),
+            devices: None,
+        })
+    }
+
+    /// Adds an operation and returns its index.
+    ///
+    /// # Errors
+    ///
+    /// [`ScheduleError::Invalid`] on a duplicate or malformed name, a
+    /// non-finite/non-positive/oversized duration, or once [`MAX_OPS`]
+    /// is reached.
+    pub fn add_op(
+        &mut self,
+        name: impl Into<String>,
+        duration_s: f64,
+        class: DeviceClass,
+    ) -> Result<usize, ScheduleError> {
+        let name = name.into();
+        check_name(&name)?;
+        if self.by_name.contains_key(&name) {
+            return Err(ScheduleError::Invalid(format!(
+                "duplicate operation `{name}`"
+            )));
+        }
+        if !(duration_s.is_finite() && duration_s > 0.0 && duration_s <= MAX_DURATION_S) {
+            return Err(ScheduleError::Invalid(format!(
+                "duration of `{name}` must be positive, finite and at most {MAX_DURATION_S} s"
+            )));
+        }
+        if self.ops.len() >= MAX_OPS {
+            return Err(ScheduleError::Invalid(format!(
+                "assay exceeds {MAX_OPS} operations"
+            )));
+        }
+        let idx = self.ops.len();
+        self.by_name.insert(name.clone(), idx);
+        self.ops.push(Op {
+            name,
+            duration_s,
+            class,
+        });
+        Ok(idx)
+    }
+
+    /// Adds a fluid dependency by op index.
+    ///
+    /// # Errors
+    ///
+    /// [`ScheduleError::Invalid`] on an out-of-range index, a self
+    /// dependency, or a duplicate edge.
+    pub fn add_dep(&mut self, from: usize, to: usize) -> Result<(), ScheduleError> {
+        for idx in [from, to] {
+            if idx >= self.ops.len() {
+                return Err(ScheduleError::Invalid(format!(
+                    "dependency references operation #{idx}"
+                )));
+            }
+        }
+        if from == to {
+            return Err(ScheduleError::Invalid(format!(
+                "operation `{}` depends on itself",
+                self.ops[from].name
+            )));
+        }
+        let dep = Dep { from, to };
+        if self.deps.contains(&dep) {
+            return Err(ScheduleError::Invalid(format!(
+                "duplicate dependency `{} -> {}`",
+                self.ops[from].name, self.ops[to].name
+            )));
+        }
+        self.deps.push(dep);
+        Ok(())
+    }
+
+    /// [`Assay::add_dep`] by op names.
+    ///
+    /// # Errors
+    ///
+    /// As [`Assay::add_dep`], plus [`ScheduleError::Invalid`] on an
+    /// unknown name.
+    pub fn add_dep_by_name(&mut self, from: &str, to: &str) -> Result<(), ScheduleError> {
+        let lookup = |name: &str| -> Result<usize, ScheduleError> {
+            self.by_name
+                .get(name)
+                .copied()
+                .ok_or_else(|| ScheduleError::Invalid(format!("unknown operation `{name}`")))
+        };
+        let (f, t) = (lookup(from)?, lookup(to)?);
+        self.add_dep(f, t)
+    }
+
+    /// Sets the per-assay device bounds (overrides the options default).
+    ///
+    /// # Errors
+    ///
+    /// As [`DeviceBounds::validate`].
+    pub fn set_devices(&mut self, bounds: DeviceBounds) -> Result<(), ScheduleError> {
+        bounds.validate()?;
+        self.devices = Some(bounds);
+        Ok(())
+    }
+
+    /// The op index for a name, if present.
+    #[must_use]
+    pub fn op_index(&self, name: &str) -> Option<usize> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The operations, in insertion order.
+    #[must_use]
+    pub fn ops(&self) -> &[Op] {
+        &self.ops
+    }
+
+    /// The dependency edges, in insertion order.
+    #[must_use]
+    pub fn deps(&self) -> &[Dep] {
+        &self.deps
+    }
+
+    /// The per-assay device bounds, if declared.
+    #[must_use]
+    pub fn devices(&self) -> Option<DeviceBounds> {
+        self.devices
+    }
+
+    /// Checks the assay is non-empty and acyclic.
+    ///
+    /// # Errors
+    ///
+    /// [`ScheduleError::Invalid`] on an empty assay and
+    /// [`ScheduleError::Cycle`] naming the offending operations when
+    /// the graph has a cycle.
+    pub fn validate(&self) -> Result<(), ScheduleError> {
+        self.topo_order().map(drop)
+    }
+
+    /// A topological order of the op indices (Kahn's algorithm; the
+    /// ready set drains in name order so the result is deterministic
+    /// under input-line reordering).
+    ///
+    /// # Errors
+    ///
+    /// As [`Assay::validate`].
+    pub fn topo_order(&self) -> Result<Vec<usize>, ScheduleError> {
+        if self.ops.is_empty() {
+            return Err(ScheduleError::Invalid("assay has no operations".into()));
+        }
+        let mut indeg = vec![0usize; self.ops.len()];
+        for d in &self.deps {
+            indeg[d.to] += 1;
+        }
+        let mut ready: Vec<usize> = (0..self.ops.len()).filter(|&i| indeg[i] == 0).collect();
+        let by_name = |&i: &usize| self.ops[i].name.clone();
+        ready.sort_by_key(by_name);
+        let mut order = Vec::with_capacity(self.ops.len());
+        while let Some(next) = ready.first().copied() {
+            ready.remove(0);
+            order.push(next);
+            let mut unlocked = Vec::new();
+            for d in &self.deps {
+                if d.from == next {
+                    indeg[d.to] -= 1;
+                    if indeg[d.to] == 0 {
+                        unlocked.push(d.to);
+                    }
+                }
+            }
+            unlocked.sort_by_key(by_name);
+            for u in unlocked {
+                let pos = ready
+                    .binary_search_by_key(&self.ops[u].name.as_str(), |&i| {
+                        self.ops[i].name.as_str()
+                    })
+                    .unwrap_or_else(|p| p);
+                ready.insert(pos, u);
+            }
+        }
+        if order.len() < self.ops.len() {
+            let mut stuck: Vec<String> = (0..self.ops.len())
+                .filter(|&i| indeg[i] > 0)
+                .map(|i| self.ops[i].name.clone())
+                .collect();
+            stuck.sort();
+            return Err(ScheduleError::Cycle { ops: stuck });
+        }
+        Ok(order)
+    }
+
+    /// Op indices with no incoming dependency (reagent inputs).
+    #[must_use]
+    pub fn sources(&self) -> Vec<usize> {
+        (0..self.ops.len())
+            .filter(|&i| !self.deps.iter().any(|d| d.to == i))
+            .collect()
+    }
+
+    /// Op indices with no outgoing dependency (assay products).
+    #[must_use]
+    pub fn sinks(&self) -> Vec<usize> {
+        (0..self.ops.len())
+            .filter(|&i| !self.deps.iter().any(|d| d.from == i))
+            .collect()
+    }
+
+    /// The canonical text form: header, optional device bounds, then
+    /// operations sorted by name and dependencies sorted by the
+    /// `(from, to)` name pair. Two assays describe the same graph iff
+    /// their canonical texts are byte-equal — reordering the lines of an
+    /// assay file does not change its canonical form, which is what the
+    /// service hashes into the content-addressed cache key.
+    #[must_use]
+    pub fn canonical_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::with_capacity(64 + self.ops.len() * 40);
+        let _ = writeln!(s, "assay {}", self.name);
+        if let Some(b) = self.devices {
+            let _ = writeln!(s, "devices mixers={} chambers={}", b.mixers, b.chambers);
+        }
+        let mut ops: Vec<&Op> = self.ops.iter().collect();
+        ops.sort_by(|a, b| a.name.cmp(&b.name));
+        for op in ops {
+            let _ = writeln!(
+                s,
+                "op {} duration={} device={}",
+                op.name, op.duration_s, op.class
+            );
+        }
+        let mut deps: Vec<(&str, &str)> = self
+            .deps
+            .iter()
+            .map(|d| (self.ops[d.from].name.as_str(), self.ops[d.to].name.as_str()))
+            .collect();
+        deps.sort_unstable();
+        for (from, to) in deps {
+            let _ = writeln!(s, "dep {from} -> {to}");
+        }
+        s
+    }
+
+    /// Alias of [`Assay::canonical_text`] — there is only one text form.
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        self.canonical_text()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_step() -> Assay {
+        let mut a = Assay::new("demo").unwrap();
+        let mix = a.add_op("mix", 10.0, DeviceClass::Mixer).unwrap();
+        let incubate = a.add_op("incubate", 30.0, DeviceClass::Chamber).unwrap();
+        a.add_dep(mix, incubate).unwrap();
+        a
+    }
+
+    #[test]
+    fn builds_and_validates() {
+        let a = two_step();
+        a.validate().unwrap();
+        assert_eq!(a.ops().len(), 2);
+        assert_eq!(a.sources(), vec![0]);
+        assert_eq!(a.sinks(), vec![1]);
+        assert_eq!(a.op_index("mix"), Some(0));
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(Assay::new("a.b").is_err());
+        let mut a = two_step();
+        assert!(a.add_op("mix", 1.0, DeviceClass::Mixer).is_err());
+        assert!(a.add_op("x=y", 1.0, DeviceClass::Mixer).is_err());
+        assert!(a.add_op("neg", -1.0, DeviceClass::Mixer).is_err());
+        assert!(a.add_op("nan", f64::NAN, DeviceClass::Mixer).is_err());
+        assert!(a.add_dep(0, 0).is_err());
+        assert!(a.add_dep(0, 1).is_err(), "duplicate edge");
+        assert!(a.add_dep(0, 9).is_err());
+        assert!(a
+            .set_devices(DeviceBounds {
+                mixers: 0,
+                chambers: 1
+            })
+            .is_err());
+    }
+
+    #[test]
+    fn cycle_reports_sorted_ops() {
+        let mut a = Assay::new("c").unwrap();
+        let x = a.add_op("x", 1.0, DeviceClass::Mixer).unwrap();
+        let y = a.add_op("y", 1.0, DeviceClass::Mixer).unwrap();
+        a.add_dep(x, y).unwrap();
+        a.add_dep(y, x).unwrap();
+        let ScheduleError::Cycle { ops } = a.validate().unwrap_err() else {
+            panic!("expected a cycle error");
+        };
+        assert_eq!(ops, vec!["x".to_string(), "y".to_string()]);
+    }
+
+    #[test]
+    fn empty_assay_is_invalid() {
+        let a = Assay::new("e").unwrap();
+        assert!(matches!(a.validate(), Err(ScheduleError::Invalid(_))));
+    }
+
+    #[test]
+    fn canonical_is_sorted_and_stable() {
+        let mut a = Assay::new("s").unwrap();
+        let b_op = a.add_op("beta", 2.0, DeviceClass::Chamber).unwrap();
+        let a_op = a.add_op("alpha", 1.5, DeviceClass::Mixer).unwrap();
+        a.add_dep(a_op, b_op).unwrap();
+        let text = a.canonical_text();
+        let alpha = text.find("op alpha").unwrap();
+        let beta = text.find("op beta").unwrap();
+        assert!(alpha < beta, "{text}");
+        assert!(text.contains("dep alpha -> beta"), "{text}");
+        assert_eq!(text, a.to_text());
+    }
+
+    #[test]
+    fn topo_order_is_name_deterministic() {
+        let mut a = Assay::new("t").unwrap();
+        a.add_op("z", 1.0, DeviceClass::Mixer).unwrap();
+        a.add_op("a", 1.0, DeviceClass::Mixer).unwrap();
+        a.add_op("m", 1.0, DeviceClass::Mixer).unwrap();
+        let order = a.topo_order().unwrap();
+        let names: Vec<&str> = order.iter().map(|&i| a.ops()[i].name.as_str()).collect();
+        assert_eq!(names, vec!["a", "m", "z"]);
+    }
+}

@@ -1,0 +1,291 @@
+//! Parser for the plain-text assay format.
+//!
+//! ```text
+//! assay pcr                      # header — must be the first statement
+//! devices mixers=2 chambers=1    # optional per-assay device bounds
+//! op lyse     duration=20 device=mixer
+//! op amplify  duration=45 device=chamber
+//! dep lyse -> amplify            # lyse's output fluid feeds amplify
+//! ```
+//!
+//! Lines are independent; `#` starts a comment; blank lines are
+//! ignored. Durations are seconds. The parsed assay is validated before
+//! being returned, so a cyclic graph fails here with the offending
+//! operation names ([`ScheduleError::Cycle`]).
+
+use crate::error::ScheduleError;
+use crate::model::{Assay, DeviceBounds, DeviceClass, MAX_DEVICES, MAX_DURATION_S};
+
+impl Assay {
+    /// Parses the plain-text assay format.
+    ///
+    /// # Errors
+    ///
+    /// [`ScheduleError::Parse`] with a line number for syntax errors,
+    /// [`ScheduleError::Cycle`] for a cyclic sequencing graph, and the
+    /// structural errors of [`Assay::validate`].
+    pub fn parse(text: &str) -> Result<Assay, ScheduleError> {
+        let mut assay: Option<Assay> = None;
+        for (idx, raw) in text.lines().enumerate() {
+            let line_no = idx + 1;
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut words = line.split_whitespace();
+            let Some(keyword) = words.next() else {
+                continue; // unreachable: the line is non-empty after trim
+            };
+            let rest: Vec<&str> = words.collect();
+            if assay.is_none() && keyword != "assay" {
+                return Err(err(
+                    line_no,
+                    format!("the first statement must be `assay <name>`, got `{keyword}`"),
+                ));
+            }
+            match keyword {
+                "assay" => {
+                    if assay.is_some() {
+                        return Err(err(line_no, "duplicate `assay` header".into()));
+                    }
+                    let name = one_arg(&rest, line_no, "assay takes exactly one name")?;
+                    assay = Some(Assay::new(name).map_err(|e| lift(e, line_no))?);
+                }
+                "devices" => {
+                    let a = assay.as_mut().expect("header checked above");
+                    let mut bounds = DeviceBounds {
+                        mixers: 0,
+                        chambers: 0,
+                    };
+                    for word in &rest {
+                        match word.split_once('=') {
+                            Some(("mixers", v)) => bounds.mixers = parse_count(v, line_no)?,
+                            Some(("chambers", v)) => bounds.chambers = parse_count(v, line_no)?,
+                            _ => {
+                                return Err(err(
+                                    line_no,
+                                    format!("expected mixers=<n> or chambers=<n>, got `{word}`"),
+                                ))
+                            }
+                        }
+                    }
+                    if bounds.mixers == 0 || bounds.chambers == 0 {
+                        return Err(err(
+                            line_no,
+                            "devices requires both mixers=<n> and chambers=<n>".into(),
+                        ));
+                    }
+                    a.set_devices(bounds).map_err(|e| lift(e, line_no))?;
+                }
+                "op" => {
+                    let a = assay.as_mut().expect("header checked above");
+                    let Some((&name, opts)) = rest.split_first() else {
+                        return Err(err(line_no, "missing operation name".into()));
+                    };
+                    if name.contains('=') || name.contains('.') {
+                        return Err(err(line_no, format!("invalid operation name `{name}`")));
+                    }
+                    let mut duration = None;
+                    let mut class = None;
+                    for opt in opts {
+                        match opt.split_once('=') {
+                            Some(("duration", v)) => duration = Some(parse_secs(v, line_no)?),
+                            Some(("device", v)) => {
+                                class = Some(DeviceClass::parse(v).ok_or_else(|| {
+                                    err(line_no, format!("device must be mixer|chamber, got `{v}`"))
+                                })?);
+                            }
+                            _ => {
+                                return Err(err(line_no, format!("unknown option `{opt}`")));
+                            }
+                        }
+                    }
+                    let duration = duration
+                        .ok_or_else(|| err(line_no, "op requires duration=<seconds>".into()))?;
+                    let class = class
+                        .ok_or_else(|| err(line_no, "op requires device=mixer|chamber".into()))?;
+                    a.add_op(name, duration, class)
+                        .map_err(|e| lift(e, line_no))?;
+                }
+                "dep" => {
+                    let a = assay.as_mut().expect("header checked above");
+                    if rest.len() != 3 || rest[1] != "->" {
+                        return Err(err(line_no, "expected `dep <from> -> <to>`".into()));
+                    }
+                    a.add_dep_by_name(rest[0], rest[2])
+                        .map_err(|e| lift(e, line_no))?;
+                }
+                other => {
+                    return Err(err(line_no, format!("unknown keyword `{other}`")));
+                }
+            }
+        }
+        let assay = assay.ok_or(ScheduleError::Parse {
+            line: 1,
+            message: "empty assay: expected `assay <name>` and at least one op".into(),
+        })?;
+        assay.validate()?;
+        Ok(assay)
+    }
+}
+
+fn err(line: usize, message: String) -> ScheduleError {
+    ScheduleError::Parse { line, message }
+}
+
+/// Re-spans a builder error onto the line that triggered it; cycle
+/// errors (which have no single line) pass through untouched.
+fn lift(e: ScheduleError, line: usize) -> ScheduleError {
+    match e {
+        ScheduleError::Invalid(message) => ScheduleError::Parse { line, message },
+        other => other,
+    }
+}
+
+fn one_arg<'a>(rest: &[&'a str], line: usize, msg: &str) -> Result<&'a str, ScheduleError> {
+    if rest.len() == 1 {
+        Ok(rest[0])
+    } else {
+        Err(err(line, msg.to_string()))
+    }
+}
+
+fn parse_secs(v: &str, line: usize) -> Result<f64, ScheduleError> {
+    let secs: f64 = v
+        .parse()
+        .map_err(|_| err(line, format!("expected a duration in seconds, got `{v}`")))?;
+    if !(secs.is_finite() && secs > 0.0 && secs <= MAX_DURATION_S) {
+        return Err(err(
+            line,
+            format!("duration must be positive, finite and at most {MAX_DURATION_S} s, got `{v}`"),
+        ));
+    }
+    Ok(secs)
+}
+
+fn parse_count(v: &str, line: usize) -> Result<usize, ScheduleError> {
+    let n: usize = v
+        .parse()
+        .map_err(|_| err(line, format!("expected a device count, got `{v}`")))?;
+    if n == 0 || n > MAX_DEVICES {
+        return Err(err(
+            line,
+            format!("device count must be between 1 and {MAX_DEVICES}, got `{v}`"),
+        ));
+    }
+    Ok(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+# immunoprecipitation-style demo
+assay demo
+devices mixers=2 chambers=1
+op lyse duration=20 device=mixer
+op bind duration=45.5 device=chamber   # antibody capture
+op elute duration=10 device=mixer
+dep lyse -> bind
+dep bind -> elute
+";
+
+    #[test]
+    fn parses_all_statements() {
+        let a = Assay::parse(SAMPLE).unwrap();
+        assert_eq!(a.name, "demo");
+        assert_eq!(a.ops().len(), 3);
+        assert_eq!(a.deps().len(), 2);
+        let bounds = a.devices().unwrap();
+        assert_eq!((bounds.mixers, bounds.chambers), (2, 1));
+        let bind = &a.ops()[a.op_index("bind").unwrap()];
+        assert_eq!(bind.duration_s, 45.5);
+        assert_eq!(bind.class, DeviceClass::Chamber);
+    }
+
+    #[test]
+    fn round_trips_through_canonical_text() {
+        let a = Assay::parse(SAMPLE).unwrap();
+        let again = Assay::parse(&a.canonical_text()).unwrap();
+        assert_eq!(a.canonical_text(), again.canonical_text());
+    }
+
+    #[test]
+    fn header_must_come_first() {
+        let e = Assay::parse("op x duration=1 device=mixer\n").unwrap_err();
+        assert!(matches!(e, ScheduleError::Parse { line: 1, .. }), "{e}");
+        assert!(Assay::parse("assay a\nassay b\nop x duration=1 device=mixer\n").is_err());
+    }
+
+    #[test]
+    fn empty_input_is_a_parse_error() {
+        assert!(matches!(
+            Assay::parse(""),
+            Err(ScheduleError::Parse { line: 1, .. })
+        ));
+        assert!(Assay::parse("# only a comment\n").is_err());
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = Assay::parse("assay a\nbogus x\n").unwrap_err();
+        let ScheduleError::Parse { line, message } = e else {
+            panic!("expected a parse error");
+        };
+        assert_eq!(line, 2);
+        assert!(message.contains("bogus"));
+        let e =
+            Assay::parse("assay a\nop x duration=1 device=mixer\nop x duration=1 device=mixer\n")
+                .unwrap_err();
+        assert!(matches!(e, ScheduleError::Parse { line: 3, .. }), "{e}");
+    }
+
+    #[test]
+    fn op_option_validation() {
+        assert!(Assay::parse("assay a\nop x device=mixer\n").is_err());
+        assert!(Assay::parse("assay a\nop x duration=1\n").is_err());
+        assert!(Assay::parse("assay a\nop x duration=0 device=mixer\n").is_err());
+        assert!(Assay::parse("assay a\nop x duration=nan device=mixer\n").is_err());
+        assert!(Assay::parse("assay a\nop x duration=1e9 device=mixer\n").is_err());
+        assert!(Assay::parse("assay a\nop x duration=1 device=oven\n").is_err());
+        assert!(Assay::parse("assay a\nop x duration=1 device=mixer bogus=1\n").is_err());
+    }
+
+    #[test]
+    fn dep_validation() {
+        assert!(Assay::parse("assay a\nop x duration=1 device=mixer\ndep x x\n").is_err());
+        assert!(Assay::parse("assay a\nop x duration=1 device=mixer\ndep x -> ghost\n").is_err());
+        assert!(Assay::parse("assay a\nop x duration=1 device=mixer\ndep x -> x\n").is_err());
+    }
+
+    #[test]
+    fn devices_validation() {
+        assert!(Assay::parse("assay a\ndevices mixers=2\nop x duration=1 device=mixer\n").is_err());
+        assert!(Assay::parse(
+            "assay a\ndevices mixers=0 chambers=1\nop x duration=1 device=mixer\n"
+        )
+        .is_err());
+        assert!(Assay::parse(
+            "assay a\ndevices mixers=2 chambers=1 ovens=1\nop x duration=1 device=mixer\n"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn cycle_is_reported_with_op_ids() {
+        let text = "\
+assay loop
+op a duration=1 device=mixer
+op b duration=1 device=mixer
+op c duration=1 device=chamber
+dep a -> b
+dep b -> c
+dep c -> a
+";
+        let ScheduleError::Cycle { ops } = Assay::parse(text).unwrap_err() else {
+            panic!("expected a cycle error");
+        };
+        assert_eq!(ops, vec!["a".to_string(), "b".into(), "c".into()]);
+    }
+}

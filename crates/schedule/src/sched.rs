@@ -1,0 +1,487 @@
+//! List scheduling of the assay DAG onto bounded devices.
+//!
+//! Classic critical-path list scheduling: every operation gets a
+//! priority equal to its *bottom level* (its effective duration plus
+//! the longest downstream chain, edge latencies included), the ready
+//! set drains highest-priority-first, and each picked op lands on the
+//! device of its class that lets it start earliest.
+//!
+//! Two knobs feed the storage pass back into the schedule:
+//!
+//! * `latency[edge]` delays a consumer relative to one producer — a
+//!   transport that happens *between* the two ops;
+//! * `extend[op]` stretches an op's device occupancy — the time its
+//!   device spends loading fluids out to storage (producer side) or
+//!   retrieving them back (consumer side). Extensions bind even when
+//!   the edge itself has slack, which is exactly why storing a
+//!   long-idle fluid in a dedicated chamber costs makespan while
+//!   leaving it in the channel does not (see [`crate::storage`]).
+//!
+//! All tie-breaks are by operation name, so the schedule — and with it
+//! the emitted netlist — is a pure function of the assay graph, not of
+//! input line order.
+//!
+//! # Routability
+//!
+//! The emitted netlist is routed strictly left to right: every channel
+//! flows from an earlier column to a later one, so the *device-level*
+//! flow graph (devices as nodes, one edge per cross-device dependency)
+//! must stay acyclic. Naive device reuse breaks this: handing a
+//! downstream op back to an upstream device (elute on the mixer that
+//! fed the capture chamber) bends the flow backwards and the layout
+//! engine rejects the design as unroutable. The scheduler therefore
+//! treats the declared bounds as a *preferred time-sharing pool*: a
+//! device is eligible for an op only if taking it adds no cycle to the
+//! device flow graph (checked by reachability), and when no bounded
+//! device qualifies an *overflow* device is opened instead. Device
+//! indices are compacted per class afterwards, so the timetable's
+//! `mixers_used`/`chambers_used` may exceed the declared bounds — that
+//! is the price of a chip that routes.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::error::ScheduleError;
+use crate::model::{Assay, DeviceBounds, DeviceClass};
+
+/// One device instance of the bounded set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeviceRef {
+    /// The device class.
+    pub class: DeviceClass,
+    /// Index within the class, contiguous from 0. Indices below the
+    /// declared bounds are the preferred pool; anything above them is
+    /// an overflow device opened to keep the flow graph acyclic.
+    pub index: usize,
+}
+
+/// A device node in the routability quotient graph:
+/// `(class index, device index)`.
+type DevNode = (usize, usize);
+
+/// Whether `from` can reach `to` through the device flow graph.
+fn reaches(adj: &HashMap<DevNode, Vec<DevNode>>, from: DevNode, to: DevNode) -> bool {
+    if from == to {
+        return true;
+    }
+    let mut seen: HashSet<DevNode> = HashSet::new();
+    let mut stack = vec![from];
+    while let Some(node) = stack.pop() {
+        if node == to {
+            return true;
+        }
+        if !seen.insert(node) {
+            continue;
+        }
+        if let Some(next) = adj.get(&node) {
+            stack.extend(next.iter().copied());
+        }
+    }
+    false
+}
+
+/// One scheduled operation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Assignment {
+    /// Index of the op in [`Assay::ops`].
+    pub op: usize,
+    /// The device it runs on.
+    pub device: DeviceRef,
+    /// Start time, seconds from assay start.
+    pub start_s: f64,
+    /// End time (`start_s` + effective duration, transport extensions
+    /// included).
+    pub end_s: f64,
+}
+
+/// A complete schedule: one [`Assignment`] per op (indexed by op) and
+/// the makespan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Timetable {
+    /// Per-op assignments, indexed by op index.
+    pub assignments: Vec<Assignment>,
+    /// Completion time of the last operation, seconds.
+    pub makespan_s: f64,
+    /// Mixers actually used (`max index + 1`). May exceed the declared
+    /// bounds when overflow mixers were opened for routability.
+    pub mixers_used: usize,
+    /// Chambers actually used; same overflow caveat.
+    pub chambers_used: usize,
+}
+
+/// Schedules `assay` onto `bounds` devices. `latency` delays each
+/// dependency edge by that many seconds; `extend` stretches each op's
+/// device occupancy (both zero-filled for the first pass; storage
+/// transport penalties for the second).
+///
+/// Device choice is routability-aware: among the devices of the op's
+/// class whose reuse keeps the device flow graph acyclic (see the
+/// module docs), the op lands on the one that lets it start earliest;
+/// when none qualifies, a fresh overflow device is opened.
+///
+/// # Errors
+///
+/// The validation errors of [`Assay::topo_order`]; `latency` must have
+/// one entry per dependency edge and `extend` one per op.
+pub fn list_schedule(
+    assay: &Assay,
+    bounds: DeviceBounds,
+    latency: &[f64],
+    extend: &[f64],
+) -> Result<Timetable, ScheduleError> {
+    bounds.validate()?;
+    let ops = assay.ops();
+    let deps = assay.deps();
+    if latency.len() != deps.len() {
+        return Err(ScheduleError::Invalid(format!(
+            "latency table has {} entries for {} dependencies",
+            latency.len(),
+            deps.len()
+        )));
+    }
+    if extend.len() != ops.len() {
+        return Err(ScheduleError::Invalid(format!(
+            "extension table has {} entries for {} operations",
+            extend.len(),
+            ops.len()
+        )));
+    }
+    let dur = |i: usize| ops[i].duration_s + extend[i];
+
+    // Bottom levels over the reverse topological order.
+    let order = assay.topo_order()?;
+    let mut bottom = vec![0.0f64; ops.len()];
+    for &i in order.iter().rev() {
+        let mut tail = 0.0f64;
+        for (e, d) in deps.iter().enumerate() {
+            if d.from == i {
+                tail = tail.max(latency[e] + bottom[d.to]);
+            }
+        }
+        bottom[i] = dur(i) + tail;
+    }
+
+    let mut indeg = vec![0usize; ops.len()];
+    for d in deps {
+        indeg[d.to] += 1;
+    }
+    let mut ready: Vec<usize> = (0..ops.len()).filter(|&i| indeg[i] == 0).collect();
+    let mut free = [
+        vec![0.0f64; bounds.mixers],   // DeviceClass::Mixer
+        vec![0.0f64; bounds.chambers], // DeviceClass::Chamber
+    ];
+    let class_idx = |c: DeviceClass| match c {
+        DeviceClass::Mixer => 0usize,
+        DeviceClass::Chamber => 1,
+    };
+    let mut done: Vec<Option<Assignment>> = vec![None; ops.len()];
+    let mut makespan = 0.0f64;
+    // Device flow graph so far: an edge per scheduled cross-device
+    // dependency. Kept acyclic by the eligibility check below.
+    let mut adj: HashMap<DevNode, Vec<DevNode>> = HashMap::new();
+    while !ready.is_empty() {
+        // Highest bottom level first; ties by name for determinism.
+        let pick = ready
+            .iter()
+            .enumerate()
+            .max_by(|&(_, &a), &(_, &b)| {
+                bottom[a]
+                    .partial_cmp(&bottom[b])
+                    .expect("bottom levels are finite")
+                    .then_with(|| ops[b].name.cmp(&ops[a].name))
+            })
+            .map(|(pos, _)| pos)
+            .expect("ready set is non-empty");
+        let op = ready.swap_remove(pick);
+        let earliest = deps
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| d.to == op)
+            .map(|(e, d)| {
+                done[d.from]
+                    .as_ref()
+                    .expect("predecessors scheduled before successors")
+                    .end_s
+                    + latency[e]
+            })
+            .fold(0.0f64, f64::max);
+        let ci = class_idx(ops[op].class);
+        let pred_devices: Vec<DevNode> = deps
+            .iter()
+            .filter(|d| d.to == op)
+            .map(|d| {
+                let a = done[d.from]
+                    .as_ref()
+                    .expect("predecessors scheduled before successors");
+                (class_idx(a.device.class), a.device.index)
+            })
+            .collect();
+        // A device is eligible iff giving it this op adds no cycle to
+        // the device flow graph: none of the op's predecessor devices
+        // may already be reachable *from* it (same-device reuse adds no
+        // edge, so it is always safe).
+        let eligible = |di: usize| {
+            pred_devices
+                .iter()
+                .all(|&pd| pd == (ci, di) || !reaches(&adj, (ci, di), pd))
+        };
+        let slots = &mut free[ci];
+        let (device_index, device_free) = match slots
+            .iter()
+            .copied()
+            .enumerate()
+            .filter(|&(di, _)| eligible(di))
+            .min_by(|&(ai, af), &(bi, bf)| {
+                af.max(earliest)
+                    .partial_cmp(&bf.max(earliest))
+                    .expect("device times are finite")
+                    .then_with(|| ai.cmp(&bi))
+            }) {
+            Some(choice) => choice,
+            None => {
+                // Reusing any bounded device would bend the flow
+                // backwards; open an overflow device instead.
+                slots.push(0.0);
+                (slots.len() - 1, 0.0)
+            }
+        };
+        let start = earliest.max(device_free);
+        let end = start + dur(op);
+        slots[device_index] = end;
+        makespan = makespan.max(end);
+        done[op] = Some(Assignment {
+            op,
+            device: DeviceRef {
+                class: ops[op].class,
+                index: device_index,
+            },
+            start_s: start,
+            end_s: end,
+        });
+        let node = (ci, device_index);
+        for pd in pred_devices {
+            if pd != node {
+                adj.entry(pd).or_default().push(node);
+            }
+        }
+        for d in deps {
+            if d.from == op {
+                indeg[d.to] -= 1;
+                if indeg[d.to] == 0 {
+                    ready.push(d.to);
+                }
+            }
+        }
+    }
+    let mut assignments: Vec<Assignment> = done
+        .into_iter()
+        .map(|a| a.expect("acyclic graph schedules every op"))
+        .collect();
+    // Eligibility filtering can leave gaps in the index space (a low
+    // index skipped for routability, a higher one taken); compact each
+    // class to contiguous indices so the netlist gets mix0..mixN.
+    for class in [DeviceClass::Mixer, DeviceClass::Chamber] {
+        let mut idxs: Vec<usize> = assignments
+            .iter()
+            .filter(|a| a.device.class == class)
+            .map(|a| a.device.index)
+            .collect();
+        idxs.sort_unstable();
+        idxs.dedup();
+        let remap: HashMap<usize, usize> = idxs
+            .iter()
+            .enumerate()
+            .map(|(new, &old)| (old, new))
+            .collect();
+        for a in &mut assignments {
+            if a.device.class == class {
+                a.device.index = *remap
+                    .get(&a.device.index)
+                    .expect("every used index was collected");
+            }
+        }
+    }
+    let used = |class: DeviceClass| {
+        assignments
+            .iter()
+            .filter(|a| a.device.class == class)
+            .map(|a| a.device.index + 1)
+            .max()
+            .unwrap_or(0)
+    };
+    Ok(Timetable {
+        mixers_used: used(DeviceClass::Mixer),
+        chambers_used: used(DeviceClass::Chamber),
+        assignments,
+        makespan_s: makespan,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bounds(m: usize, c: usize) -> DeviceBounds {
+        DeviceBounds {
+            mixers: m,
+            chambers: c,
+        }
+    }
+
+    fn zeros(assay: &Assay) -> (Vec<f64>, Vec<f64>) {
+        (vec![0.0; assay.deps().len()], vec![0.0; assay.ops().len()])
+    }
+
+    fn chain(n: usize) -> Assay {
+        let mut a = Assay::new("chain").unwrap();
+        let mut prev = None;
+        for i in 0..n {
+            let op = a.add_op(format!("s{i}"), 10.0, DeviceClass::Mixer).unwrap();
+            if let Some(p) = prev {
+                a.add_dep(p, op).unwrap();
+            }
+            prev = Some(op);
+        }
+        a
+    }
+
+    #[test]
+    fn chain_serializes_on_one_device() {
+        let a = chain(4);
+        let (lat, ext) = zeros(&a);
+        let t = list_schedule(&a, bounds(2, 1), &lat, &ext).unwrap();
+        assert_eq!(t.makespan_s, 40.0);
+        assert_eq!(t.mixers_used, 1, "a chain never needs a second mixer");
+    }
+
+    #[test]
+    fn independent_ops_run_in_parallel() {
+        let mut a = Assay::new("par").unwrap();
+        for i in 0..4 {
+            a.add_op(format!("x{i}"), 10.0, DeviceClass::Mixer).unwrap();
+        }
+        let (lat, ext) = zeros(&a);
+        let t = list_schedule(&a, bounds(2, 1), &lat, &ext).unwrap();
+        assert_eq!(t.makespan_s, 20.0, "4 ops on 2 mixers take 2 rounds");
+        assert_eq!(t.mixers_used, 2);
+        let t1 = list_schedule(&a, bounds(1, 1), &lat, &ext).unwrap();
+        assert_eq!(t1.makespan_s, 40.0, "1 mixer serializes them");
+    }
+
+    #[test]
+    fn latency_delays_the_consumer() {
+        let mut a = Assay::new("lat").unwrap();
+        let p = a.add_op("p", 10.0, DeviceClass::Mixer).unwrap();
+        let c = a.add_op("c", 10.0, DeviceClass::Mixer).unwrap();
+        a.add_dep(p, c).unwrap();
+        let t0 = list_schedule(&a, bounds(2, 1), &[0.0], &[0.0, 0.0]).unwrap();
+        assert_eq!(t0.makespan_s, 20.0);
+        let t1 = list_schedule(&a, bounds(2, 1), &[5.0], &[0.0, 0.0]).unwrap();
+        assert_eq!(t1.makespan_s, 25.0);
+        assert_eq!(t1.assignments[c].start_s, 15.0);
+        assert_eq!(t1.assignments[p].end_s, 10.0);
+    }
+
+    #[test]
+    fn extension_stretches_device_occupancy() {
+        let mut a = Assay::new("ext").unwrap();
+        let p = a.add_op("p", 10.0, DeviceClass::Mixer).unwrap();
+        let c = a.add_op("c", 10.0, DeviceClass::Mixer).unwrap();
+        a.add_dep(p, c).unwrap();
+        let t = list_schedule(&a, bounds(1, 1), &[0.0], &[0.5, 1.0]).unwrap();
+        assert_eq!(t.assignments[p].end_s, 10.5);
+        assert_eq!(t.assignments[c].start_s, 10.5);
+        assert_eq!(t.makespan_s, 21.5);
+    }
+
+    #[test]
+    fn no_overlap_per_device() {
+        let mut a = Assay::new("mix").unwrap();
+        for i in 0..7 {
+            a.add_op(format!("m{i}"), 3.0 + i as f64, DeviceClass::Mixer)
+                .unwrap();
+        }
+        for i in 0..3 {
+            a.add_dep(i, i + 4).unwrap();
+        }
+        let (lat, ext) = zeros(&a);
+        let t = list_schedule(&a, bounds(2, 1), &lat, &ext).unwrap();
+        let mut per_device: std::collections::HashMap<usize, Vec<(f64, f64)>> =
+            std::collections::HashMap::new();
+        for asg in &t.assignments {
+            per_device
+                .entry(asg.device.index)
+                .or_default()
+                .push((asg.start_s, asg.end_s));
+        }
+        for intervals in per_device.values_mut() {
+            intervals.sort_by(|x, y| x.0.partial_cmp(&y.0).unwrap());
+            for w in intervals.windows(2) {
+                assert!(w[0].1 <= w[1].0 + 1e-9, "overlap: {w:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn device_reuse_never_creates_routing_cycles() {
+        // Prep fan-in → capture (chamber) → elute (mixer): reusing a
+        // prep mixer for elute would route the chamber's output back
+        // into an upstream mixer, which the left-to-right layout
+        // cannot place. Elute must land on an overflow mixer.
+        let mut a = Assay::new("cap").unwrap();
+        let capture = a.add_op("capture", 120.0, DeviceClass::Chamber).unwrap();
+        let elute = a.add_op("elute", 20.0, DeviceClass::Mixer).unwrap();
+        a.add_dep(capture, elute).unwrap();
+        for i in 0..3 {
+            let p = a
+                .add_op(format!("prep{i}"), 15.0, DeviceClass::Mixer)
+                .unwrap();
+            a.add_dep(p, capture).unwrap();
+        }
+        let (lat, ext) = zeros(&a);
+        let t = list_schedule(&a, bounds(2, 1), &lat, &ext).unwrap();
+        assert_eq!(t.mixers_used, 3, "elute needs an overflow mixer");
+        assert_eq!(t.assignments[elute].device.index, 2, "{t:?}");
+        // the device flow graph must topologically sort: collect the
+        // cross-device edges and run a Kahn pass over them
+        let dev = |op: usize| {
+            let d = t.assignments[op].device;
+            (d.class, d.index)
+        };
+        let mut edges: std::collections::HashSet<_> = std::collections::HashSet::new();
+        for d in a.deps() {
+            if dev(d.from) != dev(d.to) {
+                edges.insert((dev(d.from), dev(d.to)));
+            }
+        }
+        let nodes: std::collections::HashSet<_> = edges.iter().flat_map(|&(f, t)| [f, t]).collect();
+        let mut remaining = edges.clone();
+        let mut placed = 0usize;
+        let mut frontier: Vec<_> = nodes
+            .iter()
+            .filter(|&&n| !remaining.iter().any(|&(_, t)| t == n))
+            .copied()
+            .collect();
+        let mut seen = std::collections::HashSet::new();
+        while let Some(n) = frontier.pop() {
+            if !seen.insert(n) {
+                continue;
+            }
+            placed += 1;
+            remaining.retain(|&(f, _)| f != n);
+            frontier.extend(
+                nodes
+                    .iter()
+                    .filter(|&&m| !seen.contains(&m) && !remaining.iter().any(|&(_, t)| t == m))
+                    .copied(),
+            );
+        }
+        assert_eq!(placed, nodes.len(), "device flow graph has a cycle");
+    }
+
+    #[test]
+    fn wrong_table_sizes_are_rejected() {
+        let a = chain(3);
+        assert!(list_schedule(&a, bounds(1, 1), &[0.0], &[0.0; 3]).is_err());
+        assert!(list_schedule(&a, bounds(1, 1), &[0.0; 2], &[0.0]).is_err());
+    }
+}

@@ -1,0 +1,469 @@
+//! Storage synthesis: deciding where every intermediate fluid waits.
+//!
+//! Between its producer finishing and its consumer starting, a fluid
+//! must live somewhere. Following the Transport-or-Store rule, the
+//! decision is made *per fluid by idle-interval length*:
+//!
+//! * an idle interval at or below `storage_threshold_s` always stays in
+//!   **distributed channel storage** — the fluid simply waits inside
+//!   the channel connecting producer to consumer, at zero transport
+//!   cost;
+//! * a longer interval is evicted to the policy's long-term home:
+//!   - [`StoragePolicy::Dedicated`] — a dedicated storage chamber,
+//!     paying a load **and** a retrieve transport (`2 × transport_s`)
+//!     on the edge;
+//!   - [`StoragePolicy::Distributed`] — the channel again (channels are
+//!     storage; nothing moves, nothing is paid);
+//!   - [`StoragePolicy::Spill`] — an idle rotary mixer doubling as
+//!     storage, paying one transport (the retrieve happens as part of
+//!     the consumer's load).
+//!
+//! The transport penalties feed back into a second scheduling pass as
+//! per-op *device-occupancy extensions*: the producer's device spends
+//! `transport_s` loading each evicted fluid out (chamber homes only —
+//! a spill is pushed as part of the mixer's last rotation), and the
+//! consumer's device spends `transport_s` retrieving each one back.
+//! Extensions bind even though the stored edge itself has slack — the
+//! very slack that triggered storage — so the storage decision
+//! genuinely changes the makespan: dedicated storage trades schedule
+//! time for channel simplicity, distributed storage the reverse,
+//! exactly the trade the papers measure. Chamber/rotary homes are then
+//! packed into *slots* (greedy interval partitioning), and every slot
+//! becomes one physical storage component in the emitted netlist.
+
+use crate::error::ScheduleError;
+use crate::model::Assay;
+use crate::sched::Timetable;
+
+/// Where long-idle fluids are parked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum StoragePolicy {
+    /// Long-idle fluids move to a dedicated storage chamber.
+    Dedicated,
+    /// Fluids stay in the channels that already connect their ops.
+    #[default]
+    Distributed,
+    /// Long-idle fluids spill into an idle rotary mixer.
+    Spill,
+}
+
+impl StoragePolicy {
+    /// Stable lowercase name (options canon, CLI flag, job status).
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            StoragePolicy::Dedicated => "dedicated",
+            StoragePolicy::Distributed => "distributed",
+            StoragePolicy::Spill => "spill",
+        }
+    }
+
+    /// Parses the stable name back; `None` for anything else.
+    #[must_use]
+    pub fn parse(name: &str) -> Option<StoragePolicy> {
+        match name {
+            "dedicated" => Some(StoragePolicy::Dedicated),
+            "distributed" => Some(StoragePolicy::Distributed),
+            "spill" => Some(StoragePolicy::Spill),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for StoragePolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// The home a stored fluid was assigned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StorageHome {
+    /// Distributed channel storage: the fluid waits in the channel.
+    Channel,
+    /// Dedicated storage chamber number `slot`.
+    Chamber {
+        /// Slot index; one physical storage chamber per slot.
+        slot: usize,
+    },
+    /// Rotary mixer number `slot` doubling as storage.
+    Rotary {
+        /// Slot index; one spill mixer per slot.
+        slot: usize,
+    },
+}
+
+impl std::fmt::Display for StorageHome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StorageHome::Channel => write!(f, "channel"),
+            StorageHome::Chamber { slot } => write!(f, "store{slot}"),
+            StorageHome::Rotary { slot } => write!(f, "rot{slot}"),
+        }
+    }
+}
+
+/// One inserted storage operation: `fluid` (named after its producer)
+/// is held in `home` for the whole interval `[from_s, until_s]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StorageOp {
+    /// Index of the dependency edge in [`Assay::deps`] this op serves.
+    pub dep: usize,
+    /// The stored fluid, named after the op that produced it.
+    pub fluid: String,
+    /// Producer end time — when the fluid becomes idle.
+    pub from_s: f64,
+    /// Consumer start time — when the idle interval ends.
+    pub until_s: f64,
+    /// Where it waits.
+    pub home: StorageHome,
+}
+
+/// The storage pass output: per-edge latencies to reschedule with, then
+/// (after the second pass) the concrete storage ops and slot counts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoragePlan {
+    /// The inserted storage operations, sorted by `(from_s, fluid)`.
+    pub ops: Vec<StorageOp>,
+    /// Dedicated storage chambers needed (0 unless policy is
+    /// `Dedicated`).
+    pub chamber_slots: usize,
+    /// Spill mixers needed (0 unless policy is `Spill`).
+    pub rotary_slots: usize,
+    /// Peak number of fluids stored at the same instant (any home).
+    pub peak: usize,
+    /// Total fluid-seconds spent in storage.
+    pub total_s: f64,
+}
+
+/// Idle intervals shorter than this are scheduling noise, not storage.
+const EPS_S: f64 = 1e-9;
+
+/// What kind of home an edge's fluid needs, decided from the
+/// first-pass schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum HomeKind {
+    /// No idle interval: the fluid flows straight through.
+    None,
+    /// Distributed channel storage.
+    Channel,
+    /// Dedicated storage chamber.
+    Chamber,
+    /// Spill to an idle rotary mixer.
+    Rotary,
+}
+
+/// Classifies every dependency edge from the first-pass schedule and
+/// returns `(kinds, extend)` — per-edge homes plus the per-op
+/// device-occupancy extensions that drive the second scheduling pass:
+/// `transport_s` of load time on the producer per chamber-stored
+/// output, `transport_s` of retrieve time on the consumer per
+/// chamber- or rotary-stored input.
+pub(crate) fn classify(
+    assay: &Assay,
+    pass: &Timetable,
+    policy: StoragePolicy,
+    threshold_s: f64,
+    transport_s: f64,
+) -> (Vec<HomeKind>, Vec<f64>) {
+    let mut kinds = Vec::with_capacity(assay.deps().len());
+    let mut extend = vec![0.0f64; assay.ops().len()];
+    for d in assay.deps() {
+        let idle = pass.assignments[d.to].start_s - pass.assignments[d.from].end_s;
+        let same_device = pass.assignments[d.from].device == pass.assignments[d.to].device;
+        let kind = if idle <= EPS_S {
+            HomeKind::None
+        } else if same_device || idle <= threshold_s {
+            // A fluid whose producer and consumer share a device never
+            // leaves it: evicting it elsewhere would route the device
+            // into itself. It waits in place at zero transport cost.
+            HomeKind::Channel
+        } else {
+            match policy {
+                StoragePolicy::Dedicated => HomeKind::Chamber,
+                StoragePolicy::Distributed => HomeKind::Channel,
+                StoragePolicy::Spill => HomeKind::Rotary,
+            }
+        };
+        match kind {
+            HomeKind::None | HomeKind::Channel => {}
+            HomeKind::Chamber => {
+                extend[d.from] += transport_s; // load out to the store
+                extend[d.to] += transport_s; // retrieve back in
+            }
+            HomeKind::Rotary => {
+                extend[d.to] += transport_s; // retrieve only
+            }
+        }
+        kinds.push(kind);
+    }
+    (kinds, extend)
+}
+
+/// Materializes the storage ops against the *final* schedule: computes
+/// each stored fluid's real idle interval, packs chamber/rotary homes
+/// into slots (greedy interval partitioning, so slot count equals the
+/// peak concurrent residency of that home kind) and gathers the
+/// pressure stats.
+///
+/// # Errors
+///
+/// [`ScheduleError::Invalid`] if `kinds` does not match the dependency
+/// count (an internal contract violation).
+pub(crate) fn materialize(
+    assay: &Assay,
+    schedule: &Timetable,
+    kinds: &[HomeKind],
+) -> Result<StoragePlan, ScheduleError> {
+    if kinds.len() != assay.deps().len() {
+        return Err(ScheduleError::Invalid(format!(
+            "storage kinds table has {} entries for {} dependencies",
+            kinds.len(),
+            assay.deps().len()
+        )));
+    }
+    let mut ops: Vec<StorageOp> = Vec::new();
+    for (e, d) in assay.deps().iter().enumerate() {
+        let from = schedule.assignments[d.from].end_s;
+        let until = schedule.assignments[d.to].start_s;
+        if kinds[e] == HomeKind::None || until - from <= EPS_S {
+            continue;
+        }
+        // Defensive re-check against the *final* schedule: if the
+        // second pass co-located producer and consumer, the fluid
+        // waits in place — a chamber/rotary home would route the
+        // device into itself.
+        let kind = if schedule.assignments[d.from].device == schedule.assignments[d.to].device {
+            HomeKind::Channel
+        } else {
+            kinds[e]
+        };
+        let home = match kind {
+            HomeKind::Channel => StorageHome::Channel,
+            // slot filled in below, after sorting
+            HomeKind::Chamber => StorageHome::Chamber { slot: 0 },
+            HomeKind::Rotary => StorageHome::Rotary { slot: 0 },
+            HomeKind::None => unreachable!("filtered above"),
+        };
+        ops.push(StorageOp {
+            dep: e,
+            fluid: assay.ops()[d.from].name.clone(),
+            from_s: from,
+            until_s: until,
+            home,
+        });
+    }
+    ops.sort_by(|a, b| {
+        a.from_s
+            .partial_cmp(&b.from_s)
+            .expect("schedule times are finite")
+            .then_with(|| a.fluid.cmp(&b.fluid))
+    });
+    // Greedy interval partitioning per home kind: reuse the first slot
+    // whose previous resident has already left, else open a new one.
+    let mut chamber_free: Vec<f64> = Vec::new();
+    let mut rotary_free: Vec<f64> = Vec::new();
+    for op in &mut ops {
+        let slots = match op.home {
+            StorageHome::Channel => continue,
+            StorageHome::Chamber { .. } => &mut chamber_free,
+            StorageHome::Rotary { .. } => &mut rotary_free,
+        };
+        let slot = match slots.iter().position(|&free| free <= op.from_s + EPS_S) {
+            Some(s) => s,
+            None => {
+                slots.push(0.0);
+                slots.len() - 1
+            }
+        };
+        slots[slot] = op.until_s;
+        op.home = match op.home {
+            StorageHome::Chamber { .. } => StorageHome::Chamber { slot },
+            StorageHome::Rotary { .. } => StorageHome::Rotary { slot },
+            StorageHome::Channel => unreachable!("skipped above"),
+        };
+    }
+    // Peak concurrent residency across every home via an event sweep.
+    let mut events: Vec<(f64, i32)> = ops
+        .iter()
+        .flat_map(|o| [(o.from_s, 1), (o.until_s, -1)])
+        .collect();
+    events.sort_by(|a, b| {
+        a.0.partial_cmp(&b.0)
+            .expect("finite times")
+            .then_with(|| a.1.cmp(&b.1))
+    });
+    let (mut live, mut peak) = (0i32, 0i32);
+    for (_, delta) in events {
+        live += delta;
+        peak = peak.max(live);
+    }
+    let total_s = ops.iter().map(|o| o.until_s - o.from_s).sum();
+    Ok(StoragePlan {
+        chamber_slots: chamber_free.len(),
+        rotary_slots: rotary_free.len(),
+        peak: usize::try_from(peak.max(0)).unwrap_or(0),
+        total_s,
+        ops,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{DeviceBounds, DeviceClass};
+    use crate::sched::list_schedule;
+
+    /// Producer finishes early, consumer also needs a second slow input
+    /// — the fast fluid idles for 90 s. The join runs in a chamber so
+    /// the stored edge crosses devices (a same-device wait would stay
+    /// in place and never be evicted).
+    fn idle_assay() -> Assay {
+        let mut a = Assay::new("idle").unwrap();
+        let fast = a.add_op("fast", 10.0, DeviceClass::Mixer).unwrap();
+        let slow = a.add_op("slow", 100.0, DeviceClass::Chamber).unwrap();
+        let join = a.add_op("join", 10.0, DeviceClass::Chamber).unwrap();
+        a.add_dep(fast, join).unwrap();
+        a.add_dep(slow, join).unwrap();
+        a
+    }
+
+    fn bounds() -> DeviceBounds {
+        DeviceBounds {
+            mixers: 2,
+            chambers: 2,
+        }
+    }
+
+    #[test]
+    fn short_idle_stays_in_channel_under_every_policy() {
+        let mut a = Assay::new("s").unwrap();
+        let p = a.add_op("p", 10.0, DeviceClass::Mixer).unwrap();
+        let q = a.add_op("q", 11.0, DeviceClass::Mixer).unwrap();
+        let c = a.add_op("c", 5.0, DeviceClass::Mixer).unwrap();
+        a.add_dep(p, c).unwrap();
+        a.add_dep(q, c).unwrap();
+        // p idles 1 s while q finishes — under the 2 s threshold
+        let pass = list_schedule(&a, bounds(), &[0.0, 0.0], &[0.0; 3]).unwrap();
+        for policy in [
+            StoragePolicy::Dedicated,
+            StoragePolicy::Distributed,
+            StoragePolicy::Spill,
+        ] {
+            let (kinds, ext) = classify(&a, &pass, policy, 2.0, 0.5);
+            assert_eq!(kinds[0], HomeKind::Channel, "{policy}");
+            assert!(ext.iter().all(|&e| e == 0.0), "{policy}");
+            assert_eq!(kinds[1], HomeKind::None, "q flows straight into c");
+        }
+    }
+
+    #[test]
+    fn long_idle_follows_the_policy() {
+        let a = idle_assay();
+        let pass = list_schedule(&a, bounds(), &[0.0, 0.0], &[0.0; 3]).unwrap();
+        // (policy, home kind, producer load, consumer retrieve)
+        let cases = [
+            (StoragePolicy::Dedicated, HomeKind::Chamber, 0.5, 0.5),
+            (StoragePolicy::Distributed, HomeKind::Channel, 0.0, 0.0),
+            (StoragePolicy::Spill, HomeKind::Rotary, 0.0, 0.5),
+        ];
+        for (policy, kind, load, retrieve) in cases {
+            let (kinds, ext) = classify(&a, &pass, policy, 2.0, 0.5);
+            assert_eq!(kinds[0], kind, "{policy}");
+            assert_eq!(ext[0], load, "{policy}: producer `fast` load");
+            assert_eq!(ext[2], retrieve, "{policy}: consumer `join` retrieve");
+        }
+    }
+
+    #[test]
+    fn same_device_long_idle_waits_in_place() {
+        // With one mixer, producer and consumer share it; the fluid
+        // idles 90 s but must not be evicted — a chamber home would
+        // route the mixer into itself.
+        let mut a = Assay::new("inplace").unwrap();
+        let p = a.add_op("p", 10.0, DeviceClass::Mixer).unwrap();
+        let slow = a.add_op("slow", 100.0, DeviceClass::Chamber).unwrap();
+        let c = a.add_op("c", 10.0, DeviceClass::Mixer).unwrap();
+        a.add_dep(p, c).unwrap();
+        a.add_dep(slow, c).unwrap();
+        let b = DeviceBounds {
+            mixers: 1,
+            chambers: 1,
+        };
+        let pass = list_schedule(&a, b, &[0.0, 0.0], &[0.0; 3]).unwrap();
+        assert_eq!(
+            pass.assignments[p].device, pass.assignments[c].device,
+            "one mixer serves both"
+        );
+        let (kinds, ext) = classify(&a, &pass, StoragePolicy::Dedicated, 2.0, 0.5);
+        assert_eq!(kinds[0], HomeKind::Channel, "waits in place, not evicted");
+        assert!(ext.iter().all(|&e| e == 0.0), "no transport paid");
+    }
+
+    #[test]
+    fn materialize_covers_the_idle_interval_and_packs_slots() {
+        let a = idle_assay();
+        let pass = list_schedule(&a, bounds(), &[0.0, 0.0], &[0.0; 3]).unwrap();
+        let (kinds, ext) = classify(&a, &pass, StoragePolicy::Dedicated, 2.0, 0.5);
+        let fin = list_schedule(&a, bounds(), &[0.0, 0.0], &ext).unwrap();
+        let plan = materialize(&a, &fin, &kinds).unwrap();
+        assert_eq!(plan.ops.len(), 1);
+        let op = &plan.ops[0];
+        assert_eq!(op.fluid, "fast");
+        assert_eq!(op.from_s, fin.assignments[0].end_s);
+        assert_eq!(op.until_s, fin.assignments[2].start_s);
+        assert!(matches!(op.home, StorageHome::Chamber { slot: 0 }));
+        assert_eq!(plan.chamber_slots, 1);
+        assert_eq!(plan.rotary_slots, 0);
+        assert_eq!(plan.peak, 1);
+        assert!(plan.total_s > 0.0);
+    }
+
+    #[test]
+    fn concurrent_storage_needs_more_slots() {
+        let mut a = Assay::new("many").unwrap();
+        let slow = a.add_op("slow", 100.0, DeviceClass::Chamber).unwrap();
+        let join = a.add_op("zjoin", 5.0, DeviceClass::Chamber).unwrap();
+        a.add_dep(slow, join).unwrap();
+        for i in 0..3 {
+            let p = a.add_op(format!("p{i}"), 10.0, DeviceClass::Mixer).unwrap();
+            a.add_dep(p, join).unwrap();
+        }
+        let b = DeviceBounds {
+            mixers: 3,
+            chambers: 1,
+        };
+        let pass = list_schedule(&a, b, &[0.0; 4], &[0.0; 5]).unwrap();
+        let (kinds, ext) = classify(&a, &pass, StoragePolicy::Dedicated, 2.0, 0.5);
+        let fin = list_schedule(&a, b, &[0.0; 4], &ext).unwrap();
+        let plan = materialize(&a, &fin, &kinds).unwrap();
+        assert_eq!(plan.chamber_slots, 3, "three fluids idle at once");
+        assert_eq!(plan.peak, 3);
+        // every slot's residents must not overlap
+        for slot in 0..plan.chamber_slots {
+            let mut residents: Vec<(f64, f64)> = plan
+                .ops
+                .iter()
+                .filter(|o| o.home == StorageHome::Chamber { slot })
+                .map(|o| (o.from_s, o.until_s))
+                .collect();
+            residents.sort_by(|x, y| x.0.partial_cmp(&y.0).unwrap());
+            for w in residents.windows(2) {
+                assert!(w[0].1 <= w[1].0 + EPS_S, "slot {slot} overlap: {w:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn policy_names_round_trip() {
+        for p in [
+            StoragePolicy::Dedicated,
+            StoragePolicy::Distributed,
+            StoragePolicy::Spill,
+        ] {
+            assert_eq!(StoragePolicy::parse(p.as_str()), Some(p));
+        }
+        assert_eq!(StoragePolicy::parse("rotary"), None);
+        assert_eq!(StoragePolicy::default(), StoragePolicy::Distributed);
+    }
+}

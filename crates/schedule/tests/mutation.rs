@@ -1,0 +1,110 @@
+//! Seeded random-mutation test: the assay parser must return `Ok` or a
+//! structured `ScheduleError` on arbitrarily corrupted input — never
+//! panic. Modeled on the `columba-netlist` mutation harness.
+//!
+//! Each iteration corrupts a valid assay text with byte flips,
+//! truncations, duplications and insertions of format-relevant tokens,
+//! then parses the result. The mutations are seeded, so a failure
+//! reproduces by seed alone.
+
+use columba_prng::Rng;
+use columba_schedule::{generators, Assay};
+
+const TOKENS: &[&str] = &[
+    "assay",
+    "devices",
+    "op",
+    "dep",
+    "->",
+    "duration=",
+    "device=",
+    "mixers=",
+    "chambers=",
+    "mixer",
+    "chamber",
+    "#",
+    "=",
+    ".",
+    "1e308",
+    "-1",
+    "nan",
+    "inf",
+    "\n",
+    "\u{fffd}",
+    "\0",
+];
+
+fn mutate(rng: &mut Rng, text: &str) -> String {
+    let mut bytes = text.as_bytes().to_vec();
+    let edits = rng.gen_range(1..8usize);
+    for _ in 0..edits {
+        if bytes.is_empty() {
+            break;
+        }
+        match rng.gen_range(0..5usize) {
+            // flip one byte to an arbitrary value
+            0 => {
+                let i = rng.gen_range(0..bytes.len());
+                bytes[i] = (rng.next_u64() & 0xff) as u8;
+            }
+            // truncate at a random point
+            1 => {
+                let i = rng.gen_range(0..bytes.len());
+                bytes.truncate(i);
+            }
+            // delete a random span
+            2 => {
+                let i = rng.gen_range(0..bytes.len());
+                let j = (i + rng.gen_range(1..32usize)).min(bytes.len());
+                bytes.drain(i..j);
+            }
+            // duplicate a random span somewhere else
+            3 => {
+                let i = rng.gen_range(0..bytes.len());
+                let j = (i + rng.gen_range(1..32usize)).min(bytes.len());
+                let span: Vec<u8> = bytes[i..j].to_vec();
+                let at = rng.gen_range(0..=bytes.len());
+                bytes.splice(at..at, span);
+            }
+            // insert a format-relevant token (worst case for the parser)
+            _ => {
+                let tok = TOKENS[rng.gen_range(0..TOKENS.len())];
+                let at = rng.gen_range(0..=bytes.len());
+                bytes.splice(at..at, tok.bytes());
+            }
+        }
+    }
+    String::from_utf8_lossy(&bytes).into_owned()
+}
+
+#[test]
+fn parser_never_panics_on_corrupted_text() {
+    let seeds: Vec<(&str, String)> = vec![
+        ("pooled", generators::pooled_capture(3).to_text()),
+        ("dilution", generators::serial_dilution(8).to_text()),
+    ];
+    let mut rng = Rng::seed_from_u64(0x00A5_5A11);
+    for round in 0..400 {
+        for (name, text) in &seeds {
+            let corrupted = mutate(&mut rng, text);
+            // Ok or Err are both fine; a panic fails the test with the
+            // round number for seed-exact reproduction
+            let result = std::panic::catch_unwind(|| Assay::parse(&corrupted));
+            assert!(
+                result.is_ok(),
+                "parser panicked on {name} round {round}:\n{corrupted}"
+            );
+        }
+    }
+}
+
+#[test]
+fn parser_still_accepts_the_unmutated_seeds() {
+    for a in [
+        generators::pooled_capture(3),
+        generators::serial_dilution(8),
+    ] {
+        let reparsed = Assay::parse(&a.to_text()).expect("round-trips");
+        assert_eq!(reparsed.canonical_text(), a.canonical_text());
+    }
+}

@@ -1,0 +1,194 @@
+//! Property tests for the schedule → netlist contract:
+//!
+//! * every emitted netlist parses back through `columba-netlist` and
+//!   canonicalizes stably (same assay + options ⇒ same text, which is
+//!   what makes service cache hits work);
+//! * schedules respect dependencies and device capacity — no two ops
+//!   overlap on one device, consumers start after their producers end;
+//! * every stored fluid has a home for its whole idle interval, and no
+//!   two fluids share a storage slot at the same time.
+
+use columba_netlist::Netlist;
+use columba_prng::Rng;
+use columba_schedule::{
+    generators, schedule, Assay, DeviceClass, ScheduleOptions, ScheduleReport, StorageHome,
+    StoragePolicy,
+};
+
+const POLICIES: [StoragePolicy; 3] = [
+    StoragePolicy::Dedicated,
+    StoragePolicy::Distributed,
+    StoragePolicy::Spill,
+];
+
+const EPS: f64 = 1e-9;
+
+fn check_invariants(assay: &Assay, report: &ScheduleReport) {
+    let tt = &report.timetable;
+    assert_eq!(tt.assignments.len(), assay.ops().len());
+
+    // (a) emitted netlist parses back and canonicalizes stably
+    let reparsed = Netlist::parse(&report.netlist_text).expect("emitted netlist parses back");
+    assert_eq!(reparsed.canonical_text(), report.netlist_text);
+
+    // (c1) dependencies: a consumer starts no earlier than its producer ends
+    for d in assay.deps() {
+        let (p, c) = (&tt.assignments[d.from], &tt.assignments[d.to]);
+        assert!(
+            c.start_s + EPS >= p.end_s,
+            "dep {} -> {} violated: producer ends {} but consumer starts {}",
+            assay.ops()[d.from].name,
+            assay.ops()[d.to].name,
+            p.end_s,
+            c.start_s
+        );
+    }
+
+    // (c2) device capacity: no two ops overlap on one device
+    let mut by_device: std::collections::HashMap<(DeviceClass, usize), Vec<(f64, f64)>> =
+        std::collections::HashMap::new();
+    for a in &tt.assignments {
+        assert!(a.end_s > a.start_s - EPS);
+        assert!(a.end_s <= tt.makespan_s + EPS);
+        by_device
+            .entry((a.device.class, a.device.index))
+            .or_default()
+            .push((a.start_s, a.end_s));
+    }
+    for ((class, index), mut spans) in by_device {
+        spans.sort_by(|a, b| a.0.total_cmp(&b.0));
+        for w in spans.windows(2) {
+            assert!(
+                w[1].0 + EPS >= w[0].1,
+                "overlap on {class}{index}: {:?} then {:?}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    // (c3) stored fluids have a home for their whole idle interval,
+    // and slot residents never overlap
+    let mut by_slot: std::collections::HashMap<String, Vec<(f64, f64)>> =
+        std::collections::HashMap::new();
+    for s in &report.storage.ops {
+        let d = assay.deps()[s.dep];
+        let (p, c) = (&tt.assignments[d.from], &tt.assignments[d.to]);
+        assert!(
+            s.from_s <= p.end_s + EPS && s.until_s + EPS >= c.start_s,
+            "storage for {} does not cover the idle interval [{}, {}]: [{}, {}]",
+            s.fluid,
+            p.end_s,
+            c.start_s,
+            s.from_s,
+            s.until_s
+        );
+        let key = match s.home {
+            StorageHome::Channel => continue,
+            StorageHome::Chamber { slot } => format!("store{slot}"),
+            StorageHome::Rotary { slot } => format!("rot{slot}"),
+        };
+        by_slot.entry(key).or_default().push((s.from_s, s.until_s));
+    }
+    for (slot, mut spans) in by_slot {
+        spans.sort_by(|a, b| a.0.total_cmp(&b.0));
+        for w in spans.windows(2) {
+            assert!(
+                w[1].0 + EPS >= w[0].1,
+                "two fluids share slot {slot}: {:?} then {:?}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+}
+
+#[test]
+fn random_assays_hold_all_invariants_under_every_policy() {
+    for seed in 0..12u64 {
+        let assay = generators::random_assay(&mut Rng::seed_from_u64(seed), 32);
+        for policy in POLICIES {
+            let opts = ScheduleOptions {
+                policy,
+                ..ScheduleOptions::default()
+            };
+            let report = schedule(&assay, &opts).expect("schedules");
+            check_invariants(&assay, &report);
+        }
+    }
+}
+
+#[test]
+fn same_assay_and_options_produce_identical_output() {
+    // Determinism is what makes the service's content-addressed cache
+    // hit on resubmission: same canonical assay + options ⇒ same
+    // netlist text ⇒ same ContentKey.
+    for seed in [3u64, 7, 11] {
+        let assay = generators::random_assay(&mut Rng::seed_from_u64(seed), 24);
+        let opts = ScheduleOptions::default();
+        let a = schedule(&assay, &opts).unwrap();
+        let b = schedule(&assay, &opts).unwrap();
+        assert_eq!(a.netlist_text, b.netlist_text);
+        assert_eq!(assay.canonical_text(), assay.canonical_text());
+    }
+}
+
+#[test]
+fn canonical_text_is_invariant_under_line_reordering() {
+    let text = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../cases/pooled_capture.assay"
+    ))
+    .expect("bundled case");
+    let assay = Assay::parse(&text).unwrap();
+    // rebuild the text with op and dep statements each in reverse
+    // order (deps must still follow the ops they reference)
+    let mut lines: Vec<&str> = Vec::new();
+    let mut ops: Vec<&str> = Vec::new();
+    let mut deps: Vec<&str> = Vec::new();
+    for line in text.lines() {
+        let t = line.trim();
+        if t.starts_with("op ") {
+            ops.push(line);
+        } else if t.starts_with("dep ") {
+            deps.push(line);
+        } else if !t.is_empty() && !t.starts_with('#') {
+            lines.push(line);
+        }
+    }
+    ops.reverse();
+    deps.reverse();
+    lines.extend(ops);
+    lines.extend(deps);
+    let shuffled = Assay::parse(&lines.join("\n")).unwrap();
+    assert_eq!(assay.canonical_text(), shuffled.canonical_text());
+    let a = schedule(&assay, &ScheduleOptions::default()).unwrap();
+    let b = schedule(&shuffled, &ScheduleOptions::default()).unwrap();
+    assert_eq!(a.netlist_text, b.netlist_text);
+}
+
+#[test]
+fn bundled_cases_schedule_under_every_policy() {
+    for case in ["pooled_capture", "library_prep"] {
+        let path = format!("{}/../../cases/{case}.assay", env!("CARGO_MANIFEST_DIR"));
+        let assay = Assay::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        let mut makespans = Vec::new();
+        for policy in POLICIES {
+            let opts = ScheduleOptions {
+                policy,
+                ..ScheduleOptions::default()
+            };
+            let report = schedule(&assay, &opts).expect("schedules");
+            check_invariants(&assay, &report);
+            makespans.push((policy, report.makespan_s));
+        }
+        // the sweep acceptance check: dedicated storage pays transport
+        // time that distributed channel storage does not
+        let dedicated = makespans[0].1;
+        let distributed = makespans[1].1;
+        assert!(
+            (dedicated - distributed).abs() > EPS,
+            "{case}: dedicated {dedicated} vs distributed {distributed} should differ"
+        );
+    }
+}

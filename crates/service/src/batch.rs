@@ -165,6 +165,7 @@ mod tests {
             error: None,
             design: None,
             durable: false,
+            schedule: None,
         }
     }
 

@@ -12,6 +12,7 @@
 //! columba-serve --breaker-probe-ms 2000 # half-open probe interval
 //! columba-serve --persist-retries 2     # retries per persist write
 //! columba-serve --watchdog-grace-secs 30 # grace past deadline before cancel
+//! columba-serve --storage-policy spill   # assay storage policy (dedicated|distributed|spill)
 //! ```
 //!
 //! Prints exactly one `listening on <addr>` line on stdout once bound,
@@ -45,6 +46,7 @@ const VALUE_FLAGS: &[&str] = &[
     "--breaker-probe-ms",
     "--persist-retries",
     "--watchdog-grace-secs",
+    "--storage-policy",
 ];
 
 fn usize_flag(args: &[String], name: &str, default: usize) -> usize {
@@ -140,6 +142,24 @@ fn main() {
         ..breaker_defaults
     };
     let watchdog_grace = Duration::from_secs(usize_flag(&args, "--watchdog-grace-secs", 30) as u64);
+    let mut schedule = columba_service::ScheduleOptions::default();
+    if let Some(i) = args.iter().position(|a| a == "--storage-policy") {
+        schedule.policy = match args.get(i + 1).map(String::as_str) {
+            Some(name) => match columba_service::StoragePolicy::parse(name) {
+                Some(policy) => policy,
+                None => {
+                    eprintln!(
+                        "error: --storage-policy must be dedicated, distributed or spill, got `{name}`"
+                    );
+                    std::process::exit(2);
+                }
+            },
+            None => {
+                eprintln!("error: --storage-policy requires a value");
+                std::process::exit(2);
+            }
+        };
+    }
     let service = match Service::open(ServiceConfig {
         workers: usize_flag(&args, "--workers", 0),
         queue_capacity: usize_flag(&args, "--queue", 64),
@@ -149,6 +169,7 @@ fn main() {
         persist,
         breaker,
         watchdog_grace,
+        schedule,
         ..ServiceConfig::default()
     }) {
         Ok(service) => Arc::new(service),

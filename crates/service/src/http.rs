@@ -13,6 +13,9 @@
 //! | method   | path                  | response                              |
 //! |----------|-----------------------|---------------------------------------|
 //! | `POST`   | `/synthesize`         | `202` with `id <n>`, `429` queue full |
+//! | `POST`   | `/synthesize-assay`   | assay text → schedule → synthesize;   |
+//! |          |                       | `202` with `id <n>`, `400` on parse   |
+//! |          |                       | errors and cyclic graphs              |
 //! | `POST`   | `/batch`              | `202` with group + member job ids     |
 //! | `GET`    | `/jobs/<id>`          | flat `key value` status text          |
 //! | `GET`    | `/jobs/<id>/svg`      | the SVG render                        |
@@ -33,6 +36,16 @@
 //! containing only `%%`, and admits them as one group under the bulk
 //! QoS class (override with `?class=interactive`). `POST /synthesize`
 //! accepts the same `?class=` override (default interactive).
+//!
+//! `POST /synthesize-assay` takes a behavioral assay text (`assay` /
+//! `devices` / `op` / `dep` statements), validates it eagerly — a
+//! malformed body or a cyclic sequencing graph is a structured `400`
+//! naming the offending line or operations, never a `500` — and admits
+//! it as one job that list-schedules the assay onto devices, inserts
+//! storage for idle fluids, and runs the emitted netlist through the
+//! normal synthesis flow. Schedule stats land in the job status
+//! (`schedule_*` keys) and the trace ring (`scheduled`,
+//! `storage_inserted` events).
 //!
 //! The event streams are server-sent events: `event:`/`data:` frames
 //! carrying the job's lifecycle trace (rung transitions, incumbent
@@ -582,6 +595,7 @@ fn route_label(req: &Request) -> &'static str {
         .collect();
     match (req.method, segments.as_slice()) {
         (Method::Post, ["synthesize"]) => "POST /synthesize",
+        (Method::Post, ["synthesize-assay"]) => "POST /synthesize-assay",
         (Method::Post, ["batch"]) => "POST /batch",
         (Method::Get, ["jobs", _]) => "GET /jobs/{id}",
         (Method::Get, ["jobs", _, "svg"]) => "GET /jobs/{id}/svg",
@@ -679,6 +693,30 @@ fn route_inner(service: &Service, req: Request) -> Result<Response, Routed> {
                     "error class must be interactive or bulk\n",
                 ));
             };
+            match service.submit_text_as(text, class) {
+                Ok(id) => Response::text(202, format!("id {id}\n")),
+                Err(e) => submit_error_response(service, &e),
+            }
+        }
+        (Method::Post, ["synthesize-assay"]) => {
+            let Ok(text) = String::from_utf8(req.body) else {
+                return Ok(Response::text(400, "error assay body is not UTF-8\n"));
+            };
+            if text.trim().is_empty() {
+                return Ok(Response::text(400, "error empty assay body\n"));
+            }
+            let Some(class) = parse_class(query, QosClass::Interactive) else {
+                return Ok(Response::text(
+                    400,
+                    "error class must be interactive or bulk\n",
+                ));
+            };
+            // Eager validation so malformed bodies and cyclic graphs are
+            // structured 4xx at the boundary (the worker re-parses the
+            // journaled text, which by then is known good).
+            if let Err(e) = columba_schedule::Assay::parse(&text) {
+                return Ok(Response::text(400, format!("error assay error: {e}\n")));
+            }
             match service.submit_text_as(text, class) {
                 Ok(id) => Response::text(202, format!("id {id}\n")),
                 Err(e) => submit_error_response(service, &e),
@@ -1279,6 +1317,68 @@ mod tests {
 
     const TINY: &str = "chip t\nmixer m1\nport a\nport b\n\
                         connect a -> m1.left\nconnect m1.right -> b\n";
+
+    fn post_assay(service: &Service, body: &str) -> Response {
+        let req = Request {
+            method: Method::Post,
+            path: "/synthesize-assay".into(),
+            body: body.as_bytes().to_vec(),
+        };
+        let Routed::Plain(resp) = route(service, req) else {
+            panic!("POST /synthesize-assay never streams");
+        };
+        resp
+    }
+
+    #[test]
+    fn assay_route_accepts_a_valid_assay() {
+        let service = quick_service(1, 4);
+        let resp = post_assay(
+            &service,
+            "assay t\nop a duration=5 device=mixer\nop b duration=5 device=mixer\ndep a -> b\n",
+        );
+        assert_eq!(resp.status, 202, "{:?}", String::from_utf8(resp.body));
+        let text = String::from_utf8(resp.body).expect("ascii");
+        assert!(text.starts_with("id "), "{text}");
+        service.shutdown();
+    }
+
+    #[test]
+    fn assay_route_rejects_malformed_bodies_with_400() {
+        let service = quick_service(1, 4);
+        for (body, needle) in [
+            ("", "empty assay body"),
+            ("assay t\nop a duration=bogus device=mixer\n", "line 2"),
+            ("chip t\nmixer m1\n", "line 1"),
+            ("assay t\nop a duration=5 device=warp\n", "line 2"),
+        ] {
+            let resp = post_assay(&service, body);
+            assert_eq!(resp.status, 400, "body {body:?}");
+            let text = String::from_utf8(resp.body).expect("ascii");
+            assert!(text.contains(needle), "{body:?} -> {text}");
+        }
+        service.shutdown();
+    }
+
+    #[test]
+    fn assay_route_reports_cycles_with_op_ids() {
+        let service = quick_service(1, 4);
+        let resp = post_assay(
+            &service,
+            "assay t\n\
+             op a duration=5 device=mixer\n\
+             op b duration=5 device=mixer\n\
+             op c duration=5 device=mixer\n\
+             dep a -> b\ndep b -> c\ndep c -> a\n",
+        );
+        assert_eq!(resp.status, 400);
+        let text = String::from_utf8(resp.body).expect("ascii");
+        assert!(text.contains("cyclic"), "{text}");
+        for op in ["a", "b", "c"] {
+            assert!(text.contains(op), "cycle must name {op}: {text}");
+        }
+        service.shutdown();
+    }
 
     #[test]
     fn queue_full_response_carries_retry_after() {

@@ -140,6 +140,9 @@ pub struct JobStatus {
     /// persist breaker is open (the job was accepted in volatile
     /// degraded mode) and always `false` for in-memory-only services.
     pub durable: bool,
+    /// Scheduling stats when the submission was an assay (behavioral)
+    /// text that went through the `columba-schedule` front end.
+    pub schedule: Option<columba_schedule::ScheduleStats>,
 }
 
 impl JobStatus {
@@ -165,6 +168,14 @@ impl JobStatus {
         }
         if let Some(error) = &self.error {
             let _ = writeln!(s, "error {}", error.replace('\n', " "));
+        }
+        if let Some(sched) = &self.schedule {
+            let _ = writeln!(s, "schedule_policy {}", sched.policy);
+            let _ = writeln!(s, "schedule_ops {}", sched.ops);
+            let _ = writeln!(s, "schedule_storage_ops {}", sched.storage_ops);
+            let _ = writeln!(s, "schedule_storage_peak {}", sched.storage_peak);
+            let _ = writeln!(s, "schedule_makespan_s {:.3}", sched.makespan_s);
+            let _ = writeln!(s, "schedule_utilization {:.3}", sched.utilization);
         }
         if let Some(design) = &self.design {
             let sum = &design.summary;
@@ -221,6 +232,7 @@ mod tests {
             error: Some("line 1:\nbad".into()),
             design: None,
             durable: false,
+            schedule: None,
         };
         let text = status.render();
         assert!(text.contains("id 3\n"), "{text}");

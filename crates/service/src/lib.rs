@@ -56,6 +56,7 @@ pub mod trace;
 
 pub use batch::{BatchId, BatchStatus, BatchSummary, MemberStatus};
 pub use cache::{entry_cost, CacheConfig, CacheStats, CompletedDesign, DesignCache, DesignSummary};
+pub use columba_schedule::{ScheduleOptions, ScheduleStats, StoragePolicy};
 pub use hash::{fnv1a64, ContentKey};
 pub use http::{HttpConfig, HttpServer};
 pub use job::{JobId, JobState, JobStatus, QosClass};

@@ -66,6 +66,11 @@ pub struct MetricsSnapshot {
     /// Synthesized designs rejected by the post-synthesis DRC gate
     /// (failed their job, never cached).
     pub drc_rejected: u64,
+    /// Assay submissions that went through the schedule front end.
+    pub assay_jobs: u64,
+    /// Storage operations the scheduler inserted for idle fluids, total
+    /// across assay jobs.
+    pub storage_ops_inserted: u64,
     /// Journal records replayed at the last startup (0 without
     /// persistence).
     pub journal_records_replayed: u64,
@@ -150,6 +155,11 @@ impl MetricsSnapshot {
         line("workers", self.workers.to_string());
         line("worker_panics", self.worker_panics.to_string());
         line("drc_rejected", self.drc_rejected.to_string());
+        line("assay_jobs", self.assay_jobs.to_string());
+        line(
+            "storage_ops_inserted",
+            self.storage_ops_inserted.to_string(),
+        );
         line(
             "journal_records_replayed",
             self.journal_records_replayed.to_string(),
@@ -368,6 +378,18 @@ impl MetricsSnapshot {
         counter(
             &mut s,
             &mut last,
+            "columba_assay_jobs_total",
+            f(self.assay_jobs),
+        );
+        counter(
+            &mut s,
+            &mut last,
+            "columba_storage_ops_inserted_total",
+            f(self.storage_ops_inserted),
+        );
+        counter(
+            &mut s,
+            &mut last,
             "columba_persist_errors_total",
             f(self.persist_errors),
         );
@@ -518,6 +540,8 @@ mod tests {
             worker_panics: 0,
             workers: 4,
             drc_rejected: 2,
+            assay_jobs: 3,
+            storage_ops_inserted: 4,
             journal_records_replayed: 11,
             journal_corrupt_skipped: 1,
             cache_files_loaded: 4,
@@ -560,6 +584,8 @@ mod tests {
         assert_eq!(metric_value(&text, "batch_dedup_hits"), Some(40.0));
         assert_eq!(metric_value(&text, "batches_live"), Some(1.0));
         assert_eq!(metric_value(&text, "drc_rejected"), Some(2.0));
+        assert_eq!(metric_value(&text, "assay_jobs"), Some(3.0));
+        assert_eq!(metric_value(&text, "storage_ops_inserted"), Some(4.0));
         assert_eq!(metric_value(&text, "journal_records_replayed"), Some(11.0));
         assert_eq!(metric_value(&text, "journal_corrupt_skipped"), Some(1.0));
         assert_eq!(metric_value(&text, "cache_files_loaded"), Some(4.0));

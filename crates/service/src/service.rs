@@ -65,6 +65,11 @@ pub struct ServiceConfig {
     /// Synthesis options every job runs under (also half of the cache
     /// key — see [`SynthesisOptions::canonical_text`]).
     pub options: SynthesisOptions,
+    /// Schedule options every *assay* submission runs under: storage
+    /// policy, idle threshold, transport cost and default device bounds.
+    /// Their canonical text joins the assay's in the cache key, so the
+    /// same assay under a different policy is a different design.
+    pub schedule: columba_schedule::ScheduleOptions,
     /// Per-job wall-clock deadline. The job's [`CancelToken`] fires when
     /// it expires, degrading the solve through the resilience ladder.
     pub job_deadline: Option<Duration>,
@@ -112,6 +117,7 @@ impl Default for ServiceConfig {
             bulk_queue_capacity: 256,
             cache: CacheConfig::default(),
             options: SynthesisOptions::default(),
+            schedule: columba_schedule::ScheduleOptions::default(),
             job_deadline: Some(Duration::from_secs(120)),
             max_records: 4096,
             trace: Arc::new(NullSink),
@@ -291,6 +297,8 @@ struct JobRecord {
     started_at: Option<Instant>,
     /// The watchdog already cancelled this job (it fires once per job).
     watchdog_fired: bool,
+    /// Scheduling stats when the submission was an assay text.
+    schedule: Option<columba_schedule::ScheduleStats>,
 }
 
 impl JobRecord {
@@ -305,6 +313,7 @@ impl JobRecord {
             error: self.error.clone(),
             design: self.design.clone(),
             durable: self.durable,
+            schedule: self.schedule,
         }
     }
 }
@@ -344,6 +353,10 @@ struct Inner {
     epoch: Instant,
     columba: Columba,
     options_canon: String,
+    /// Schedule options assay submissions run under, plus their
+    /// canonical text (the schedule half of an assay job's cache key).
+    schedule_options: columba_schedule::ScheduleOptions,
+    schedule_canon: String,
     /// Per-class admission budgets, indexed by [`QosClass::idx`].
     queue_capacity: [usize; 2],
     job_deadline: Option<Duration>,
@@ -382,6 +395,10 @@ struct Inner {
     /// getting their own solve.
     batch_dedup_hits: AtomicU64,
     drc_rejected: AtomicU64,
+    /// Assay submissions that went through the schedule front end.
+    assay_jobs: AtomicU64,
+    /// Storage ops the scheduler inserted across all assay jobs.
+    storage_ops_inserted: AtomicU64,
     done_count: AtomicU64,
     failed_count: AtomicU64,
     cancelled_count: AtomicU64,
@@ -562,6 +579,8 @@ impl Service {
             epoch: Instant::now(),
             columba: Columba::with_options(config.options.clone()),
             options_canon: config.options.canonical_text(),
+            schedule_options: config.schedule,
+            schedule_canon: config.schedule.canonical_text(),
             queue_capacity: [
                 config.queue_capacity.max(1),
                 config.bulk_queue_capacity.max(1),
@@ -597,6 +616,8 @@ impl Service {
             batch_members: AtomicU64::new(0),
             batch_dedup_hits: AtomicU64::new(0),
             drc_rejected: AtomicU64::new(0),
+            assay_jobs: AtomicU64::new(0),
+            storage_ops_inserted: AtomicU64::new(0),
             done_count: AtomicU64::new(0),
             failed_count: AtomicU64::new(0),
             cancelled_count: AtomicU64::new(0),
@@ -1233,6 +1254,8 @@ impl Service {
             worker_panics: inner.panics.load(Ordering::Relaxed),
             workers: inner.worker_count,
             drc_rejected: inner.drc_rejected.load(Ordering::Relaxed),
+            assay_jobs: inner.assay_jobs.load(Ordering::Relaxed),
+            storage_ops_inserted: inner.storage_ops_inserted.load(Ordering::Relaxed),
             journal_records_replayed: replayed,
             journal_corrupt_skipped: corrupt_journal,
             cache_files_loaded: files_loaded,
@@ -1447,6 +1470,7 @@ fn enqueue_job(
             durable,
             started_at: None,
             watchdog_fired: false,
+            schedule: None,
         },
     );
     st.queues[class.idx()].push_back(id);
@@ -1652,6 +1676,7 @@ fn apply_recovery(inner: &Inner, recovery: Recovery, throttle: Option<Duration>)
                 durable: true,
                 started_at: None,
                 watchdog_fired: false,
+                schedule: None,
             };
             match state {
                 Folded::Live(class, text) => {
@@ -1951,12 +1976,78 @@ fn cache_record(netlist_canon: &str, options_canon: &str) -> String {
     )
 }
 
-fn run_job(inner: &Inner, id: u64, text: &str, token: &CancelToken) -> JobEnd {
-    let netlist = match Netlist::parse(text) {
-        Ok(n) => n,
-        Err(e) => return JobEnd::Failed(format!("netlist error: {e}")),
+/// Storage-insertion traces kept per assay job; beyond this one summary
+/// event stands in for the rest so a storage-heavy assay cannot flood
+/// the per-job trace ring.
+const MAX_STORAGE_TRACES: usize = 16;
+
+/// The assay front end of [`run_job`]: parses the behavioral text,
+/// list-schedules it under the service's [`columba_schedule::ScheduleOptions`],
+/// records the stats on the job record, and hands back the emitted
+/// structural netlist plus the canonical section the cache key is built
+/// from (assay canonical text + schedule options — NOT the emitted
+/// netlist, so the key survives emitter changes only via the cache's
+/// full-record comparison).
+fn run_assay_front_end(inner: &Inner, id: u64, text: &str) -> Result<(Netlist, String), String> {
+    let assay = match columba_schedule::Assay::parse(text) {
+        Ok(a) => a,
+        Err(e) => return Err(format!("assay error: {e}")),
     };
-    let canonical = netlist.canonical_text();
+    inner.assay_jobs.fetch_add(1, Ordering::Relaxed);
+    let report = match columba_schedule::schedule(&assay, &inner.schedule_options) {
+        Ok(r) => r,
+        Err(e) => return Err(format!("schedule error: {e}")),
+    };
+    let stats = report.stats();
+    inner.trace(
+        Some(id),
+        TraceKind::Scheduled,
+        format!(
+            "makespan {:.3}s over {} op(s), policy {}, utilization {:.3}",
+            stats.makespan_s, stats.ops, stats.policy, stats.utilization
+        ),
+    );
+    inner
+        .storage_ops_inserted
+        .fetch_add(report.storage.ops.len() as u64, Ordering::Relaxed);
+    for s in report.storage.ops.iter().take(MAX_STORAGE_TRACES) {
+        inner.trace(
+            Some(id),
+            TraceKind::StorageInserted,
+            format!(
+                "fluid {} held in {} for [{:.1}s, {:.1}s]",
+                s.fluid, s.home, s.from_s, s.until_s
+            ),
+        );
+    }
+    if report.storage.ops.len() > MAX_STORAGE_TRACES {
+        inner.trace(
+            Some(id),
+            TraceKind::StorageInserted,
+            format!("(+{} more)", report.storage.ops.len() - MAX_STORAGE_TRACES),
+        );
+    }
+    if let Some(r) = lock(&inner.state).jobs.get_mut(&id) {
+        r.schedule = Some(stats);
+    }
+    let canonical = format!("{}\u{1f}{}", assay.canonical_text(), inner.schedule_canon);
+    Ok((report.netlist, canonical))
+}
+
+fn run_job(inner: &Inner, id: u64, text: &str, token: &CancelToken) -> JobEnd {
+    let (netlist, canonical) = if columba_schedule::is_assay_text(text) {
+        match run_assay_front_end(inner, id, text) {
+            Ok(pair) => pair,
+            Err(msg) => return JobEnd::Failed(msg),
+        }
+    } else {
+        let netlist = match Netlist::parse(text) {
+            Ok(n) => n,
+            Err(e) => return JobEnd::Failed(format!("netlist error: {e}")),
+        };
+        let canonical = netlist.canonical_text();
+        (netlist, canonical)
+    };
     let record = cache_record(&canonical, &inner.options_canon);
     let key = ContentKey::of_sections(&[&canonical, &inner.options_canon]);
     if let Some(design) = lock(&inner.cache).get(key, &record) {

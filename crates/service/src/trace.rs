@@ -4,7 +4,8 @@
 //! service's [`TraceSink`]: `received`, `admitted`, `rejected`,
 //! `cache_hit`, `started`, `rung`, `solved`, `failed`, `cancelled`,
 //! `exported`, `shutdown` — plus the persistence lifecycle: `recovery`,
-//! `corrupt`, `compacted`, `persist_error`. Timestamps are monotonic
+//! `corrupt`, `compacted`, `persist_error` — and the assay front end:
+//! `scheduled`, `storage_inserted`. Timestamps are monotonic
 //! offsets from the
 //! service epoch (`Instant`-based, never wall clock), so traces order
 //! correctly even across clock adjustments.
@@ -75,6 +76,12 @@ pub enum TraceKind {
     /// The stuck-job watchdog cancelled a running job that outlived its
     /// deadline plus the configured grace.
     Watchdog,
+    /// An assay submission was list-scheduled onto devices (detail
+    /// carries the makespan and device counts).
+    Scheduled,
+    /// The scheduler evicted an idle fluid from its channel into a
+    /// storage home (detail carries the fluid, home and interval).
+    StorageInserted,
 }
 
 impl TraceKind {
@@ -103,6 +110,8 @@ impl TraceKind {
             TraceKind::BreakerClosed => "breaker_closed",
             TraceKind::Resync => "resync",
             TraceKind::Watchdog => "watchdog",
+            TraceKind::Scheduled => "scheduled",
+            TraceKind::StorageInserted => "storage_inserted",
         }
     }
 }

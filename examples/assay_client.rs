@@ -1,0 +1,132 @@
+//! Driving the assay front end over plain HTTP — submit a behavioral
+//! assay to `POST /synthesize-assay`, poll the job, read the schedule
+//! stats, fetch the SVG, and watch the identical resubmission come
+//! back from the content-addressed cache.
+//!
+//! The example is self-contained: it starts the service on an ephemeral
+//! port in-process, then acts as an external client against it. Point
+//! the same request code at any running instance (see "Assay
+//! synthesis" in the README).
+//!
+//! ```sh
+//! cargo run --release --example assay_client
+//! ```
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+use columba_service::{HttpConfig, HttpServer, Service, ServiceConfig};
+
+/// The bundled pooled-immunoprecipitation assay: three parallel preps
+/// feed one long capture incubation, so the early fluids idle and the
+/// storage policy decides where they wait.
+const ASSAY: &str = include_str!("../cases/pooled_capture.assay");
+
+/// One HTTP/1.1 exchange: connect, send, half-close, read the reply.
+fn http(addr: SocketAddr, method: &str, path: &str, body: Option<&str>) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect to the service");
+    let mut request = format!("{method} {path} HTTP/1.1\r\nHost: columba\r\n");
+    if let Some(body) = body {
+        request.push_str(&format!("Content-Length: {}\r\n", body.len()));
+    }
+    request.push_str("\r\n");
+    if let Some(body) = body {
+        request.push_str(body);
+    }
+    stream
+        .write_all(request.as_bytes())
+        .expect("write the request");
+    stream
+        .shutdown(std::net::Shutdown::Write)
+        .expect("half-close");
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .expect("read the response");
+    response
+}
+
+/// Strips the header block off a response.
+fn body(response: &str) -> &str {
+    response.split_once("\r\n\r\n").map_or("", |(_, body)| body)
+}
+
+/// Polls `/jobs/<id>` until the job reaches a terminal state.
+fn poll_done(addr: SocketAddr, id: &str) -> String {
+    loop {
+        let status = body(&http(addr, "GET", &format!("/jobs/{id}"), None)).to_string();
+        if ["done", "failed", "cancelled"]
+            .iter()
+            .any(|s| status.contains(&format!("state {s}\n")))
+        {
+            return status;
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    }
+}
+
+fn main() {
+    // in-process server so the example runs standalone
+    let service = Arc::new(Service::start(ServiceConfig::default()));
+    let server = HttpServer::bind(Arc::clone(&service), "127.0.0.1:0", HttpConfig::default())
+        .expect("bind an ephemeral port");
+    let addr = server.addr();
+    println!("service listening on http://{addr}\n");
+
+    // submit the behavioral assay — the service schedules it, inserts
+    // the implied storage, emits the netlist, and synthesizes a layout
+    let reply = http(addr, "POST", "/synthesize-assay", Some(ASSAY));
+    let id = body(&reply)
+        .trim()
+        .strip_prefix("id ")
+        .expect("202 reply carries `id <n>`")
+        .to_string();
+    println!("submitted pooled_capture assay as job {id}");
+
+    let status = poll_done(addr, &id);
+    println!("\njob status (note the schedule_* block):\n{status}");
+    assert!(status.contains("state done\n"), "assay job should complete");
+    for field in [
+        "schedule_policy",
+        "schedule_storage_ops",
+        "schedule_makespan_s",
+    ] {
+        assert!(status.contains(field), "status reports {field}");
+    }
+
+    // the scheduled design exports like any other job
+    let svg = body(&http(addr, "GET", &format!("/jobs/{id}/svg"), None)).len();
+    println!("exports: {svg} bytes of SVG");
+
+    // an identical assay is a cache hit: same canonical text + same
+    // schedule options hash to the same content key
+    let reply = http(addr, "POST", "/synthesize-assay", Some(ASSAY));
+    let id2 = body(&reply).trim().strip_prefix("id ").expect("id");
+    let status2 = poll_done(addr, id2);
+    assert!(status2.contains("from_cache true\n"));
+    println!("job {id2} (same assay resubmitted) served from the cache");
+
+    // malformed assays are rejected up front with a structured 4xx
+    // that names the offending ops — no job is created
+    let cyclic = "assay cyc\nop a duration=1 device=mixer\nop b duration=1 device=mixer\n\
+                  dep a -> b\ndep b -> a\n";
+    let reject = http(addr, "POST", "/synthesize-assay", Some(cyclic));
+    assert!(reject.starts_with("HTTP/1.1 400"), "got: {reject}");
+    println!(
+        "\ncyclic assay rejected up front:\n{}",
+        body(&reject).trim()
+    );
+
+    println!("\nservice metrics (assay_jobs / storage_ops_inserted):");
+    for line in body(&http(addr, "GET", "/metrics", None))
+        .lines()
+        .filter(|l| l.starts_with("assay_") || l.starts_with("storage_") || l.starts_with("cache_"))
+    {
+        println!("  {line}");
+    }
+
+    drop(server);
+    service.shutdown();
+}
