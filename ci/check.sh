@@ -52,6 +52,19 @@ section_lint() {
 
   echo "==> cargo clippy (warnings are errors)"
   cargo clippy --workspace --all-targets --offline -- -D warnings
+
+  echo "==> raw-time gate (service code must go through the Clock trait)"
+  # Every time source in crates/service must be injected via
+  # simenv::clock::Clock so the deterministic simulation controls it;
+  # a raw Instant::now / SystemTime::now / thread::sleep is a blind
+  # spot the chaos runner cannot replay. Only clock.rs (the trait's
+  # real implementation) may touch them.
+  if grep -rn 'Instant::now\|SystemTime::now\|thread::sleep' \
+      crates/service/src --include='*.rs' | grep -v 'simenv/clock\.rs'; then
+    echo "error: raw time call in crates/service outside simenv/clock.rs" >&2
+    echo "       (inject the Clock trait instead)" >&2
+    exit 1
+  fi
 }
 
 section_build() {
@@ -82,6 +95,12 @@ section_chaos() {
 
   echo "==> chaos: readiness gate under a large journal replay"
   cargo test -q --offline -p columba-service --test health
+
+  echo "==> chaos: deterministic whole-service simulation (pinned smoke seeds)"
+  # Seeded scenarios over SimFs + SimClock + SimNet; a failing seed
+  # prints a single-command reproducer plus a shrunk minimal plan.
+  # The nightly CI job sweeps a wide seed range on top of this set.
+  cargo run --release --offline -p columba-service --bin columba-chaos -- --smoke
 }
 
 # Starts target/release/columba-serve with the given extra flags,

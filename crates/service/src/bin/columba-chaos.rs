@@ -1,0 +1,93 @@
+//! `columba-chaos` — seeded whole-service chaos harness.
+//!
+//! ```sh
+//! columba-chaos --seed 42            # one scenario, verbose log
+//! columba-chaos --start 0 --count 200  # sweep a seed range
+//! columba-chaos --smoke              # the pinned CI seed set
+//! ```
+//!
+//! Each seed expands into a [`ChaosPlan`]: an HTTP workload plus
+//! storage/network fault schedules, run against a real service over the
+//! deterministic simulation environment (virtual clock, in-memory
+//! network, simulated storage). Exit status is non-zero if any seed
+//! violates a service invariant; the failure prints the run log, the
+//! violations, a single-command reproducer, and a shrunk minimal plan.
+
+use columba_service::{run_seed, shrink, ChaosPlan, ChaosReport};
+
+/// Seeds pinned for `ci/check.sh --only chaos`: a fast, deterministic
+/// smoke set covering fault-free runs, storage faults, network faults,
+/// and crash/recovery. Append — don't renumber — when extending.
+const SMOKE_SEEDS: &[u64] = &[1, 2, 3, 5, 7, 11, 17, 23];
+
+fn u64_flag(args: &[String], name: &str) -> Option<u64> {
+    let i = args.iter().position(|a| a == name)?;
+    match args.get(i + 1).map(|v| v.parse()) {
+        Some(Ok(n)) => Some(n),
+        _ => {
+            eprintln!("error: {name} requires an integer");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn report_failure(report: &ChaosReport) {
+    println!("--- log (seed {}) ---", report.seed);
+    print!("{}", report.log);
+    println!("--- violations ---");
+    for v in &report.violations {
+        println!("  {v}");
+    }
+    println!("--- reproduce with ---");
+    println!(
+        "  cargo run --release --offline -p columba-service --bin columba-chaos -- --seed {}",
+        report.seed
+    );
+    println!("--- shrinking ---");
+    let minimal = shrink(&ChaosPlan::generate(report.seed));
+    println!("minimal failing plan:\n{minimal:#?}");
+}
+
+fn run_sweep(seeds: impl IntoIterator<Item = u64>, verbose: bool) -> bool {
+    let mut passed = 0u64;
+    for seed in seeds {
+        let report = run_seed(seed);
+        if verbose {
+            print!("{}", report.log);
+        }
+        if report.violations.is_empty() {
+            passed += 1;
+            continue;
+        }
+        println!(
+            "seed {seed} FAILED ({} violation(s))",
+            report.violations.len()
+        );
+        report_failure(&report);
+        return false;
+    }
+    println!("{passed} seed(s) passed");
+    true
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(seed) = u64_flag(&args, "--plan") {
+        println!("{:#?}", ChaosPlan::generate(seed));
+        return;
+    }
+    let ok = if let Some(seed) = u64_flag(&args, "--seed") {
+        run_sweep([seed], true)
+    } else if args.iter().any(|a| a == "--smoke") {
+        run_sweep(SMOKE_SEEDS.iter().copied(), false)
+    } else if let Some(start) = u64_flag(&args, "--start") {
+        let count = u64_flag(&args, "--count").unwrap_or(1);
+        run_sweep(start..start.saturating_add(count), false)
+    } else {
+        eprintln!("usage: columba-chaos --seed N | --start A --count B | --smoke");
+        std::process::exit(2);
+    };
+    if !ok {
+        std::process::exit(1);
+    }
+}

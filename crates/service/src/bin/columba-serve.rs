@@ -188,8 +188,9 @@ fn main() {
     println!("listening on {}", server.addr());
 
     if args.iter().any(|a| a == "--hold") {
+        let clock = service.clock();
         loop {
-            std::thread::sleep(Duration::from_secs(3600));
+            clock.sleep(Duration::from_secs(3600));
         }
     }
     let stdin = std::io::stdin();

@@ -72,15 +72,17 @@
 //! a `Retry-After` header scaled to the current queue depth.
 
 use std::io::{self, ErrorKind, Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use crate::batch::BatchId;
 use crate::job::{JobId, QosClass};
 use crate::service::{ExportError, ExportKind, ProfileError, Service, SubmitError};
+use crate::simenv::clock::{Clock, ClockParty, ClockSuspend};
+use crate::simenv::net::{Conn, TcpTransport, Transport};
 
 /// Front-end limits.
 #[derive(Debug, Clone, Copy)]
@@ -89,6 +91,12 @@ pub struct HttpConfig {
     pub max_body_bytes: usize,
     /// Per-`read()` timeout; a fully stalled client gets `408`.
     pub read_timeout: Duration,
+    /// Per-`write()` timeout. Bounds how long a stalled *consumer* can
+    /// hold a handler thread per response chunk — on the SSE path every
+    /// frame and heartbeat write is cut off at this bound, so a client
+    /// that stops reading tears its stream down instead of parking the
+    /// thread. (Historically this silently reused `read_timeout`.)
+    pub write_timeout: Duration,
     /// Overall deadline for reading one request. `read_timeout` alone only
     /// bounds each *individual* read, so a slow-drip client (one byte
     /// every few seconds) could hold a connection thread for hours; this
@@ -106,7 +114,11 @@ pub struct HttpConfig {
     /// heartbeat — the write doubles as disconnect detection, so an
     /// abandoned stream is torn down within one heartbeat.
     pub sse_heartbeat: Duration,
-    /// How often an event stream polls the service for new trace events.
+    /// Legacy poll interval, retained for configuration compatibility.
+    /// Event streams now block on the service's event condvar (woken by
+    /// every trace event and by shutdown) with waits bounded by the
+    /// next heartbeat or the stream deadline, so nothing paces on this
+    /// value any more.
     pub sse_poll: Duration,
 }
 
@@ -115,6 +127,7 @@ impl Default for HttpConfig {
         HttpConfig {
             max_body_bytes: 1 << 20,
             read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
             request_deadline: Duration::from_secs(15),
             max_connections: 64,
             sse_deadline: Duration::from_secs(300),
@@ -352,20 +365,26 @@ fn write_sse_head(out: &mut impl Write) -> io::Result<()> {
 }
 
 /// Serves `GET /jobs/<id>/events`: replays the job's trace ring as SSE
-/// frames, polls for new events, heartbeats while idle, and ends with an
-/// `event: end` frame on terminal state or stream deadline. Every write
-/// is bounded by the socket write timeout, so a stalled or vanished
-/// client tears the stream down within one heartbeat; the service is
-/// only ever polled for snapshots, never held across a write.
+/// frames, blocks on the service's event condvar for new ones,
+/// heartbeats while idle, and ends with an `event: end` frame on
+/// terminal state, stream deadline, or service shutdown. Every write is
+/// bounded by the socket write timeout, so a stalled or vanished client
+/// tears the stream down within one heartbeat; the service is only ever
+/// polled for snapshots, never held across a write.
 fn stream_job_events(service: &Service, out: &mut impl Write, config: HttpConfig, id: JobId) {
     if write_sse_head(out).is_err() {
         return;
     }
+    let clock = service.clock();
     let mut chunks = ChunkedWriter::new(out);
-    let deadline = Instant::now() + config.sse_deadline;
+    let deadline = clock.now().saturating_add(config.sse_deadline);
     let mut sent = 0usize;
-    let mut last_write = Instant::now();
+    let mut last_write = clock.now();
     loop {
+        // Snapshot the event counter *before* reading state: anything
+        // arriving after this point pops the wait below immediately, so
+        // no event can fall between the read and the block.
+        let seen = service.events_seq();
         let Some(events) = service.job_events(id) else {
             // pruned mid-stream; nothing more will arrive
             let _ = chunks.chunk(sse_frame("end", "reason pruned").as_bytes());
@@ -380,27 +399,49 @@ fn stream_job_events(service: &Service, out: &mut impl Write, config: HttpConfig
             if chunks.chunk(frames.as_bytes()).is_err() {
                 return; // client gone
             }
-            last_write = Instant::now();
+            last_write = clock.now();
         }
         let terminal = service.status(id).is_none_or(|s| s.state.is_terminal());
         if terminal {
+            // The ring was read before the state: a frame traced between
+            // that read and the state flip (the `solved` event precedes
+            // `state = Done`) would be dropped without a final drain.
+            let mut tail = String::new();
+            if let Some(events) = service.job_events(id) {
+                for event in &events[sent.min(events.len())..] {
+                    tail.push_str(&sse_frame(event.kind.as_str(), &event.to_jsonl()));
+                }
+            }
             let state = service
                 .status(id)
                 .map_or_else(|| "pruned".to_string(), |s| s.state.as_str().to_string());
-            let _ = chunks.chunk(sse_frame("end", &format!("state {state}")).as_bytes());
+            tail.push_str(&sse_frame("end", &format!("state {state}")));
+            let _ = chunks.chunk(tail.as_bytes());
             break;
         }
-        if Instant::now() >= deadline {
+        if service.is_shutting_down() {
+            let _ = chunks.chunk(sse_frame("end", "reason shutdown").as_bytes());
+            break;
+        }
+        let now = clock.now();
+        if now >= deadline {
             let _ = chunks.chunk(sse_frame("end", "reason deadline").as_bytes());
             break;
         }
-        if last_write.elapsed() >= config.sse_heartbeat {
+        if now.saturating_sub(last_write) >= config.sse_heartbeat {
             if chunks.chunk(b": hb\n\n").is_err() {
                 return; // disconnect detected on heartbeat
             }
-            last_write = Instant::now();
+            last_write = now;
         }
-        thread::sleep(config.sse_poll);
+        // Block until a new trace event lands (or shutdown), bounded by
+        // whichever of the next heartbeat and the stream deadline comes
+        // first — no fixed-interval polling.
+        let bound = last_write
+            .saturating_add(config.sse_heartbeat)
+            .min(deadline);
+        let timeout = bound.saturating_sub(now).max(Duration::from_millis(1));
+        let _ = service.wait_events(seen, timeout);
     }
     let _ = chunks.finish();
 }
@@ -413,11 +454,13 @@ fn stream_batch_events(service: &Service, out: &mut impl Write, config: HttpConf
     if write_sse_head(out).is_err() {
         return;
     }
+    let clock = service.clock();
     let mut chunks = ChunkedWriter::new(out);
-    let deadline = Instant::now() + config.sse_deadline;
+    let deadline = clock.now().saturating_add(config.sse_deadline);
     let mut last_line = String::new();
-    let mut last_write = Instant::now();
+    let mut last_write = clock.now();
     loop {
+        let seen = service.events_seq();
         let Some(status) = service.batch_status(id) else {
             let _ = chunks.chunk(sse_frame("end", "reason pruned").as_bytes());
             break;
@@ -432,23 +475,32 @@ fn stream_batch_events(service: &Service, out: &mut impl Write, config: HttpConf
                 return;
             }
             last_line = line;
-            last_write = Instant::now();
+            last_write = clock.now();
         }
         if status.is_terminal() {
             let _ = chunks.chunk(sse_frame("end", "state done").as_bytes());
             break;
         }
-        if Instant::now() >= deadline {
+        if service.is_shutting_down() {
+            let _ = chunks.chunk(sse_frame("end", "reason shutdown").as_bytes());
+            break;
+        }
+        let now = clock.now();
+        if now >= deadline {
             let _ = chunks.chunk(sse_frame("end", "reason deadline").as_bytes());
             break;
         }
-        if last_write.elapsed() >= config.sse_heartbeat {
+        if now.saturating_sub(last_write) >= config.sse_heartbeat {
             if chunks.chunk(b": hb\n\n").is_err() {
                 return;
             }
-            last_write = Instant::now();
+            last_write = now;
         }
-        thread::sleep(config.sse_poll);
+        let bound = last_write
+            .saturating_add(config.sse_heartbeat)
+            .min(deadline);
+        let timeout = bound.saturating_sub(now).max(Duration::from_millis(1));
+        let _ = service.wait_events(seen, timeout);
     }
     let _ = chunks.finish();
 }
@@ -460,12 +512,13 @@ fn stream_batch_events(service: &Service, out: &mut impl Write, config: HttpConf
 fn read_request(
     stream: &mut impl Read,
     max_body: usize,
-    deadline: Instant,
+    clock: &dyn Clock,
+    deadline: Duration,
 ) -> Result<Request, HttpError> {
     let mut head = Vec::with_capacity(256);
     let mut byte = [0u8; 1];
     loop {
-        if Instant::now() >= deadline {
+        if clock.now() >= deadline {
             return Err(HttpError::new(408, "request deadline exceeded"));
         }
         match stream.read(&mut byte) {
@@ -545,7 +598,7 @@ fn read_request(
     let mut body = vec![0u8; len];
     let mut filled = 0;
     while filled < len {
-        if Instant::now() >= deadline {
+        if clock.now() >= deadline {
             return Err(HttpError::new(408, "request deadline exceeded"));
         }
         match stream.read(&mut body[filled..]) {
@@ -867,17 +920,18 @@ fn parse_id(raw: &str) -> Option<JobId> {
     raw.parse().ok().map(JobId)
 }
 
-fn handle_connection(service: &Service, mut stream: TcpStream, config: HttpConfig) {
+fn handle_connection(service: &Service, mut conn: Box<dyn Conn>, config: HttpConfig) {
     // Observe the whole request: an `http.request` span (recorded into
     // the service-level recorder behind `GET /profile`), the latency
     // histogram, and the per-(route, status) counter.
     let _recorder = service.attach_http_recorder();
-    let t0 = Instant::now();
+    let clock = service.clock();
+    let t0 = clock.now();
     let mut span = columba_obs::span("http.request");
-    let _ = stream.set_read_timeout(Some(config.read_timeout));
-    let _ = stream.set_write_timeout(Some(config.read_timeout));
-    let deadline = Instant::now() + config.request_deadline;
-    let (label, routed) = match read_request(&mut stream, config.max_body_bytes, deadline) {
+    conn.set_read_timeout(Some(config.read_timeout));
+    conn.set_write_timeout(Some(config.write_timeout));
+    let deadline = clock.now().saturating_add(config.request_deadline);
+    let (label, routed) = match read_request(&mut conn, config.max_body_bytes, &*clock, deadline) {
         Ok(req) => {
             let label = route_label(&req);
             (label, route(service, req))
@@ -887,15 +941,15 @@ fn handle_connection(service: &Service, mut stream: TcpStream, config: HttpConfi
     let status = match routed {
         Routed::Plain(response) => {
             // the client may already be gone; that is its problem, not ours
-            let _ = response.write_to(&mut stream);
+            let _ = response.write_to(&mut conn);
             response.status
         }
         Routed::JobEvents(id) => {
-            stream_job_events(service, &mut stream, config, id);
+            stream_job_events(service, &mut conn, config, id);
             200
         }
         Routed::BatchEvents(id) => {
-            stream_batch_events(service, &mut stream, config, id);
+            stream_batch_events(service, &mut conn, config, id);
             200
         }
     };
@@ -904,8 +958,8 @@ fn handle_connection(service: &Service, mut stream: TcpStream, config: HttpConfi
         span.attr("status", u64::from(status));
     }
     drop(span);
-    service.observe_http(label, status, t0.elapsed());
-    let _ = stream.shutdown(std::net::Shutdown::Both);
+    service.observe_http(label, status, clock.now().saturating_sub(t0));
+    conn.close();
 }
 
 /// Decrements the live-connection count when a connection thread ends
@@ -918,20 +972,26 @@ impl Drop for ConnGuard {
     }
 }
 
-/// The TCP front end: an accept loop handing each connection to a short
-/// lived thread. Dropping the server (or calling
-/// [`HttpServer::shutdown`]) stops accepting; the wrapped [`Service`] is
-/// shut down separately by its owner.
+/// The front end: an accept loop handing each connection to a short
+/// lived thread. Production serves a [`TcpTransport`] via
+/// [`HttpServer::bind`]; the simulation harness serves a
+/// [`crate::SimNet`] via [`HttpServer::serve_on`]. Dropping the server
+/// (or calling [`HttpServer::shutdown`]) stops accepting; the wrapped
+/// [`Service`] is shut down separately by its owner.
 pub struct HttpServer {
     addr: SocketAddr,
+    transport: Arc<dyn Transport>,
     stop: Arc<AtomicBool>,
     accept: Option<JoinHandle<()>>,
+    active: Arc<AtomicUsize>,
+    clock: Arc<dyn Clock>,
 }
 
 impl std::fmt::Debug for HttpServer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("HttpServer")
             .field("addr", &self.addr)
+            .field("transport", &self.transport.label())
             .finish_non_exhaustive()
     }
 }
@@ -944,19 +1004,61 @@ impl HttpServer {
     ///
     /// Propagates the bind failure.
     pub fn bind(service: Arc<Service>, addr: &str, config: HttpConfig) -> io::Result<HttpServer> {
-        let listener = TcpListener::bind(addr)?;
-        let local = listener.local_addr()?;
+        let transport = TcpTransport::bind(addr)?;
+        let local = transport.addr();
+        HttpServer::start(service, Arc::new(transport), local, config)
+    }
+
+    /// Starts accepting over an arbitrary [`Transport`] — the entry
+    /// point the deterministic simulation uses with a
+    /// [`crate::SimNet`]. [`HttpServer::addr`] is meaningless for
+    /// non-TCP transports (it reports an unbound placeholder).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the accept-thread spawn failure.
+    pub fn serve_on(
+        service: Arc<Service>,
+        transport: Arc<dyn Transport>,
+        config: HttpConfig,
+    ) -> io::Result<HttpServer> {
+        let placeholder = SocketAddr::from(([127, 0, 0, 1], 0));
+        HttpServer::start(service, transport, placeholder, config)
+    }
+
+    fn start(
+        service: Arc<Service>,
+        transport: Arc<dyn Transport>,
+        addr: SocketAddr,
+        config: HttpConfig,
+    ) -> io::Result<HttpServer> {
         let stop = Arc::new(AtomicBool::new(false));
+        let active = Arc::new(AtomicUsize::new(0));
+        let clock = service.clock();
+        // the accept thread is a sim party from before it exists
+        clock.party_reserve();
         let accept = {
             let stop = Arc::clone(&stop);
-            thread::Builder::new()
+            let transport = Arc::clone(&transport);
+            let active = Arc::clone(&active);
+            let spawned = thread::Builder::new()
                 .name("columba-http-accept".into())
-                .spawn(move || accept_loop(&listener, &service, config, &stop))?
+                .spawn(move || accept_loop(&transport, &service, config, &stop, &active));
+            match spawned {
+                Ok(handle) => handle,
+                Err(e) => {
+                    clock.party_unreserve();
+                    return Err(e);
+                }
+            }
         };
         Ok(HttpServer {
-            addr: local,
+            addr,
+            transport,
             stop,
             accept: Some(accept),
+            active,
+            clock,
         })
     }
 
@@ -966,15 +1068,25 @@ impl HttpServer {
         self.addr
     }
 
+    /// Connections currently being served (the chaos harness asserts
+    /// this drains to zero — no leaked connection threads).
+    #[must_use]
+    pub fn active_connections(&self) -> usize {
+        self.active.load(Ordering::Acquire)
+    }
+
     /// Stops accepting connections and joins the accept thread.
     /// Idempotent; also runs on drop.
     pub fn shutdown(&mut self) {
         if self.stop.swap(true, Ordering::AcqRel) {
             return;
         }
-        // unblock the accept loop with a throwaway connection
-        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
+        self.transport.unblock();
         if let Some(h) = self.accept.take() {
+            // Joining a sim thread from a sim party pins virtual time
+            // (the join is invisible to the clock); suspend for its
+            // duration so the accept loop can finish a pending sleep.
+            let _suspend = ClockSuspend::new(&self.clock);
             let _ = h.join();
         }
     }
@@ -987,45 +1099,59 @@ impl Drop for HttpServer {
 }
 
 fn accept_loop(
-    listener: &TcpListener,
+    transport: &Arc<dyn Transport>,
     service: &Arc<Service>,
     config: HttpConfig,
     stop: &AtomicBool,
+    active: &Arc<AtomicUsize>,
 ) {
-    let active = Arc::new(AtomicUsize::new(0));
-    for conn in listener.incoming() {
+    let clock = service.clock();
+    let _party = ClockParty::adopt(&clock);
+    loop {
         if stop.load(Ordering::Acquire) {
             return;
         }
-        match conn {
-            Ok(mut stream) => {
+        match transport.accept() {
+            Ok(mut conn) => {
+                if stop.load(Ordering::Acquire) {
+                    conn.close();
+                    return;
+                }
                 if active.fetch_add(1, Ordering::AcqRel) >= config.max_connections.max(1) {
                     // over the cap: answer on the accept thread (bounded —
                     // the response is a few dozen bytes against an empty
                     // socket buffer) instead of growing threads without
                     // bound
                     active.fetch_sub(1, Ordering::AcqRel);
-                    let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+                    conn.set_write_timeout(Some(Duration::from_secs(1)));
                     let retry = retry_after_secs(service.queue_depth(), service.worker_count());
                     let _ = Response::text(503, "error too many open connections\n")
                         .with_retry_after(retry)
-                        .write_to(&mut stream);
-                    let _ = stream.shutdown(std::net::Shutdown::Both);
+                        .write_to(&mut conn);
+                    conn.close();
                     continue;
                 }
-                let guard = ConnGuard(Arc::clone(&active));
+                let guard = ConnGuard(Arc::clone(active));
                 let service = Arc::clone(service);
+                clock.party_reserve();
+                let conn_clock = Arc::clone(&clock);
                 let spawned = thread::Builder::new()
                     .name("columba-http-conn".into())
                     .spawn(move || {
+                        let _party = ClockParty::adopt(&conn_clock);
                         let _guard = guard;
-                        handle_connection(&service, stream, config);
+                        handle_connection(&service, conn, config);
                     });
-                // thread exhaustion: drop the connection rather than die
-                // (the closure is dropped unrun, releasing the guard)
-                drop(spawned);
+                if spawned.is_err() {
+                    // thread exhaustion: drop the connection rather than
+                    // die (the closure is dropped unrun, releasing the
+                    // guard) and give the reserved party slot back
+                    clock.party_unreserve();
+                }
             }
-            Err(_) => thread::sleep(Duration::from_millis(10)),
+            // unblock() fired: loop around and re-check the stop flag
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => clock.sleep(Duration::from_millis(10)),
         }
     }
 }
@@ -1033,14 +1159,15 @@ fn accept_loop(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::simenv::clock::RealClock;
     use std::io::Cursor;
+    use std::net::TcpStream;
 
-    fn far_deadline() -> Instant {
-        Instant::now() + Duration::from_secs(30)
-    }
+    const FAR: Duration = Duration::from_secs(30);
 
     fn parse(raw: &[u8]) -> Result<Request, HttpError> {
-        read_request(&mut Cursor::new(raw.to_vec()), 1 << 20, far_deadline())
+        let clock = RealClock::new();
+        read_request(&mut Cursor::new(raw.to_vec()), 1 << 20, &clock, FAR)
     }
 
     #[test]
@@ -1098,7 +1225,8 @@ mod tests {
         let e = read_request(
             &mut Cursor::new(b"POST /s HTTP/1.1\r\nContent-Length: 100\r\n\r\n".to_vec()),
             10,
-            far_deadline(),
+            &RealClock::new(),
+            FAR,
         )
         .expect_err("reject");
         assert_eq!(e.status, 413);
@@ -1126,7 +1254,7 @@ mod tests {
 
     impl Read for Drip {
         fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
-            std::thread::sleep(self.pause);
+            RealClock::new().sleep(self.pause);
             if self.pos >= self.data.len() || buf.is_empty() {
                 return Ok(0);
             }
@@ -1145,8 +1273,9 @@ mod tests {
             pos: 0,
             pause: Duration::from_millis(10),
         };
-        let deadline = Instant::now() + Duration::from_millis(50);
-        let e = read_request(&mut drip, 1 << 20, deadline).expect_err("deadline must fire");
+        let clock = RealClock::new();
+        let e = read_request(&mut drip, 1 << 20, &clock, Duration::from_millis(50))
+            .expect_err("deadline must fire");
         assert_eq!(e.status, 408);
     }
 
@@ -1167,8 +1296,9 @@ mod tests {
         // use a drip pause small enough that the header finishes, with a
         // deadline shorter than the full body takes
         drip.pause = Duration::from_micros(200);
-        let deadline = Instant::now() + Duration::from_millis(40);
-        let e = read_request(&mut drip, 1 << 20, deadline).expect_err("deadline must fire");
+        let clock = RealClock::new();
+        let e = read_request(&mut drip, 1 << 20, &clock, Duration::from_millis(40))
+            .expect_err("deadline must fire");
         assert_eq!(e.status, 408);
     }
 
@@ -1440,7 +1570,7 @@ mod tests {
                 rejected = Some(text);
                 break;
             }
-            thread::sleep(Duration::from_millis(20));
+            RealClock::new().sleep(Duration::from_millis(20));
         }
         let text = rejected.expect("the connection cap must answer 503");
         assert!(

@@ -26,6 +26,9 @@
 //!   fsync-before-ack discipline, a checksummed disk-backed design
 //!   cache, and a startup recovery path that tolerates torn writes and
 //!   bit flips (configure with [`PersistConfig`]).
+//! * [`simenv`] — the deterministic simulation environment: a virtual
+//!   [`Clock`], an in-memory [`Transport`]/[`SimNet`] network, and the
+//!   seeded chaos scenario runner behind the `columba-chaos` binary.
 //!
 //! ```no_run
 //! use std::sync::Arc;
@@ -52,6 +55,7 @@ pub mod job;
 pub mod metrics;
 pub mod persist;
 pub mod service;
+pub mod simenv;
 pub mod trace;
 
 pub use batch::{BatchId, BatchStatus, BatchSummary, MemberStatus};
@@ -70,6 +74,10 @@ pub use persist::{
 };
 pub use service::{
     ExportError, ExportKind, HealthReport, ProfileError, Service, ServiceConfig, SubmitError,
+};
+pub use simenv::{
+    clock_wait, run_plan, run_seed, shrink, ChaosOp, ChaosPlan, ChaosReport, Clock, ClockParty,
+    ClockSuspend, Conn, NetFault, RealClock, SimClock, SimNet, SimSocket, TcpTransport, Transport,
 };
 pub use trace::{
     JsonlSink, MemorySink, NullSink, RingConfig, RingSink, TraceEvent, TraceKind, TraceSink,

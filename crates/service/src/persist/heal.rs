@@ -26,10 +26,12 @@
 
 use std::io;
 use std::sync::atomic::{AtomicU32, AtomicU64, AtomicU8, Ordering};
-use std::sync::{Mutex, MutexGuard, PoisonError};
-use std::time::{Duration, Instant};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::time::Duration;
 
 use columba_prng::Rng;
+
+use crate::simenv::clock::Clock;
 
 /// Breaker and retry thresholds; every `columba-serve` flag maps onto a
 /// field here.
@@ -121,8 +123,11 @@ pub struct PersistSupervisor {
     retries: AtomicU64,
     skipped: AtomicU64,
     degraded_ns: AtomicU64,
-    opened_at: Mutex<Option<Instant>>,
+    /// Clock timestamp (time since the clock's epoch) at which the
+    /// breaker last opened.
+    opened_at: Mutex<Option<Duration>>,
     rng: Mutex<Rng>,
+    clock: Arc<dyn Clock>,
 }
 
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
@@ -131,9 +136,12 @@ fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 
 impl PersistSupervisor {
     /// A closed (healthy) supervisor. `seed` feeds the backoff jitter;
-    /// determinism only matters to tests.
+    /// determinism only matters to tests. `clock` drives the backoff
+    /// sleeps and the probe/degraded timing — a
+    /// [`crate::simenv::SimClock`] makes every breaker transition
+    /// virtual-time-exact.
     #[must_use]
-    pub fn new(config: BreakerConfig, seed: u64) -> PersistSupervisor {
+    pub fn new(config: BreakerConfig, seed: u64, clock: Arc<dyn Clock>) -> PersistSupervisor {
         PersistSupervisor {
             config,
             state: AtomicU8::new(CLOSED),
@@ -144,6 +152,7 @@ impl PersistSupervisor {
             degraded_ns: AtomicU64::new(0),
             opened_at: Mutex::new(None),
             rng: Mutex::new(Rng::seed_from_u64(seed)),
+            clock,
         }
     }
 
@@ -181,7 +190,7 @@ impl PersistSupervisor {
         for attempt in 0..=self.config.max_retries {
             if attempt > 0 {
                 self.retries.fetch_add(1, Ordering::Relaxed);
-                std::thread::sleep(self.backoff(attempt - 1));
+                self.clock.sleep(self.backoff(attempt - 1));
             }
             match op() {
                 Ok(v) => {
@@ -215,12 +224,28 @@ impl PersistSupervisor {
         exp.mul_f64(jitter)
     }
 
+    /// Banks the open period accumulated since `opened_at` (if any) into
+    /// the degraded total and restarts the period at `now`. Keeps
+    /// `degraded_time` continuous across probe failures and re-trips,
+    /// which would otherwise silently discard the time between the trip
+    /// and the last failed probe.
+    fn restart_open_period(&self) {
+        let now = self.clock.now();
+        let mut at = lock(&self.opened_at);
+        if let Some(prev) = *at {
+            let open_for = now.saturating_sub(prev);
+            let ns = u64::try_from(open_for.as_nanos()).unwrap_or(u64::MAX);
+            self.degraded_ns.fetch_add(ns, Ordering::Relaxed);
+        }
+        *at = Some(now);
+    }
+
     /// Trips the breaker open and starts the degraded clock.
     pub fn trip(&self) {
         let was = self.state.swap(OPEN, Ordering::SeqCst);
         if was != OPEN {
             self.trips.fetch_add(1, Ordering::Relaxed);
-            *lock(&self.opened_at) = Some(Instant::now());
+            self.restart_open_period();
         }
     }
 
@@ -229,7 +254,7 @@ impl PersistSupervisor {
     pub fn probe_due(&self) -> bool {
         self.state.load(Ordering::SeqCst) == OPEN
             && lock(&self.opened_at)
-                .map(|at| at.elapsed() >= self.config.probe_interval)
+                .map(|at| self.clock.now().saturating_sub(at) >= self.config.probe_interval)
                 .unwrap_or(true)
     }
 
@@ -241,10 +266,11 @@ impl PersistSupervisor {
             .is_ok()
     }
 
-    /// The probe failed: back to open, restart the probe clock.
+    /// The probe failed: back to open, restart the probe clock (banking
+    /// the open time elapsed so far, so `degraded_time` stays exact).
     pub fn probe_failed(&self) {
         self.state.store(OPEN, Ordering::SeqCst);
-        *lock(&self.opened_at) = Some(Instant::now());
+        self.restart_open_period();
     }
 
     /// The probe succeeded: close the breaker, bank the degraded time,
@@ -254,7 +280,8 @@ impl PersistSupervisor {
         self.state.store(CLOSED, Ordering::SeqCst);
         self.consecutive.store(0, Ordering::SeqCst);
         if let Some(at) = lock(&self.opened_at).take() {
-            let ns = u64::try_from(at.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            let open_for = self.clock.now().saturating_sub(at);
+            let ns = u64::try_from(open_for.as_nanos()).unwrap_or(u64::MAX);
             self.degraded_ns.fetch_add(ns, Ordering::Relaxed);
         }
         self.skipped.swap(0, Ordering::SeqCst)
@@ -283,7 +310,7 @@ impl PersistSupervisor {
     pub fn degraded_time(&self) -> Duration {
         let banked = Duration::from_nanos(self.degraded_ns.load(Ordering::Relaxed));
         match *lock(&self.opened_at) {
-            Some(at) => banked + at.elapsed(),
+            Some(at) => banked + self.clock.now().saturating_sub(at),
             None => banked,
         }
     }
@@ -292,6 +319,11 @@ impl PersistSupervisor {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::simenv::clock::RealClock;
+
+    fn supervisor(config: BreakerConfig, seed: u64) -> PersistSupervisor {
+        PersistSupervisor::new(config, seed, RealClock::shared())
+    }
 
     fn quick() -> BreakerConfig {
         BreakerConfig {
@@ -305,7 +337,7 @@ mod tests {
 
     #[test]
     fn failures_trip_after_threshold_writes() {
-        let sup = PersistSupervisor::new(quick(), 1);
+        let sup = supervisor(quick(), 1);
         for i in 1..=2u32 {
             match sup.run::<()>(|| Err(io::Error::other("disk on fire"))) {
                 WriteOutcome::Failed(_) => {}
@@ -324,7 +356,7 @@ mod tests {
 
     #[test]
     fn success_resets_the_consecutive_count() {
-        let sup = PersistSupervisor::new(quick(), 2);
+        let sup = supervisor(quick(), 2);
         for _ in 0..10 {
             assert!(matches!(
                 sup.run::<()>(|| Err(io::Error::other("flaky"))),
@@ -338,7 +370,7 @@ mod tests {
 
     #[test]
     fn open_breaker_skips_without_io() {
-        let sup = PersistSupervisor::new(quick(), 3);
+        let sup = supervisor(quick(), 3);
         sup.trip();
         let mut calls = 0u32;
         for _ in 0..4 {
@@ -356,16 +388,16 @@ mod tests {
 
     #[test]
     fn probe_cycle_reopens_on_failure_and_closes_on_success() {
-        let sup = PersistSupervisor::new(quick(), 4);
+        let sup = supervisor(quick(), 4);
         sup.trip();
-        std::thread::sleep(Duration::from_millis(2));
+        RealClock::new().sleep(Duration::from_millis(2));
         assert!(sup.probe_due());
         assert!(sup.begin_probe());
         assert_eq!(sup.state(), BreakerState::HalfOpen);
         assert!(!sup.begin_probe(), "only one probe at a time");
         sup.probe_failed();
         assert_eq!(sup.state(), BreakerState::Open);
-        std::thread::sleep(Duration::from_millis(2));
+        RealClock::new().sleep(Duration::from_millis(2));
         assert!(sup.begin_probe());
         sup.run::<()>(|| Ok(())); // half-open still skips regular writes
         let dropped = sup.close();
@@ -375,9 +407,147 @@ mod tests {
         assert!(sup.degraded_time() > Duration::ZERO);
     }
 
+    /// Satellite property: under randomized fault/heal schedules driven
+    /// through a [`SimClock`], the supervisor's `degraded_time`,
+    /// `trips`, `skipped`, and state transitions stay *exactly*
+    /// consistent with a shadow model in virtual time. With no
+    /// registered clock parties, `clock.sleep` (the retry backoff)
+    /// auto-advances virtual time, so run-internal waits are covered
+    /// too, not just explicit `advance` steps.
+    #[test]
+    fn randomized_schedules_keep_breaker_accounting_exact() {
+        use crate::simenv::clock::SimClock;
+
+        for seed in 0..60u64 {
+            let sim = SimClock::new();
+            let clock: Arc<dyn Clock> = Arc::<SimClock>::clone(&sim);
+            let config = BreakerConfig {
+                failure_threshold: 2 + u32::try_from(seed % 3).unwrap(),
+                probe_interval: Duration::from_millis(1 + seed % 7),
+                max_retries: u32::try_from(seed % 2).unwrap(),
+                base_backoff: Duration::from_micros(50),
+                max_backoff: Duration::from_micros(400),
+            };
+            let sup = PersistSupervisor::new(config, seed, Arc::clone(&clock));
+            let mut rng = Rng::seed_from_u64(seed.wrapping_mul(0x9e37_79b9));
+
+            // Shadow model.
+            let mut trips = 0u64;
+            let mut banked = Duration::ZERO;
+            let mut open_since: Option<Duration> = None;
+            let mut streak = 0u32;
+            let mut skipped = 0u64;
+
+            for step in 0..300u32 {
+                match rng.gen_range(0..10u64) {
+                    // Let virtual time pass.
+                    0..=2 => sim.advance(Duration::from_micros(rng.gen_range(1..4000u64))),
+                    // A failing write.
+                    3..=5 => {
+                        let closed = open_since.is_none();
+                        let out = sup.run::<()>(|| Err(io::Error::other("sim fault")));
+                        if closed {
+                            streak += 1;
+                            if streak >= config.failure_threshold {
+                                assert!(
+                                    matches!(out, WriteOutcome::Tripped(_)),
+                                    "seed {seed} step {step}: expected trip at streak {streak}"
+                                );
+                                trips += 1;
+                                open_since = Some(clock.now());
+                            } else {
+                                assert!(matches!(out, WriteOutcome::Failed(_)));
+                            }
+                        } else {
+                            assert!(matches!(out, WriteOutcome::Skipped));
+                            skipped += 1;
+                        }
+                    }
+                    // A succeeding write.
+                    6 | 7 => {
+                        let closed = open_since.is_none();
+                        let out = sup.run(|| Ok(()));
+                        if closed {
+                            assert!(matches!(out, WriteOutcome::Done(())));
+                            streak = 0;
+                        } else {
+                            assert!(matches!(out, WriteOutcome::Skipped));
+                            skipped += 1;
+                        }
+                    }
+                    // The service supervisor's probe path.
+                    8 => {
+                        if sup.state() == BreakerState::Open && sup.probe_due() {
+                            assert!(sup.begin_probe());
+                            assert_eq!(sup.state(), BreakerState::HalfOpen);
+                            let opened = open_since.take().expect("open implies a period");
+                            banked += clock.now().saturating_sub(opened);
+                            if rng.gen_bool(0.5) {
+                                sup.probe_failed();
+                                open_since = Some(clock.now());
+                            } else {
+                                let dropped = sup.close();
+                                assert_eq!(
+                                    dropped, skipped,
+                                    "seed {seed} step {step}: close reports the skip count"
+                                );
+                                skipped = 0;
+                                streak = 0;
+                            }
+                        }
+                    }
+                    // A direct trip (the service's non-write degrade path).
+                    _ => {
+                        let before = sup.state();
+                        sup.trip();
+                        match before {
+                            BreakerState::Closed => {
+                                trips += 1;
+                                open_since = Some(clock.now());
+                            }
+                            BreakerState::HalfOpen => {
+                                trips += 1;
+                                let opened = open_since.take().expect("half-open keeps the period");
+                                banked += clock.now().saturating_sub(opened);
+                                open_since = Some(clock.now());
+                            }
+                            BreakerState::Open => {}
+                        }
+                    }
+                }
+
+                // Invariants, exact in virtual time.
+                let live = open_since.map_or(Duration::ZERO, |t| clock.now().saturating_sub(t));
+                assert_eq!(
+                    sup.degraded_time(),
+                    banked + live,
+                    "seed {seed} step {step}: degraded_time drifted from the model"
+                );
+                assert_eq!(sup.trips(), trips, "seed {seed} step {step}");
+                assert_eq!(sup.skipped(), skipped, "seed {seed} step {step}");
+                assert_eq!(
+                    sup.state() == BreakerState::Closed,
+                    open_since.is_none(),
+                    "seed {seed} step {step}: state/model mismatch"
+                );
+                assert!(sup.state().as_gauge() <= 2);
+                assert_eq!(sup.degraded(), open_since.is_some());
+                if let Some(t) = open_since {
+                    if sup.state() == BreakerState::Open {
+                        assert_eq!(
+                            sup.probe_due(),
+                            clock.now().saturating_sub(t) >= config.probe_interval,
+                            "seed {seed} step {step}: probe_due disagrees with opened_at"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
     #[test]
     fn retries_happen_before_failure_is_counted() {
-        let sup = PersistSupervisor::new(
+        let sup = supervisor(
             BreakerConfig {
                 max_retries: 3,
                 ..quick()

@@ -23,7 +23,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::{self, JoinHandle};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use columba_obs::{Histogram, RecorderGuard, SpanEvent, SpanRecorder};
 use columba_s::{CancelToken, Columba, Netlist, Rung, SolveStats, SynthesisOptions};
@@ -35,8 +35,9 @@ use crate::job::{JobId, JobState, JobStatus, QosClass};
 use crate::metrics::MetricsSnapshot;
 use crate::persist::{
     BreakerConfig, BreakerState, JournalRecord, Persist, PersistConfig, PersistSupervisor,
-    Recovery, WriteOutcome,
+    Recovery, Storage, WriteOutcome,
 };
+use crate::simenv::clock::{clock_wait, Clock, ClockParty, ClockSuspend, RealClock};
 use crate::trace::{NullSink, RingConfig, RingSink, TraceEvent, TraceKind, TraceSink};
 
 /// Locks a mutex, recovering from poisoning: a panic in a worker is
@@ -107,6 +108,17 @@ pub struct ServiceConfig {
     /// recovery, making the not-ready window observable from `/healthz`.
     /// `None` (the default) replays at full speed.
     pub replay_throttle: Option<Duration>,
+    /// Time source for every deadline, backoff, watchdog, uptime and
+    /// trace timestamp in the service. `None` (the default) uses the
+    /// real monotonic clock; tests install a
+    /// [`crate::simenv::SimClock`] to make timeout interleavings
+    /// deterministic.
+    pub clock: Option<Arc<dyn Clock>>,
+    /// Storage backend the persist layer runs on when
+    /// [`ServiceConfig::persist`] is set. `None` (the default) is the
+    /// real filesystem; tests install a [`crate::persist::SimFs`] to
+    /// inject storage faults and crashes.
+    pub storage: Option<Arc<dyn Storage>>,
 }
 
 impl Default for ServiceConfig {
@@ -128,6 +140,8 @@ impl Default for ServiceConfig {
             breaker: BreakerConfig::default(),
             watchdog_grace: Duration::from_secs(30),
             replay_throttle: None,
+            clock: None,
+            storage: None,
         }
     }
 }
@@ -292,9 +306,9 @@ struct JobRecord {
     /// degraded mode) and for in-memory-only services; flips back to
     /// `true` when the breaker heals and the job is re-journaled.
     durable: bool,
-    /// When a worker claimed the job; the stuck-job watchdog measures
-    /// deadline + grace against it.
-    started_at: Option<Instant>,
+    /// Clock timestamp at which a worker claimed the job; the stuck-job
+    /// watchdog measures deadline + grace against it.
+    started_at: Option<Duration>,
     /// The watchdog already cancelled this job (it fires once per job).
     watchdog_fired: bool,
     /// Scheduling stats when the submission was an assay text.
@@ -350,7 +364,12 @@ impl State {
 }
 
 struct Inner {
-    epoch: Instant,
+    /// The service's time source; every timestamp below is a reading of
+    /// it ("clock time": duration since the clock's own epoch).
+    clock: Arc<dyn Clock>,
+    /// Clock time at construction; uptime and trace timestamps are
+    /// measured from it.
+    epoch: Duration,
     columba: Columba,
     options_canon: String,
     /// Schedule options assay submissions run under, plus their
@@ -383,6 +402,16 @@ struct Inner {
     /// it through [`Inner::wait_ready`].
     ready: Mutex<bool>,
     ready_cv: Condvar,
+    /// Monotone count of lifecycle trace events recorded so far; SSE
+    /// streams block on it (through [`Service::wait_events`]) instead of
+    /// fixed-interval polling.
+    events_seq: Mutex<u64>,
+    events_cv: Condvar,
+    /// The supervisor thread's tick lock/condvar; shutdown (and the
+    /// recovery replay throttle's abort) signal it so nothing waits out
+    /// a full tick.
+    tick: Mutex<()>,
+    tick_cv: Condvar,
     watchdog_grace: Duration,
     watchdog_cancels: AtomicU64,
     rejected: AtomicU64,
@@ -425,13 +454,16 @@ struct Inner {
 impl Inner {
     fn trace(&self, job: Option<u64>, kind: TraceKind, detail: impl Into<String>) {
         let event = TraceEvent {
-            ts: self.epoch.elapsed(),
+            ts: self.clock.now().saturating_sub(self.epoch),
             job,
             kind,
             detail: detail.into(),
         };
         self.ring.record(&event);
         self.trace_sink.record(&event);
+        *lock(&self.events_seq) += 1;
+        self.clock.mark_wake();
+        self.events_cv.notify_all();
     }
 
     /// Blocks until startup recovery has finished (or shutdown began).
@@ -441,10 +473,12 @@ impl Inner {
     fn wait_ready(&self) {
         let mut ready = lock(&self.ready);
         while !*ready && !self.shutting_down.load(Ordering::Acquire) {
-            let (g, _) = self
-                .ready_cv
-                .wait_timeout(ready, Duration::from_millis(50))
-                .unwrap_or_else(PoisonError::into_inner);
+            let (g, _) = clock_wait(
+                &*self.clock,
+                &self.ready_cv,
+                ready,
+                Duration::from_millis(50),
+            );
             ready = g;
         }
     }
@@ -564,8 +598,12 @@ impl Service {
         } else {
             config.workers
         };
+        let clock: Arc<dyn Clock> = config.clock.clone().unwrap_or_else(RealClock::shared);
         let opened = match &config.persist {
-            Some(pc) => Some(Persist::open(pc)?),
+            Some(pc) => Some(match &config.storage {
+                Some(fs) => Persist::open_on(Arc::clone(fs), pc)?,
+                None => Persist::open(pc)?,
+            }),
             None => None,
         };
         let (persist, recovery) = match opened {
@@ -576,7 +614,8 @@ impl Service {
             columba_obs::set_enabled(true);
         }
         let inner = Arc::new(Inner {
-            epoch: Instant::now(),
+            epoch: clock.now(),
+            clock: Arc::clone(&clock),
             columba: Columba::with_options(config.options.clone()),
             options_canon: config.options.canonical_text(),
             schedule_options: config.schedule,
@@ -605,9 +644,13 @@ impl Service {
             trace_sink: config.trace,
             ring: RingSink::new(config.trace_ring),
             persist,
-            supervisor: PersistSupervisor::new(config.breaker, 0x0c01_7b5a),
+            supervisor: PersistSupervisor::new(config.breaker, 0x0c01_7b5a, Arc::clone(&clock)),
             ready: Mutex::new(recovery.is_none()),
             ready_cv: Condvar::new(),
+            events_seq: Mutex::new(0),
+            events_cv: Condvar::new(),
+            tick: Mutex::new(()),
+            tick_cv: Condvar::new(),
             watchdog_grace: config.watchdog_grace,
             watchdog_cancels: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
@@ -631,6 +674,12 @@ impl Service {
             http_recorder: SpanRecorder::new(2048),
         });
         let mut handles: Vec<JoinHandle<()>> = Vec::with_capacity(worker_count + 2);
+        // Reserve a sim-clock party slot for every thread about to be
+        // spawned — all of them, before any spawn — so virtual time
+        // cannot advance while part of the pool is still starting up.
+        for _ in 0..(worker_count + 1 + usize::from(recovery.is_some())) {
+            clock.party_reserve();
+        }
         // Recovery runs off-thread so the constructor returns immediately
         // and `/healthz` can report 503-not-ready while the replay is
         // still re-enqueueing jobs. Workers and submissions block on the
@@ -642,8 +691,10 @@ impl Service {
                 thread::Builder::new()
                     .name("columba-recovery".into())
                     .spawn(move || {
+                        let _party = ClockParty::adopt(&inner.clock);
                         apply_recovery(&inner, recovery, throttle);
                         *lock(&inner.ready) = true;
+                        inner.clock.mark_wake();
                         inner.ready_cv.notify_all();
                     })
                     .expect("spawning the recovery thread"),
@@ -798,6 +849,7 @@ impl Service {
             inner.ring.forget(&pruned);
         }
         inner.trace(Some(id), TraceKind::Admitted, "");
+        inner.clock.mark_wake();
         inner.work.notify_one();
         Ok(JobId(id))
     }
@@ -998,6 +1050,7 @@ impl Service {
         for &id in &ids {
             inner.trace(Some(id), TraceKind::Admitted, format!("batch {batch_id}"));
         }
+        inner.clock.mark_wake();
         inner.work.notify_all();
         Ok((BatchId(batch_id), members.into_iter().map(JobId).collect()))
     }
@@ -1018,7 +1071,7 @@ impl Service {
     #[must_use]
     pub fn wait_batch(&self, id: BatchId, timeout: Duration) -> Option<BatchStatus> {
         self.inner.wait_ready();
-        let deadline = Instant::now() + timeout;
+        let deadline = self.inner.clock.now() + timeout;
         let mut st = lock(&self.inner.state);
         loop {
             let batch = st.batches.get(&id.0)?;
@@ -1026,15 +1079,11 @@ impl Service {
             if snap.is_terminal() {
                 return Some(snap);
             }
-            let now = Instant::now();
+            let now = self.inner.clock.now();
             if now >= deadline {
                 return Some(snap);
             }
-            let (g, _) = self
-                .inner
-                .done
-                .wait_timeout(st, deadline - now)
-                .unwrap_or_else(PoisonError::into_inner);
+            let (g, _) = clock_wait(&*self.inner.clock, &self.inner.done, st, deadline - now);
             st = g;
         }
     }
@@ -1053,6 +1102,44 @@ impl Service {
         Some(events.unwrap_or_default())
     }
 
+    /// The monotone count of lifecycle trace events recorded so far.
+    /// Together with [`Service::wait_events`] this is the condvar the
+    /// SSE streams block on instead of fixed-interval polling.
+    #[must_use]
+    pub fn events_seq(&self) -> u64 {
+        *lock(&self.inner.events_seq)
+    }
+
+    /// Blocks until the event counter moves past `seen`, shutdown
+    /// begins, or `timeout` passes — whichever comes first — and returns
+    /// the current counter. One bounded wait, not a loop: callers
+    /// re-check their own predicate (new events for *their* job, their
+    /// heartbeat deadline) and call again.
+    #[must_use]
+    pub fn wait_events(&self, seen: u64, timeout: Duration) -> u64 {
+        let seq = lock(&self.inner.events_seq);
+        if *seq != seen || self.inner.shutting_down.load(Ordering::Acquire) {
+            return *seq;
+        }
+        let (seq, _) = clock_wait(&*self.inner.clock, &self.inner.events_cv, seq, timeout);
+        *seq
+    }
+
+    /// The time source the service runs on — the HTTP front end shares
+    /// it so request deadlines and SSE heartbeats tick on the same
+    /// (possibly simulated) clock.
+    #[must_use]
+    pub fn clock(&self) -> Arc<dyn Clock> {
+        Arc::clone(&self.inner.clock)
+    }
+
+    /// Whether shutdown has begun. Streaming handlers poll this so an
+    /// SSE loop ends promptly instead of waiting out its deadline.
+    #[must_use]
+    pub fn is_shutting_down(&self) -> bool {
+        self.inner.shutting_down.load(Ordering::Acquire)
+    }
+
     /// A point-in-time snapshot of one job, `None` for an unknown (or
     /// pruned) id.
     #[must_use]
@@ -1068,22 +1155,18 @@ impl Service {
     #[must_use]
     pub fn wait(&self, id: JobId, timeout: Duration) -> Option<JobStatus> {
         self.inner.wait_ready();
-        let deadline = Instant::now() + timeout;
+        let deadline = self.inner.clock.now() + timeout;
         let mut st = lock(&self.inner.state);
         loop {
             let r = st.jobs.get(&id.0)?;
             if r.state.is_terminal() {
                 return Some(r.snapshot(id.0));
             }
-            let now = Instant::now();
+            let now = self.inner.clock.now();
             if now >= deadline {
                 return Some(r.snapshot(id.0));
             }
-            let (g, _) = self
-                .inner
-                .done
-                .wait_timeout(st, deadline - now)
-                .unwrap_or_else(PoisonError::into_inner);
+            let (g, _) = clock_wait(&*self.inner.clock, &self.inner.done, st, deadline - now);
             st = g;
         }
     }
@@ -1119,6 +1202,7 @@ impl Service {
             inner.journal_best_effort(&JournalRecord::Cancelled { id: id.0 });
             inner.cancelled_count.fetch_add(1, Ordering::Relaxed);
             inner.trace(Some(id.0), TraceKind::Cancelled, "while queued");
+            inner.clock.mark_wake();
             inner.done.notify_all();
         }
         true
@@ -1218,7 +1302,7 @@ impl Service {
                 ),
                 None => (0, 0, 0, 0, 0, 0),
             };
-        let uptime = inner.epoch.elapsed();
+        let uptime = inner.clock.now().saturating_sub(inner.epoch);
         let uptime_ns = uptime.as_nanos().max(1);
         let worker_busy = inner
             .worker_busy_ns
@@ -1371,8 +1455,12 @@ impl Service {
             return;
         }
         // Wake anything blocked on the ready flag (workers, submissions,
-        // queries during a recovery replay) so they observe the shutdown.
+        // queries during a recovery replay), the supervisor tick, and
+        // event-stream waiters, so they all observe the shutdown.
+        inner.clock.mark_wake();
         inner.ready_cv.notify_all();
+        inner.tick_cv.notify_all();
+        inner.events_cv.notify_all();
         let drained: Vec<u64> = {
             let mut st = lock(&inner.state);
             for r in st.jobs.values_mut() {
@@ -1397,12 +1485,18 @@ impl Service {
             inner.cancelled_count.fetch_add(1, Ordering::Relaxed);
             inner.trace(Some(id), TraceKind::Cancelled, "shutdown drained the queue");
         }
+        inner.clock.mark_wake();
         inner.work.notify_all();
         inner.done.notify_all();
         let handles: Vec<JoinHandle<()>> = lock(&self.workers).drain(..).collect();
+        // Joining sim threads from a sim party pins virtual time (a join
+        // is invisible to the clock); suspend so a joined worker can
+        // finish a clock sleep (persist retry backoff, say).
+        let suspend = ClockSuspend::new(&inner.clock);
         for h in handles {
             let _ = h.join();
         }
+        drop(suspend);
         // Re-drain after the join: with no workers left, any job still
         // non-terminal (a submission that raced the first drain) would
         // otherwise stay `Queued` forever and block its waiters.
@@ -1428,6 +1522,7 @@ impl Service {
             inner.cancelled_count.fetch_add(1, Ordering::Relaxed);
             inner.trace(Some(id), TraceKind::Cancelled, "shutdown drained the queue");
         }
+        inner.clock.mark_wake();
         inner.done.notify_all();
         inner.trace(None, TraceKind::Shutdown, "");
         inner.trace_sink.flush();
@@ -1589,10 +1684,12 @@ fn apply_recovery(inner: &Inner, recovery: Recovery, throttle: Option<Duration>)
         if let Some(pause) = throttle {
             // Test hook: stretch the replay so the not-ready window is
             // observable. Shutdown aborts the stretch, not the replay —
-            // the remaining records apply immediately so the flag flip
+            // the tick condvar is signaled when the flag flips, so the
+            // remaining records apply immediately and the flag flip
             // never leaves half-applied state behind.
             if !inner.shutting_down.load(Ordering::Acquire) {
-                thread::sleep(pause);
+                let tick = lock(&inner.tick);
+                let _ = clock_wait(&*inner.clock, &inner.tick_cv, tick, pause);
             }
         }
         match record {
@@ -1751,10 +1848,21 @@ fn apply_recovery(inner: &Inner, recovery: Recovery, throttle: Option<Duration>)
 
 /// The supervisor thread: a ~50 ms tick running the stuck-job watchdog
 /// and, when the persist breaker is open, the half-open probe that heals
-/// it. Exits at shutdown.
+/// it. Exits at shutdown (promptly — the tick condvar is signaled, not
+/// waited out).
 fn supervisor_loop(inner: &Arc<Inner>) {
+    let _party = ClockParty::adopt(&inner.clock);
     while !inner.shutting_down.load(Ordering::Acquire) {
-        thread::sleep(Duration::from_millis(50));
+        let tick = lock(&inner.tick);
+        let _ = clock_wait(
+            &*inner.clock,
+            &inner.tick_cv,
+            tick,
+            Duration::from_millis(50),
+        );
+        if inner.shutting_down.load(Ordering::Acquire) {
+            return;
+        }
         watchdog_sweep(inner);
         probe_persist(inner);
     }
@@ -1770,13 +1878,15 @@ fn watchdog_sweep(inner: &Inner) {
         return;
     };
     let limit = deadline + inner.watchdog_grace;
+    let now = inner.clock.now();
     let fired: Vec<u64> = {
         let mut st = lock(&inner.state);
         let mut fired = Vec::new();
         for (&id, r) in &mut st.jobs {
             if r.state == JobState::Running
                 && !r.watchdog_fired
-                && r.started_at.is_some_and(|t0| t0.elapsed() > limit)
+                && r.started_at
+                    .is_some_and(|t0| now.saturating_sub(t0) > limit)
             {
                 r.watchdog_fired = true;
                 r.cancel_requested = true;
@@ -1869,6 +1979,7 @@ fn rejournal_volatile(inner: &Inner, persist: &Persist) {
 }
 
 fn worker_loop(inner: &Arc<Inner>, index: usize) {
+    let _party = ClockParty::adopt(&inner.clock);
     // Never claim before startup recovery finishes: recovered queue
     // order is part of the durability contract.
     inner.wait_ready();
@@ -1892,7 +2003,7 @@ fn worker_loop(inner: &Arc<Inner>, index: usize) {
                         continue;
                     }
                     r.state = JobState::Running;
-                    r.started_at = Some(Instant::now());
+                    r.started_at = Some(inner.clock.now());
                     let text = Arc::clone(&r.text);
                     let token = r.token.clone();
                     break Some((id, text, token));
@@ -1900,10 +2011,7 @@ fn worker_loop(inner: &Arc<Inner>, index: usize) {
                 if inner.shutting_down.load(Ordering::Acquire) {
                     break None;
                 }
-                let (g, _) = inner
-                    .work
-                    .wait_timeout(st, Duration::from_millis(100))
-                    .unwrap_or_else(PoisonError::into_inner);
+                let (g, _) = clock_wait(&*inner.clock, &inner.work, st, Duration::from_millis(100));
                 st = g;
             }
         };
@@ -1914,7 +2022,7 @@ fn worker_loop(inner: &Arc<Inner>, index: usize) {
         // unfinished job either way, so losing this append is harmless.
         inner.journal_best_effort(&JournalRecord::Started { id });
         inner.trace(Some(id), TraceKind::Started, "");
-        let t0 = Instant::now();
+        let t0 = inner.clock.now();
         // Each job gets its own bounded span recorder: the worker thread
         // installs it, opens the "job" root span, and everything the
         // solver and layout stack record while the job runs nests under
@@ -1949,7 +2057,7 @@ fn worker_loop(inner: &Arc<Inner>, index: usize) {
             }
             end
         };
-        let elapsed = t0.elapsed();
+        let elapsed = inner.clock.now().saturating_sub(t0);
         inner.worker_busy_ns[index].fetch_add(
             u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX),
             Ordering::Relaxed,
@@ -1961,6 +2069,7 @@ fn worker_loop(inner: &Arc<Inner>, index: usize) {
             Arc::new(rec.finished())
         });
         finalize(inner, id, elapsed, end, profile);
+        inner.clock.mark_wake();
         inner.done.notify_all();
     }
 }

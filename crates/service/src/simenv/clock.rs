@@ -1,0 +1,560 @@
+//! The service's single source of time.
+//!
+//! Every non-test time consumer in `columba-service` — watchdog sweeps,
+//! breaker probe pacing, retry backoff, HTTP deadlines, SSE heartbeats,
+//! uptime — goes through a [`Clock`] instead of touching
+//! `std::time::Instant` or `std::thread::sleep` directly (a grep gate in
+//! `ci/check.sh` enforces this; this file is the one place allowed to
+//! call them). Production uses [`RealClock`], a thin monotonic
+//! passthrough. Tests use [`SimClock`], a virtual clock that advances by
+//! *quiescence stepping*: time jumps to the earliest pending deadline
+//! only when every registered sim thread is blocked in a clock wait, so
+//! a timeout can never fire while any thread still has work to do, and
+//! timeout interleavings replay deterministically from a seed.
+//!
+//! Timestamps are [`Duration`]s since the clock's epoch (process start
+//! for `RealClock`, zero for `SimClock`), which keeps deadline
+//! arithmetic saturating and serializable.
+
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+
+/// One bounded iteration of a timed condvar wait is never allowed to
+/// block real time for longer than this under a [`SimClock`]; blocked
+/// threads re-poll virtual time at this real-time granularity.
+const SIM_POLL_SLICE: Duration = Duration::from_micros(500);
+
+/// Waits longer than this are treated as "forever" for quiescence
+/// accounting: they contribute no advancement target, so an idle accept
+/// loop can never drag virtual time an hour forward.
+const FOREVER: Duration = Duration::from_secs(600);
+
+/// A source of monotonic time and blocking primitives.
+///
+/// Object-safe: timed condvar waits go through the free function
+/// [`clock_wait`], which drives the [`Clock::wait_begin`] /
+/// [`Clock::wait_end`] hooks around a real `Condvar::wait_timeout`.
+pub trait Clock: Send + Sync + fmt::Debug {
+    /// Monotonic time elapsed since the clock's epoch.
+    fn now(&self) -> Duration;
+
+    /// Blocks the calling thread for `d` (virtual time under a
+    /// [`SimClock`]).
+    fn sleep(&self, d: Duration);
+
+    /// Registers the calling thread as a blocked waiter with the given
+    /// (virtual) timeout and returns `(real_slice, token)`: the bounded
+    /// real-time duration to pass to one `Condvar::wait_timeout`, and
+    /// the token to hand back to [`Clock::wait_end`].
+    fn wait_begin(&self, timeout: Duration) -> (Duration, u64);
+
+    /// Removes the waiter registered by [`Clock::wait_begin`].
+    fn wait_end(&self, token: u64);
+
+    /// Marks the calling thread as a *sim party*: a thread whose
+    /// runnable/blocked state gates virtual-time advancement. No-op for
+    /// [`RealClock`]. Use [`ClockParty`] for RAII pairing.
+    fn party_begin(&self);
+
+    /// Ends the registration made by [`Clock::party_begin`] (or a
+    /// [`Clock::party_reserve`] + [`Clock::party_adopt`] pair).
+    fn party_end(&self);
+
+    /// Reserves a party slot *on behalf of a thread about to be
+    /// spawned*. The reservation counts as a runnable party, so virtual
+    /// time cannot advance in the gap between `spawn` and the child's
+    /// [`Clock::party_adopt`] — without this, a timeout could fire
+    /// before a freshly spawned worker ever ran. No-op for
+    /// [`RealClock`].
+    fn party_reserve(&self) {}
+
+    /// Claims, from the spawned thread, the slot its spawner reserved:
+    /// flags the calling thread as a party without changing the count.
+    /// Pair with [`Clock::party_end`] (via [`ClockParty::adopt`]).
+    fn party_adopt(&self) {}
+
+    /// Releases a [`Clock::party_reserve`] slot that will never be
+    /// adopted (the spawn failed). Unlike [`Clock::party_end`] it does
+    /// not touch the calling thread's own party flag.
+    fn party_unreserve(&self) {}
+
+    /// Records that shared state some waiter may be blocked on has
+    /// changed. Call alongside every `Condvar` notify that can satisfy a
+    /// clock wait's predicate. Under a [`SimClock`] this defers virtual
+    /// advancement until every registered waiter has re-checked its
+    /// predicate: without it, a notified-but-not-yet-woken thread still
+    /// counts as blocked, and a racing `wait_begin` on another thread
+    /// could advance time past a deadline the notified thread was about
+    /// to act before — making timeout interleavings depend on real
+    /// scheduling. No-op for [`RealClock`].
+    fn mark_wake(&self) {}
+}
+
+/// One bounded iteration of `cv.wait_timeout(guard, timeout)` through
+/// the clock. Returns the reacquired guard and whether `timeout` worth
+/// of clock time has elapsed since the call began. Callers are expected
+/// to loop, re-checking their predicate and recomputing the remaining
+/// timeout — exactly the discipline every condvar wait in this crate
+/// already follows — so a spurious early return is always safe.
+pub fn clock_wait<'a, T>(
+    clock: &dyn Clock,
+    cv: &Condvar,
+    guard: MutexGuard<'a, T>,
+    timeout: Duration,
+) -> (MutexGuard<'a, T>, bool) {
+    let start = clock.now();
+    let (slice, token) = clock.wait_begin(timeout);
+    let result = if slice.is_zero() {
+        guard
+    } else {
+        cv.wait_timeout(guard, slice)
+            .unwrap_or_else(PoisonError::into_inner)
+            .0
+    };
+    clock.wait_end(token);
+    (result, clock.now().saturating_sub(start) >= timeout)
+}
+
+/// RAII registration of the current thread as a sim party (see
+/// [`Clock::party_begin`]). Every thread the service spawns — workers,
+/// the supervisor, the accept loop, connection handlers — holds one for
+/// its lifetime, so a [`SimClock`] knows the full set of threads whose
+/// quiescence gates time.
+#[derive(Debug)]
+pub struct ClockParty {
+    clock: Arc<dyn Clock>,
+}
+
+impl ClockParty {
+    /// Registers the calling thread until the guard drops.
+    #[must_use]
+    pub fn enter(clock: &Arc<dyn Clock>) -> ClockParty {
+        clock.party_begin();
+        ClockParty {
+            clock: Arc::clone(clock),
+        }
+    }
+
+    /// Claims the slot the spawning thread reserved with
+    /// [`Clock::party_reserve`]; releases it when the guard drops.
+    #[must_use]
+    pub fn adopt(clock: &Arc<dyn Clock>) -> ClockParty {
+        clock.party_adopt();
+        ClockParty {
+            clock: Arc::clone(clock),
+        }
+    }
+}
+
+impl Drop for ClockParty {
+    fn drop(&mut self) {
+        self.clock.party_end();
+    }
+}
+
+/// RAII: temporarily deregisters the calling thread as a sim party while
+/// it blocks outside the clock's view — joining sim threads, most
+/// prominently. Without this, a party blocked in `JoinHandle::join`
+/// still counts as runnable and pins virtual time, deadlocking against
+/// a joined thread that needs time to advance (a retry-backoff sleep,
+/// say). No-op when the calling thread is not a registered party.
+#[derive(Debug)]
+pub struct ClockSuspend {
+    clock: Option<Arc<dyn Clock>>,
+}
+
+impl ClockSuspend {
+    /// Suspends the calling thread's party registration until the guard
+    /// drops.
+    #[must_use]
+    pub fn new(clock: &Arc<dyn Clock>) -> ClockSuspend {
+        let was = IS_PARTY.with(std::cell::Cell::get);
+        if was {
+            clock.party_end();
+        }
+        ClockSuspend {
+            clock: was.then(|| Arc::clone(clock)),
+        }
+    }
+}
+
+impl Drop for ClockSuspend {
+    fn drop(&mut self) {
+        if let Some(clock) = self.clock.take() {
+            clock.party_begin();
+        }
+    }
+}
+
+/// The production clock: a monotonic passthrough to the OS.
+#[derive(Debug)]
+pub struct RealClock {
+    epoch: Instant,
+}
+
+impl Default for RealClock {
+    fn default() -> RealClock {
+        RealClock {
+            epoch: Instant::now(),
+        }
+    }
+}
+
+impl RealClock {
+    /// A fresh clock whose epoch is "now".
+    #[must_use]
+    pub fn new() -> RealClock {
+        RealClock::default()
+    }
+
+    /// The shared default clock used when a [`crate::ServiceConfig`]
+    /// does not override one.
+    #[must_use]
+    pub fn shared() -> Arc<dyn Clock> {
+        Arc::new(RealClock::new())
+    }
+}
+
+impl Clock for RealClock {
+    fn now(&self) -> Duration {
+        self.epoch.elapsed()
+    }
+
+    fn sleep(&self, d: Duration) {
+        std::thread::sleep(d);
+    }
+
+    fn wait_begin(&self, timeout: Duration) -> (Duration, u64) {
+        // One real wait of the full timeout; notifies end it early and
+        // the caller's predicate loop handles the rest.
+        (timeout, 0)
+    }
+
+    fn wait_end(&self, _token: u64) {}
+
+    fn party_begin(&self) {}
+
+    fn party_end(&self) {}
+}
+
+thread_local! {
+    /// Whether the current thread is registered as a sim party. One
+    /// flag suffices: a process hosts at most one driving `SimClock` at
+    /// a time (each test builds its own world).
+    static IS_PARTY: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+#[derive(Debug)]
+struct Waiter {
+    /// Virtual instant at which this wait times out (`None` = forever;
+    /// contributes no advancement target).
+    deadline: Option<Duration>,
+    /// Whether the waiting thread is a registered party.
+    party: bool,
+    /// The wake epoch this waiter last re-checked its predicate under
+    /// (waiters re-register each poll slice, refreshing this).
+    seen: u64,
+}
+
+#[derive(Debug, Default)]
+struct SimState {
+    /// Virtual nanoseconds since the sim epoch.
+    now: Duration,
+    /// Registered sim parties (threads whose blocked state gates time).
+    parties: usize,
+    /// Live waiters keyed by token.
+    waiters: std::collections::HashMap<u64, Waiter>,
+    /// Of those, how many are registered parties.
+    blocked_parties: usize,
+    next_token: u64,
+    /// Total virtual-time advances performed (observability for tests).
+    advances: u64,
+    /// Bumped by [`Clock::mark_wake`]. A waiter registered under an
+    /// older epoch may have a satisfied predicate it has not seen yet,
+    /// so it blocks advancement until it re-polls.
+    epoch: u64,
+}
+
+/// A deterministic virtual clock.
+///
+/// Quiescence rule: virtual time advances — jumping to the earliest
+/// unexpired waiter deadline — only when **every** registered party is
+/// blocked in a clock wait *and* no party's wait has already expired
+/// (an expired waiter is logically runnable; time waits for it to act).
+/// Threads poll their condvars at a small real-time slice, so a virtual
+/// advance becomes visible within microseconds of real time while the
+/// virtual ordering of timeouts stays a pure function of the schedule.
+#[derive(Debug, Default)]
+pub struct SimClock {
+    state: Mutex<SimState>,
+}
+
+impl SimClock {
+    /// A fresh clock at virtual time zero, wrapped for sharing.
+    #[must_use]
+    pub fn new() -> Arc<SimClock> {
+        Arc::new(SimClock::default())
+    }
+
+    fn lock(&self) -> MutexGuard<'_, SimState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Manually advances virtual time by `d` (driver-side stepping for
+    /// tests that do not run threaded scenarios).
+    pub fn advance(&self, d: Duration) {
+        let mut st = self.lock();
+        st.now = st.now.saturating_add(d);
+        st.advances += 1;
+    }
+
+    /// Number of quiescence advances performed so far.
+    #[must_use]
+    pub fn advances(&self) -> u64 {
+        self.lock().advances
+    }
+
+    /// If quiescent (every registered party blocked in a clock wait and
+    /// no waiter's deadline already passed), jump `now` to the earliest
+    /// pending deadline. An expired waiter — party or not — is logically
+    /// runnable (it is about to wake and act), so time holds still until
+    /// it re-blocks; that is what makes timeout *ordering* a pure
+    /// function of the schedule. A world with zero registered parties
+    /// (driver-style tests stepping a supervisor by hand) auto-advances
+    /// whenever anything sleeps.
+    fn try_advance(st: &mut SimState) {
+        if st.blocked_parties < st.parties {
+            return;
+        }
+        let mut target: Option<Duration> = None;
+        for w in st.waiters.values() {
+            if w.seen != st.epoch {
+                // Possibly-notified waiter that has not re-checked its
+                // predicate yet: logically runnable, pins time.
+                return;
+            }
+            match w.deadline {
+                Some(d) if d <= st.now => return,
+                Some(d) => target = Some(target.map_or(d, |t| t.min(d))),
+                None => {}
+            }
+        }
+        if let Some(t) = target {
+            st.now = t;
+            st.advances += 1;
+        }
+    }
+}
+
+impl Clock for SimClock {
+    fn now(&self) -> Duration {
+        self.lock().now
+    }
+
+    fn sleep(&self, d: Duration) {
+        // A sleep is a wait on a private condvar nobody signals: pure
+        // virtual delay. Each iteration is one bounded clock wait.
+        let mx = Mutex::new(());
+        let cv = Condvar::new();
+        let deadline = self.now().saturating_add(d);
+        loop {
+            let now = self.now();
+            if now >= deadline {
+                return;
+            }
+            let guard = mx.lock().unwrap_or_else(PoisonError::into_inner);
+            let _ = clock_wait(self, &cv, guard, deadline - now);
+        }
+    }
+
+    fn wait_begin(&self, timeout: Duration) -> (Duration, u64) {
+        let mut st = self.lock();
+        let deadline = if timeout >= FOREVER {
+            None
+        } else {
+            Some(st.now.saturating_add(timeout))
+        };
+        let token = st.next_token;
+        st.next_token += 1;
+        let party = IS_PARTY.with(std::cell::Cell::get);
+        let seen = st.epoch;
+        st.waiters.insert(
+            token,
+            Waiter {
+                deadline,
+                party,
+                seen,
+            },
+        );
+        if party {
+            st.blocked_parties += 1;
+        }
+        SimClock::try_advance(&mut st);
+        let expired = deadline.is_some_and(|d| d <= st.now);
+        let slice = if expired {
+            Duration::ZERO
+        } else {
+            SIM_POLL_SLICE
+        };
+        (slice, token)
+    }
+
+    fn wait_end(&self, token: u64) {
+        let mut st = self.lock();
+        if let Some(w) = st.waiters.remove(&token) {
+            if w.party {
+                st.blocked_parties = st.blocked_parties.saturating_sub(1);
+            }
+        }
+    }
+
+    fn party_begin(&self) {
+        IS_PARTY.with(|p| p.set(true));
+        self.lock().parties += 1;
+    }
+
+    fn party_reserve(&self) {
+        self.lock().parties += 1;
+    }
+
+    fn party_adopt(&self) {
+        IS_PARTY.with(|p| p.set(true));
+    }
+
+    fn party_unreserve(&self) {
+        let mut st = self.lock();
+        st.parties = st.parties.saturating_sub(1);
+        SimClock::try_advance(&mut st);
+    }
+
+    fn party_end(&self) {
+        IS_PARTY.with(|p| p.set(false));
+        let mut st = self.lock();
+        st.parties = st.parties.saturating_sub(1);
+        // The departing party may have been the last runnable one.
+        SimClock::try_advance(&mut st);
+    }
+
+    fn mark_wake(&self) {
+        let mut st = self.lock();
+        st.epoch = st.epoch.wrapping_add(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn real_clock_is_monotonic() {
+        let clock = RealClock::new();
+        let a = clock.now();
+        let b = clock.now();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn sim_clock_manual_advance() {
+        let clock = SimClock::new();
+        assert_eq!(clock.now(), Duration::ZERO);
+        clock.advance(Duration::from_secs(3));
+        assert_eq!(clock.now(), Duration::from_secs(3));
+    }
+
+    #[test]
+    fn sim_sleep_advances_when_quiescent() {
+        let clock = SimClock::new();
+        let shared: Arc<dyn Clock> = Arc::<SimClock>::clone(&clock);
+        let done = Arc::new(AtomicU64::new(0));
+        let d2 = Arc::clone(&done);
+        let c2 = Arc::clone(&shared);
+        let h = std::thread::spawn(move || {
+            let _party = ClockParty::enter(&c2);
+            c2.sleep(Duration::from_secs(5));
+            d2.store(c2.now().as_secs(), Ordering::SeqCst);
+        });
+        h.join().expect("sleeper thread");
+        // The only party slept: virtual time jumped straight to 5 s.
+        assert_eq!(done.load(Ordering::SeqCst), 5);
+        assert_eq!(clock.now(), Duration::from_secs(5));
+    }
+
+    #[test]
+    fn sim_time_waits_for_runnable_parties() {
+        let clock = SimClock::new();
+        let shared: Arc<dyn Clock> = Arc::<SimClock>::clone(&clock);
+        // A party that is busy (never blocks) pins virtual time even
+        // while a non-party sleeper is pending.
+        shared.party_begin();
+        let c2 = Arc::clone(&shared);
+        let h = std::thread::spawn(move || {
+            c2.sleep(Duration::from_millis(10));
+            c2.now()
+        });
+        // Real time passes; virtual time must not (the registered party
+        // — this thread — is runnable).
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(clock.now(), Duration::ZERO);
+        shared.party_end();
+        // With the party gone, quiescence holds and the sleeper's
+        // deadline is the advancement target.
+        let woke_at = h.join().expect("sleeper thread");
+        assert_eq!(woke_at, Duration::from_millis(10));
+    }
+
+    #[test]
+    fn two_sleepers_wake_in_deadline_order() {
+        let clock = SimClock::new();
+        let shared: Arc<dyn Clock> = Arc::<SimClock>::clone(&clock);
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let mut handles = Vec::new();
+        // Reserve BOTH slots before spawning anything: otherwise the
+        // first sleeper could block, satisfy quiescence alone, and drag
+        // time to its deadline before the second sleeper exists.
+        shared.party_reserve();
+        shared.party_reserve();
+        for secs in [7u64, 2] {
+            let c = Arc::clone(&shared);
+            let o = Arc::clone(&order);
+            handles.push(std::thread::spawn(move || {
+                let _party = ClockParty::adopt(&c);
+                c.sleep(Duration::from_secs(secs));
+                o.lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .push((c.now().as_secs(), secs));
+            }));
+        }
+        for h in handles {
+            h.join().expect("sleeper");
+        }
+        let order = order.lock().unwrap_or_else(PoisonError::into_inner);
+        assert_eq!(*order, vec![(2, 2), (7, 7)]);
+    }
+
+    #[test]
+    fn clock_wait_returns_on_notify_before_timeout() {
+        let clock = RealClock::new();
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let p2 = Arc::clone(&pair);
+        let h = std::thread::spawn(move || {
+            let (mx, cv) = &*p2;
+            let mut g = mx.lock().unwrap_or_else(PoisonError::into_inner);
+            *g = true;
+            drop(g);
+            cv.notify_all();
+        });
+        let (mx, cv) = &*pair;
+        let mut g = mx.lock().unwrap_or_else(PoisonError::into_inner);
+        let deadline = clock.now() + Duration::from_secs(10);
+        while !*g {
+            let remaining = deadline.saturating_sub(clock.now());
+            let (guard, timed_out) = clock_wait(&clock, cv, g, remaining);
+            g = guard;
+            assert!(!timed_out, "notify should arrive well before 10 s");
+        }
+        drop(g);
+        h.join().expect("notifier");
+    }
+}
