@@ -83,6 +83,9 @@ section_test() {
   cargo test -q --offline -p columba-milp --features fault-inject
   cargo test -q --offline -p columba-layout --features fault-inject
   cargo test -q --offline -p columba-service --features fault-inject
+
+  echo "==> cargo build -p columba-obs --no-default-features (allocator tracking compiles out)"
+  cargo build -q --offline -p columba-obs --no-default-features
 }
 
 section_chaos() {
@@ -189,16 +192,29 @@ section_smoke() {
   echo "==> observability smoke (Prometheus scrape + Chrome-trace profile)"
   PROM=$(curl -sfS "http://$ADDR/metrics?format=prometheus")
   printf '%s\n' "$PROM" | ./target/release/obs-validate prometheus
-  printf '%s\n' "$PROM" | grep -q 'columba_solve_seconds_bucket' \
+  # NOT grep -q: -q exits on first match and the closed pipe can SIGPIPE
+  # printf mid-flush on a multi-buffer scrape, which pipefail turns into
+  # a spurious failure. Plain grep reads to EOF.
+  printf '%s\n' "$PROM" | grep 'columba_solve_seconds_bucket' >/dev/null \
     || { echo "Prometheus scrape is missing solve-latency buckets"; exit 1; }
-  printf '%s\n' "$PROM" | grep -q 'columba_solve_seconds_p99' \
+  printf '%s\n' "$PROM" | grep 'columba_solve_seconds_p99' >/dev/null \
     || { echo "Prometheus scrape is missing the p99 summary line"; exit 1; }
-  printf '%s\n' "$PROM" | grep -q 'columba_queue_class_depth' \
+  printf '%s\n' "$PROM" | grep 'columba_queue_class_depth' >/dev/null \
     || { echo "Prometheus scrape is missing the per-class queue gauges"; exit 1; }
   curl -sfS "http://$ADDR/jobs/$JOB1/profile" | ./target/release/obs-validate chrome
   TRACE=$(curl -sfS "http://$ADDR/jobs/$JOB1/trace")
-  printf '%s\n' "$TRACE" | grep -q '"event":"solved"' \
+  printf '%s\n' "$TRACE" | grep '"event":"solved"' >/dev/null \
     || { echo "lifecycle trace is missing the solved event: $TRACE"; exit 1; }
+  printf '%s\n' "$PROM" | grep 'columba_alloc_live_bytes' >/dev/null \
+    || { echo "Prometheus scrape is missing the allocator gauges"; exit 1; }
+  curl -sfS "http://$ADDR/slo" | ./target/release/obs-validate slo
+  # a solve-latency exemplar must name a job whose trace is still served
+  EX_JOB=$(printf '%s\n' "$PROM" \
+    | sed -n 's/.*columba_solve_seconds_bucket.* # {job="\([0-9]*\)"}.*/\1/p' | head -1)
+  [ -n "$EX_JOB" ] || { echo "solve histogram carries no exemplar"; exit 1; }
+  EX_TRACE=$(curl -sfS "http://$ADDR/jobs/$EX_JOB/trace")
+  printf '%s\n' "$EX_TRACE" | grep '"event"' >/dev/null \
+    || { echo "exemplar job $EX_JOB does not resolve to a trace"; exit 1; }
   echo "observability smoke OK"
 
   kill -9 "$SERVE_PID"
@@ -262,7 +278,7 @@ section_smoke() {
   trap - EXIT
   echo "restart-recovery smoke OK"
 
-  echo "==> observability overhead guard (disabled-path spans within 2% on chip4ip)"
+  echo "==> observability overhead guard (disabled spans within 2%, allocator within 3%)"
   ./target/release/obs_overhead --iters 3
 }
 

@@ -11,6 +11,13 @@
 //! solver jitter, unlike differencing two noisy medians. Enabled-path
 //! medians are printed for information only.
 //!
+//! The same deterministic-budget method bounds the tracking allocator:
+//! the per-pair cost of `alloc::bookkeeping_probe` (exactly the relaxed
+//! atomics + thread-local Cells one alloc/dealloc pair runs) times the
+//! allocation pairs one solve makes must stay within 3% of the solve
+//! median. With the `alloc-track` feature compiled out both factors are
+//! zero by construction.
+//!
 //! ```sh
 //! cargo run -p columba-bench --release --bin obs_overhead
 //! cargo run -p columba-bench --release --bin obs_overhead -- --iters 9
@@ -25,6 +32,7 @@ use columba_s::netlist::{generators, MuxCount, Netlist};
 use columba_s::planar::planarize;
 
 const OVERHEAD_BUDGET: f64 = 0.02;
+const ALLOC_BUDGET: f64 = 0.03;
 
 fn solve_samples(planar: &Netlist, opts: &LayoutOptions, iters: usize) -> Vec<Duration> {
     (0..iters)
@@ -95,6 +103,20 @@ fn main() {
     let estimated_overhead_s = per_call_ns * 1e-9 * span_count as f64;
     let fraction = estimated_overhead_s / disabled.median_s;
 
+    // 4) allocator-tracking guard: per-pair bookkeeping cost x the
+    // alloc/dealloc pairs one solve makes, against the same solve median.
+    const PROBES: u32 = 4_000_000;
+    let t = Instant::now();
+    for i in 0..PROBES {
+        columba_obs::alloc::bookkeeping_probe(u64::from(i & 0xFFF));
+    }
+    let per_pair_ns = t.elapsed().as_nanos() as f64 / f64::from(PROBES);
+    let allocs_before = columba_obs::alloc::stats().total_allocs;
+    std::hint::black_box(layout::synthesize(&planar, &opts).expect("chip4ip synthesizes"));
+    let alloc_pairs = columba_obs::alloc::stats().total_allocs - allocs_before;
+    let alloc_overhead_s = per_pair_ns * 1e-9 * alloc_pairs as f64;
+    let alloc_fraction = alloc_overhead_s / disabled.median_s;
+
     println!("observability overhead guard (chip4ip, {iters} iters)\n");
     println!("disabled span() per call:     {per_call_ns:.1} ns");
     println!("spans per instrumented solve: {span_count}");
@@ -112,6 +134,21 @@ fn main() {
         OVERHEAD_BUDGET * 100.0
     );
 
+    println!(
+        "alloc bookkeeping per pair:   {per_pair_ns:.1} ns  (tracking {})",
+        if columba_obs::alloc::tracking_enabled() {
+            "on"
+        } else {
+            "compiled out"
+        }
+    );
+    println!("alloc pairs per solve:        {alloc_pairs}");
+    println!(
+        "estimated alloc overhead:     {:.4}% of the solve median (budget {:.0}%)",
+        alloc_fraction * 100.0,
+        ALLOC_BUDGET * 100.0
+    );
+
     if fraction > OVERHEAD_BUDGET {
         eprintln!(
             "error: disabled-path observability overhead {:.3}% exceeds the {:.0}% budget",
@@ -120,5 +157,13 @@ fn main() {
         );
         std::process::exit(1);
     }
-    println!("\nOK: disabled-path overhead is within budget");
+    if alloc_fraction > ALLOC_BUDGET {
+        eprintln!(
+            "error: allocator-tracking overhead {:.3}% exceeds the {:.0}% budget",
+            alloc_fraction * 100.0,
+            ALLOC_BUDGET * 100.0
+        );
+        std::process::exit(1);
+    }
+    println!("\nOK: disabled-path and allocator overheads are within budget");
 }

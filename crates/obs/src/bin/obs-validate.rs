@@ -5,12 +5,69 @@
 //! ```sh
 //! curl -s "$ADDR/metrics?format=prometheus" | obs-validate prometheus
 //! curl -s "$ADDR/jobs/1/profile"           | obs-validate chrome
+//! curl -s "$ADDR/slo"                      | obs-validate slo
 //! ```
 //!
 //! Prints one `ok: ...` line and exits 0 on success; prints the parse
 //! error and exits 1 otherwise.
 
 use std::io::Read as _;
+
+use columba_obs::Json;
+
+/// Validate a `GET /slo` body: JSON with an `at_us` number and a `slos`
+/// array whose entries each carry slo/label/target/good/bad/
+/// budget_remaining/alerting plus a non-empty `windows` array of
+/// window/burn/threshold/high objects. Returns an `ok:` summary.
+fn validate_slo(input: &str) -> Result<String, String> {
+    let doc = columba_obs::parse_json(input)?;
+    doc.get("at_us")
+        .and_then(Json::as_f64)
+        .ok_or("missing at_us")?;
+    let slos = doc
+        .get("slos")
+        .and_then(Json::as_arr)
+        .ok_or("missing slos array")?;
+    let mut alerting = 0usize;
+    for (i, r) in slos.iter().enumerate() {
+        for key in ["slo", "label"] {
+            r.get(key)
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("slos[{i}]: missing string {key}"))?;
+        }
+        for key in ["target", "good", "bad", "budget_remaining"] {
+            r.get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("slos[{i}]: missing number {key}"))?;
+        }
+        let is_alerting = match r.get("alerting") {
+            Some(Json::Bool(b)) => *b,
+            _ => return Err(format!("slos[{i}]: missing bool alerting")),
+        };
+        alerting += usize::from(is_alerting);
+        let windows = r
+            .get("windows")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| format!("slos[{i}]: missing windows array"))?;
+        if windows.is_empty() {
+            return Err(format!("slos[{i}]: empty windows array"));
+        }
+        for (j, w) in windows.iter().enumerate() {
+            w.get("window")
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("slos[{i}].windows[{j}]: missing window"))?;
+            for key in ["burn", "threshold"] {
+                w.get(key)
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| format!("slos[{i}].windows[{j}]: missing {key}"))?;
+            }
+            if !matches!(w.get("high"), Some(Json::Bool(_))) {
+                return Err(format!("slos[{i}].windows[{j}]: missing bool high"));
+            }
+        }
+    }
+    Ok(format!("ok: {} slos, {alerting} alerting", slos.len()))
+}
 
 fn main() {
     let mode = std::env::args().nth(1).unwrap_or_default();
@@ -25,8 +82,9 @@ fn main() {
         "chrome" => {
             columba_obs::validate_chrome_trace(&input).map(|n| format!("ok: {n} trace events"))
         }
+        "slo" => validate_slo(&input),
         _ => {
-            eprintln!("usage: obs-validate <prometheus|chrome>  (document on stdin)");
+            eprintln!("usage: obs-validate <prometheus|chrome|slo>  (document on stdin)");
             std::process::exit(2);
         }
     };

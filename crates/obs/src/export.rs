@@ -43,11 +43,31 @@ pub fn prom_escape_label(value: &str) -> String {
     out
 }
 
-/// Append `# TYPE name kind` once per metric family (tracked via
-/// `last_type_line` so consecutive samples of one family emit it once).
-pub fn prom_type_line(buf: &mut String, last_type_line: &mut String, name: &str, kind: &str) {
+/// Append `# HELP name help` and `# TYPE name kind` once per metric
+/// family (tracked via `last_type_line` so consecutive samples of one
+/// family emit the pair once). Exposition conformance requires both
+/// lines — [`crate::parse_prometheus`] rejects families missing either.
+pub fn prom_type_line(
+    buf: &mut String,
+    last_type_line: &mut String,
+    name: &str,
+    kind: &str,
+    help: &str,
+) {
     let line = format!("# TYPE {name} {kind}");
     if *last_type_line != line {
+        buf.push_str("# HELP ");
+        buf.push_str(name);
+        buf.push(' ');
+        // HELP text escaping: backslash and newline only (no quotes).
+        for c in help.chars() {
+            match c {
+                '\\' => buf.push_str("\\\\"),
+                '\n' => buf.push_str("\\n"),
+                _ => buf.push(c),
+            }
+        }
+        buf.push('\n');
         buf.push_str(&line);
         buf.push('\n');
         last_type_line.clone_from(&line);
@@ -90,23 +110,53 @@ fn push_labels(buf: &mut String, labels: &[(String, String)], extra: Option<(&st
     buf.push('}');
 }
 
-fn push_value(buf: &mut String, value: f64) {
-    buf.push(' ');
+fn push_value_bare(buf: &mut String, value: f64) {
     if value == value.trunc() && value.abs() < 1e15 {
         let _ = std::fmt::Write::write_fmt(buf, format_args!("{value:.0}"));
     } else {
         let _ = std::fmt::Write::write_fmt(buf, format_args!("{value}"));
     }
+}
+
+fn push_value(buf: &mut String, value: f64) {
+    buf.push(' ');
+    push_value_bare(buf, value);
     buf.push('\n');
 }
 
+/// One histogram exemplar: `(bucket_index, job_id, value_secs)` — the
+/// last observation that landed in that bucket, tagged with the job that
+/// produced it so a bad percentile links back to a retained trace.
+pub type HistExemplar = (usize, u64, f64);
+
 /// Render a histogram snapshot in Prometheus histogram convention
-/// (cumulative `_bucket{le="seconds"}` lines, `_sum`, `_count`) plus
-/// `_p50` / `_p90` / `_p99` summary gauges. `name` must be sanitized.
-pub fn prom_histogram(buf: &mut String, name: &str, labels: &[(String, String)], s: &HistSnapshot) {
+/// (`# HELP`/`# TYPE name histogram`, cumulative `_bucket{le="seconds"}`
+/// lines, `_sum`, `_count`) plus `_p50` / `_p90` / `_p99` summary
+/// gauges. `name` must be sanitized.
+pub fn prom_histogram(
+    buf: &mut String,
+    name: &str,
+    help: &str,
+    labels: &[(String, String)],
+    s: &HistSnapshot,
+) {
+    prom_histogram_ex(buf, name, help, labels, s, &[]);
+}
+
+/// [`prom_histogram`] with OpenMetrics-style exemplars: each
+/// `(bucket, job, value)` entry appends `# {job="<id>"} <value>` to that
+/// bucket's sample line, linking the bucket to a retained job trace.
+pub fn prom_histogram_ex(
+    buf: &mut String,
+    name: &str,
+    help: &str,
+    labels: &[(String, String)],
+    s: &HistSnapshot,
+    exemplars: &[HistExemplar],
+) {
     let bounds = bucket_bounds_us();
     let mut last = String::new();
-    prom_type_line(buf, &mut last, &format!("{name}_bucket"), "counter");
+    prom_type_line(buf, &mut last, name, "histogram", help);
     let mut cumulative = 0u64;
     let mut le = String::new();
     for (i, &c) in s.counts.iter().enumerate() {
@@ -120,7 +170,13 @@ pub fn prom_histogram(buf: &mut String, name: &str, labels: &[(String, String)],
         buf.push_str(name);
         buf.push_str("_bucket");
         push_labels(buf, labels, Some(("le", &le)));
-        push_value(buf, cumulative as f64);
+        buf.push(' ');
+        push_value_bare(buf, cumulative as f64);
+        if let Some((_, job, value)) = exemplars.iter().find(|(b, _, _)| *b == i) {
+            let _ = std::fmt::Write::write_fmt(buf, format_args!(" # {{job=\"{job}\"}} "));
+            push_value_bare(buf, *value);
+        }
+        buf.push('\n');
     }
     buf.push_str(name);
     buf.push_str("_sum");
@@ -130,9 +186,20 @@ pub fn prom_histogram(buf: &mut String, name: &str, labels: &[(String, String)],
     buf.push_str("_count");
     push_labels(buf, labels, None);
     push_value(buf, s.count as f64);
-    for (suffix, q) in [("_p50", 0.50), ("_p90", 0.90), ("_p99", 0.99)] {
-        buf.push_str(name);
-        buf.push_str(suffix);
+    for (suffix, q, qname) in [
+        ("_p50", 0.50, "50th"),
+        ("_p90", 0.90, "90th"),
+        ("_p99", 0.99, "99th"),
+    ] {
+        let gauge_name = format!("{name}{suffix}");
+        prom_type_line(
+            buf,
+            &mut last,
+            &gauge_name,
+            "gauge",
+            &format!("{qname} percentile of {name} in seconds"),
+        );
+        buf.push_str(&gauge_name);
         push_labels(buf, labels, None);
         push_value(buf, s.quantile_secs(q));
     }
@@ -244,12 +311,36 @@ mod tests {
         h.record(std::time::Duration::from_micros(1));
         h.record(std::time::Duration::from_micros(100));
         let mut out = String::new();
-        prom_histogram(&mut out, "x_seconds", &[], &h.snapshot());
+        prom_histogram(&mut out, "x_seconds", "test latency", &[], &h.snapshot());
+        assert!(out.contains("# HELP x_seconds test latency"));
+        assert!(out.contains("# TYPE x_seconds histogram"));
         assert!(out.contains("x_seconds_bucket{le=\"0.000001000\"} 1"));
         assert!(out.contains("x_seconds_bucket{le=\"+Inf\"} 2"));
         assert!(out.contains("x_seconds_count 2"));
-        assert!(out.contains("x_seconds_p50"));
+        assert!(out.contains("# TYPE x_seconds_p50 gauge"));
         assert!(out.contains("x_seconds_p99"));
+    }
+
+    #[test]
+    fn histogram_exemplars_ride_their_bucket_line() {
+        let h = crate::hist::Histogram::new();
+        h.record(std::time::Duration::from_micros(100));
+        let idx = crate::hist::bucket_index(100.0);
+        let mut out = String::new();
+        prom_histogram_ex(
+            &mut out,
+            "x_seconds",
+            "test latency",
+            &[],
+            &h.snapshot(),
+            &[(idx, 17, 0.0001)],
+        );
+        let line = out
+            .lines()
+            .find(|l| l.contains("# {job=\"17\"}"))
+            .expect("exemplar line");
+        assert!(line.starts_with("x_seconds_bucket{le="), "{line}");
+        assert!(line.ends_with("# {job=\"17\"} 0.0001"), "{line}");
     }
 
     #[test]

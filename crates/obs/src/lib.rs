@@ -24,16 +24,22 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 #![deny(missing_docs)]
 
+pub mod alloc;
 pub mod export;
 pub mod hist;
 pub mod parse;
 pub mod registry;
+pub mod slo;
 pub mod span;
 
+pub use alloc::{AllocStats, SubsystemAlloc};
 pub use export::chrome_trace;
 pub use hist::{bucket_bounds_us, bucket_index, HistSnapshot, Histogram};
-pub use parse::{parse_json, parse_prometheus, validate_chrome_trace, Json, PromSample};
+pub use parse::{
+    parse_json, parse_prometheus, validate_chrome_trace, Json, PromExemplar, PromSample,
+};
 pub use registry::{Gauge, Registry};
+pub use slo::{SloDef, SloEngine, SloKind, SloReport, SloSnapshot, SloTransition};
 pub use span::{
     enabled, instant, set_enabled, span, AttrValue, EventKind, RecorderGuard, SpanContext,
     SpanEvent, SpanGuard, SpanRecorder,

@@ -2,6 +2,16 @@
 //! reader, used to validate what the exporters emit (in unit tests and in
 //! the `obs-validate` CI helper) without any external dependency.
 
+/// One parsed OpenMetrics-style exemplar (`# {labels} value` after a
+/// sample value).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PromExemplar {
+    /// Exemplar label pairs in source order (e.g. `job="17"`).
+    pub labels: Vec<(String, String)>,
+    /// Exemplar value.
+    pub value: f64,
+}
+
 /// One parsed Prometheus sample line.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PromSample {
@@ -11,6 +21,8 @@ pub struct PromSample {
     pub labels: Vec<(String, String)>,
     /// Sample value.
     pub value: f64,
+    /// Trailing exemplar, if the line carried one.
+    pub exemplar: Option<PromExemplar>,
 }
 
 fn valid_metric_name(s: &str) -> bool {
@@ -97,14 +109,83 @@ fn parse_labels(s: &str, line_no: usize) -> Result<(Labels, &str), String> {
     }
 }
 
+fn parse_prom_value(s: &str, line_no: usize) -> Result<f64, String> {
+    match s {
+        "+Inf" => Ok(f64::INFINITY),
+        "-Inf" => Ok(f64::NEG_INFINITY),
+        "NaN" => Ok(f64::NAN),
+        v => v
+            .parse::<f64>()
+            .map_err(|_| format!("line {line_no}: bad value {v:?}")),
+    }
+}
+
+/// The metric family a sample belongs to: `_bucket` / `_sum` / `_count`
+/// samples of a declared histogram family collapse onto the family name;
+/// everything else is its own family.
+fn family_of<'a>(
+    name: &'a str,
+    types: &std::collections::BTreeMap<String, String>,
+) -> (&'a str, &'static str) {
+    for suffix in ["_bucket", "_sum", "_count"] {
+        if let Some(base) = name.strip_suffix(suffix) {
+            if types.get(base).map(String::as_str) == Some("histogram") {
+                return (base, suffix);
+            }
+        }
+    }
+    (name, "")
+}
+
 /// Parse a Prometheus text exposition document into its sample lines,
-/// validating metric/label name charsets, quoting, escapes and values.
+/// validating metric/label name charsets, quoting, escapes and values,
+/// plus family-level conformance: every sample's family must carry both
+/// a `# HELP` and a `# TYPE` line declared before its first sample, a
+/// histogram family must expose `_sum` and `_count`, and exemplars
+/// (`# {labels} value` after the sample value) are only accepted on
+/// histogram `_bucket` lines and counters.
 pub fn parse_prometheus(text: &str) -> Result<Vec<PromSample>, String> {
+    use std::collections::{BTreeMap, BTreeSet};
     let mut samples = Vec::new();
+    let mut helps: BTreeSet<String> = BTreeSet::new();
+    let mut types: BTreeMap<String, String> = BTreeMap::new();
+    // histogram family -> (saw _sum, saw _count)
+    let mut hist_parts: BTreeMap<String, (bool, bool)> = BTreeMap::new();
     for (idx, raw) in text.lines().enumerate() {
         let line_no = idx + 1;
         let line = raw.trim();
-        if line.is_empty() || line.starts_with('#') {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('#') {
+            let rest = rest.trim_start();
+            if let Some(decl) = rest.strip_prefix("HELP ") {
+                let name = decl.split_whitespace().next().unwrap_or_default();
+                if !valid_metric_name(name) {
+                    return Err(format!("line {line_no}: HELP for bad name {name:?}"));
+                }
+                helps.insert(name.to_string());
+            } else if let Some(decl) = rest.strip_prefix("TYPE ") {
+                let mut it = decl.split_whitespace();
+                let name = it.next().unwrap_or_default();
+                let kind = it.next().unwrap_or_default();
+                if !valid_metric_name(name) {
+                    return Err(format!("line {line_no}: TYPE for bad name {name:?}"));
+                }
+                if !matches!(
+                    kind,
+                    "counter" | "gauge" | "histogram" | "summary" | "untyped"
+                ) {
+                    return Err(format!("line {line_no}: unknown TYPE kind {kind:?}"));
+                }
+                if let Some(prev) = types.insert(name.to_string(), kind.to_string()) {
+                    if prev != kind {
+                        return Err(format!(
+                            "line {line_no}: family {name:?} redeclared as {kind} (was {prev})"
+                        ));
+                    }
+                }
+            }
             continue;
         }
         let (name, rest) = match line.find(['{', ' ']) {
@@ -119,20 +200,66 @@ pub fn parse_prometheus(text: &str) -> Result<Vec<PromSample>, String> {
         } else {
             (Vec::new(), rest)
         };
+        // Split off an OpenMetrics exemplar: `value # {labels} value`.
         let value_str = value_str.trim();
-        let value = match value_str {
-            "+Inf" => f64::INFINITY,
-            "-Inf" => f64::NEG_INFINITY,
-            "NaN" => f64::NAN,
-            v => v
-                .parse::<f64>()
-                .map_err(|_| format!("line {line_no}: bad value {v:?}"))?,
+        let (value_str, exemplar) = match value_str.split_once('#') {
+            Some((v, ex)) => {
+                let ex = ex.trim_start();
+                let Some(ex_labels) = ex.strip_prefix('{') else {
+                    return Err(format!("line {line_no}: exemplar must start with '{{'"));
+                };
+                let (ex_labels, ex_rest) = parse_labels(ex_labels, line_no)?;
+                let ex_value = parse_prom_value(ex_rest.trim(), line_no)?;
+                (
+                    v.trim(),
+                    Some(PromExemplar {
+                        labels: ex_labels,
+                        value: ex_value,
+                    }),
+                )
+            }
+            None => (value_str, None),
         };
+        let value = parse_prom_value(value_str, line_no)?;
+        let (family, suffix) = family_of(name, &types);
+        if !types.contains_key(family) {
+            return Err(format!(
+                "line {line_no}: sample {name:?} has no # TYPE line for family {family:?}"
+            ));
+        }
+        if !helps.contains(family) {
+            return Err(format!(
+                "line {line_no}: sample {name:?} has no # HELP line for family {family:?}"
+            ));
+        }
+        let kind = types[family].as_str();
+        if exemplar.is_some() && !(suffix == "_bucket" || kind == "counter") {
+            return Err(format!(
+                "line {line_no}: exemplar on {name:?} ({kind}); only histogram buckets \
+                 and counters may carry exemplars"
+            ));
+        }
+        if kind == "histogram" {
+            let parts = hist_parts.entry(family.to_string()).or_default();
+            match suffix {
+                "_sum" => parts.0 = true,
+                "_count" => parts.1 = true,
+                _ => {}
+            }
+        }
         samples.push(PromSample {
             name: name.to_string(),
             labels,
             value,
+            exemplar,
         });
+    }
+    for (family, (saw_sum, saw_count)) in &hist_parts {
+        if !(*saw_sum && *saw_count) {
+            return Err(format!(
+                "histogram family {family:?} is missing its _sum or _count sample"
+            ));
+        }
     }
     if samples.is_empty() {
         return Err("no samples found".to_string());
@@ -435,14 +562,56 @@ mod tests {
 
     #[test]
     fn prometheus_round_trip() {
-        let text =
-            "# TYPE a counter\na_total{x=\"q\\\"uo\\\\te\\n\"} 3\nb 1.5\nc{le=\"+Inf\"} +Inf\n";
+        let text = "# HELP a_total a counter\n# TYPE a_total counter\n\
+                    a_total{x=\"q\\\"uo\\\\te\\n\"} 3\n\
+                    # HELP b a gauge\n# TYPE b gauge\nb 1.5\n\
+                    # HELP c infinities\n# TYPE c gauge\nc{le=\"+Inf\"} +Inf\n";
         let samples = parse_prometheus(text).expect("parses");
         assert_eq!(samples.len(), 3);
         assert_eq!(samples[0].labels[0].1, "q\"uo\\te\n");
         assert!(samples[2].value.is_infinite());
         assert!(parse_prometheus("bad-name 1\n").is_err());
         assert!(parse_prometheus("novalue\n").is_err());
+    }
+
+    #[test]
+    fn prometheus_requires_help_and_type() {
+        // TYPE without HELP
+        assert!(parse_prometheus("# TYPE a counter\na 1\n")
+            .unwrap_err()
+            .contains("HELP"));
+        // HELP without TYPE
+        assert!(parse_prometheus("# HELP a text\na 1\n")
+            .unwrap_err()
+            .contains("TYPE"));
+        // conflicting redeclaration
+        assert!(
+            parse_prometheus("# HELP a t\n# TYPE a counter\n# TYPE a gauge\na 1\n")
+                .unwrap_err()
+                .contains("redeclared")
+        );
+    }
+
+    #[test]
+    fn prometheus_histograms_need_sum_and_count() {
+        let missing = "# HELP h latency\n# TYPE h histogram\n\
+                       h_bucket{le=\"+Inf\"} 1\nh_sum 0.5\n";
+        assert!(parse_prometheus(missing).unwrap_err().contains("_count"));
+        let complete = format!("{missing}h_count 1\n");
+        let samples = parse_prometheus(&complete).expect("complete histogram parses");
+        assert_eq!(samples.len(), 3);
+    }
+
+    #[test]
+    fn prometheus_exemplars_parse_on_buckets_only() {
+        let good = "# HELP h latency\n# TYPE h histogram\n\
+                    h_bucket{le=\"+Inf\"} 1 # {job=\"17\"} 0.25\nh_sum 0.25\nh_count 1\n";
+        let samples = parse_prometheus(good).expect("parses");
+        let ex = samples[0].exemplar.as_ref().expect("exemplar");
+        assert_eq!(ex.labels, vec![("job".to_string(), "17".to_string())]);
+        assert!((ex.value - 0.25).abs() < 1e-12);
+        let bad = "# HELP g a gauge\n# TYPE g gauge\ng 1 # {job=\"17\"} 0.25\n";
+        assert!(parse_prometheus(bad).unwrap_err().contains("exemplar"));
     }
 
     #[test]

@@ -60,6 +60,19 @@ struct RegistryInner {
     counters: BTreeMap<MetricKey, Arc<AtomicU64>>,
     gauges: BTreeMap<MetricKey, Arc<Gauge>>,
     hists: BTreeMap<MetricKey, Arc<Histogram>>,
+    helps: BTreeMap<String, String>,
+}
+
+impl RegistryInner {
+    /// The HELP text for `name`: described text if present, otherwise a
+    /// generated fallback so exposition conformance (every family has a
+    /// HELP line) holds even for metrics nobody described.
+    fn help_for(&self, name: &str) -> String {
+        self.helps
+            .get(name)
+            .cloned()
+            .unwrap_or_else(|| format!("{name} (no description registered)"))
+    }
 }
 
 /// A registry of named metrics; clone-cheap handles, render-on-demand.
@@ -130,12 +143,27 @@ impl Registry {
         )
     }
 
+    /// Attach HELP text to the family `name` (sanitized like metric
+    /// registration). Families without a description render a generated
+    /// fallback, so HELP lines are always present.
+    pub fn describe(&self, name: &str, help: &str) {
+        lock(&self.inner)
+            .helps
+            .insert(export::prom_sanitize_name(name), help.to_string());
+    }
+
     /// Render every registered metric as Prometheus text exposition.
     pub fn render_prometheus_into(&self, buf: &mut String) {
         let inner = lock(&self.inner);
         let mut last_type_line = String::new();
         for (key, counter) in &inner.counters {
-            export::prom_type_line(buf, &mut last_type_line, &key.name, "counter");
+            export::prom_type_line(
+                buf,
+                &mut last_type_line,
+                &key.name,
+                "counter",
+                &inner.help_for(&key.name),
+            );
             export::prom_sample(
                 buf,
                 &key.name,
@@ -144,11 +172,23 @@ impl Registry {
             );
         }
         for (key, gauge) in &inner.gauges {
-            export::prom_type_line(buf, &mut last_type_line, &key.name, "gauge");
+            export::prom_type_line(
+                buf,
+                &mut last_type_line,
+                &key.name,
+                "gauge",
+                &inner.help_for(&key.name),
+            );
             export::prom_sample(buf, &key.name, &key.labels, gauge.get());
         }
         for (key, hist) in &inner.hists {
-            export::prom_histogram(buf, &key.name, &key.labels, &hist.snapshot());
+            export::prom_histogram(
+                buf,
+                &key.name,
+                &inner.help_for(&key.name),
+                &key.labels,
+                &hist.snapshot(),
+            );
         }
     }
 }

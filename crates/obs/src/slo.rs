@@ -1,0 +1,542 @@
+//! Declarative SLOs evaluated over multi-window burn rates.
+//!
+//! An [`SloDef`] names an objective (availability, or latency under a
+//! threshold) and a target good-fraction. The [`SloEngine`] tracks one
+//! good/bad event stream per `(definition, label)` pair — labels keep
+//! cardinality bounded because callers only pass route patterns and QoS
+//! class names — in 10-second buckets covering the longest window, and
+//! evaluates Google-SRE-style **burn rates** over 5m / 1h / 6h windows:
+//!
+//! ```text
+//! burn(window) = bad_fraction(window) / (1 - target)
+//! ```
+//!
+//! A burn of 1.0 consumes the error budget exactly at the sustainable
+//! rate; 14.4 empties a 30-day budget in 2 days. An *alert* fires when
+//! the 5m **and** 1h burns both sit at/above their thresholds (the fast
+//! window proves it is happening now, the slow window proves it is not a
+//! blip) and clears only when both drop back below — the symmetric
+//! two-window rule is the anti-flap hysteresis: a single quiet bucket
+//! cannot clear an alert the 1h window still confirms, and a single bad
+//! bucket cannot re-fire one the 1h window no longer supports.
+//!
+//! The engine never reads a clock: every entry point takes `now` as a
+//! [`Duration`] from an epoch the caller owns. The service feeds it from
+//! its injected `Clock`, which is what makes the whole engine — burn
+//! math, window rollover, alert transitions — deterministic under the
+//! simulated clock and therefore testable against a shadow model and
+//! checkable as a chaos invariant.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use crate::export::json_string_into;
+
+/// Width of one accounting bucket. Windows are measured in whole
+/// buckets, so burn rates change at most once per bucket.
+pub const BUCKET: Duration = Duration::from_secs(10);
+
+/// The evaluation windows and their burn-rate thresholds, shortest
+/// first: `(name, window, threshold)`.
+pub const WINDOWS: [(&str, Duration, f64); 3] = [
+    ("5m", Duration::from_secs(300), 14.4),
+    ("1h", Duration::from_secs(3600), 6.0),
+    ("6h", Duration::from_secs(21600), 1.0),
+];
+
+/// What an SLO measures.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SloKind {
+    /// Requests that did not fail server-side are good.
+    Availability,
+    /// Events at or under the threshold are good.
+    Latency {
+        /// The latency bound defining a good event.
+        threshold: Duration,
+    },
+}
+
+/// One declarative objective.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloDef {
+    /// Objective name, e.g. `"availability"` or `"solve_latency"`.
+    pub name: String,
+    /// Target good-fraction in `(0, 1)`, e.g. `0.999`.
+    pub target: f64,
+    /// What good means.
+    pub kind: SloKind,
+}
+
+impl SloDef {
+    /// An availability objective.
+    #[must_use]
+    pub fn availability(name: &str, target: f64) -> SloDef {
+        SloDef {
+            name: name.to_string(),
+            target,
+            kind: SloKind::Availability,
+        }
+    }
+
+    /// A latency objective: events at or under `threshold` are good.
+    #[must_use]
+    pub fn latency(name: &str, target: f64, threshold: Duration) -> SloDef {
+        SloDef {
+            name: name.to_string(),
+            target,
+            kind: SloKind::Latency { threshold },
+        }
+    }
+
+    /// The error-budget fraction `1 - target`, floored away from zero so
+    /// a (misconfigured) target of 1.0 cannot divide by zero.
+    #[must_use]
+    pub fn budget_fraction(&self) -> f64 {
+        (1.0 - self.target).max(1e-9)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Bucket {
+    /// `now / BUCKET` at observation time.
+    index: u64,
+    good: u64,
+    bad: u64,
+}
+
+#[derive(Debug, Clone, Default)]
+struct Tracker {
+    buckets: VecDeque<Bucket>,
+    total_good: u64,
+    total_bad: u64,
+    window_high: [bool; WINDOWS.len()],
+    alerting: bool,
+}
+
+/// How many whole buckets the longest window spans.
+fn horizon_buckets() -> u64 {
+    WINDOWS[WINDOWS.len() - 1].1.as_secs() / BUCKET.as_secs()
+}
+
+impl Tracker {
+    fn observe(&mut self, now: Duration, good: bool) {
+        let index = now.as_secs() / BUCKET.as_secs();
+        match self.buckets.back_mut() {
+            // merge into the newest bucket; a caller handing us a stale
+            // `now` (never under a monotone clock) still lands somewhere
+            Some(b) if b.index >= index => {
+                if good {
+                    b.good += 1;
+                } else {
+                    b.bad += 1;
+                }
+            }
+            _ => self.buckets.push_back(Bucket {
+                index,
+                good: u64::from(good),
+                bad: u64::from(!good),
+            }),
+        }
+        if good {
+            self.total_good += 1;
+        } else {
+            self.total_bad += 1;
+        }
+        self.prune(index);
+    }
+
+    fn prune(&mut self, newest_index: u64) {
+        let horizon = horizon_buckets();
+        while self
+            .buckets
+            .front()
+            .is_some_and(|b| b.index + horizon < newest_index)
+        {
+            self.buckets.pop_front();
+        }
+    }
+
+    /// `(good, bad)` inside the window ending at `now`.
+    fn window_counts(&self, now: Duration, window: Duration) -> (u64, u64) {
+        let now_index = now.as_secs() / BUCKET.as_secs();
+        let window_buckets = window.as_secs() / BUCKET.as_secs();
+        let oldest = now_index.saturating_sub(window_buckets.saturating_sub(1));
+        let mut good = 0;
+        let mut bad = 0;
+        for b in &self.buckets {
+            if b.index >= oldest && b.index <= now_index {
+                good += b.good;
+                bad += b.bad;
+            }
+        }
+        (good, bad)
+    }
+}
+
+/// Burn state of one window at evaluation time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowBurn {
+    /// Window name from [`WINDOWS`] (`"5m"`, `"1h"`, `"6h"`).
+    pub window: String,
+    /// The burn rate over this window (0 when the window saw no events).
+    pub burn: f64,
+    /// The alerting threshold for this window.
+    pub threshold: f64,
+    /// Whether `burn >= threshold`.
+    pub high: bool,
+}
+
+/// The evaluated state of one `(definition, label)` tracker.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloReport {
+    /// The definition's name.
+    pub slo: String,
+    /// The caller-supplied label (route pattern, QoS class, ...).
+    pub label: String,
+    /// The definition's target good-fraction.
+    pub target: f64,
+    /// Cumulative good events since the tracker was created.
+    pub good: u64,
+    /// Cumulative bad events since the tracker was created.
+    pub bad: u64,
+    /// Per-window burn rates, [`WINDOWS`] order.
+    pub windows: Vec<WindowBurn>,
+    /// Fraction of the error budget still unspent over the longest
+    /// window, clamped to `[0, 1]`.
+    pub budget_remaining: f64,
+    /// Whether the two-window page alert is currently firing.
+    pub alerting: bool,
+}
+
+/// All trackers at one evaluation instant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloSnapshot {
+    /// The `now` the snapshot was evaluated at.
+    pub at: Duration,
+    /// One report per `(definition, label)` tracker, definition order
+    /// then label order.
+    pub reports: Vec<SloReport>,
+}
+
+impl SloSnapshot {
+    /// Render as a JSON document (the `GET /slo` body).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256 + self.reports.len() * 256);
+        let _ = write!(out, "{{\"at_us\":{},\"slos\":[", self.at.as_micros());
+        for (i, r) in self.reports.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"slo\":");
+            json_string_into(&mut out, &r.slo);
+            out.push_str(",\"label\":");
+            json_string_into(&mut out, &r.label);
+            let _ = write!(
+                out,
+                ",\"target\":{},\"good\":{},\"bad\":{},\"budget_remaining\":{:.6},\"alerting\":{}",
+                r.target, r.good, r.bad, r.budget_remaining, r.alerting
+            );
+            out.push_str(",\"windows\":[");
+            for (j, w) in r.windows.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(
+                    out,
+                    "{{\"window\":\"{}\",\"burn\":{:.6},\"threshold\":{},\"high\":{}}}",
+                    w.window, w.burn, w.threshold, w.high
+                );
+            }
+            out.push_str("]}");
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// What changed during an [`SloEngine::evaluate`] call — the service
+/// turns these into `slo_burn` / `slo_alert` trace events.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloTransition {
+    /// The definition's name.
+    pub slo: String,
+    /// The tracker label.
+    pub label: String,
+    /// `"burn_high"`, `"burn_ok"`, `"alert_fire"` or `"alert_clear"`.
+    pub what: &'static str,
+    /// The window the transition concerns (empty for alert transitions).
+    pub window: String,
+    /// The burn rate that caused the transition (the 5m burn for alert
+    /// transitions).
+    pub burn: f64,
+}
+
+/// The engine: a set of definitions plus one windowed tracker per
+/// `(definition, label)` pair observed so far.
+#[derive(Debug, Clone, Default)]
+pub struct SloEngine {
+    defs: Vec<SloDef>,
+    trackers: BTreeMap<(usize, String), Tracker>,
+    /// Cumulative count of `alert_fire` transitions, ever.
+    alerts_fired: u64,
+}
+
+impl SloEngine {
+    /// An engine over `defs`. Trackers appear lazily as labels are
+    /// observed.
+    #[must_use]
+    pub fn new(defs: Vec<SloDef>) -> SloEngine {
+        SloEngine {
+            defs,
+            trackers: BTreeMap::new(),
+            alerts_fired: 0,
+        }
+    }
+
+    /// The definitions this engine evaluates.
+    #[must_use]
+    pub fn defs(&self) -> &[SloDef] {
+        &self.defs
+    }
+
+    /// Record one good/bad event for definition `def_index` under
+    /// `label` at time `now`. Out-of-range indices are ignored.
+    pub fn observe(&mut self, def_index: usize, label: &str, now: Duration, good: bool) {
+        if def_index >= self.defs.len() {
+            return;
+        }
+        self.trackers
+            .entry((def_index, label.to_string()))
+            .or_default()
+            .observe(now, good);
+    }
+
+    /// Record a latency sample against a [`SloKind::Latency`]
+    /// definition: good iff `latency <= threshold`. Ignored for
+    /// availability definitions (use [`SloEngine::observe`]).
+    pub fn observe_latency(
+        &mut self,
+        def_index: usize,
+        label: &str,
+        now: Duration,
+        latency: Duration,
+    ) {
+        let Some(def) = self.defs.get(def_index) else {
+            return;
+        };
+        let SloKind::Latency { threshold } = def.kind else {
+            return;
+        };
+        self.observe(def_index, label, now, latency <= threshold);
+    }
+
+    /// Cumulative count of alert-fire transitions since engine creation.
+    #[must_use]
+    pub fn alerts_fired(&self) -> u64 {
+        self.alerts_fired
+    }
+
+    /// Evaluate every tracker at `now`: recompute window burns, update
+    /// the alert state machines, and return the snapshot plus the
+    /// transitions that happened during this call.
+    pub fn evaluate(&mut self, now: Duration) -> (SloSnapshot, Vec<SloTransition>) {
+        let mut reports = Vec::with_capacity(self.trackers.len());
+        let mut transitions = Vec::new();
+        for ((def_index, label), tracker) in &mut self.trackers {
+            let def = &self.defs[*def_index];
+            tracker.prune(now.as_secs() / BUCKET.as_secs());
+            let mut windows = Vec::with_capacity(WINDOWS.len());
+            for (i, (wname, wlen, threshold)) in WINDOWS.iter().enumerate() {
+                let (good, bad) = tracker.window_counts(now, *wlen);
+                let total = good + bad;
+                let burn = if total == 0 {
+                    0.0
+                } else {
+                    #[allow(clippy::cast_precision_loss)]
+                    let bad_fraction = bad as f64 / total as f64;
+                    bad_fraction / def.budget_fraction()
+                };
+                let high = burn >= *threshold;
+                if high != tracker.window_high[i] {
+                    tracker.window_high[i] = high;
+                    transitions.push(SloTransition {
+                        slo: def.name.clone(),
+                        label: label.clone(),
+                        what: if high { "burn_high" } else { "burn_ok" },
+                        window: (*wname).to_string(),
+                        burn,
+                    });
+                }
+                windows.push(WindowBurn {
+                    window: (*wname).to_string(),
+                    burn,
+                    threshold: *threshold,
+                    high,
+                });
+            }
+            // Two-window page rule: 5m AND 1h at/above threshold.
+            let page = windows[0].high && windows[1].high;
+            if page != tracker.alerting {
+                tracker.alerting = page;
+                if page {
+                    self.alerts_fired += 1;
+                }
+                transitions.push(SloTransition {
+                    slo: def.name.clone(),
+                    label: label.clone(),
+                    what: if page { "alert_fire" } else { "alert_clear" },
+                    window: String::new(),
+                    burn: windows[0].burn,
+                });
+            }
+            // Budget over the longest window.
+            let (good6, bad6) = tracker.window_counts(now, WINDOWS[WINDOWS.len() - 1].1);
+            let total6 = good6 + bad6;
+            let budget_remaining = if total6 == 0 {
+                1.0
+            } else {
+                #[allow(clippy::cast_precision_loss)]
+                let allowed = total6 as f64 * def.budget_fraction();
+                #[allow(clippy::cast_precision_loss)]
+                let spent = bad6 as f64;
+                (1.0 - spent / allowed).clamp(0.0, 1.0)
+            };
+            reports.push(SloReport {
+                slo: def.name.clone(),
+                label: label.clone(),
+                target: def.target,
+                good: tracker.total_good,
+                bad: tracker.total_bad,
+                windows,
+                budget_remaining,
+                alerting: tracker.alerting,
+            });
+        }
+        (SloSnapshot { at: now, reports }, transitions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine() -> SloEngine {
+        SloEngine::new(vec![
+            SloDef::availability("availability", 0.99),
+            SloDef::latency("latency", 0.99, Duration::from_millis(100)),
+        ])
+    }
+
+    #[test]
+    fn clean_stream_never_burns_or_alerts() {
+        let mut e = engine();
+        for s in 0..600 {
+            e.observe(0, "GET /x", Duration::from_secs(s), true);
+        }
+        let (snap, transitions) = e.evaluate(Duration::from_secs(600));
+        assert!(transitions.is_empty());
+        let r = &snap.reports[0];
+        assert!(!r.alerting);
+        assert!((r.budget_remaining - 1.0).abs() < 1e-12);
+        assert!(r.windows.iter().all(|w| w.burn == 0.0));
+        assert_eq!(e.alerts_fired(), 0);
+    }
+
+    #[test]
+    fn sustained_failures_fire_then_heal_clears() {
+        let mut e = engine();
+        // all-bad for 10 minutes: every window burns at 1/budget = 100x
+        for s in 0..600 {
+            e.observe(0, "r", Duration::from_secs(s), false);
+        }
+        let (snap, transitions) = e.evaluate(Duration::from_secs(600));
+        assert!(snap.reports[0].alerting);
+        assert!(transitions.iter().any(|t| t.what == "alert_fire"));
+        assert_eq!(e.alerts_fired(), 1);
+        assert_eq!(snap.reports[0].budget_remaining, 0.0);
+        // heal: all-good traffic for over an hour pushes both the 5m and
+        // the 1h burn below threshold and the alert clears exactly once
+        let mut cleared = 0;
+        for s in 600..6000 {
+            e.observe(0, "r", Duration::from_secs(s), true);
+            let (_, trs) = e.evaluate(Duration::from_secs(s));
+            cleared += trs.iter().filter(|t| t.what == "alert_clear").count();
+            assert!(
+                !trs.iter().any(|t| t.what == "alert_fire"),
+                "healing must not re-fire at t={s}"
+            );
+        }
+        assert_eq!(cleared, 1, "the alert clears exactly once while healing");
+        assert_eq!(e.alerts_fired(), 1);
+    }
+
+    #[test]
+    fn window_rollover_forgets_old_badness() {
+        let mut e = engine();
+        for s in 0..60 {
+            e.observe(0, "r", Duration::from_secs(s), false);
+        }
+        // seven hours later the 6h window no longer sees the burst
+        let later = Duration::from_secs(7 * 3600);
+        e.observe(0, "r", later, true);
+        let (snap, _) = e.evaluate(later);
+        let r = &snap.reports[0];
+        assert!(r.windows.iter().all(|w| w.burn == 0.0), "{:?}", r.windows);
+        assert_eq!(r.bad, 60, "cumulative totals never roll over");
+    }
+
+    #[test]
+    fn latency_kind_classifies_against_threshold() {
+        let mut e = engine();
+        let now = Duration::from_secs(1);
+        e.observe_latency(1, "interactive", now, Duration::from_millis(50));
+        e.observe_latency(1, "interactive", now, Duration::from_millis(500));
+        let (snap, _) = e.evaluate(now);
+        let r = snap
+            .reports
+            .iter()
+            .find(|r| r.slo == "latency")
+            .expect("tracker");
+        assert_eq!((r.good, r.bad), (1, 1));
+        // observe_latency against an availability def is ignored
+        e.observe_latency(0, "x", now, Duration::from_millis(1));
+        let (snap, _) = e.evaluate(now);
+        assert!(!snap.reports.iter().any(|r| r.label == "x"));
+    }
+
+    #[test]
+    fn snapshot_renders_parseable_json() {
+        let mut e = engine();
+        e.observe(0, "GET /jobs/{id}", Duration::from_secs(5), true);
+        e.observe(0, "GET /jobs/{id}", Duration::from_secs(6), false);
+        let (snap, _) = e.evaluate(Duration::from_secs(10));
+        let json = snap.to_json();
+        let doc = crate::parse_json(&json).expect("valid JSON");
+        let slos = doc
+            .get("slos")
+            .and_then(crate::Json::as_arr)
+            .expect("slos array");
+        assert_eq!(slos.len(), 1);
+        let r = &slos[0];
+        assert_eq!(
+            r.get("label").and_then(crate::Json::as_str),
+            Some("GET /jobs/{id}")
+        );
+        let windows = r
+            .get("windows")
+            .and_then(crate::Json::as_arr)
+            .expect("windows");
+        assert_eq!(windows.len(), 3);
+    }
+
+    #[test]
+    fn bucket_merge_handles_stale_now() {
+        let mut t = Tracker::default();
+        t.observe(Duration::from_secs(100), true);
+        t.observe(Duration::from_secs(95), false); // stale: merges into newest
+        assert_eq!(t.buckets.len(), 1);
+        assert_eq!((t.total_good, t.total_bad), (1, 1));
+    }
+}

@@ -294,6 +294,11 @@ struct ActiveSpan {
     tid: u64,
     rec: SpanRecorder,
     attrs: Vec<(&'static str, AttrValue)>,
+    /// Subsystem attribution label to restore when this span closes.
+    prev_subsystem: u8,
+    /// `alloc::thread_allocated_bytes()` at span entry; the delta at
+    /// exit becomes the span's `alloc_bytes` attribute.
+    alloc_at_enter: u64,
 }
 
 /// Times a region of code; records a [`SpanEvent`] when dropped.
@@ -321,10 +326,16 @@ impl SpanGuard {
 
 impl Drop for SpanGuard {
     fn drop(&mut self) {
-        let Some(active) = self.active.take() else {
+        let Some(mut active) = self.active.take() else {
             return;
         };
         let end_us = active.rec.now_us();
+        crate::alloc::set_subsystem(active.prev_subsystem);
+        if crate::alloc::tracking_enabled() {
+            let delta =
+                crate::alloc::thread_allocated_bytes().saturating_sub(active.alloc_at_enter);
+            active.attrs.push(("alloc_bytes", AttrValue::Uint(delta)));
+        }
         CURRENT.with(|c| {
             if let Some(slot) = c.borrow_mut().as_mut() {
                 // Tolerate out-of-order drops: pop through our id if present.
@@ -370,6 +381,10 @@ fn span_slow(name: &'static str) -> SpanGuard {
         let id = slot.rec.inner.next_id.fetch_add(1, Ordering::Relaxed);
         let parent = slot.current_parent();
         slot.stack.push(id);
+        // Attribute allocations made while this span is innermost to its
+        // subsystem. The label lives in a Cell-based thread-local the
+        // allocator can read without touching this RefCell.
+        let prev_subsystem = crate::alloc::set_subsystem(crate::alloc::subsystem_of(name));
         Some(ActiveSpan {
             id,
             start_us: slot.rec.now_us(),
@@ -378,6 +393,8 @@ fn span_slow(name: &'static str) -> SpanGuard {
             tid: slot.tid,
             rec: slot.rec.clone(),
             attrs: Vec::new(),
+            prev_subsystem,
+            alloc_at_enter: crate::alloc::thread_allocated_bytes(),
         })
     });
     SpanGuard {

@@ -9,7 +9,7 @@
 use std::sync::Mutex;
 use std::thread;
 
-use columba_obs::export::{prom_sample, prom_sanitize_name};
+use columba_obs::export::{prom_sample, prom_sanitize_name, prom_type_line};
 use columba_obs::hist::{bucket_bounds_us, bucket_index, Histogram, NUM_BOUNDS};
 use columba_obs::{
     parse_json, parse_prometheus, validate_chrome_trace, Json, SpanContext, SpanRecorder,
@@ -127,6 +127,14 @@ fn prometheus_escaping_round_trips_through_the_parser() {
         let value = random_label_value(&mut rng);
         let other = random_label_value(&mut rng);
         let mut buf = String::new();
+        let mut last = String::new();
+        prom_type_line(
+            &mut buf,
+            &mut last,
+            "columba_prop_test",
+            "gauge",
+            "prop test",
+        );
         prom_sample(
             &mut buf,
             "columba_prop_test",
@@ -155,6 +163,8 @@ fn sanitized_names_always_parse() {
         let raw = random_label_value(&mut rng);
         let name = prom_sanitize_name(&raw);
         let mut buf = String::new();
+        let mut last = String::new();
+        prom_type_line(&mut buf, &mut last, &name, "gauge", "sanitized name");
         prom_sample(&mut buf, &name, &[], 1.0);
         let samples = parse_prometheus(&buf).unwrap_or_else(|e| panic!("{raw:?} -> {name:?}: {e}"));
         assert_eq!(samples[0].name, name);

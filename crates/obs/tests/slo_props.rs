@@ -1,0 +1,262 @@
+//! Seeded property tests for the SLO engine against a shadow model.
+//!
+//! The shadow model keeps the *entire* event log and recomputes every
+//! window sum from scratch at each evaluation, using the same 10-second
+//! bucketization as the engine. The engine's incremental ring must agree
+//! exactly — same burns, same alert state, same cumulative totals —
+//! under randomized good/bad streams with bursts, gaps, and long idle
+//! stretches. All randomness comes from `columba-prng` with fixed seeds.
+
+use std::time::Duration;
+
+use columba_obs::slo::{BUCKET, WINDOWS};
+use columba_obs::{SloDef, SloEngine};
+use columba_prng::Rng;
+
+/// Replays the full event log per evaluation — O(n) per call, but
+/// obviously correct: no ring, no pruning, no incremental state beyond
+/// the alert latches (which follow the spec's two-window rule directly).
+struct ShadowModel {
+    def: SloDef,
+    /// `(bucket_index, good)` for every event ever observed.
+    events: Vec<(u64, bool)>,
+    window_high: [bool; WINDOWS.len()],
+    alerting: bool,
+    fires: u64,
+}
+
+impl ShadowModel {
+    fn new(def: SloDef) -> ShadowModel {
+        ShadowModel {
+            def,
+            events: Vec::new(),
+            window_high: [false; WINDOWS.len()],
+            alerting: false,
+            fires: 0,
+        }
+    }
+
+    fn observe(&mut self, now: Duration, good: bool) {
+        self.events.push((now.as_secs() / BUCKET.as_secs(), good));
+    }
+
+    fn window_counts(&self, now: Duration, window: Duration) -> (u64, u64) {
+        let now_index = now.as_secs() / BUCKET.as_secs();
+        let window_buckets = window.as_secs() / BUCKET.as_secs();
+        let oldest = now_index.saturating_sub(window_buckets.saturating_sub(1));
+        let mut good = 0;
+        let mut bad = 0;
+        for &(index, g) in &self.events {
+            // Stale-merge rule: the engine folds an out-of-order event
+            // into its newest bucket. The streams below are monotone, so
+            // no clamping is needed here.
+            if index >= oldest && index <= now_index {
+                if g {
+                    good += 1;
+                } else {
+                    bad += 1;
+                }
+            }
+        }
+        (good, bad)
+    }
+
+    /// `(per-window burns, alerting, budget_remaining)` at `now`.
+    fn evaluate(&mut self, now: Duration) -> ([f64; WINDOWS.len()], bool, f64) {
+        let budget = (1.0 - self.def.target).max(1e-9);
+        let mut burns = [0.0; WINDOWS.len()];
+        for (i, (_, wlen, threshold)) in WINDOWS.iter().enumerate() {
+            let (good, bad) = self.window_counts(now, *wlen);
+            let total = good + bad;
+            if total > 0 {
+                burns[i] = (bad as f64 / total as f64) / budget;
+            }
+            self.window_high[i] = burns[i] >= *threshold;
+        }
+        let page = self.window_high[0] && self.window_high[1];
+        if page && !self.alerting {
+            self.fires += 1;
+        }
+        self.alerting = page;
+        let (good6, bad6) = self.window_counts(now, WINDOWS[WINDOWS.len() - 1].1);
+        let total6 = good6 + bad6;
+        let remaining = if total6 == 0 {
+            1.0
+        } else {
+            (1.0 - bad6 as f64 / (total6 as f64 * budget)).clamp(0.0, 1.0)
+        };
+        (burns, self.alerting, remaining)
+    }
+}
+
+/// One randomized stream: alternating good/bad phases with random phase
+/// lengths, event rates, and occasional long gaps (window rollover).
+fn run_stream(seed: u64, steps: usize) {
+    let mut rng = Rng::seed_from_u64(seed);
+    let target = [0.9, 0.99, 0.999][rng.gen_range(0..3usize)];
+    let def = SloDef::availability("availability", target);
+    let mut engine = SloEngine::new(vec![def.clone()]);
+    let mut shadow = ShadowModel::new(def);
+
+    let mut now = Duration::ZERO;
+    let mut prev_total: u64 = 0;
+    for step in 0..steps {
+        // advance time: mostly seconds, sometimes minutes, rarely hours
+        let advance = match rng.gen_range(0..20u64) {
+            0 => Duration::from_secs(rng.gen_range(600..7 * 3600u64)),
+            1..=4 => Duration::from_secs(rng.gen_range(60..600u64)),
+            _ => Duration::from_secs(rng.gen_range(1..30u64)),
+        };
+        now += advance;
+        // a burst of events in the current phase
+        let bad_phase = rng.gen_bool(0.3);
+        for _ in 0..rng.gen_range(0..40u64) {
+            let good = if bad_phase {
+                rng.gen_bool(0.2)
+            } else {
+                rng.gen_bool(0.995)
+            };
+            engine.observe(0, "r", now, good);
+            shadow.observe(now, good);
+        }
+
+        let (snap, _) = engine.evaluate(now);
+        let (burns, alerting, remaining) = shadow.evaluate(now);
+        let r = &snap.reports[0];
+        for (i, w) in r.windows.iter().enumerate() {
+            assert_eq!(
+                w.burn.to_bits(),
+                burns[i].to_bits(),
+                "seed {seed} step {step}: {} burn diverged (engine {} shadow {})",
+                w.window,
+                w.burn,
+                burns[i]
+            );
+        }
+        assert_eq!(
+            r.alerting, alerting,
+            "seed {seed} step {step}: alert state diverged"
+        );
+        assert_eq!(
+            r.budget_remaining.to_bits(),
+            remaining.to_bits(),
+            "seed {seed} step {step}: budget diverged"
+        );
+        assert_eq!(
+            engine.alerts_fired(),
+            shadow.fires,
+            "seed {seed} step {step}"
+        );
+
+        // cumulative totals are monotone and never roll over
+        let total = r.good + r.bad;
+        assert!(
+            total >= prev_total,
+            "seed {seed} step {step}: totals shrank"
+        );
+        prev_total = total;
+    }
+}
+
+#[test]
+fn engine_matches_shadow_model_on_random_streams() {
+    for seed in [1u64, 2, 3, 5, 8, 13, 21, 34, 55, 89] {
+        run_stream(seed, 300);
+    }
+}
+
+#[test]
+fn error_budget_moves_with_the_event_not_against_it() {
+    // Within a window (no rollover between the two evaluations), a bad
+    // event can only lower budget_remaining and a good event can only
+    // raise it — the budget never moves against the event that arrived.
+    let mut rng = Rng::seed_from_u64(0x51_0b);
+    let mut engine = SloEngine::new(vec![SloDef::availability("availability", 0.9)]);
+    let mut now = Duration::ZERO;
+    for _ in 0..300 {
+        now += Duration::from_secs(rng.gen_range(1..5u64));
+        let (before, _) = engine.evaluate(now);
+        let prev = before.reports.first().map_or(1.0, |r| r.budget_remaining);
+        let good = rng.gen_bool(0.7);
+        engine.observe(0, "r", now, good);
+        let (after, _) = engine.evaluate(now);
+        let remaining = after.reports[0].budget_remaining;
+        if good {
+            assert!(
+                remaining >= prev - 1e-12,
+                "good event lowered the budget: {prev} -> {remaining} at {now:?}"
+            );
+        } else {
+            assert!(
+                remaining <= prev + 1e-12,
+                "bad event raised the budget: {prev} -> {remaining} at {now:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn alerts_never_flap_across_probe_heal_cycles() {
+    // Mimic a breaker probe/heal cycle: short bad bursts (probes hitting
+    // a broken backend) separated by good traffic. The two-window rule
+    // must not fire/clear/fire on every burst — transitions are bounded
+    // by the number of genuine state changes, not the number of bursts.
+    let mut engine = SloEngine::new(vec![SloDef::availability("availability", 0.99)]);
+    let mut fires = 0u64;
+    let mut clears = 0u64;
+    let mut now = Duration::ZERO;
+    // Phase 1: hard outage for 20 minutes -> exactly one fire.
+    for _ in 0..120 {
+        now += Duration::from_secs(10);
+        for _ in 0..10 {
+            engine.observe(0, "r", now, false);
+        }
+        let (_, trs) = engine.evaluate(now);
+        fires += trs.iter().filter(|t| t.what == "alert_fire").count() as u64;
+        clears += trs.iter().filter(|t| t.what == "alert_clear").count() as u64;
+    }
+    assert_eq!((fires, clears), (1, 0), "outage fires exactly once");
+    // Phase 2: recovery with periodic probe failures (1 bad per 30s of
+    // otherwise-good traffic) for two hours -> exactly one clear, and no
+    // re-fire triggered by any individual probe failure.
+    for i in 0..720u64 {
+        now += Duration::from_secs(10);
+        for _ in 0..20 {
+            engine.observe(0, "r", now, true);
+        }
+        if i % 3 == 0 {
+            engine.observe(0, "r", now, false);
+        }
+        let (_, trs) = engine.evaluate(now);
+        fires += trs.iter().filter(|t| t.what == "alert_fire").count() as u64;
+        clears += trs.iter().filter(|t| t.what == "alert_clear").count() as u64;
+    }
+    assert_eq!(
+        (fires, clears),
+        (1, 1),
+        "probe/heal cycles must not flap the alert"
+    );
+    assert_eq!(engine.alerts_fired(), 1);
+}
+
+#[test]
+fn rollover_returns_burn_to_zero_after_quiet_gap() {
+    let mut engine = SloEngine::new(vec![SloDef::availability("availability", 0.999)]);
+    let mut now = Duration::from_secs(1);
+    for _ in 0..100 {
+        engine.observe(0, "r", now, false);
+    }
+    let (snap, _) = engine.evaluate(now);
+    assert!(snap.reports[0].windows.iter().all(|w| w.burn > 0.0));
+    // jump past the 6h horizon with no traffic at all
+    now += WINDOWS[WINDOWS.len() - 1].1 + Duration::from_secs(60);
+    let (snap, _) = engine.evaluate(now);
+    let r = &snap.reports[0];
+    assert!(
+        r.windows.iter().all(|w| w.burn == 0.0),
+        "old badness leaked past the horizon: {:?}",
+        r.windows
+    );
+    assert!((r.budget_remaining - 1.0).abs() < 1e-12);
+    assert_eq!(r.bad, 100, "cumulative counters survive rollover");
+}

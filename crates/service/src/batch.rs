@@ -166,6 +166,7 @@ mod tests {
             design: None,
             durable: false,
             schedule: None,
+            peak_alloc_bytes: None,
         }
     }
 

@@ -13,6 +13,8 @@
 //! columba-serve --persist-retries 2     # retries per persist write
 //! columba-serve --watchdog-grace-secs 30 # grace past deadline before cancel
 //! columba-serve --storage-policy spill   # assay storage policy (dedicated|distributed|spill)
+//! columba-serve --trace-keep-slow-secs 30 # tail sampling: keep traces of solves this slow
+//! columba-serve --trace-head-sample 10    # keep 1 in N fast clean job traces (default 1: all)
 //! ```
 //!
 //! Prints exactly one `listening on <addr>` line on stdout once bound,
@@ -47,6 +49,8 @@ const VALUE_FLAGS: &[&str] = &[
     "--persist-retries",
     "--watchdog-grace-secs",
     "--storage-policy",
+    "--trace-keep-slow-secs",
+    "--trace-head-sample",
 ];
 
 fn usize_flag(args: &[String], name: &str, default: usize) -> usize {
@@ -170,6 +174,8 @@ fn main() {
         breaker,
         watchdog_grace,
         schedule,
+        trace_keep_slow: Duration::from_secs(usize_flag(&args, "--trace-keep-slow-secs", 30) as u64),
+        trace_head_sample: usize_flag(&args, "--trace-head-sample", 1) as u64,
         ..ServiceConfig::default()
     }) {
         Ok(service) => Arc::new(service),

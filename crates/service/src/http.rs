@@ -28,6 +28,7 @@
 //! | `GET`    | `/batch/<id>/events`  | live SSE group progress (chunked)     |
 //! | `GET`    | `/metrics`            | flat counters                         |
 //! | `GET`    | `/metrics?format=prometheus` | Prometheus text exposition     |
+//! | `GET`    | `/slo`                | SLO burn rates + error budgets (JSON) |
 //! | `GET`    | `/profile`            | recent HTTP request spans (Chrome)    |
 //! | `GET`    | `/healthz`            | JSON readiness report (`503` while    |
 //! |          |                       | recovering, with `Retry-After`)       |
@@ -660,6 +661,7 @@ fn route_label(req: &Request) -> &'static str {
         (Method::Get, ["batch", _]) => "GET /batch/{id}",
         (Method::Get, ["batch", _, "events"]) => "GET /batch/{id}/events",
         (Method::Get, ["metrics"]) => "GET /metrics",
+        (Method::Get, ["slo"]) => "GET /slo",
         (Method::Get, ["profile"]) => "GET /profile",
         (Method::Get, ["healthz"]) => "GET /healthz",
         _ => "other",
@@ -896,6 +898,7 @@ fn route_inner(service: &Service, req: Request) -> Result<Response, Routed> {
                 Response::text(200, service.metrics().render())
             }
         }
+        (Method::Get, ["slo"]) => Response::json(service.slo_snapshot().to_json()),
         (Method::Get, ["profile"]) => Response::json(service.http_profile()),
         (Method::Get, ["healthz"]) => {
             // deliberately never blocks on readiness: this is the one

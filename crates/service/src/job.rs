@@ -143,6 +143,10 @@ pub struct JobStatus {
     /// Scheduling stats when the submission was an assay (behavioral)
     /// text that went through the `columba-schedule` front end.
     pub schedule: Option<columba_schedule::ScheduleStats>,
+    /// Peak bytes the worker thread held live while running this job,
+    /// measured by the tracking allocator. `None` until the job ran, and
+    /// always `None` when the `alloc-track` feature is compiled out.
+    pub peak_alloc_bytes: Option<u64>,
 }
 
 impl JobStatus {
@@ -192,6 +196,9 @@ impl JobStatus {
             );
             let _ = writeln!(s, "solved_in_us {}", design.solved_in.as_micros());
         }
+        if let Some(peak) = self.peak_alloc_bytes {
+            let _ = writeln!(s, "peak_alloc_bytes {peak}");
+        }
         s
     }
 }
@@ -233,11 +240,13 @@ mod tests {
             design: None,
             durable: false,
             schedule: None,
+            peak_alloc_bytes: Some(1024),
         };
         let text = status.render();
         assert!(text.contains("id 3\n"), "{text}");
         assert!(text.contains("state failed\n"), "{text}");
         assert!(text.contains("elapsed_us 42\n"), "{text}");
         assert!(text.contains("error line 1: bad\n"), "{text}");
+        assert!(text.contains("peak_alloc_bytes 1024\n"), "{text}");
     }
 }

@@ -16,8 +16,10 @@
 
 use std::time::Duration;
 
-use columba_obs::export::{prom_histogram, prom_sample, prom_type_line};
-use columba_obs::HistSnapshot;
+use columba_obs::export::{
+    prom_histogram, prom_histogram_ex, prom_sample, prom_type_line, HistExemplar,
+};
+use columba_obs::{AllocStats, HistSnapshot};
 use columba_s::SolveStats;
 
 use crate::cache::CacheStats;
@@ -108,8 +110,20 @@ pub struct MetricsSnapshot {
     pub trace_events_evicted: u64,
     /// Profiling span events dropped by bounded per-job span recorders.
     pub profile_events_dropped: u64,
+    /// Job traces discarded by the tail-sampling policy (fast, clean,
+    /// and not head-sampled).
+    pub traces_sampled_out: u64,
+    /// SLO burn-rate page alerts fired since start (cumulative).
+    pub slo_alerts_fired: u64,
+    /// Allocator-level memory accounting from the tracking global
+    /// allocator (all zeros when the `alloc-track` feature is off).
+    pub alloc: AllocStats,
     /// Wall-clock latency of completed non-cache-hit solves.
     pub solve_hist: HistSnapshot,
+    /// Exemplars for `solve_hist` buckets: `(bucket, job id, seconds)`
+    /// for the last *retained* job that landed in each bucket, so a bad
+    /// percentile links to a job whose trace is still resolvable.
+    pub solve_exemplars: Vec<HistExemplar>,
     /// HTTP request service latency (read + route + write).
     pub http_hist: HistSnapshot,
     /// HTTP requests by `(route label, status, count)`, label-sorted.
@@ -206,6 +220,25 @@ impl MetricsSnapshot {
             "profile_events_dropped",
             self.profile_events_dropped.to_string(),
         );
+        line("traces_sampled_out", self.traces_sampled_out.to_string());
+        line("slo_alerts_fired", self.slo_alerts_fired.to_string());
+        line("alloc_live_bytes", self.alloc.live_bytes.to_string());
+        line(
+            "alloc_peak_live_bytes",
+            self.alloc.peak_live_bytes.to_string(),
+        );
+        line("alloc_live_allocs", self.alloc.live_allocs.to_string());
+        line("alloc_total_allocs", self.alloc.total_allocs.to_string());
+        line(
+            "alloc_total_alloc_bytes",
+            self.alloc.total_alloc_bytes.to_string(),
+        );
+        for sub in &self.alloc.subsystems {
+            line(
+                &format!("alloc_subsystem_bytes_{}", sub.name),
+                sub.bytes.to_string(),
+            );
+        }
         line("solve_latency_count", self.solve_hist.count.to_string());
         let (p50, p90, p99) = self.solve_hist.percentiles_us();
         line("solve_seconds_p50", format!("{:.6}", p50 / 1e6));
@@ -229,255 +262,382 @@ impl MetricsSnapshot {
     pub fn render_prometheus(&self) -> String {
         let mut s = String::with_capacity(8192);
         let mut last = String::new();
-        let counter = |s: &mut String, last: &mut String, name: &str, v: f64| {
-            prom_type_line(s, last, name, "counter");
+        let counter = |s: &mut String, last: &mut String, name: &str, help: &str, v: f64| {
+            prom_type_line(s, last, name, "counter", help);
             prom_sample(s, name, &[], v);
         };
-        let gauge = |s: &mut String, last: &mut String, name: &str, v: f64| {
-            prom_type_line(s, last, name, "gauge");
+        let gauge = |s: &mut String, last: &mut String, name: &str, help: &str, v: f64| {
+            prom_type_line(s, last, name, "gauge", help);
             prom_sample(s, name, &[], v);
         };
         #[allow(clippy::cast_precision_loss)]
         let f = |v: u64| v as f64;
         #[allow(clippy::cast_precision_loss)]
         let fu = |v: usize| v as f64;
+        let c = &mut s;
+        let l = &mut last;
         counter(
-            &mut s,
-            &mut last,
+            c,
+            l,
             "columba_cache_hits_total",
+            "Design cache hits",
             f(self.cache.hits),
         );
         counter(
-            &mut s,
-            &mut last,
+            c,
+            l,
             "columba_cache_misses_total",
+            "Design cache misses",
             f(self.cache.misses),
         );
         counter(
-            &mut s,
-            &mut last,
+            c,
+            l,
             "columba_cache_evictions_total",
+            "Design cache LRU evictions",
             f(self.cache.evictions),
         );
         gauge(
-            &mut s,
-            &mut last,
+            c,
+            l,
             "columba_cache_entries",
+            "Design cache entries",
             fu(self.cache.entries),
         );
         gauge(
-            &mut s,
-            &mut last,
+            c,
+            l,
             "columba_cache_bytes",
+            "Design cache bytes held",
             fu(self.cache.bytes),
         );
         gauge(
-            &mut s,
-            &mut last,
+            c,
+            l,
             "columba_queue_depth",
+            "Jobs waiting for a worker",
             fu(self.queue_depth),
         );
-        prom_type_line(&mut s, &mut last, "columba_queue_class_depth", "gauge");
+        prom_type_line(
+            c,
+            l,
+            "columba_queue_class_depth",
+            "gauge",
+            "Jobs waiting for a worker by QoS class",
+        );
         prom_sample(
-            &mut s,
+            c,
             "columba_queue_class_depth",
             &[("class".to_string(), "interactive".to_string())],
             fu(self.queue_depth_interactive),
         );
         prom_sample(
-            &mut s,
+            c,
             "columba_queue_class_depth",
             &[("class".to_string(), "bulk".to_string())],
             fu(self.queue_depth_bulk),
         );
         gauge(
-            &mut s,
-            &mut last,
+            c,
+            l,
             "columba_queue_capacity",
+            "Interactive admission-control bound",
             fu(self.queue_capacity),
         );
         gauge(
-            &mut s,
-            &mut last,
+            c,
+            l,
             "columba_bulk_queue_capacity",
+            "Bulk admission-control bound",
             fu(self.bulk_queue_capacity),
         );
         counter(
-            &mut s,
-            &mut last,
+            c,
+            l,
             "columba_queue_rejected_total",
+            "Submissions rejected by admission control",
             f(self.rejected),
         );
         counter(
-            &mut s,
-            &mut last,
+            c,
+            l,
             "columba_batches_submitted_total",
+            "Batch groups admitted",
             f(self.batches_submitted),
         );
         counter(
-            &mut s,
-            &mut last,
+            c,
+            l,
             "columba_batch_members_total",
+            "Batch members received including duplicates",
             f(self.batch_members),
         );
         counter(
-            &mut s,
-            &mut last,
+            c,
+            l,
             "columba_batch_dedup_hits_total",
+            "Batch members collapsed onto another member's job",
             f(self.batch_dedup_hits),
         );
         gauge(
-            &mut s,
-            &mut last,
+            c,
+            l,
             "columba_batches_live",
+            "Batch groups tracked",
             fu(self.batches_live),
         );
         gauge(
-            &mut s,
-            &mut last,
+            c,
+            l,
             "columba_jobs_queued",
+            "Jobs currently queued",
             fu(self.jobs_queued),
         );
         gauge(
-            &mut s,
-            &mut last,
+            c,
+            l,
             "columba_jobs_running",
+            "Jobs currently running",
             fu(self.jobs_running),
         );
         counter(
-            &mut s,
-            &mut last,
+            c,
+            l,
             "columba_jobs_done_total",
+            "Jobs finished with a design",
             fu(self.jobs_done),
         );
         counter(
-            &mut s,
-            &mut last,
+            c,
+            l,
             "columba_jobs_failed_total",
+            "Jobs failed",
             fu(self.jobs_failed),
         );
         counter(
-            &mut s,
-            &mut last,
+            c,
+            l,
             "columba_jobs_cancelled_total",
+            "Jobs cancelled",
             fu(self.jobs_cancelled),
         );
-        gauge(&mut s, &mut last, "columba_workers", fu(self.workers));
+        gauge(
+            c,
+            l,
+            "columba_workers",
+            "Worker threads in the pool",
+            fu(self.workers),
+        );
         counter(
-            &mut s,
-            &mut last,
+            c,
+            l,
             "columba_worker_panics_total",
+            "Worker panics contained by the pool",
             f(self.worker_panics),
         );
         counter(
-            &mut s,
-            &mut last,
+            c,
+            l,
             "columba_drc_rejected_total",
+            "Designs rejected by the post-synthesis DRC gate",
             f(self.drc_rejected),
         );
         counter(
-            &mut s,
-            &mut last,
+            c,
+            l,
             "columba_assay_jobs_total",
+            "Assay submissions through the schedule front end",
             f(self.assay_jobs),
         );
         counter(
-            &mut s,
-            &mut last,
+            c,
+            l,
             "columba_storage_ops_inserted_total",
+            "Storage operations inserted for idle fluids",
             f(self.storage_ops_inserted),
         );
         counter(
-            &mut s,
-            &mut last,
+            c,
+            l,
             "columba_persist_errors_total",
+            "Persist-layer write failures",
             f(self.persist_errors),
         );
         counter(
-            &mut s,
-            &mut last,
+            c,
+            l,
             "columba_journal_compactions_total",
+            "Journal compactions run",
             f(self.compactions),
         );
         counter(
-            &mut s,
-            &mut last,
+            c,
+            l,
             "columba_persist_retries_total",
+            "Persist-write retries by the self-healing supervisor",
             f(self.persist_retries),
         );
         counter(
-            &mut s,
-            &mut last,
+            c,
+            l,
             "columba_breaker_trips_total",
+            "Persist breaker trips into degraded mode",
             f(self.breaker_trips),
         );
         gauge(
-            &mut s,
-            &mut last,
+            c,
+            l,
             "columba_breaker_state",
+            "Breaker state: 0 closed, 1 open, 2 half-open",
             f(self.breaker_state),
         );
         counter(
-            &mut s,
-            &mut last,
+            c,
+            l,
             "columba_degraded_seconds_total",
+            "Seconds spent in degraded (volatile) mode",
             self.degraded_seconds,
         );
         counter(
-            &mut s,
-            &mut last,
+            c,
+            l,
             "columba_watchdog_cancels_total",
+            "Stuck jobs cancelled by the watchdog",
             f(self.watchdog_cancels),
         );
         counter(
-            &mut s,
-            &mut last,
+            c,
+            l,
             "columba_solve_nodes_total",
+            "Branch-and-bound nodes processed",
             fu(self.solve.nodes_processed),
         );
         counter(
-            &mut s,
-            &mut last,
+            c,
+            l,
             "columba_solve_pruned_total",
+            "Branch-and-bound nodes pruned",
             fu(self.solve.nodes_pruned),
         );
         counter(
-            &mut s,
-            &mut last,
+            c,
+            l,
             "columba_solve_simplex_iterations_total",
+            "Simplex iterations across all solves",
             fu(self.solve.simplex_iterations),
         );
         gauge(
-            &mut s,
-            &mut last,
+            c,
+            l,
             "columba_uptime_seconds",
+            "Time since the service started",
             self.uptime.as_secs_f64(),
         );
-        prom_type_line(&mut s, &mut last, "columba_worker_busy_fraction", "gauge");
+        prom_type_line(
+            c,
+            l,
+            "columba_worker_busy_fraction",
+            "gauge",
+            "Fraction of uptime each worker spent running jobs",
+        );
         for (i, busy) in self.worker_busy.iter().enumerate() {
             prom_sample(
-                &mut s,
+                c,
                 "columba_worker_busy_fraction",
                 &[("worker".to_string(), i.to_string())],
                 *busy,
             );
         }
         counter(
-            &mut s,
-            &mut last,
+            c,
+            l,
             "columba_trace_events_evicted_total",
+            "Lifecycle trace events dropped by bounded rings",
             f(self.trace_events_evicted),
         );
         counter(
-            &mut s,
-            &mut last,
+            c,
+            l,
             "columba_profile_events_dropped_total",
+            "Span events dropped by bounded per-job recorders",
             f(self.profile_events_dropped),
         );
-        prom_type_line(&mut s, &mut last, "columba_http_requests_total", "counter");
+        counter(
+            c,
+            l,
+            "columba_traces_sampled_out_total",
+            "Job traces discarded by the tail-sampling policy",
+            f(self.traces_sampled_out),
+        );
+        counter(
+            c,
+            l,
+            "columba_slo_alerts_fired_total",
+            "SLO burn-rate page alerts fired",
+            f(self.slo_alerts_fired),
+        );
+        gauge(
+            c,
+            l,
+            "columba_alloc_live_bytes",
+            "Live heap bytes tracked by the global allocator",
+            f(self.alloc.live_bytes),
+        );
+        gauge(
+            c,
+            l,
+            "columba_alloc_peak_live_bytes",
+            "High-water mark of live heap bytes",
+            f(self.alloc.peak_live_bytes),
+        );
+        gauge(
+            c,
+            l,
+            "columba_alloc_live_allocs",
+            "Live allocations tracked by the global allocator",
+            f(self.alloc.live_allocs),
+        );
+        counter(
+            c,
+            l,
+            "columba_alloc_allocations_total",
+            "Heap allocations since start",
+            f(self.alloc.total_allocs),
+        );
+        counter(
+            c,
+            l,
+            "columba_alloc_allocated_bytes_total",
+            "Heap bytes allocated since start",
+            f(self.alloc.total_alloc_bytes),
+        );
+        if !self.alloc.subsystems.is_empty() {
+            prom_type_line(
+                c,
+                l,
+                "columba_alloc_subsystem_bytes_total",
+                "counter",
+                "Heap bytes allocated while each subsystem's span was innermost",
+            );
+            for sub in &self.alloc.subsystems {
+                prom_sample(
+                    c,
+                    "columba_alloc_subsystem_bytes_total",
+                    &[("subsystem".to_string(), sub.name.to_string())],
+                    f(sub.bytes),
+                );
+            }
+        }
+        prom_type_line(
+            c,
+            l,
+            "columba_http_requests_total",
+            "counter",
+            "HTTP requests by route and status",
+        );
         for (route, status, count) in &self.http_by_route {
             prom_sample(
-                &mut s,
+                c,
                 "columba_http_requests_total",
                 &[
                     ("route".to_string(), route.clone()),
@@ -486,8 +646,21 @@ impl MetricsSnapshot {
                 f(*count),
             );
         }
-        prom_histogram(&mut s, "columba_solve_seconds", &[], &self.solve_hist);
-        prom_histogram(&mut s, "columba_http_request_seconds", &[], &self.http_hist);
+        prom_histogram_ex(
+            c,
+            "columba_solve_seconds",
+            "Wall-clock latency of completed non-cache-hit solves",
+            &[],
+            &self.solve_hist,
+            &self.solve_exemplars,
+        );
+        prom_histogram(
+            c,
+            "columba_http_request_seconds",
+            "HTTP request service latency",
+            &[],
+            &self.http_hist,
+        );
         s
     }
 }
@@ -564,7 +737,11 @@ mod tests {
             worker_busy: vec![0.25, 0.75],
             trace_events_evicted: 3,
             profile_events_dropped: 1,
+            traces_sampled_out: 2,
+            slo_alerts_fired: 1,
+            alloc: AllocStats::default(),
             solve_hist: HistSnapshot::default(),
+            solve_exemplars: Vec::new(),
             http_hist: HistSnapshot::default(),
             http_by_route: vec![("GET /metrics".into(), 200, 4)],
         };
@@ -604,6 +781,9 @@ mod tests {
         assert_eq!(metric_value(&text, "worker_busy_fraction_1"), Some(0.75));
         assert_eq!(metric_value(&text, "trace_events_evicted"), Some(3.0));
         assert_eq!(metric_value(&text, "profile_events_dropped"), Some(1.0));
+        assert_eq!(metric_value(&text, "traces_sampled_out"), Some(2.0));
+        assert_eq!(metric_value(&text, "slo_alerts_fired"), Some(1.0));
+        assert_eq!(metric_value(&text, "alloc_live_bytes"), Some(0.0));
         assert_eq!(metric_value(&text, "http_requests_total"), Some(0.0));
         assert_eq!(metric_value(&text, "nope"), None);
     }
@@ -621,6 +801,16 @@ mod tests {
             uptime: Duration::from_secs(30),
             worker_busy: vec![0.5],
             solve_hist,
+            solve_exemplars: vec![(columba_obs::bucket_index(40_000.0), 7, 0.04)],
+            alloc: AllocStats {
+                live_bytes: 1024,
+                subsystems: vec![columba_obs::SubsystemAlloc {
+                    name: "milp",
+                    bytes: 512,
+                    allocs: 3,
+                }],
+                ..AllocStats::default()
+            },
             http_by_route: vec![
                 ("GET /metrics".into(), 200, 3),
                 ("POST /synthesize".into(), 202, 2),
@@ -667,6 +857,27 @@ mod tests {
                 .iter()
                 .any(|s| s.name == "columba_batch_dedup_hits_total"),
             "batch counters must be exported"
+        );
+        let exemplar = samples
+            .iter()
+            .find_map(|s| {
+                (s.name == "columba_solve_seconds_bucket")
+                    .then_some(s.exemplar.as_ref())
+                    .flatten()
+            })
+            .expect("an exemplar rides a solve bucket line");
+        assert_eq!(exemplar.labels, vec![("job".to_string(), "7".to_string())]);
+        assert!(
+            text.contains("columba_alloc_subsystem_bytes_total{subsystem=\"milp\"} 512"),
+            "{text}"
+        );
+        assert!(
+            samples.iter().any(|s| s.name == "columba_alloc_live_bytes"),
+            "alloc gauges must be exported"
+        );
+        assert!(
+            text.contains("# HELP columba_jobs_done_total"),
+            "every family carries a HELP line"
         );
     }
 }

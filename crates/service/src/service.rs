@@ -25,7 +25,10 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::{self, JoinHandle};
 use std::time::Duration;
 
-use columba_obs::{Histogram, RecorderGuard, SpanEvent, SpanRecorder};
+use columba_obs::{
+    Histogram, RecorderGuard, SloDef, SloEngine, SloSnapshot, SloTransition, SpanEvent,
+    SpanRecorder,
+};
 use columba_s::{CancelToken, Columba, Netlist, Rung, SolveStats, SynthesisOptions};
 
 use crate::batch::{BatchId, BatchStatus, MemberStatus};
@@ -97,6 +100,23 @@ pub struct ServiceConfig {
     /// Bounds for the per-job lifecycle trace rings behind
     /// `GET /jobs/<id>/trace`.
     pub trace_ring: RingConfig,
+    /// Tail-sampling latency threshold: a finished job whose solve took
+    /// at least this long keeps its full trace ring and span profile
+    /// even when head sampling would have dropped it. Error, degraded,
+    /// cancelled and watchdog-fired jobs are always kept.
+    pub trace_keep_slow: Duration,
+    /// Head-sampling rate for fast, clean jobs: 1 in this many such jobs
+    /// keeps its trace/profile; the rest are discarded at finalize and
+    /// counted in `/metrics` as `traces_sampled_out`. `1` (the default)
+    /// keeps everything; `0` is treated as `1`.
+    pub trace_head_sample: u64,
+    /// Declarative SLO set the burn-rate engine evaluates. The first
+    /// three entries are fed by the service in a fixed order —
+    /// availability per HTTP route, HTTP latency per route, solve
+    /// latency per QoS class — so replace them to change targets or
+    /// thresholds, but keep the order. A shorter vector silently
+    /// disables the missing streams.
+    pub slos: Vec<SloDef>,
     /// Persist self-healing thresholds: retries per write, consecutive
     /// failures before the breaker trips the service into volatile
     /// degraded mode, and the half-open probe pacing.
@@ -137,6 +157,9 @@ impl Default for ServiceConfig {
             profile_spans: true,
             profile_capacity: 4096,
             trace_ring: RingConfig::default(),
+            trace_keep_slow: Duration::from_secs(30),
+            trace_head_sample: 1,
+            slos: default_slos(),
             breaker: BreakerConfig::default(),
             watchdog_grace: Duration::from_secs(30),
             replay_throttle: None,
@@ -313,6 +336,10 @@ struct JobRecord {
     watchdog_fired: bool,
     /// Scheduling stats when the submission was an assay text.
     schedule: Option<columba_schedule::ScheduleStats>,
+    /// Peak bytes the worker thread held live while running this job
+    /// (tracking allocator watermark); `None` until the job ran or when
+    /// the `alloc-track` feature is compiled out.
+    peak_alloc: Option<u64>,
 }
 
 impl JobRecord {
@@ -328,6 +355,7 @@ impl JobRecord {
             design: self.design.clone(),
             durable: self.durable,
             schedule: self.schedule,
+            peak_alloc_bytes: self.peak_alloc,
         }
     }
 }
@@ -449,6 +477,40 @@ struct Inner {
     /// Service-level recorder the HTTP front end installs per
     /// connection: request spans land here, served by `GET /profile`.
     http_recorder: SpanRecorder,
+    /// The SLO/error-budget engine: availability and latency burn rates
+    /// over 5m/1h/6h windows, fed by [`Service::observe_http`] and
+    /// `finalize`, evaluated every supervisor tick and on `GET /slo`.
+    /// Pure `Duration` arithmetic over [`Inner::clock`], so burn math is
+    /// deterministic under a [`crate::simenv::SimClock`].
+    slo: Mutex<SloEngine>,
+    /// Job trace rings + span profiles discarded by the tail-sampling
+    /// policy (fast, clean, and not head-sampled).
+    traces_sampled_out: AtomicU64,
+    /// Tail-sampling knobs (see [`ServiceConfig`]).
+    trace_keep_slow: Duration,
+    trace_head_sample: u64,
+    /// Per-bucket exemplars for the solve-latency histogram: the last
+    /// *retained* job to land in each bucket, `(job id, seconds)`, so
+    /// `/metrics` exemplars always link to a resolvable trace.
+    solve_exemplars: Mutex<BTreeMap<usize, (u64, f64)>>,
+}
+
+/// Index of the availability SLO (labels: HTTP route) in [`default_slos`].
+const SLO_AVAILABILITY: usize = 0;
+/// Index of the HTTP p99-latency SLO (labels: HTTP route).
+const SLO_HTTP_LATENCY: usize = 1;
+/// Index of the solve-latency SLO (labels: QoS class).
+const SLO_SOLVE_LATENCY: usize = 2;
+
+/// The service's declarative SLO set: 99.9% of HTTP requests answered
+/// without a 5xx, 99% of HTTP requests under 1s, and 95% of non-cache
+/// solves under 30s. Order must match the `SLO_*` index constants.
+fn default_slos() -> Vec<SloDef> {
+    vec![
+        SloDef::availability("availability", 0.999),
+        SloDef::latency("http_latency", 0.99, Duration::from_secs(1)),
+        SloDef::latency("solve_latency", 0.95, Duration::from_secs(30)),
+    ]
 }
 
 impl Inner {
@@ -672,6 +734,11 @@ impl Service {
             http_counts: Mutex::new(BTreeMap::new()),
             worker_busy_ns: (0..worker_count).map(|_| AtomicU64::new(0)).collect(),
             http_recorder: SpanRecorder::new(2048),
+            slo: Mutex::new(SloEngine::new(config.slos.clone())),
+            traces_sampled_out: AtomicU64::new(0),
+            trace_keep_slow: config.trace_keep_slow,
+            trace_head_sample: config.trace_head_sample.max(1),
+            solve_exemplars: Mutex::new(BTreeMap::new()),
         });
         let mut handles: Vec<JoinHandle<()>> = Vec::with_capacity(worker_count + 2);
         // Reserve a sim-clock party slot for every thread about to be
@@ -1360,6 +1427,13 @@ impl Service {
             solve_hist: inner.solve_hist.snapshot(),
             http_hist: inner.http_hist.snapshot(),
             http_by_route,
+            traces_sampled_out: inner.traces_sampled_out.load(Ordering::Relaxed),
+            slo_alerts_fired: lock(&inner.slo).alerts_fired(),
+            alloc: columba_obs::alloc::stats(),
+            solve_exemplars: lock(&inner.solve_exemplars)
+                .iter()
+                .map(|(&bucket, &(job, secs))| (bucket, job, secs))
+                .collect(),
         }
     }
 
@@ -1433,6 +1507,29 @@ impl Service {
         *lock(&self.inner.http_counts)
             .entry((route, status))
             .or_insert(0) += 1;
+        // Feed the availability and HTTP-latency SLOs. `/healthz` is
+        // exempt: answering 503 while not ready is its contract, not an
+        // availability failure.
+        if route != "GET /healthz" {
+            let now = self.inner.clock.now().saturating_sub(self.inner.epoch);
+            let mut slo = lock(&self.inner.slo);
+            slo.observe(SLO_AVAILABILITY, route, now, status < 500);
+            slo.observe_latency(SLO_HTTP_LATENCY, route, now, elapsed);
+        }
+    }
+
+    /// Evaluates every SLO tracker now and returns the snapshot served
+    /// as JSON by `GET /slo`. Burn/alert transitions that happen during
+    /// the evaluation are traced (`slo_burn` / `slo_alert`), exactly as
+    /// the supervisor tick would have.
+    #[must_use]
+    pub fn slo_snapshot(&self) -> SloSnapshot {
+        let inner = &self.inner;
+        inner.wait_ready();
+        let now = inner.clock.now().saturating_sub(inner.epoch);
+        let (snapshot, transitions) = lock(&inner.slo).evaluate(now);
+        trace_slo_transitions(inner, &transitions);
+        snapshot
     }
 
     /// The current submission-queue depth (admitted jobs waiting for a
@@ -1566,6 +1663,7 @@ fn enqueue_job(
             started_at: None,
             watchdog_fired: false,
             schedule: None,
+            peak_alloc: None,
         },
     );
     st.queues[class.idx()].push_back(id);
@@ -1773,6 +1871,7 @@ fn apply_recovery(inner: &Inner, recovery: Recovery, throttle: Option<Duration>)
                 durable: true,
                 started_at: None,
                 watchdog_fired: false,
+                peak_alloc: None,
                 schedule: None,
             };
             match state {
@@ -1865,6 +1964,49 @@ fn supervisor_loop(inner: &Arc<Inner>) {
         }
         watchdog_sweep(inner);
         probe_persist(inner);
+        slo_sweep(inner);
+    }
+}
+
+/// Evaluates the SLO engine at the current clock reading and traces any
+/// burn-threshold or alert transitions. Runs every supervisor tick so
+/// alerts fire (and clear) even when nobody is polling `GET /slo`.
+fn slo_sweep(inner: &Inner) {
+    let now = inner.clock.now().saturating_sub(inner.epoch);
+    let transitions = lock(&inner.slo).evaluate(now).1;
+    trace_slo_transitions(inner, &transitions);
+}
+
+/// Turns SLO engine transitions into lifecycle trace events: burn
+/// windows crossing their threshold become `slo_burn`, the two-window
+/// page rule firing or clearing becomes `slo_alert`.
+fn trace_slo_transitions(inner: &Inner, transitions: &[SloTransition]) {
+    for t in transitions {
+        let (kind, detail) = match t.what {
+            "alert_fire" => (
+                TraceKind::SloAlert,
+                format!("{}/{}: page fired (5m burn {:.2})", t.slo, t.label, t.burn),
+            ),
+            "alert_clear" => (
+                TraceKind::SloAlert,
+                format!("{}/{}: page cleared", t.slo, t.label),
+            ),
+            "burn_high" => (
+                TraceKind::SloBurn,
+                format!(
+                    "{}/{}: {} burn {:.2} over threshold",
+                    t.slo, t.label, t.window, t.burn
+                ),
+            ),
+            _ => (
+                TraceKind::SloBurn,
+                format!(
+                    "{}/{}: {} burn {:.2} back under threshold",
+                    t.slo, t.label, t.window, t.burn
+                ),
+            ),
+        };
+        inner.trace(None, kind, detail);
     }
 }
 
@@ -2023,6 +2165,9 @@ fn worker_loop(inner: &Arc<Inner>, index: usize) {
         inner.journal_best_effort(&JournalRecord::Started { id });
         inner.trace(Some(id), TraceKind::Started, "");
         let t0 = inner.clock.now();
+        // Watermark the tracking allocator so the job's peak live bytes
+        // on this thread (solver arenas included) land in its status.
+        let alloc_mark = columba_obs::alloc::thread_mark();
         // Each job gets its own bounded span recorder: the worker thread
         // installs it, opens the "job" root span, and everything the
         // solver and layout stack record while the job runs nests under
@@ -2058,6 +2203,8 @@ fn worker_loop(inner: &Arc<Inner>, index: usize) {
             end
         };
         let elapsed = inner.clock.now().saturating_sub(t0);
+        let peak_alloc = columba_obs::alloc::tracking_enabled()
+            .then(|| columba_obs::alloc::thread_peak_since(alloc_mark));
         inner.worker_busy_ns[index].fetch_add(
             u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX),
             Ordering::Relaxed,
@@ -2068,7 +2215,7 @@ fn worker_loop(inner: &Arc<Inner>, index: usize) {
                 .fetch_add(rec.evicted(), Ordering::Relaxed);
             Arc::new(rec.finished())
         });
-        finalize(inner, id, elapsed, end, profile);
+        finalize(inner, id, elapsed, end, profile, peak_alloc);
         inner.clock.mark_wake();
         inner.done.notify_all();
     }
@@ -2295,15 +2442,17 @@ fn finalize(
     elapsed: Duration,
     end: JobEnd,
     profile: Option<Arc<Vec<SpanEvent>>>,
+    peak_alloc: Option<u64>,
 ) {
-    let (final_state, journal_record) = {
+    let (final_state, journal_record, keep, class, from_cache) = {
         let mut st = lock(&inner.state);
         let Some(r) = st.jobs.get_mut(&id) else {
             return;
         };
         r.elapsed = Some(elapsed);
         r.profile = profile;
-        match end {
+        r.peak_alloc = peak_alloc;
+        let (state, record) = match end {
             JobEnd::Done {
                 design,
                 from_cache,
@@ -2342,8 +2491,37 @@ fn finalize(
                 };
                 (r.state, record)
             }
+        };
+        // Tail-sampling decision: errors, cancellations, watchdog
+        // victims, degraded rungs and slow solves always keep their full
+        // trace and profile; fast clean jobs keep theirs 1-in-N.
+        let degraded = r.rung.as_deref().is_some_and(|g| g != "full MILP");
+        let keep = state != JobState::Done
+            || r.watchdog_fired
+            || degraded
+            || elapsed >= inner.trace_keep_slow
+            || id.is_multiple_of(inner.trace_head_sample);
+        if !keep {
+            r.profile = None;
         }
+        (state, record, keep, r.class, r.from_cache)
     };
+    if !keep {
+        inner.ring.forget(&[id]);
+        inner.traces_sampled_out.fetch_add(1, Ordering::Relaxed);
+    }
+    if final_state == JobState::Done && !from_cache {
+        // Feed the solve-latency SLO (per QoS class), and pin this job
+        // as its latency bucket's exemplar — but only when its trace was
+        // retained, so `/metrics` exemplars always resolve.
+        let now = inner.clock.now().saturating_sub(inner.epoch);
+        lock(&inner.slo).observe_latency(SLO_SOLVE_LATENCY, class.as_str(), now, elapsed);
+        if keep {
+            #[allow(clippy::cast_precision_loss)]
+            let bucket = columba_obs::bucket_index(elapsed.as_micros() as f64);
+            lock(&inner.solve_exemplars).insert(bucket, (id, elapsed.as_secs_f64()));
+        }
+    }
     inner.journal_best_effort(&journal_record);
     match final_state {
         JobState::Done => {

@@ -313,10 +313,15 @@ impl Outcome {
         if let Some(e) = &self.error {
             let _ = write!(s, " err={e}");
         }
+        // Allocator watermarks are real measurements, not plan-determined
+        // values — mask them so same-seed logs stay byte-identical.
         let body: String = self
             .body
             .replace('\r', "")
-            .replace('\n', "\\n")
+            .lines()
+            .filter(|l| !l.starts_with("peak_alloc_bytes "))
+            .collect::<Vec<_>>()
+            .join("\\n")
             .chars()
             .take(160)
             .collect();
@@ -648,7 +653,7 @@ pub fn run_plan(plan: &ChaosPlan) -> ChaosReport {
     let final_metrics = service.metrics();
     let _ = writeln!(
         log,
-        "final done={} failed={} cancelled={} rejected={} persist_errors={} trips={} degraded={:.3}",
+        "final done={} failed={} cancelled={} rejected={} persist_errors={} trips={} degraded={:.3} slo_alerts={}",
         final_metrics.jobs_done,
         final_metrics.jobs_failed,
         final_metrics.jobs_cancelled,
@@ -656,7 +661,18 @@ pub fn run_plan(plan: &ChaosPlan) -> ChaosReport {
         final_metrics.persist_errors,
         final_metrics.breaker_trips,
         final_metrics.degraded_seconds,
+        final_metrics.slo_alerts_fired,
     );
+    // SLO invariant: burn-rate page alerts may only fire when the plan
+    // actually injected faults — a clean run burning its error budget
+    // means the SLO plumbing (or the service) is broken.
+    if final_metrics.slo_alerts_fired > 0 && plan.fs_faults.is_empty() && plan.net_faults.is_empty()
+    {
+        violations.push(format!(
+            "{} SLO alert(s) fired during a clean run (no injected faults)",
+            final_metrics.slo_alerts_fired
+        ));
+    }
     let clean_persist = final_metrics.persist_errors == 0 && final_metrics.breaker_trips == 0;
     let mut server = server;
     server.shutdown();

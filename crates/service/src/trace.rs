@@ -82,6 +82,12 @@ pub enum TraceKind {
     /// The scheduler evicted an idle fluid from its channel into a
     /// storage home (detail carries the fluid, home and interval).
     StorageInserted,
+    /// An SLO burn-rate window crossed its threshold in either direction
+    /// (detail carries the slo, label, window and burn rate).
+    SloBurn,
+    /// An SLO alert fired or cleared under the two-window page rule
+    /// (detail carries the slo and label).
+    SloAlert,
 }
 
 impl TraceKind {
@@ -112,6 +118,8 @@ impl TraceKind {
             TraceKind::Watchdog => "watchdog",
             TraceKind::Scheduled => "scheduled",
             TraceKind::StorageInserted => "storage_inserted",
+            TraceKind::SloBurn => "slo_burn",
+            TraceKind::SloAlert => "slo_alert",
         }
     }
 }

@@ -136,10 +136,19 @@ fn interactive_admission_survives_bulk_saturation() {
         options: deterministic_options(),
         ..ServiceConfig::default()
     });
-    // hold the worker so queues stay full for the admission checks
+    // hold the worker so queues stay full for the admission checks:
+    // interactive jobs drain before any bulk work, so a stack of them
+    // keeps the bulk queue untouched however fast one solve runs
     let busy = service
         .submit_text(chain_netlist(90, &["mixer"]))
         .expect("admitted");
+    let pins: Vec<_> = (0..4)
+        .map(|i| {
+            service
+                .submit_text(chain_netlist(80 + i, &["mixer"]))
+                .expect("admitted")
+        })
+        .collect();
 
     let bulk: Vec<String> = (0..3)
         .map(|i| chain_netlist(91 + i, &["chamber"]))
@@ -163,7 +172,7 @@ fn interactive_admission_survives_bulk_saturation() {
         .submit_text(chain_netlist(95, &["mixer"]))
         .expect("interactive admission is independent of bulk saturation");
 
-    for id in [busy, interactive] {
+    for id in [busy, interactive].into_iter().chain(pins) {
         let status = service.wait(id, Duration::from_secs(300)).expect("known");
         assert_eq!(status.state, JobState::Done, "{:?}", status.error);
     }

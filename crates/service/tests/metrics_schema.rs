@@ -1,0 +1,124 @@
+//! Metrics-schema snapshot: the set (and order) of metric names served
+//! by `/metrics`, and the `# TYPE` family declarations served by
+//! `/metrics?format=prometheus`, pinned against a committed golden file.
+//! Renaming, dropping, or re-typing a metric breaks dashboards and
+//! alerts silently — this test makes such a change an explicit diff.
+//!
+//! To bless an intentional schema change:
+//!
+//! ```sh
+//! UPDATE_METRICS_SCHEMA=1 cargo test -p columba-service --test metrics_schema
+//! ```
+
+use std::time::Duration;
+
+use columba_obs::{AllocStats, Histogram, SubsystemAlloc};
+use columba_service::{CacheStats, MetricsSnapshot};
+
+/// A snapshot with every optional family populated, so the render paths
+/// emit their full schema: one worker, one solve sample with an
+/// exemplar, one HTTP route, and all five allocator subsystems.
+fn full_snapshot() -> MetricsSnapshot {
+    let solve_hist = {
+        let h = Histogram::new();
+        h.record(Duration::from_millis(40));
+        h.snapshot()
+    };
+    let http_hist = {
+        let h = Histogram::new();
+        h.record(Duration::from_millis(2));
+        h.snapshot()
+    };
+    MetricsSnapshot {
+        cache: CacheStats {
+            hits: 1,
+            misses: 1,
+            evictions: 0,
+            entries: 1,
+            bytes: 64,
+            capacity_bytes: 4096,
+        },
+        workers: 1,
+        worker_busy: vec![0.0],
+        uptime: Duration::from_secs(1),
+        solve_hist,
+        solve_exemplars: vec![(columba_obs::bucket_index(40_000.0), 1, 0.04)],
+        http_hist,
+        http_by_route: vec![("GET /metrics".into(), 200, 1)],
+        alloc: AllocStats {
+            live_bytes: 1,
+            peak_live_bytes: 1,
+            live_allocs: 1,
+            total_allocs: 1,
+            total_alloc_bytes: 1,
+            subsystems: columba_obs::alloc::SUBSYSTEMS
+                .iter()
+                .map(|name| SubsystemAlloc {
+                    name,
+                    bytes: 0,
+                    allocs: 0,
+                })
+                .collect(),
+        },
+        ..MetricsSnapshot::default()
+    }
+}
+
+/// The schema document: flat metric names in serve order, a separator,
+/// then the Prometheus `# TYPE` declarations in serve order.
+fn schema(snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    out.push_str("# flat /metrics names\n");
+    for line in snap.render().lines() {
+        let name = line.split(' ').next().unwrap_or_default();
+        out.push_str(name);
+        out.push('\n');
+    }
+    out.push_str("\n# prometheus families\n");
+    for line in snap.render_prometheus().lines() {
+        if line.starts_with("# TYPE ") {
+            out.push_str(line);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[test]
+fn metrics_schema_matches_committed_golden() {
+    let golden_path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("metrics_schema.golden");
+    let actual = schema(&full_snapshot());
+    if std::env::var_os("UPDATE_METRICS_SCHEMA").is_some() {
+        std::fs::write(&golden_path, &actual).expect("write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(&golden_path)
+        .expect("committed golden (bless with UPDATE_METRICS_SCHEMA=1)");
+    assert_eq!(
+        actual,
+        expected,
+        "metrics schema drifted from {}; if intentional, re-bless with \
+         UPDATE_METRICS_SCHEMA=1 and review the diff",
+        golden_path.display()
+    );
+}
+
+/// The histogram families must always declare `_sum` and `_count` —
+/// the Prometheus conformance contract `parse_prometheus` enforces on
+/// live output, pinned here at the schema level too.
+#[test]
+fn histogram_families_render_sum_and_count() {
+    let text = full_snapshot().render_prometheus();
+    for family in ["columba_solve_seconds", "columba_http_request_seconds"] {
+        for suffix in ["_sum", "_count"] {
+            assert!(
+                text.lines()
+                    .any(|l| l.starts_with(&format!("{family}{suffix} "))),
+                "{family}{suffix} missing"
+            );
+        }
+    }
+    columba_obs::parse_prometheus(&text).expect("full snapshot passes strict conformance");
+}

@@ -72,6 +72,15 @@ fn trace_profile_and_prometheus_endpoints() {
     let service = Arc::new(Service::start(ServiceConfig {
         workers: 1,
         options: common::deterministic_options(),
+        // Debug-build solves run far slower than the production 30s
+        // solve-latency objective; loosen the thresholds so the
+        // clean-run assertion below tests the engine, not the build
+        // profile.
+        slos: vec![
+            columba_obs::SloDef::availability("availability", 0.999),
+            columba_obs::SloDef::latency("http_latency", 0.99, Duration::from_secs(30)),
+            columba_obs::SloDef::latency("solve_latency", 0.95, Duration::from_secs(3600)),
+        ],
         ..ServiceConfig::default()
     }));
     let server = HttpServer::bind(Arc::clone(&service), "127.0.0.1:0", HttpConfig::default())
@@ -85,6 +94,13 @@ fn trace_profile_and_prometheus_endpoints() {
     let id = field(&body, "id").expect("id").trim().to_string();
     let done = common::poll_terminal(addr, &id, Duration::from_secs(300));
     assert_eq!(field(&done, "state"), Some("done"), "{done}");
+
+    // ---- allocator accounting: the job status carries the worker's
+    // peak live bytes (the tracking allocator is on by default)
+    assert!(
+        field(&done, "peak_alloc_bytes").is_some_and(|v| v.trim().parse::<u64>().is_ok()),
+        "job status must carry peak_alloc_bytes: {done}"
+    );
 
     // ---- per-job lifecycle trace: JSONL, every line valid JSON
     let (status, trace) = common::request(addr, "GET", &format!("/jobs/{id}/trace"), None);
@@ -165,6 +181,10 @@ fn trace_profile_and_prometheus_endpoints() {
         "columba_jobs_done_total",
         "columba_worker_busy_fraction",
         "columba_http_requests_total",
+        "columba_alloc_live_bytes",
+        "columba_alloc_allocations_total",
+        "columba_traces_sampled_out_total",
+        "columba_slo_alerts_fired_total",
     ] {
         assert!(
             samples.iter().any(|s| s.name == name),
@@ -177,6 +197,49 @@ fn trace_profile_and_prometheus_endpoints() {
         .expect("count");
     assert!(solve_count.value >= 1.0, "one solve was recorded");
 
+    // ---- an exemplar rides a solve bucket and its job id resolves to
+    // a live trace (the exemplar contract: only retained jobs qualify)
+    let exemplar = samples
+        .iter()
+        .find_map(|s| {
+            (s.name == "columba_solve_seconds_bucket")
+                .then_some(s.exemplar.as_ref())
+                .flatten()
+        })
+        .expect("a solve bucket carries an exemplar");
+    let (label, ex_job) = exemplar.labels.first().expect("exemplar label");
+    assert_eq!(label, "job");
+    let (status, ex_trace) = common::request(addr, "GET", &format!("/jobs/{ex_job}/trace"), None);
+    assert_eq!(status, 200, "exemplar job {ex_job} must resolve to a trace");
+    assert!(
+        !ex_trace.trim().is_empty(),
+        "exemplar job {ex_job} trace must be retained"
+    );
+
+    // ---- GET /slo: JSON burn-rate report; nothing alerts on a healthy
+    // run, and the HTTP traffic above has fed the availability trackers
+    let (status, slo) = common::request(addr, "GET", "/slo", None);
+    assert_eq!(status, 200, "{slo}");
+    let slo_doc = parse_json(&slo).expect("slo body is JSON");
+    slo_doc.get("at_us").and_then(Json::as_f64).expect("at_us");
+    let slos = slo_doc.get("slos").and_then(Json::as_arr).expect("slos");
+    assert!(
+        slos.iter()
+            .any(|r| r.get("slo").and_then(Json::as_str) == Some("availability")),
+        "availability trackers must exist after HTTP traffic: {slo}"
+    );
+    for report in slos {
+        assert!(
+            matches!(report.get("alerting"), Some(Json::Bool(false))),
+            "no SLO may alert during a healthy run: {slo}"
+        );
+        let windows = report
+            .get("windows")
+            .and_then(Json::as_arr)
+            .expect("windows");
+        assert!(!windows.is_empty(), "{slo}");
+    }
+
     // ---- flat format keeps working and gained the new lines
     let (status, flat) = common::request(addr, "GET", "/metrics", None);
     assert_eq!(status, 200);
@@ -185,6 +248,12 @@ fn trace_profile_and_prometheus_endpoints() {
     assert!(metric_value(&flat, "solve_seconds_p50").is_some_and(|v| v > 0.0));
     assert!(metric_value(&flat, "http_requests_total").is_some_and(|v| v >= 1.0));
     assert_eq!(metric_value(&flat, "jobs_done"), Some(1.0));
+    assert!(
+        metric_value(&flat, "alloc_live_bytes").is_some_and(|v| v > 0.0),
+        "tracking allocator gauges must be live:\n{flat}"
+    );
+    assert_eq!(metric_value(&flat, "traces_sampled_out"), Some(0.0));
+    assert_eq!(metric_value(&flat, "slo_alerts_fired"), Some(0.0));
 
     // ---- service-level HTTP span profile
     let (status, http_profile) = common::request(addr, "GET", "/profile", None);
@@ -236,4 +305,66 @@ fn tiny_trace_rings_evict_and_report() {
     );
     drop(server);
     service.shutdown();
+}
+
+#[test]
+fn tail_sampling_drops_fast_clean_traces() {
+    // Head-sample 1-in-2 with an unreachable slow threshold: job 1
+    // (1 % 2 != 0) is sampled out, job 2 is head-sampled in. Errors,
+    // degradation and slowness would override — neither applies here.
+    let service = Arc::new(Service::start(ServiceConfig {
+        workers: 1,
+        options: common::deterministic_options(),
+        trace_head_sample: 2,
+        trace_keep_slow: Duration::from_secs(3600),
+        ..ServiceConfig::default()
+    }));
+    let server = HttpServer::bind(Arc::clone(&service), "127.0.0.1:0", HttpConfig::default())
+        .expect("bind an ephemeral port");
+    let addr = server.addr();
+    let one = "chip t\nmixer m1\nport a\nport b\n\
+               connect a -> m1.left\nconnect m1.right -> b\n";
+    let two = "chip u\nmixer m1\nmixer m2\nport a\nport b\n\
+               connect a -> m1.left\nconnect m1.right -> m2.left\n\
+               connect m2.right -> b\n";
+    for (netlist, expect_id) in [(one, "1"), (two, "2")] {
+        let (status, body) = common::request(addr, "POST", "/synthesize", Some(netlist));
+        assert_eq!(status, 202, "{body}");
+        assert_eq!(field(&body, "id").map(str::trim), Some(expect_id), "{body}");
+        let done = common::poll_terminal(addr, &id_of(&body), Duration::from_secs(120));
+        assert_eq!(field(&done, "state"), Some("done"), "{done}");
+    }
+
+    // job 1: known but sampled out — empty trace, profile gone
+    let (status, trace) = common::request(addr, "GET", "/jobs/1/trace", None);
+    assert_eq!(status, 200);
+    assert!(
+        trace.trim().is_empty(),
+        "sampled-out job must serve an empty trace:\n{trace}"
+    );
+    let (status, _) = common::request(addr, "GET", "/jobs/1/profile", None);
+    assert_eq!(status, 409, "sampled-out job has no profile");
+
+    // job 2: head-sampled in — full trace and profile survive
+    let (status, trace) = common::request(addr, "GET", "/jobs/2/trace", None);
+    assert_eq!(status, 200);
+    assert!(trace.contains("\"solved\""), "{trace}");
+    let (status, profile) = common::request(addr, "GET", "/jobs/2/profile", None);
+    assert_eq!(status, 200);
+    assert!(validate_chrome_trace(&profile).expect("valid trace") > 0);
+
+    let (status, flat) = common::request(addr, "GET", "/metrics", None);
+    assert_eq!(status, 200);
+    assert_eq!(
+        metric_value(&flat, "traces_sampled_out"),
+        Some(1.0),
+        "{flat}"
+    );
+    drop(server);
+    service.shutdown();
+}
+
+/// The trimmed id from a `202` submit body.
+fn id_of(body: &str) -> String {
+    field(body, "id").expect("id").trim().to_string()
 }
